@@ -1,0 +1,100 @@
+/**
+ * @file
+ * §4.1 ablation: "in many programs, most basic blocks are short and
+ * so present few opportunities to hide instrumentation." Sweeps the
+ * target dynamic block size of an otherwise-fixed synthetic workload
+ * and reports the fraction of profiling overhead hidden, showing how
+ * hiding grows with block length.
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "bench/common.hh"
+#include "src/eel/editor.hh"
+#include "src/qpt/profiler.hh"
+#include "src/sim/timing.hh"
+#include "src/workload/generator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace eel;
+    bench::TableOptions opts = bench::parseArgs(argc, argv);
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin(opts.machine);
+
+    std::printf("\n%% of profiling overhead hidden vs. dynamic block "
+                "size (%s, fp workload)\n",
+                opts.machine.c_str());
+    std::printf("%10s %10s %12s %12s %9s\n", "BlockSize", "measured",
+                "inst ratio", "sched ratio", "%hidden");
+
+    for (double target : {2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0,
+                          32.0, 48.0}) {
+        workload::BenchmarkSpec spec;
+        spec.name = "sweep";
+        spec.fp = true;
+        spec.avgBlockSize = target;
+        spec.loadFrac = 0.24;
+        spec.storeFrac = 0.10;
+        spec.fpFrac = 0.40;
+        spec.serialProb = 0.2;
+        spec.dynTarget = 400000;
+        spec.seed = 12345;
+
+        workload::GenOptions gopts;
+        gopts.scale = opts.scale;
+        gopts.machine = &m;
+        exe::Executable orig = workload::generate(spec, gopts);
+
+        auto routines = edit::buildRoutines(orig);
+        exe::Executable work = orig;
+        qpt::ProfilePlan plan = qpt::makePlan(work, routines);
+        exe::Executable inst = edit::rewrite(work, routines,
+                                             plan.plan, {});
+        edit::EditOptions so;
+        so.schedule = true;
+        so.model = &m;
+        so.sched = opts.sched;
+        exe::Executable sch = edit::rewrite(work, routines,
+                                            plan.plan, so);
+
+        auto r0 = sim::timedRun(orig, m);
+        auto r1 = sim::timedRun(inst, m);
+        auto r2 = sim::timedRun(sch, m);
+
+        // Measured dynamic block size.
+        double measured =
+            double(r0.result.instructions) /
+            double([&] {
+                struct S : sim::TraceSink
+                {
+                    std::set<uint32_t> starts;
+                    uint64_t blocks = 0;
+                    void
+                    retire(uint32_t pc,
+                           const isa::Instruction &) override
+                    {
+                        blocks += starts.count(pc);
+                    }
+                } s;
+                for (const auto &r : routines)
+                    for (const auto &blk : r.blocks)
+                        s.starts.insert(blk.startAddr);
+                sim::Emulator e(orig);
+                e.run(&s);
+                return s.blocks;
+            }());
+
+        double hidden = 100.0 *
+                        double(int64_t(r1.cycles) -
+                               int64_t(r2.cycles)) /
+                        double(int64_t(r1.cycles) -
+                               int64_t(r0.cycles));
+        std::printf("%10.1f %10.1f %12.2f %12.2f %8.1f%%\n", target,
+                    measured, double(r1.cycles) / r0.cycles,
+                    double(r2.cycles) / r0.cycles, hidden);
+    }
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * QPT2 carried two profilers: the paper instruments with "slow"
+ * profiling (a counter in almost every block); the "fast" mode is
+ * Ball-Larus edge profiling (citation [2]), which counts only the
+ * edges off a spanning tree and reconstructs the rest. This bench
+ * compares their overheads, with and without instruction scheduling
+ * — showing that scheduling helps both, and that fast profiling's
+ * remaining overhead is harder to hide (its counters sit on edges
+ * with fewer neighbors to overlap with).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "src/eel/editor.hh"
+#include "src/qpt/edge_profiler.hh"
+#include "src/sim/timing.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace eel;
+    bench::TableOptions opts = bench::parseArgs(argc, argv);
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin(opts.machine);
+
+    std::printf("\nSlow (block) vs fast (Ball-Larus edge) profiling "
+                "on the %s\n",
+                opts.machine.c_str());
+    std::printf("%-14s %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
+                "Benchmark", "ctrs/blk", "ctrs/edg",
+                "slow", "slow+s", "%hid",
+                "fast", "fast+s", "%hid");
+
+    auto specs = workload::spec95(opts.machine);
+    for (size_t i : {0u, 3u, 4u, 5u, 9u, 12u, 16u}) {
+        if (!opts.only.empty() && specs[i].name != opts.only)
+            continue;
+        workload::GenOptions gopts;
+        gopts.scale = opts.scale;
+        gopts.machine = &m;
+        exe::Executable orig = workload::generate(specs[i], gopts);
+        auto routines = edit::buildRoutines(orig);
+
+        edit::EditOptions so;
+        so.schedule = true;
+        so.model = &m;
+        so.sched = opts.sched;
+
+        exe::Executable sw = orig;
+        qpt::ProfilePlan slow = qpt::makePlan(sw, routines);
+        exe::Executable slow_p =
+            edit::rewrite(sw, routines, slow.plan, {});
+        exe::Executable slow_s =
+            edit::rewrite(sw, routines, slow.plan, so);
+
+        exe::Executable fw = orig;
+        qpt::EdgeProfilePlan fast = qpt::makeEdgePlan(fw, routines);
+        exe::Executable fast_p =
+            edit::rewrite(fw, routines, fast.plan, {});
+        exe::Executable fast_s =
+            edit::rewrite(fw, routines, fast.plan, so);
+
+        auto r0 = sim::timedRun(orig, m);
+        auto rsp = sim::timedRun(slow_p, m);
+        auto rss = sim::timedRun(slow_s, m);
+        auto rfp = sim::timedRun(fast_p, m);
+        auto rfs = sim::timedRun(fast_s, m);
+
+        auto ratio = [&](const sim::TimedRun &r) {
+            return double(r.cycles) / double(r0.cycles);
+        };
+        auto hidden = [&](const sim::TimedRun &p,
+                          const sim::TimedRun &s) {
+            return 100.0 *
+                   double(int64_t(p.cycles) - int64_t(s.cycles)) /
+                   double(int64_t(p.cycles) - int64_t(r0.cycles));
+        };
+        std::printf("%-14s %8u %8u | %8.2f %8.2f %7.1f%% | %8.2f "
+                    "%8.2f %7.1f%%\n",
+                    specs[i].name.c_str(), slow.numCounters,
+                    fast.numCounters, ratio(rsp), ratio(rss),
+                    hidden(rsp, rss), ratio(rfp), ratio(rfs),
+                    hidden(rfp, rfs));
+    }
+    std::printf("\nNote: the generator's large-block benchmarks are "
+                "single-block self loops,\nwhose back edge can never "
+                "ride a spanning tree (a self loop is invisible to\n"
+                "flow conservation), so fast profiling must place a "
+                "taken-edge trampoline on\nthe hottest edge. Real "
+                "compiled loop nests have multi-block bodies where\n"
+                "the hot back edge stays uncounted, which is where "
+                "Ball-Larus wins big\n(visible in the small-block "
+                "integer rows).\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * §1/§5 speculation: "in the future, these results may improve, and
+ * scheduling become even more attractive, with ... wider
+ * microarchitectures that offer further opportunities to hide
+ * instrumentation." Runs the same benchmarks across issue widths
+ * 2 (hyperSPARC), 3 (SuperSPARC), 4 (UltraSPARC), and a hypothetical
+ * 8-wide machine, reporting the % of profiling overhead hidden.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "src/workload/spec.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace eel;
+    bench::TableOptions base = bench::parseArgs(argc, argv);
+
+    const char *machines[] = {"hypersparc", "supersparc",
+                              "ultrasparc", "wide8"};
+
+    std::printf("\n%% of profiling overhead hidden vs. issue width\n");
+    std::printf("%-14s", "Benchmark");
+    for (const char *m : machines)
+        std::printf(" %12s(%u)", m,
+                    machine::MachineModel::builtin(m).issueWidth());
+    std::printf("\n");
+
+    auto specs = workload::spec95("ultrasparc");
+    for (size_t i : {0u, 3u, 5u, 9u, 12u, 13u, 16u}) {
+        if (!base.only.empty() && specs[i].name != base.only)
+            continue;
+        std::printf("%-14s", specs[i].name.c_str());
+        for (const char *m : machines) {
+            bench::TableOptions opts = base;
+            opts.machine = m;
+            bench::Row r = bench::runBenchmark(opts, i);
+            std::printf("  %6.1f%%(%4.2fx)", r.pctHidden,
+                        r.instRatio);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(parenthesized: instrumented/uninstrumented ratio "
+                "at that width)\n"
+                "Two regimes: long-block fp code keeps a meaningful "
+                "overhead at 8-wide and\nscheduling hides nearly all "
+                "of it (the paper's hope); short-block integer code's\n"
+                "overhead is increasingly absorbed by the hardware "
+                "itself, leaving little for\nsoftware scheduling — "
+                "foreshadowing why this technique faded on "
+                "out-of-order\nmachines.\n");
+    return 0;
+}

@@ -1,0 +1,206 @@
+#include "bench/common.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "src/eel/editor.hh"
+#include "src/qpt/profiler.hh"
+#include "src/sim/timing.hh"
+#include "src/support/logging.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::bench {
+
+TableOptions
+parseArgs(int argc, char **argv)
+{
+    TableOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--machine")
+            opts.machine = value();
+        else if (a == "--scale")
+            opts.scale = std::stod(value());
+        else if (a == "--resched-first")
+            opts.rescheduleFirst = true;
+        else if (a == "--sched-machine")
+            opts.schedMachine = value();
+        else if (a == "--only")
+            opts.only = value();
+        else if (a == "--help") {
+            std::printf("options: --machine <name> --scale <x> "
+                        "--resched-first --only <benchmark>\n");
+            std::exit(0);
+        } else {
+            fatal("unknown option '%s'", a.c_str());
+        }
+    }
+    return opts;
+}
+
+namespace {
+
+/** Measured dynamic average basic block size. */
+double
+measureAvgBlock(const exe::Executable &x,
+                const std::vector<edit::Routine> &routines)
+{
+    struct Sink : sim::TraceSink
+    {
+        std::set<uint32_t> starts;
+        uint64_t blocks = 0, insts = 0;
+        void
+        retire(uint32_t pc, const isa::Instruction &) override
+        {
+            ++insts;
+            blocks += starts.count(pc);
+        }
+    } sink;
+    for (const auto &r : routines)
+        for (const auto &blk : r.blocks)
+            sink.starts.insert(blk.startAddr);
+    sim::Emulator emu(x);
+    emu.run(&sink);
+    return sink.blocks ? double(sink.insts) / double(sink.blocks)
+                       : 0.0;
+}
+
+} // namespace
+
+Row
+runBenchmark(const TableOptions &opts, size_t index)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin(opts.machine);
+    workload::BenchmarkSpec spec =
+        workload::spec95(opts.machine)[index];
+
+    workload::GenOptions gopts;
+    gopts.scale = opts.scale;
+    gopts.machine = &m;
+    exe::Executable original = workload::generate(spec, gopts);
+
+    const machine::MachineModel &sched_model =
+        machine::MachineModel::builtin(
+            opts.schedMachine.empty() ? opts.machine
+                                      : opts.schedMachine);
+    edit::EditOptions sched_opts;
+    sched_opts.schedule = true;
+    sched_opts.model = &sched_model;
+    sched_opts.sched = opts.sched;
+
+    // Table 2 protocol: reschedule first, measure against that.
+    exe::Executable base = original;
+    double base_ratio = 1.0;
+    if (opts.rescheduleFirst) {
+        auto routines0 = edit::buildRoutines(original);
+        base = edit::rewrite(original, routines0,
+                             edit::InstrumentationPlan{}, sched_opts);
+        auto r_orig = sim::timedRun(original, m);
+        auto r_base = sim::timedRun(base, m);
+        base_ratio = double(r_base.cycles) / double(r_orig.cycles);
+    }
+
+    auto routines = edit::buildRoutines(base);
+    exe::Executable work = base;
+    qpt::ProfilePlan plan = qpt::makePlan(work, routines);
+
+    exe::Executable instrumented =
+        edit::rewrite(work, routines, plan.plan, edit::EditOptions{});
+    exe::Executable scheduled =
+        edit::rewrite(work, routines, plan.plan, sched_opts);
+
+    auto r_base = sim::timedRun(base, m);
+    auto r_inst = sim::timedRun(instrumented, m);
+    auto r_sched = sim::timedRun(scheduled, m);
+    if (r_base.result.output != r_inst.result.output ||
+        r_base.result.output != r_sched.result.output)
+        fatal("%s: instrumented output differs from original",
+              spec.name.c_str());
+
+    Row row;
+    row.name = spec.name;
+    row.fp = spec.fp;
+    row.avgBlockSize = measureAvgBlock(base, routines);
+    row.uninstSec = r_base.seconds;
+    row.uninstRatioToOriginal = base_ratio;
+    row.instSec = r_inst.seconds;
+    row.instRatio = double(r_inst.cycles) / double(r_base.cycles);
+    row.schedSec = r_sched.seconds;
+    row.schedRatio = double(r_sched.cycles) / double(r_base.cycles);
+    row.pctHidden = 100.0 *
+                    double(int64_t(r_inst.cycles) -
+                           int64_t(r_sched.cycles)) /
+                    double(int64_t(r_inst.cycles) -
+                           int64_t(r_base.cycles));
+    return row;
+}
+
+std::vector<Row>
+runTable(const TableOptions &opts)
+{
+    std::vector<Row> rows;
+    auto specs = workload::spec95(opts.machine);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (!opts.only.empty() && specs[i].name != opts.only)
+            continue;
+        rows.push_back(runBenchmark(opts, i));
+        std::fprintf(stderr, "  %-14s done\n",
+                     rows.back().name.c_str());
+    }
+    return rows;
+}
+
+void
+printTable(const std::string &title, const std::vector<Row> &rows)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%-14s %8s %10s %10s %18s %18s %9s\n", "Benchmark",
+                "Avg.BB", "Uninst(s)", "(ratio)", "Inst(s) (ratio)",
+                "Sched(s) (ratio)", "%Hidden");
+
+    auto line = [&](const Row &r) {
+        std::printf("%-14s %8.1f %10.4f %10.2f %10.4f (%4.2f) "
+                    "%10.4f (%4.2f) %8.1f%%\n",
+                    r.name.c_str(), r.avgBlockSize, r.uninstSec,
+                    r.uninstRatioToOriginal, r.instSec, r.instRatio,
+                    r.schedSec, r.schedRatio, r.pctHidden);
+    };
+    auto averages = [&](bool fp, const char *label) {
+        double ir = 0, sr = 0, hid = 0;
+        int n = 0;
+        for (const Row &r : rows) {
+            if (r.fp != fp)
+                continue;
+            ir += r.instRatio;
+            sr += r.schedRatio;
+            hid += r.pctHidden;
+            ++n;
+        }
+        if (!n)
+            return;
+        std::printf("%-14s %8s %10s %10s %10s (%4.2f) %10s (%4.2f) "
+                    "%8.1f%%\n",
+                    label, "", "", "", "", ir / n, "", sr / n,
+                    hid / n);
+    };
+
+    for (const Row &r : rows)
+        if (!r.fp)
+            line(r);
+    averages(false, "CINT95 Average");
+    for (const Row &r : rows)
+        if (r.fp)
+            line(r);
+    averages(true, "CFP95 Average");
+}
+
+} // namespace eel::bench

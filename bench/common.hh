@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared driver for the table-reproduction benches: runs the paper's
+ * measurement protocol (§4.2) over the 18 synthetic SPEC95 stand-ins
+ * and prints rows in the layout of Tables 1-3.
+ */
+
+#ifndef EEL_BENCH_COMMON_HH
+#define EEL_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "src/machine/model.hh"
+#include "src/sched/scheduler.hh"
+
+namespace eel::bench {
+
+struct Row
+{
+    std::string name;
+    bool fp;
+    double avgBlockSize;  ///< measured dynamic average
+    double uninstSec;
+    double uninstRatioToOriginal = 1.0;  ///< Table 2's extra column
+    double instSec;
+    double instRatio;
+    double schedSec;
+    double schedRatio;
+    double pctHidden;
+};
+
+struct TableOptions
+{
+    std::string machine = "ultrasparc";
+    /**
+     * Table 2 protocol: EEL first reschedules the benchmark without
+     * instrumentation; ratios and hiding are measured against that
+     * baseline.
+     */
+    bool rescheduleFirst = false;
+    double scale = 1.0;
+    /**
+     * Machine model EEL's scheduler uses; empty = same as the
+     * hardware. The paper's scheduler was "currently configured for
+     * the SPARC version 8 instruction set" (§4.2): on the
+     * UltraSPARC it scheduled with older-generation timing, which
+     * is why Table 1's floating point results suffer from
+     * de-scheduling that Table 2 factors out.
+     */
+    std::string schedMachine;
+    sched::SchedOptions sched;
+    /** Restrict to one benchmark by name ("" = all). */
+    std::string only;
+};
+
+/** Parse --machine/--scale/--resched-first/--only from argv. */
+TableOptions parseArgs(int argc, char **argv);
+
+/** Run the full measurement for one benchmark spec index. */
+Row runBenchmark(const TableOptions &opts, size_t index);
+
+/** Run all benchmarks of the suite. */
+std::vector<Row> runTable(const TableOptions &opts);
+
+/** Print the table in the paper's layout, with CINT/CFP averages. */
+void printTable(const std::string &title,
+                const std::vector<Row> &rows);
+
+} // namespace eel::bench
+
+#endif // EEL_BENCH_COMMON_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates the paper's §1 motivation numbers: how much of a
+ * superscalar machine's issue bandwidth ordinary programs leave
+ * unused. Cvetanovic & Bhandarkar found 2-way Alphas dual-issue only
+ * 20-50% of instructions; Diep et al. measured 1.05-1.25 IPC for
+ * integer and 1.0-1.9 IPC for fp SPEC benchmarks on a 4-way
+ * PowerPC 620. Those empty slots are where instrumentation hides.
+ *
+ * For each (machine, benchmark) this prints the issue-width
+ * histogram — the fraction of cycles in which 0,1,2,... instructions
+ * entered the pipeline — and the resulting IPC.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "src/sim/timing.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace eel;
+    bench::TableOptions opts = bench::parseArgs(argc, argv);
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin(opts.machine);
+
+    std::printf("\nIssue-width histogram, uninstrumented benchmarks "
+                "on the %s (%u-way)\n",
+                opts.machine.c_str(), m.issueWidth());
+    std::printf("%-14s %8s", "Benchmark", "IPC");
+    for (unsigned k = 0; k <= m.issueWidth(); ++k)
+        std::printf("  %%cyc@%u", k);
+    std::printf("  %%multi-issue\n");
+
+    auto specs = workload::spec95(opts.machine);
+    double int_ipc = 0, fp_ipc = 0;
+    int n_int = 0, n_fp = 0;
+    for (const auto &spec : specs) {
+        if (!opts.only.empty() && spec.name != opts.only)
+            continue;
+        workload::GenOptions gopts;
+        gopts.scale = opts.scale;
+        gopts.machine = &m;
+        exe::Executable x = workload::generate(spec, gopts);
+        sim::TimedRun r = sim::timedRun(x, m);
+
+        uint64_t cycles = 0;
+        for (uint64_t c : r.issueHistogram)
+            cycles += c;
+        // Instructions issued in cycles with >= 2 issues.
+        uint64_t multi = 0;
+        for (size_t k = 2; k < r.issueHistogram.size(); ++k)
+            multi += k * r.issueHistogram[k];
+
+        std::printf("%-14s %8.2f", spec.name.c_str(), r.ipc);
+        for (unsigned k = 0; k <= m.issueWidth(); ++k) {
+            double pct = cycles ? 100.0 * r.issueHistogram[k] /
+                                      double(cycles)
+                                : 0.0;
+            std::printf("  %6.1f", pct);
+        }
+        std::printf("  %10.1f%%\n",
+                    100.0 * double(multi) /
+                        double(r.result.instructions));
+        (spec.fp ? fp_ipc : int_ipc) += r.ipc;
+        (spec.fp ? n_fp : n_int) += 1;
+    }
+    if (n_int)
+        std::printf("\nCINT95 mean IPC: %.2f (paper cites "
+                    "1.05-1.25 on a 4-way 620)\n",
+                    int_ipc / n_int);
+    if (n_fp)
+        std::printf("CFP95 mean IPC:  %.2f (paper cites 1.0-1.9)\n",
+                    fp_ipc / n_fp);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * benchgen — generate the synthetic SPEC95 stand-in executables as
+ * .xef files, for use with profile_tool and sched_viewer.
+ *
+ *   benchgen list [--machine M]
+ *       Show the benchmark suite and its parameters.
+ *
+ *   benchgen <benchmark> <out.xef> [--machine M] [--scale X]
+ *            [--no-oracle]
+ *       Generate one benchmark (e.g. "102.swim").
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "src/machine/model.hh"
+#include "src/support/logging.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+using namespace eel;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 2)
+            fatal("usage: benchgen <list|benchmark> [out.xef] "
+                  "[--machine M] [--scale X] [--no-oracle]");
+        std::string cmd = argv[1];
+        std::string out;
+        std::string machine = "ultrasparc";
+        double scale = 1.0;
+        bool oracle = true;
+        for (int i = 2; i < argc; ++i) {
+            std::string s = argv[i];
+            if (s == "--machine" && i + 1 < argc)
+                machine = argv[++i];
+            else if (s == "--scale" && i + 1 < argc)
+                scale = std::stod(argv[++i]);
+            else if (s == "--no-oracle")
+                oracle = false;
+            else if (out.empty() && s[0] != '-')
+                out = s;
+            else
+                fatal("unknown option '%s'", s.c_str());
+        }
+
+        auto specs = workload::spec95(machine);
+        if (cmd == "list") {
+            std::printf("%-14s %5s %8s %7s %7s %7s\n", "benchmark",
+                        "fp", "avg.bb", "load%", "store%", "fp%");
+            for (const auto &s : specs)
+                std::printf("%-14s %5s %8.1f %6.0f%% %6.0f%% "
+                            "%6.0f%%\n",
+                            s.name.c_str(), s.fp ? "yes" : "no",
+                            s.avgBlockSize, 100 * s.loadFrac,
+                            100 * s.storeFrac, 100 * s.fpFrac);
+            return 0;
+        }
+
+        const workload::BenchmarkSpec *spec = nullptr;
+        for (const auto &s : specs)
+            if (s.name == cmd)
+                spec = &s;
+        if (!spec)
+            fatal("unknown benchmark '%s' (try: benchgen list)",
+                  cmd.c_str());
+        if (out.empty())
+            fatal("missing output path");
+
+        workload::GenOptions gopts;
+        gopts.scale = scale;
+        gopts.oracleSchedule = oracle;
+        gopts.machine = &machine::MachineModel::builtin(machine);
+        exe::Executable x = workload::generate(*spec, gopts);
+        x.save(out);
+        std::fprintf(stderr,
+                     "%s: %zu text words, %zu data bytes -> %s\n",
+                     spec->name.c_str(), x.text.size(),
+                     x.data.size(), out.c_str());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "benchgen: %s\n", e.what());
+        return 1;
+    }
+}

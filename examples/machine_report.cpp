@@ -1,0 +1,52 @@
+/**
+ * @file
+ * machine_report — inspect what Spawn derives from a SADL machine
+ * description: unit capacities, timing groups, and per-instruction
+ * reservation tables with register read/write cycles.
+ *
+ *   machine_report <hypersparc|supersparc|ultrasparc>
+ *   machine_report <file.sadl> [clock-mhz]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/machine/spawn_codegen.hh"
+#include "src/support/logging.hh"
+
+using namespace eel;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 2)
+            fatal("usage: machine_report <builtin-name | file.sadl> "
+                  "[clock-mhz]");
+        std::string name = argv[1];
+
+        if (name == "hypersparc" || name == "supersparc" ||
+            name == "ultrasparc") {
+            const machine::MachineModel &m =
+                machine::MachineModel::builtin(name);
+            std::printf("%s", machine::describeModel(m).c_str());
+            return 0;
+        }
+
+        std::ifstream f(name);
+        if (!f)
+            fatal("cannot open '%s'", name.c_str());
+        std::stringstream ss;
+        ss << f.rdbuf();
+        double mhz = argc > 2 ? std::stod(argv[2]) : 100.0;
+        machine::MachineModel m = machine::MachineModel::fromSadl(
+            ss.str(), name, mhz);
+        std::printf("%s", machine::describeModel(m).c_str());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "machine_report: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * profile_tool — the complete QPT-style profiler of the paper's
+ * Figure 3 as a command-line tool.
+ *
+ *   profile_tool instrument <in.xef> <out.xef> [--machine M]
+ *                [--no-schedule] [--no-skip]
+ *       Insert block counters (scheduled by default) and write the
+ *       edited executable.
+ *
+ *   profile_tool run <in.xef> [--machine M] [--top N]
+ *       Instrument in memory, run on the machine model, and print
+ *       the hottest basic blocks with their execution counts,
+ *       plus the overhead summary.
+ *
+ *   profile_tool disasm <in.xef>
+ *       Disassemble an executable.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/eel/editor.hh"
+#include "src/qpt/profiler.hh"
+#include "src/sim/timing.hh"
+#include "src/support/logging.hh"
+
+using namespace eel;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::string input;
+    std::string output;
+    std::string machine = "ultrasparc";
+    bool schedule = true;
+    bool skip = true;
+    int top = 10;
+};
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    if (argc < 3)
+        fatal("usage: profile_tool <instrument|run|disasm> <in.xef> "
+              "[out.xef] [--machine M] [--no-schedule] [--no-skip] "
+              "[--top N]");
+    a.command = argv[1];
+    a.input = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        std::string s = argv[i];
+        if (s == "--machine" && i + 1 < argc)
+            a.machine = argv[++i];
+        else if (s == "--no-schedule")
+            a.schedule = false;
+        else if (s == "--no-skip")
+            a.skip = false;
+        else if (s == "--top" && i + 1 < argc)
+            a.top = std::stoi(argv[++i]);
+        else if (a.output.empty() && s[0] != '-')
+            a.output = s;
+        else
+            fatal("unknown option '%s'", s.c_str());
+    }
+    return a;
+}
+
+struct Instrumented
+{
+    exe::Executable out;
+    std::vector<edit::Routine> routines;
+    qpt::ProfilePlan plan;
+};
+
+Instrumented
+instrument(const exe::Executable &in, const Args &a)
+{
+    Instrumented r;
+    r.routines = edit::buildRoutines(in);
+    exe::Executable work = in;
+    qpt::ProfileOptions popts;
+    popts.skipRedundantBlocks = a.skip;
+    r.plan = qpt::makePlan(work, r.routines, popts);
+
+    edit::EditOptions eopts;
+    if (a.schedule) {
+        eopts.schedule = true;
+        eopts.model = &machine::MachineModel::builtin(a.machine);
+    }
+    r.out = edit::rewrite(work, r.routines, r.plan.plan, eopts);
+    std::fprintf(stderr,
+                 "instrumented %llu of %llu blocks (%u counters), "
+                 "text %zu -> %zu words%s\n",
+                 (unsigned long long)r.plan.instrumentedBlocks,
+                 (unsigned long long)r.plan.totalBlocks,
+                 r.plan.numCounters, in.text.size(),
+                 r.out.text.size(),
+                 a.schedule ? ", scheduled" : "");
+    return r;
+}
+
+int
+cmdRun(const exe::Executable &in, const Args &a)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin(a.machine);
+    Instrumented inst = instrument(in, a);
+
+    sim::Emulator emu(inst.out);
+    sim::TimingSim timing(m);
+    sim::RunResult res = emu.run(&timing);
+    if (!res.exited)
+        fatal("program did not exit");
+    auto counts = qpt::readCounts(emu, inst.plan);
+
+    sim::TimedRun base = sim::timedRun(in, m);
+    std::printf("program output:\n%s", res.output.c_str());
+    std::printf("\nuninstrumented: %llu cycles; instrumented: %llu "
+                "cycles (%.2fx)\n",
+                (unsigned long long)base.cycles,
+                (unsigned long long)timing.cycles(),
+                double(timing.cycles()) / double(base.cycles));
+
+    struct Hot
+    {
+        uint64_t count;
+        std::string routine;
+        uint32_t block;
+        uint32_t addr;
+        size_t insts;
+    };
+    std::vector<Hot> hot;
+    for (size_t ri = 0; ri < inst.routines.size(); ++ri)
+        for (const edit::Block &blk : inst.routines[ri].blocks)
+            hot.push_back(Hot{counts[ri][blk.id],
+                              inst.routines[ri].name, blk.id,
+                              blk.startAddr, blk.insts.size()});
+    std::sort(hot.begin(), hot.end(),
+              [](const Hot &x, const Hot &y) {
+                  return x.count > y.count;
+              });
+
+    std::printf("\nhottest blocks:\n");
+    std::printf("%12s  %-12s %6s %10s %6s\n", "count", "routine",
+                "block", "addr", "insts");
+    for (int i = 0; i < a.top && i < static_cast<int>(hot.size());
+         ++i)
+        std::printf("%12llu  %-12s %6u %#10x %6zu\n",
+                    (unsigned long long)hot[i].count,
+                    hot[i].routine.c_str(), hot[i].block,
+                    hot[i].addr, hot[i].insts);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Args a = parse(argc, argv);
+        exe::Executable in = exe::Executable::load(a.input);
+
+        if (a.command == "disasm") {
+            std::printf("%s", in.disassembleText().c_str());
+            return 0;
+        }
+        if (a.command == "instrument") {
+            if (a.output.empty())
+                fatal("instrument needs an output path");
+            Instrumented r = instrument(in, a);
+            r.out.save(a.output);
+            return 0;
+        }
+        if (a.command == "run")
+            return cmdRun(in, a);
+        fatal("unknown command '%s'", a.command.c_str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "profile_tool: %s\n", e.what());
+        return 1;
+    }
+}

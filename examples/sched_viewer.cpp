@@ -1,0 +1,112 @@
+/**
+ * @file
+ * sched_viewer — visualize what the scheduler does to each basic
+ * block of an executable: the original order, the scheduled order
+ * (optionally with a QPT counter snippet mixed in), and the issue
+ * cycle of every instruction under the machine model, so the hidden
+ * stall slots are visible.
+ *
+ *   sched_viewer <in.xef> [--machine M] [--instrument]
+ *                [--routine NAME] [--max-blocks N]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "src/eel/cfg.hh"
+#include "src/machine/pipeline.hh"
+#include "src/qpt/profiler.hh"
+#include "src/sched/scheduler.hh"
+#include "src/support/logging.hh"
+
+using namespace eel;
+
+namespace {
+
+void
+showSequence(const char *title, const sched::InstSeq &seq,
+             const machine::MachineModel &m)
+{
+    machine::PipelineState st(m);
+    std::printf("  %s\n", title);
+    uint64_t done = 0;
+    for (const sched::InstRef &ref : seq) {
+        auto r = st.issue(ref.inst);
+        std::printf("    cycle %3llu%s  %c %s\n",
+                    (unsigned long long)r.startCycle,
+                    r.stalls ? "*" : " ",
+                    ref.isInstrumentation ? '+' : ' ',
+                    isa::disassemble(ref.inst).c_str());
+        done = std::max(done, r.doneCycle);
+    }
+    std::printf("    -- %llu cycles\n", (unsigned long long)done);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 2)
+            fatal("usage: sched_viewer <in.xef> [--machine M] "
+                  "[--instrument] [--routine NAME] "
+                  "[--max-blocks N]");
+        std::string machine_name = "ultrasparc";
+        std::string routine_filter;
+        bool add_counters = false;
+        int max_blocks = 4;
+        for (int i = 2; i < argc; ++i) {
+            std::string s = argv[i];
+            if (s == "--machine" && i + 1 < argc)
+                machine_name = argv[++i];
+            else if (s == "--instrument")
+                add_counters = true;
+            else if (s == "--routine" && i + 1 < argc)
+                routine_filter = argv[++i];
+            else if (s == "--max-blocks" && i + 1 < argc)
+                max_blocks = std::stoi(argv[++i]);
+            else
+                fatal("unknown option '%s'", s.c_str());
+        }
+
+        exe::Executable x = exe::Executable::load(argv[1]);
+        const machine::MachineModel &m =
+            machine::MachineModel::builtin(machine_name);
+        sched::ListScheduler scheduler(m);
+
+        auto routines = edit::buildRoutines(x);
+        int shown = 0;
+        for (const edit::Routine &r : routines) {
+            if (!routine_filter.empty() && r.name != routine_filter)
+                continue;
+            for (const edit::Block &blk : r.blocks) {
+                if (blk.insts.size() < 3)
+                    continue;
+                if (shown++ >= max_blocks)
+                    return 0;
+                std::printf("\n%s block %u @ 0x%x "
+                            "(%zu instructions)\n",
+                            r.name.c_str(), blk.id, blk.startAddr,
+                            blk.insts.size());
+                sched::InstSeq input = blk.insts;
+                if (add_counters) {
+                    sched::InstSeq snip =
+                        qpt::counterSnippet(x.bssEnd(), {});
+                    input.insert(input.begin(), snip.begin(),
+                                 snip.end());
+                }
+                showSequence(add_counters
+                                 ? "original + counter (unscheduled)"
+                                 : "original order",
+                             input, m);
+                showSequence("scheduled",
+                             scheduler.scheduleBlock(input), m);
+            }
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sched_viewer: %s\n", e.what());
+        return 1;
+    }
+}

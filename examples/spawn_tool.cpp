@@ -1,0 +1,63 @@
+/**
+ * @file
+ * spawn_tool — the code-generating flow of the paper's Figure 1:
+ * translate a SADL architecture description into the C++ timing
+ * tables that, in the original system, Spawn spliced into EEL's
+ * machine-dependent source by replacing {{...}} annotations
+ * (Appendix A).
+ *
+ *   spawn_tool <builtin-name | file.sadl> [out.cc]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/machine/spawn_codegen.hh"
+#include "src/support/logging.hh"
+
+using namespace eel;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 2)
+            fatal("usage: spawn_tool <builtin-name | file.sadl> "
+                  "[out.cc]");
+        std::string name = argv[1];
+
+        std::string cpp;
+        if (name == "hypersparc" || name == "supersparc" ||
+            name == "ultrasparc") {
+            cpp = machine::generateCpp(
+                machine::MachineModel::builtin(name));
+        } else {
+            std::ifstream f(name);
+            if (!f)
+                fatal("cannot open '%s'", name.c_str());
+            std::stringstream ss;
+            ss << f.rdbuf();
+            machine::MachineModel m =
+                machine::MachineModel::fromSadl(ss.str(), name,
+                                                100.0);
+            cpp = machine::generateCpp(m);
+        }
+
+        if (argc > 2) {
+            std::ofstream out(argv[2]);
+            if (!out)
+                fatal("cannot write '%s'", argv[2]);
+            out << cpp;
+            std::fprintf(stderr, "wrote %zu bytes to %s\n",
+                         cpp.size(), argv[2]);
+        } else {
+            std::printf("%s", cpp.c_str());
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "spawn_tool: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerate every result file in this directory (run from the repo
+# root after building). Scales trade run time for stability; all
+# outputs are deterministic at a given scale.
+set -e
+B=build/bench
+$B/table1_ultrasparc --scale 1 > results/table1.txt
+$B/table2_ultrasparc_resched --scale 1 > results/table2.txt
+$B/table3_supersparc --scale 1 > results/table3.txt
+$B/table1_ultrasparc --machine hypersparc --scale 0.5 > results/table1_hypersparc.txt
+$B/fig_ilp_histogram --scale 0.5 > results/fig_ilp.txt
+$B/ablation_blocksize --scale 1 > results/ablation_blocksize.txt
+$B/ablation_aliasing --scale 0.5 > results/ablation_aliasing.txt
+$B/ablation_priority --scale 0.5 > results/ablation_priority.txt
+$B/ablation_icache --scale 2 > results/ablation_icache.txt
+$B/ablation_sched_model --scale 0.5 > results/ablation_sched_model.txt
+$B/ablation_fastprof --scale 0.3 > results/ablation_fastprof.txt
+$B/ablation_width --scale 0.3 > results/ablation_width.txt

@@ -1,0 +1,242 @@
+#include "src/eel/cfg.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/support/logging.hh"
+
+namespace eel::edit {
+
+namespace {
+
+/** One routine's worth of decoded instructions. */
+struct Decoded
+{
+    uint32_t base;
+    std::vector<isa::Instruction> insts;
+
+    const isa::Instruction &
+    at(uint32_t addr) const
+    {
+        return insts[(addr - base) / 4];
+    }
+    bool
+    contains(uint32_t addr) const
+    {
+        return addr >= base && addr < base + 4 * insts.size();
+    }
+    uint32_t end() const
+    {
+        return base + 4 * static_cast<uint32_t>(insts.size());
+    }
+};
+
+uint32_t
+ctiTarget(const isa::Instruction &inst, uint32_t pc)
+{
+    return pc + 4 * static_cast<uint32_t>(inst.disp);
+}
+
+Routine
+buildOne(const exe::Executable &x, const exe::Symbol &fn)
+{
+    Routine r;
+    r.name = fn.name;
+    r.entry = fn.addr;
+    r.size = fn.size;
+
+    Decoded d;
+    d.base = fn.addr;
+    for (uint32_t a = fn.addr; a < fn.addr + fn.size; a += 4) {
+        if (!x.inText(a))
+            fatal("cfg: routine '%s' extends outside text",
+                  fn.name.c_str());
+        isa::Instruction inst = isa::decode(x.word(a));
+        if (inst.op == isa::Op::Invalid)
+            fatal("cfg: undecodable instruction at 0x%x in '%s'",
+                  a, fn.name.c_str());
+        d.insts.push_back(inst);
+    }
+
+    // Pass 1: leaders and delay-slot ownership.
+    std::set<uint32_t> leaders;
+    std::set<uint32_t> delaySlots;
+    leaders.insert(fn.addr);
+    for (uint32_t a = fn.addr; a < d.end(); a += 4) {
+        const isa::Instruction &inst = d.at(a);
+        if (!inst.isCti())
+            continue;
+        uint32_t delay = a + 4;
+        if (delay >= d.end())
+            fatal("cfg: CTI at 0x%x in '%s' has no delay slot", a,
+                  fn.name.c_str());
+        if (d.at(delay).isCti())
+            fatal("cfg: CTI in delay slot at 0x%x in '%s'", delay,
+                  fn.name.c_str());
+        delaySlots.insert(delay);
+        if (delay + 4 < d.end())
+            leaders.insert(delay + 4);
+        if (inst.isBranch()) {
+            uint32_t target = ctiTarget(inst, a);
+            if (!d.contains(target))
+                fatal("cfg: branch at 0x%x in '%s' escapes the "
+                      "routine (target 0x%x)", a, fn.name.c_str(),
+                      target);
+            leaders.insert(target);
+        }
+    }
+    for (uint32_t a : delaySlots)
+        if (leaders.count(a))
+            fatal("cfg: branch into a delay slot at 0x%x in '%s'", a,
+                  fn.name.c_str());
+
+    // Pass 2: carve blocks.
+    std::map<uint32_t, int> blockOf;  // leader addr -> block id
+    std::vector<uint32_t> sorted(leaders.begin(), leaders.end());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        Block b;
+        b.id = static_cast<uint32_t>(i);
+        b.startAddr = sorted[i];
+        blockOf[sorted[i]] = static_cast<int>(i);
+        r.blocks.push_back(std::move(b));
+    }
+
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        Block &b = r.blocks[i];
+        uint32_t limit = i + 1 < sorted.size() ? sorted[i + 1]
+                                               : d.end();
+        uint32_t a = b.startAddr;
+        while (a < limit) {
+            const isa::Instruction &inst = d.at(a);
+            sched::InstRef ref;
+            ref.inst = inst;
+            ref.origAddr = a;
+            b.insts.push_back(ref);
+            if (inst.isCti()) {
+                b.hasCti = true;
+                sched::InstRef delay;
+                delay.inst = d.at(a + 4);
+                delay.origAddr = a + 4;
+                b.insts.push_back(delay);
+                a += 8;
+                if (a < limit)
+                    fatal("cfg: unreachable code after CTI at 0x%x "
+                          "in '%s'", a, fn.name.c_str());
+                break;
+            }
+            a += 4;
+        }
+
+        // Successors.
+        uint32_t next = a;
+        bool has_next = next < d.end();
+        if (!b.hasCti) {
+            if (!has_next)
+                fatal("cfg: routine '%s' falls off the end",
+                      fn.name.c_str());
+            b.fallSucc = blockOf.at(next);
+            continue;
+        }
+        const isa::Instruction &cti = b.cti();
+        uint32_t cti_addr = b.startAddr +
+                            4 * static_cast<uint32_t>(b.ctiIndex());
+        if (cti.isBranch()) {
+            uint32_t target = ctiTarget(cti, cti_addr);
+            if (!cti.isNeverBranch())
+                b.takenSucc = blockOf.at(target);
+            if (cti.fallsThrough() || cti.isNeverBranch()) {
+                if (!has_next)
+                    fatal("cfg: conditional branch at routine end in "
+                          "'%s'", fn.name.c_str());
+                b.fallSucc = blockOf.at(next);
+            }
+        } else if (cti.op == isa::Op::Call) {
+            b.callTarget = ctiTarget(cti, cti_addr);
+            if (has_next)
+                b.fallSucc = blockOf.at(next);
+        } else if (cti.op == isa::Op::Jmpl) {
+            b.endsInReturn = cti.isReturn();
+            if (cti.isCall()) {
+                // Indirect call: returns to the following block.
+                if (has_next)
+                    b.fallSucc = blockOf.at(next);
+            }
+            // Other indirect jumps have no statically known
+            // successor; returns leave the routine.
+        }
+    }
+
+    for (const Block &b : r.blocks) {
+        if (b.takenSucc >= 0)
+            r.blocks[b.takenSucc].preds.push_back(b.id);
+        if (b.fallSucc >= 0 && b.fallSucc != b.takenSucc)
+            r.blocks[b.fallSucc].preds.push_back(b.id);
+    }
+    return r;
+}
+
+} // namespace
+
+int
+Routine::blockAt(uint32_t addr) const
+{
+    for (const Block &b : blocks)
+        if (b.startAddr == addr)
+            return static_cast<int>(b.id);
+    return -1;
+}
+
+std::vector<Routine>
+buildRoutines(const exe::Executable &x)
+{
+    std::vector<const exe::Symbol *> fns;
+    for (const exe::Symbol &s : x.symbols)
+        if (s.isFunc)
+            fns.push_back(&s);
+    std::sort(fns.begin(), fns.end(),
+              [](const exe::Symbol *a, const exe::Symbol *b) {
+                  return a->addr < b->addr;
+              });
+
+    uint32_t covered = exe::textBase;
+    std::vector<Routine> out;
+    for (const exe::Symbol *fn : fns) {
+        if (fn->addr != covered)
+            fatal("cfg: text gap before routine '%s' (0x%x vs 0x%x)",
+                  fn->name.c_str(), fn->addr, covered);
+        out.push_back(buildOne(x, *fn));
+        covered = fn->addr + fn->size;
+    }
+    if (covered != x.textEnd())
+        fatal("cfg: %u trailing text bytes not covered by any routine",
+              x.textEnd() - covered);
+    return out;
+}
+
+std::string
+dumpRoutine(const Routine &r)
+{
+    std::ostringstream os;
+    os << "routine " << r.name << " @ " << strfmt("0x%x", r.entry)
+       << ", " << r.blocks.size() << " blocks\n";
+    for (const Block &b : r.blocks) {
+        os << strfmt("  block %u @ 0x%x", b.id, b.startAddr);
+        if (b.takenSucc >= 0)
+            os << " taken->" << b.takenSucc;
+        if (b.fallSucc >= 0)
+            os << " fall->" << b.fallSucc;
+        if (b.callTarget)
+            os << strfmt(" calls 0x%x", b.callTarget);
+        if (b.endsInReturn)
+            os << " returns";
+        os << "\n";
+        for (const sched::InstRef &ref : b.insts)
+            os << "    " << isa::disassemble(ref.inst, ref.origAddr)
+               << "\n";
+    }
+    return os.str();
+}
+
+} // namespace eel::edit

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Routine discovery and control-flow-graph construction — the
+ * "Analyze" step of the paper's Figure 3. EEL derives structure from
+ * the instructions themselves: no relocation information exists in
+ * the executable.
+ */
+
+#ifndef EEL_EEL_CFG_HH
+#define EEL_EEL_CFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exe/executable.hh"
+#include "src/sched/inst_ref.hh"
+
+namespace eel::edit {
+
+/**
+ * A basic block: straight-line code, optionally terminated by a CTI
+ * that owns the following delay-slot instruction. insts holds
+ * [body..., cti, delay] in program order.
+ */
+struct Block
+{
+    uint32_t id = 0;
+    uint32_t startAddr = 0;
+    sched::InstSeq insts;
+    bool hasCti = false;
+
+    int takenSucc = -1;   ///< block id of the branch target
+    int fallSucc = -1;    ///< block id of the fall-through successor
+    uint32_t callTarget = 0;  ///< callee entry if the CTI is a call
+    bool endsInReturn = false;
+    std::vector<uint32_t> preds;
+
+    size_t
+    ctiIndex() const
+    {
+        // [body..., cti, delay]: the CTI is second-to-last.
+        return insts.size() - 2;
+    }
+    const isa::Instruction &
+    cti() const
+    {
+        return insts[ctiIndex()].inst;
+    }
+};
+
+struct Routine
+{
+    std::string name;
+    uint32_t entry = 0;
+    uint32_t size = 0;  ///< bytes of text
+    std::vector<Block> blocks;  ///< in address order
+
+    /** Block whose startAddr is addr; -1 if none. */
+    int blockAt(uint32_t addr) const;
+};
+
+/**
+ * Discover every routine (function symbols) in the executable and
+ * build its CFG. Fatal on malformed code: branches into delay slots,
+ * branches escaping their routine, text not covered by any function
+ * symbol, or undecodable instructions.
+ */
+std::vector<Routine> buildRoutines(const exe::Executable &x);
+
+/** Render a routine's CFG for debugging / the quickstart example. */
+std::string dumpRoutine(const Routine &r);
+
+} // namespace eel::edit
+
+#endif // EEL_EEL_CFG_HH

@@ -1,0 +1,190 @@
+#include "src/eel/editor.hh"
+
+#include <map>
+#include <memory>
+
+#include "src/isa/builder.hh"
+#include "src/support/logging.hh"
+
+namespace eel::edit {
+
+namespace {
+
+/** Old CTI target address, recomputed from its original encoding. */
+uint32_t
+oldTarget(const sched::InstRef &cti)
+{
+    return cti.origAddr +
+           4 * static_cast<uint32_t>(cti.inst.disp);
+}
+
+sched::InstSeq
+markInstrumentation(const sched::InstSeq &code)
+{
+    sched::InstSeq out = code;
+    for (sched::InstRef &ref : out)
+        ref.isInstrumentation = true;
+    return out;
+}
+
+} // namespace
+
+exe::Executable
+rewrite(const exe::Executable &in,
+        const std::vector<Routine> &routines,
+        const InstrumentationPlan &plan, const EditOptions &opts)
+{
+    if (opts.schedule && !opts.model)
+        fatal("editor: scheduling requested without a machine model");
+
+    // Pass 1: build each block's new instruction sequence and lay
+    // out the new text, recording old-address -> new-address for
+    // every block leader (branch targets always land on leaders).
+    // Fall-through edge snippets are laid out between blocks; taken
+    // edge snippets become trampoline blocks appended after the
+    // routine's last block (which never falls through).
+    struct NewBlock
+    {
+        uint32_t newAddr;
+        sched::InstSeq insts;
+        uint32_t redirectTakenTo = 0;  ///< trampoline addr, if any
+    };
+    std::vector<std::vector<NewBlock>> newBlocks(routines.size());
+    std::map<uint32_t, uint32_t> addrMap;  // old leader -> new addr
+
+    std::unique_ptr<sched::ListScheduler> scheduler;
+    if (opts.schedule)
+        scheduler = std::make_unique<sched::ListScheduler>(
+            *opts.model, opts.sched);
+
+    uint32_t cursor = exe::textBase;
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        const Routine &r = routines[ri];
+        std::vector<int> blockSlot(r.blocks.size(), -1);
+        for (const Block &b : r.blocks) {
+            sched::InstSeq code;
+            if (const sched::InstSeq *snip = plan.find(ri, b.id))
+                code = markInstrumentation(*snip);
+            code.insert(code.end(), b.insts.begin(), b.insts.end());
+            if (scheduler)
+                code = scheduler->scheduleBlock(code);
+
+            addrMap[b.startAddr] = cursor;
+            blockSlot[b.id] = static_cast<int>(newBlocks[ri].size());
+            newBlocks[ri].push_back(NewBlock{cursor, std::move(code)});
+            cursor += 4 * static_cast<uint32_t>(
+                newBlocks[ri].back().insts.size());
+
+            // Fall-through edge instrumentation sits between this
+            // block and the next; branch targets skip over it.
+            auto fe = plan.fallEdges.find({ri, b.id});
+            if (fe != plan.fallEdges.end()) {
+                if (b.fallSucc < 0)
+                    fatal("editor: fall-edge snippet on block %u of "
+                          "'%s', which has no fall-through", b.id,
+                          r.name.c_str());
+                NewBlock pad{cursor,
+                             markInstrumentation(fe->second), 0};
+                cursor += 4 * static_cast<uint32_t>(pad.insts.size());
+                newBlocks[ri].push_back(std::move(pad));
+            }
+        }
+
+        // Taken-edge trampolines.
+        for (const Block &b : r.blocks) {
+            auto te = plan.takenEdges.find({ri, b.id});
+            if (te == plan.takenEdges.end())
+                continue;
+            if (!b.hasCti || !b.cti().isBranch() ||
+                b.takenSucc < 0)
+                fatal("editor: taken-edge snippet on block %u of "
+                      "'%s', which has no taken edge", b.id,
+                      r.name.c_str());
+            const sched::InstRef &cti_ref = b.insts[b.ctiIndex()];
+
+            sched::InstSeq tramp = markInstrumentation(te->second);
+            sched::InstRef jump;
+            jump.inst = isa::build::ba(0);
+            // Pass 2 resolves this like any original CTI: origAddr
+            // carries the old target, disp 0.
+            jump.origAddr = oldTarget(cti_ref);
+            jump.isInstrumentation = false;
+            tramp.push_back(jump);
+            if (scheduler) {
+                tramp = scheduler->scheduleBlock(tramp);
+            } else {
+                sched::InstRef nop;
+                nop.inst = isa::build::nop();
+                nop.isInstrumentation = true;
+                tramp.push_back(nop);
+            }
+
+            newBlocks[ri][blockSlot[b.id]].redirectTakenTo = cursor;
+            newBlocks[ri].push_back(NewBlock{cursor,
+                                             std::move(tramp), 0});
+            cursor += 4 * static_cast<uint32_t>(
+                newBlocks[ri].back().insts.size());
+        }
+    }
+    if (cursor > exe::textLimit)
+        fatal("editor: edited text (%u bytes) exceeds the text region",
+              cursor - exe::textBase);
+
+    // Pass 2: emit, patching PC-relative displacements.
+    exe::Executable out;
+    out.data = in.data;
+    out.bssBytes = in.bssBytes;
+    out.entry = addrMap.at(in.entry);
+    out.text.reserve((cursor - exe::textBase) / 4);
+
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        for (const NewBlock &nb : newBlocks[ri]) {
+            uint32_t addr = nb.newAddr;
+            for (const sched::InstRef &ref : nb.insts) {
+                isa::Instruction inst = ref.inst;
+                if ((inst.isBranch() || inst.op == isa::Op::Call) &&
+                    !ref.isInstrumentation) {
+                    uint32_t new_target;
+                    if (nb.redirectTakenTo && inst.isBranch()) {
+                        new_target = nb.redirectTakenTo;
+                    } else {
+                        uint32_t target = oldTarget(ref);
+                        auto it = addrMap.find(target);
+                        if (it == addrMap.end())
+                            fatal("editor: CTI at old 0x%x targets "
+                                  "0x%x, which is not a block leader",
+                                  ref.origAddr, target);
+                        new_target = it->second;
+                    }
+                    inst.disp = (static_cast<int64_t>(new_target) -
+                                 static_cast<int64_t>(addr)) / 4;
+                }
+                out.text.push_back(isa::encode(inst));
+                addr += 4;
+            }
+        }
+    }
+
+    // Symbols: functions move, data symbols stay.
+    for (const exe::Symbol &s : in.symbols) {
+        exe::Symbol ns = s;
+        if (s.isFunc) {
+            ns.addr = addrMap.at(s.addr);
+            // New size: distance to the end of the routine's blocks.
+            for (size_t ri = 0; ri < routines.size(); ++ri) {
+                if (routines[ri].entry != s.addr)
+                    continue;
+                const NewBlock &last = newBlocks[ri].back();
+                ns.size = last.newAddr +
+                          4 * static_cast<uint32_t>(
+                              last.insts.size()) -
+                          ns.addr;
+                break;
+            }
+        }
+        out.symbols.push_back(std::move(ns));
+    }
+    return out;
+}
+
+} // namespace eel::edit

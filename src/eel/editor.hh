@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The executable editor — the "Insert instrumentation / Schedule /
+ * new executable" path of the paper's Figure 3. A tool selects and
+ * places instrumentation snippets per basic block; the editor lays
+ * out a new text section, optionally scheduling each block's
+ * original and instrumentation instructions together, and patches
+ * every PC-relative branch and call for the new layout.
+ */
+
+#ifndef EEL_EEL_EDITOR_HH
+#define EEL_EEL_EDITOR_HH
+
+#include <map>
+#include <utility>
+
+#include "src/eel/cfg.hh"
+#include "src/sched/scheduler.hh"
+
+namespace eel::edit {
+
+/**
+ * Instrumentation placement. Three placement kinds:
+ *
+ *  - block snippets: prepended to a block, executed every time the
+ *    block runs (and scheduled into it when scheduling is on);
+ *  - fall-through edge snippets: laid out between a block and its
+ *    fall-through successor, executed only when control falls
+ *    through (branch targets skip over them);
+ *  - taken edge snippets: materialized as a trampoline block — the
+ *    branch is retargeted to [snippet; ba original-target; delay] —
+ *    executed only when the branch is taken.
+ *
+ * Edge placements are what Ball-Larus style edge profiling needs
+ * (qpt::makeEdgePlan).
+ */
+struct InstrumentationPlan
+{
+    std::map<std::pair<size_t, size_t>, sched::InstSeq> snippets;
+    /** (routine, from-block) -> code on the fall-through edge. */
+    std::map<std::pair<size_t, size_t>, sched::InstSeq> fallEdges;
+    /** (routine, from-block) -> code on the taken edge. */
+    std::map<std::pair<size_t, size_t>, sched::InstSeq> takenEdges;
+
+    void
+    add(size_t routine, size_t block, sched::InstSeq code)
+    {
+        snippets.emplace(std::make_pair(routine, block),
+                         std::move(code));
+    }
+    void
+    addFallEdge(size_t routine, size_t from, sched::InstSeq code)
+    {
+        fallEdges.emplace(std::make_pair(routine, from),
+                          std::move(code));
+    }
+    void
+    addTakenEdge(size_t routine, size_t from, sched::InstSeq code)
+    {
+        takenEdges.emplace(std::make_pair(routine, from),
+                           std::move(code));
+    }
+    const sched::InstSeq *
+    find(size_t routine, size_t block) const
+    {
+        auto it = snippets.find({routine, block});
+        return it == snippets.end() ? nullptr : &it->second;
+    }
+};
+
+struct EditOptions
+{
+    /**
+     * Schedule each block (original + instrumentation together)
+     * with EEL's list scheduler. When false, instrumentation is
+     * inserted at block entry unscheduled — the paper's "Inst."
+     * configuration.
+     */
+    bool schedule = false;
+    /** Machine model the scheduler targets (required if schedule). */
+    const machine::MachineModel *model = nullptr;
+    sched::SchedOptions sched;
+};
+
+/**
+ * Produce the edited executable. The routines must have been built
+ * from `in` (buildRoutines). Data, bss, and non-function symbols are
+ * preserved; text is re-laid out block by block in original order.
+ */
+exe::Executable rewrite(const exe::Executable &in,
+                        const std::vector<Routine> &routines,
+                        const InstrumentationPlan &plan,
+                        const EditOptions &opts);
+
+} // namespace eel::edit
+
+#endif // EEL_EEL_EDITOR_HH

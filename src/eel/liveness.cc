@@ -1,0 +1,117 @@
+#include "src/eel/liveness.hh"
+
+namespace eel::edit {
+
+namespace {
+
+/** Registers instrumentation must never clobber even when "dead":
+ *  %g0, the stack and frame pointers, and the link registers. */
+Liveness::RegSet
+neverTouch()
+{
+    Liveness::RegSet s;
+    s.set(isa::reg::g0);
+    s.set(isa::reg::sp);
+    s.set(isa::reg::fp);
+    s.set(isa::reg::o7);
+    s.set(isa::reg::i7);
+    return s;
+}
+
+/** Everything a callee or caller might observe. */
+Liveness::RegSet
+allRegs()
+{
+    Liveness::RegSet s;
+    s.set();
+    return s;
+}
+
+} // namespace
+
+Liveness::Liveness(const Routine &routine)
+{
+    const size_t n = routine.blocks.size();
+    std::vector<RegSet> gen(n), kill(n);
+
+    for (const Block &b : routine.blocks) {
+        RegSet &g = gen[b.id];
+        RegSet &k = kill[b.id];
+        // After a window rotation, register names no longer denote
+        // the same physical registers as at block entry, so further
+        // defs cannot contribute to the entry kill set.
+        bool window_shifted = false;
+        for (const sched::InstRef &ref : b.insts) {
+            for (const auto &acc : ref.inst.uses()) {
+                if (acc.reg.cls == isa::RegClass::Int &&
+                    !k[acc.reg.idx])
+                    g.set(acc.reg.idx);
+            }
+            // A call may read anything the callee can see; registers
+            // written earlier in this block still shadow it.
+            if (ref.inst.isCall())
+                g |= allRegs() & ~k;
+            if (ref.inst.op == isa::Op::Save ||
+                ref.inst.op == isa::Op::Restore) {
+                g |= allRegs() & ~k;
+                window_shifted = true;
+            }
+            if (!window_shifted) {
+                for (const auto &acc : ref.inst.defs()) {
+                    if (acc.reg.cls == isa::RegClass::Int)
+                        k.set(acc.reg.idx);
+                }
+            }
+        }
+    }
+
+    liveInSets.assign(n, RegSet());
+    std::vector<RegSet> liveOut(n);
+
+    // Blocks that leave the routine expose everything.
+    auto exitsRoutine = [&](const Block &b) {
+        return b.takenSucc < 0 && b.fallSucc < 0;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = n; i-- > 0;) {
+            const Block &b = routine.blocks[i];
+            RegSet out;
+            if (exitsRoutine(b)) {
+                out = allRegs();
+            } else {
+                if (b.takenSucc >= 0)
+                    out |= liveInSets[b.takenSucc];
+                if (b.fallSucc >= 0)
+                    out |= liveInSets[b.fallSucc];
+            }
+            RegSet in = gen[i] | (out & ~kill[i]);
+            if (in != liveInSets[i] || out != liveOut[i]) {
+                liveInSets[i] = in;
+                liveOut[i] = out;
+                changed = true;
+            }
+        }
+    }
+}
+
+Liveness::RegSet
+Liveness::deadAt(uint32_t block) const
+{
+    return ~(liveInSets[block] | neverTouch());
+}
+
+unsigned
+Liveness::pick(uint32_t block, unsigned n, uint8_t *out) const
+{
+    RegSet dead = deadAt(block);
+    unsigned found = 0;
+    for (unsigned r = 0; r < 32 && found < n; ++r)
+        if (dead[r])
+            out[found++] = static_cast<uint8_t>(r);
+    return found;
+}
+
+} // namespace eel::edit

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Live-register analysis over a routine's CFG. The original qpt/EEL
+ * tools scavenged dead registers for instrumentation instead of
+ * permanently reserving scratch registers; this analysis provides
+ * the per-block dead set that makes that safe (used by
+ * qpt::ProfileOptions::scavengeRegisters).
+ *
+ * The analysis is a standard backward may-liveness over integer
+ * registers, with deliberately conservative boundary conditions: a
+ * block that leaves the routine (return or unknown control) is
+ * assumed to expose every register, and a call is assumed to read
+ * everything a callee could observe. A register reported dead at a
+ * block's entry is therefore guaranteed to be overwritten before any
+ * use on every path — safe for instrumentation to clobber.
+ */
+
+#ifndef EEL_EEL_LIVENESS_HH
+#define EEL_EEL_LIVENESS_HH
+
+#include <bitset>
+#include <vector>
+
+#include "src/eel/cfg.hh"
+
+namespace eel::edit {
+
+class Liveness
+{
+  public:
+    using RegSet = std::bitset<32>;  ///< integer registers 0-31
+
+    explicit Liveness(const Routine &routine);
+
+    /** May reg be read before written if control enters block b? */
+    bool
+    liveIn(uint32_t block, uint8_t reg) const
+    {
+        return liveInSets[block][reg];
+    }
+
+    const RegSet &liveInSet(uint32_t block) const
+    {
+        return liveInSets[block];
+    }
+
+    /**
+     * Registers safe for instrumentation to clobber at the entry of
+     * block b: dead on entry and not in the never-touch set (%g0,
+     * the stack/frame pointers, and the link registers).
+     */
+    RegSet deadAt(uint32_t block) const;
+
+    /**
+     * Pick n distinct scavengeable registers at block b into out.
+     * Returns the number found (may be < n).
+     */
+    unsigned pick(uint32_t block, unsigned n, uint8_t *out) const;
+
+  private:
+    std::vector<RegSet> liveInSets;
+};
+
+} // namespace eel::edit
+
+#endif // EEL_EEL_LIVENESS_HH

@@ -1,0 +1,167 @@
+#include "src/exe/executable.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/isa/instruction.hh"
+#include "src/support/logging.hh"
+
+namespace eel::exe {
+
+namespace {
+
+constexpr char magic[4] = {'X', 'E', 'F', '1'};
+
+void
+put32(std::ostream &os, uint32_t v)
+{
+    char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16),
+                 static_cast<char>(v >> 24)};
+    os.write(b, 4);
+}
+
+uint32_t
+get32(std::istream &is)
+{
+    unsigned char b[4];
+    is.read(reinterpret_cast<char *>(b), 4);
+    return b[0] | (b[1] << 8) | (b[2] << 16) |
+           (static_cast<uint32_t>(b[3]) << 24);
+}
+
+void
+putStr(std::ostream &os, const std::string &s)
+{
+    put32(os, static_cast<uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+getStr(std::istream &is)
+{
+    uint32_t n = get32(is);
+    if (n > (1u << 20))
+        fatal("xef: corrupt string length %u", n);
+    std::string s(n, '\0');
+    is.read(s.data(), n);
+    return s;
+}
+
+} // namespace
+
+const Symbol *
+Executable::findSymbol(const std::string &name) const
+{
+    for (const Symbol &s : symbols)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+Symbol *
+Executable::findSymbol(const std::string &name)
+{
+    for (Symbol &s : symbols)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+uint32_t
+Executable::addBss(const std::string &sym_name, uint32_t bytes)
+{
+    bssBytes = (bssBytes + 7) & ~7u;
+    uint32_t addr = bssBase() + bssBytes;
+    bssBytes += bytes;
+    symbols.push_back(Symbol{sym_name, addr, bytes, false});
+    return addr;
+}
+
+void
+Executable::save(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("xef: cannot write '%s'", path.c_str());
+    os.write(magic, 4);
+    put32(os, entry);
+    put32(os, static_cast<uint32_t>(text.size()));
+    for (uint32_t w : text)
+        put32(os, w);
+    put32(os, static_cast<uint32_t>(data.size()));
+    os.write(reinterpret_cast<const char *>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+    put32(os, bssBytes);
+    put32(os, static_cast<uint32_t>(symbols.size()));
+    for (const Symbol &s : symbols) {
+        putStr(os, s.name);
+        put32(os, s.addr);
+        put32(os, s.size);
+        put32(os, s.isFunc ? 1 : 0);
+    }
+    if (!os)
+        fatal("xef: write to '%s' failed", path.c_str());
+}
+
+Executable
+Executable::load(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("xef: cannot read '%s'", path.c_str());
+    char m[4];
+    is.read(m, 4);
+    if (std::memcmp(m, magic, 4) != 0)
+        fatal("xef: '%s' is not an XEF file", path.c_str());
+    Executable x;
+    x.entry = get32(is);
+    uint32_t nwords = get32(is);
+    if (nwords > (textLimit - textBase) / 4)
+        fatal("xef: '%s': text too large", path.c_str());
+    x.text.resize(nwords);
+    for (uint32_t &w : x.text)
+        w = get32(is);
+    uint32_t nd = get32(is);
+    x.data.resize(nd);
+    is.read(reinterpret_cast<char *>(x.data.data()), nd);
+    x.bssBytes = get32(is);
+    uint32_t ns = get32(is);
+    for (uint32_t i = 0; i < ns; ++i) {
+        Symbol s;
+        s.name = getStr(is);
+        s.addr = get32(is);
+        s.size = get32(is);
+        s.isFunc = get32(is) != 0;
+        x.symbols.push_back(std::move(s));
+    }
+    if (!is)
+        fatal("xef: '%s' truncated", path.c_str());
+    return x;
+}
+
+std::string
+Executable::disassembleText() const
+{
+    std::map<uint32_t, const Symbol *> byAddr;
+    for (const Symbol &s : symbols)
+        if (s.isFunc)
+            byAddr[s.addr] = &s;
+
+    std::ostringstream os;
+    for (size_t i = 0; i < text.size(); ++i) {
+        uint32_t addr = textBase + 4 * static_cast<uint32_t>(i);
+        auto it = byAddr.find(addr);
+        if (it != byAddr.end())
+            os << "\n" << it->second->name << ":\n";
+        isa::Instruction inst = isa::decode(text[i]);
+        os << strfmt("  %06x:  %08x  %s\n", addr, text[i],
+                     isa::disassemble(inst, addr).c_str());
+    }
+    return os.str();
+}
+
+} // namespace eel::exe

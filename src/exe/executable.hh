@@ -1,0 +1,95 @@
+/**
+ * @file
+ * XEF — the synthetic executable format the toolchain edits.
+ *
+ * A fully linked SPARC V8 program image: a text section of 32-bit
+ * instruction words, an initialized data section, a zero-initialized
+ * bss region, a symbol table naming routine entry points, and the
+ * entry address. Like the binaries EEL edits, an XEF carries no
+ * relocation information — the editor re-derives control flow from
+ * the instructions themselves.
+ *
+ * Layout convention: text begins at 0x10000 and may grow to
+ * 0x400000, where data begins; bss follows data. Keeping data fixed
+ * while text grows lets instrumented code keep absolute data
+ * addresses (sethi/or pairs) unchanged.
+ */
+
+#ifndef EEL_EXE_EXECUTABLE_HH
+#define EEL_EXE_EXECUTABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eel::exe {
+
+constexpr uint32_t textBase = 0x10000;
+constexpr uint32_t textLimit = 0x400000;
+constexpr uint32_t dataBase = 0x400000;
+
+struct Symbol
+{
+    std::string name;
+    uint32_t addr = 0;
+    uint32_t size = 0;     ///< bytes (functions: text bytes)
+    bool isFunc = false;
+};
+
+class Executable
+{
+  public:
+    /// Instruction words, at textBase + 4*i.
+    std::vector<uint32_t> text;
+    /// Initialized data bytes, at dataBase.
+    std::vector<uint8_t> data;
+    /// Zero-initialized region following data.
+    uint32_t bssBytes = 0;
+    uint32_t entry = textBase;
+    std::vector<Symbol> symbols;
+
+    uint32_t textEnd() const
+    {
+        return textBase + 4 * static_cast<uint32_t>(text.size());
+    }
+    uint32_t dataEnd() const
+    {
+        return dataBase + static_cast<uint32_t>(data.size());
+    }
+    uint32_t bssBase() const { return (dataEnd() + 7) & ~7u; }
+    uint32_t bssEnd() const { return bssBase() + bssBytes; }
+
+    bool
+    inText(uint32_t addr) const
+    {
+        return addr >= textBase && addr < textEnd() &&
+               (addr & 3) == 0;
+    }
+    uint32_t
+    textIndex(uint32_t addr) const
+    {
+        return (addr - textBase) / 4;
+    }
+    uint32_t word(uint32_t addr) const { return text[textIndex(addr)]; }
+
+    /** Find a symbol by name; nullptr if absent. */
+    const Symbol *findSymbol(const std::string &name) const;
+    Symbol *findSymbol(const std::string &name);
+
+    /**
+     * Reserve bytes of zero-initialized storage (alignment 8) and
+     * return its address, registering a data symbol for it.
+     */
+    uint32_t addBss(const std::string &sym_name, uint32_t bytes);
+
+    /** Serialize to / from the on-disk XEF container. */
+    void save(const std::string &path) const;
+    static Executable load(const std::string &path);
+
+    /** Full textual disassembly (addresses, symbols, instructions). */
+    std::string disassembleText() const;
+};
+
+} // namespace eel::exe
+
+#endif // EEL_EXE_EXECUTABLE_HH

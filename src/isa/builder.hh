@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Convenience constructors for instructions, used by tests, the
+ * workload generator, and instrumentation snippets. All functions
+ * return fully-populated Instruction values ready for encode().
+ */
+
+#ifndef EEL_ISA_BUILDER_HH
+#define EEL_ISA_BUILDER_HH
+
+#include "src/isa/instruction.hh"
+
+namespace eel::isa::build {
+
+/** Three-register ALU op: op rd, rs1, rs2. */
+inline Instruction
+rrr(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    Instruction in;
+    in.op = op;
+    in.rd = rd;
+    in.rs1 = rs1;
+    in.rs2 = rs2;
+    return in;
+}
+
+/** Register-immediate ALU op: op rd, rs1, simm13. */
+inline Instruction
+rri(Op op, uint8_t rd, uint8_t rs1, int32_t imm)
+{
+    Instruction in;
+    in.op = op;
+    in.rd = rd;
+    in.rs1 = rs1;
+    in.iflag = true;
+    in.simm13 = imm;
+    return in;
+}
+
+inline Instruction
+nop()
+{
+    Instruction in;
+    in.op = Op::Nop;
+    return in;
+}
+
+/** sethi %hi(value), rd — value's low 10 bits are discarded. */
+inline Instruction
+sethi(uint8_t rd, uint32_t value)
+{
+    Instruction in;
+    in.op = Op::Sethi;
+    in.rd = rd;
+    in.imm22 = value >> 10;
+    return in;
+}
+
+/** mov imm, rd (or %g0 + imm). */
+inline Instruction
+movi(uint8_t rd, int32_t imm)
+{
+    return rri(Op::Or, rd, 0, imm);
+}
+
+/** mov rs, rd. */
+inline Instruction
+mov(uint8_t rd, uint8_t rs)
+{
+    return rrr(Op::Or, rd, 0, rs);
+}
+
+/** Load/store with register+immediate address. */
+inline Instruction
+memi(Op op, uint8_t rd, uint8_t rs1, int32_t imm)
+{
+    Instruction in;
+    in.op = op;
+    in.rd = rd;
+    in.rs1 = rs1;
+    in.iflag = true;
+    in.simm13 = imm;
+    return in;
+}
+
+/** Load/store with register+register address. */
+inline Instruction
+memr(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    Instruction in;
+    in.op = op;
+    in.rd = rd;
+    in.rs1 = rs1;
+    in.rs2 = rs2;
+    return in;
+}
+
+/** Conditional branch; disp in instructions. */
+inline Instruction
+bicc(uint8_t cond_code, int32_t disp_insts, bool annul = false)
+{
+    Instruction in;
+    in.op = Op::Bicc;
+    in.cond = cond_code;
+    in.disp = disp_insts;
+    in.annul = annul;
+    return in;
+}
+
+inline Instruction
+fbfcc(uint8_t cond_code, int32_t disp_insts, bool annul = false)
+{
+    Instruction in;
+    in.op = Op::Fbfcc;
+    in.cond = cond_code;
+    in.disp = disp_insts;
+    in.annul = annul;
+    return in;
+}
+
+inline Instruction
+ba(int32_t disp_insts)
+{
+    return bicc(cond::a, disp_insts);
+}
+
+inline Instruction
+call(int32_t disp_insts)
+{
+    Instruction in;
+    in.op = Op::Call;
+    in.disp = disp_insts;
+    return in;
+}
+
+/** ret: jmpl %i7 + 8, %g0. */
+inline Instruction
+ret()
+{
+    return rri(Op::Jmpl, reg::g0, reg::i7, 8);
+}
+
+/** retl: jmpl %o7 + 8, %g0 (leaf return). */
+inline Instruction
+retl()
+{
+    return rri(Op::Jmpl, reg::g0, reg::o7, 8);
+}
+
+/** save %sp, -frame, %sp. */
+inline Instruction
+save(int32_t frame_bytes)
+{
+    return rri(Op::Save, reg::sp, reg::sp, -frame_bytes);
+}
+
+inline Instruction
+restore()
+{
+    return rrr(Op::Restore, reg::g0, reg::g0, reg::g0);
+}
+
+/** cmp rs1, rs2 == subcc rs1, rs2, %g0. */
+inline Instruction
+cmp(uint8_t rs1, uint8_t rs2)
+{
+    return rrr(Op::Subcc, reg::g0, rs1, rs2);
+}
+
+inline Instruction
+cmpi(uint8_t rs1, int32_t imm)
+{
+    return rri(Op::Subcc, reg::g0, rs1, imm);
+}
+
+/** Floating point binary op: op frd, frs1, frs2. */
+inline Instruction
+fp3(Op op, uint8_t frd, uint8_t frs1, uint8_t frs2)
+{
+    Instruction in;
+    in.op = op;
+    in.rd = frd;
+    in.rs1 = frs1;
+    in.rs2 = frs2;
+    return in;
+}
+
+/** Floating point unary op: op frd, frs2. */
+inline Instruction
+fp2(Op op, uint8_t frd, uint8_t frs2)
+{
+    Instruction in;
+    in.op = op;
+    in.rd = frd;
+    in.rs2 = frs2;
+    return in;
+}
+
+/** fcmps/fcmpd frs1, frs2. */
+inline Instruction
+fcmp(Op op, uint8_t frs1, uint8_t frs2)
+{
+    Instruction in;
+    in.op = op;
+    in.rs1 = frs1;
+    in.rs2 = frs2;
+    return in;
+}
+
+/** Software trap: ta number. */
+inline Instruction
+ta(int32_t number)
+{
+    Instruction in;
+    in.op = Op::Ticc;
+    in.cond = cond::a;
+    in.iflag = true;
+    in.simm13 = number;
+    return in;
+}
+
+} // namespace eel::isa::build
+
+#endif // EEL_ISA_BUILDER_HH

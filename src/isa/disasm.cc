@@ -1,0 +1,142 @@
+#include "src/isa/instruction.hh"
+
+#include "src/support/logging.hh"
+
+namespace eel::isa {
+
+namespace {
+
+std::string
+rn(uint8_t i)
+{
+    return regName(intReg(i));
+}
+
+std::string
+fn(uint8_t i)
+{
+    return regName(fpReg(i));
+}
+
+/** Format the address operand "[%rs1 + %rs2]" or "[%rs1 + imm]". */
+std::string
+addr(const Instruction &in)
+{
+    if (in.iflag) {
+        if (in.simm13 == 0)
+            return strfmt("[%s]", rn(in.rs1).c_str());
+        return strfmt("[%s + %d]", rn(in.rs1).c_str(), in.simm13);
+    }
+    return strfmt("[%s + %s]", rn(in.rs1).c_str(), rn(in.rs2).c_str());
+}
+
+std::string
+src2(const Instruction &in)
+{
+    return in.iflag ? strfmt("%d", in.simm13) : rn(in.rs2);
+}
+
+std::string
+target(const Instruction &in, uint32_t pc, bool have_pc)
+{
+    int32_t byte_off = in.disp * 4;
+    if (have_pc)
+        return strfmt("0x%x", pc + static_cast<uint32_t>(byte_off));
+    if (byte_off >= 0)
+        return strfmt(".+%d", byte_off);
+    return strfmt(".%d", byte_off);
+}
+
+std::string
+disasmImpl(const Instruction &in, uint32_t pc, bool have_pc)
+{
+    const OpInfo &inf = in.info();
+    switch (in.op) {
+      case Op::Invalid:
+        return "<invalid>";
+      case Op::Nop:
+        return "nop";
+      case Op::Sethi:
+        return strfmt("sethi %%hi(0x%x), %s", in.imm22 << 10,
+                      rn(in.rd).c_str());
+      case Op::Call:
+        return strfmt("call %s", target(in, pc, have_pc).c_str());
+      case Op::Bicc:
+        return strfmt("b%s%s %s",
+                      std::string(condName(in.cond)).c_str(),
+                      in.annul ? ",a" : "",
+                      target(in, pc, have_pc).c_str());
+      case Op::Fbfcc:
+        return strfmt("fb%s%s %s",
+                      std::string(fcondName(in.cond)).c_str(),
+                      in.annul ? ",a" : "",
+                      target(in, pc, have_pc).c_str());
+      case Op::Jmpl:
+        if (in.isReturn() && in.simm13 == 8 && in.iflag)
+            return in.rs1 == reg::i7 ? "ret" : "retl";
+        return strfmt("jmpl %s + %s, %s", rn(in.rs1).c_str(),
+                      src2(in).c_str(), rn(in.rd).c_str());
+      case Op::Ticc:
+        return strfmt("t%s %d",
+                      std::string(condName(in.cond)).c_str(),
+                      in.simm13);
+      case Op::Rdy:
+        return strfmt("rd %%y, %s", rn(in.rd).c_str());
+      case Op::Wry:
+        return strfmt("wr %s, %s, %%y", rn(in.rs1).c_str(),
+                      src2(in).c_str());
+      case Op::Fcmps:
+      case Op::Fcmpd:
+        return strfmt("%s %s, %s",
+                      std::string(opName(in.op)).c_str(),
+                      fn(in.rs1).c_str(), fn(in.rs2).c_str());
+      default:
+        break;
+    }
+
+    if (inf.format == Format::F3Mem) {
+        std::string r = inf.isFpMem ? fn(in.rd) : rn(in.rd);
+        if (inf.isLoad)
+            return strfmt("%s %s, %s",
+                          std::string(opName(in.op)).c_str(),
+                          addr(in).c_str(), r.c_str());
+        return strfmt("%s %s, %s", std::string(opName(in.op)).c_str(),
+                      r.c_str(), addr(in).c_str());
+    }
+    if (inf.format == Format::F3Fp) {
+        // Unary fp ops print only rs2.
+        Instruction::AccessList u = in.uses();
+        bool unary = true;
+        for (const auto &acc : u)
+            if (acc.slot == Slot::Frs1)
+                unary = false;
+        if (unary)
+            return strfmt("%s %s, %s",
+                          std::string(opName(in.op)).c_str(),
+                          fn(in.rs2).c_str(), fn(in.rd).c_str());
+        return strfmt("%s %s, %s, %s",
+                      std::string(opName(in.op)).c_str(),
+                      fn(in.rs1).c_str(), fn(in.rs2).c_str(),
+                      fn(in.rd).c_str());
+    }
+    // Remaining format 3 arithmetic.
+    return strfmt("%s %s, %s, %s", std::string(opName(in.op)).c_str(),
+                  rn(in.rs1).c_str(), src2(in).c_str(),
+                  rn(in.rd).c_str());
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    return disasmImpl(inst, 0, false);
+}
+
+std::string
+disassemble(const Instruction &inst, uint32_t pc)
+{
+    return disasmImpl(inst, pc, true);
+}
+
+} // namespace eel::isa

@@ -1,0 +1,373 @@
+#include "src/isa/instruction.hh"
+
+#include <array>
+
+#include "src/support/bits.hh"
+#include "src/support/logging.hh"
+
+namespace eel::isa {
+
+namespace {
+
+// Reverse decode tables, built once from the OpInfo table.
+struct DecodeTables
+{
+    std::array<Op, 64> arith;   // op=2 op3 -> Op
+    std::array<Op, 64> mem;     // op=3 op3 -> Op
+    std::array<Op, 512> fpop1;  // op3=0x34 opf -> Op
+    std::array<Op, 512> fpop2;  // op3=0x35 opf -> Op
+
+    DecodeTables()
+    {
+        arith.fill(Op::Invalid);
+        mem.fill(Op::Invalid);
+        fpop1.fill(Op::Invalid);
+        fpop2.fill(Op::Invalid);
+        for (unsigned i = 1; i < numOps; ++i) {
+            Op op = static_cast<Op>(i);
+            const OpInfo &info = opInfo(op);
+            switch (info.format) {
+              case Format::F3Arith:
+              case Format::F3Trap:
+                arith[info.op3] = op;
+                break;
+              case Format::F3Mem:
+                mem[info.op3] = op;
+                break;
+              case Format::F3Fp:
+                if (info.op3 == 0x34)
+                    fpop1[info.opf] = op;
+                else
+                    fpop2[info.opf] = op;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+};
+
+const DecodeTables &
+tables()
+{
+    static const DecodeTables t;
+    return t;
+}
+
+bool
+fpUnarySrc2Only(Op op)
+{
+    switch (op) {
+      case Op::Fmovs: case Op::Fnegs: case Op::Fabss:
+      case Op::Fsqrts: case Op::Fsqrtd:
+      case Op::Fitos: case Op::Fitod: case Op::Fstoi: case Op::Fdtoi:
+      case Op::Fstod: case Op::Fdtos:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True if the fp op reads a double-precision source pair. */
+bool
+fpSrcDouble(Op op)
+{
+    switch (op) {
+      case Op::Faddd: case Op::Fsubd: case Op::Fmuld: case Op::Fdivd:
+      case Op::Fsqrtd: case Op::Fdtoi: case Op::Fdtos: case Op::Fcmpd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True if the fp op writes a double-precision destination pair. */
+bool
+fpDstDouble(Op op)
+{
+    switch (op) {
+      case Op::Faddd: case Op::Fsubd: case Op::Fmuld: case Op::Fdivd:
+      case Op::Fsqrtd: case Op::Fitod: case Op::Fstod:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+RegId
+Instruction::slotReg(Slot s) const
+{
+    switch (s) {
+      case Slot::Rs1:      return intReg(rs1);
+      case Slot::Rs2:      return intReg(rs2);
+      case Slot::Rd:       return intReg(rd);
+      case Slot::RdPair:   return intReg(rd | 1);
+      case Slot::Frs1:     return fpReg(rs1);
+      case Slot::Frs2:     return fpReg(rs2);
+      case Slot::Frd:      return fpReg(rd);
+      case Slot::FrdPair:  return fpReg(rd | 1);
+      case Slot::Frs1Pair: return fpReg(rs1 | 1);
+      case Slot::Frs2Pair: return fpReg(rs2 | 1);
+      case Slot::Icc:      return iccReg();
+      case Slot::Fcc:      return fccReg();
+      case Slot::Y:        return yReg();
+      default:             return RegId();
+    }
+}
+
+Instruction::AccessList
+Instruction::uses() const
+{
+    AccessList out;
+    const OpInfo &inf = info();
+    switch (inf.format) {
+      case Format::F3Arith:
+        if (op == Op::Rdy)
+            break;  // only reads Y, added below
+        out.push(Slot::Rs1, intReg(rs1));
+        if (!iflag)
+            out.push(Slot::Rs2, intReg(rs2));
+        break;
+      case Format::F3Mem:
+        out.push(Slot::Rs1, intReg(rs1));
+        if (!iflag)
+            out.push(Slot::Rs2, intReg(rs2));
+        if (inf.isStore) {
+            if (inf.isFpMem) {
+                out.push(Slot::Frd, fpReg(rd));
+                if (inf.isDouble)
+                    out.push(Slot::FrdPair, fpReg(rd | 1));
+            } else {
+                out.push(Slot::Rd, intReg(rd));
+                if (inf.isDouble)
+                    out.push(Slot::RdPair, intReg(rd | 1));
+            }
+        }
+        break;
+      case Format::F3Fp:
+        if (!fpUnarySrc2Only(op)) {
+            out.push(Slot::Frs1, fpReg(rs1));
+            if (fpSrcDouble(op))
+                out.push(Slot::Frs1Pair, fpReg(rs1 | 1));
+        }
+        out.push(Slot::Frs2, fpReg(rs2));
+        if (fpSrcDouble(op))
+            out.push(Slot::Frs2Pair, fpReg(rs2 | 1));
+        break;
+      case Format::F3Trap:
+        // The emulator's software traps read %o0.
+        out.push(Slot::None, intReg(reg::o0));
+        break;
+      case Format::F2Branch:
+      case Format::F2Sethi:
+      case Format::F1Call:
+        break;
+    }
+    if (inf.readsIcc && !(isBranch() && (cond == cond::a ||
+                                         cond == cond::n)) &&
+        !(op == Op::Ticc && (cond == cond::a || cond == cond::n)))
+        out.push(Slot::Icc, iccReg());
+    if (inf.readsFcc && !(op == Op::Fbfcc && (cond == fcond::a ||
+                                              cond == fcond::n)))
+        out.push(Slot::Fcc, fccReg());
+    if (inf.readsY)
+        out.push(Slot::Y, yReg());
+    return out;
+}
+
+Instruction::AccessList
+Instruction::defs() const
+{
+    AccessList out;
+    const OpInfo &inf = info();
+    switch (inf.format) {
+      case Format::F3Arith:
+        if (op != Op::Wry)
+            out.push(Slot::Rd, intReg(rd));
+        break;
+      case Format::F3Mem:
+        if (inf.isLoad) {
+            if (inf.isFpMem) {
+                out.push(Slot::Frd, fpReg(rd));
+                if (inf.isDouble)
+                    out.push(Slot::FrdPair, fpReg(rd | 1));
+            } else {
+                out.push(Slot::Rd, intReg(rd));
+                if (inf.isDouble)
+                    out.push(Slot::RdPair, intReg(rd | 1));
+            }
+        }
+        break;
+      case Format::F3Fp:
+        if (op != Op::Fcmps && op != Op::Fcmpd) {
+            out.push(Slot::Frd, fpReg(rd));
+            if (fpDstDouble(op))
+                out.push(Slot::FrdPair, fpReg(rd | 1));
+        }
+        break;
+      case Format::F2Sethi:
+        if (op == Op::Sethi)
+            out.push(Slot::Rd, intReg(rd));
+        break;
+      case Format::F1Call:
+        out.push(Slot::Rd, intReg(reg::o7));
+        break;
+      case Format::F2Branch:
+      case Format::F3Trap:
+        break;
+    }
+    if (inf.writesIcc)
+        out.push(Slot::Icc, iccReg());
+    if (inf.writesFcc)
+        out.push(Slot::Fcc, fccReg());
+    if (inf.writesY)
+        out.push(Slot::Y, yReg());
+    return out;
+}
+
+uint32_t
+encode(const Instruction &inst)
+{
+    const OpInfo &inf = inst.info();
+    uint32_t w = 0;
+    switch (inf.format) {
+      case Format::F1Call:
+        w = insertBits(0, 31, 30, 1);
+        if (!fitsSigned(inst.disp, 30))
+            fatal("call displacement out of range: %d", inst.disp);
+        w = insertBits(w, 29, 0, static_cast<uint32_t>(inst.disp));
+        return w;
+      case Format::F2Sethi:
+        w = insertBits(0, 31, 30, 0);
+        w = insertBits(w, 24, 22, 4);
+        if (inst.op == Op::Nop)
+            return w;
+        w = insertBits(w, 29, 25, inst.rd);
+        if (inst.imm22 >= (1u << 22))
+            fatal("sethi imm22 out of range: 0x%x", inst.imm22);
+        w = insertBits(w, 21, 0, inst.imm22);
+        return w;
+      case Format::F2Branch:
+        w = insertBits(0, 31, 30, 0);
+        w = insertBits(w, 29, 29, inst.annul ? 1 : 0);
+        w = insertBits(w, 28, 25, inst.cond);
+        w = insertBits(w, 24, 22, inst.op == Op::Bicc ? 2 : 6);
+        if (!fitsSigned(inst.disp, 22))
+            fatal("branch displacement out of range: %d", inst.disp);
+        w = insertBits(w, 21, 0, static_cast<uint32_t>(inst.disp));
+        return w;
+      case Format::F3Arith:
+      case Format::F3Mem:
+        w = insertBits(0, 31, 30,
+                       inf.format == Format::F3Arith ? 2 : 3);
+        w = insertBits(w, 29, 25, inst.rd);
+        w = insertBits(w, 24, 19, inf.op3);
+        w = insertBits(w, 18, 14, inst.rs1);
+        if (inst.iflag) {
+            w = insertBits(w, 13, 13, 1);
+            if (!fitsSigned(inst.simm13, 13))
+                fatal("simm13 out of range: %d", inst.simm13);
+            w = insertBits(w, 12, 0, static_cast<uint32_t>(inst.simm13));
+        } else {
+            w = insertBits(w, 4, 0, inst.rs2);
+        }
+        return w;
+      case Format::F3Fp:
+        w = insertBits(0, 31, 30, 2);
+        w = insertBits(w, 29, 25, inst.rd);
+        w = insertBits(w, 24, 19, inf.op3);
+        w = insertBits(w, 18, 14, inst.rs1);
+        w = insertBits(w, 13, 5, inf.opf);
+        w = insertBits(w, 4, 0, inst.rs2);
+        return w;
+      case Format::F3Trap:
+        w = insertBits(0, 31, 30, 2);
+        w = insertBits(w, 28, 25, inst.cond);
+        w = insertBits(w, 24, 19, inf.op3);
+        w = insertBits(w, 18, 14, inst.rs1);
+        w = insertBits(w, 13, 13, 1);
+        w = insertBits(w, 6, 0, static_cast<uint32_t>(inst.simm13));
+        return w;
+    }
+    panic("encode: unhandled format");
+}
+
+Instruction
+decode(uint32_t word)
+{
+    const DecodeTables &t = tables();
+    Instruction inst;
+    unsigned op = bits(word, 31, 30);
+    switch (op) {
+      case 1:
+        inst.op = Op::Call;
+        inst.disp = sext(bits(word, 29, 0), 30);
+        return inst;
+      case 0: {
+        unsigned op2 = bits(word, 24, 22);
+        if (op2 == 4) {
+            inst.rd = bits(word, 29, 25);
+            inst.imm22 = bits(word, 21, 0);
+            inst.op = (inst.rd == 0 && inst.imm22 == 0) ? Op::Nop
+                                                        : Op::Sethi;
+            return inst;
+        }
+        if (op2 == 2 || op2 == 6) {
+            inst.op = (op2 == 2) ? Op::Bicc : Op::Fbfcc;
+            inst.annul = bits(word, 29, 29);
+            inst.cond = bits(word, 28, 25);
+            inst.disp = sext(bits(word, 21, 0), 22);
+            return inst;
+        }
+        return Instruction{};
+      }
+      case 2: {
+        unsigned op3 = bits(word, 24, 19);
+        if (op3 == 0x34 || op3 == 0x35) {
+            unsigned opf = bits(word, 13, 5);
+            inst.op = (op3 == 0x34) ? t.fpop1[opf] : t.fpop2[opf];
+            inst.rd = bits(word, 29, 25);
+            inst.rs1 = bits(word, 18, 14);
+            inst.rs2 = bits(word, 4, 0);
+            return inst;
+        }
+        if (op3 == 0x3a) {
+            inst.op = Op::Ticc;
+            inst.cond = bits(word, 28, 25);
+            inst.rs1 = bits(word, 18, 14);
+            inst.simm13 = static_cast<int32_t>(bits(word, 6, 0));
+            return inst;
+        }
+        inst.op = t.arith[op3];
+        if (inst.op == Op::Invalid)
+            return Instruction{};
+        inst.rd = bits(word, 29, 25);
+        inst.rs1 = bits(word, 18, 14);
+        inst.iflag = bits(word, 13, 13);
+        if (inst.iflag)
+            inst.simm13 = sext(bits(word, 12, 0), 13);
+        else
+            inst.rs2 = bits(word, 4, 0);
+        return inst;
+      }
+      case 3: {
+        unsigned op3 = bits(word, 24, 19);
+        inst.op = t.mem[op3];
+        if (inst.op == Op::Invalid)
+            return Instruction{};
+        inst.rd = bits(word, 29, 25);
+        inst.rs1 = bits(word, 18, 14);
+        inst.iflag = bits(word, 13, 13);
+        if (inst.iflag)
+            inst.simm13 = sext(bits(word, 12, 0), 13);
+        else
+            inst.rs2 = bits(word, 4, 0);
+        return inst;
+      }
+    }
+    return Instruction{};
+}
+
+} // namespace eel::isa

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Decoded instruction representation, def/use analysis, and the
+ * binary encoder/decoder for the SPARC V8 subset.
+ */
+
+#ifndef EEL_ISA_INSTRUCTION_HH
+#define EEL_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/opcodes.hh"
+#include "src/isa/registers.hh"
+
+namespace eel::isa {
+
+/**
+ * Operand slots: where in the encoding a register reference lives.
+ * The machine model records timing per slot; at lookup time a slot is
+ * resolved against a concrete instruction to yield a RegId.
+ */
+enum class Slot : uint8_t {
+    None,
+    Rs1,      ///< integer rs1
+    Rs2,      ///< integer rs2 (only when iflag == 0)
+    Rd,       ///< integer rd
+    RdPair,   ///< integer rd|1 (second word of ldd/std)
+    Frs1,     ///< fp rs1
+    Frs2,     ///< fp rs2
+    Frd,      ///< fp rd
+    FrdPair,  ///< fp rd|1
+    Frs1Pair,
+    Frs2Pair,
+    Icc,
+    Fcc,
+    Y,
+};
+
+/**
+ * A decoded machine instruction. All fields are kept in a flat
+ * struct: a 1996-era RISC editing library lives and dies by how
+ * cheaply it can sling these around.
+ */
+struct Instruction
+{
+    Op op = Op::Invalid;
+    uint8_t rd = 0;       ///< destination register number
+    uint8_t rs1 = 0;      ///< first source register number
+    uint8_t rs2 = 0;      ///< second source (valid when !iflag)
+    bool iflag = false;   ///< immediate form (simm13 instead of rs2)
+    int32_t simm13 = 0;   ///< sign-extended 13-bit immediate
+    uint32_t imm22 = 0;   ///< sethi immediate (already left-aligned? no:
+                          ///< raw 22-bit field, value is imm22 << 10)
+    int32_t disp = 0;     ///< branch/call displacement in *instructions*
+    uint8_t cond = 0;     ///< Bicc/Fbfcc/Ticc condition
+    bool annul = false;   ///< branch annul bit
+
+    const OpInfo &info() const { return opInfo(op); }
+
+    // --- Predicates -----------------------------------------------------
+
+    /** Control transfer instruction (owns the following delay slot). */
+    bool isCti() const { return info().isCti; }
+    bool isLoad() const { return info().isLoad; }
+    bool isStore() const { return info().isStore; }
+    bool isMem() const { return isLoad() || isStore(); }
+    /** Never reordered by the scheduler. */
+    bool isBarrier() const { return info().isBarrier; }
+    /** Conditional or unconditional PC-relative branch. */
+    bool isBranch() const { return op == Op::Bicc || op == Op::Fbfcc; }
+    /** Unconditional taken branch (ba / fba). */
+    bool
+    isAlwaysBranch() const
+    {
+        return isBranch() && cond == cond::a;
+    }
+    /** Branch-never (effectively a nop with a delay slot). */
+    bool
+    isNeverBranch() const
+    {
+        return isBranch() && cond == cond::n;
+    }
+    /** jmpl with rd==%g0 and rs1 in {%i7,%o7}: a return. */
+    bool
+    isReturn() const
+    {
+        return op == Op::Jmpl && rd == reg::g0 &&
+               (rs1 == reg::i7 || rs1 == reg::o7);
+    }
+    /** Any call: direct call or jmpl that links through %o7. */
+    bool
+    isCall() const
+    {
+        return op == Op::Call || (op == Op::Jmpl && rd == reg::o7);
+    }
+    /** Instruction that can fall through to the next one. */
+    bool
+    fallsThrough() const
+    {
+        if (op == Op::Ticc && cond == cond::a)
+            return false;
+        if (isReturn())
+            return false;
+        if (isAlwaysBranch())
+            return false;
+        return true;
+    }
+
+    // --- Register def/use -----------------------------------------------
+
+    /** A short fixed-capacity list of (slot, register) pairs. */
+    struct Access
+    {
+        Slot slot;
+        RegId reg;
+    };
+    struct AccessList
+    {
+        uint8_t n = 0;
+        Access a[6];
+
+        void
+        push(Slot s, RegId r)
+        {
+            a[n++] = Access{s, r};
+        }
+        const Access *begin() const { return a; }
+        const Access *end() const { return a + n; }
+    };
+
+    /** Registers (and cc/Y) read by this instruction. */
+    AccessList uses() const;
+    /** Registers (and cc/Y) written by this instruction. */
+    AccessList defs() const;
+
+    /** Resolve an operand slot to the concrete register it names. */
+    RegId slotReg(Slot s) const;
+};
+
+static_assert(sizeof(Instruction) <= 24, "keep Instruction small");
+
+/**
+ * Encode inst to its 32-bit binary form.
+ * Fatal if a field is out of range (e.g. branch displacement too far).
+ */
+uint32_t encode(const Instruction &inst);
+
+/**
+ * Decode a 32-bit word. Returns an instruction with op == Op::Invalid
+ * if the word is not a valid encoding in the supported subset.
+ */
+Instruction decode(uint32_t word);
+
+/** Disassemble into SPARC syntax, e.g. "add %o1, 4, %o2". */
+std::string disassemble(const Instruction &inst);
+
+/** Disassemble with pc so branch/call targets print absolutely. */
+std::string disassemble(const Instruction &inst, uint32_t pc);
+
+} // namespace eel::isa
+
+#endif // EEL_ISA_INSTRUCTION_HH

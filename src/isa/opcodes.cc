@@ -1,0 +1,195 @@
+#include "src/isa/opcodes.hh"
+
+#include <array>
+#include <map>
+
+#include "src/support/logging.hh"
+
+namespace eel::isa {
+
+namespace {
+
+// Shorthand flags for the table below.
+struct F
+{
+    bool wIcc = false, rIcc = false, wFcc = false, rFcc = false;
+    bool wY = false, rY = false;
+    bool load = false, store = false, fpMem = false, dbl = false;
+    bool cti = false, barrier = false;
+    uint8_t bytes = 0;
+};
+
+constexpr OpInfo
+mk(const char *name, Format fmt, uint8_t op3, uint16_t opf, F f)
+{
+    return OpInfo{name, fmt, op3, opf,
+                  f.wIcc, f.rIcc, f.wFcc, f.rFcc, f.wY, f.rY,
+                  f.load, f.store, f.fpMem, f.dbl, f.cti, f.barrier,
+                  f.bytes};
+}
+
+const std::array<OpInfo, numOps> opTable = [] {
+    std::array<OpInfo, numOps> t{};
+    auto set = [&](Op op, OpInfo info) {
+        t[static_cast<unsigned>(op)] = info;
+    };
+
+    set(Op::Invalid, mk("invalid", Format::F3Arith, 0, 0, {}));
+
+    set(Op::Add,   mk("add",   Format::F3Arith, 0x00, 0, {}));
+    set(Op::Addcc, mk("addcc", Format::F3Arith, 0x10, 0, {.wIcc = true}));
+    set(Op::Sub,   mk("sub",   Format::F3Arith, 0x04, 0, {}));
+    set(Op::Subcc, mk("subcc", Format::F3Arith, 0x14, 0, {.wIcc = true}));
+    set(Op::And,   mk("and",   Format::F3Arith, 0x01, 0, {}));
+    set(Op::Andcc, mk("andcc", Format::F3Arith, 0x11, 0, {.wIcc = true}));
+    set(Op::Or,    mk("or",    Format::F3Arith, 0x02, 0, {}));
+    set(Op::Orcc,  mk("orcc",  Format::F3Arith, 0x12, 0, {.wIcc = true}));
+    set(Op::Xor,   mk("xor",   Format::F3Arith, 0x03, 0, {}));
+    set(Op::Xorcc, mk("xorcc", Format::F3Arith, 0x13, 0, {.wIcc = true}));
+    set(Op::Sll,   mk("sll",   Format::F3Arith, 0x25, 0, {}));
+    set(Op::Srl,   mk("srl",   Format::F3Arith, 0x26, 0, {}));
+    set(Op::Sra,   mk("sra",   Format::F3Arith, 0x27, 0, {}));
+    set(Op::Umul,  mk("umul",  Format::F3Arith, 0x0a, 0, {.wY = true}));
+    set(Op::Smul,  mk("smul",  Format::F3Arith, 0x0b, 0, {.wY = true}));
+    set(Op::Udiv,  mk("udiv",  Format::F3Arith, 0x0e, 0, {.rY = true}));
+    set(Op::Sdiv,  mk("sdiv",  Format::F3Arith, 0x0f, 0, {.rY = true}));
+    set(Op::Rdy,   mk("rdy",   Format::F3Arith, 0x28, 0,
+                      {.rY = true, .barrier = true}));
+    set(Op::Wry,   mk("wry",   Format::F3Arith, 0x30, 0,
+                      {.wY = true, .barrier = true}));
+    set(Op::Save,  mk("save",  Format::F3Arith, 0x3c, 0,
+                      {.barrier = true}));
+    set(Op::Restore, mk("restore", Format::F3Arith, 0x3d, 0,
+                        {.barrier = true}));
+    set(Op::Jmpl,  mk("jmpl",  Format::F3Arith, 0x38, 0, {.cti = true}));
+    set(Op::Ticc,  mk("ticc",  Format::F3Trap,  0x3a, 0,
+                      {.rIcc = true, .barrier = true}));
+
+    set(Op::Sethi, mk("sethi", Format::F2Sethi, 0, 0, {}));
+    set(Op::Nop,   mk("nop",   Format::F2Sethi, 0, 0, {}));
+    set(Op::Bicc,  mk("bicc",  Format::F2Branch, 0, 0,
+                      {.rIcc = true, .cti = true}));
+    set(Op::Fbfcc, mk("fbfcc", Format::F2Branch, 0, 0,
+                      {.rFcc = true, .cti = true}));
+    set(Op::Call,  mk("call",  Format::F1Call, 0, 0, {.cti = true}));
+
+    set(Op::Ld,   mk("ld",   Format::F3Mem, 0x00, 0,
+                     {.load = true, .bytes = 4}));
+    set(Op::Ldub, mk("ldub", Format::F3Mem, 0x01, 0,
+                     {.load = true, .bytes = 1}));
+    set(Op::Lduh, mk("lduh", Format::F3Mem, 0x02, 0,
+                     {.load = true, .bytes = 2}));
+    set(Op::Ldd,  mk("ldd",  Format::F3Mem, 0x03, 0,
+                     {.load = true, .dbl = true, .bytes = 8}));
+    set(Op::Ldsb, mk("ldsb", Format::F3Mem, 0x09, 0,
+                     {.load = true, .bytes = 1}));
+    set(Op::Ldsh, mk("ldsh", Format::F3Mem, 0x0a, 0,
+                     {.load = true, .bytes = 2}));
+    set(Op::St,   mk("st",   Format::F3Mem, 0x04, 0,
+                     {.store = true, .bytes = 4}));
+    set(Op::Stb,  mk("stb",  Format::F3Mem, 0x05, 0,
+                     {.store = true, .bytes = 1}));
+    set(Op::Sth,  mk("sth",  Format::F3Mem, 0x06, 0,
+                     {.store = true, .bytes = 2}));
+    set(Op::Std,  mk("std",  Format::F3Mem, 0x07, 0,
+                     {.store = true, .dbl = true, .bytes = 8}));
+    set(Op::Ldf,  mk("ldf",  Format::F3Mem, 0x20, 0,
+                     {.load = true, .fpMem = true, .bytes = 4}));
+    set(Op::Lddf, mk("lddf", Format::F3Mem, 0x23, 0,
+                     {.load = true, .fpMem = true, .dbl = true,
+                      .bytes = 8}));
+    set(Op::Stf,  mk("stf",  Format::F3Mem, 0x24, 0,
+                     {.store = true, .fpMem = true, .bytes = 4}));
+    set(Op::Stdf, mk("stdf", Format::F3Mem, 0x27, 0,
+                     {.store = true, .fpMem = true, .dbl = true,
+                      .bytes = 8}));
+
+    set(Op::Fadds, mk("fadds", Format::F3Fp, 0x34, 0x41, {}));
+    set(Op::Faddd, mk("faddd", Format::F3Fp, 0x34, 0x42, {.dbl = true}));
+    set(Op::Fsubs, mk("fsubs", Format::F3Fp, 0x34, 0x45, {}));
+    set(Op::Fsubd, mk("fsubd", Format::F3Fp, 0x34, 0x46, {.dbl = true}));
+    set(Op::Fmuls, mk("fmuls", Format::F3Fp, 0x34, 0x49, {}));
+    set(Op::Fmuld, mk("fmuld", Format::F3Fp, 0x34, 0x4a, {.dbl = true}));
+    set(Op::Fdivs, mk("fdivs", Format::F3Fp, 0x34, 0x4d, {}));
+    set(Op::Fdivd, mk("fdivd", Format::F3Fp, 0x34, 0x4e, {.dbl = true}));
+    set(Op::Fsqrts, mk("fsqrts", Format::F3Fp, 0x34, 0x29, {}));
+    set(Op::Fsqrtd, mk("fsqrtd", Format::F3Fp, 0x34, 0x2a,
+                       {.dbl = true}));
+    set(Op::Fmovs, mk("fmovs", Format::F3Fp, 0x34, 0x01, {}));
+    set(Op::Fnegs, mk("fnegs", Format::F3Fp, 0x34, 0x05, {}));
+    set(Op::Fabss, mk("fabss", Format::F3Fp, 0x34, 0x09, {}));
+    set(Op::Fitos, mk("fitos", Format::F3Fp, 0x34, 0xc4, {}));
+    set(Op::Fitod, mk("fitod", Format::F3Fp, 0x34, 0xc8, {}));
+    set(Op::Fstoi, mk("fstoi", Format::F3Fp, 0x34, 0xd1, {}));
+    set(Op::Fdtoi, mk("fdtoi", Format::F3Fp, 0x34, 0xd2, {}));
+    set(Op::Fstod, mk("fstod", Format::F3Fp, 0x34, 0xc9, {}));
+    set(Op::Fdtos, mk("fdtos", Format::F3Fp, 0x34, 0xc6, {}));
+    set(Op::Fcmps, mk("fcmps", Format::F3Fp, 0x35, 0x51,
+                      {.wFcc = true}));
+    set(Op::Fcmpd, mk("fcmpd", Format::F3Fp, 0x35, 0x52,
+                      {.wFcc = true, .dbl = true}));
+    return t;
+}();
+
+const std::map<std::string, Op, std::less<>> &
+nameMap()
+{
+    static const std::map<std::string, Op, std::less<>> m = [] {
+        std::map<std::string, Op, std::less<>> out;
+        for (unsigned i = 1; i < numOps; ++i) {
+            Op op = static_cast<Op>(i);
+            out.emplace(std::string(opTable[i].mnemonic), op);
+        }
+        return out;
+    }();
+    return m;
+}
+
+constexpr const char *condNames[16] = {
+    "n", "e", "le", "l", "leu", "cs", "neg", "vs",
+    "a", "ne", "g", "ge", "gu", "cc", "pos", "vc"};
+
+constexpr const char *fcondNames[16] = {
+    "n", "ne", "lg", "ul", "l", "ug", "g", "u",
+    "a", "e", "ue", "ge", "uge", "le", "ule", "o"};
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    unsigned i = static_cast<unsigned>(op);
+    if (i >= numOps)
+        panic("opInfo: bad opcode %u", i);
+    return opTable[i];
+}
+
+std::string_view
+opName(Op op)
+{
+    return opInfo(op).mnemonic;
+}
+
+std::optional<Op>
+opFromName(std::string_view name)
+{
+    const auto &m = nameMap();
+    auto it = m.find(name);
+    if (it == m.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string_view
+condName(uint8_t c)
+{
+    return condNames[c & 0xf];
+}
+
+std::string_view
+fcondName(uint8_t c)
+{
+    return fcondNames[c & 0xf];
+}
+
+} // namespace eel::isa

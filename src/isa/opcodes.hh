@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Opcode enumeration and static per-opcode properties for the SPARC V8
+ * subset. One enumerator per mnemonic; conditional branches are a
+ * single opcode (Bicc / Fbfcc) with the condition held in an
+ * instruction field, mirroring the hardware encoding.
+ */
+
+#ifndef EEL_ISA_OPCODES_HH
+#define EEL_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace eel::isa {
+
+enum class Op : uint8_t {
+    Invalid,
+
+    // ALU (format 3, op=2)
+    Add, Addcc, Sub, Subcc, And, Andcc, Or, Orcc, Xor, Xorcc,
+    Sll, Srl, Sra,
+    Umul, Smul, Udiv, Sdiv,
+    Rdy, Wry,
+    Save, Restore,
+    Jmpl,
+    Ticc,
+
+    // Format 2
+    Sethi, Nop, Bicc, Fbfcc,
+
+    // Format 1
+    Call,
+
+    // Memory (format 3, op=3)
+    Ld, Ldub, Ldsb, Lduh, Ldsh, Ldd,
+    St, Stb, Sth, Std,
+    Ldf, Lddf, Stf, Stdf,
+
+    // Floating point (FPop1/FPop2)
+    Fadds, Faddd, Fsubs, Fsubd, Fmuls, Fmuld, Fdivs, Fdivd,
+    Fsqrts, Fsqrtd,
+    Fmovs, Fnegs, Fabss,
+    Fitos, Fitod, Fstoi, Fdtoi, Fstod, Fdtos,
+    Fcmps, Fcmpd,
+
+    NumOps
+};
+
+constexpr unsigned numOps = static_cast<unsigned>(Op::NumOps);
+
+/** Instruction encoding formats (SPARC V8 manual terminology). */
+enum class Format : uint8_t {
+    F1Call,     ///< op=1: 30-bit word displacement
+    F2Sethi,    ///< op=0, op2=4: rd, imm22
+    F2Branch,   ///< op=0, op2=2 or 6: a, cond, disp22
+    F3Arith,    ///< op=2: rd, op3, rs1, i, simm13/rs2
+    F3Fp,       ///< op=2, op3=0x34/0x35: rd, rs1, opf, rs2
+    F3Mem,      ///< op=3: rd, op3, rs1, i, simm13/rs2
+    F3Trap,     ///< op=2, op3=0x3a: cond, rs1, i, imm7
+};
+
+/** Branch condition codes (Bicc cond field). */
+namespace cond {
+constexpr uint8_t n = 0, e = 1, le = 2, l = 3, leu = 4, cs = 5,
+                  neg = 6, vs = 7, a = 8, ne = 9, g = 10, ge = 11,
+                  gu = 12, cc = 13, pos = 14, vc = 15;
+} // namespace cond
+
+/** Floating point branch conditions (Fbfcc cond field). */
+namespace fcond {
+constexpr uint8_t n = 0, ne = 1, lg = 2, ul = 3, l = 4, ug = 5,
+                  g = 6, u = 7, a = 8, e = 9, ue = 10, ge = 11,
+                  uge = 12, le = 13, ule = 14, o = 15;
+} // namespace fcond
+
+/** Software trap numbers understood by the emulator (Ticc imm7). */
+namespace trap {
+constexpr uint8_t exit_prog = 0;  ///< exit; status in %o0
+constexpr uint8_t put_int = 1;    ///< print %o0 as an integer
+constexpr uint8_t put_char = 2;   ///< print low byte of %o0
+constexpr uint8_t sink = 3;       ///< consume %o0 (keep value live)
+} // namespace trap
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    const char *mnemonic;   ///< lower-case mnemonic (SADL name)
+    Format format;
+    uint8_t op3;            ///< format 3 op3 field (or 0)
+    uint16_t opf;           ///< FPop opf field (or 0)
+
+    bool writesIcc;         ///< sets the integer condition codes
+    bool readsIcc;
+    bool writesFcc;
+    bool readsFcc;
+    bool writesY;
+    bool readsY;
+    bool isLoad;
+    bool isStore;
+    bool isFpMem;           ///< memory op on the fp register file
+    bool isDouble;          ///< accesses an even/odd fp or int pair
+    bool isCti;             ///< control transfer (has a delay slot)
+    bool isBarrier;         ///< never reordered (save/restore/trap/rdy/wry)
+    uint8_t memBytes;       ///< access size for memory ops, else 0
+};
+
+/** Look up the static properties of op. */
+const OpInfo &opInfo(Op op);
+
+/** Mnemonic string for op. */
+std::string_view opName(Op op);
+
+/** Reverse lookup used by SADL sem bindings; nullopt if unknown. */
+std::optional<Op> opFromName(std::string_view name);
+
+/** Printable name of a Bicc condition, e.g. "ne". */
+std::string_view condName(uint8_t c);
+/** Printable name of an Fbfcc condition. */
+std::string_view fcondName(uint8_t c);
+
+} // namespace eel::isa
+
+#endif // EEL_ISA_OPCODES_HH

@@ -1,0 +1,28 @@
+#include "src/isa/registers.hh"
+
+#include "src/support/logging.hh"
+
+namespace eel::isa {
+
+std::string
+regName(RegId r)
+{
+    switch (r.cls) {
+      case RegClass::Int: {
+        static const char *groups = "goli";
+        return strfmt("%%%c%u", groups[r.idx / 8], r.idx % 8);
+      }
+      case RegClass::Fp:
+        return strfmt("%%f%u", r.idx);
+      case RegClass::Icc:
+        return "%icc";
+      case RegClass::Fcc:
+        return "%fcc";
+      case RegClass::Y:
+        return "%y";
+      default:
+        return "%none";
+    }
+}
+
+} // namespace eel::isa

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Architectural register identifiers for the SPARC V8 subset.
+ *
+ * Integer registers are the usual windowed set seen by one routine:
+ * %g0-%g7 (0-7), %o0-%o7 (8-15), %l0-%l7 (16-23), %i0-%i7 (24-31).
+ * %g0 reads as zero and ignores writes. Floating point registers are
+ * %f0-%f31 (single precision; doubles occupy an even/odd pair).
+ * The integer condition codes (icc), floating point condition codes
+ * (fcc), and the Y multiply/divide register are modeled as individual
+ * registers so dependence analysis can track them uniformly.
+ */
+
+#ifndef EEL_ISA_REGISTERS_HH
+#define EEL_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace eel::isa {
+
+/** Register file classes. */
+enum class RegClass : uint8_t {
+    None,   ///< no register (e.g. unused slot)
+    Int,    ///< integer registers %g/%o/%l/%i, index 0-31
+    Fp,     ///< floating point registers %f0-%f31
+    Icc,    ///< integer condition codes (single register, index 0)
+    Fcc,    ///< floating point condition codes (single register)
+    Y,      ///< the Y register (single register)
+};
+
+/** A single architectural register: class plus index. */
+struct RegId
+{
+    RegClass cls = RegClass::None;
+    uint8_t idx = 0;
+
+    constexpr RegId() = default;
+    constexpr RegId(RegClass c, uint8_t i) : cls(c), idx(i) {}
+
+    constexpr bool operator==(const RegId &o) const = default;
+
+    /** True for a real register (and not the hardwired zero %g0). */
+    constexpr bool
+    tracked() const
+    {
+        return cls != RegClass::None &&
+               !(cls == RegClass::Int && idx == 0);
+    }
+
+    /**
+     * Dense index for table lookups: 0-31 int, 32-63 fp, 64 icc,
+     * 65 fcc, 66 y. RegClass::None maps to numRegIds - 1 (unused).
+     */
+    constexpr unsigned
+    flat() const
+    {
+        switch (cls) {
+          case RegClass::Int: return idx;
+          case RegClass::Fp:  return 32 + idx;
+          case RegClass::Icc: return 64;
+          case RegClass::Fcc: return 65;
+          case RegClass::Y:   return 66;
+          default:            return 67;
+        }
+    }
+};
+
+/** Number of distinct flat register indices (see RegId::flat). */
+constexpr unsigned numRegIds = 68;
+
+constexpr RegId intReg(uint8_t i) { return RegId(RegClass::Int, i); }
+constexpr RegId fpReg(uint8_t i) { return RegId(RegClass::Fp, i); }
+constexpr RegId iccReg() { return RegId(RegClass::Icc, 0); }
+constexpr RegId fccReg() { return RegId(RegClass::Fcc, 0); }
+constexpr RegId yReg() { return RegId(RegClass::Y, 0); }
+
+/** Conventional integer register numbers. */
+namespace reg {
+constexpr uint8_t g0 = 0, g1 = 1, g2 = 2, g3 = 3, g4 = 4, g5 = 5,
+                  g6 = 6, g7 = 7;
+constexpr uint8_t o0 = 8, o1 = 9, o2 = 10, o3 = 11, o4 = 12, o5 = 13,
+                  sp = 14, o7 = 15;
+constexpr uint8_t l0 = 16, l1 = 17, l2 = 18, l3 = 19, l4 = 20, l5 = 21,
+                  l6 = 22, l7 = 23;
+constexpr uint8_t i0 = 24, i1 = 25, i2 = 26, i3 = 27, i4 = 28, i5 = 29,
+                  fp = 30, i7 = 31;
+} // namespace reg
+
+/** Printable name, e.g. "%o3", "%f10", "%icc". */
+std::string regName(RegId r);
+
+} // namespace eel::isa
+
+#endif // EEL_ISA_REGISTERS_HH

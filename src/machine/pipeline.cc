@@ -1,0 +1,231 @@
+#include "src/machine/pipeline.hh"
+
+#include <algorithm>
+
+#include "src/support/logging.hh"
+
+namespace eel::machine {
+
+PipelineState::PipelineState(const MachineModel &model)
+    : _model(model), numUnits(model.numUnits())
+{
+    slotStamp.assign(windowSize, ~uint64_t(0));
+    slotFree.assign(windowSize * numUnits, 0);
+    lastRead.assign(isa::numRegIds, 0);
+    lastWrite.assign(isa::numRegIds, 0);
+    writeAvail.assign(isa::numRegIds, 0);
+}
+
+void
+PipelineState::reset()
+{
+    std::fill(slotStamp.begin(), slotStamp.end(), ~uint64_t(0));
+    std::fill(lastRead.begin(), lastRead.end(), 0);
+    std::fill(lastWrite.begin(), lastWrite.end(), 0);
+    std::fill(writeAvail.begin(), writeAvail.end(), 0);
+    frontierCycle = 0;
+}
+
+int
+PipelineState::freeUnits(uint64_t c, unsigned unit) const
+{
+    unsigned slot = static_cast<unsigned>(c % windowSize);
+    if (slotStamp[slot] != c) {
+        slotStamp[slot] = c;
+        for (unsigned u = 0; u < numUnits; ++u)
+            slotFree[slot * numUnits + u] =
+                static_cast<int16_t>(_model.unitCapacity(u));
+    }
+    return slotFree[slot * numUnits + unit];
+}
+
+void
+PipelineState::takeUnits(uint64_t c, unsigned unit, int n)
+{
+    freeUnits(c, unit);  // ensure the slot is initialized
+    unsigned slot = static_cast<unsigned>(c % windowSize);
+    slotFree[slot * numUnits + unit] =
+        static_cast<int16_t>(slotFree[slot * numUnits + unit] - n);
+}
+
+unsigned
+PipelineState::simulate(uint64_t entry_cycle,
+                        const isa::Instruction &inst, const Variant &v,
+                        std::vector<uint64_t> &abs_for) const
+{
+    abs_for.assign(v.latency + 1, 0);
+
+    // trace[] — the appendix's record of resources this instruction
+    // itself holds while it walks down the pipeline.
+    scratchTrace.assign(numUnits, 0);
+    std::vector<int> &trace = scratchTrace;
+
+    unsigned stalls = 0;
+    unsigned mi_cycle = 0;
+    uint64_t abs = entry_cycle;
+
+    while (mi_cycle < v.latency) {
+        bool advance = true;
+
+        // Structural hazards: every unit this pipeline cycle acquires
+        // must have enough free copies beyond what we already hold.
+        for (const sadl::UnitEvent &e : v.acquire[mi_cycle]) {
+            if (freeUnits(abs, e.unit) - trace[e.unit] <
+                static_cast<int>(e.num)) {
+                advance = false;
+                break;
+            }
+        }
+
+        // RAW hazards: a register read in this pipeline cycle must
+        // not precede the producing value's availability.
+        if (advance) {
+            for (const RegAccess &a : v.reads) {
+                if (a.cycle != mi_cycle)
+                    continue;
+                isa::RegId r = a.reg(inst);
+                if (r.tracked() && abs < writeAvail[r.flat()]) {
+                    advance = false;
+                    break;
+                }
+                if (a.pair) {
+                    isa::RegId p = a.pairReg(inst);
+                    if (p.tracked() && abs < writeAvail[p.flat()]) {
+                        advance = false;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // WAR and WAW hazards on this pipeline cycle's writes.
+        if (advance) {
+            for (const RegAccess &a : v.writes) {
+                if (a.cycle != mi_cycle)
+                    continue;
+                auto conflicts = [&](isa::RegId r) {
+                    if (!r.tracked())
+                        return false;
+                    // lastRead/lastWrite hold "cycle + 1" (0 = never).
+                    // WAR: the write may share the final read's cycle.
+                    // WAW: writes to a register stay strictly ordered.
+                    return abs + 1 < lastRead[r.flat()] ||
+                           abs < lastWrite[r.flat()];
+                };
+                if (conflicts(a.reg(inst)) ||
+                    (a.pair && conflicts(a.pairReg(inst)))) {
+                    advance = false;
+                    break;
+                }
+            }
+        }
+
+        if (advance) {
+            abs_for[mi_cycle] = abs;
+            for (const sadl::UnitEvent &e : v.acquire[mi_cycle])
+                trace[e.unit] += e.num;
+            ++mi_cycle;
+            for (const sadl::UnitEvent &e : v.release[mi_cycle])
+                trace[e.unit] -= e.num;
+        } else {
+            ++stalls;
+        }
+        ++abs;
+        if (abs - entry_cycle > windowSize / 2)
+            panic("pipeline_stalls: runaway stall on '%s'",
+                  isa::disassemble(inst).c_str());
+    }
+    abs_for[v.latency] = abs;
+    return stalls;
+}
+
+unsigned
+PipelineState::stalls(const isa::Instruction &inst) const
+{
+    return stallsAt(frontierCycle, inst);
+}
+
+unsigned
+PipelineState::stallsAt(uint64_t cycle,
+                        const isa::Instruction &inst) const
+{
+    const Variant &v = _model.variant(inst);
+    return simulate(cycle, inst, v, scratchAbsFor);
+}
+
+PipelineState::IssueResult
+PipelineState::issue(const isa::Instruction &inst)
+{
+    const Variant &v = _model.variant(inst);
+    unsigned s = simulate(frontierCycle, inst, v, scratchAbsFor);
+    commit(inst, v, scratchAbsFor);
+    return IssueResult{scratchAbsFor[0], scratchAbsFor[v.latency], s};
+}
+
+void
+PipelineState::commit(const isa::Instruction &inst, const Variant &v,
+                      const std::vector<uint64_t> &abs_for)
+{
+    // Fold this instruction's unit usage into the per-cycle free
+    // counts using the precomputed constant-level hold segments.
+    // Releases at pipeline cycle k take effect at abs_for[k]
+    // (releases apply before acquires within a cycle, §3.1).
+    for (const UnitHold &h : v.holds) {
+        uint64_t from = abs_for[h.from];
+        uint64_t to = abs_for[h.to];
+        for (uint64_t c = from; c < to; ++c)
+            takeUnits(c, h.unit, h.num);
+    }
+
+    // Register history.
+    auto touchRead = [&](isa::RegId r, uint64_t c) {
+        if (r.tracked())
+            lastRead[r.flat()] = std::max(lastRead[r.flat()], c + 1);
+    };
+    auto touchWrite = [&](isa::RegId r, uint64_t wb, uint64_t avail) {
+        if (!r.tracked())
+            return;
+        lastWrite[r.flat()] = std::max(lastWrite[r.flat()], wb + 1);
+        writeAvail[r.flat()] = std::max(writeAvail[r.flat()], avail);
+    };
+    for (const RegAccess &a : v.reads) {
+        touchRead(a.reg(inst), abs_for[a.cycle]);
+        if (a.pair)
+            touchRead(a.pairReg(inst), abs_for[a.cycle]);
+    }
+    for (const RegAccess &a : v.writes) {
+        uint64_t wb = abs_for[a.cycle];
+        uint64_t avail = abs_for[a.valueReady] + 1;
+        touchWrite(a.reg(inst), wb, avail);
+        if (a.pair)
+            touchWrite(a.pairReg(inst), wb, avail);
+    }
+
+    // In-order issue: the next instruction cannot enter earlier than
+    // this one did.
+    frontierCycle = abs_for[0];
+}
+
+uint64_t
+sequenceCycles(const MachineModel &model,
+               std::span<const isa::Instruction> insts)
+{
+    PipelineState state(model);
+    uint64_t done = 0;
+    for (const isa::Instruction &in : insts)
+        done = std::max(done, state.issue(in).doneCycle);
+    return done;
+}
+
+uint64_t
+sequenceIssueSpan(const MachineModel &model,
+                  std::span<const isa::Instruction> insts)
+{
+    PipelineState state(model);
+    uint64_t last = 0;
+    for (const isa::Instruction &in : insts)
+        last = state.issue(in).startCycle;
+    return insts.empty() ? 0 : last + 1;
+}
+
+} // namespace eel::machine

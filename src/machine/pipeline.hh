@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Pipeline state tracking and the pipeline_stalls computation of the
+ * paper's Appendix A.
+ *
+ * PipelineState models an in-order superscalar execution pipeline as
+ * seen by a straight-line instruction sequence: per-cycle free unit
+ * counts (structural hazards), and per-register last-read, last-write
+ * and value-available cycles (RAW/WAR/WAW hazards). The key operation
+ * is stalls(): "the number of cycles that the next instruction must
+ * wait before entering the execution pipeline" (§3.2).
+ */
+
+#ifndef EEL_MACHINE_PIPELINE_HH
+#define EEL_MACHINE_PIPELINE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/isa/instruction.hh"
+#include "src/machine/model.hh"
+
+namespace eel::machine {
+
+/**
+ * Not thread-safe: stalls() is logically const but reuses internal
+ * scratch buffers; use one PipelineState per thread.
+ */
+class PipelineState
+{
+  public:
+    explicit PipelineState(const MachineModel &model);
+
+    /** Forget all history; the pipeline is empty at cycle 0. */
+    void reset();
+
+    /**
+     * pipeline_stalls (Appendix A): how many stall cycles inst incurs
+     * if it enters the pipeline at the in-order issue frontier.
+     * Counts both entry stalls and mid-pipeline stalls, exactly as
+     * the appendix loop does. Does not modify register/unit history.
+     */
+    unsigned stalls(const isa::Instruction &inst) const;
+
+    /** As stalls(), but entering at an explicit cycle >= frontier. */
+    unsigned stallsAt(uint64_t cycle,
+                      const isa::Instruction &inst) const;
+
+    struct IssueResult
+    {
+        uint64_t startCycle;  ///< cycle the instruction entered
+        uint64_t doneCycle;   ///< cycle it left the pipeline
+        unsigned stalls;      ///< total stall cycles (appendix metric)
+    };
+
+    /** Issue inst in order: compute stalls, commit its effects. */
+    IssueResult issue(const isa::Instruction &inst);
+
+    /**
+     * Model a fetch bubble (e.g. a taken-branch redirect): the next
+     * instruction cannot enter before frontier() + n. Spawn models
+     * only the execution pipelines (§3.2), so the scheduler never
+     * calls this; the timing simulator does.
+     */
+    void fetchBubble(unsigned n) { frontierCycle += n; }
+
+    /** Cycle at which the next instruction would enter unstalled. */
+    uint64_t frontier() const { return frontierCycle; }
+
+    const MachineModel &model() const { return _model; }
+
+  private:
+    struct Trace;
+
+    /**
+     * Core of Appendix A: walk inst through its pipeline cycles from
+     * entry_cycle, counting stalls. abs_for[k] receives the absolute
+     * cycle at which pipeline cycle k executed (size latency + 1).
+     */
+    unsigned simulate(uint64_t entry_cycle,
+                      const isa::Instruction &inst,
+                      const Variant &v,
+                      std::vector<uint64_t> &abs_for) const;
+
+    void commit(const isa::Instruction &inst, const Variant &v,
+                const std::vector<uint64_t> &abs_for);
+
+    /** Free copies of unit at absolute cycle c (lazy slot reinit). */
+    int freeUnits(uint64_t c, unsigned unit) const;
+    void takeUnits(uint64_t c, unsigned unit, int n);
+
+    const MachineModel &_model;
+    unsigned numUnits;
+
+    // Ring buffer of per-cycle free unit counts. Slots are stamped
+    // with the absolute cycle they represent and re-initialized to
+    // full capacity on first touch of a new cycle.
+    static constexpr unsigned windowSize = 256;
+    mutable std::vector<uint64_t> slotStamp;   // windowSize
+    mutable std::vector<int16_t> slotFree;     // windowSize * numUnits
+
+    // Register history, indexed by RegId::flat(). Values are
+    // "absolute cycle + 1" so 0 means "never".
+    std::vector<uint64_t> lastRead;
+    std::vector<uint64_t> lastWrite;
+    std::vector<uint64_t> writeAvail;  // first cycle a read may occur
+
+    // Scratch buffers reused across simulate() calls (performance:
+    // one pipeline_stalls evaluation per dynamic instruction).
+    mutable std::vector<int> scratchTrace;
+    mutable std::vector<uint64_t> scratchAbsFor;
+
+    uint64_t frontierCycle = 0;
+};
+
+/**
+ * Schedule-length evaluation: total cycles a straight-line sequence
+ * occupies from an empty pipeline (issue cycle of the last
+ * instruction + 1). Used to compare schedules.
+ */
+uint64_t sequenceCycles(const MachineModel &model,
+                        std::span<const isa::Instruction> insts);
+
+/**
+ * Issue span of a straight-line sequence: the cycle after the last
+ * instruction enters the pipeline, from an empty pipeline. This is
+ * the "executes in N cycles" number the paper quotes for the
+ * profiling snippet (§4.2) — it excludes the writeback drain.
+ */
+uint64_t sequenceIssueSpan(const MachineModel &model,
+                           std::span<const isa::Instruction> insts);
+
+} // namespace eel::machine
+
+#endif // EEL_MACHINE_PIPELINE_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The code-generating half of Spawn (paper Figure 1): given a machine
+ * model, emit the C++ timing tables that in the original system were
+ * spliced into EEL's machine-dependent source by replacing {{...}}
+ * annotations. Our runtime consumes MachineModel directly; this
+ * generator exists to reproduce the paper's toolflow (the spawn_tool
+ * example) and to let users inspect what Spawn derived.
+ */
+
+#ifndef EEL_MACHINE_SPAWN_CODEGEN_HH
+#define EEL_MACHINE_SPAWN_CODEGEN_HH
+
+#include <string>
+
+#include "src/machine/model.hh"
+
+namespace eel::machine {
+
+/**
+ * Emit a self-contained C++ translation unit with static timing
+ * tables for the model: unit capacities, per-group cycle counts and
+ * acquire/release tables, and per-variant register access timing.
+ */
+std::string generateCpp(const MachineModel &model);
+
+/**
+ * Render a human-readable report of the model: one block per opcode
+ * variant with latency, group id, unit reservation table, and
+ * register read/write cycles. Used by the machine_report example.
+ */
+std::string describeModel(const MachineModel &model);
+
+} // namespace eel::machine
+
+#endif // EEL_MACHINE_SPAWN_CODEGEN_HH

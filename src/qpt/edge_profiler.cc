@@ -1,0 +1,251 @@
+#include "src/qpt/edge_profiler.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/logging.hh"
+
+namespace eel::qpt {
+
+using edit::Block;
+using edit::Routine;
+
+namespace {
+
+/** Union-find over the routine's blocks plus the virtual node. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), 0);
+    }
+    size_t
+    find(size_t x)
+    {
+        while (parent[x] != x)
+            x = parent[x] = parent[parent[x]];
+        return x;
+    }
+    bool
+    unite(size_t a, size_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        parent[a] = b;
+        return true;
+    }
+
+  private:
+    std::vector<size_t> parent;
+};
+
+/** Enumerate a routine's edges, virtual edges included. */
+std::vector<Edge>
+enumerateEdges(const Routine &r)
+{
+    std::vector<Edge> out;
+    int entry = r.blockAt(r.entry);
+    out.push_back(Edge{Edge::Kind::Entry, -1, entry, -1});
+    for (const Block &b : r.blocks) {
+        if (b.takenSucc >= 0)
+            out.push_back(Edge{Edge::Kind::Taken,
+                               static_cast<int>(b.id), b.takenSucc,
+                               -1});
+        if (b.fallSucc >= 0)
+            out.push_back(Edge{Edge::Kind::Fall,
+                               static_cast<int>(b.id), b.fallSucc,
+                               -1});
+        if (b.takenSucc < 0 && b.fallSucc < 0)
+            out.push_back(Edge{Edge::Kind::Return,
+                               static_cast<int>(b.id), -1, -1});
+    }
+    return out;
+}
+
+/**
+ * Preference for keeping an edge on the (uninstrumented) tree.
+ * Ball-Larus places counters to minimize expected cost using a
+ * maximum spanning tree over edge frequencies; lacking a prior
+ * profile we use the classic static estimate that loop back edges
+ * are hot, keeping them uncounted whenever possible.
+ */
+int
+treePreference(const Edge &e)
+{
+    if (e.kind == Edge::Kind::Entry)
+        return 0;  // must be on the tree
+    bool back = e.to >= 0 && e.from >= 0 && e.to <= e.from;
+    if (back)
+        return 1;  // presumed hot: keep on the tree
+    switch (e.kind) {
+      case Edge::Kind::Return: return 2;  // block placement is cheap
+      case Edge::Kind::Fall: return 3;
+      case Edge::Kind::Taken: return 4;   // trampolines cost most
+      default: return 5;
+    }
+}
+
+} // namespace
+
+EdgeProfilePlan
+makeEdgePlan(exe::Executable &x,
+             const std::vector<Routine> &routines,
+             const ProfileOptions &opts)
+{
+    EdgeProfilePlan out;
+    out.edges.resize(routines.size());
+
+    // First pass: spanning trees and counter numbering.
+    uint32_t next_counter = 0;
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        const Routine &r = routines[ri];
+        std::vector<Edge> edges = enumerateEdges(r);
+        const size_t virt = r.blocks.size();
+
+        std::vector<size_t> order(edges.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return treePreference(edges[a]) <
+                                    treePreference(edges[b]);
+                         });
+
+        UnionFind uf(virt + 1);
+        auto node = [&](int b) {
+            return b < 0 ? virt : static_cast<size_t>(b);
+        };
+        for (size_t i : order) {
+            Edge &e = edges[i];
+            if (uf.unite(node(e.from), node(e.to)))
+                continue;  // stays on the tree, no counter
+            if (e.kind == Edge::Kind::Entry)
+                panic("edge profiler: entry edge not on the tree");
+            e.counter = static_cast<int>(next_counter++);
+            ++out.instrumentedEdges;
+        }
+        out.totalEdges += edges.size();
+        out.edges[ri] = std::move(edges);
+    }
+
+    out.numCounters = next_counter;
+    out.counterBase = x.addBss("__qpt_edge_counters",
+                               4 * next_counter);
+
+    // Second pass: place the counters.
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        for (const Edge &e : out.edges[ri]) {
+            if (e.counter < 0)
+                continue;
+            uint32_t addr = out.counterBase + 4 * e.counter;
+            sched::InstSeq snip = counterSnippet(addr, opts);
+            switch (e.kind) {
+              case Edge::Kind::Fall:
+                out.plan.addFallEdge(ri, e.from, std::move(snip));
+                break;
+              case Edge::Kind::Taken:
+                out.plan.addTakenEdge(ri, e.from, std::move(snip));
+                break;
+              case Edge::Kind::Return:
+                // A return block's only out-edge is the return, so a
+                // block counter measures the edge exactly.
+                out.plan.add(ri, e.from, std::move(snip));
+                break;
+              case Edge::Kind::Entry:
+                panic("edge profiler: entry edge instrumented");
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::vector<uint64_t>>
+readEdgeCounts(const sim::Emulator &emu, const EdgeProfilePlan &plan,
+               const std::vector<Routine> &routines)
+{
+    std::vector<std::vector<uint64_t>> out(plan.edges.size());
+    for (size_t ri = 0; ri < plan.edges.size(); ++ri) {
+        const std::vector<Edge> &edges = plan.edges[ri];
+        const size_t virt = routines[ri].blocks.size();
+        std::vector<uint64_t> counts(edges.size(), 0);
+        std::vector<bool> known(edges.size(), false);
+
+        for (size_t i = 0; i < edges.size(); ++i) {
+            if (edges[i].counter >= 0) {
+                counts[i] = emu.readWord(
+                    plan.counterBase + 4 * edges[i].counter);
+                known[i] = true;
+            }
+        }
+
+        // Leaf elimination over the spanning tree: any node with a
+        // single unknown incident edge determines it by flow
+        // conservation (inflow == outflow).
+        auto node = [&](int b) {
+            return b < 0 ? virt : static_cast<size_t>(b);
+        };
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (size_t v = 0; v <= virt; ++v) {
+                int unknown = -1;
+                int64_t balance = 0;  // inflow - outflow over known
+                int n_unknown = 0;
+                for (size_t i = 0; i < edges.size(); ++i) {
+                    bool in = node(edges[i].to) == v;
+                    bool outg = node(edges[i].from) == v;
+                    if (!in && !outg)
+                        continue;
+                    if (!known[i]) {
+                        ++n_unknown;
+                        unknown = static_cast<int>(i);
+                        // In == out for self loops: never unknown-
+                        // solvable from this node alone, but a self
+                        // loop is never a tree edge either.
+                        continue;
+                    }
+                    if (in)
+                        balance += static_cast<int64_t>(counts[i]);
+                    if (outg)
+                        balance -= static_cast<int64_t>(counts[i]);
+                }
+                if (n_unknown == 1) {
+                    bool in = node(edges[unknown].to) == v;
+                    int64_t c = in ? -balance : balance;
+                    if (c < 0)
+                        c = 0;  // main's trap exit (see header)
+                    counts[unknown] = static_cast<uint64_t>(c);
+                    known[unknown] = true;
+                    progress = true;
+                }
+            }
+        }
+        for (size_t i = 0; i < edges.size(); ++i)
+            if (!known[i])
+                panic("edge profiler: unsolvable tree edge in "
+                      "routine %zu", ri);
+        out[ri] = std::move(counts);
+    }
+    return out;
+}
+
+std::vector<std::vector<uint64_t>>
+blockCountsFromEdges(
+    const std::vector<std::vector<uint64_t>> &edge_counts,
+    const EdgeProfilePlan &plan,
+    const std::vector<Routine> &routines)
+{
+    std::vector<std::vector<uint64_t>> out(routines.size());
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        out[ri].assign(routines[ri].blocks.size(), 0);
+        const std::vector<Edge> &edges = plan.edges[ri];
+        for (size_t i = 0; i < edges.size(); ++i)
+            if (edges[i].to >= 0)
+                out[ri][edges[i].to] += edge_counts[ri][i];
+    }
+    return out;
+}
+
+} // namespace eel::qpt

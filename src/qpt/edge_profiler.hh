@@ -1,0 +1,71 @@
+/**
+ * @file
+ * QPT2's "fast" profiling: Ball-Larus edge profiling (the paper's
+ * citation [2], Ball & Larus, "Optimally Profiling and Tracing
+ * Programs", TOPLAS 1994). Instead of counting every basic block,
+ * counters are placed only on the edges *not* on a spanning tree of
+ * each routine's CFG (closed with a virtual node connecting the
+ * entry and every return); the remaining edge counts — and from
+ * them, all block counts — are reconstructed by flow conservation
+ * after the run.
+ *
+ * Edge placement uses the editor's edge instrumentation: counters on
+ * fall-through edges are laid out between the blocks; counters on
+ * taken edges become branch trampolines; counters on the virtual
+ * entry/return edges degenerate to block placements.
+ */
+
+#ifndef EEL_QPT_EDGE_PROFILER_HH
+#define EEL_QPT_EDGE_PROFILER_HH
+
+#include <vector>
+
+#include "src/eel/editor.hh"
+#include "src/qpt/profiler.hh"
+#include "src/sim/emulator.hh"
+
+namespace eel::qpt {
+
+/** One CFG edge of a routine, plus the virtual entry/exit edges. */
+struct Edge
+{
+    enum class Kind : uint8_t { Fall, Taken, Entry, Return };
+    Kind kind;
+    int from;     ///< block id (-1 = virtual node for Entry)
+    int to;       ///< block id (-1 = virtual node for Return)
+    int counter;  ///< counter index, or -1 when on the spanning tree
+};
+
+struct EdgeProfilePlan
+{
+    edit::InstrumentationPlan plan;
+    uint32_t counterBase = 0;
+    uint32_t numCounters = 0;
+    std::vector<std::vector<Edge>> edges;  ///< per routine
+    uint64_t totalEdges = 0;
+    uint64_t instrumentedEdges = 0;
+};
+
+/**
+ * Build the edge-profiling plan: spanning trees, counter placement,
+ * and the instrumentation plan. Adds the counter array to x's bss.
+ */
+EdgeProfilePlan
+makeEdgePlan(exe::Executable &x,
+             const std::vector<edit::Routine> &routines,
+             const ProfileOptions &opts = {});
+
+/** Reconstructed counts for every edge, tree edges included. */
+std::vector<std::vector<uint64_t>>
+readEdgeCounts(const sim::Emulator &emu, const EdgeProfilePlan &plan,
+               const std::vector<edit::Routine> &routines);
+
+/** Per-block execution counts derived from the edge counts. */
+std::vector<std::vector<uint64_t>>
+blockCountsFromEdges(const std::vector<std::vector<uint64_t>> &edge_counts,
+                     const EdgeProfilePlan &plan,
+                     const std::vector<edit::Routine> &routines);
+
+} // namespace eel::qpt
+
+#endif // EEL_QPT_EDGE_PROFILER_HH

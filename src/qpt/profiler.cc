@@ -1,0 +1,176 @@
+#include "src/qpt/profiler.hh"
+
+#include "src/eel/liveness.hh"
+
+#include <memory>
+
+#include "src/isa/builder.hh"
+#include "src/support/logging.hh"
+
+namespace eel::qpt {
+
+using edit::Block;
+using edit::Routine;
+
+sched::InstSeq
+counterSnippet(uint32_t addr, const ProfileOptions &opts)
+{
+    using namespace isa::build;
+    int32_t lo = static_cast<int32_t>(addr & 0x3ff);
+    sched::InstSeq seq;
+    auto push = [&](isa::Instruction inst) {
+        sched::InstRef ref;
+        ref.inst = inst;
+        ref.isInstrumentation = true;
+        seq.push_back(ref);
+    };
+    push(sethi(opts.scratch1, addr));
+    push(memi(isa::Op::Ld, opts.scratch2, opts.scratch1, lo));
+    push(rri(isa::Op::Add, opts.scratch2, opts.scratch2, 1));
+    push(memi(isa::Op::St, opts.scratch2, opts.scratch1, lo));
+    return seq;
+}
+
+namespace {
+
+/** Unique successor of b within its routine, or -1. */
+int
+uniqueSucc(const Block &b)
+{
+    int s = -1;
+    if (b.takenSucc >= 0)
+        s = b.takenSucc;
+    if (b.fallSucc >= 0) {
+        if (s >= 0 && s != b.fallSucc)
+            return -1;
+        s = b.fallSucc;
+    }
+    return s;
+}
+
+} // namespace
+
+ProfilePlan
+makePlan(exe::Executable &x, const std::vector<Routine> &routines,
+         const ProfileOptions &opts)
+{
+    ProfilePlan out;
+    out.counterOf.resize(routines.size());
+    out.partner.resize(routines.size());
+
+    // Decide which blocks can skip instrumentation. A block may
+    // borrow the count of a partner that is itself instrumented;
+    // once a block serves as a partner it is locked in.
+    std::vector<std::vector<bool>> skipped(routines.size());
+    std::vector<std::vector<bool>> locked(routines.size());
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        skipped[ri].assign(routines[ri].blocks.size(), false);
+        locked[ri].assign(routines[ri].blocks.size(), false);
+        out.partner[ri].assign(routines[ri].blocks.size(), {-1, -1});
+    }
+
+    if (opts.skipRedundantBlocks) {
+        for (size_t ri = 0; ri < routines.size(); ++ri) {
+            const Routine &r = routines[ri];
+            for (const Block &b : r.blocks) {
+                if (locked[ri][b.id])
+                    continue;
+                // A routine's entry block has an invisible
+                // predecessor (its callers), so it can neither skip
+                // via its intra-routine predecessor nor serve as a
+                // "single-entry successor".
+                bool is_entry = b.startAddr == r.entry;
+                // Single instrumented single-exit predecessor.
+                if (!is_entry && b.preds.size() == 1) {
+                    uint32_t p = b.preds[0];
+                    if (!skipped[ri][p] &&
+                        uniqueSucc(r.blocks[p]) ==
+                            static_cast<int>(b.id)) {
+                        skipped[ri][b.id] = true;
+                        locked[ri][p] = true;
+                        out.partner[ri][b.id] = {
+                            static_cast<int>(ri),
+                            static_cast<int>(p)};
+                        continue;
+                    }
+                }
+                // Single instrumented single-entry successor.
+                int s = uniqueSucc(b);
+                if (s >= 0 && !skipped[ri][s] &&
+                    r.blocks[s].startAddr != r.entry &&
+                    r.blocks[s].preds.size() == 1) {
+                    skipped[ri][b.id] = true;
+                    locked[ri][s] = true;
+                    out.partner[ri][b.id] = {static_cast<int>(ri), s};
+                }
+            }
+        }
+    }
+
+    // Count instrumented blocks and reserve the counter array.
+    uint32_t n = 0;
+    for (size_t ri = 0; ri < routines.size(); ++ri)
+        for (const Block &b : routines[ri].blocks)
+            if (!skipped[ri][b.id])
+                ++n, (void)b;
+    out.numCounters = n;
+    out.counterBase = x.addBss("__qpt_counters", 4 * n);
+
+    uint32_t idx = 0;
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        const Routine &r = routines[ri];
+        out.counterOf[ri].assign(r.blocks.size(), -1);
+        out.totalBlocks += r.blocks.size();
+        std::unique_ptr<edit::Liveness> live;
+        if (opts.scavengeRegisters)
+            live = std::make_unique<edit::Liveness>(r);
+        for (const Block &b : r.blocks) {
+            if (skipped[ri][b.id])
+                continue;
+            out.counterOf[ri][b.id] = static_cast<int>(idx);
+            uint32_t addr = out.counterBase + 4 * idx;
+            ProfileOptions block_opts = opts;
+            if (live) {
+                uint8_t dead[2];
+                if (live->pick(b.id, 2, dead) == 2) {
+                    block_opts.scratch1 = dead[0];
+                    block_opts.scratch2 = dead[1];
+                    ++out.scavengedBlocks;
+                }
+            }
+            out.plan.add(ri, b.id, counterSnippet(addr, block_opts));
+            ++idx;
+            ++out.instrumentedBlocks;
+        }
+    }
+    return out;
+}
+
+std::vector<std::vector<uint64_t>>
+readCounts(const sim::Emulator &emu, const ProfilePlan &plan)
+{
+    std::vector<std::vector<uint64_t>> counts(plan.counterOf.size());
+    for (size_t ri = 0; ri < plan.counterOf.size(); ++ri) {
+        counts[ri].assign(plan.counterOf[ri].size(), 0);
+        for (size_t bi = 0; bi < plan.counterOf[ri].size(); ++bi) {
+            int c = plan.counterOf[ri][bi];
+            if (c >= 0)
+                counts[ri][bi] =
+                    emu.readWord(plan.counterBase + 4 * c);
+        }
+    }
+    // Skipped blocks borrow their partner's count (partners are
+    // always instrumented, so one hop suffices).
+    for (size_t ri = 0; ri < plan.counterOf.size(); ++ri) {
+        for (size_t bi = 0; bi < plan.counterOf[ri].size(); ++bi) {
+            if (plan.counterOf[ri][bi] >= 0)
+                continue;
+            auto [pr, pb] = plan.partner[ri][bi];
+            if (pr >= 0)
+                counts[ri][bi] = counts[pr][pb];
+        }
+    }
+    return counts;
+}
+
+} // namespace eel::qpt

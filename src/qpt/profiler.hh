@@ -1,0 +1,79 @@
+/**
+ * @file
+ * QPT2-style slow profiling (paper §4.2): insert a four-instruction
+ * sequence — set immediate, load, add, store — into most basic
+ * blocks, counting block executions in a counter array added to the
+ * executable. Blocks with a single instrumented single-exit
+ * predecessor or a single instrumented single-entry successor are
+ * not instrumented; their counts are reconstructed from the partner
+ * block after the run.
+ *
+ * The counter sequence uses the reserved scratch registers %g6/%g7,
+ * which generated workloads never touch (machines/README.md).
+ */
+
+#ifndef EEL_QPT_PROFILER_HH
+#define EEL_QPT_PROFILER_HH
+
+#include <vector>
+
+#include "src/eel/editor.hh"
+#include "src/sim/emulator.hh"
+
+namespace eel::qpt {
+
+struct ProfileOptions
+{
+    /** Apply the redundant-block optimization described in §4.2. */
+    bool skipRedundantBlocks = true;
+    /**
+     * Scavenge dead registers per block (edit::Liveness) instead of
+     * always using the reserved scratch pair, as the original qpt
+     * did. Blocks with fewer than two dead registers fall back to
+     * scratch1/scratch2.
+     */
+    bool scavengeRegisters = false;
+    uint8_t scratch1 = isa::reg::g6;
+    uint8_t scratch2 = isa::reg::g7;
+};
+
+/** Where each block's count lives after instrumentation. */
+struct ProfilePlan
+{
+    edit::InstrumentationPlan plan;
+    uint32_t counterBase = 0;
+    uint32_t numCounters = 0;
+    /**
+     * counterOf[routine][block]: counter index, or -1 when skipped.
+     * partner[routine][block]: the (routine, block) whose count
+     * equals this block's when skipped.
+     */
+    std::vector<std::vector<int>> counterOf;
+    std::vector<std::vector<std::pair<int, int>>> partner;
+    uint64_t instrumentedBlocks = 0;
+    uint64_t totalBlocks = 0;
+    /** Blocks whose snippet uses scavenged (dead) registers. */
+    uint64_t scavengedBlocks = 0;
+};
+
+/**
+ * Build the instrumentation plan. Adds the counter array to x's bss
+ * (so call this on the executable that will be rewritten).
+ */
+ProfilePlan makePlan(exe::Executable &x,
+                     const std::vector<edit::Routine> &routines,
+                     const ProfileOptions &opts = {});
+
+/**
+ * Read the per-block execution counts out of a finished emulator,
+ * reconstructing skipped blocks from their partners.
+ */
+std::vector<std::vector<uint64_t>>
+readCounts(const sim::Emulator &emu, const ProfilePlan &plan);
+
+/** The 4-instruction counter snippet for a counter at addr. */
+sched::InstSeq counterSnippet(uint32_t addr, const ProfileOptions &opts);
+
+} // namespace eel::qpt
+
+#endif // EEL_QPT_PROFILER_HH

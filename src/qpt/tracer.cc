@@ -1,0 +1,147 @@
+#include "src/qpt/tracer.hh"
+
+#include "src/isa/builder.hh"
+#include "src/support/logging.hh"
+
+namespace eel::qpt {
+
+using edit::Block;
+using edit::Routine;
+
+namespace {
+
+sched::InstSeq
+traceSnippet(uint32_t buf, uint32_t id, const TraceOptions &opts)
+{
+    using namespace isa::build;
+    int32_t lo = static_cast<int32_t>(buf & 0x3ff);
+    sched::InstSeq seq;
+    auto push = [&](isa::Instruction inst) {
+        sched::InstRef ref;
+        ref.inst = inst;
+        ref.isInstrumentation = true;
+        seq.push_back(ref);
+    };
+    push(sethi(opts.scratch1, buf));
+    push(memi(isa::Op::Ld, opts.scratch2, opts.scratch1, lo));
+    if (id < 4096) {
+        push(rri(isa::Op::Or, opts.scratch3, isa::reg::g0,
+                 static_cast<int32_t>(id)));
+    } else {
+        push(sethi(opts.scratch3, id));
+        push(rri(isa::Op::Or, opts.scratch3, opts.scratch3,
+                 static_cast<int32_t>(id & 0x3ff)));
+    }
+    // The cursor is an absolute-offset from the buffer base, so the
+    // sethi'd base plus cursor addresses the slot directly. The low
+    // bits of buf are folded into the initial cursor value instead.
+    push(memr(isa::Op::St, opts.scratch3, opts.scratch1,
+              opts.scratch2));
+    push(rri(isa::Op::Add, opts.scratch2, opts.scratch2, 4));
+    push(memi(isa::Op::St, opts.scratch2, opts.scratch1, lo));
+    return seq;
+}
+
+} // namespace
+
+TracePlan
+makeTracePlan(exe::Executable &x,
+              const std::vector<Routine> &routines,
+              const TraceOptions &opts)
+{
+    TracePlan out;
+    out.idOf.resize(routines.size());
+
+    out.bufferBytes = 8 + 4 * opts.maxEvents;
+    out.bufferBase = x.addBss("__qpt_trace", out.bufferBytes);
+
+    // The cursor lives in word 0 of the buffer and is an offset from
+    // the sethi'd (1KB-aligned-down) base, so a store through
+    // [base + cursor] lands in the buffer directly. bss is
+    // zero-initialized, so the program's entry block gets three extra
+    // seed instructions that set the cursor to %lo(buf) + 4 (the
+    // first data slot) before its own trace record — making traced
+    // executables fully self-contained.
+    // Locate the program's entry block for cursor seeding.
+    size_t entry_ri = routines.size();
+    int entry_bi = -1;
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        if (routines[ri].entry == x.entry) {
+            entry_ri = ri;
+            entry_bi = routines[ri].blockAt(x.entry);
+        }
+    }
+    if (entry_bi < 0)
+        fatal("tracer: no routine starts at the entry point");
+
+    uint32_t id = 0;
+    int32_t lo = static_cast<int32_t>(out.bufferBase & 0x3ff);
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        out.idOf[ri].assign(routines[ri].blocks.size(), 0);
+        for (const Block &b : routines[ri].blocks) {
+            out.idOf[ri][b.id] = id;
+            sched::InstSeq snip =
+                traceSnippet(out.bufferBase, id, opts);
+            if (ri == entry_ri &&
+                b.id == static_cast<uint32_t>(entry_bi)) {
+                // Seed the cursor before the entry block's record.
+                using namespace isa::build;
+                sched::InstSeq seed;
+                auto push = [&](isa::Instruction inst) {
+                    sched::InstRef ref;
+                    ref.inst = inst;
+                    ref.isInstrumentation = true;
+                    seed.push_back(ref);
+                };
+                push(sethi(opts.scratch1, out.bufferBase));
+                push(rri(isa::Op::Or, opts.scratch2, isa::reg::g0,
+                         lo + 4));
+                push(memi(isa::Op::St, opts.scratch2, opts.scratch1,
+                          lo));
+                seed.insert(seed.end(), snip.begin(), snip.end());
+                snip = std::move(seed);
+            }
+            out.plan.add(ri, b.id, std::move(snip));
+            ++id;
+            ++out.tracedBlocks;
+        }
+    }
+    return out;
+}
+
+std::vector<TraceEvent>
+readTrace(const sim::Emulator &emu, const TracePlan &plan)
+{
+    // The cursor is an offset from the sethi'd base (buffer address
+    // with its low 10 bits cleared).
+    uint32_t lo = plan.bufferBase & 0x3ff;
+    uint32_t cursor = emu.readWord(plan.bufferBase);
+    if (cursor < lo + 4)
+        fatal("trace buffer cursor missing: the traced program did "
+              "not run its entry block");
+    uint32_t first = plan.bufferBase + 4;
+    uint32_t end = (plan.bufferBase - lo) + cursor;
+
+    // Invert (routine, block) -> id.
+    std::vector<TraceEvent> byId;
+    for (size_t ri = 0; ri < plan.idOf.size(); ++ri)
+        for (size_t bi = 0; bi < plan.idOf[ri].size(); ++bi) {
+            uint32_t id = plan.idOf[ri][bi];
+            if (id >= byId.size())
+                byId.resize(id + 1);
+            byId[id] = TraceEvent{static_cast<uint32_t>(ri),
+                                  static_cast<uint32_t>(bi)};
+        }
+
+    std::vector<TraceEvent> out;
+    for (uint32_t a = first; a < end; a += 4) {
+        uint32_t id = emu.readWord(a);
+        if (id >= byId.size())
+            fatal("trace buffer corrupt: block id %u out of range",
+                  id);
+        out.push_back(byId[id]);
+    }
+    return out;
+}
+
+} // namespace eel::qpt

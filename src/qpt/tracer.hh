@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Program tracing — the capability qpt is named for (citation [9],
+ * Larus, "Efficient Program Tracing", IEEE Computer 1993). Every
+ * instrumented block appends its id to an in-memory trace buffer;
+ * after the run the buffer replays the program's dynamic basic-block
+ * sequence, from which the full instruction and address trace can be
+ * regenerated.
+ *
+ * The per-block snippet is six instructions using the reserved
+ * scratch registers %g5-%g7:
+ *
+ *     sethi %hi(buf), %g6
+ *     ld    [%g6 + %lo(buf)], %g7    ! current offset (word 0)
+ *     or    %g0, id, %g5             ! block id (sethi/or if large)
+ *     st    %g5, [%g6 + %g7]         ! append
+ *     add   %g7, 4, %g7
+ *     st    %g7, [%g6 + %lo(buf)]
+ *
+ * Like the original qpt, tracing pairs naturally with the scheduler:
+ * the snippet is ordinary straight-line code the editor can
+ * interleave with the block.
+ */
+
+#ifndef EEL_QPT_TRACER_HH
+#define EEL_QPT_TRACER_HH
+
+#include <vector>
+
+#include "src/eel/editor.hh"
+#include "src/sim/emulator.hh"
+
+namespace eel::qpt {
+
+struct TraceOptions
+{
+    /** Maximum trace entries; the buffer is sized for this. Runs
+     *  that would overflow it abort with a memory fault rather than
+     *  silently wrapping. */
+    uint32_t maxEvents = 1u << 20;
+    uint8_t scratch1 = isa::reg::g6;  ///< buffer base
+    uint8_t scratch2 = isa::reg::g7;  ///< offset cursor
+    uint8_t scratch3 = isa::reg::g5;  ///< block id
+};
+
+struct TracePlan
+{
+    edit::InstrumentationPlan plan;
+    uint32_t bufferBase = 0;
+    uint32_t bufferBytes = 0;
+    /** Global block id of (routine, block): id = idOf[ri][bi]. */
+    std::vector<std::vector<uint32_t>> idOf;
+    uint64_t tracedBlocks = 0;
+};
+
+/** One replayed trace event. */
+struct TraceEvent
+{
+    uint32_t routine;
+    uint32_t block;
+
+    bool operator==(const TraceEvent &) const = default;
+};
+
+/**
+ * Build the tracing plan: one snippet per block, a buffer in bss.
+ * Adds the buffer to x (call on the executable to be rewritten).
+ */
+TracePlan makeTracePlan(exe::Executable &x,
+                        const std::vector<edit::Routine> &routines,
+                        const TraceOptions &opts = {});
+
+/** Replay the recorded block sequence from a finished emulator. */
+std::vector<TraceEvent>
+readTrace(const sim::Emulator &emu, const TracePlan &plan);
+
+} // namespace eel::qpt
+
+#endif // EEL_QPT_TRACER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Abstract syntax for SADL expressions and declarations.
+ */
+
+#ifndef EEL_SADL_AST_HH
+#define EEL_SADL_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eel::sadl {
+
+struct Expr;
+using ExprP = std::shared_ptr<const Expr>;
+
+enum class ExprKind : uint8_t {
+    Name,       ///< identifier or operator-identifier reference
+    Number,     ///< integer literal
+    Immediate,  ///< #field — an instruction immediate
+    UnitVal,    ///< the () value
+    List,       ///< [ e1 e2 ... ] — elements are forced lazily
+    Lambda,     ///< \x. body
+    Apply,      ///< f arg (curried application)
+    Seq,        ///< e1, e2, ..., en — value of the last element
+    Assign,     ///< lhs := rhs (register write or local binding)
+    CondExpr,   ///< p ? a : b
+    EqTest,     ///< a = b
+    Zip,        ///< fs @ xs — pointwise application of lists
+    Index,      ///< base [ idx ] — register file / alias indexing
+    CmdA,       ///< A unit [num]
+    CmdR,       ///< R unit [num]
+    CmdAR,      ///< AR unit [num [delay]]
+    CmdD,       ///< D [delay]
+};
+
+/** One SADL expression node. Children are in kids; leaves use fields. */
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    std::string name;          ///< Name/Immediate/Lambda param/Cmd unit
+    long number = 0;           ///< Number value / Cmd num
+    long number2 = 1;          ///< CmdAR delay
+    bool hasNumber = false;    ///< Cmd num present
+    std::vector<ExprP> kids;   ///< subexpressions (see kind)
+};
+
+enum class DeclKind : uint8_t { Unit, Val, Alias, Register, Sem };
+
+/** A top-level SADL declaration. */
+struct Decl
+{
+    DeclKind kind;
+    int line = 0;
+
+    /// Unit: pairs of (name, count) flattened into names/counts.
+    std::vector<std::string> names;
+    std::vector<long> counts;
+
+    /// Val/Sem: bound names are in names; body below.
+    /// Alias: names[0] is the alias name, param the index variable.
+    std::string param;
+    long typeBits = 0;   ///< alias/register element width in bits
+    long arraySize = 0;  ///< register file size
+    ExprP body;
+};
+
+/** A parsed SADL description. */
+struct Program
+{
+    std::vector<Decl> decls;
+};
+
+} // namespace eel::sadl
+
+#endif // EEL_SADL_AST_HH

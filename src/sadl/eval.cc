@@ -1,0 +1,842 @@
+/**
+ * @file
+ * Symbolic evaluator for SADL semantic expressions.
+ *
+ * A sem declaration binds a mnemonic to an expression over timing
+ * commands (A/R/AR/D), register-file aliases, and computational
+ * operators. Evaluating the expression symbolically — advancing a
+ * cycle counter on D, recording unit acquire/release events, and
+ * recording the cycle of every register read and the computation
+ * cycle of every written value — yields exactly the information the
+ * paper's Spawn tool passes to the instruction scheduler (§3.1).
+ *
+ * Conditionals over encoding fields (e.g. "iflag=1 ? ... : ...") fork
+ * the evaluation: each sem mnemonic yields one Timing per reachable
+ * combination of field-condition outcomes.
+ */
+
+#include "src/sadl/timing.hh"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/sadl/ast.hh"
+#include "src/sadl/parser.hh"
+#include "src/support/logging.hh"
+
+namespace eel::sadl {
+
+bool
+Timing::sameShape(const Timing &o) const
+{
+    return latency == o.latency && acquire == o.acquire &&
+           release == o.release && reads == o.reads &&
+           writes == o.writes;
+}
+
+int
+Description::unitIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < units.size(); ++i)
+        if (units[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+Description::regFileIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < regFiles.size(); ++i)
+        if (regFiles[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+Field
+fieldFromName(const std::string &name)
+{
+    if (name == "rs1") return Field::Rs1;
+    if (name == "rs2") return Field::Rs2;
+    if (name == "rd") return Field::Rd;
+    if (name == "iflag") return Field::Iflag;
+    if (name == "cond") return Field::CondF;
+    if (name == "annul") return Field::Annul;
+    if (name == "simm13") return Field::Simm13;
+    if (name == "imm22") return Field::Imm22;
+    if (name == "disp" || name == "disp22" || name == "disp30")
+        return Field::Disp;
+    return Field::None;
+}
+
+std::string
+fieldName(Field f)
+{
+    switch (f) {
+      case Field::Rs1: return "rs1";
+      case Field::Rs2: return "rs2";
+      case Field::Rd: return "rd";
+      case Field::Iflag: return "iflag";
+      case Field::CondF: return "cond";
+      case Field::Annul: return "annul";
+      case Field::Simm13: return "simm13";
+      case Field::Imm22: return "imm22";
+      case Field::Disp: return "disp";
+      default: return "none";
+    }
+}
+
+namespace {
+
+class Eval;
+
+struct Value;
+using ValueP = std::shared_ptr<const Value>;
+
+/** Deferred computation: forced lazily, re-runs per force. */
+using Thunk = std::function<ValueP(Eval &)>;
+
+enum class VKind : uint8_t {
+    UnitV, Num, Sym, BoolV, SymCond, FieldRef, Closure, Builtin,
+    ListV, RegFile, AliasRef, RegRef,
+};
+
+struct Env;
+using EnvP = std::shared_ptr<const Env>;
+
+struct Env
+{
+    std::string name;
+    Thunk thunk;
+    EnvP parent;
+
+    static const Thunk *
+    lookup(const EnvP &env, const std::string &name)
+    {
+        for (const Env *e = env.get(); e; e = e->parent.get())
+            if (e->name == name)
+                return &e->thunk;
+        return nullptr;
+    }
+
+    static EnvP
+    bind(EnvP parent, std::string name, Thunk t)
+    {
+        auto e = std::make_shared<Env>();
+        e->name = std::move(name);
+        e->thunk = std::move(t);
+        e->parent = std::move(parent);
+        return e;
+    }
+};
+
+struct Value
+{
+    VKind kind;
+
+    long num = 0;            ///< Num
+    int cycle = 0;           ///< Sym: cycle the value was computed in
+    bool b = false;          ///< BoolV
+
+    Field field = Field::None;  ///< FieldRef / SymCond / RegRef
+    long cmpVal = 0;            ///< SymCond comparison constant
+
+    // Closure
+    std::string param;
+    ExprP body;
+    EnvP env;
+
+    // Builtin
+    std::string bname;
+    int arity = 0;
+    std::vector<ValueP> partial;
+
+    // ListV
+    std::vector<Thunk> elems;
+
+    // RegFile / RegRef
+    int fileIdx = -1;
+    int constIdx = 0;     ///< RegRef index when field == None
+    bool pair = false;    ///< RegRef: 64-bit access through 32-bit file
+
+    // AliasRef
+    const Decl *alias = nullptr;
+    EnvP aliasEnv;
+};
+
+ValueP
+mkv(VKind k)
+{
+    auto v = std::make_shared<Value>();
+    v->kind = k;
+    return v;
+}
+
+ValueP
+mkNum(long n)
+{
+    auto v = std::make_shared<Value>();
+    v->kind = VKind::Num;
+    v->num = n;
+    return v;
+}
+
+ValueP
+mkSym(int cycle)
+{
+    auto v = std::make_shared<Value>();
+    v->kind = VKind::Sym;
+    v->cycle = cycle;
+    return v;
+}
+
+const ValueP unitValue = mkv(VKind::UnitV);
+
+/** Computational builtins: name -> arity. Timing-wise every builtin
+ *  computes its result in the cycle where it becomes fully applied. */
+const std::map<std::string, int, std::less<>> builtinOps = {
+    {"add32", 2}, {"sub32", 2}, {"and32", 2}, {"or32", 2},
+    {"xor32", 2}, {"sll32", 2}, {"srl32", 2}, {"sra32", 2},
+    {"umul32", 2}, {"smul32", 2}, {"udiv32", 2}, {"sdiv32", 2},
+    {"cmp32", 2},
+    {"store8", 2}, {"store16", 2}, {"store32", 2}, {"store64", 2},
+    {"fadd", 2}, {"fsub", 2}, {"fmul", 2}, {"fdiv", 2}, {"fcmp", 2},
+    {"val32", 1},
+    {"load8", 1}, {"load16", 1}, {"load32", 1}, {"load64", 1},
+    {"fsqrt", 1}, {"fmov", 1}, {"fneg", 1}, {"fabs", 1}, {"cvt", 1},
+    {"branch", 1}, {"trap", 1},
+};
+
+/**
+ * One symbolic run of a sem body. Owns the timing side effects and
+ * the fork decision tape.
+ */
+class Eval
+{
+  public:
+    Eval(const Description &desc, const std::string &mnemonic,
+         std::vector<bool> preset)
+        : desc(desc), preset(std::move(preset))
+    {
+        timing.mnemonic = mnemonic;
+    }
+
+    const Description &desc;
+
+    // Fork decision tape: preset decisions replayed first, further
+    // decisions default to "taken" and are appended to tape.
+    std::vector<bool> preset;
+    std::vector<bool> tape;
+    Timing timing;
+
+    int cycle = 0;
+    int maxEventCycle = 0;
+
+    // Per-unit acquire/release balance for validation.
+    std::map<int, long> balance;
+
+    void
+    note(int c)
+    {
+        maxEventCycle = std::max(maxEventCycle, c);
+    }
+
+    void
+    acquire(int unit, int num, int at)
+    {
+        if (static_cast<size_t>(at) >= timing.acquire.size())
+            timing.acquire.resize(at + 1);
+        timing.acquire[at].push_back(
+            UnitEvent{static_cast<uint16_t>(unit),
+                      static_cast<uint16_t>(num)});
+        balance[unit] += num;
+        note(at);
+    }
+
+    void
+    release(int unit, int num, int at)
+    {
+        if (static_cast<size_t>(at) >= timing.release.size())
+            timing.release.resize(at + 1);
+        timing.release[at].push_back(
+            UnitEvent{static_cast<uint16_t>(unit),
+                      static_cast<uint16_t>(num)});
+        balance[unit] -= num;
+        // A release does not extend the instruction's occupancy on
+        // its own; clamped against latency at the end.
+    }
+
+    bool
+    decide(Field f, long value)
+    {
+        size_t idx = tape.size();
+        bool taken = idx < preset.size() ? preset[idx] : true;
+        tape.push_back(taken);
+        timing.conds.push_back(VariantCond{f, value, taken});
+        return taken;
+    }
+
+    // --- expression evaluation ------------------------------------------
+
+    ValueP
+    eval(const ExprP &e, const EnvP &env)
+    {
+        return coerce(evalRef(e, env));
+    }
+
+    /** Turn a register reference into a recorded read. */
+    ValueP
+    coerce(ValueP v)
+    {
+        if (v->kind != VKind::RegRef)
+            return v;
+        RegAccess acc;
+        acc.file = static_cast<uint16_t>(v->fileIdx);
+        acc.field = v->field;
+        acc.constIdx = static_cast<uint16_t>(v->constIdx);
+        acc.pair = v->pair;
+        acc.cycle = static_cast<uint8_t>(cycle);
+        acc.valueReady = 0;
+        acc.isWrite = false;
+        timing.reads.push_back(acc);
+        note(cycle);
+        return mkSym(cycle);
+    }
+
+    ValueP
+    evalRef(const ExprP &e, const EnvP &env)
+    {
+        switch (e->kind) {
+          case ExprKind::Number:
+            return mkNum(e->number);
+          case ExprKind::UnitVal:
+            return unitValue;
+          case ExprKind::Immediate: {
+            Field f = fieldFromName(e->name);
+            if (f == Field::None)
+                fatal("sadl: line %d: unknown immediate field '#%s'",
+                      e->line, e->name.c_str());
+            // Immediates are ready at issue; they behave as values
+            // computed "before cycle 0".
+            auto v = std::make_shared<Value>();
+            v->kind = VKind::Sym;
+            v->cycle = cycle > 0 ? cycle - 1 : 0;
+            return v;
+          }
+          case ExprKind::Name:
+            return evalName(e, env);
+          case ExprKind::Lambda: {
+            auto v = std::make_shared<Value>();
+            v->kind = VKind::Closure;
+            v->param = e->name;
+            v->body = e->kids[0];
+            v->env = env;
+            return v;
+          }
+          case ExprKind::List: {
+            auto v = std::make_shared<Value>();
+            v->kind = VKind::ListV;
+            for (const ExprP &kid : e->kids) {
+                EnvP captured = env;
+                v->elems.push_back([kid, captured](Eval &ev) {
+                    return ev.evalRef(kid, captured);
+                });
+            }
+            return v;
+          }
+          case ExprKind::Apply: {
+            ValueP f = eval(e->kids[0], env);
+            ValueP arg = eval(e->kids[1], env);
+            return apply(f, arg, e->line);
+          }
+          case ExprKind::Seq:
+            return evalSeq(e, env);
+          case ExprKind::Assign:
+            return evalAssign(e, env, nullptr);
+          case ExprKind::CondExpr: {
+            ValueP test = eval(e->kids[0], env);
+            bool taken;
+            if (test->kind == VKind::BoolV) {
+                taken = test->b;
+            } else if (test->kind == VKind::SymCond) {
+                taken = decide(test->field, test->cmpVal);
+            } else {
+                fatal("sadl: line %d: condition is not a boolean",
+                      e->line);
+            }
+            return evalRef(e->kids[taken ? 1 : 2], env);
+          }
+          case ExprKind::EqTest: {
+            ValueP a = eval(e->kids[0], env);
+            ValueP b = eval(e->kids[1], env);
+            if (a->kind == VKind::Num && b->kind == VKind::Num) {
+                auto v = mkv(VKind::BoolV);
+                const_cast<Value &>(*v).b = a->num == b->num;
+                return v;
+            }
+            const Value *fld = nullptr;
+            const Value *num = nullptr;
+            if (a->kind == VKind::FieldRef && b->kind == VKind::Num) {
+                fld = a.get();
+                num = b.get();
+            } else if (b->kind == VKind::FieldRef &&
+                       a->kind == VKind::Num) {
+                fld = b.get();
+                num = a.get();
+            } else {
+                fatal("sadl: line %d: '=' needs a field and a "
+                      "constant", e->line);
+            }
+            auto v = std::make_shared<Value>();
+            v->kind = VKind::SymCond;
+            v->field = fld->field;
+            v->cmpVal = num->num;
+            return v;
+          }
+          case ExprKind::Zip:
+            return evalZip(e, env);
+          case ExprKind::Index:
+            return evalIndex(e, env);
+          case ExprKind::CmdA:
+          case ExprKind::CmdR:
+          case ExprKind::CmdAR:
+          case ExprKind::CmdD:
+            return evalCmd(e);
+        }
+        panic("sadl eval: unhandled expression kind");
+    }
+
+    ValueP
+    evalName(const ExprP &e, const EnvP &env)
+    {
+        if (const Thunk *t = Env::lookup(env, e->name))
+            return (*t)(*this);
+
+        Field f = fieldFromName(e->name);
+        if (f != Field::None) {
+            auto v = std::make_shared<Value>();
+            v->kind = VKind::FieldRef;
+            v->field = f;
+            return v;
+        }
+        auto bi = builtinOps.find(e->name);
+        if (bi != builtinOps.end()) {
+            auto v = std::make_shared<Value>();
+            v->kind = VKind::Builtin;
+            v->bname = bi->first;
+            v->arity = bi->second;
+            return v;
+        }
+        fatal("sadl: line %d: unknown name '%s'", e->line,
+              e->name.c_str());
+    }
+
+    ValueP
+    apply(ValueP f, ValueP arg, int line)
+    {
+        arg = coerce(arg);
+        switch (f->kind) {
+          case VKind::Closure: {
+            EnvP inner = Env::bind(
+                f->env, f->param,
+                [arg](Eval &) { return arg; });
+            return evalRef(f->body, inner);
+          }
+          case VKind::Builtin: {
+            auto v = std::make_shared<Value>(*f);
+            v->partial.push_back(arg);
+            if (static_cast<int>(v->partial.size()) < v->arity)
+                return v;
+            // Fully applied: the result is computed in this cycle.
+            note(cycle);
+            return mkSym(cycle);
+          }
+          default:
+            fatal("sadl: line %d: value is not applicable", line);
+        }
+    }
+
+    /**
+     * Sequencing with local bindings: "x := e" in a non-final
+     * position extends the environment for the rest of the sequence.
+     */
+    ValueP
+    evalSeq(const ExprP &e, const EnvP &env)
+    {
+        EnvP cur = env;
+        ValueP last = unitValue;
+        for (size_t i = 0; i < e->kids.size(); ++i) {
+            const ExprP &elem = e->kids[i];
+            bool final_elem = i + 1 == e->kids.size();
+            if (elem->kind == ExprKind::Assign) {
+                last = evalAssign(elem, cur, &cur);
+            } else if (final_elem) {
+                last = evalRef(elem, cur);
+            } else {
+                // Value dropped, but effects (and register reads)
+                // still happen.
+                last = eval(elem, cur);
+            }
+        }
+        return last;
+    }
+
+    /**
+     * Assignment: to a local name (binds; env_out updated) or to a
+     * register reference (records a write whose value-ready cycle is
+     * the cycle the right-hand side was computed in, per §3.1).
+     */
+    ValueP
+    evalAssign(const ExprP &e, const EnvP &env, EnvP *env_out)
+    {
+        const ExprP &lhs = e->kids[0];
+        ValueP rhs = eval(e->kids[1], env);
+
+        // Local binding?
+        if (lhs->kind == ExprKind::Name &&
+            !Env::lookup(env, lhs->name) &&
+            fieldFromName(lhs->name) == Field::None &&
+            !builtinOps.count(lhs->name)) {
+            if (env_out)
+                *env_out = Env::bind(env, lhs->name,
+                                     [rhs](Eval &) { return rhs; });
+            return rhs;
+        }
+
+        ValueP ref = evalRef(lhs, env);
+        if (ref->kind != VKind::RegRef)
+            fatal("sadl: line %d: assignment target is not a register",
+                  e->line);
+        RegAccess acc;
+        acc.file = static_cast<uint16_t>(ref->fileIdx);
+        acc.field = ref->field;
+        acc.constIdx = static_cast<uint16_t>(ref->constIdx);
+        acc.pair = ref->pair;
+        acc.cycle = static_cast<uint8_t>(cycle);
+        acc.valueReady = static_cast<uint8_t>(
+            rhs->kind == VKind::Sym ? rhs->cycle : cycle);
+        acc.isWrite = true;
+        timing.writes.push_back(acc);
+        note(cycle);
+        return rhs;
+    }
+
+    ValueP
+    evalZip(const ExprP &e, const EnvP &env)
+    {
+        ValueP left = evalRef(e->kids[0], env);
+        ValueP right = evalRef(e->kids[1], env);
+        if (right->kind != VKind::ListV)
+            fatal("sadl: line %d: right side of '@' must be a list",
+                  e->line);
+        auto out = std::make_shared<Value>();
+        out->kind = VKind::ListV;
+        int line = e->line;
+        for (size_t k = 0; k < right->elems.size(); ++k) {
+            Thunk rt = right->elems[k];
+            if (left->kind == VKind::ListV) {
+                if (left->elems.size() != right->elems.size())
+                    fatal("sadl: line %d: '@' list lengths differ "
+                          "(%zu vs %zu)", e->line, left->elems.size(),
+                          right->elems.size());
+                Thunk lt = left->elems[k];
+                out->elems.push_back([lt, rt, line](Eval &ev) {
+                    ValueP f = ev.coerce(lt(ev));
+                    ValueP x = rt(ev);
+                    return ev.apply(f, x, line);
+                });
+            } else {
+                ValueP f = left;
+                out->elems.push_back([f, rt, line](Eval &ev) {
+                    return ev.apply(f, rt(ev), line);
+                });
+            }
+        }
+        return out;
+    }
+
+    ValueP
+    evalIndex(const ExprP &e, const EnvP &env)
+    {
+        ValueP base = evalRef(e->kids[0], env);
+        ValueP idx = evalRef(e->kids[1], env);
+        switch (base->kind) {
+          case VKind::RegFile: {
+            auto v = std::make_shared<Value>();
+            v->kind = VKind::RegRef;
+            v->fileIdx = base->fileIdx;
+            if (idx->kind == VKind::FieldRef) {
+                v->field = idx->field;
+            } else if (idx->kind == VKind::Num) {
+                v->field = Field::None;
+                v->constIdx = static_cast<int>(idx->num);
+            } else {
+                fatal("sadl: line %d: register index must be a field "
+                      "or constant", e->line);
+            }
+            return v;
+          }
+          case VKind::AliasRef: {
+            const Decl *a = base->alias;
+            ValueP captured = idx;
+            EnvP inner = Env::bind(
+                base->aliasEnv, a->param,
+                [captured](Eval &) { return captured; });
+            ValueP r = evalRef(a->body, inner);
+            if (r->kind == VKind::RegRef) {
+                auto v = std::make_shared<Value>(*r);
+                unsigned fbits = desc.regFiles[r->fileIdx].bits;
+                v->pair = a->typeBits == 2 * fbits;
+                return v;
+            }
+            return r;
+          }
+          case VKind::ListV: {
+            if (idx->kind != VKind::Num)
+                fatal("sadl: line %d: list index must be a constant",
+                      e->line);
+            size_t k = static_cast<size_t>(idx->num);
+            if (k >= base->elems.size())
+                fatal("sadl: line %d: list index out of range",
+                      e->line);
+            return base->elems[k](*this);
+          }
+          default:
+            fatal("sadl: line %d: value cannot be indexed", e->line);
+        }
+    }
+
+    ValueP
+    evalCmd(const ExprP &e)
+    {
+        if (e->kind == ExprKind::CmdD) {
+            cycle += e->hasNumber ? static_cast<int>(e->number) : 1;
+            return unitValue;
+        }
+        int unit = desc.unitIndex(e->name);
+        if (unit < 0)
+            fatal("sadl: line %d: unknown unit '%s'", e->line,
+                  e->name.c_str());
+        int num = e->hasNumber ? static_cast<int>(e->number) : 1;
+        switch (e->kind) {
+          case ExprKind::CmdA:
+            acquire(unit, num, cycle);
+            break;
+          case ExprKind::CmdR:
+            release(unit, num, cycle);
+            break;
+          case ExprKind::CmdAR:
+            acquire(unit, num, cycle);
+            release(unit, num, cycle + static_cast<int>(e->number2));
+            break;
+          default:
+            panic("evalCmd: not a command");
+        }
+        return unitValue;
+    }
+};
+
+/** Builds the description: declaration processing + fork handling. */
+class Analyzer
+{
+  public:
+    Description
+    run(const std::string &source)
+    {
+        Program prog = parse(source);
+        for (const Decl &d : prog.decls)
+            process(d);
+        assignGroups();
+        return std::move(desc);
+    }
+
+  private:
+    Description desc;
+    EnvP topEnv;
+
+    void
+    process(const Decl &d)
+    {
+        switch (d.kind) {
+          case DeclKind::Unit:
+            for (size_t i = 0; i < d.names.size(); ++i) {
+                if (desc.unitIndex(d.names[i]) >= 0)
+                    fatal("sadl: line %d: duplicate unit '%s'", d.line,
+                          d.names[i].c_str());
+                desc.units.push_back(
+                    UnitDecl{d.names[i],
+                             static_cast<unsigned>(d.counts[i])});
+            }
+            break;
+
+          case DeclKind::Register: {
+            desc.regFiles.push_back(
+                RegFileDecl{d.names[0],
+                            static_cast<unsigned>(d.typeBits),
+                            static_cast<unsigned>(d.arraySize)});
+            int idx = static_cast<int>(desc.regFiles.size() - 1);
+            topEnv = Env::bind(topEnv, d.names[0], [idx](Eval &) {
+                auto v = mkv(VKind::RegFile);
+                const_cast<Value &>(*v).fileIdx = idx;
+                return v;
+            });
+            break;
+          }
+
+          case DeclKind::Alias: {
+            // Copy the declaration so the thunk owns stable storage.
+            auto decl = std::make_shared<Decl>(d);
+            EnvP captured = topEnv;
+            topEnv = Env::bind(topEnv, d.names[0],
+                               [decl, captured](Eval &) {
+                auto v = mkv(VKind::AliasRef);
+                const_cast<Value &>(*v).alias = decl.get();
+                const_cast<Value &>(*v).aliasEnv = captured;
+                return v;
+            });
+            keepAlive.push_back(decl);
+            break;
+          }
+
+          case DeclKind::Val: {
+            // Call-by-name macros: each reference re-evaluates the
+            // body, so timing effects land in the referencing sem.
+            EnvP captured = topEnv;
+            if (d.names.size() == 1) {
+                ExprP body = d.body;
+                topEnv = Env::bind(topEnv, d.names[0],
+                                   [body, captured](Eval &ev) {
+                    return ev.evalRef(body, captured);
+                });
+            } else {
+                ExprP body = d.body;
+                for (size_t k = 0; k < d.names.size(); ++k) {
+                    int line = d.line;
+                    topEnv = Env::bind(topEnv, d.names[k],
+                                       [body, captured, k, line]
+                                       (Eval &ev) {
+                        ValueP v = ev.evalRef(body, captured);
+                        if (v->kind != VKind::ListV)
+                            fatal("sadl: line %d: val binds a list of "
+                                  "names but body is not a list",
+                                  line);
+                        if (k >= v->elems.size())
+                            fatal("sadl: line %d: val name list longer "
+                                  "than body list", line);
+                        return v->elems[k](ev);
+                    });
+                }
+            }
+            break;
+          }
+
+          case DeclKind::Sem:
+            for (size_t k = 0; k < d.names.size(); ++k)
+                evalSem(d, k);
+            break;
+        }
+    }
+
+    /** Evaluate one sem binding, enumerating all condition forks. */
+    void
+    evalSem(const Decl &d, size_t k)
+    {
+        std::deque<std::vector<bool>> queue;
+        queue.push_back({});
+        int guard = 0;
+        while (!queue.empty()) {
+            if (++guard > 64)
+                fatal("sadl: line %d: too many condition variants for "
+                      "'%s'", d.line, d.names[k].c_str());
+            std::vector<bool> preset = std::move(queue.front());
+            queue.pop_front();
+
+            Eval ev(desc, d.names[k], preset);
+            ValueP v = ev.evalRef(d.body, topEnv);
+            if (d.names.size() > 1 || v->kind == VKind::ListV) {
+                if (v->kind != VKind::ListV)
+                    fatal("sadl: line %d: sem binds %zu names but body "
+                          "is not a list", d.line, d.names.size());
+                if (k >= v->elems.size())
+                    fatal("sadl: line %d: sem name list longer than "
+                          "body list", d.line);
+                v = v->elems[k](ev);
+            }
+            ev.coerce(v);
+            finishTiming(ev, d);
+
+            // Enqueue the not-taken side of every decision this run
+            // made beyond its preset.
+            for (size_t j = preset.size(); j < ev.tape.size(); ++j) {
+                std::vector<bool> alt(ev.tape.begin(),
+                                      ev.tape.begin() + j);
+                alt.push_back(!ev.tape[j]);
+                queue.push_back(std::move(alt));
+            }
+        }
+    }
+
+    void
+    finishTiming(Eval &ev, const Decl &d)
+    {
+        Timing &t = ev.timing;
+        int lat = std::max(ev.cycle, ev.maxEventCycle) + 1;
+        t.latency = static_cast<unsigned>(lat);
+        for (const auto &[unit, bal] : ev.balance) {
+            if (bal != 0)
+                fatal("sadl: line %d: '%s': unit '%s' acquired and "
+                      "released unevenly (%ld left held)", d.line,
+                      t.mnemonic.c_str(),
+                      desc.units[unit].name.c_str(), bal);
+        }
+        // Normalize table sizes: acquire indexed 0..latency-1,
+        // release 0..latency (events past that are clamped into the
+        // final slot so resources are freed when the instruction
+        // retires at the latest).
+        if (t.acquire.size() < static_cast<size_t>(lat))
+            t.acquire.resize(lat);
+        std::vector<std::vector<UnitEvent>> rel(lat + 1);
+        for (size_t c = 0; c < t.release.size(); ++c) {
+            size_t slot = std::min(c, static_cast<size_t>(lat));
+            for (const UnitEvent &e : t.release[c])
+                rel[slot].push_back(e);
+        }
+        t.release = std::move(rel);
+        desc.timings.push_back(std::move(t));
+    }
+
+    void
+    assignGroups()
+    {
+        std::vector<const Timing *> reps;
+        for (Timing &t : desc.timings) {
+            bool found = false;
+            for (size_t g = 0; g < reps.size(); ++g) {
+                if (t.sameShape(*reps[g])) {
+                    t.group = static_cast<unsigned>(g);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                t.group = static_cast<unsigned>(reps.size());
+                reps.push_back(&t);
+            }
+        }
+        desc.numGroups = static_cast<unsigned>(reps.size());
+    }
+
+    std::vector<std::shared_ptr<Decl>> keepAlive;
+};
+
+} // namespace
+
+Description
+analyze(const std::string &source)
+{
+    return Analyzer().run(source);
+}
+
+} // namespace eel::sadl

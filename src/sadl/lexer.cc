@@ -1,0 +1,173 @@
+#include "src/sadl/lexer.hh"
+
+#include <cctype>
+#include <map>
+
+#include "src/support/logging.hh"
+
+namespace eel::sadl {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isOpChar(char c)
+{
+    return c == '+' || c == '-' || c == '&' || c == '|' || c == '^' ||
+           c == '<' || c == '>' || c == '*' || c == '/' || c == '~' ||
+           c == '!';
+}
+
+const std::map<std::string, Tok, std::less<>> keywords = {
+    {"unit", Tok::KwUnit},   {"val", Tok::KwVal},
+    {"alias", Tok::KwAlias}, {"register", Tok::KwRegister},
+    {"sem", Tok::KwSem},     {"is", Tok::KwIs},
+    // A, R, AR, and D are contextual: the parser recognizes them as
+    // timing commands when followed by a unit name (or a delay count
+    // for D); otherwise they are ordinary identifiers. The paper's
+    // own descriptions use "R" both as the release command and as the
+    // integer register file.
+};
+
+} // namespace
+
+std::string
+tokenName(const Token &t)
+{
+    switch (t.kind) {
+      case Tok::End: return "<end of input>";
+      case Tok::Ident: return "identifier '" + t.text + "'";
+      case Tok::OpIdent: return "operator '" + t.text + "'";
+      case Tok::Number: return "number " + std::to_string(t.value);
+      case Tok::Immediate: return "immediate '#" + t.text + "'";
+      case Tok::KwUnit: return "'unit'";
+      case Tok::KwVal: return "'val'";
+      case Tok::KwAlias: return "'alias'";
+      case Tok::KwRegister: return "'register'";
+      case Tok::KwSem: return "'sem'";
+      case Tok::KwIs: return "'is'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::Comma: return "','";
+      case Tok::Dot: return "'.'";
+      case Tok::Question: return "'?'";
+      case Tok::Colon: return "':'";
+      case Tok::At: return "'@'";
+      case Tok::Lambda: return "'\\'";
+      case Tok::Assign: return "':='";
+      case Tok::Equals: return "'='";
+    }
+    return "<unknown>";
+}
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+    const size_t n = source.size();
+
+    auto push = [&](Tok kind, std::string text = {}, long value = 0) {
+        out.push_back(Token{kind, std::move(text), value, line});
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            size_t b = i;
+            while (i < n && isIdentChar(source[i]))
+                ++i;
+            std::string word = source.substr(b, i - b);
+            auto it = keywords.find(word);
+            if (it != keywords.end())
+                push(it->second, word);
+            else
+                push(Tok::Ident, word);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t b = i;
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(source[i])))
+                ++i;
+            long v = std::stol(source.substr(b, i - b));
+            push(Tok::Number, {}, v);
+            continue;
+        }
+        if (c == '#') {
+            ++i;
+            size_t b = i;
+            while (i < n && isIdentChar(source[i]))
+                ++i;
+            if (b == i)
+                fatal("sadl: line %d: '#' must be followed by a field "
+                      "name", line);
+            push(Tok::Immediate, source.substr(b, i - b));
+            continue;
+        }
+        if (c == ':' && i + 1 < n && source[i + 1] == '=') {
+            push(Tok::Assign);
+            i += 2;
+            continue;
+        }
+        if (isOpChar(c)) {
+            size_t b = i;
+            while (i < n && isOpChar(source[i]))
+                ++i;
+            push(Tok::OpIdent, source.substr(b, i - b));
+            continue;
+        }
+        switch (c) {
+          case '(': push(Tok::LParen); break;
+          case ')': push(Tok::RParen); break;
+          case '[': push(Tok::LBracket); break;
+          case ']': push(Tok::RBracket); break;
+          case '{': push(Tok::LBrace); break;
+          case '}': push(Tok::RBrace); break;
+          case ',': push(Tok::Comma); break;
+          case '.': push(Tok::Dot); break;
+          case '?': push(Tok::Question); break;
+          case ':': push(Tok::Colon); break;
+          case '@': push(Tok::At); break;
+          case '\\': push(Tok::Lambda); break;
+          case '=': push(Tok::Equals); break;
+          default:
+            fatal("sadl: line %d: unexpected character '%c'", line, c);
+        }
+        ++i;
+    }
+    push(Tok::End);
+    return out;
+}
+
+} // namespace eel::sadl

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Lexer for SADL source text.
+ */
+
+#ifndef EEL_SADL_LEXER_HH
+#define EEL_SADL_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/sadl/token.hh"
+
+namespace eel::sadl {
+
+/**
+ * Tokenize SADL source. Comments run from "//" to end of line.
+ * Throws FatalError on malformed input.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace eel::sadl
+
+#endif // EEL_SADL_LEXER_HH

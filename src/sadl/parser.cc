@@ -1,0 +1,438 @@
+#include "src/sadl/parser.hh"
+
+#include "src/sadl/lexer.hh"
+#include "src/support/logging.hh"
+
+namespace eel::sadl {
+
+namespace {
+
+/**
+ * Expression grammar, lowest to highest precedence:
+ *
+ *   expr     := lambda | seq
+ *   lambda   := '\' ident '.' expr
+ *   seq      := element (',' element)*
+ *   element  := zip [':=' zip]        (lhs must be a name or index)
+ *   zip      := cond ('@' cond)*
+ *   cond     := eq ['?' cond ':' cond]
+ *   eq       := app ['=' app]
+ *   app      := postfix+
+ *   postfix  := primary ('[' expr ']')*
+ *   primary  := number | ident | opident | '#'field
+ *             | '(' ')' | '(' expr ')' | '[' postfix* ']'
+ *             | 'A' unit [num] | 'R' unit [num]
+ *             | 'AR' unit [num [num]] | 'D' [num]
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : toks(tokenize(src)) {}
+
+    Program
+    parseProgram()
+    {
+        Program prog;
+        while (peek().kind != Tok::End)
+            prog.decls.push_back(parseDecl());
+        return prog;
+    }
+
+  private:
+    std::vector<Token> toks;
+    size_t pos = 0;
+
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t i = pos + ahead;
+        return i < toks.size() ? toks[i] : toks.back();
+    }
+    Token
+    next()
+    {
+        Token t = peek();
+        if (pos < toks.size() - 1)
+            ++pos;
+        return t;
+    }
+    Token
+    expect(Tok kind, const char *what)
+    {
+        if (peek().kind != kind)
+            fatal("sadl: line %d: expected %s, found %s", peek().line,
+                  what, tokenName(peek()).c_str());
+        return next();
+    }
+
+    static ExprP
+    node(ExprKind kind, int line)
+    {
+        auto e = std::make_shared<Expr>();
+        e->kind = kind;
+        e->line = line;
+        return e;
+    }
+    static Expr &mut(const ExprP &e) { return const_cast<Expr &>(*e); }
+
+    // --- Declarations ---------------------------------------------------
+
+    Decl
+    parseDecl()
+    {
+        switch (peek().kind) {
+          case Tok::KwUnit: return parseUnit();
+          case Tok::KwVal: return parseValOrSem(DeclKind::Val);
+          case Tok::KwSem: return parseValOrSem(DeclKind::Sem);
+          case Tok::KwAlias: return parseAlias();
+          case Tok::KwRegister: return parseRegister();
+          default:
+            fatal("sadl: line %d: expected a declaration, found %s",
+                  peek().line, tokenName(peek()).c_str());
+        }
+    }
+
+    Decl
+    parseUnit()
+    {
+        Decl d;
+        d.kind = DeclKind::Unit;
+        d.line = next().line;  // 'unit'
+        for (;;) {
+            Token name = expect(Tok::Ident, "unit name");
+            Token count = expect(Tok::Number, "unit count");
+            d.names.push_back(name.text);
+            d.counts.push_back(count.value);
+            if (peek().kind != Tok::Comma)
+                break;
+            next();
+        }
+        return d;
+    }
+
+    Decl
+    parseValOrSem(DeclKind kind)
+    {
+        Decl d;
+        d.kind = kind;
+        d.line = next().line;  // 'val' or 'sem'
+        if (peek().kind == Tok::LBracket) {
+            next();
+            while (peek().kind != Tok::RBracket) {
+                if (peek().kind == Tok::Ident ||
+                    peek().kind == Tok::OpIdent)
+                    d.names.push_back(next().text);
+                else
+                    fatal("sadl: line %d: expected name in binding "
+                          "list, found %s", peek().line,
+                          tokenName(peek()).c_str());
+            }
+            next();  // ']'
+        } else if (peek().kind == Tok::Ident ||
+                   peek().kind == Tok::OpIdent) {
+            d.names.push_back(next().text);
+        } else {
+            fatal("sadl: line %d: expected name after val/sem",
+                  peek().line);
+        }
+        expect(Tok::KwIs, "'is'");
+        d.body = parseExpr();
+        return d;
+    }
+
+    /** Parse "type{bits}" and return bits. */
+    long
+    parseType()
+    {
+        expect(Tok::Ident, "type name");
+        expect(Tok::LBrace, "'{'");
+        Token bits = expect(Tok::Number, "bit width");
+        expect(Tok::RBrace, "'}'");
+        return bits.value;
+    }
+
+    Decl
+    parseAlias()
+    {
+        Decl d;
+        d.kind = DeclKind::Alias;
+        d.line = next().line;  // 'alias'
+        d.typeBits = parseType();
+        d.names.push_back(expect(Tok::Ident, "alias name").text);
+        expect(Tok::LBracket, "'['");
+        d.param = expect(Tok::Ident, "index variable").text;
+        expect(Tok::RBracket, "']'");
+        expect(Tok::KwIs, "'is'");
+        d.body = parseExpr();
+        return d;
+    }
+
+    Decl
+    parseRegister()
+    {
+        Decl d;
+        d.kind = DeclKind::Register;
+        d.line = next().line;  // 'register'
+        d.typeBits = parseType();
+        d.names.push_back(expect(Tok::Ident, "register file name").text);
+        expect(Tok::LBracket, "'['");
+        d.arraySize = expect(Tok::Number, "register count").value;
+        expect(Tok::RBracket, "']'");
+        return d;
+    }
+
+    // --- Expressions ----------------------------------------------------
+
+    ExprP
+    parseExpr()
+    {
+        if (peek().kind == Tok::Lambda)
+            return parseLambda();
+        return parseSeq();
+    }
+
+    ExprP
+    parseLambda()
+    {
+        int line = next().line;  // '\'
+        Token param = expect(Tok::Ident, "lambda parameter");
+        expect(Tok::Dot, "'.'");
+        ExprP e = node(ExprKind::Lambda, line);
+        mut(e).name = param.text;
+        mut(e).kids.push_back(parseExpr());
+        return e;
+    }
+
+    ExprP
+    parseSeq()
+    {
+        int line = peek().line;
+        std::vector<ExprP> elems;
+        elems.push_back(parseElement());
+        while (peek().kind == Tok::Comma) {
+            next();
+            elems.push_back(parseElement());
+        }
+        if (elems.size() == 1)
+            return elems[0];
+        ExprP e = node(ExprKind::Seq, line);
+        mut(e).kids = std::move(elems);
+        return e;
+    }
+
+    ExprP
+    parseElement()
+    {
+        if (peek().kind == Tok::Lambda)
+            return parseLambda();
+        ExprP lhs = parseZip();
+        if (peek().kind == Tok::Assign) {
+            int line = next().line;
+            if (lhs->kind != ExprKind::Name &&
+                lhs->kind != ExprKind::Index)
+                fatal("sadl: line %d: left side of ':=' must be a name "
+                      "or register reference", line);
+            ExprP rhs = parseZip();
+            ExprP e = node(ExprKind::Assign, line);
+            mut(e).kids = {lhs, rhs};
+            return e;
+        }
+        return lhs;
+    }
+
+    ExprP
+    parseZip()
+    {
+        ExprP left = parseCond();
+        while (peek().kind == Tok::At) {
+            int line = next().line;
+            ExprP right = parseCond();
+            ExprP e = node(ExprKind::Zip, line);
+            mut(e).kids = {left, right};
+            left = e;
+        }
+        return left;
+    }
+
+    ExprP
+    parseCond()
+    {
+        ExprP test = parseEq();
+        if (peek().kind != Tok::Question)
+            return test;
+        int line = next().line;
+        ExprP then_arm = parseCond();
+        expect(Tok::Colon, "':'");
+        ExprP else_arm = parseCond();
+        ExprP e = node(ExprKind::CondExpr, line);
+        mut(e).kids = {test, then_arm, else_arm};
+        return e;
+    }
+
+    ExprP
+    parseEq()
+    {
+        ExprP left = parseApp();
+        if (peek().kind != Tok::Equals)
+            return left;
+        int line = next().line;
+        ExprP right = parseApp();
+        ExprP e = node(ExprKind::EqTest, line);
+        mut(e).kids = {left, right};
+        return e;
+    }
+
+    bool
+    startsPrimary() const
+    {
+        switch (peek().kind) {
+          case Tok::Number: case Tok::Ident: case Tok::OpIdent:
+          case Tok::Immediate: case Tok::LParen: case Tok::LBracket:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /**
+     * Contextual command recognition: an identifier A/R/AR spells a
+     * timing command when the next token is a unit name; D spells a
+     * pipeline advance when followed by a delay count, a separator,
+     * or anything that cannot continue an application.
+     */
+    bool
+    isCommandHere() const
+    {
+        const std::string &w = peek().text;
+        if (peek().kind != Tok::Ident)
+            return false;
+        if (w == "A" || w == "R" || w == "AR")
+            return peek(1).kind == Tok::Ident;
+        if (w == "D")
+            return peek(1).kind != Tok::LBracket;
+        return false;
+    }
+
+    ExprP
+    parseApp()
+    {
+        ExprP f = parsePostfix();
+        // Timing commands take their arguments in their own syntax and
+        // never act as curried functions.
+        if (f->kind == ExprKind::CmdA || f->kind == ExprKind::CmdR ||
+            f->kind == ExprKind::CmdAR || f->kind == ExprKind::CmdD)
+            return f;
+        while (startsPrimary()) {
+            ExprP arg = parsePostfix();
+            ExprP e = node(ExprKind::Apply, f->line);
+            mut(e).kids = {f, arg};
+            f = e;
+        }
+        return f;
+    }
+
+    ExprP
+    parsePostfix()
+    {
+        ExprP base = parsePrimary();
+        while (peek().kind == Tok::LBracket &&
+               (base->kind == ExprKind::Name ||
+                base->kind == ExprKind::Index)) {
+            int line = next().line;
+            ExprP idx = parseExpr();
+            expect(Tok::RBracket, "']'");
+            ExprP e = node(ExprKind::Index, line);
+            mut(e).kids = {base, idx};
+            base = e;
+        }
+        return base;
+    }
+
+    ExprP
+    parseCommand()
+    {
+        Token t = next();  // A / R / AR / D
+        if (t.text == "D") {
+            ExprP e = node(ExprKind::CmdD, t.line);
+            if (peek().kind == Tok::Number) {
+                mut(e).number = next().value;
+                mut(e).hasNumber = true;
+            }
+            return e;
+        }
+        ExprKind kind = t.text == "A" ? ExprKind::CmdA
+                      : t.text == "R" ? ExprKind::CmdR
+                                      : ExprKind::CmdAR;
+        ExprP e = node(kind, t.line);
+        mut(e).name = expect(Tok::Ident, "unit name").text;
+        if (peek().kind == Tok::Number) {
+            mut(e).number = next().value;
+            mut(e).hasNumber = true;
+            if (kind == ExprKind::CmdAR && peek().kind == Tok::Number)
+                mut(e).number2 = next().value;
+        }
+        return e;
+    }
+
+    ExprP
+    parsePrimary()
+    {
+        const Token &t = peek();
+        switch (t.kind) {
+          case Tok::Number: {
+            ExprP e = node(ExprKind::Number, t.line);
+            mut(e).number = next().value;
+            return e;
+          }
+          case Tok::Ident:
+            if (isCommandHere())
+                return parseCommand();
+            [[fallthrough]];
+          case Tok::OpIdent: {
+            ExprP e = node(ExprKind::Name, t.line);
+            mut(e).name = next().text;
+            return e;
+          }
+          case Tok::Immediate: {
+            ExprP e = node(ExprKind::Immediate, t.line);
+            mut(e).name = next().text;
+            return e;
+          }
+          case Tok::LParen: {
+            next();
+            if (peek().kind == Tok::RParen) {
+                next();
+                return node(ExprKind::UnitVal, t.line);
+            }
+            ExprP inner = parseExpr();
+            expect(Tok::RParen, "')'");
+            return inner;
+          }
+          case Tok::LBracket: {
+            next();
+            ExprP e = node(ExprKind::List, t.line);
+            while (peek().kind != Tok::RBracket) {
+                if (!startsPrimary())
+                    fatal("sadl: line %d: expected list element, "
+                          "found %s", peek().line,
+                          tokenName(peek()).c_str());
+                mut(e).kids.push_back(parsePostfix());
+            }
+            next();  // ']'
+            return e;
+          }
+          default:
+            fatal("sadl: line %d: expected an expression, found %s",
+                  t.line, tokenName(t).c_str());
+        }
+    }
+};
+
+} // namespace
+
+Program
+parse(const std::string &source)
+{
+    return Parser(source).parseProgram();
+}
+
+} // namespace eel::sadl

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Recursive-descent parser for SADL.
+ */
+
+#ifndef EEL_SADL_PARSER_HH
+#define EEL_SADL_PARSER_HH
+
+#include <string>
+
+#include "src/sadl/ast.hh"
+
+namespace eel::sadl {
+
+/** Parse SADL source text into a Program. Throws FatalError. */
+Program parse(const std::string &source);
+
+} // namespace eel::sadl
+
+#endif // EEL_SADL_PARSER_HH

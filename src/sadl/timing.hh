@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The analysis output of the SADL front end: per-mnemonic pipeline
+ * timing records. This is the information the paper's Spawn tool
+ * extracts from a description (§3.1): how many cycles an instruction
+ * occupies, which units it acquires and releases in each cycle, in
+ * which cycle each register operand is read, and in which cycle each
+ * result value becomes available to subsequent instructions.
+ */
+
+#ifndef EEL_SADL_TIMING_HH
+#define EEL_SADL_TIMING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eel::sadl {
+
+/** Encoding fields a description may reference. */
+enum class Field : uint8_t {
+    None, Rs1, Rs2, Rd, Iflag, CondF, Simm13, Imm22, Disp, Annul,
+};
+
+/** A processor resource declared with "unit". */
+struct UnitDecl
+{
+    std::string name;
+    unsigned count;
+};
+
+/** A register file declared with "register". */
+struct RegFileDecl
+{
+    std::string name;
+    unsigned bits;
+    unsigned size;
+};
+
+/**
+ * A variant guard: the variant applies when (field == value) has the
+ * given truth value. Produced by conditionals over encoding fields,
+ * e.g. "iflag=1 ? #simm13 : R4r[rs2]".
+ */
+struct VariantCond
+{
+    Field field;
+    long value;
+    bool mustEqual;
+
+    bool operator==(const VariantCond &) const = default;
+};
+
+/** Acquire/release of n copies of a unit. */
+struct UnitEvent
+{
+    uint16_t unit;  ///< index into Description::units
+    uint16_t num;
+
+    bool operator==(const UnitEvent &) const = default;
+};
+
+/** One register-file access with its pipeline timing. */
+struct RegAccess
+{
+    uint16_t file;        ///< index into Description::regFiles
+    Field field;          ///< which encoding field names the register
+    uint16_t constIdx;    ///< used when field == Field::None
+    bool pair;            ///< access also touches register index|1
+    uint8_t cycle;        ///< pipeline cycle of the access
+    /**
+     * For writes: the cycle in which the result value was computed.
+     * A dependent instruction may read the value in any strictly
+     * later absolute cycle (forwarding; paper §3.1).
+     */
+    uint8_t valueReady;
+    bool isWrite;
+
+    bool operator==(const RegAccess &) const = default;
+};
+
+/** Complete timing for one instruction variant. */
+struct Timing
+{
+    std::string mnemonic;
+    std::vector<VariantCond> conds;
+    unsigned latency = 1;  ///< cycles from issue through the pipeline
+
+    /// acquire[c] / release[c]: unit events applied in cycle c.
+    /// release has one extra slot (events at cycle == latency fire
+    /// when the instruction leaves the pipeline).
+    std::vector<std::vector<UnitEvent>> acquire;
+    std::vector<std::vector<UnitEvent>> release;
+
+    std::vector<RegAccess> reads;
+    std::vector<RegAccess> writes;
+
+    /// Group id: instructions with identical timing share a group,
+    /// exactly as Spawn groups them to save space (§3.1). Filled in
+    /// by analyze().
+    unsigned group = 0;
+
+    /** True if this variant's timing (ignoring name/conds) equals o. */
+    bool sameShape(const Timing &o) const;
+};
+
+/** Everything Spawn extracts from one SADL description. */
+struct Description
+{
+    std::vector<UnitDecl> units;
+    std::vector<RegFileDecl> regFiles;
+    std::vector<Timing> timings;
+    unsigned numGroups = 0;
+
+    int unitIndex(const std::string &name) const;
+    int regFileIndex(const std::string &name) const;
+};
+
+/**
+ * Run the Spawn front end: lex, parse, and symbolically evaluate a
+ * SADL description, producing the timing records for every sem-bound
+ * mnemonic (one per conditional variant). Throws FatalError on
+ * malformed descriptions.
+ */
+Description analyze(const std::string &source);
+
+/** Map a field name as written in descriptions ("rs1") to Field. */
+Field fieldFromName(const std::string &name);
+std::string fieldName(Field f);
+
+} // namespace eel::sadl
+
+#endif // EEL_SADL_TIMING_HH

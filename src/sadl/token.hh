@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Token definitions for SADL, the Spawn Architecture Description
+ * Language (paper §3.1).
+ */
+
+#ifndef EEL_SADL_TOKEN_HH
+#define EEL_SADL_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace eel::sadl {
+
+enum class Tok : uint8_t {
+    End,
+    Ident,      ///< names: add, R4r, multi (letters/digits/_)
+    OpIdent,    ///< operator names: + - & | ^ << >>
+    Number,     ///< decimal integer literal
+    Immediate,  ///< #name — instruction immediate field reference
+
+    // keywords (A/R/AR/D are contextual identifiers, not keywords;
+    // see lexer.cc)
+    KwUnit, KwVal, KwAlias, KwRegister, KwSem, KwIs,
+
+    // punctuation
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Comma, Dot, Question, Colon, At, Lambda,
+    Assign,     ///< :=
+    Equals,     ///< =
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;     ///< identifier / operator spelling
+    long value = 0;       ///< number value
+    int line = 0;         ///< 1-based source line for diagnostics
+};
+
+/** Human-readable token description for error messages. */
+std::string tokenName(const Token &t);
+
+} // namespace eel::sadl
+
+#endif // EEL_SADL_TOKEN_HH

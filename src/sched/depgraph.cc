@@ -1,0 +1,247 @@
+#include "src/sched/depgraph.hh"
+
+#include <algorithm>
+
+#include "src/support/logging.hh"
+
+namespace eel::sched {
+
+namespace {
+
+struct ReadAcc
+{
+    isa::RegId reg;
+    int cycle;
+};
+
+struct WriteAcc
+{
+    isa::RegId reg;
+    int cycle;       ///< writeback pipeline cycle
+    int ready;       ///< cycle the value was computed in
+};
+
+/**
+ * Join the ISA's authoritative def/use sets with the machine model's
+ * per-access timing. Accesses the description does not mention get
+ * conservative defaults (read in cycle 1; value ready one cycle
+ * before the end of the pipeline).
+ */
+struct Accesses
+{
+    std::vector<ReadAcc> reads;
+    std::vector<WriteAcc> writes;
+
+    Accesses(const isa::Instruction &inst, const machine::Variant &v)
+    {
+        auto readCycleOf = [&](isa::RegId r) -> int {
+            for (const machine::RegAccess &a : v.reads) {
+                if (a.reg(inst) == r ||
+                    (a.pair && a.pairReg(inst) == r))
+                    return a.cycle;
+            }
+            return 1;
+        };
+        auto writeOf = [&](isa::RegId r) -> std::pair<int, int> {
+            for (const machine::RegAccess &a : v.writes) {
+                if (a.reg(inst) == r ||
+                    (a.pair && a.pairReg(inst) == r))
+                    return {a.cycle, a.valueReady};
+            }
+            int wb = static_cast<int>(v.latency) - 1;
+            return {wb, std::max(0, wb - 1)};
+        };
+        for (const auto &acc : inst.uses()) {
+            if (acc.reg.tracked())
+                reads.push_back(ReadAcc{acc.reg,
+                                        readCycleOf(acc.reg)});
+        }
+        for (const auto &acc : inst.defs()) {
+            if (acc.reg.tracked()) {
+                auto [wb, ready] = writeOf(acc.reg);
+                writes.push_back(WriteAcc{acc.reg, wb, ready});
+            }
+        }
+    }
+};
+
+/** Byte range a memory instruction may touch (for oracle checks). */
+struct MemRange
+{
+    int32_t tag;
+    int64_t lo;
+    int64_t hi;
+};
+
+MemRange
+memRange(const InstRef &ref)
+{
+    int bytes = ref.inst.info().memBytes;
+    return MemRange{ref.memTag, ref.memOff, ref.memOff + bytes};
+}
+
+} // namespace
+
+DepGraph::DepGraph(std::span<const InstRef> insts,
+                   const machine::MachineModel &model,
+                   AliasPolicy alias)
+    : n(insts.size()), out(n), inDegree(n, 0), selfLatency(n, 1)
+{
+    std::vector<Accesses> acc;
+    acc.reserve(n);
+    for (const InstRef &r : insts) {
+        const machine::Variant &v = model.variant(r.inst);
+        acc.emplace_back(r.inst, v);
+        selfLatency[acc.size() - 1] = static_cast<int>(v.latency);
+    }
+
+    // lastWrite[reg] / readers-since-last-write, per flat register id.
+    std::vector<int> lastWrite(isa::numRegIds, -1);
+    std::vector<std::vector<uint32_t>> readersSince(isa::numRegIds);
+
+    auto mayAlias = [&](const InstRef &a, const InstRef &b) {
+        switch (alias) {
+          case AliasPolicy::Conservative:
+            return true;
+          case AliasPolicy::SeparateInstrumentation:
+            return a.isInstrumentation == b.isInstrumentation;
+          case AliasPolicy::Oracle: {
+            if (a.memTag < 0 || b.memTag < 0)
+                return true;
+            if (a.memTag != b.memTag)
+                return false;
+            MemRange ra = memRange(a), rb = memRange(b);
+            return ra.lo < rb.hi && rb.lo < ra.hi;
+          }
+        }
+        return true;
+    };
+
+    std::vector<uint32_t> priorLoads, priorStores;
+    int lastBarrier = -1;
+
+    for (uint32_t j = 0; j < n; ++j) {
+        const InstRef &ref = insts[j];
+        const Accesses &aj = acc[j];
+
+        // Register dependences.
+        for (const ReadAcc &rd : aj.reads) {
+            unsigned f = rd.reg.flat();
+            if (lastWrite[f] >= 0) {
+                uint32_t i = static_cast<uint32_t>(lastWrite[f]);
+                // RAW: reader's read cycle must not precede the
+                // producer's value availability.
+                int dist = 0;
+                for (const WriteAcc &w : acc[i].writes)
+                    if (w.reg == rd.reg)
+                        dist = std::max(dist,
+                                        w.ready + 1 - rd.cycle);
+                addEdge(i, j, DepKind::Raw,
+                        static_cast<int16_t>(std::max(dist, 0)));
+            }
+            readersSince[f].push_back(j);
+        }
+        for (const WriteAcc &wr : aj.writes) {
+            unsigned f = wr.reg.flat();
+            for (uint32_t i : readersSince[f]) {
+                if (i == j)
+                    continue;
+                int rc = 1;
+                for (const ReadAcc &r : acc[i].reads)
+                    if (r.reg == wr.reg)
+                        rc = r.cycle;
+                addEdge(i, j, DepKind::War,
+                        static_cast<int16_t>(
+                            std::max(0, rc - wr.cycle)));
+            }
+            if (lastWrite[f] >= 0) {
+                uint32_t i = static_cast<uint32_t>(lastWrite[f]);
+                int wc = 1;
+                for (const WriteAcc &w : acc[i].writes)
+                    if (w.reg == wr.reg)
+                        wc = w.cycle;
+                addEdge(i, j, DepKind::Waw,
+                        static_cast<int16_t>(
+                            std::max(0, wc - wr.cycle + 1)));
+            }
+        }
+        for (const WriteAcc &wr : aj.writes) {
+            unsigned f = wr.reg.flat();
+            lastWrite[f] = static_cast<int>(j);
+            readersSince[f].clear();
+        }
+
+        // Memory dependences.
+        if (ref.inst.isStore()) {
+            for (uint32_t i : priorLoads)
+                if (mayAlias(insts[i], ref))
+                    addEdge(i, j, DepKind::Mem, 0);
+            for (uint32_t i : priorStores)
+                if (mayAlias(insts[i], ref))
+                    addEdge(i, j, DepKind::Mem, 1);
+            priorStores.push_back(j);
+        } else if (ref.inst.isLoad()) {
+            for (uint32_t i : priorStores)
+                if (mayAlias(insts[i], ref))
+                    addEdge(i, j, DepKind::Mem, 1);
+            priorLoads.push_back(j);
+        }
+
+        // Barriers order against everything on both sides.
+        if (ref.inst.isBarrier()) {
+            for (uint32_t i = 0; i < j; ++i)
+                addEdge(i, j, DepKind::Barrier, 0);
+            lastBarrier = static_cast<int>(j);
+        } else if (lastBarrier >= 0) {
+            addEdge(static_cast<uint32_t>(lastBarrier), j,
+                    DepKind::Barrier, 0);
+        }
+    }
+}
+
+void
+DepGraph::addEdge(uint32_t from, uint32_t to, DepKind kind,
+                  int16_t min_dist)
+{
+    if (from == to)
+        return;
+    // Avoid exact duplicates from the same builder step.
+    for (uint32_t e : out[from]) {
+        DepEdge &ex = edgeList[e];
+        if (ex.to == to) {
+            ex.minDist = std::max(ex.minDist, min_dist);
+            return;
+        }
+    }
+    edgeList.push_back(DepEdge{from, to, kind, min_dist});
+    out[from].push_back(static_cast<uint32_t>(edgeList.size() - 1));
+    ++inDegree[to];
+}
+
+bool
+DepGraph::hasEdge(size_t i, size_t j) const
+{
+    for (uint32_t e : out[i])
+        if (edgeList[e].to == j)
+            return true;
+    return false;
+}
+
+std::vector<int>
+DepGraph::distanceToEnd() const
+{
+    // Edges always point forward in program order, so a reverse
+    // index walk is a reverse topological order.
+    std::vector<int> dist(n, 0);
+    for (size_t i = n; i-- > 0;) {
+        int d = selfLatency[i];
+        for (uint32_t e : out[i]) {
+            const DepEdge &edge = edgeList[e];
+            d = std::max(d, edge.minDist + dist[edge.to]);
+        }
+        dist[i] = d;
+    }
+    return dist;
+}
+
+} // namespace eel::sched

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Dependence graph over the instructions of one basic block, with
+ * the paper's memory-aliasing policy (§4): loads and stores from the
+ * original code are conservatively assumed to access the same
+ * address; instrumentation loads and stores likewise alias each
+ * other but are assumed NOT to conflict with original accesses
+ * (an option restores full conservatism for constrained
+ * instrumentation).
+ */
+
+#ifndef EEL_SCHED_DEPGRAPH_HH
+#define EEL_SCHED_DEPGRAPH_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/model.hh"
+#include "src/sched/inst_ref.hh"
+
+namespace eel::sched {
+
+/** How memory dependences are derived. */
+enum class AliasPolicy : uint8_t {
+    /**
+     * The paper's model: all original memory operations alias; all
+     * instrumentation memory operations alias each other but not
+     * the original ones.
+     */
+    SeparateInstrumentation,
+    /** Everything aliases everything (the restrictive option, §4). */
+    Conservative,
+    /**
+     * Oracle disambiguation through InstRef::memTag, as an
+     * optimizing compiler with full alias analysis would have it.
+     * Used by the workload generator's pre-scheduling pass.
+     */
+    Oracle,
+};
+
+enum class DepKind : uint8_t { Raw, War, Waw, Mem, Barrier };
+
+struct DepEdge
+{
+    uint32_t from;
+    uint32_t to;
+    DepKind kind;
+    /** Minimum issue-cycle separation implied (may be 0). */
+    int16_t minDist;
+};
+
+/**
+ * Dependence graph over a straight-line instruction sequence.
+ * Indices refer to positions in the input span.
+ */
+class DepGraph
+{
+  public:
+    DepGraph(std::span<const InstRef> insts,
+             const machine::MachineModel &model, AliasPolicy alias);
+
+    size_t size() const { return n; }
+    const std::vector<DepEdge> &edges() const { return edgeList; }
+    /** Outgoing edge indices of node i. */
+    const std::vector<uint32_t> &succs(size_t i) const
+    {
+        return out[i];
+    }
+    /** Number of incoming edges of node i. */
+    unsigned numPreds(size_t i) const { return inDegree[i]; }
+
+    /** True if i has a (direct) edge to j. */
+    bool hasEdge(size_t i, size_t j) const;
+
+    /**
+     * The backward pass of the paper's two-pass list scheduler: the
+     * length in cycles of the dependence chain from each instruction
+     * to the end of the block, considering only the stalls required
+     * between data dependent instructions (§4).
+     */
+    std::vector<int> distanceToEnd() const;
+
+  private:
+    void addEdge(uint32_t from, uint32_t to, DepKind kind,
+                 int16_t min_dist);
+
+    size_t n;
+    std::vector<DepEdge> edgeList;
+    std::vector<std::vector<uint32_t>> out;
+    std::vector<unsigned> inDegree;
+    std::vector<int> selfLatency;
+};
+
+} // namespace eel::sched
+
+#endif // EEL_SCHED_DEPGRAPH_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * InstRef: an instruction being edited/scheduled, with the metadata
+ * EEL attaches — origin address, whether it is instrumentation, and
+ * (for generated workloads) an oracle memory-disambiguation tag.
+ */
+
+#ifndef EEL_SCHED_INST_REF_HH
+#define EEL_SCHED_INST_REF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/instruction.hh"
+
+namespace eel::sched {
+
+struct InstRef
+{
+    isa::Instruction inst;
+    uint32_t origAddr = 0;        ///< address in the input executable
+    bool isInstrumentation = false;
+
+    /**
+     * Oracle memory tag, set by the workload generator: memory
+     * operations with different tags, or with the same tag and
+     * provably different offsets, never alias. -1 = unknown. EEL's
+     * own conservative scheduling ignores these (it cannot know
+     * them); the "oracle compiler" pre-scheduler uses them to mimic
+     * an optimizing compiler's alias analysis.
+     */
+    int32_t memTag = -1;
+    int64_t memOff = 0;
+};
+
+using InstSeq = std::vector<InstRef>;
+
+} // namespace eel::sched
+
+#endif // EEL_SCHED_INST_REF_HH

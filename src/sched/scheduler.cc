@@ -1,0 +1,249 @@
+#include "src/sched/scheduler.hh"
+
+#include <algorithm>
+#include <random>
+
+#include "src/isa/builder.hh"
+#include "src/support/logging.hh"
+
+namespace eel::sched {
+
+namespace {
+
+/** True if inst may move from before the CTI into its delay slot. */
+bool
+legalInDelaySlot(const isa::Instruction &inst, const isa::Instruction &cti)
+{
+    if (inst.isCti())
+        return false;
+    // The delay instruction executes after the CTI reads its sources
+    // and writes its results. Moving inst past the CTI is illegal if
+    // the CTI reads anything inst writes (RAW), or inst touches
+    // anything the CTI writes (it would observe/clobber the new
+    // value: WAR/WAW in reverse).
+    auto writes = inst.defs();
+    auto reads = inst.uses();
+    for (const auto &cu : cti.uses())
+        for (const auto &d : writes)
+            if (cu.reg.tracked() && cu.reg == d.reg)
+                return false;
+    for (const auto &cd : cti.defs()) {
+        if (!cd.reg.tracked())
+            continue;
+        for (const auto &d : writes)
+            if (cd.reg == d.reg)
+                return false;
+        for (const auto &u : reads)
+            if (cd.reg == u.reg)
+                return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<uint32_t>
+ListScheduler::scheduleRegion(std::span<const InstRef> region) const
+{
+    const size_t n = region.size();
+    std::vector<uint32_t> order;
+    order.reserve(n);
+    if (opts.priority == SchedOptions::Priority::OriginalOrder) {
+        for (uint32_t i = 0; i < n; ++i)
+            order.push_back(i);
+        return order;
+    }
+
+    DepGraph graph(region, model, opts.alias);
+    std::vector<int> dist = graph.distanceToEnd();
+
+    // Optional jittered tie-breaking (see SchedOptions).
+    std::vector<uint64_t> jitter;
+    if (opts.tieJitterSeed) {
+        std::mt19937_64 rng(opts.tieJitterSeed);
+        jitter.resize(n);
+        for (uint64_t &j : jitter)
+            j = rng();
+    }
+
+    std::vector<unsigned> preds(n);
+    std::vector<bool> done(n, false);
+    std::vector<uint32_t> ready;
+    for (uint32_t i = 0; i < n; ++i) {
+        preds[i] = graph.numPreds(i);
+        if (preds[i] == 0)
+            ready.push_back(i);
+    }
+
+    machine::PipelineState state(model);
+
+    while (order.size() < n) {
+        if (ready.empty())
+            panic("scheduler: dependence graph has a cycle");
+
+        uint32_t best = ready[0];
+        unsigned best_stalls = 0;
+        bool first = true;
+        for (uint32_t cand : ready) {
+            unsigned s = state.stalls(region[cand].inst);
+            if (first) {
+                best = cand;
+                best_stalls = s;
+                first = false;
+                continue;
+            }
+            bool better = false;
+            if (!jitter.empty()) {
+                better = s != best_stalls ? s < best_stalls
+                                          : jitter[cand] < jitter[best];
+                if (better) {
+                    best = cand;
+                    best_stalls = s;
+                }
+                continue;
+            }
+            switch (opts.priority) {
+              case SchedOptions::Priority::Full:
+                if (s != best_stalls)
+                    better = s < best_stalls;
+                else if (dist[cand] != dist[best])
+                    better = dist[cand] > dist[best];
+                else
+                    better = cand < best;
+                break;
+              case SchedOptions::Priority::StallsOnly:
+                if (s != best_stalls)
+                    better = s < best_stalls;
+                else
+                    better = cand < best;
+                break;
+              case SchedOptions::Priority::DistanceOnly:
+                if (dist[cand] != dist[best])
+                    better = dist[cand] > dist[best];
+                else
+                    better = cand < best;
+                break;
+              case SchedOptions::Priority::OriginalOrder:
+                better = cand < best;
+                break;
+            }
+            if (better) {
+                best = cand;
+                best_stalls = s;
+            }
+        }
+
+        state.issue(region[best].inst);
+        done[best] = true;
+        order.push_back(best);
+        ready.erase(std::find(ready.begin(), ready.end(), best));
+        for (uint32_t e : graph.succs(best)) {
+            uint32_t j = graph.edges()[e].to;
+            if (!done[j] && --preds[j] == 0)
+                ready.push_back(j);
+        }
+    }
+    return order;
+}
+
+InstSeq
+ListScheduler::scheduleBlock(const InstSeq &block) const
+{
+    if (block.empty())
+        return block;
+    if (opts.priority == SchedOptions::Priority::OriginalOrder)
+        return block;
+
+    // Locate the terminating CTI and its delay slot. A well-formed
+    // block has the CTI second-to-last with the delay instruction
+    // last; any CTI elsewhere is a malformed block.
+    size_t cti_idx = block.size();
+    for (size_t i = 0; i < block.size(); ++i) {
+        if (block[i].inst.isCti()) {
+            if (i + 2 != block.size() && i + 1 != block.size())
+                panic("scheduleBlock: CTI not at block end");
+            cti_idx = i;
+            break;
+        }
+    }
+
+    InstSeq region;
+    const InstRef *cti = nullptr;
+    const InstRef *delay = nullptr;
+    bool delay_pinned = false;
+    if (cti_idx < block.size()) {
+        region.assign(block.begin(), block.begin() + cti_idx);
+        cti = &block[cti_idx];
+        if (cti_idx + 1 < block.size()) {
+            delay = &block[cti_idx + 1];
+            // An annulled branch executes its delay slot
+            // conditionally; leave it alone.
+            delay_pinned = cti->inst.annul;
+            if (!delay_pinned)
+                region.push_back(*delay);
+        }
+        // A block ending in a bare CTI (builder output before delay
+        // filling) gets a delay slot synthesized below.
+    } else {
+        region = block;
+    }
+
+    std::vector<uint32_t> order = scheduleRegion(region);
+
+    InstSeq sched;
+    sched.reserve(block.size() + 1);
+    for (uint32_t idx : order)
+        sched.push_back(region[idx]);
+
+    if (!cti)
+        return sched;
+
+    if (delay_pinned) {
+        sched.push_back(*cti);
+        sched.push_back(*delay);
+        return sched;
+    }
+
+    // Pick the delay-slot filler: the latest scheduled instruction
+    // with no dependence on anything scheduled after it and none on
+    // the CTI itself.
+    DepGraph graph(region, model, opts.alias);
+    int filler = -1;
+    if (opts.fillDelaySlot) {
+        for (size_t pos = sched.size(); pos-- > 0;) {
+            uint32_t idx = order[pos];
+            if (!legalInDelaySlot(region[idx].inst, cti->inst))
+                continue;
+            bool clean = true;
+            for (size_t later = pos + 1; later < sched.size();
+                 ++later) {
+                if (graph.hasEdge(idx, order[later])) {
+                    clean = false;
+                    break;
+                }
+            }
+            if (clean) {
+                filler = static_cast<int>(pos);
+                break;
+            }
+        }
+    }
+
+    InstSeq out;
+    out.reserve(block.size() + 1);
+    for (size_t pos = 0; pos < sched.size(); ++pos)
+        if (static_cast<int>(pos) != filler)
+            out.push_back(sched[pos]);
+    out.push_back(*cti);
+    if (filler >= 0) {
+        out.push_back(sched[filler]);
+    } else {
+        InstRef nop;
+        nop.inst = isa::build::nop();
+        nop.isInstrumentation = true;
+        out.push_back(nop);
+    }
+    return out;
+}
+
+} // namespace eel::sched

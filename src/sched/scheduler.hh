@@ -1,0 +1,88 @@
+/**
+ * @file
+ * EEL's local instruction scheduler (paper §4): a two-pass list
+ * scheduler over one basic block. The first pass walks backward
+ * computing each instruction's dependence-chain length to the end of
+ * the block; the second walks forward picking, among the
+ * instructions whose predecessors are all scheduled, the one that
+ * (1) needs the fewest stalls before it can start execution (as
+ * computed by pipeline_stalls), breaking ties by (2) the greater
+ * distance from the end of the block, then (3) original program
+ * order — "under the assumption that the instructions were
+ * previously scheduled".
+ *
+ * Control transfer instructions are pinned to the end of the block;
+ * the scheduler additionally fills the branch delay slot with the
+ * latest scheduled instruction that may legally move past the CTI.
+ */
+
+#ifndef EEL_SCHED_SCHEDULER_HH
+#define EEL_SCHED_SCHEDULER_HH
+
+#include "src/machine/pipeline.hh"
+#include "src/sched/depgraph.hh"
+#include "src/sched/inst_ref.hh"
+
+namespace eel::sched {
+
+struct SchedOptions
+{
+    AliasPolicy alias = AliasPolicy::SeparateInstrumentation;
+
+    /** Heuristic ablation switches (bench/ablation_priority). */
+    enum class Priority : uint8_t {
+        Full,           ///< stalls, then distance, then original order
+        StallsOnly,     ///< stalls, then original order
+        DistanceOnly,   ///< distance, then original order
+        OriginalOrder,  ///< no reordering at all
+    };
+    Priority priority = Priority::Full;
+
+    /** Move a legal instruction into the branch delay slot. */
+    bool fillDelaySlot = true;
+
+    /**
+     * When nonzero, ties after the stall comparison are broken by a
+     * seeded random key instead of distance/program order. The
+     * oracle "compiler" pass uses this to explore several candidate
+     * schedules per block and keep the best — a stand-in for the
+     * stronger global schedulers in the Sun compilers that EEL's
+     * simple one-pass heuristic cannot match (paper §4.2).
+     */
+    uint64_t tieJitterSeed = 0;
+};
+
+class ListScheduler
+{
+  public:
+    ListScheduler(const machine::MachineModel &model,
+                  SchedOptions opts = {})
+        : model(model), opts(opts)
+    {}
+
+    /**
+     * Schedule one basic block. The block may end with a CTI
+     * followed by its delay-slot instruction; both original and
+     * instrumentation instructions are scheduled together. The
+     * result contains exactly the input instructions, reordered
+     * (plus a nop only if a CTI has no legal delay-slot filler).
+     */
+    InstSeq scheduleBlock(const InstSeq &block) const;
+
+    /**
+     * Schedule a straight-line region with no CTI. Exposed for
+     * tests and for scheduling instrumentation-internal regions.
+     */
+    std::vector<uint32_t>
+    scheduleRegion(std::span<const InstRef> region) const;
+
+    const SchedOptions &options() const { return opts; }
+
+  private:
+    const machine::MachineModel &model;
+    SchedOptions opts;
+};
+
+} // namespace eel::sched
+
+#endif // EEL_SCHED_SCHEDULER_HH

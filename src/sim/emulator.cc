@@ -1,0 +1,595 @@
+#include "src/sim/emulator.hh"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "src/isa/opcodes.hh"
+#include "src/isa/registers.hh"
+#include "src/support/logging.hh"
+
+namespace eel::sim {
+
+using isa::Instruction;
+using isa::Op;
+
+Emulator::Emulator(const exe::Executable &x)
+    : Emulator(x, Config{})
+{}
+
+Emulator::Emulator(const exe::Executable &x, Config cfg)
+    : x(x), cfg(cfg)
+{
+    decoded.reserve(x.text.size());
+    for (uint32_t w : x.text)
+        decoded.push_back(isa::decode(w));
+
+    wins.assign(16ull * cfg.windows, 0);
+
+    dataLo = exe::dataBase;
+    dataHi = x.bssEnd();
+    dataMem.assign(dataHi - dataLo, 0);
+    std::memcpy(dataMem.data(), x.data.data(), x.data.size());
+
+    stackHi = 0x80000000u;
+    stackLo = stackHi - cfg.stackBytes;
+    stackMem.assign(cfg.stackBytes, 0);
+
+    // Conventional initial stack pointer, 8-byte aligned with a
+    // little headroom.
+    setReg(isa::reg::sp, stackHi - 64);
+}
+
+uint32_t
+Emulator::reg(unsigned r) const
+{
+    if (r < 8)
+        return globals[r];
+    unsigned w = cwp;
+    if (r < 16)
+        return wins[16 * w + (r - 8)];            // outs
+    if (r < 24)
+        return wins[16 * w + 8 + (r - 16)];       // locals
+    unsigned up = (cwp + 1) % cfg.windows;
+    return wins[16 * up + (r - 24)];              // ins = caller outs
+}
+
+void
+Emulator::setReg(unsigned r, uint32_t v)
+{
+    if (r == 0)
+        return;
+    if (r < 8) {
+        globals[r] = v;
+    } else if (r < 16) {
+        wins[16 * cwp + (r - 8)] = v;
+    } else if (r < 24) {
+        wins[16 * cwp + 8 + (r - 16)] = v;
+    } else {
+        unsigned up = (cwp + 1) % cfg.windows;
+        wins[16 * up + (r - 24)] = v;
+    }
+}
+
+uint8_t *
+Emulator::memPtr(uint32_t addr, unsigned bytes)
+{
+    if (addr >= dataLo && addr + bytes <= dataHi)
+        return &dataMem[addr - dataLo];
+    if (addr >= stackLo && addr + bytes <= stackHi)
+        return &stackMem[addr - stackLo];
+    fatal("emulator: memory access at 0x%x (%u bytes) outside data, "
+          "bss, and stack", addr, bytes);
+}
+
+uint32_t
+Emulator::load(uint32_t addr, unsigned bytes, bool sign_extend)
+{
+    if (addr % bytes != 0)
+        fatal("emulator: misaligned %u-byte load at 0x%x", bytes,
+              addr);
+    const uint8_t *p = memPtr(addr, bytes);
+    // Big-endian, as SPARC is.
+    uint32_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v = (v << 8) | p[i];
+    if (sign_extend && bytes < 4) {
+        unsigned shift = 32 - 8 * bytes;
+        v = static_cast<uint32_t>(
+            static_cast<int32_t>(v << shift) >> shift);
+    }
+    return v;
+}
+
+void
+Emulator::store(uint32_t addr, unsigned bytes, uint32_t value)
+{
+    if (addr % bytes != 0)
+        fatal("emulator: misaligned %u-byte store at 0x%x", bytes,
+              addr);
+    uint8_t *p = memPtr(addr, bytes);
+    for (unsigned i = 0; i < bytes; ++i)
+        p[i] = static_cast<uint8_t>(value >> (8 * (bytes - 1 - i)));
+}
+
+uint32_t
+Emulator::readWord(uint32_t addr) const
+{
+    return const_cast<Emulator *>(this)->load(addr, 4, false);
+}
+
+void
+Emulator::writeWord(uint32_t addr, uint32_t value)
+{
+    store(addr, 4, value);
+}
+
+void
+Emulator::setIccLogic(uint32_t r)
+{
+    icc = ((r >> 31) ? 8 : 0) | (r == 0 ? 4 : 0);
+}
+
+void
+Emulator::setIccAdd(uint32_t a, uint32_t b, uint32_t r)
+{
+    bool n = r >> 31;
+    bool z = r == 0;
+    bool v = (~(a ^ b) & (a ^ r)) >> 31;
+    bool c = r < a;
+    icc = (n ? 8 : 0) | (z ? 4 : 0) | (v ? 2 : 0) | (c ? 1 : 0);
+}
+
+void
+Emulator::setIccSub(uint32_t a, uint32_t b, uint32_t r)
+{
+    bool n = r >> 31;
+    bool z = r == 0;
+    bool v = ((a ^ b) & (a ^ r)) >> 31;
+    bool c = a < b;  // borrow
+    icc = (n ? 8 : 0) | (z ? 4 : 0) | (v ? 2 : 0) | (c ? 1 : 0);
+}
+
+bool
+Emulator::iccCond(unsigned c) const
+{
+    bool n = icc & 8, z = icc & 4, v = icc & 2, cy = icc & 1;
+    using namespace isa::cond;
+    switch (c & 0xf) {
+      case a:   return true;
+      case isa::cond::n: return false;
+      case e:   return z;
+      case ne:  return !z;
+      case l:   return n != v;
+      case ge:  return n == v;
+      case le:  return z || (n != v);
+      case g:   return !(z || (n != v));
+      case leu: return cy || z;
+      case gu:  return !(cy || z);
+      case cs:  return cy;
+      case cc:  return !cy;
+      case neg: return n;
+      case pos: return !n;
+      case vs:  return v;
+      case vc:  return !v;
+    }
+    return false;
+}
+
+bool
+Emulator::fccCond(unsigned c) const
+{
+    bool e = fcc == 0, l = fcc == 1, g = fcc == 2, u = fcc == 3;
+    using namespace isa::fcond;
+    switch (c & 0xf) {
+      case a:   return true;
+      case isa::fcond::n: return false;
+      case isa::fcond::u: return u;
+      case isa::fcond::g: return g;
+      case ug:  return u || g;
+      case isa::fcond::l: return l;
+      case ul:  return u || l;
+      case lg:  return l || g;
+      case ne:  return l || g || u;
+      case isa::fcond::e: return e;
+      case ue:  return e || u;
+      case ge:  return e || g;
+      case uge: return e || g || u;
+      case le:  return e || l;
+      case ule: return e || l || u;
+      case o:   return e || l || g;
+    }
+    return false;
+}
+
+uint64_t
+Emulator::fpairGet(unsigned r) const
+{
+    unsigned e = r & ~1u;
+    return (static_cast<uint64_t>(fregs[e]) << 32) | fregs[e | 1];
+}
+
+void
+Emulator::fpairSet(unsigned r, uint64_t v)
+{
+    unsigned e = r & ~1u;
+    fregs[e] = static_cast<uint32_t>(v >> 32);
+    fregs[e | 1] = static_cast<uint32_t>(v);
+}
+
+RunResult
+Emulator::run(TraceSink *sink)
+{
+    RunResult res;
+    uint32_t pc = x.entry;
+    uint32_t npc = pc + 4;
+    bool annul_next = false;
+
+    auto src2 = [&](const Instruction &in) -> uint32_t {
+        return in.iflag ? static_cast<uint32_t>(in.simm13)
+                        : reg(in.rs2);
+    };
+    auto f32 = [](uint32_t bits) { return std::bit_cast<float>(bits); };
+    auto b32 = [](float f) { return std::bit_cast<uint32_t>(f); };
+    auto f64 = [](uint64_t bits) {
+        return std::bit_cast<double>(bits);
+    };
+    auto b64 = [](double d) { return std::bit_cast<uint64_t>(d); };
+
+    while (res.instructions < cfg.maxInstructions) {
+        if (!x.inText(pc))
+            fatal("emulator: pc 0x%x outside text", pc);
+        uint32_t cur_pc = pc;
+        const Instruction &in = decoded[x.textIndex(pc)];
+
+        if (annul_next) {
+            annul_next = false;
+            pc = npc;
+            npc += 4;
+            continue;
+        }
+
+        if (in.op == Op::Invalid)
+            fatal("emulator: invalid instruction at 0x%x", cur_pc);
+
+        ++res.instructions;
+        if (sink)
+            sink->retire(cur_pc, in);
+
+        uint32_t next_pc = npc;
+        uint32_t next_npc = npc + 4;
+
+        switch (in.op) {
+          case Op::Add:
+            setReg(in.rd, reg(in.rs1) + src2(in));
+            break;
+          case Op::Addcc: {
+            uint32_t a = reg(in.rs1), b = src2(in), r = a + b;
+            setReg(in.rd, r);
+            setIccAdd(a, b, r);
+            break;
+          }
+          case Op::Sub:
+            setReg(in.rd, reg(in.rs1) - src2(in));
+            break;
+          case Op::Subcc: {
+            uint32_t a = reg(in.rs1), b = src2(in), r = a - b;
+            setReg(in.rd, r);
+            setIccSub(a, b, r);
+            break;
+          }
+          case Op::And:
+            setReg(in.rd, reg(in.rs1) & src2(in));
+            break;
+          case Op::Andcc: {
+            uint32_t r = reg(in.rs1) & src2(in);
+            setReg(in.rd, r);
+            setIccLogic(r);
+            break;
+          }
+          case Op::Or:
+            setReg(in.rd, reg(in.rs1) | src2(in));
+            break;
+          case Op::Orcc: {
+            uint32_t r = reg(in.rs1) | src2(in);
+            setReg(in.rd, r);
+            setIccLogic(r);
+            break;
+          }
+          case Op::Xor:
+            setReg(in.rd, reg(in.rs1) ^ src2(in));
+            break;
+          case Op::Xorcc: {
+            uint32_t r = reg(in.rs1) ^ src2(in);
+            setReg(in.rd, r);
+            setIccLogic(r);
+            break;
+          }
+          case Op::Sll:
+            setReg(in.rd, reg(in.rs1) << (src2(in) & 31));
+            break;
+          case Op::Srl:
+            setReg(in.rd, reg(in.rs1) >> (src2(in) & 31));
+            break;
+          case Op::Sra:
+            setReg(in.rd, static_cast<uint32_t>(
+                static_cast<int32_t>(reg(in.rs1)) >>
+                (src2(in) & 31)));
+            break;
+          case Op::Umul: {
+            uint64_t p = static_cast<uint64_t>(reg(in.rs1)) *
+                         src2(in);
+            setReg(in.rd, static_cast<uint32_t>(p));
+            yreg = static_cast<uint32_t>(p >> 32);
+            break;
+          }
+          case Op::Smul: {
+            int64_t p = static_cast<int64_t>(
+                            static_cast<int32_t>(reg(in.rs1))) *
+                        static_cast<int32_t>(src2(in));
+            setReg(in.rd, static_cast<uint32_t>(p));
+            yreg = static_cast<uint32_t>(
+                static_cast<uint64_t>(p) >> 32);
+            break;
+          }
+          case Op::Udiv: {
+            uint64_t dividend = (static_cast<uint64_t>(yreg) << 32) |
+                                reg(in.rs1);
+            uint32_t divisor = src2(in);
+            if (divisor == 0)
+                fatal("emulator: udiv by zero at 0x%x", cur_pc);
+            uint64_t q = dividend / divisor;
+            setReg(in.rd, q > 0xffffffffull
+                              ? 0xffffffffu
+                              : static_cast<uint32_t>(q));
+            break;
+          }
+          case Op::Sdiv: {
+            int64_t dividend = static_cast<int64_t>(
+                (static_cast<uint64_t>(yreg) << 32) | reg(in.rs1));
+            int32_t divisor = static_cast<int32_t>(src2(in));
+            if (divisor == 0)
+                fatal("emulator: sdiv by zero at 0x%x", cur_pc);
+            int64_t q = dividend / divisor;
+            if (q > 0x7fffffffll)
+                q = 0x7fffffffll;
+            if (q < -0x80000000ll)
+                q = -0x80000000ll;
+            setReg(in.rd, static_cast<uint32_t>(q));
+            break;
+          }
+          case Op::Rdy:
+            setReg(in.rd, yreg);
+            break;
+          case Op::Wry:
+            yreg = reg(in.rs1) ^ src2(in);
+            break;
+          case Op::Sethi:
+            setReg(in.rd, in.imm22 << 10);
+            break;
+          case Op::Nop:
+            break;
+          case Op::Save: {
+            uint32_t v = reg(in.rs1) + src2(in);
+            if (++winDepth >= static_cast<int>(cfg.windows) - 1)
+                fatal("emulator: register window overflow (depth %d); "
+                      "increase Config::windows", winDepth);
+            cwp = (cwp + cfg.windows - 1) % cfg.windows;
+            setReg(in.rd, v);
+            break;
+          }
+          case Op::Restore: {
+            uint32_t v = reg(in.rs1) + src2(in);
+            if (--winDepth < -1)
+                fatal("emulator: register window underflow at 0x%x",
+                      cur_pc);
+            cwp = (cwp + 1) % cfg.windows;
+            setReg(in.rd, v);
+            break;
+          }
+          case Op::Bicc: {
+            bool taken = iccCond(in.cond);
+            if (taken)
+                next_npc = cur_pc + 4 * static_cast<uint32_t>(in.disp);
+            if (in.annul && (!taken || in.cond == isa::cond::a))
+                annul_next = true;
+            break;
+          }
+          case Op::Fbfcc: {
+            bool taken = fccCond(in.cond);
+            if (taken)
+                next_npc = cur_pc + 4 * static_cast<uint32_t>(in.disp);
+            if (in.annul && (!taken || in.cond == isa::fcond::a))
+                annul_next = true;
+            break;
+          }
+          case Op::Call:
+            setReg(isa::reg::o7, cur_pc);
+            next_npc = cur_pc + 4 * static_cast<uint32_t>(in.disp);
+            break;
+          case Op::Jmpl: {
+            uint32_t target = reg(in.rs1) + src2(in);
+            setReg(in.rd, cur_pc);
+            if (target & 3)
+                fatal("emulator: misaligned jmpl target 0x%x", target);
+            next_npc = target;
+            break;
+          }
+          case Op::Ticc:
+            if (iccCond(in.cond)) {
+                switch (in.simm13) {
+                  case isa::trap::exit_prog:
+                    res.exitCode = static_cast<int>(reg(isa::reg::o0));
+                    res.exited = true;
+                    return res;
+                  case isa::trap::put_int:
+                    res.output += strfmt(
+                        "%d\n",
+                        static_cast<int32_t>(reg(isa::reg::o0)));
+                    break;
+                  case isa::trap::put_char:
+                    res.output.push_back(static_cast<char>(
+                        reg(isa::reg::o0) & 0xff));
+                    break;
+                  case isa::trap::sink:
+                    break;
+                  default:
+                    fatal("emulator: unknown trap %d at 0x%x",
+                          in.simm13, cur_pc);
+                }
+            }
+            break;
+
+          case Op::Ld:
+            setReg(in.rd, load(reg(in.rs1) + src2(in), 4, false));
+            break;
+          case Op::Ldub:
+            setReg(in.rd, load(reg(in.rs1) + src2(in), 1, false));
+            break;
+          case Op::Ldsb:
+            setReg(in.rd, load(reg(in.rs1) + src2(in), 1, true));
+            break;
+          case Op::Lduh:
+            setReg(in.rd, load(reg(in.rs1) + src2(in), 2, false));
+            break;
+          case Op::Ldsh:
+            setReg(in.rd, load(reg(in.rs1) + src2(in), 2, true));
+            break;
+          case Op::Ldd: {
+            uint32_t a = reg(in.rs1) + src2(in);
+            if (a & 7)
+                fatal("emulator: misaligned ldd at 0x%x", cur_pc);
+            setReg(in.rd & ~1u, load(a, 4, false));
+            setReg((in.rd & ~1u) | 1, load(a + 4, 4, false));
+            break;
+          }
+          case Op::St:
+            store(reg(in.rs1) + src2(in), 4, reg(in.rd));
+            break;
+          case Op::Stb:
+            store(reg(in.rs1) + src2(in), 1, reg(in.rd));
+            break;
+          case Op::Sth:
+            store(reg(in.rs1) + src2(in), 2, reg(in.rd));
+            break;
+          case Op::Std: {
+            uint32_t a = reg(in.rs1) + src2(in);
+            if (a & 7)
+                fatal("emulator: misaligned std at 0x%x", cur_pc);
+            store(a, 4, reg(in.rd & ~1u));
+            store(a + 4, 4, reg((in.rd & ~1u) | 1));
+            break;
+          }
+          case Op::Ldf:
+            fregs[in.rd] = load(reg(in.rs1) + src2(in), 4, false);
+            break;
+          case Op::Lddf: {
+            uint32_t a = reg(in.rs1) + src2(in);
+            if (a & 7)
+                fatal("emulator: misaligned lddf at 0x%x", cur_pc);
+            fregs[in.rd & ~1u] = load(a, 4, false);
+            fregs[(in.rd & ~1u) | 1] = load(a + 4, 4, false);
+            break;
+          }
+          case Op::Stf:
+            store(reg(in.rs1) + src2(in), 4, fregs[in.rd]);
+            break;
+          case Op::Stdf: {
+            uint32_t a = reg(in.rs1) + src2(in);
+            if (a & 7)
+                fatal("emulator: misaligned stdf at 0x%x", cur_pc);
+            store(a, 4, fregs[in.rd & ~1u]);
+            store(a + 4, 4, fregs[(in.rd & ~1u) | 1]);
+            break;
+          }
+
+          case Op::Fadds:
+            fregs[in.rd] = b32(f32(fregs[in.rs1]) + f32(fregs[in.rs2]));
+            break;
+          case Op::Fsubs:
+            fregs[in.rd] = b32(f32(fregs[in.rs1]) - f32(fregs[in.rs2]));
+            break;
+          case Op::Fmuls:
+            fregs[in.rd] = b32(f32(fregs[in.rs1]) * f32(fregs[in.rs2]));
+            break;
+          case Op::Fdivs:
+            fregs[in.rd] = b32(f32(fregs[in.rs1]) / f32(fregs[in.rs2]));
+            break;
+          case Op::Faddd:
+            fpairSet(in.rd,
+                     b64(f64(fpairGet(in.rs1)) + f64(fpairGet(in.rs2))));
+            break;
+          case Op::Fsubd:
+            fpairSet(in.rd,
+                     b64(f64(fpairGet(in.rs1)) - f64(fpairGet(in.rs2))));
+            break;
+          case Op::Fmuld:
+            fpairSet(in.rd,
+                     b64(f64(fpairGet(in.rs1)) * f64(fpairGet(in.rs2))));
+            break;
+          case Op::Fdivd:
+            fpairSet(in.rd,
+                     b64(f64(fpairGet(in.rs1)) / f64(fpairGet(in.rs2))));
+            break;
+          case Op::Fsqrts:
+            fregs[in.rd] = b32(std::sqrt(f32(fregs[in.rs2])));
+            break;
+          case Op::Fsqrtd:
+            fpairSet(in.rd, b64(std::sqrt(f64(fpairGet(in.rs2)))));
+            break;
+          case Op::Fmovs:
+            fregs[in.rd] = fregs[in.rs2];
+            break;
+          case Op::Fnegs:
+            fregs[in.rd] = fregs[in.rs2] ^ 0x80000000u;
+            break;
+          case Op::Fabss:
+            fregs[in.rd] = fregs[in.rs2] & 0x7fffffffu;
+            break;
+          case Op::Fitos:
+            fregs[in.rd] = b32(static_cast<float>(
+                static_cast<int32_t>(fregs[in.rs2])));
+            break;
+          case Op::Fitod:
+            fpairSet(in.rd, b64(static_cast<double>(
+                static_cast<int32_t>(fregs[in.rs2]))));
+            break;
+          case Op::Fstoi:
+            fregs[in.rd] = static_cast<uint32_t>(
+                static_cast<int32_t>(f32(fregs[in.rs2])));
+            break;
+          case Op::Fdtoi:
+            fregs[in.rd] = static_cast<uint32_t>(
+                static_cast<int32_t>(f64(fpairGet(in.rs2))));
+            break;
+          case Op::Fstod:
+            fpairSet(in.rd, b64(static_cast<double>(
+                f32(fregs[in.rs2]))));
+            break;
+          case Op::Fdtos:
+            fregs[in.rd] = b32(static_cast<float>(
+                f64(fpairGet(in.rs2))));
+            break;
+          case Op::Fcmps: {
+            float a = f32(fregs[in.rs1]), b = f32(fregs[in.rs2]);
+            fcc = (a != a || b != b) ? 3 : a < b ? 1 : a > b ? 2 : 0;
+            break;
+          }
+          case Op::Fcmpd: {
+            double a = f64(fpairGet(in.rs1)), b = f64(fpairGet(in.rs2));
+            fcc = (a != a || b != b) ? 3 : a < b ? 1 : a > b ? 2 : 0;
+            break;
+          }
+
+          case Op::Invalid:
+          case Op::NumOps:
+            fatal("emulator: invalid opcode at 0x%x", cur_pc);
+        }
+
+        pc = next_pc;
+        npc = next_npc;
+    }
+    return res;
+}
+
+} // namespace eel::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Functional emulator for XEF executables: SPARC V8 subset with
+ * register windows, delayed control transfer (including the annul
+ * bit), and the software-trap convention of isa::trap. It stands in
+ * for the real SPARC hardware the paper ran on: it validates that
+ * edited executables still compute the same results, and feeds the
+ * retired instruction stream to the timing simulator.
+ */
+
+#ifndef EEL_SIM_EMULATOR_HH
+#define EEL_SIM_EMULATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exe/executable.hh"
+#include "src/isa/instruction.hh"
+
+namespace eel::sim {
+
+/** Receives every retired (non-annulled) instruction in order. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void retire(uint32_t pc, const isa::Instruction &inst) = 0;
+};
+
+struct RunResult
+{
+    uint64_t instructions = 0;  ///< retired count
+    int exitCode = -1;          ///< %o0 at the exit trap
+    bool exited = false;        ///< false if the limit was hit
+    std::string output;         ///< put_int / put_char trap output
+};
+
+class Emulator
+{
+  public:
+    struct Config
+    {
+        unsigned windows = 128;       ///< register window depth
+        uint32_t stackBytes = 1 << 20;
+        uint64_t maxInstructions = 1ull << 32;
+    };
+
+    explicit Emulator(const exe::Executable &x);
+    Emulator(const exe::Executable &x, Config cfg);
+
+    /**
+     * Run from the entry point until the exit trap or the limit.
+     * Architectural and memory state persist afterwards (so counters
+     * can be read out); construct a fresh Emulator for a fresh run.
+     */
+    RunResult run(TraceSink *sink = nullptr);
+
+    /** Memory access after (or before) a run, e.g. counter readout. */
+    uint32_t readWord(uint32_t addr) const;
+    void writeWord(uint32_t addr, uint32_t value);
+
+    /** Architectural register access (current window). */
+    uint32_t reg(unsigned r) const;
+    void setReg(unsigned r, uint32_t v);
+    uint32_t fpreg(unsigned r) const { return fregs[r]; }
+
+  private:
+    uint32_t load(uint32_t addr, unsigned bytes, bool sign_extend);
+    void store(uint32_t addr, unsigned bytes, uint32_t value);
+    uint8_t *memPtr(uint32_t addr, unsigned bytes);
+    void setIccLogic(uint32_t result);
+    void setIccAdd(uint32_t a, uint32_t b, uint32_t r);
+    void setIccSub(uint32_t a, uint32_t b, uint32_t r);
+    bool iccCond(unsigned c) const;
+    bool fccCond(unsigned c) const;
+    uint64_t fpairGet(unsigned r) const;
+    void fpairSet(unsigned r, uint64_t v);
+
+    const exe::Executable &x;
+    Config cfg;
+
+    std::vector<isa::Instruction> decoded;  ///< pre-decoded text
+
+    // Register windows: window w's 16 slots hold outs (0-7) and
+    // locals (8-15); the ins of window w are the outs of window w+1.
+    std::vector<uint32_t> wins;
+    uint32_t globals[8] = {};
+    uint32_t fregs[32] = {};
+    unsigned cwp = 0;
+    int winDepth = 0;
+
+    // Condition codes: icc as NZVC bits 3..0; fcc as 0=E,1=L,2=G,3=U.
+    unsigned icc = 0;
+    unsigned fcc = 0;
+    uint32_t yreg = 0;
+
+    std::vector<uint8_t> dataMem;   ///< [dataBase, bssEnd)
+    std::vector<uint8_t> stackMem;  ///< [stackBase, stackTop)
+    uint32_t dataLo, dataHi, stackLo, stackHi;
+};
+
+} // namespace eel::sim
+
+#endif // EEL_SIM_EMULATOR_HH

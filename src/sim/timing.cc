@@ -1,0 +1,133 @@
+#include "src/sim/timing.hh"
+
+#include <algorithm>
+
+#include "src/support/logging.hh"
+
+namespace eel::sim {
+
+ICache::ICache(Config cfg) : cfg(cfg)
+{
+    if (cfg.lineBytes == 0 || cfg.assoc == 0 ||
+        cfg.bytes % (cfg.lineBytes * cfg.assoc) != 0)
+        fatal("icache: inconsistent geometry");
+    numSets = cfg.bytes / (cfg.lineBytes * cfg.assoc);
+    tags.assign(static_cast<size_t>(numSets) * cfg.assoc, 0);
+    valid.assign(static_cast<size_t>(numSets) * cfg.assoc, 0);
+    lastUse.assign(static_cast<size_t>(numSets) * cfg.assoc, 0);
+}
+
+bool
+ICache::access(uint32_t addr)
+{
+    ++_accesses;
+    uint32_t line = addr / cfg.lineBytes;
+    uint32_t set = line % numSets;
+    uint32_t tag = line / numSets;
+    size_t base = static_cast<size_t>(set) * cfg.assoc;
+
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        if (valid[base + w] && tags[base + w] == tag) {
+            lastUse[base + w] = _accesses;
+            return false;
+        }
+    }
+    ++_misses;
+    // Fill the LRU (or first invalid) way.
+    uint32_t victim = 0;
+    uint64_t oldest = ~uint64_t(0);
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        if (!valid[base + w]) {
+            victim = w;
+            break;
+        }
+        if (lastUse[base + w] < oldest) {
+            oldest = lastUse[base + w];
+            victim = w;
+        }
+    }
+    valid[base + victim] = 1;
+    tags[base + victim] = tag;
+    lastUse[base + victim] = _accesses;
+    return true;
+}
+
+TimingSim::TimingSim(const machine::MachineModel &model)
+    : TimingSim(model, Config{})
+{}
+
+TimingSim::TimingSim(const machine::MachineModel &model, Config cfg)
+    : model(model), cfg(cfg), state(model),
+      hist(model.issueWidth() + 2, 0)
+{
+    if (this->cfg.takenBranchPenalty == Config::fromModel)
+        this->cfg.takenBranchPenalty = model.branchPenalty();
+    if (cfg.useICache)
+        _icache = std::make_unique<ICache>(cfg.icache);
+}
+
+void
+TimingSim::retire(uint32_t pc, const isa::Instruction &inst)
+{
+    // A control-flow discontinuity redirects fetch.
+    if (havePrev && pc != prevPc + 4 && cfg.takenBranchPenalty)
+        state.fetchBubble(cfg.takenBranchPenalty);
+    prevPc = pc;
+    havePrev = true;
+
+    if (_icache && _icache->access(pc) && cfg.icacheMissPenalty)
+        state.fetchBubble(cfg.icacheMissPenalty);
+
+    machine::PipelineState::IssueResult r = state.issue(inst);
+    ++_insts;
+    _cycles = std::max(_cycles, r.doneCycle);
+
+    // Issue-width histogram over entry cycles (monotone).
+    if (!haveCur) {
+        haveCur = true;
+        curStart = r.startCycle;
+        curCount = 1;
+    } else if (r.startCycle == curStart) {
+        ++curCount;
+    } else {
+        unsigned bucket = std::min<unsigned>(curCount,
+                                             model.issueWidth() + 1);
+        hist[bucket] += 1;
+        hist[0] += r.startCycle - curStart - 1;
+        curStart = r.startCycle;
+        curCount = 1;
+    }
+}
+
+std::vector<uint64_t>
+TimingSim::issueHistogram() const
+{
+    std::vector<uint64_t> out = hist;
+    if (haveCur) {
+        unsigned bucket = std::min<unsigned>(curCount,
+                                             model.issueWidth() + 1);
+        out[bucket] += 1;
+    }
+    return out;
+}
+
+TimedRun
+timedRun(const exe::Executable &x, const machine::MachineModel &model,
+         TimingSim::Config cfg, Emulator::Config emu_cfg)
+{
+    Emulator emu(x, emu_cfg);
+    TimingSim timing(model, cfg);
+    TimedRun out;
+    out.result = emu.run(&timing);
+    out.cycles = timing.cycles();
+    out.seconds = timing.seconds();
+    out.ipc = timing.ipc();
+    out.issueHistogram = timing.issueHistogram();
+    if (timing.icache()) {
+        out.icacheMisses = timing.icache()->misses();
+        out.icacheAccesses = timing.icache()->accesses();
+    }
+    return out;
+}
+
+} // namespace eel::sim

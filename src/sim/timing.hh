@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Timing simulation of the retired instruction stream through a
+ * SADL-derived pipeline model. This is the "hardware" our benchmarks
+ * run on: the execution pipelines are exactly the model of §3.2 that
+ * the scheduler optimizes against, plus two effects the paper notes
+ * the Spawn models deliberately omit — taken-branch fetch redirects
+ * and (optionally) instruction cache misses. Those asymmetries are
+ * the simulator's analogue of the gap between the scheduler's model
+ * and the real SuperSPARC/UltraSPARC.
+ */
+
+#ifndef EEL_SIM_TIMING_HH
+#define EEL_SIM_TIMING_HH
+
+#include <memory>
+#include <vector>
+
+#include "src/machine/pipeline.hh"
+#include "src/sim/emulator.hh"
+
+namespace eel::sim {
+
+/** Direct-mapped / set-associative instruction cache model. */
+class ICache
+{
+  public:
+    struct Config
+    {
+        uint32_t bytes = 16 * 1024;
+        uint32_t lineBytes = 32;
+        uint32_t assoc = 1;
+    };
+
+    explicit ICache(Config cfg);
+
+    /** Access the line containing addr; true on miss. */
+    bool access(uint32_t addr);
+
+    uint64_t accesses() const { return _accesses; }
+    uint64_t misses() const { return _misses; }
+    double
+    missRate() const
+    {
+        return _accesses ? double(_misses) / double(_accesses) : 0.0;
+    }
+
+  private:
+    Config cfg;
+    uint32_t numSets;
+    std::vector<uint32_t> tags;     ///< numSets * assoc
+    std::vector<uint8_t> valid;
+    std::vector<uint64_t> lastUse;  ///< LRU stamps
+    uint64_t _accesses = 0;
+    uint64_t _misses = 0;
+};
+
+/**
+ * TraceSink that issues every retired instruction into a
+ * PipelineState and accumulates machine cycles.
+ */
+class TimingSim : public TraceSink
+{
+  public:
+    struct Config
+    {
+        /** Fetch bubble after any control-flow discontinuity;
+         *  defaults to the model's branchPenalty() when left at
+         *  the fromModel sentinel. */
+        static constexpr unsigned fromModel = ~0u;
+        unsigned takenBranchPenalty = fromModel;
+        /** Model an instruction cache (nullopt = perfect cache). */
+        bool useICache = false;
+        ICache::Config icache;
+        unsigned icacheMissPenalty = 6;
+    };
+
+    explicit TimingSim(const machine::MachineModel &model);
+    TimingSim(const machine::MachineModel &model, Config cfg);
+
+    void retire(uint32_t pc, const isa::Instruction &inst) override;
+
+    /** Total cycles consumed so far. */
+    uint64_t cycles() const { return _cycles; }
+    uint64_t instructions() const { return _insts; }
+    double
+    ipc() const
+    {
+        return _cycles ? double(_insts) / double(_cycles) : 0.0;
+    }
+    /** Seconds at the model's clock rate. */
+    double
+    seconds() const
+    {
+        return double(_cycles) / (model.clockMhz() * 1e6);
+    }
+
+    /**
+     * Issue-width histogram: hist[k] = cycles in which k
+     * instructions entered the pipeline (k = 0 .. issueWidth).
+     * Regenerates the paper's §1 motivation numbers.
+     */
+    std::vector<uint64_t> issueHistogram() const;
+
+    const ICache *icache() const { return _icache.get(); }
+
+  private:
+    const machine::MachineModel &model;
+    Config cfg;
+    machine::PipelineState state;
+    std::unique_ptr<ICache> _icache;
+
+    uint64_t _cycles = 0;
+    uint64_t _insts = 0;
+    uint32_t prevPc = 0;
+    bool havePrev = false;
+
+    // Histogram bookkeeping over issue start cycles.
+    std::vector<uint64_t> hist;
+    uint64_t curStart = 0;
+    unsigned curCount = 0;
+    bool haveCur = false;
+};
+
+/**
+ * Convenience: run the executable on the emulator, feeding the
+ * timing model. Returns (functional result, cycles).
+ */
+struct TimedRun
+{
+    RunResult result;
+    uint64_t cycles = 0;
+    double seconds = 0;
+    double ipc = 0;
+    std::vector<uint64_t> issueHistogram;
+    uint64_t icacheMisses = 0;
+    uint64_t icacheAccesses = 0;
+};
+
+TimedRun timedRun(const exe::Executable &x,
+                  const machine::MachineModel &model,
+                  TimingSim::Config cfg = {},
+                  Emulator::Config emu_cfg = {});
+
+} // namespace eel::sim
+
+#endif // EEL_SIM_TIMING_HH

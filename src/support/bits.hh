@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bit-manipulation helpers for fixed-width instruction encodings.
+ */
+
+#ifndef EEL_SUPPORT_BITS_HH
+#define EEL_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+namespace eel {
+
+/** Extract bits [hi:lo] (inclusive, hi >= lo) of val. */
+constexpr uint32_t
+bits(uint32_t val, unsigned hi, unsigned lo)
+{
+    uint32_t mask = (hi - lo >= 31) ? 0xffffffffu
+                                    : ((1u << (hi - lo + 1)) - 1u);
+    return (val >> lo) & mask;
+}
+
+/** Insert the low (hi-lo+1) bits of field into bits [hi:lo] of base. */
+constexpr uint32_t
+insertBits(uint32_t base, unsigned hi, unsigned lo, uint32_t field)
+{
+    uint32_t mask = (hi - lo >= 31) ? 0xffffffffu
+                                    : ((1u << (hi - lo + 1)) - 1u);
+    return (base & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low nbits of val to 32 bits. */
+constexpr int32_t
+sext(uint32_t val, unsigned nbits)
+{
+    uint32_t m = 1u << (nbits - 1);
+    uint32_t x = val & ((nbits >= 32) ? 0xffffffffu : ((1u << nbits) - 1u));
+    return static_cast<int32_t>((x ^ m) - m);
+}
+
+/** True if val fits in a signed nbits-wide immediate. */
+constexpr bool
+fitsSigned(int64_t val, unsigned nbits)
+{
+    int64_t lim = int64_t(1) << (nbits - 1);
+    return val >= -lim && val < lim;
+}
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_BITS_HH

@@ -1,0 +1,24 @@
+#include "src/support/rng.hh"
+
+#include "src/support/logging.hh"
+
+namespace eel {
+
+size_t
+Rng::weightedPick(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0.0)
+        panic("weightedPick: non-positive total weight");
+    double x = real01() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace eel

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ * All randomness in the repository flows through Rng so experiments
+ * are reproducible run-to-run.
+ */
+
+#ifndef EEL_SUPPORT_RNG_HH
+#define EEL_SUPPORT_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace eel {
+
+/** Seeded pseudo-random source with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : engine(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniform(int64_t lo, int64_t hi)
+    {
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine);
+    }
+
+    /** Uniform real in [0, 1). */
+    double real01() { return std::uniform_real_distribution<>()(engine); }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return real01() < p; }
+
+    /** Geometric-ish draw with the given mean, at least min_val. */
+    int64_t
+    geometric(double mean, int64_t min_val)
+    {
+        if (mean <= double(min_val))
+            return min_val;
+        double p = 1.0 / (mean - double(min_val) + 1.0);
+        std::geometric_distribution<int64_t> d(p);
+        return min_val + d(engine);
+    }
+
+    /** Pick a random element index given weights. */
+    size_t weightedPick(const std::vector<double> &weights);
+
+    /** Split off an independent child stream. */
+    Rng
+    fork()
+    {
+        return Rng(std::uniform_int_distribution<uint64_t>()(engine));
+    }
+
+    std::mt19937_64 engine;
+};
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_RNG_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small string utilities shared across the repository.
+ */
+
+#ifndef EEL_SUPPORT_STR_HH
+#define EEL_SUPPORT_STR_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eel {
+
+/** Split s on any character in seps, dropping empty pieces. */
+std::vector<std::string> split(std::string_view s, std::string_view seps);
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** True if s starts with prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Join pieces with sep. */
+std::string join(const std::vector<std::string> &pieces,
+                 std::string_view sep);
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_STR_HH

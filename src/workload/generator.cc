@@ -1,0 +1,619 @@
+#include "src/workload/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "src/isa/builder.hh"
+#include "src/sched/scheduler.hh"
+#include "src/support/logging.hh"
+#include "src/support/rng.hh"
+
+namespace eel::workload {
+
+namespace {
+
+using isa::Instruction;
+using isa::Op;
+using sched::InstRef;
+using sched::InstSeq;
+namespace b = isa::build;
+namespace rn = isa::reg;
+
+/** One basic block under construction: body + optional terminator. */
+struct GenBlock
+{
+    InstSeq body;
+    bool hasCti = false;
+    Instruction cti;
+    /** Explicit delay-slot instruction (e.g. the restore of a
+     *  ret/restore pair); when absent the scheduler fills the slot. */
+    bool hasDelay = false;
+    Instruction delay;
+    int targetBlock = -1;  ///< branch target (block index in fn)
+    int callFn = -1;       ///< call target (function index)
+};
+
+struct GenFunction
+{
+    std::string name;
+    std::vector<GenBlock> blocks;
+
+    int
+    newBlock()
+    {
+        blocks.emplace_back();
+        return static_cast<int>(blocks.size() - 1);
+    }
+};
+
+/** A data array the generated code loads from / stores to. */
+struct Region
+{
+    uint32_t addr;
+    uint32_t bytes;
+    int32_t tag;
+};
+
+constexpr uint32_t regionBytes = 2048;
+
+/** Registers generated code may freely use for values. */
+constexpr uint8_t intWorkRegs[] = {
+    rn::o0, rn::o1, rn::o2, rn::o3, rn::o4, rn::o5,
+    rn::i1, rn::i2, rn::i3, rn::i4, rn::i5,
+    rn::g1, rn::g2, rn::g3, rn::g4,
+};
+constexpr unsigned numIntWork = std::size(intWorkRegs);
+// Double-precision pairs f0 .. f22.
+constexpr unsigned numFpWork = 12;
+
+class Builder
+{
+  public:
+    Builder(const BenchmarkSpec &spec, const GenOptions &opts)
+        : spec(spec), opts(opts), rng(spec.seed)
+    {}
+
+    exe::Executable build();
+
+  private:
+    void
+    emit(GenBlock &blk, Instruction inst, int32_t tag = -1,
+         int64_t off = 0)
+    {
+        InstRef ref;
+        ref.inst = inst;
+        ref.memTag = tag;
+        ref.memOff = off;
+        blk.body.push_back(ref);
+    }
+
+    uint8_t
+    pickIntWork()
+    {
+        return intWorkRegs[rng.uniform(0, numIntWork - 1)];
+    }
+    uint8_t
+    pickIntSrc()
+    {
+        if (haveLastInt && rng.chance(spec.serialProb))
+            return lastIntDef;
+        return pickIntWork();
+    }
+    uint8_t
+    pickFpPair()
+    {
+        return static_cast<uint8_t>(2 * rng.uniform(0, numFpWork - 1));
+    }
+    uint8_t
+    pickFpSrc()
+    {
+        if (haveLastFp && rng.chance(spec.serialProb))
+            return lastFpDef;
+        return pickFpPair();
+    }
+
+    /** Pick among the current kernel's regions (based in l1-l4). */
+    Region &
+    pickRegion()
+    {
+        return regions[regionLo +
+                       static_cast<size_t>(rng.uniform(0, 3))];
+    }
+
+    /** Emit one random work instruction into blk. */
+    void emitWorkInst(GenBlock &blk);
+    /** Emit n work instructions. */
+    void
+    emitWork(GenBlock &blk, unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            emitWorkInst(blk);
+    }
+    /** Body length draw around mean (>= 0). */
+    unsigned
+    drawLen(double mean)
+    {
+        if (mean <= 0)
+            return 0;
+        return static_cast<unsigned>(
+            rng.geometric(mean, 0));
+    }
+
+    /** sethi/or a 32-bit constant into reg. */
+    void
+    emitSet32(GenBlock &blk, uint8_t reg, uint32_t value)
+    {
+        emit(blk, b::sethi(reg, value));
+        if (value & 0x3ff)
+            emit(blk, b::rri(Op::Or, reg, reg,
+                             static_cast<int32_t>(value & 0x3ff)));
+    }
+
+    uint32_t allocRegion(bool fp_data);
+    GenFunction makeKernel(unsigned index, unsigned &insts_per_call);
+    GenFunction makeMain(uint64_t outer_iters);
+    exe::Executable assemble();
+
+    const BenchmarkSpec &spec;
+    const GenOptions &opts;
+    Rng rng;
+
+    exe::Executable xe;
+    std::vector<GenFunction> fns;
+    std::vector<Region> regions;
+    size_t regionLo = 0;
+    int32_t nextTag = 0;
+
+    // Dataflow bookkeeping (reset per block).
+    bool haveLastInt = false, haveLastFp = false;
+    uint8_t lastIntDef = 0, lastFpDef = 0;
+
+    // Per-kernel registers (fixed convention, see DESIGN.md):
+    // l0 loop counter, l1-l4 region bases, l5 checksum, l6 parity.
+    static constexpr unsigned kernelIters = 200;
+};
+
+uint32_t
+Builder::allocRegion(bool fp_data)
+{
+    uint32_t off = static_cast<uint32_t>(xe.data.size());
+    for (uint32_t i = 0; i < regionBytes / 8; ++i) {
+        if (fp_data) {
+            // Doubles in [0.5, 1.5), stored big-endian.
+            double v = 0.5 + rng.real01();
+            uint64_t bits;
+            std::memcpy(&bits, &v, 8);
+            for (int k = 7; k >= 0; --k)
+                xe.data.push_back(
+                    static_cast<uint8_t>(bits >> (8 * k)));
+        } else {
+            for (int k = 0; k < 8; ++k)
+                xe.data.push_back(
+                    static_cast<uint8_t>(rng.uniform(0, 255)));
+        }
+    }
+    Region r{exe::dataBase + off, regionBytes, nextTag++};
+    regions.push_back(r);
+    return r.addr;
+}
+
+void
+Builder::emitWorkInst(GenBlock &blk)
+{
+    double roll = rng.real01();
+    double load_p = spec.loadFrac;
+    double store_p = load_p + spec.storeFrac;
+    double fp_p = store_p + spec.fpFrac;
+
+    if (roll < load_p) {
+        Region &r = pickRegion();
+        bool fp_load = spec.fp && rng.chance(0.5);
+        if (fp_load) {
+            int64_t off = 8 * rng.uniform(0, r.bytes / 8 - 1);
+            uint8_t dst = pickFpPair();
+            emit(blk, b::memi(Op::Lddf, dst, rn::l1 + r.tag % 4,
+                              static_cast<int32_t>(off)),
+                 r.tag, off);
+            haveLastFp = true;
+            lastFpDef = dst;
+        } else {
+            int64_t off = 4 * rng.uniform(0, r.bytes / 4 - 1);
+            uint8_t dst = pickIntWork();
+            emit(blk, b::memi(Op::Ld, dst, rn::l1 + r.tag % 4,
+                              static_cast<int32_t>(off)),
+                 r.tag, off);
+            haveLastInt = true;
+            lastIntDef = dst;
+        }
+    } else if (roll < store_p) {
+        Region &r = pickRegion();
+        bool fp_store = spec.fp && rng.chance(0.5);
+        if (fp_store) {
+            int64_t off = 8 * rng.uniform(0, r.bytes / 8 - 1);
+            emit(blk, b::memi(Op::Stdf, pickFpSrc(),
+                              rn::l1 + r.tag % 4,
+                              static_cast<int32_t>(off)),
+                 r.tag, off);
+        } else {
+            int64_t off = 4 * rng.uniform(0, r.bytes / 4 - 1);
+            emit(blk, b::memi(Op::St, pickIntSrc(),
+                              rn::l1 + r.tag % 4,
+                              static_cast<int32_t>(off)),
+                 r.tag, off);
+        }
+    } else if (roll < fp_p) {
+        static constexpr Op fpOps[] = {Op::Faddd, Op::Fsubd,
+                                       Op::Fmuld, Op::Faddd};
+        Op op = fpOps[rng.uniform(0, 3)];
+        uint8_t dst = pickFpPair();
+        emit(blk, b::fp3(op, dst, pickFpSrc(), pickFpSrc()));
+        haveLastFp = true;
+        lastFpDef = dst;
+    } else {
+        static constexpr Op intOps[] = {Op::Add, Op::Sub, Op::And,
+                                        Op::Or, Op::Xor, Op::Add,
+                                        Op::Sll, Op::Sra};
+        Op op = intOps[rng.uniform(0, 7)];
+        uint8_t dst = pickIntWork();
+        uint8_t s1 = pickIntSrc();
+        bool shift = op == Op::Sll || op == Op::Sra;
+        if (!shift && rng.chance(0.4)) {
+            emit(blk, b::rri(op, dst, s1,
+                             static_cast<int32_t>(
+                                 rng.uniform(-2048, 2047))));
+        } else if (shift) {
+            emit(blk, b::rri(op, dst, s1,
+                             static_cast<int32_t>(rng.uniform(1, 15))));
+        } else {
+            emit(blk, b::rrr(op, dst, s1, pickIntSrc()));
+        }
+        haveLastInt = true;
+        lastIntDef = dst;
+    }
+}
+
+GenFunction
+Builder::makeKernel(unsigned index, unsigned &insts_per_call)
+{
+    GenFunction fn;
+    fn.name = strfmt("kernel%u", index);
+
+    // Four fresh data regions, based in l1-l4.
+    regionLo = regions.size();
+    uint32_t base[4];
+    for (unsigned i = 0; i < 4; ++i)
+        base[i] = allocRegion(spec.fp);
+
+    // --- entry block: prologue + register initialization ---
+    int entry = fn.newBlock();
+    {
+        GenBlock &e = fn.blocks[entry];
+        emit(e, b::save(96));
+        for (unsigned i = 0; i < 4; ++i)
+            emitSet32(e, rn::l1 + i, base[i]);
+        for (uint8_t r : intWorkRegs)
+            emit(e, b::rri(Op::Or, r, rn::g0,
+                           static_cast<int32_t>(rng.uniform(1, 4095))));
+        if (spec.fp) {
+            for (unsigned p = 0; p < numFpWork; ++p)
+                emit(e, b::memi(Op::Lddf, static_cast<uint8_t>(2 * p),
+                                rn::l1, static_cast<int32_t>(8 * p)),
+                     regions[regionLo].tag, 8 * p);
+        }
+        emit(e, b::movi(rn::l5, 0));                   // checksum
+        emit(e, b::movi(rn::l6, 0));                   // parity
+        emit(e, b::movi(rn::l0, kernelIters));         // counter
+    }
+
+    // --- loop body ---
+    double t = spec.avgBlockSize;
+    unsigned emitted_per_iter = 0;
+    int head;
+
+    if (t >= 6.0) {
+        // One long straight-line block per iteration. The fixed
+        // overhead (checksum, loop counter, branch, delay slot) is
+        // ~4.4 instructions; the work length makes up the rest of
+        // the target block size.
+        head = fn.newBlock();
+        GenBlock &blk = fn.blocks[head];
+        unsigned body_len = static_cast<unsigned>(
+            std::max(1.0, std::round(t - 4.4)));
+        emitWork(blk, body_len);
+        emit(blk, b::rrr(Op::Add, rn::l5, rn::l5, lastIntDef));
+        emit(blk, b::rrr(Op::Xor, rn::l5, rn::l5, rn::l0));
+        emit(blk, b::rri(Op::Subcc, rn::l0, rn::l0, 1));
+        blk.hasCti = true;
+        blk.cti = b::bicc(isa::cond::ne, 0);
+        blk.targetBlock = head;
+        emitted_per_iter = body_len + 4;
+    } else {
+        // Diamond chain: D headers that conditionally skip a small
+        // fall-through block, then a loop tail.
+        constexpr unsigned D = 4;
+        double body_mean = std::max(0.0, t - 2.5);
+        head = -1;
+        for (unsigned d = 0; d < D; ++d) {
+            int h = fn.newBlock();
+            if (head < 0)
+                head = h;
+            int fall = fn.newBlock();
+            int merge = fn.newBlock();
+            {
+                GenBlock &hb = fn.blocks[h];
+                unsigned len = drawLen(body_mean);
+                emitWork(hb, len);
+                emit(hb, b::rri(Op::Andcc, rn::g0, rn::l6,
+                                1 << (d % 4)));
+                hb.hasCti = true;
+                hb.cti = b::bicc(isa::cond::ne, 0);
+                hb.targetBlock = merge;
+                emitted_per_iter += len + 2;
+            }
+            {
+                GenBlock &fb = fn.blocks[fall];
+                unsigned len = 1 + drawLen(body_mean);
+                emitWork(fb, len);
+                emitted_per_iter += len / 2;  // executed ~50%
+            }
+            // merge block is the next header (empty until then).
+            (void)merge;
+        }
+        // Loop tail lives in the final merge block.
+        GenBlock &tail = fn.blocks[fn.blocks.size() - 1];
+        unsigned len = drawLen(body_mean);
+        emitWork(tail, len);
+        emit(tail, b::rri(Op::Add, rn::l6, rn::l6, 1));
+        emit(tail, b::rrr(Op::Add, rn::l5, rn::l5, lastIntDef));
+        emit(tail, b::rrr(Op::Xor, rn::l5, rn::l5, rn::l6));
+        emit(tail, b::rri(Op::Subcc, rn::l0, rn::l0, 1));
+        tail.hasCti = true;
+        tail.cti = b::bicc(isa::cond::ne, 0);
+        tail.targetBlock = head;
+        emitted_per_iter += len + 4;
+    }
+
+    // --- exit block: the restore rides the return's delay slot and
+    // moves the checksum into the caller's %o0 ---
+    int exit_blk = fn.newBlock();
+    {
+        GenBlock &x = fn.blocks[exit_blk];
+        emit(x, b::memi(Op::Ld, rn::o0, rn::l1, 0),
+             regions[regionLo].tag, 0);
+        emit(x, b::rrr(Op::Xor, rn::l5, rn::l5, rn::o0));
+        x.hasCti = true;
+        x.cti = b::ret();
+        x.hasDelay = true;
+        x.delay = b::rri(Op::Restore, rn::o0, rn::l5, 0);
+    }
+
+    insts_per_call = kernelIters * std::max(emitted_per_iter, 1u) + 40;
+    return fn;
+}
+
+GenFunction
+Builder::makeMain(uint64_t outer_iters)
+{
+    GenFunction fn;
+    fn.name = "main";
+
+    int entry = fn.newBlock();
+    {
+        GenBlock &e = fn.blocks[entry];
+        emit(e, b::save(96));
+        emit(e, b::movi(rn::l7, 0));
+        emitSet32(e, rn::l0,
+                  static_cast<uint32_t>(std::max<uint64_t>(
+                      1, outer_iters)));
+    }
+
+    // Loop head: one block per kernel call; accumulate checksums.
+    int head = -1;
+    for (unsigned k = 0; k < spec.kernels; ++k) {
+        int blk = fn.newBlock();
+        if (head < 0)
+            head = blk;
+        GenBlock &cb = fn.blocks[blk];
+        if (k > 0)
+            emit(cb, b::rrr(Op::Add, rn::l7, rn::l7, rn::o0));
+        cb.hasCti = true;
+        cb.cti = b::call(0);
+        cb.callFn = static_cast<int>(k);  // kernels are fns 0..N-1
+    }
+    int tail = fn.newBlock();
+    {
+        GenBlock &tb = fn.blocks[tail];
+        emit(tb, b::rrr(Op::Add, rn::l7, rn::l7, rn::o0));
+        emit(tb, b::rrr(Op::Xor, rn::l7, rn::l7, rn::l0));
+        emit(tb, b::rri(Op::Subcc, rn::l0, rn::l0, 1));
+        tb.hasCti = true;
+        tb.cti = b::bicc(isa::cond::ne, 0);
+        tb.targetBlock = head;
+    }
+
+    int exit_blk = fn.newBlock();
+    {
+        GenBlock &x = fn.blocks[exit_blk];
+        emit(x, b::mov(rn::o0, rn::l7));
+        emit(x, b::ta(isa::trap::put_int));
+        emit(x, b::movi(rn::o0, 0));
+        emit(x, b::ta(isa::trap::exit_prog));
+        x.hasCti = true;
+        x.cti = b::ret();
+        x.hasDelay = true;
+        x.delay = b::restore();
+    }
+    return fn;
+}
+
+exe::Executable
+Builder::assemble()
+{
+    // The "oracle compiler" scheduling pass: the same list scheduler
+    // as EEL's, but with perfect alias information and a search over
+    // several jittered candidate schedules per block, keeping the
+    // best one under the exact machine model. This mimics the
+    // stronger optimizers in the Sun compilers the paper instruments
+    // (section 4.2), whose schedules EEL's single-pass heuristic can
+    // degrade.
+    std::vector<std::unique_ptr<sched::ListScheduler>> oracles;
+    if (opts.oracleSchedule) {
+        if (!opts.machine)
+            fatal("generator: oracle scheduling needs a machine model");
+        sched::SchedOptions base_opts;
+        base_opts.alias = sched::AliasPolicy::Oracle;
+        oracles.push_back(std::make_unique<sched::ListScheduler>(
+            *opts.machine, base_opts));
+        sched::SchedOptions dist_opts = base_opts;
+        dist_opts.priority =
+            sched::SchedOptions::Priority::DistanceOnly;
+        oracles.push_back(std::make_unique<sched::ListScheduler>(
+            *opts.machine, dist_opts));
+        for (uint64_t seed = 1; seed <= 6; ++seed) {
+            sched::SchedOptions j = base_opts;
+            j.tieJitterSeed = seed * 0x9e3779b97f4a7c15ull;
+            oracles.push_back(std::make_unique<sched::ListScheduler>(
+                *opts.machine, j));
+        }
+    }
+    // Candidates are judged on two back-to-back copies of the block
+    // — the loop steady state. This is the oracle's decisive edge
+    // over EEL: a global view of cross-iteration overlap that a
+    // one-pass local list scheduler cannot reproduce (the paper's
+    // "does not perform as well as the optimizers in the SUN C and
+    // Fortran compilers").
+    auto oracleSchedule = [&](const InstSeq &seq) {
+        InstSeq best;
+        uint64_t best_cost = ~uint64_t(0);
+        std::vector<Instruction> flat;
+        for (const auto &sch : oracles) {
+            InstSeq cand = sch->scheduleBlock(seq);
+            flat.clear();
+            for (const InstRef &r : cand)
+                flat.push_back(r.inst);
+            size_t once = flat.size();
+            for (size_t i = 0; i < once; ++i)
+                flat.push_back(flat[i]);
+            uint64_t cost =
+                machine::sequenceCycles(*opts.machine, flat);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = std::move(cand);
+            }
+        }
+        return best;
+    };
+
+    // Finalize every block's instruction sequence.
+    struct OutBlock
+    {
+        InstSeq seq;
+        uint32_t addr = 0;
+        int targetBlock;
+        int callFn;
+        bool hasCti;
+    };
+    std::vector<std::vector<OutBlock>> outFns(fns.size());
+
+    for (size_t fi = 0; fi < fns.size(); ++fi) {
+        for (GenBlock &gb : fns[fi].blocks) {
+            OutBlock ob;
+            ob.targetBlock = gb.targetBlock;
+            ob.callFn = gb.callFn;
+            ob.hasCti = gb.hasCti;
+            InstSeq seq = gb.body;
+            if (gb.hasCti) {
+                InstRef cti;
+                cti.inst = gb.cti;
+                seq.push_back(cti);
+                if (gb.hasDelay) {
+                    InstRef d;
+                    d.inst = gb.delay;
+                    seq.push_back(d);
+                }
+            }
+            if (!oracles.empty()) {
+                seq = oracleSchedule(seq);
+            } else if (gb.hasCti && !gb.hasDelay) {
+                InstRef nop;
+                nop.inst = b::nop();
+                seq.push_back(nop);
+            }
+            ob.seq = std::move(seq);
+            outFns[fi].push_back(std::move(ob));
+        }
+    }
+
+    // Lay out addresses.
+    uint32_t cursor = exe::textBase;
+    std::vector<uint32_t> fnAddr(fns.size());
+    for (size_t fi = 0; fi < fns.size(); ++fi) {
+        fnAddr[fi] = cursor;
+        for (OutBlock &ob : outFns[fi]) {
+            ob.addr = cursor;
+            cursor += 4 * static_cast<uint32_t>(ob.seq.size());
+        }
+    }
+
+    // Patch CTIs and emit.
+    for (size_t fi = 0; fi < fns.size(); ++fi) {
+        for (OutBlock &ob : outFns[fi]) {
+            if (ob.hasCti) {
+                size_t ci = ob.seq.size() - 2;
+                if (!ob.seq[ci].inst.isCti())
+                    panic("generator: CTI not in delay position");
+                uint32_t cti_addr =
+                    ob.addr + 4 * static_cast<uint32_t>(ci);
+                uint32_t target;
+                if (ob.callFn >= 0)
+                    target = fnAddr[ob.callFn];
+                else if (ob.targetBlock >= 0)
+                    target = outFns[fi][ob.targetBlock].addr;
+                else
+                    target = 0;
+                if (target)
+                    ob.seq[ci].inst.disp =
+                        (static_cast<int64_t>(target) -
+                         static_cast<int64_t>(cti_addr)) / 4;
+            }
+            for (const InstRef &ref : ob.seq)
+                xe.text.push_back(isa::encode(ref.inst));
+        }
+        uint32_t end = fi + 1 < fns.size() ? fnAddr[fi + 1] : cursor;
+        xe.symbols.push_back(exe::Symbol{fns[fi].name, fnAddr[fi],
+                                         end - fnAddr[fi], true});
+    }
+    xe.entry = fnAddr.back();  // main is last
+    return std::move(xe);
+}
+
+exe::Executable
+Builder::build()
+{
+    std::vector<unsigned> cost(spec.kernels);
+    for (unsigned k = 0; k < spec.kernels; ++k) {
+        unsigned per_call = 0;
+        fns.push_back(makeKernel(k, per_call));
+        cost[k] = per_call;
+    }
+    uint64_t per_outer = 8;
+    for (unsigned k = 0; k < spec.kernels; ++k)
+        per_outer += cost[k];
+    uint64_t target = static_cast<uint64_t>(
+        static_cast<double>(spec.dynTarget) * opts.scale);
+    uint64_t outer = std::max<uint64_t>(1, target / per_outer);
+    fns.push_back(makeMain(outer));
+    return assemble();
+}
+
+} // namespace
+
+exe::Executable
+generate(const BenchmarkSpec &spec, const GenOptions &opts)
+{
+    return Builder(spec, opts).build();
+}
+
+} // namespace eel::workload

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Synthetic benchmark generator: turns a BenchmarkSpec into a runnable
+ * XEF executable whose dynamic behaviour (block size, instruction
+ * mix, ILP) matches the spec. Generated code is pre-scheduled by an
+ * "oracle compiler" pass — the list scheduler armed with the exact
+ * target machine model and perfect alias information (InstRef memory
+ * tags) — to mimic the aggressively optimized Sun compiler output
+ * the paper instruments (DESIGN.md §2).
+ */
+
+#ifndef EEL_WORKLOAD_GENERATOR_HH
+#define EEL_WORKLOAD_GENERATOR_HH
+
+#include "src/exe/executable.hh"
+#include "src/machine/model.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::workload {
+
+struct GenOptions
+{
+    /** Multiplier on the spec's dynamic instruction target. */
+    double scale = 1.0;
+    /** Run the oracle pre-scheduling pass (a real compiler would). */
+    bool oracleSchedule = true;
+    /** Machine the oracle schedules for; required when scheduling. */
+    const machine::MachineModel *machine = nullptr;
+};
+
+/** Generate the executable for one benchmark spec. */
+exe::Executable generate(const BenchmarkSpec &spec,
+                         const GenOptions &opts);
+
+} // namespace eel::workload
+
+#endif // EEL_WORKLOAD_GENERATOR_HH

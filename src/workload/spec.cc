@@ -1,0 +1,80 @@
+#include "src/workload/spec.hh"
+
+#include <functional>
+
+namespace eel::workload {
+
+namespace {
+
+struct Row
+{
+    const char *name;
+    double bbUltra;   ///< Table 1/2 average dynamic block size
+    double bbSuper;   ///< Table 3
+};
+
+// CINT95.
+constexpr Row intRows[] = {
+    {"099.go", 2.9, 2.8},
+    {"124.m88ksim", 2.2, 2.3},
+    {"126.gcc", 2.2, 2.2},
+    {"129.compress", 3.0, 3.0},
+    {"130.li", 2.0, 2.0},
+    {"132.ijpeg", 6.2, 6.4},
+    {"134.perl", 2.4, 2.3},
+    {"147.vortex", 2.1, 2.1},
+};
+
+// CFP95.
+constexpr Row fpRows[] = {
+    {"101.tomcatv", 13.8, 11.4},
+    {"102.swim", 49.0, 66.1},
+    {"103.su2cor", 10.2, 10.1},
+    {"104.hydro2d", 4.7, 4.4},
+    {"107.mgrid", 32.4, 46.9},
+    {"110.applu", 12.5, 9.3},
+    {"125.turb3d", 6.1, 5.7},
+    {"141.apsi", 10.4, 11.8},
+    {"145.fpppp", 33.9, 28.2},
+    {"146.wave5", 10.9, 13.3},
+};
+
+} // namespace
+
+std::vector<BenchmarkSpec>
+spec95(std::string_view machine)
+{
+    bool super = machine == "supersparc";
+    std::vector<BenchmarkSpec> out;
+
+    for (const Row &r : intRows) {
+        BenchmarkSpec s;
+        s.name = r.name;
+        s.fp = false;
+        s.avgBlockSize = super ? r.bbSuper : r.bbUltra;
+        s.loadFrac = 0.26;
+        s.storeFrac = 0.10;
+        s.fpFrac = 0.0;
+        // Integer codes chase pointers and recompute flags: tight
+        // chains, little ILP.
+        s.serialProb = 0.85;
+        s.seed = std::hash<std::string>{}(s.name) | 1;
+        out.push_back(std::move(s));
+    }
+    for (const Row &r : fpRows) {
+        BenchmarkSpec s;
+        s.name = r.name;
+        s.fp = true;
+        s.avgBlockSize = super ? r.bbSuper : r.bbUltra;
+        s.loadFrac = 0.26;
+        s.storeFrac = 0.12;
+        s.fpFrac = 0.42;
+        // Unrolled array loops: wide independent chains.
+        s.serialProb = 0.15;
+        s.seed = std::hash<std::string>{}(s.name) | 1;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace eel::workload

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Synthetic SPEC95 benchmark specifications. Real SPEC95 binaries are
+ * unavailable (the hardware/data gate, DESIGN.md §2); each benchmark
+ * is replaced by a generated program matching the paper's reported
+ * per-benchmark dynamic basic block size and a plausible instruction
+ * mix for its domain. Tables 1/2 (UltraSPARC) and Table 3
+ * (SuperSPARC) report different block sizes — the benchmarks were
+ * compiled separately per machine — so the specs are parameterized
+ * by target machine.
+ */
+
+#ifndef EEL_WORKLOAD_SPEC_HH
+#define EEL_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eel::workload {
+
+struct BenchmarkSpec
+{
+    std::string name;
+    bool fp = false;          ///< CFP95 member
+    double avgBlockSize = 3;  ///< target dynamic BB size (paper)
+    double loadFrac = 0.22;   ///< fraction of body ops that load
+    double storeFrac = 0.08;
+    double fpFrac = 0.0;      ///< fraction of body ops that are fp
+    /** Probability an operand is the most recent result (chain
+     *  tightness): high for pointer-chasing integer codes, low for
+     *  unrolled vectorizable fp loops. */
+    double serialProb = 0.5;
+    uint64_t dynTarget = 1500000;  ///< dynamic instructions at scale 1
+    /** Kernel routines to generate (static footprint knob). */
+    unsigned kernels = 3;
+    uint64_t seed = 1;
+};
+
+/**
+ * The 8 CINT95 + 10 CFP95 benchmarks with the dynamic block sizes
+ * the paper reports for the given machine ("ultrasparc" /
+ * "hypersparc" use the Table 1 sizes, "supersparc" the Table 3
+ * sizes).
+ */
+std::vector<BenchmarkSpec> spec95(std::string_view machine);
+
+} // namespace eel::workload
+
+#endif // EEL_WORKLOAD_SPEC_HH

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "src/eel/cfg.hh"
+#include "src/isa/builder.hh"
+#include "src/support/logging.hh"
+
+namespace eel::edit {
+namespace {
+
+namespace b = isa::build;
+using isa::Op;
+namespace cond = isa::cond;
+namespace rn = isa::reg;
+
+exe::Executable
+assemble(const std::vector<isa::Instruction> &insts,
+         std::vector<exe::Symbol> syms = {})
+{
+    exe::Executable x;
+    for (const isa::Instruction &in : insts)
+        x.text.push_back(isa::encode(in));
+    if (syms.empty())
+        syms.push_back(exe::Symbol{
+            "main", exe::textBase,
+            static_cast<uint32_t>(4 * insts.size()), true});
+    x.symbols = std::move(syms);
+    x.entry = exe::textBase;
+    return x;
+}
+
+TEST(Cfg, StraightLineRoutine)
+{
+    // One block: body, return, delay.
+    exe::Executable x = assemble({
+        b::movi(rn::o0, 1),
+        b::rri(Op::Add, rn::o0, rn::o0, 1),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = buildRoutines(x);
+    ASSERT_EQ(rs.size(), 1u);
+    ASSERT_EQ(rs[0].blocks.size(), 1u);
+    const Block &blk = rs[0].blocks[0];
+    EXPECT_EQ(blk.insts.size(), 4u);
+    EXPECT_TRUE(blk.hasCti);
+    EXPECT_TRUE(blk.endsInReturn);
+    EXPECT_EQ(blk.takenSucc, -1);
+    EXPECT_EQ(blk.fallSucc, -1);
+}
+
+TEST(Cfg, DiamondControlFlow)
+{
+    //   0: cmp; be L; delay          (block 0)
+    //   3: add                       (block 1, falls to L)
+    //   4: L: add; retl; nop         (block 2)
+    exe::Executable x = assemble({
+        b::cmpi(rn::o0, 0),
+        b::bicc(cond::e, 3),
+        b::nop(),
+        b::rri(Op::Add, rn::o1, rn::o1, 1),
+        b::rri(Op::Add, rn::o2, rn::o2, 1),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = buildRoutines(x);
+    ASSERT_EQ(rs[0].blocks.size(), 3u);
+    const Block &b0 = rs[0].blocks[0];
+    EXPECT_EQ(b0.takenSucc, 2);
+    EXPECT_EQ(b0.fallSucc, 1);
+    const Block &b1 = rs[0].blocks[1];
+    EXPECT_FALSE(b1.hasCti);
+    EXPECT_EQ(b1.fallSucc, 2);
+    const Block &b2 = rs[0].blocks[2];
+    ASSERT_EQ(b2.preds.size(), 2u);
+}
+
+TEST(Cfg, BackEdgeLoop)
+{
+    exe::Executable x = assemble({
+        b::movi(rn::l0, 10),                 // block 0
+        b::rri(Op::Subcc, rn::l0, rn::l0, 1),  // block 1 (loop)
+        b::bicc(cond::ne, -1),
+        b::nop(),
+        b::retl(),                           // block 2
+        b::nop(),
+    });
+    auto rs = buildRoutines(x);
+    ASSERT_EQ(rs[0].blocks.size(), 3u);
+    EXPECT_EQ(rs[0].blocks[1].takenSucc, 1);  // self loop
+    EXPECT_EQ(rs[0].blocks[1].fallSucc, 2);
+}
+
+TEST(Cfg, BranchAlwaysHasNoFallthrough)
+{
+    exe::Executable x = assemble({
+        b::ba(2),
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = buildRoutines(x);
+    const Block &b0 = rs[0].blocks[0];
+    EXPECT_EQ(b0.takenSucc, 1);
+    EXPECT_EQ(b0.fallSucc, -1);
+}
+
+TEST(Cfg, CallBlockRecordsTarget)
+{
+    exe::Executable x = assemble(
+        {
+            b::call(4),      // f at +16 bytes
+            b::nop(),
+            b::retl(),
+            b::nop(),
+            // f:
+            b::retl(),
+            b::nop(),
+        },
+        {exe::Symbol{"main", exe::textBase, 16, true},
+         exe::Symbol{"f", exe::textBase + 16, 8, true}});
+    auto rs = buildRoutines(x);
+    ASSERT_EQ(rs.size(), 2u);
+    EXPECT_EQ(rs[0].name, "main");
+    const Block &b0 = rs[0].blocks[0];
+    EXPECT_EQ(b0.callTarget, exe::textBase + 16);
+    EXPECT_EQ(b0.fallSucc, 1);
+}
+
+TEST(Cfg, DelaySlotBelongsToCtiBlock)
+{
+    exe::Executable x = assemble({
+        b::cmpi(rn::o0, 0),
+        b::bicc(cond::ne, 4),
+        b::rri(Op::Add, rn::o1, rn::o1, 1),  // delay
+        b::rri(Op::Add, rn::o2, rn::o2, 1),  // next block
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = buildRoutines(x);
+    const Block &b0 = rs[0].blocks[0];
+    ASSERT_EQ(b0.insts.size(), 3u);
+    EXPECT_EQ(b0.cti().op, isa::Op::Bicc);
+    EXPECT_EQ(b0.insts.back().inst.rd, rn::o1);
+}
+
+TEST(Cfg, BranchIntoDelaySlotRejected)
+{
+    exe::Executable x = assemble({
+        b::ba(2),
+        b::nop(),     // delay; also branch target below
+        b::bicc(cond::ne, -1),  // targets the delay slot
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    EXPECT_THROW(buildRoutines(x), FatalError);
+}
+
+TEST(Cfg, BranchEscapingRoutineRejected)
+{
+    exe::Executable x = assemble({
+        b::ba(100),
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    EXPECT_THROW(buildRoutines(x), FatalError);
+}
+
+TEST(Cfg, CtiWithoutDelayRejected)
+{
+    exe::Executable x = assemble({
+        b::nop(),
+        b::retl(),
+    });
+    EXPECT_THROW(buildRoutines(x), FatalError);
+}
+
+TEST(Cfg, FallingOffEndRejected)
+{
+    exe::Executable x = assemble({
+        b::nop(),
+        b::nop(),
+    });
+    EXPECT_THROW(buildRoutines(x), FatalError);
+}
+
+TEST(Cfg, TextGapRejected)
+{
+    exe::Executable x = assemble(
+        {b::retl(), b::nop(), b::retl(), b::nop()},
+        {exe::Symbol{"main", exe::textBase, 8, true},
+         // gap: second function starts late
+         exe::Symbol{"f", exe::textBase + 12, 4, true}});
+    EXPECT_THROW(buildRoutines(x), FatalError);
+}
+
+TEST(Cfg, DumpRoutineMentionsBlocksAndEdges)
+{
+    exe::Executable x = assemble({
+        b::cmpi(rn::o0, 0),
+        b::bicc(cond::e, 3),
+        b::nop(),
+        b::rri(Op::Add, rn::o1, rn::o1, 1),
+        b::rri(Op::Add, rn::o2, rn::o2, 1),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = buildRoutines(x);
+    std::string dump = dumpRoutine(rs[0]);
+    EXPECT_NE(dump.find("routine main"), std::string::npos);
+    EXPECT_NE(dump.find("taken->2"), std::string::npos);
+    EXPECT_NE(dump.find("returns"), std::string::npos);
+}
+
+} // namespace
+} // namespace eel::edit

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Editor edge-instrumentation semantics: a fall-through snippet must
+ * execute exactly when control falls through (taken branches skip
+ * it), and a taken-edge trampoline exactly when the branch is taken
+ * (fall-through never sees it) — with the delay slot still executing
+ * on both paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/eel/editor.hh"
+#include "src/support/logging.hh"
+#include "src/isa/builder.hh"
+#include "src/sim/emulator.hh"
+
+namespace eel::edit {
+namespace {
+
+namespace b = isa::build;
+using isa::Op;
+namespace cond = isa::cond;
+namespace rn = isa::reg;
+
+/**
+ * A program whose branch direction is controlled by `take`:
+ *   b0: cmp %g0, take; be T; delay (o1 += 1)
+ *   b1: o2 += 1  (fall path)
+ *   T:  exit with counters readable
+ */
+exe::Executable
+diamond(int take)
+{
+    exe::Executable x;
+    auto push = [&](isa::Instruction in) {
+        x.text.push_back(isa::encode(in));
+    };
+    push(b::cmpi(rn::g0, take));           // Z set iff take == 0
+    push(b::bicc(cond::e, 3));             // taken iff take == 0
+    push(b::rri(Op::Add, rn::o1, rn::o1, 1));  // delay: both paths
+    push(b::rri(Op::Add, rn::o2, rn::o2, 1));  // fall-only
+    push(b::rri(Op::Add, rn::o3, rn::o3, 1));  // merge
+    push(b::ta(isa::trap::exit_prog));
+    push(b::retl());
+    push(b::nop());
+    x.entry = exe::textBase;
+    x.symbols.push_back(exe::Symbol{
+        "main", exe::textBase,
+        static_cast<uint32_t>(4 * x.text.size()), true});
+    x.addBss("edge_ctr", 8);
+    return x;
+}
+
+sched::InstSeq
+counter(uint32_t addr)
+{
+    sched::InstSeq seq;
+    auto push = [&](isa::Instruction in) {
+        sched::InstRef r;
+        r.inst = in;
+        seq.push_back(r);
+    };
+    push(b::sethi(rn::g6, addr));
+    push(b::memi(Op::Ld, rn::g7, rn::g6,
+                 static_cast<int32_t>(addr & 0x3ff)));
+    push(b::rri(Op::Add, rn::g7, rn::g7, 1));
+    push(b::memi(Op::St, rn::g7, rn::g6,
+                 static_cast<int32_t>(addr & 0x3ff)));
+    return seq;
+}
+
+struct EdgeRun
+{
+    uint32_t counterValue;
+    uint32_t delayHits;  ///< %o1
+    uint32_t fallHits;   ///< %o2
+    uint32_t mergeHits;  ///< %o3
+};
+
+EdgeRun
+runWithPlan(int take, bool fall_edge, bool schedule)
+{
+    exe::Executable x = diamond(take);
+    uint32_t ctr = x.findSymbol("edge_ctr")->addr;
+    auto rs = buildRoutines(x);
+
+    InstrumentationPlan plan;
+    if (fall_edge)
+        plan.addFallEdge(0, 0, counter(ctr));
+    else
+        plan.addTakenEdge(0, 0, counter(ctr));
+
+    EditOptions opts;
+    if (schedule) {
+        opts.schedule = true;
+        opts.model = &machine::MachineModel::builtin("ultrasparc");
+    }
+    exe::Executable y = rewrite(x, rs, plan, opts);
+    sim::Emulator e(y);
+    sim::RunResult r = e.run();
+    EXPECT_TRUE(r.exited);
+    return EdgeRun{e.readWord(ctr), e.reg(rn::o1), e.reg(rn::o2),
+                   e.reg(rn::o3)};
+}
+
+class EdgeInstrumentation : public ::testing::TestWithParam<bool>
+{};
+
+TEST_P(EdgeInstrumentation, FallSnippetRunsOnlyOnFallThrough)
+{
+    bool sched = GetParam();
+    EdgeRun fall = runWithPlan(/*take=*/1, true, sched);
+    EXPECT_EQ(fall.counterValue, 1u);
+    EXPECT_EQ(fall.fallHits, 1u);
+    EXPECT_EQ(fall.delayHits, 1u);
+    EXPECT_EQ(fall.mergeHits, 1u);
+
+    EdgeRun taken = runWithPlan(/*take=*/0, true, sched);
+    EXPECT_EQ(taken.counterValue, 0u);  // skipped by the branch
+    EXPECT_EQ(taken.fallHits, 0u);
+    EXPECT_EQ(taken.delayHits, 1u);     // delay runs on both paths
+    EXPECT_EQ(taken.mergeHits, 1u);
+}
+
+TEST_P(EdgeInstrumentation, TrampolineRunsOnlyOnTaken)
+{
+    bool sched = GetParam();
+    EdgeRun taken = runWithPlan(/*take=*/0, false, sched);
+    EXPECT_EQ(taken.counterValue, 1u);
+    EXPECT_EQ(taken.fallHits, 0u);
+    EXPECT_EQ(taken.delayHits, 1u);
+    EXPECT_EQ(taken.mergeHits, 1u);
+
+    EdgeRun fall = runWithPlan(/*take=*/1, false, sched);
+    EXPECT_EQ(fall.counterValue, 0u);  // trampoline never entered
+    EXPECT_EQ(fall.fallHits, 1u);
+    EXPECT_EQ(fall.delayHits, 1u);
+    EXPECT_EQ(fall.mergeHits, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SchedOnOff, EdgeInstrumentation,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool> &i) {
+                             return i.param ? "scheduled"
+                                            : "unscheduled";
+                         });
+
+TEST(EdgeInstrumentationErrors, FallEdgeWithoutFallThroughRejected)
+{
+    // A block ending in "ba" has no fall-through edge.
+    exe::Executable x;
+    auto push = [&](isa::Instruction in) {
+        x.text.push_back(isa::encode(in));
+    };
+    push(b::ba(2));
+    push(b::nop());
+    push(b::retl());
+    push(b::nop());
+    x.entry = exe::textBase;
+    x.symbols.push_back(exe::Symbol{"main", exe::textBase, 16, true});
+    x.addBss("c", 8);
+    auto rs = buildRoutines(x);
+    InstrumentationPlan plan;
+    plan.addFallEdge(0, 0, counter(x.findSymbol("c")->addr));
+    EXPECT_THROW(rewrite(x, rs, plan, {}), eel::FatalError);
+}
+
+TEST(EdgeInstrumentationErrors, TakenEdgeOnReturnRejected)
+{
+    exe::Executable x;
+    auto push = [&](isa::Instruction in) {
+        x.text.push_back(isa::encode(in));
+    };
+    push(b::retl());
+    push(b::nop());
+    x.entry = exe::textBase;
+    x.symbols.push_back(exe::Symbol{"main", exe::textBase, 8, true});
+    x.addBss("c", 8);
+    auto rs = buildRoutines(x);
+    InstrumentationPlan plan;
+    plan.addTakenEdge(0, 0, counter(x.findSymbol("c")->addr));
+    EXPECT_THROW(rewrite(x, rs, plan, {}), eel::FatalError);
+}
+
+TEST(EdgeInstrumentation, LoopBackEdgeTrampolineCountsIterations)
+{
+    exe::Executable x;
+    auto push = [&](isa::Instruction in) {
+        x.text.push_back(isa::encode(in));
+    };
+    push(b::movi(rn::l0, 7));                    // block 0
+    push(b::rri(Op::Subcc, rn::l0, rn::l0, 1));  // block 1 (loop)
+    push(b::bicc(cond::ne, -1));
+    push(b::nop());
+    push(b::movi(rn::o0, 0));                    // block 2
+    push(b::ta(isa::trap::exit_prog));
+    push(b::retl());
+    push(b::nop());
+    x.entry = exe::textBase;
+    x.symbols.push_back(exe::Symbol{
+        "main", exe::textBase,
+        static_cast<uint32_t>(4 * x.text.size()), true});
+    uint32_t ctr = x.addBss("backedge", 8);
+    auto rs = buildRoutines(x);
+
+    InstrumentationPlan plan;
+    plan.addTakenEdge(0, 1, counter(ctr));
+    exe::Executable y = rewrite(x, rs, plan, {});
+    sim::Emulator e(y);
+    EXPECT_TRUE(e.run().exited);
+    // 7 iterations: the back edge is taken 6 times.
+    EXPECT_EQ(e.readWord(ctr), 6u);
+}
+
+} // namespace
+} // namespace eel::edit

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "src/eel/editor.hh"
+#include "src/support/logging.hh"
+#include "src/isa/builder.hh"
+#include "src/sim/emulator.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::edit {
+namespace {
+
+namespace b = isa::build;
+using isa::Op;
+namespace rn = isa::reg;
+
+exe::Executable
+loopExe()
+{
+    exe::Executable x;
+    auto push = [&](isa::Instruction in) {
+        x.text.push_back(isa::encode(in));
+    };
+    push(b::movi(rn::l0, 5));                  // block 0
+    push(b::movi(rn::o0, 0));
+    push(b::rri(Op::Add, rn::o0, rn::o0, 3));  // block 1 (loop)
+    push(b::rri(Op::Subcc, rn::l0, rn::l0, 1));
+    push(b::bicc(isa::cond::ne, -2));
+    push(b::nop());
+    push(b::ta(isa::trap::exit_prog));         // block 2
+    push(b::retl());
+    push(b::nop());
+    x.entry = exe::textBase;
+    x.symbols.push_back(exe::Symbol{
+        "main", exe::textBase,
+        static_cast<uint32_t>(4 * x.text.size()), true});
+    return x;
+}
+
+sched::InstSeq
+markerSnippet(uint32_t addr)
+{
+    sched::InstSeq seq;
+    auto push = [&](isa::Instruction in) {
+        sched::InstRef r;
+        r.inst = in;
+        r.isInstrumentation = true;
+        seq.push_back(r);
+    };
+    push(b::sethi(rn::g6, addr));
+    push(b::memi(Op::Ld, rn::g7, rn::g6,
+                 static_cast<int32_t>(addr & 0x3ff)));
+    push(b::rri(Op::Add, rn::g7, rn::g7, 1));
+    push(b::memi(Op::St, rn::g7, rn::g6,
+                 static_cast<int32_t>(addr & 0x3ff)));
+    return seq;
+}
+
+TEST(Editor, IdentityRewritePreservesBehaviour)
+{
+    exe::Executable x = loopExe();
+    auto rs = buildRoutines(x);
+    exe::Executable y =
+        rewrite(x, rs, InstrumentationPlan{}, EditOptions{});
+    EXPECT_EQ(y.text.size(), x.text.size());
+    sim::Emulator ea(x), eb(y);
+    EXPECT_EQ(ea.run().exitCode, 15);
+    EXPECT_EQ(eb.run().exitCode, 15);
+}
+
+TEST(Editor, InsertedSnippetCountsLoopIterations)
+{
+    exe::Executable x = loopExe();
+    x.addBss("ctr", 8);
+    uint32_t ctr = x.findSymbol("ctr")->addr;
+    auto rs = buildRoutines(x);
+
+    InstrumentationPlan plan;
+    plan.add(0, 1, markerSnippet(ctr));  // the loop block
+    exe::Executable y = rewrite(x, rs, plan, EditOptions{});
+    EXPECT_EQ(y.text.size(), x.text.size() + 4);
+
+    sim::Emulator e(y);
+    EXPECT_EQ(e.run().exitCode, 15);
+    EXPECT_EQ(e.readWord(ctr), 5u);
+}
+
+TEST(Editor, ScheduledRewriteStillCorrect)
+{
+    exe::Executable x = loopExe();
+    x.addBss("ctr", 8);
+    uint32_t ctr = x.findSymbol("ctr")->addr;
+    auto rs = buildRoutines(x);
+
+    InstrumentationPlan plan;
+    plan.add(0, 1, markerSnippet(ctr));
+    EditOptions opts;
+    opts.schedule = true;
+    opts.model = &machine::MachineModel::builtin("ultrasparc");
+    exe::Executable y = rewrite(x, rs, plan, opts);
+
+    sim::Emulator e(y);
+    EXPECT_EQ(e.run().exitCode, 15);
+    EXPECT_EQ(e.readWord(ctr), 5u);
+}
+
+TEST(Editor, BranchDisplacementsRetargeted)
+{
+    // Growing block 0 forces the back edge to span more bytes.
+    exe::Executable x = loopExe();
+    auto rs = buildRoutines(x);
+    InstrumentationPlan plan;
+    sched::InstSeq pad;
+    for (int i = 0; i < 6; ++i) {
+        sched::InstRef r;
+        r.inst = b::nop();
+        r.isInstrumentation = true;
+        pad.push_back(r);
+    }
+    plan.add(0, 0, pad);
+    exe::Executable y = rewrite(x, rs, plan, EditOptions{});
+    sim::Emulator e(y);
+    EXPECT_EQ(e.run().exitCode, 15);
+}
+
+TEST(Editor, EntryPointFollowsMain)
+{
+    exe::Executable x = loopExe();
+    auto rs = buildRoutines(x);
+    InstrumentationPlan plan;
+    sched::InstSeq pad;
+    sched::InstRef r;
+    r.inst = b::nop();
+    r.isInstrumentation = true;
+    pad.push_back(r);
+    plan.add(0, 0, pad);
+    exe::Executable y = rewrite(x, rs, plan, EditOptions{});
+    EXPECT_EQ(y.entry, exe::textBase);  // main is first
+    EXPECT_EQ(y.findSymbol("main")->size, 4 * y.text.size());
+}
+
+TEST(Editor, SchedulingWithoutModelRejected)
+{
+    exe::Executable x = loopExe();
+    auto rs = buildRoutines(x);
+    EditOptions opts;
+    opts.schedule = true;
+    EXPECT_THROW(rewrite(x, rs, InstrumentationPlan{}, opts),
+                 eel::FatalError);
+}
+
+TEST(Editor, CrossRoutineCallsRetargeted)
+{
+    // A generated program has main calling kernels; rewriting with
+    // padding moves every function.
+    workload::BenchmarkSpec spec = workload::spec95("ultrasparc")[0];
+    workload::GenOptions gopts;
+    gopts.scale = 0.01;
+    gopts.machine = &machine::MachineModel::builtin("ultrasparc");
+    exe::Executable x = workload::generate(spec, gopts);
+    sim::Emulator e0(x);
+    std::string golden = e0.run().output;
+
+    auto rs = buildRoutines(x);
+    InstrumentationPlan plan;
+    for (size_t ri = 0; ri < rs.size(); ++ri) {
+        for (const Block &blk : rs[ri].blocks) {
+            sched::InstSeq pad;
+            sched::InstRef r;
+            r.inst = b::nop();
+            r.isInstrumentation = true;
+            pad.push_back(r);
+            plan.add(ri, blk.id, pad);
+        }
+    }
+    exe::Executable y = rewrite(x, rs, plan, EditOptions{});
+    EXPECT_GT(y.text.size(), x.text.size());
+    sim::Emulator e1(y);
+    EXPECT_EQ(e1.run().output, golden);
+}
+
+TEST(Editor, RescheduleOnlyPreservesBehaviour)
+{
+    workload::BenchmarkSpec spec = workload::spec95("ultrasparc")[9];
+    workload::GenOptions gopts;
+    gopts.scale = 0.01;
+    gopts.machine = &machine::MachineModel::builtin("ultrasparc");
+    exe::Executable x = workload::generate(spec, gopts);
+    sim::Emulator e0(x);
+    std::string golden = e0.run().output;
+
+    auto rs = buildRoutines(x);
+    EditOptions opts;
+    opts.schedule = true;
+    opts.model = &machine::MachineModel::builtin("ultrasparc");
+    exe::Executable y =
+        rewrite(x, rs, InstrumentationPlan{}, opts);
+    sim::Emulator e1(y);
+    EXPECT_EQ(e1.run().output, golden);
+}
+
+} // namespace
+} // namespace eel::edit

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "src/eel/liveness.hh"
+#include "src/isa/builder.hh"
+
+namespace eel::edit {
+namespace {
+
+namespace b = isa::build;
+using isa::Op;
+namespace cond = isa::cond;
+namespace rn = isa::reg;
+
+Routine
+analyze(const std::vector<isa::Instruction> &insts)
+{
+    exe::Executable x;
+    for (const isa::Instruction &in : insts)
+        x.text.push_back(isa::encode(in));
+    x.entry = exe::textBase;
+    x.symbols.push_back(exe::Symbol{
+        "f", exe::textBase,
+        static_cast<uint32_t>(4 * insts.size()), true});
+    return buildRoutines(x)[0];
+}
+
+TEST(Liveness, ReadBeforeWriteIsLive)
+{
+    Routine r = analyze({
+        b::rri(Op::Add, rn::o0, rn::o1, 1),  // reads %o1
+        b::retl(),
+        b::nop(),
+    });
+    Liveness lv(r);
+    EXPECT_TRUE(lv.liveIn(0, rn::o1));
+}
+
+TEST(Liveness, WriteBeforeReadIsDead)
+{
+    Routine r = analyze({
+        b::movi(rn::o3, 7),                      // writes %o3
+        b::rri(Op::Add, rn::o0, rn::o3, 1),      // then reads it
+        b::retl(),
+        b::nop(),
+    });
+    Liveness lv(r);
+    EXPECT_FALSE(lv.liveIn(0, rn::o3));
+    EXPECT_TRUE(lv.deadAt(0)[rn::o3]);
+}
+
+TEST(Liveness, ReturnExposesUnwrittenRegisters)
+{
+    // %o4 is never touched: it must be assumed live (the caller may
+    // read it after a leaf return).
+    Routine r = analyze({
+        b::movi(rn::o0, 1),
+        b::retl(),
+        b::nop(),
+    });
+    Liveness lv(r);
+    EXPECT_TRUE(lv.liveIn(0, rn::o4));
+    EXPECT_FALSE(lv.deadAt(0)[rn::o4]);
+}
+
+TEST(Liveness, LiveOnOnePathIsLiveAtJoinPoint)
+{
+    //  b0: cmp; be b2; delay
+    //  b1: uses %o2          (fall)
+    //  b2: writes %o2; ret
+    Routine r = analyze({
+        b::cmpi(rn::o0, 0),
+        b::bicc(cond::e, 3),                 // -> the movi below
+        b::nop(),
+        b::rri(Op::Add, rn::o1, rn::o2, 1),  // b1 reads %o2
+        b::movi(rn::o2, 5),                  // b2 writes %o2
+        b::retl(),
+        b::nop(),
+    });
+    Liveness lv(r);
+    // At b0's entry %o2 may flow to the read in b1.
+    EXPECT_TRUE(lv.liveIn(0, rn::o2));
+    // At b2's entry it is overwritten before any use...
+    EXPECT_FALSE(lv.liveIn(2, rn::o2));
+    // ...but at b1 it is read immediately.
+    EXPECT_TRUE(lv.liveIn(1, rn::o2));
+}
+
+TEST(Liveness, LoopCarriedRegisterStaysLive)
+{
+    // loop: %l0 decremented and tested every iteration.
+    Routine r = analyze({
+        b::movi(rn::l0, 10),
+        b::rri(Op::Subcc, rn::l0, rn::l0, 1),
+        b::bicc(cond::ne, -1),
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    Liveness lv(r);
+    EXPECT_TRUE(lv.liveIn(1, rn::l0));   // loop block
+    EXPECT_FALSE(lv.liveIn(0, rn::l0));  // entry writes it first
+}
+
+TEST(Liveness, CallMakesEverythingLiveBefore)
+{
+    Routine r = analyze({
+        b::movi(rn::o3, 1),   // even a just-written register...
+        b::call(2),
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    Liveness lv(r);
+    // ...%o4 (untouched) is live at entry because the callee may
+    // observe it; %o3 is dead (written before the call).
+    EXPECT_TRUE(lv.liveIn(0, rn::o4));
+    EXPECT_FALSE(lv.liveIn(0, rn::o3));
+}
+
+TEST(Liveness, NeverTouchRegistersNotScavengeable)
+{
+    Routine r = analyze({
+        b::movi(rn::o3, 1),
+        b::retl(),
+        b::nop(),
+    });
+    Liveness lv(r);
+    auto dead = lv.deadAt(0);
+    EXPECT_FALSE(dead[rn::g0]);
+    EXPECT_FALSE(dead[rn::sp]);
+    EXPECT_FALSE(dead[rn::fp]);
+    EXPECT_FALSE(dead[rn::o7]);
+    EXPECT_FALSE(dead[rn::i7]);
+}
+
+TEST(Liveness, PickFindsDistinctRegisters)
+{
+    Routine r = analyze({
+        b::movi(rn::o2, 1),
+        b::movi(rn::o3, 2),
+        b::rrr(Op::Add, rn::o0, rn::o2, rn::o3),
+        b::retl(),
+        b::nop(),
+    });
+    Liveness lv(r);
+    uint8_t regs[2] = {0, 0};
+    ASSERT_EQ(lv.pick(0, 2, regs), 2u);
+    EXPECT_NE(regs[0], regs[1]);
+    EXPECT_FALSE(lv.liveIn(0, regs[0]));
+    EXPECT_FALSE(lv.liveIn(0, regs[1]));
+}
+
+TEST(Liveness, SaveBlockScavengesNothing)
+{
+    // The window rotation makes every register suspect.
+    Routine r = analyze({
+        b::save(96),
+        b::movi(rn::l0, 1),
+        b::ret(),
+        b::restore(),
+    });
+    Liveness lv(r);
+    EXPECT_EQ(lv.deadAt(0).count(), 0u);
+}
+
+} // namespace
+} // namespace eel::edit

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/exe/executable.hh"
+#include "src/isa/builder.hh"
+#include "src/support/logging.hh"
+
+namespace eel::exe {
+namespace {
+
+namespace b = isa::build;
+
+Executable
+tiny()
+{
+    Executable x;
+    x.text.push_back(isa::encode(b::movi(8, 0)));
+    x.text.push_back(isa::encode(b::ta(isa::trap::exit_prog)));
+    x.text.push_back(isa::encode(b::retl()));
+    x.text.push_back(isa::encode(b::nop()));
+    x.entry = textBase;
+    x.symbols.push_back(Symbol{"main", textBase, 16, true});
+    x.data = {1, 2, 3, 4};
+    x.bssBytes = 64;
+    return x;
+}
+
+TEST(Executable, AddressArithmetic)
+{
+    Executable x = tiny();
+    EXPECT_EQ(x.textEnd(), textBase + 16);
+    EXPECT_TRUE(x.inText(textBase));
+    EXPECT_TRUE(x.inText(textBase + 12));
+    EXPECT_FALSE(x.inText(textBase + 16));
+    EXPECT_FALSE(x.inText(textBase + 2));  // misaligned
+    EXPECT_FALSE(x.inText(0));
+    EXPECT_EQ(x.textIndex(textBase + 8), 2u);
+    EXPECT_EQ(x.word(textBase + 8), x.text[2]);
+}
+
+TEST(Executable, DataLayout)
+{
+    Executable x = tiny();
+    EXPECT_EQ(x.dataEnd(), dataBase + 4);
+    EXPECT_GE(x.bssBase(), x.dataEnd());
+    EXPECT_EQ(x.bssBase() % 8, 0u);
+    EXPECT_EQ(x.bssEnd(), x.bssBase() + 64);
+}
+
+TEST(Executable, AddBssAllocatesAlignedSymbols)
+{
+    Executable x = tiny();
+    uint32_t end0 = x.bssEnd();
+    uint32_t a = x.addBss("ctrs", 12);
+    EXPECT_GE(a, end0);
+    EXPECT_EQ(a % 8, 0u);
+    const Symbol *s = x.findSymbol("ctrs");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->addr, a);
+    EXPECT_EQ(s->size, 12u);
+    EXPECT_FALSE(s->isFunc);
+    uint32_t a2 = x.addBss("more", 8);
+    EXPECT_GE(a2, a + 12);
+}
+
+TEST(Executable, SymbolLookup)
+{
+    Executable x = tiny();
+    EXPECT_NE(x.findSymbol("main"), nullptr);
+    EXPECT_EQ(x.findSymbol("nope"), nullptr);
+}
+
+TEST(Executable, SaveLoadRoundTrip)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() / "eel_test.xef")
+            .string();
+    Executable x = tiny();
+    x.addBss("ctrs", 24);
+    x.save(path);
+    Executable y = Executable::load(path);
+    EXPECT_EQ(y.text, x.text);
+    EXPECT_EQ(y.data, x.data);
+    EXPECT_EQ(y.bssBytes, x.bssBytes);
+    EXPECT_EQ(y.entry, x.entry);
+    ASSERT_EQ(y.symbols.size(), x.symbols.size());
+    EXPECT_EQ(y.symbols[0].name, "main");
+    EXPECT_TRUE(y.symbols[0].isFunc);
+    EXPECT_EQ(y.symbols[1].name, "ctrs");
+    std::remove(path.c_str());
+}
+
+TEST(Executable, LoadRejectsGarbage)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() / "eel_bad.xef")
+            .string();
+    FILE *f = fopen(path.c_str(), "wb");
+    fputs("not an xef file at all", f);
+    fclose(f);
+    EXPECT_THROW(Executable::load(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Executable, LoadRejectsMissingFile)
+{
+    EXPECT_THROW(Executable::load("/nonexistent/file.xef"),
+                 FatalError);
+}
+
+TEST(Executable, DisassembleShowsSymbolsAndInstructions)
+{
+    Executable x = tiny();
+    std::string s = x.disassembleText();
+    EXPECT_NE(s.find("main:"), std::string::npos);
+    EXPECT_NE(s.find("ta 0"), std::string::npos);
+    EXPECT_NE(s.find("retl"), std::string::npos);
+    EXPECT_NE(s.find("010000:"), std::string::npos);
+}
+
+} // namespace
+} // namespace eel::exe

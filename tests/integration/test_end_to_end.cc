@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Integration tests: the full Figure-3 pipeline — generate a
+ * benchmark, profile it with QPT slow profiling, schedule the
+ * instrumentation, and measure — exercising every module together.
+ * These pin the qualitative claims the benches then quantify.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/eel/editor.hh"
+#include "src/qpt/profiler.hh"
+#include "src/sim/timing.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel {
+namespace {
+
+struct Measurement
+{
+    std::string output;
+    uint64_t uninst;
+    uint64_t inst;
+    uint64_t sched;
+
+    double
+    hidden() const
+    {
+        return double(inst - sched) / double(inst - uninst);
+    }
+};
+
+Measurement
+measure(const char *machine_name, size_t bench, double scale)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin(machine_name);
+    workload::BenchmarkSpec spec =
+        workload::spec95(machine_name)[bench];
+    workload::GenOptions gopts;
+    gopts.scale = scale;
+    gopts.machine = &m;
+    exe::Executable orig = workload::generate(spec, gopts);
+
+    auto routines = edit::buildRoutines(orig);
+    exe::Executable work = orig;
+    qpt::ProfilePlan plan = qpt::makePlan(work, routines);
+
+    edit::EditOptions plain;
+    exe::Executable inst =
+        edit::rewrite(work, routines, plan.plan, plain);
+    edit::EditOptions sched;
+    sched.schedule = true;
+    sched.model = &m;
+    exe::Executable schd =
+        edit::rewrite(work, routines, plan.plan, sched);
+
+    Measurement out;
+    auto r0 = sim::timedRun(orig, m);
+    auto r1 = sim::timedRun(inst, m);
+    auto r2 = sim::timedRun(schd, m);
+    EXPECT_EQ(r0.result.output, r1.result.output);
+    EXPECT_EQ(r0.result.output, r2.result.output);
+    out.output = r0.result.output;
+    out.uninst = r0.cycles;
+    out.inst = r1.cycles;
+    out.sched = r2.cycles;
+    return out;
+}
+
+TEST(EndToEnd, InstrumentationCostsAndSchedulingHides)
+{
+    for (const char *mach : {"supersparc", "ultrasparc"}) {
+        Measurement r = measure(mach, 3 /* 129.compress */, 0.05);
+        EXPECT_GT(r.inst, r.uninst) << mach;
+        EXPECT_LE(r.sched, r.inst) << mach;
+        EXPECT_GT(r.hidden(), 0.0) << mach;
+        EXPECT_LT(r.hidden(), 1.0) << mach;
+    }
+}
+
+TEST(EndToEnd, IntOverheadRoughlyDoubles)
+{
+    // Paper Table 1: SPECINT instrumented/uninstrumented is about
+    // 1.5x-2.8x. Allow a generous band.
+    Measurement r = measure("ultrasparc", 4 /* 130.li */, 0.05);
+    double ratio = double(r.inst) / double(r.uninst);
+    EXPECT_GT(ratio, 1.4);
+    EXPECT_LT(ratio, 4.5);
+}
+
+TEST(EndToEnd, FpOverheadIsSmall)
+{
+    // Paper Table 1: SPECFP instrumented ratio is ~1.0-1.4.
+    Measurement r = measure("ultrasparc", 9 /* 102.swim */, 0.05);
+    double ratio = double(r.inst) / double(r.uninst);
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 1.6);
+}
+
+TEST(EndToEnd, SchedulingNeverChangesResults)
+{
+    for (size_t bench : {0u, 5u, 9u, 13u, 16u}) {
+        Measurement r = measure("ultrasparc", bench, 0.02);
+        EXPECT_FALSE(r.output.empty());
+    }
+}
+
+TEST(EndToEnd, RescheduleFirstVariant)
+{
+    // The Table 2 protocol: reschedule the uninstrumented program
+    // first, then measure hiding against that baseline.
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    workload::BenchmarkSpec spec = workload::spec95("ultrasparc")[10];
+    workload::GenOptions gopts;
+    gopts.scale = 0.05;
+    gopts.machine = &m;
+    exe::Executable orig = workload::generate(spec, gopts);
+    auto routines = edit::buildRoutines(orig);
+
+    edit::EditOptions resched;
+    resched.schedule = true;
+    resched.model = &m;
+    exe::Executable base = edit::rewrite(
+        orig, routines, edit::InstrumentationPlan{}, resched);
+
+    // Instrument the rescheduled binary.
+    auto routines2 = edit::buildRoutines(base);
+    exe::Executable work = base;
+    qpt::ProfilePlan plan = qpt::makePlan(work, routines2);
+    exe::Executable inst =
+        edit::rewrite(work, routines2, plan.plan, {});
+    exe::Executable schd =
+        edit::rewrite(work, routines2, plan.plan, resched);
+
+    auto r0 = sim::timedRun(base, m);
+    auto r1 = sim::timedRun(inst, m);
+    auto r2 = sim::timedRun(schd, m);
+    ASSERT_EQ(r0.result.output, r1.result.output);
+    ASSERT_EQ(r0.result.output, r2.result.output);
+    EXPECT_GT(r1.cycles, r0.cycles);
+    EXPECT_LE(r2.cycles, r1.cycles);
+}
+
+TEST(EndToEnd, ProfileThenEditThenReprofileIsStable)
+{
+    // Editing an already-edited executable must still work: the
+    // instrumented binary is a valid EEL input.
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("supersparc");
+    workload::BenchmarkSpec spec =
+        workload::spec95("supersparc")[2];
+    workload::GenOptions gopts;
+    gopts.scale = 0.02;
+    gopts.machine = &m;
+    exe::Executable orig = workload::generate(spec, gopts);
+    auto routines = edit::buildRoutines(orig);
+    exe::Executable work = orig;
+    qpt::ProfilePlan plan = qpt::makePlan(work, routines);
+    exe::Executable inst =
+        edit::rewrite(work, routines, plan.plan, {});
+
+    // Round two: rebuild the CFG of the instrumented binary and
+    // reschedule it.
+    auto routines2 = edit::buildRoutines(inst);
+    edit::EditOptions opts;
+    opts.schedule = true;
+    opts.model = &m;
+    exe::Executable again = edit::rewrite(
+        inst, routines2, edit::InstrumentationPlan{}, opts);
+
+    sim::Emulator e0(orig), e1(again);
+    EXPECT_EQ(e0.run().output, e1.run().output);
+}
+
+} // namespace
+} // namespace eel

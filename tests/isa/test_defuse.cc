@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/isa/builder.hh"
+#include "src/isa/instruction.hh"
+
+namespace eel::isa {
+namespace {
+
+bool
+usesReg(const Instruction &in, RegId r)
+{
+    auto u = in.uses();
+    return std::any_of(u.begin(), u.end(),
+                       [&](const auto &a) { return a.reg == r; });
+}
+
+bool
+defsReg(const Instruction &in, RegId r)
+{
+    auto d = in.defs();
+    return std::any_of(d.begin(), d.end(),
+                       [&](const auto &a) { return a.reg == r; });
+}
+
+TEST(DefUse, AddRegReg)
+{
+    Instruction in = build::rrr(Op::Add, 3, 1, 2);
+    EXPECT_TRUE(usesReg(in, intReg(1)));
+    EXPECT_TRUE(usesReg(in, intReg(2)));
+    EXPECT_FALSE(usesReg(in, intReg(3)));
+    EXPECT_TRUE(defsReg(in, intReg(3)));
+    EXPECT_FALSE(defsReg(in, iccReg()));
+}
+
+TEST(DefUse, AddImmediateHasNoRs2Use)
+{
+    Instruction in = build::rri(Op::Add, 3, 1, 42);
+    EXPECT_TRUE(usesReg(in, intReg(1)));
+    EXPECT_EQ(in.uses().n, 1);
+}
+
+TEST(DefUse, SubccDefsIcc)
+{
+    Instruction in = build::cmp(1, 2);
+    EXPECT_TRUE(defsReg(in, iccReg()));
+    // rd is %g0: untracked but still listed as slot Rd.
+    EXPECT_TRUE(usesReg(in, intReg(1)));
+}
+
+TEST(DefUse, BranchUsesIcc)
+{
+    EXPECT_TRUE(usesReg(build::bicc(cond::ne, 4), iccReg()));
+    EXPECT_TRUE(usesReg(build::bicc(cond::g, 4), iccReg()));
+}
+
+TEST(DefUse, AlwaysAndNeverBranchesDoNotUseIcc)
+{
+    EXPECT_FALSE(usesReg(build::ba(4), iccReg()));
+    EXPECT_FALSE(usesReg(build::bicc(cond::n, 4), iccReg()));
+}
+
+TEST(DefUse, FpBranchUsesFcc)
+{
+    EXPECT_TRUE(usesReg(build::fbfcc(fcond::l, 4), fccReg()));
+    EXPECT_FALSE(usesReg(build::fbfcc(fcond::a, 4), fccReg()));
+}
+
+TEST(DefUse, LoadDefsRdUsesAddress)
+{
+    Instruction in = build::memr(Op::Ld, 5, 1, 2);
+    EXPECT_TRUE(usesReg(in, intReg(1)));
+    EXPECT_TRUE(usesReg(in, intReg(2)));
+    EXPECT_TRUE(defsReg(in, intReg(5)));
+    EXPECT_FALSE(usesReg(in, intReg(5)));
+}
+
+TEST(DefUse, StoreUsesRdAsData)
+{
+    Instruction in = build::memi(Op::St, 5, 1, 8);
+    EXPECT_TRUE(usesReg(in, intReg(5)));
+    EXPECT_TRUE(usesReg(in, intReg(1)));
+    EXPECT_EQ(in.defs().n, 0);
+}
+
+TEST(DefUse, LddDefsPair)
+{
+    Instruction in = build::memi(Op::Ldd, 4, 1, 0);
+    EXPECT_TRUE(defsReg(in, intReg(4)));
+    EXPECT_TRUE(defsReg(in, intReg(5)));
+}
+
+TEST(DefUse, StdUsesPair)
+{
+    Instruction in = build::memi(Op::Std, 4, 1, 0);
+    EXPECT_TRUE(usesReg(in, intReg(4)));
+    EXPECT_TRUE(usesReg(in, intReg(5)));
+}
+
+TEST(DefUse, FpDoubleUsesPairs)
+{
+    Instruction in = build::fp3(Op::Faddd, 4, 0, 2);
+    EXPECT_TRUE(usesReg(in, fpReg(0)));
+    EXPECT_TRUE(usesReg(in, fpReg(1)));
+    EXPECT_TRUE(usesReg(in, fpReg(2)));
+    EXPECT_TRUE(usesReg(in, fpReg(3)));
+    EXPECT_TRUE(defsReg(in, fpReg(4)));
+    EXPECT_TRUE(defsReg(in, fpReg(5)));
+}
+
+TEST(DefUse, FpUnaryReadsOnlyRs2)
+{
+    Instruction in = build::fp2(Op::Fmovs, 3, 7);
+    EXPECT_TRUE(usesReg(in, fpReg(7)));
+    EXPECT_EQ(in.uses().n, 1);
+    EXPECT_TRUE(defsReg(in, fpReg(3)));
+}
+
+TEST(DefUse, FcmpDefsFccNotFrd)
+{
+    Instruction in = build::fcmp(Op::Fcmps, 1, 2);
+    EXPECT_TRUE(defsReg(in, fccReg()));
+    EXPECT_FALSE(defsReg(in, fpReg(0)));
+}
+
+TEST(DefUse, MulDefsY)
+{
+    Instruction in = build::rrr(Op::Umul, 3, 1, 2);
+    EXPECT_TRUE(defsReg(in, yReg()));
+    EXPECT_TRUE(defsReg(in, intReg(3)));
+}
+
+TEST(DefUse, DivUsesY)
+{
+    Instruction in = build::rrr(Op::Udiv, 3, 1, 2);
+    EXPECT_TRUE(usesReg(in, yReg()));
+}
+
+TEST(DefUse, CallDefsO7)
+{
+    EXPECT_TRUE(defsReg(build::call(16), intReg(reg::o7)));
+}
+
+TEST(DefUse, RetUsesI7)
+{
+    EXPECT_TRUE(usesReg(build::ret(), intReg(reg::i7)));
+}
+
+TEST(DefUse, SethiDefsRdOnly)
+{
+    Instruction in = build::sethi(9, 0x1000);
+    EXPECT_TRUE(defsReg(in, intReg(9)));
+    EXPECT_EQ(in.uses().n, 0);
+}
+
+TEST(DefUse, NopTouchesNothing)
+{
+    EXPECT_EQ(build::nop().uses().n, 0);
+    EXPECT_EQ(build::nop().defs().n, 0);
+}
+
+TEST(DefUse, G0IsUntracked)
+{
+    // %g0 appears in access lists but is marked untracked.
+    Instruction in = build::rrr(Op::Add, 0, 0, 0);
+    for (const auto &a : in.defs())
+        EXPECT_FALSE(a.reg.tracked());
+}
+
+} // namespace
+} // namespace eel::isa

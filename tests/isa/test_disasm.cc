@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/builder.hh"
+#include "src/isa/instruction.hh"
+
+namespace eel::isa {
+namespace {
+
+TEST(Disasm, Alu)
+{
+    EXPECT_EQ(disassemble(build::rrr(Op::Add, 10, 9, 8)),
+              "add %o1, %o0, %o2");
+    EXPECT_EQ(disassemble(build::rri(Op::Sub, 1, 2, -4)),
+              "sub %g2, -4, %g1");
+}
+
+TEST(Disasm, Sethi)
+{
+    EXPECT_EQ(disassemble(build::sethi(9, 0x12345400)),
+              "sethi %hi(0x12345400), %o1");
+}
+
+TEST(Disasm, Nop)
+{
+    EXPECT_EQ(disassemble(build::nop()), "nop");
+}
+
+TEST(Disasm, Memory)
+{
+    EXPECT_EQ(disassemble(build::memi(Op::Ld, 8, 16, 8)),
+              "ld [%l0 + 8], %o0");
+    EXPECT_EQ(disassemble(build::memi(Op::St, 8, 16, 0)),
+              "st %o0, [%l0]");
+    EXPECT_EQ(disassemble(build::memr(Op::Lddf, 2, 17, 18)),
+              "lddf [%l1 + %l2], %f2");
+}
+
+TEST(Disasm, BranchRelative)
+{
+    EXPECT_EQ(disassemble(build::bicc(cond::ne, 4)), "bne .+16");
+    EXPECT_EQ(disassemble(build::bicc(cond::e, -2, true)),
+              "be,a .-8");
+    EXPECT_EQ(disassemble(build::ba(0)), "ba .+0");
+}
+
+TEST(Disasm, BranchAbsoluteWithPc)
+{
+    EXPECT_EQ(disassemble(build::bicc(cond::ne, 4), 0x10000),
+              "bne 0x10010");
+    EXPECT_EQ(disassemble(build::call(-4), 0x10020), "call 0x10010");
+}
+
+TEST(Disasm, ReturnIdioms)
+{
+    EXPECT_EQ(disassemble(build::ret()), "ret");
+    EXPECT_EQ(disassemble(build::retl()), "retl");
+    Instruction j = build::rri(Op::Jmpl, 15, 9, 0);
+    EXPECT_EQ(disassemble(j), "jmpl %o1 + 0, %o7");
+}
+
+TEST(Disasm, Fp)
+{
+    EXPECT_EQ(disassemble(build::fp3(Op::Faddd, 4, 0, 2)),
+              "faddd %f0, %f2, %f4");
+    EXPECT_EQ(disassemble(build::fp2(Op::Fmovs, 3, 7)),
+              "fmovs %f7, %f3");
+    EXPECT_EQ(disassemble(build::fcmp(Op::Fcmps, 1, 2)),
+              "fcmps %f1, %f2");
+}
+
+TEST(Disasm, Trap)
+{
+    EXPECT_EQ(disassemble(build::ta(0)), "ta 0");
+}
+
+TEST(Disasm, RegisterNames)
+{
+    EXPECT_EQ(regName(intReg(0)), "%g0");
+    EXPECT_EQ(regName(intReg(14)), "%o6");
+    EXPECT_EQ(regName(intReg(30)), "%i6");
+    EXPECT_EQ(regName(fpReg(31)), "%f31");
+    EXPECT_EQ(regName(iccReg()), "%icc");
+    EXPECT_EQ(regName(yReg()), "%y");
+}
+
+} // namespace
+} // namespace eel::isa

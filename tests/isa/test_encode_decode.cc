@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/builder.hh"
+#include "src/isa/instruction.hh"
+#include "src/support/logging.hh"
+#include "src/support/rng.hh"
+
+namespace eel::isa {
+namespace {
+
+bool
+sameInstruction(const Instruction &a, const Instruction &b)
+{
+    if (a.op != b.op)
+        return false;
+    const OpInfo &inf = opInfo(a.op);
+    switch (inf.format) {
+      case Format::F1Call:
+        return a.disp == b.disp;
+      case Format::F2Sethi:
+        return a.op == Op::Nop ||
+               (a.rd == b.rd && a.imm22 == b.imm22);
+      case Format::F2Branch:
+        return a.cond == b.cond && a.annul == b.annul &&
+               a.disp == b.disp;
+      case Format::F3Fp:
+        return a.rd == b.rd && a.rs1 == b.rs1 && a.rs2 == b.rs2;
+      case Format::F3Trap:
+        return a.cond == b.cond && a.rs1 == b.rs1 &&
+               a.simm13 == b.simm13;
+      case Format::F3Arith:
+      case Format::F3Mem:
+        if (a.rd != b.rd || a.rs1 != b.rs1 || a.iflag != b.iflag)
+            return false;
+        return a.iflag ? a.simm13 == b.simm13 : a.rs2 == b.rs2;
+    }
+    return false;
+}
+
+/** Build a random valid instruction of the given opcode. */
+Instruction
+randomInstruction(Op op, eel::Rng &rng)
+{
+    Instruction in;
+    in.op = op;
+    const OpInfo &inf = opInfo(op);
+    switch (inf.format) {
+      case Format::F1Call:
+        in.disp = static_cast<int32_t>(
+            rng.uniform(-(1 << 29), (1 << 29) - 1));
+        break;
+      case Format::F2Sethi:
+        if (op == Op::Sethi) {
+            in.rd = static_cast<uint8_t>(rng.uniform(0, 31));
+            in.imm22 = static_cast<uint32_t>(
+                rng.uniform(0, (1 << 22) - 1));
+            if (in.rd == 0 && in.imm22 == 0)
+                in.imm22 = 1;  // would canonicalize to nop
+        }
+        break;
+      case Format::F2Branch:
+        in.cond = static_cast<uint8_t>(rng.uniform(0, 15));
+        in.annul = rng.chance(0.3);
+        in.disp = static_cast<int32_t>(
+            rng.uniform(-(1 << 21), (1 << 21) - 1));
+        break;
+      case Format::F3Fp:
+        in.rd = static_cast<uint8_t>(rng.uniform(0, 31));
+        in.rs1 = static_cast<uint8_t>(rng.uniform(0, 31));
+        in.rs2 = static_cast<uint8_t>(rng.uniform(0, 31));
+        break;
+      case Format::F3Trap:
+        in.cond = static_cast<uint8_t>(rng.uniform(0, 15));
+        in.rs1 = static_cast<uint8_t>(rng.uniform(0, 31));
+        in.simm13 = static_cast<int32_t>(rng.uniform(0, 127));
+        break;
+      case Format::F3Arith:
+      case Format::F3Mem:
+        in.rd = static_cast<uint8_t>(rng.uniform(0, 31));
+        in.rs1 = static_cast<uint8_t>(rng.uniform(0, 31));
+        in.iflag = rng.chance(0.5);
+        if (in.iflag)
+            in.simm13 = static_cast<int32_t>(
+                rng.uniform(-4096, 4095));
+        else
+            in.rs2 = static_cast<uint8_t>(rng.uniform(0, 31));
+        break;
+    }
+    return in;
+}
+
+/** Encode/decode round trip, parameterized over every opcode. */
+class RoundTrip : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(RoundTrip, RandomInstances)
+{
+    Op op = static_cast<Op>(GetParam());
+    eel::Rng rng(GetParam() * 7919 + 1);
+    for (int i = 0; i < 200; ++i) {
+        Instruction in = randomInstruction(op, rng);
+        uint32_t word = encode(in);
+        Instruction back = decode(word);
+        ASSERT_TRUE(sameInstruction(in, back))
+            << disassemble(in) << " != " << disassemble(back)
+            << " (word " << std::hex << word << ")";
+        // Re-encoding must be stable.
+        EXPECT_EQ(encode(back), word);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, RoundTrip,
+    ::testing::Range(1u, numOps),
+    [](const ::testing::TestParamInfo<unsigned> &info) {
+        return std::string(opName(static_cast<Op>(info.param)));
+    });
+
+TEST(Decode, NopIsCanonical)
+{
+    Instruction nop = build::nop();
+    uint32_t w = encode(nop);
+    EXPECT_EQ(decode(w).op, Op::Nop);
+}
+
+TEST(Decode, SethiNonzeroIsNotNop)
+{
+    Instruction s = build::sethi(0, 1 << 10);
+    EXPECT_EQ(decode(encode(s)).op, Op::Sethi);
+}
+
+TEST(Decode, GarbageIsInvalid)
+{
+    // op=0, op2=7 is not a defined format-2 opcode.
+    EXPECT_EQ(decode(0x01c00000u).op, Op::Invalid);
+    // op=2, op3=0x3f undefined in the subset.
+    EXPECT_EQ(decode(0x81f80000u).op, Op::Invalid);
+}
+
+TEST(Encode, RejectsOutOfRangeImmediates)
+{
+    Instruction in = build::rri(Op::Add, 1, 2, 0);
+    in.simm13 = 5000;
+    EXPECT_THROW(encode(in), FatalError);
+    in.simm13 = -5000;
+    EXPECT_THROW(encode(in), FatalError);
+}
+
+TEST(Encode, RejectsFarBranch)
+{
+    Instruction in = build::ba(1 << 22);
+    EXPECT_THROW(encode(in), FatalError);
+}
+
+TEST(Encode, KnownBitPatterns)
+{
+    // add %g1, %g2, %g3 == 0x86004002 (SPARC V8 manual encoding).
+    EXPECT_EQ(encode(build::rrr(Op::Add, 3, 1, 2)), 0x86004002u);
+    // or %g0, 5, %g1 == mov 5, %g1 == 0x82102005.
+    EXPECT_EQ(encode(build::movi(1, 5)), 0x82102005u);
+    // sethi %hi(0x40000), %g1: imm22 = 0x100 -> 0x03000100.
+    EXPECT_EQ(encode(build::sethi(1, 0x40000)), 0x03000100u);
+    // nop == sethi 0, %g0 == 0x01000000.
+    EXPECT_EQ(encode(build::nop()), 0x01000000u);
+    // ret == jmpl %i7+8, %g0 == 0x81c7e008.
+    EXPECT_EQ(encode(build::ret()), 0x81c7e008u);
+    // restore %g0, %g0, %g0 == 0x81e80000.
+    EXPECT_EQ(encode(build::restore()), 0x81e80000u);
+}
+
+} // namespace
+} // namespace eel::isa

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/builder.hh"
+#include "src/isa/instruction.hh"
+
+namespace eel::isa {
+namespace {
+
+TEST(Predicates, CtiClassification)
+{
+    EXPECT_TRUE(build::ba(4).isCti());
+    EXPECT_TRUE(build::call(4).isCti());
+    EXPECT_TRUE(build::ret().isCti());
+    EXPECT_TRUE(build::fbfcc(fcond::e, 4).isCti());
+    EXPECT_FALSE(build::nop().isCti());
+    EXPECT_FALSE(build::ta(0).isCti());
+    EXPECT_FALSE(build::rrr(Op::Add, 1, 2, 3).isCti());
+}
+
+TEST(Predicates, BranchKinds)
+{
+    EXPECT_TRUE(build::ba(4).isAlwaysBranch());
+    EXPECT_FALSE(build::ba(4).isNeverBranch());
+    EXPECT_TRUE(build::bicc(cond::n, 4).isNeverBranch());
+    EXPECT_FALSE(build::bicc(cond::ne, 4).isAlwaysBranch());
+    EXPECT_FALSE(build::call(4).isBranch());
+}
+
+TEST(Predicates, FallsThrough)
+{
+    EXPECT_TRUE(build::bicc(cond::ne, 4).fallsThrough());
+    EXPECT_FALSE(build::ba(4).fallsThrough());
+    EXPECT_TRUE(build::call(4).fallsThrough());
+    EXPECT_FALSE(build::ret().fallsThrough());
+    EXPECT_FALSE(build::retl().fallsThrough());
+    EXPECT_FALSE(build::ta(isa::trap::exit_prog).fallsThrough());
+}
+
+TEST(Predicates, ReturnsAndCalls)
+{
+    EXPECT_TRUE(build::ret().isReturn());
+    EXPECT_TRUE(build::retl().isReturn());
+    EXPECT_FALSE(build::call(4).isReturn());
+    EXPECT_TRUE(build::call(4).isCall());
+    // jmpl linking through %o7 is an indirect call.
+    EXPECT_TRUE(build::rri(Op::Jmpl, reg::o7, 9, 0).isCall());
+    EXPECT_FALSE(build::ret().isCall());
+}
+
+TEST(Predicates, MemoryOps)
+{
+    EXPECT_TRUE(build::memi(Op::Ld, 1, 2, 0).isLoad());
+    EXPECT_FALSE(build::memi(Op::Ld, 1, 2, 0).isStore());
+    EXPECT_TRUE(build::memi(Op::Stdf, 0, 2, 0).isStore());
+    EXPECT_TRUE(build::memi(Op::Stdf, 0, 2, 0).isMem());
+    EXPECT_FALSE(build::rrr(Op::Add, 1, 2, 3).isMem());
+}
+
+TEST(Predicates, Barriers)
+{
+    EXPECT_TRUE(build::save(96).isBarrier());
+    EXPECT_TRUE(build::restore().isBarrier());
+    EXPECT_TRUE(build::ta(0).isBarrier());
+    EXPECT_FALSE(build::memi(Op::Ld, 1, 2, 0).isBarrier());
+    EXPECT_FALSE(build::ba(4).isBarrier());
+}
+
+TEST(Predicates, OpNameRoundTrip)
+{
+    for (unsigned i = 1; i < numOps; ++i) {
+        Op op = static_cast<Op>(i);
+        auto back = opFromName(opName(op));
+        ASSERT_TRUE(back.has_value()) << opName(op);
+        EXPECT_EQ(*back, op);
+    }
+    EXPECT_FALSE(opFromName("bogus").has_value());
+}
+
+TEST(Predicates, MemBytes)
+{
+    EXPECT_EQ(opInfo(Op::Ld).memBytes, 4);
+    EXPECT_EQ(opInfo(Op::Ldub).memBytes, 1);
+    EXPECT_EQ(opInfo(Op::Lduh).memBytes, 2);
+    EXPECT_EQ(opInfo(Op::Stdf).memBytes, 8);
+    EXPECT_EQ(opInfo(Op::Add).memBytes, 0);
+}
+
+} // namespace
+} // namespace eel::isa

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "src/machine/spawn_codegen.hh"
+
+namespace eel::machine {
+namespace {
+
+TEST(SpawnCodegen, EmitsCompilableLookingTables)
+{
+    const MachineModel &m = MachineModel::builtin("hypersparc");
+    std::string cpp = generateCpp(m);
+    EXPECT_NE(cpp.find("namespace spawn_generated"),
+              std::string::npos);
+    EXPECT_NE(cpp.find("kUnitCapacity"), std::string::npos);
+    EXPECT_NE(cpp.find("kGroupCycles"), std::string::npos);
+    // One acquire table per group.
+    EXPECT_NE(cpp.find("kAcquire_0"), std::string::npos);
+    // Annotation provenance comments survive.
+    EXPECT_NE(cpp.find("{{GRP"), std::string::npos);
+}
+
+TEST(SpawnCodegen, MentionsEveryMnemonic)
+{
+    const MachineModel &m = MachineModel::builtin("ultrasparc");
+    std::string cpp = generateCpp(m);
+    for (const char *mn : {"add", "ld", "fdivd", "bicc", "save"})
+        EXPECT_NE(cpp.find(std::string("// ") + mn + " ["),
+                  std::string::npos)
+            << mn;
+}
+
+TEST(SpawnCodegen, DescribeModelListsUnits)
+{
+    const MachineModel &m = MachineModel::builtin("supersparc");
+    std::string report = describeModel(m);
+    EXPECT_NE(report.find("machine supersparc"), std::string::npos);
+    EXPECT_NE(report.find("issue width 3"), std::string::npos);
+    EXPECT_NE(report.find("Group=3"), std::string::npos);
+    EXPECT_NE(report.find("latency"), std::string::npos);
+}
+
+TEST(SpawnCodegen, DescribeModelShowsReadWriteCycles)
+{
+    std::string report =
+        describeModel(MachineModel::builtin("hypersparc"));
+    EXPECT_NE(report.find("read R[rs1]"), std::string::npos);
+    EXPECT_NE(report.find("write R[rd]"), std::string::npos);
+    EXPECT_NE(report.find("(ready"), std::string::npos);
+}
+
+} // namespace
+} // namespace eel::machine

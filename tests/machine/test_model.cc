@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/builder.hh"
+#include "src/machine/model.hh"
+#include "src/support/logging.hh"
+
+namespace eel::machine {
+namespace {
+
+namespace b = isa::build;
+using isa::Op;
+
+class Builtins : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(Builtins, LoadsAndCoversEveryOpcode)
+{
+    const MachineModel &m = MachineModel::builtin(GetParam());
+    for (unsigned i = 1; i < isa::numOps; ++i) {
+        isa::Op op = static_cast<isa::Op>(i);
+        EXPECT_FALSE(m.variantsFor(op).empty())
+            << "no timing for " << isa::opName(op);
+    }
+}
+
+TEST_P(Builtins, EveryConcreteInstructionResolves)
+{
+    const MachineModel &m = MachineModel::builtin(GetParam());
+    // Both immediate and register forms must match a variant.
+    EXPECT_NO_THROW(m.variant(b::rri(Op::Add, 1, 2, 3)));
+    EXPECT_NO_THROW(m.variant(b::rrr(Op::Add, 1, 2, 3)));
+    EXPECT_NO_THROW(m.variant(b::memi(Op::Ld, 1, 2, 0)));
+    EXPECT_NO_THROW(m.variant(b::memr(Op::Stdf, 2, 1, 3)));
+    EXPECT_NO_THROW(m.variant(b::bicc(isa::cond::ne, 4)));
+    EXPECT_NO_THROW(m.variant(b::ta(0)));
+    EXPECT_NO_THROW(m.variant(b::fp3(Op::Fmuld, 4, 0, 2)));
+}
+
+TEST_P(Builtins, VariantSelectionFollowsIflag)
+{
+    const MachineModel &m = MachineModel::builtin(GetParam());
+    const Variant &imm = m.variant(b::rri(Op::Add, 1, 2, 3));
+    const Variant &rrr = m.variant(b::rrr(Op::Add, 1, 2, 3));
+    EXPECT_LT(imm.reads.size(), rrr.reads.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Builtins,
+                         ::testing::Values("hypersparc", "supersparc",
+                                           "ultrasparc"));
+
+TEST(Model, IssueWidthsMatchTheMachines)
+{
+    EXPECT_EQ(MachineModel::builtin("hypersparc").issueWidth(), 2u);
+    EXPECT_EQ(MachineModel::builtin("supersparc").issueWidth(), 3u);
+    EXPECT_EQ(MachineModel::builtin("ultrasparc").issueWidth(), 4u);
+}
+
+TEST(Model, ClockRatesMatchThePaper)
+{
+    EXPECT_DOUBLE_EQ(MachineModel::builtin("supersparc").clockMhz(),
+                     50.0);
+    EXPECT_DOUBLE_EQ(MachineModel::builtin("ultrasparc").clockMhz(),
+                     167.0);
+}
+
+TEST(Model, UnknownBuiltinRejected)
+{
+    EXPECT_THROW(MachineModel::builtin("pentium"), FatalError);
+}
+
+TEST(Model, BuiltinIsCached)
+{
+    const MachineModel &a = MachineModel::builtin("ultrasparc");
+    const MachineModel &b2 = MachineModel::builtin("ultrasparc");
+    EXPECT_EQ(&a, &b2);
+}
+
+TEST(Model, RegAccessResolution)
+{
+    const MachineModel &m = MachineModel::builtin("ultrasparc");
+    isa::Instruction add = b::rrr(Op::Add, 7, 5, 6);
+    const Variant &v = m.variant(add);
+    bool saw_rs1 = false, saw_rs2 = false;
+    for (const RegAccess &a : v.reads) {
+        if (a.reg(add) == isa::intReg(5))
+            saw_rs1 = true;
+        if (a.reg(add) == isa::intReg(6))
+            saw_rs2 = true;
+    }
+    EXPECT_TRUE(saw_rs1);
+    EXPECT_TRUE(saw_rs2);
+    ASSERT_FALSE(v.writes.empty());
+    EXPECT_EQ(v.writes[0].reg(add), isa::intReg(7));
+}
+
+TEST(Model, CallWritesO7ThroughConstantIndex)
+{
+    const MachineModel &m = MachineModel::builtin("ultrasparc");
+    isa::Instruction call = b::call(4);
+    const Variant &v = m.variant(call);
+    ASSERT_EQ(v.writes.size(), 1u);
+    EXPECT_EQ(v.writes[0].reg(call), isa::intReg(isa::reg::o7));
+}
+
+TEST(Model, DoubleFpReadsArePairs)
+{
+    const MachineModel &m = MachineModel::builtin("supersparc");
+    isa::Instruction fa = b::fp3(Op::Faddd, 4, 0, 2);
+    const Variant &v = m.variant(fa);
+    for (const RegAccess &a : v.reads)
+        EXPECT_TRUE(a.pair);
+    for (const RegAccess &a : v.writes)
+        EXPECT_TRUE(a.pair);
+    EXPECT_EQ(v.writes[0].pairReg(fa), isa::fpReg(5));
+}
+
+TEST(Model, SubccWritesIccWithEarlyValue)
+{
+    const MachineModel &m = MachineModel::builtin("ultrasparc");
+    isa::Instruction cmp = b::cmpi(5, 0);
+    const Variant &v = m.variant(cmp);
+    bool saw_icc = false;
+    for (const RegAccess &a : v.writes) {
+        if (a.cls == isa::RegClass::Icc) {
+            saw_icc = true;
+            EXPECT_EQ(a.valueReady, 1u);
+        }
+    }
+    EXPECT_TRUE(saw_icc);
+}
+
+TEST(Model, FromSadlRejectsIncompleteDescriptions)
+{
+    EXPECT_THROW(MachineModel::fromSadl(
+                     "unit Group 2\nregister untyped{32} R[32]",
+                     "tiny", 100.0),
+                 FatalError);
+}
+
+TEST(Model, MaxLatencyCoversDivides)
+{
+    // fdivd dominates; the window must accommodate it.
+    EXPECT_GE(MachineModel::builtin("ultrasparc").maxLatency(), 20u);
+}
+
+} // namespace
+} // namespace eel::machine

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/qpt/edge_profiler.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::qpt {
+namespace {
+
+using edit::Block;
+using edit::Routine;
+
+struct EdgeSetup
+{
+    exe::Executable orig;
+    exe::Executable work;
+    std::vector<Routine> routines;
+    EdgeProfilePlan plan;
+
+    explicit EdgeSetup(size_t bench_idx, double scale = 0.02)
+    {
+        const auto &m = machine::MachineModel::builtin("ultrasparc");
+        workload::BenchmarkSpec spec =
+            workload::spec95("ultrasparc")[bench_idx];
+        workload::GenOptions gopts;
+        gopts.scale = scale;
+        gopts.machine = &m;
+        orig = workload::generate(spec, gopts);
+        routines = edit::buildRoutines(orig);
+        work = orig;
+        plan = makeEdgePlan(work, routines);
+    }
+};
+
+TEST(EdgeProfiler, SpanningTreeSavesCounters)
+{
+    EdgeSetup s(0);
+    EXPECT_GT(s.plan.totalEdges, 0u);
+    EXPECT_LT(s.plan.instrumentedEdges, s.plan.totalEdges);
+    // The tree has (#nodes - 1) edges per routine, all uncounted.
+    uint64_t tree_edges = 0;
+    for (size_t ri = 0; ri < s.plan.edges.size(); ++ri)
+        for (const Edge &e : s.plan.edges[ri])
+            tree_edges += e.counter < 0;
+    uint64_t expected = 0;
+    for (const Routine &r : s.routines)
+        expected += r.blocks.size();  // + virtual node - 1
+    EXPECT_EQ(tree_edges, expected);
+}
+
+TEST(EdgeProfiler, EntryEdgesNeverInstrumented)
+{
+    EdgeSetup s(4);
+    for (const auto &edges : s.plan.edges) {
+        for (const Edge &e : edges) {
+            if (e.kind == Edge::Kind::Entry)
+                EXPECT_LT(e.counter, 0);
+        }
+    }
+}
+
+TEST(EdgeProfiler, OutputPreserved)
+{
+    EdgeSetup s(2);
+    sim::Emulator e0(s.orig);
+    std::string golden = e0.run().output;
+    exe::Executable inst = edit::rewrite(s.work, s.routines,
+                                         s.plan.plan, {});
+    sim::Emulator e1(inst);
+    EXPECT_EQ(e1.run().output, golden);
+}
+
+TEST(EdgeProfiler, BlockCountsMatchSlowProfiling)
+{
+    for (size_t bench : {0u, 4u, 10u}) {
+        EdgeSetup s(bench);
+        exe::Executable fast = edit::rewrite(s.work, s.routines,
+                                             s.plan.plan, {});
+        sim::Emulator ef(fast);
+        ef.run();
+        auto edge_counts = readEdgeCounts(ef, s.plan, s.routines);
+        auto fast_blocks =
+            blockCountsFromEdges(edge_counts, s.plan, s.routines);
+
+        // Reference: slow profiling without the skip optimization.
+        exe::Executable work2 = s.orig;
+        ProfileOptions popts;
+        popts.skipRedundantBlocks = false;
+        ProfilePlan slow = makePlan(work2, s.routines, popts);
+        exe::Executable slow_exe = edit::rewrite(work2, s.routines,
+                                                 slow.plan, {});
+        sim::Emulator es(slow_exe);
+        es.run();
+        auto slow_blocks = readCounts(es, slow);
+
+        ASSERT_EQ(fast_blocks.size(), slow_blocks.size());
+        for (size_t ri = 0; ri < fast_blocks.size(); ++ri)
+            for (size_t bi = 0; bi < fast_blocks[ri].size(); ++bi)
+                EXPECT_EQ(fast_blocks[ri][bi], slow_blocks[ri][bi])
+                    << "bench " << bench << " routine " << ri
+                    << " block " << bi;
+    }
+}
+
+TEST(EdgeProfiler, EdgeCountsMatchTraceGroundTruth)
+{
+    EdgeSetup s(0);
+    exe::Executable fast = edit::rewrite(s.work, s.routines,
+                                         s.plan.plan, {});
+    sim::Emulator ef(fast);
+    ef.run();
+    auto edge_counts = readEdgeCounts(ef, s.plan, s.routines);
+
+    // Ground truth from the ORIGINAL binary: count block-to-block
+    // transitions.
+    std::map<uint32_t, std::pair<size_t, size_t>> blockOfPc;
+    for (size_t ri = 0; ri < s.routines.size(); ++ri)
+        for (const Block &b : s.routines[ri].blocks)
+            for (const sched::InstRef &ref : b.insts)
+                blockOfPc[ref.origAddr] = {ri, b.id};
+    std::map<uint32_t, bool> isStart;
+    for (const auto &r : s.routines)
+        for (const Block &b : r.blocks)
+            isStart[b.startAddr] = true;
+
+    struct Sink : sim::TraceSink
+    {
+        std::map<uint32_t, std::pair<size_t, size_t>> *blockOfPc;
+        std::map<uint32_t, bool> *isStart;
+        std::map<std::tuple<size_t, size_t, size_t>, uint64_t> hits;
+        // Last block seen per routine, so that call/return
+        // excursions into other routines do not break the edge
+        // (transitions that are not CFG edges are filtered by the
+        // comparison loop below).
+        std::map<size_t, size_t> lastOf;
+        void
+        retire(uint32_t pc, const isa::Instruction &) override
+        {
+            auto it = blockOfPc->find(pc);
+            if (it == blockOfPc->end())
+                return;
+            auto [ri, bi] = it->second;
+            if (isStart->count(pc)) {
+                auto last = lastOf.find(ri);
+                if (last != lastOf.end() && last->second != bi)
+                    ++hits[{ri, last->second, bi}];
+            }
+            lastOf[ri] = bi;
+        }
+    } sink;
+    sink.blockOfPc = &blockOfPc;
+    sink.isStart = &isStart;
+    sim::Emulator e0(s.orig);
+    e0.run(&sink);
+
+    for (size_t ri = 0; ri < s.plan.edges.size(); ++ri) {
+        const auto &edges = s.plan.edges[ri];
+        for (size_t i = 0; i < edges.size(); ++i) {
+            const Edge &e = edges[i];
+            if (e.from < 0 || e.to < 0)
+                continue;  // virtual edges: no direct ground truth
+            if (static_cast<size_t>(e.from) == static_cast<size_t>(e.to))
+                continue;  // self transitions not visible to the sink
+            // Skip parallel taken/fall pairs (ambiguous in a pc
+            // trace).
+            bool parallel = false;
+            for (size_t j = 0; j < edges.size(); ++j)
+                if (j != i && edges[j].from == e.from &&
+                    edges[j].to == e.to)
+                    parallel = true;
+            if (parallel)
+                continue;
+            uint64_t expect = 0;
+            auto it = sink.hits.find(
+                {ri, static_cast<size_t>(e.from),
+                 static_cast<size_t>(e.to)});
+            if (it != sink.hits.end())
+                expect = it->second;
+            EXPECT_EQ(edge_counts[ri][i], expect)
+                << "routine " << ri << " edge " << e.from << "->"
+                << e.to;
+        }
+    }
+}
+
+TEST(EdgeProfiler, CheaperThanSlowProfiling)
+{
+    EdgeSetup s(4);  // 130.li: small blocks, every block counted
+    exe::Executable fast = edit::rewrite(s.work, s.routines,
+                                         s.plan.plan, {});
+    exe::Executable work2 = s.orig;
+    ProfilePlan slow = makePlan(work2, s.routines);
+    exe::Executable slow_exe = edit::rewrite(work2, s.routines,
+                                             slow.plan, {});
+    sim::Emulator ef(fast), es(slow_exe);
+    uint64_t nfast = ef.run().instructions;
+    uint64_t nslow = es.run().instructions;
+    // Ball-Larus counts fewer events: fewer dynamic instructions.
+    EXPECT_LT(nfast, nslow);
+}
+
+TEST(EdgeProfiler, WorksWithScheduling)
+{
+    EdgeSetup s(9);
+    sim::Emulator e0(s.orig);
+    std::string golden = e0.run().output;
+    edit::EditOptions eo;
+    eo.schedule = true;
+    eo.model = &machine::MachineModel::builtin("ultrasparc");
+    exe::Executable fast = edit::rewrite(s.work, s.routines,
+                                         s.plan.plan, eo);
+    sim::Emulator e1(fast);
+    EXPECT_EQ(e1.run().output, golden);
+
+    auto edge_counts = readEdgeCounts(e1, s.plan, s.routines);
+    auto blocks = blockCountsFromEdges(edge_counts, s.plan,
+                                       s.routines);
+    // The kernel loop blocks must show their iteration counts.
+    uint64_t max_count = 0;
+    for (const auto &rc : blocks)
+        for (uint64_t c : rc)
+            max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, 100u);
+}
+
+} // namespace
+} // namespace eel::qpt

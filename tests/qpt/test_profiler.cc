@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/qpt/profiler.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::qpt {
+namespace {
+
+using edit::Block;
+using edit::Routine;
+
+struct ProfSetup
+{
+    exe::Executable orig;
+    exe::Executable work;
+    std::vector<Routine> routines;
+    ProfilePlan plan;
+
+    explicit ProfSetup(size_t bench_idx, bool skip_opt = true,
+                   double scale = 0.02)
+    {
+        const auto &m = machine::MachineModel::builtin("ultrasparc");
+        workload::BenchmarkSpec spec =
+            workload::spec95("ultrasparc")[bench_idx];
+        workload::GenOptions gopts;
+        gopts.scale = scale;
+        gopts.machine = &m;
+        orig = workload::generate(spec, gopts);
+        routines = edit::buildRoutines(orig);
+        work = orig;
+        ProfileOptions popts;
+        popts.skipRedundantBlocks = skip_opt;
+        plan = makePlan(work, routines, popts);
+    }
+};
+
+TEST(Profiler, SnippetIsTheFourInstructionSequence)
+{
+    sched::InstSeq s = counterSnippet(0x412345 & ~3u, {});
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s[0].inst.op, isa::Op::Sethi);
+    EXPECT_EQ(s[1].inst.op, isa::Op::Ld);
+    EXPECT_EQ(s[2].inst.op, isa::Op::Add);
+    EXPECT_EQ(s[3].inst.op, isa::Op::St);
+    for (const sched::InstRef &r : s)
+        EXPECT_TRUE(r.isInstrumentation);
+    // Scratch registers are the reserved %g6/%g7.
+    EXPECT_EQ(s[0].inst.rd, isa::reg::g6);
+    EXPECT_EQ(s[1].inst.rd, isa::reg::g7);
+}
+
+TEST(Profiler, CountsMatchGroundTruth)
+{
+    ProfSetup s(0);
+    exe::Executable inst = edit::rewrite(s.work, s.routines,
+                                         s.plan.plan, {});
+
+    // Ground truth: trace the ORIGINAL program, counting entries to
+    // each block's start address.
+    struct BlockCounter : sim::TraceSink
+    {
+        std::map<uint32_t, uint64_t> hits;
+        std::set<uint32_t> starts;
+        void
+        retire(uint32_t pc, const isa::Instruction &) override
+        {
+            if (starts.count(pc))
+                ++hits[pc];
+        }
+    } truth;
+    for (const Routine &r : s.routines)
+        for (const Block &blk : r.blocks)
+            truth.starts.insert(blk.startAddr);
+    sim::Emulator e0(s.orig);
+    e0.run(&truth);
+
+    sim::Emulator e1(inst);
+    e1.run();
+    auto counts = readCounts(e1, s.plan);
+
+    for (size_t ri = 0; ri < s.routines.size(); ++ri) {
+        for (const Block &blk : s.routines[ri].blocks) {
+            uint64_t expect = truth.hits.count(blk.startAddr)
+                                  ? truth.hits[blk.startAddr]
+                                  : 0;
+            EXPECT_EQ(counts[ri][blk.id], expect)
+                << "routine " << ri << " block " << blk.id;
+        }
+    }
+}
+
+TEST(Profiler, SkipOptimizationReducesCounters)
+{
+    ProfSetup with(0, true);
+    ProfSetup without(0, false);
+    EXPECT_LT(with.plan.numCounters, without.plan.numCounters);
+    EXPECT_EQ(without.plan.numCounters, without.plan.totalBlocks);
+}
+
+TEST(Profiler, SkippedBlocksStillReported)
+{
+    ProfSetup s(0, true);
+    bool any_skipped = false;
+    for (size_t ri = 0; ri < s.plan.counterOf.size(); ++ri)
+        for (int c : s.plan.counterOf[ri])
+            if (c < 0)
+                any_skipped = true;
+    ASSERT_TRUE(any_skipped);
+
+    exe::Executable inst = edit::rewrite(s.work, s.routines,
+                                         s.plan.plan, {});
+    sim::Emulator e(inst);
+    e.run();
+    auto counts = readCounts(e, s.plan);
+    // Every skipped block must borrow a nonzero-capable partner.
+    for (size_t ri = 0; ri < s.plan.counterOf.size(); ++ri) {
+        for (size_t bi = 0; bi < s.plan.counterOf[ri].size(); ++bi) {
+            if (s.plan.counterOf[ri][bi] >= 0)
+                continue;
+            auto [pr, pb] = s.plan.partner[ri][bi];
+            ASSERT_GE(pr, 0);
+            EXPECT_GE(s.plan.counterOf[pr][pb], 0)
+                << "partner must be instrumented";
+            EXPECT_EQ(counts[ri][bi], counts[pr][pb]);
+        }
+    }
+}
+
+TEST(Profiler, SkipOptimizationCountsStillExact)
+{
+    // With skipping enabled, reconstructed counts must still match
+    // the no-skip instrumentation's counts.
+    ProfSetup a(4, true);
+    ProfSetup b2(4, false);
+    exe::Executable ia =
+        edit::rewrite(a.work, a.routines, a.plan.plan, {});
+    exe::Executable ib =
+        edit::rewrite(b2.work, b2.routines, b2.plan.plan, {});
+    sim::Emulator ea(ia), eb(ib);
+    ea.run();
+    eb.run();
+    auto ca = readCounts(ea, a.plan);
+    auto cb = readCounts(eb, b2.plan);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (size_t ri = 0; ri < ca.size(); ++ri)
+        for (size_t bi = 0; bi < ca[ri].size(); ++bi)
+            EXPECT_EQ(ca[ri][bi], cb[ri][bi])
+                << "routine " << ri << " block " << bi;
+}
+
+TEST(Profiler, CountersLiveInBss)
+{
+    ProfSetup s(0);
+    EXPECT_GE(s.plan.counterBase, s.work.bssBase());
+    EXPECT_LE(s.plan.counterBase + 4 * s.plan.numCounters,
+              s.work.bssEnd());
+    EXPECT_NE(s.work.findSymbol("__qpt_counters"), nullptr);
+}
+
+TEST(Profiler, InstrumentationPreservesProgramOutput)
+{
+    ProfSetup s(2);
+    sim::Emulator e0(s.orig);
+    std::string golden = e0.run().output;
+    exe::Executable inst = edit::rewrite(s.work, s.routines,
+                                         s.plan.plan, {});
+    sim::Emulator e1(inst);
+    EXPECT_EQ(e1.run().output, golden);
+}
+
+TEST(Profiler, TextGrowthFactorInPaperRange)
+{
+    // "Profiling increases a program's text size by a factor of
+    // 2-3" (§4.1) for small-block integer code.
+    ProfSetup s(4);  // 130.li, avg block 2.0
+    exe::Executable inst = edit::rewrite(s.work, s.routines,
+                                         s.plan.plan, {});
+    double growth = double(inst.text.size()) / s.orig.text.size();
+    EXPECT_GT(growth, 1.8);
+    EXPECT_LT(growth, 3.5);
+}
+
+TEST(Profiler, ScavengingUsesDeadRegistersAndStaysCorrect)
+{
+    ProfSetup plain(0, true);
+    const auto &m = machine::MachineModel::builtin("ultrasparc");
+    workload::BenchmarkSpec spec = workload::spec95("ultrasparc")[0];
+    workload::GenOptions gopts;
+    gopts.scale = 0.02;
+    gopts.machine = &m;
+    exe::Executable orig = workload::generate(spec, gopts);
+    auto routines = edit::buildRoutines(orig);
+    exe::Executable work = orig;
+    ProfileOptions popts;
+    popts.scavengeRegisters = true;
+    ProfilePlan plan = makePlan(work, routines, popts);
+
+    // Some blocks should have found dead registers.
+    EXPECT_GT(plan.scavengedBlocks, 0u);
+    EXPECT_LE(plan.scavengedBlocks, plan.instrumentedBlocks);
+
+    // And counts must still be exact vs. the reserved-register plan.
+    exe::Executable inst = edit::rewrite(work, routines, plan.plan,
+                                         {});
+    exe::Executable inst0 = edit::rewrite(plain.work, plain.routines,
+                                          plain.plan.plan, {});
+    sim::Emulator ea(inst), eb(inst0);
+    std::string oa = ea.run().output;
+    std::string ob = eb.run().output;
+    EXPECT_EQ(oa, ob);
+    auto ca = readCounts(ea, plan);
+    auto cb = readCounts(eb, plain.plan);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (size_t ri = 0; ri < ca.size(); ++ri)
+        for (size_t bi = 0; bi < ca[ri].size(); ++bi)
+            EXPECT_EQ(ca[ri][bi], cb[ri][bi]);
+}
+
+TEST(Profiler, ScavengingSurvivesScheduling)
+{
+    const auto &m = machine::MachineModel::builtin("ultrasparc");
+    workload::BenchmarkSpec spec = workload::spec95("ultrasparc")[9];
+    workload::GenOptions gopts;
+    gopts.scale = 0.02;
+    gopts.machine = &m;
+    exe::Executable orig = workload::generate(spec, gopts);
+    sim::Emulator e0(orig);
+    std::string golden = e0.run().output;
+
+    auto routines = edit::buildRoutines(orig);
+    exe::Executable work = orig;
+    ProfileOptions popts;
+    popts.scavengeRegisters = true;
+    ProfilePlan plan = makePlan(work, routines, popts);
+    edit::EditOptions eo;
+    eo.schedule = true;
+    eo.model = &m;
+    exe::Executable sch = edit::rewrite(work, routines, plan.plan,
+                                        eo);
+    sim::Emulator e1(sch);
+    EXPECT_EQ(e1.run().output, golden);
+}
+
+} // namespace
+} // namespace eel::qpt

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/isa/builder.hh"
+#include "src/qpt/tracer.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::qpt {
+namespace {
+
+using edit::Block;
+using edit::Routine;
+
+struct TraceSetup
+{
+    exe::Executable orig;
+    exe::Executable work;
+    std::vector<Routine> routines;
+    TracePlan plan;
+
+    explicit TraceSetup(size_t bench_idx, bool schedule,
+                        double scale = 0.005)
+    {
+        const auto &m = machine::MachineModel::builtin("ultrasparc");
+        workload::BenchmarkSpec spec =
+            workload::spec95("ultrasparc")[bench_idx];
+        workload::GenOptions gopts;
+        gopts.scale = scale;
+        gopts.machine = &m;
+        orig = workload::generate(spec, gopts);
+        routines = edit::buildRoutines(orig);
+        work = orig;
+        plan = makeTracePlan(work, routines);
+        edit::EditOptions eo;
+        if (schedule) {
+            eo.schedule = true;
+            eo.model = &m;
+        }
+        traced = edit::rewrite(work, routines, plan.plan, eo);
+    }
+
+    exe::Executable traced;
+};
+
+/** Ground truth: the dynamic block-entry sequence of the original. */
+std::vector<TraceEvent>
+groundTruth(const exe::Executable &x,
+            const std::vector<Routine> &routines)
+{
+    struct Sink : sim::TraceSink
+    {
+        std::map<uint32_t, TraceEvent> startOf;
+        std::vector<TraceEvent> events;
+        void
+        retire(uint32_t pc, const isa::Instruction &) override
+        {
+            auto it = startOf.find(pc);
+            if (it != startOf.end())
+                events.push_back(it->second);
+        }
+    } sink;
+    for (size_t ri = 0; ri < routines.size(); ++ri)
+        for (const Block &b : routines[ri].blocks)
+            sink.startOf[b.startAddr] =
+                TraceEvent{static_cast<uint32_t>(ri), b.id};
+    sim::Emulator emu(x);
+    emu.run(&sink);
+    return sink.events;
+}
+
+class Tracer : public ::testing::TestWithParam<bool>
+{};
+
+TEST_P(Tracer, ReplaysTheExactBlockSequence)
+{
+    TraceSetup s(4, GetParam());
+    sim::Emulator e0(s.orig);
+    std::string golden = e0.run().output;
+
+    sim::Emulator e(s.traced);
+    sim::RunResult r = e.run();
+    ASSERT_TRUE(r.exited);
+    EXPECT_EQ(r.output, golden);
+
+    std::vector<TraceEvent> trace = readTrace(e, s.plan);
+    std::vector<TraceEvent> truth = groundTruth(s.orig, s.routines);
+    ASSERT_EQ(trace.size(), truth.size());
+    for (size_t i = 0; i < trace.size(); ++i)
+        ASSERT_EQ(trace[i], truth[i]) << "event " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(SchedOnOff, Tracer, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool> &i) {
+                             return i.param ? "scheduled"
+                                            : "unscheduled";
+                         });
+
+TEST(TracerDetail, EveryBlockGetsADistinctId)
+{
+    TraceSetup s(0, false);
+    std::set<uint32_t> ids;
+    uint64_t blocks = 0;
+    for (const auto &per_routine : s.plan.idOf)
+        for (uint32_t id : per_routine) {
+            ids.insert(id);
+            ++blocks;
+        }
+    EXPECT_EQ(ids.size(), blocks);
+    EXPECT_EQ(s.plan.tracedBlocks, blocks);
+}
+
+TEST(TracerDetail, BufferSizedFromMaxEvents)
+{
+    exe::Executable x;
+    x.text.push_back(isa::encode(isa::build::ta(0)));
+    x.text.push_back(isa::encode(isa::build::retl()));
+    x.text.push_back(isa::encode(isa::build::nop()));
+    x.entry = exe::textBase;
+    x.symbols.push_back(exe::Symbol{"main", exe::textBase, 12, true});
+    auto rs = edit::buildRoutines(x);
+    TraceOptions opts;
+    opts.maxEvents = 64;
+    TracePlan plan = makeTracePlan(x, rs, opts);
+    EXPECT_EQ(plan.bufferBytes, 8u + 4 * 64);
+    EXPECT_NE(x.findSymbol("__qpt_trace"), nullptr);
+}
+
+TEST(TracerDetail, TraceCanRegenerateBlockCounts)
+{
+    // Block counts derived from the trace must equal direct counts.
+    TraceSetup s(2, true);
+    sim::Emulator e(s.traced);
+    e.run();
+    std::vector<TraceEvent> trace = readTrace(e, s.plan);
+
+    std::map<std::pair<uint32_t, uint32_t>, uint64_t> counted;
+    for (const TraceEvent &ev : trace)
+        ++counted[{ev.routine, ev.block}];
+
+    std::vector<TraceEvent> truth = groundTruth(s.orig, s.routines);
+    std::map<std::pair<uint32_t, uint32_t>, uint64_t> expected;
+    for (const TraceEvent &ev : truth)
+        ++expected[{ev.routine, ev.block}];
+    EXPECT_EQ(counted, expected);
+}
+
+} // namespace
+} // namespace eel::qpt

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "src/sadl/timing.hh"
+#include "src/support/logging.hh"
+
+namespace eel::sadl {
+namespace {
+
+const char *prologue = R"(
+unit Group 2
+val multi is AR Group, ()
+val single is AR Group 2, ()
+unit ALU 1, ALUr 2, ALUw 1
+register untyped{32} R[32]
+alias signed{32} R4r[i] is AR ALUr, R[i]
+alias signed{32} R4w[i] is AR ALUw, R[i]
+)";
+
+const Timing &
+timingOf(const Description &d, const std::string &mnemonic,
+         size_t variant = 0)
+{
+    size_t seen = 0;
+    for (const Timing &t : d.timings)
+        if (t.mnemonic == mnemonic && seen++ == variant)
+            return t;
+    throw std::runtime_error("no such timing: " + mnemonic);
+}
+
+TEST(Eval, UnitDeclarations)
+{
+    Description d = analyze(prologue);
+    ASSERT_EQ(d.units.size(), 4u);
+    EXPECT_EQ(d.units[0].name, "Group");
+    EXPECT_EQ(d.units[0].count, 2u);
+    EXPECT_EQ(d.unitIndex("ALUw"), 3);
+    EXPECT_EQ(d.unitIndex("bogus"), -1);
+}
+
+TEST(Eval, SimpleSemTiming)
+{
+    Description d = analyze(std::string(prologue) +
+        "sem foo is multi, D 1, s:=R4r[rs1], "
+        "A ALU, x:=add32 s s, D 1, R ALU, R4w[rd]:=x");
+    const Timing &t = timingOf(d, "foo");
+    EXPECT_EQ(t.latency, 3u);
+    ASSERT_EQ(t.reads.size(), 1u);
+    EXPECT_EQ(t.reads[0].cycle, 1);
+    EXPECT_EQ(t.reads[0].field, Field::Rs1);
+    ASSERT_EQ(t.writes.size(), 1u);
+    EXPECT_EQ(t.writes[0].cycle, 2);
+    EXPECT_EQ(t.writes[0].valueReady, 1);
+    EXPECT_EQ(t.writes[0].field, Field::Rd);
+}
+
+TEST(Eval, SethiStyleValueReadyAtCycleZero)
+{
+    Description d = analyze(std::string(prologue) +
+        "sem foo is multi, x:=val32 #imm22, D 1, R4w[rd]:=x");
+    const Timing &t = timingOf(d, "foo");
+    EXPECT_EQ(t.writes[0].valueReady, 0);
+    EXPECT_EQ(t.writes[0].cycle, 1);
+    EXPECT_EQ(t.latency, 2u);
+}
+
+TEST(Eval, ConditionalForksVariants)
+{
+    Description d = analyze(std::string(prologue) +
+        "val src2 is iflag=1 ? #simm13 : R4r[rs2]\n"
+        "sem foo is multi, D 1, s:=src2, A ALU, x:=add32 s s, "
+        "D 1, R ALU, R4w[rd]:=x");
+    // Two variants: immediate and register.
+    int n = 0;
+    for (const Timing &t : d.timings)
+        if (t.mnemonic == "foo")
+            ++n;
+    EXPECT_EQ(n, 2);
+    const Timing &imm = timingOf(d, "foo", 0);
+    const Timing &rreg = timingOf(d, "foo", 1);
+    ASSERT_EQ(imm.conds.size(), 1u);
+    EXPECT_EQ(imm.conds[0].field, Field::Iflag);
+    EXPECT_TRUE(imm.conds[0].mustEqual);
+    EXPECT_FALSE(rreg.conds[0].mustEqual);
+    EXPECT_EQ(imm.reads.size(), 0u);
+    EXPECT_EQ(rreg.reads.size(), 1u);
+    EXPECT_EQ(rreg.reads[0].field, Field::Rs2);
+}
+
+TEST(Eval, GroupsShareIdenticalTiming)
+{
+    Description d = analyze(std::string(prologue) +
+        "val op is \\o. multi, D 1, s:=R4r[rs1], A ALU, "
+        "x:=o s s, D 1, R ALU, R4w[rd]:=x\n"
+        "sem [ a1 a2 ] is op @ [ add32 sub32 ]\n"
+        "sem b1 is single, D 1");
+    EXPECT_EQ(timingOf(d, "a1").group, timingOf(d, "a2").group);
+    EXPECT_NE(timingOf(d, "a1").group, timingOf(d, "b1").group);
+}
+
+TEST(Eval, ValMacroReplaysEffectsPerReference)
+{
+    // "multi" acquires Group each time it is referenced; two sems
+    // each get their own acquire.
+    Description d = analyze(std::string(prologue) +
+        "sem s1 is multi, D 1\nsem s2 is multi, D 1");
+    for (const char *m : {"s1", "s2"}) {
+        const Timing &t = timingOf(d, m);
+        ASSERT_EQ(t.acquire.size(), t.latency);
+        ASSERT_FALSE(t.acquire[0].empty());
+        EXPECT_EQ(d.units[t.acquire[0][0].unit].name, "Group");
+    }
+}
+
+TEST(Eval, ARReleasesAfterDelay)
+{
+    Description d = analyze(std::string(prologue) +
+        "sem s1 is AR ALU 1 2, D 3");
+    const Timing &t = timingOf(d, "s1");
+    EXPECT_EQ(t.latency, 4u);
+    ASSERT_FALSE(t.acquire[0].empty());
+    // Release scheduled at cycle 2.
+    ASSERT_GT(t.release.size(), 2u);
+    EXPECT_FALSE(t.release[2].empty());
+}
+
+TEST(Eval, PairAccessThroughWideAlias)
+{
+    Description d = analyze(std::string(prologue) +
+        "alias signed{64} R8r[i] is AR ALUr 2, R[i]\n"
+        "sem s1 is multi, D 1, s:=R8r[rs1], D 1");
+    const Timing &t = timingOf(d, "s1");
+    ASSERT_EQ(t.reads.size(), 1u);
+    EXPECT_TRUE(t.reads[0].pair);
+}
+
+TEST(Eval, ConstantRegisterIndex)
+{
+    Description d = analyze(std::string(prologue) +
+        "sem s1 is multi, x:=val32 #disp, D 1, R4w[15]:=x");
+    const Timing &t = timingOf(d, "s1");
+    ASSERT_EQ(t.writes.size(), 1u);
+    EXPECT_EQ(t.writes[0].field, Field::None);
+    EXPECT_EQ(t.writes[0].constIdx, 15);
+}
+
+TEST(Eval, UnbalancedUnitsRejected)
+{
+    EXPECT_THROW(
+        analyze(std::string(prologue) + "sem s1 is A ALU, D 1"),
+        FatalError);
+}
+
+TEST(Eval, UnknownNameRejected)
+{
+    EXPECT_THROW(
+        analyze(std::string(prologue) + "sem s1 is froznak 3"),
+        FatalError);
+}
+
+TEST(Eval, UnknownUnitRejected)
+{
+    EXPECT_THROW(
+        analyze(std::string(prologue) + "sem s1 is AR Bogus, D 1"),
+        FatalError);
+}
+
+TEST(Eval, ZipLengthMismatchRejected)
+{
+    EXPECT_THROW(
+        analyze(std::string(prologue) +
+                "sem [ a b ] is (\\o. D 1) @ [ add32 ]"),
+        FatalError);
+}
+
+TEST(Eval, MultiNameValBindsListElements)
+{
+    Description d = analyze(std::string(prologue) +
+        "val [ p q ] is (\\o. \\a. A ALU, x:=o a a, D 1, R ALU, x) "
+        "@ [ add32 sub32 ]\n"
+        "sem s1 is multi, D 1, s:=R4r[rs1], R4w[rd]:=p s\n"
+        "sem s2 is multi, D 1, s:=R4r[rs1], R4w[rd]:=q s");
+    // Both sems evaluate: each writes rd with a 1-cycle ALU value.
+    EXPECT_EQ(timingOf(d, "s1").writes.size(), 1u);
+    EXPECT_EQ(timingOf(d, "s2").writes.size(), 1u);
+    EXPECT_EQ(timingOf(d, "s1").group, timingOf(d, "s2").group);
+}
+
+TEST(Eval, LatencyIncludesTrailingEvents)
+{
+    // A read in the final cycle extends the latency past the last D.
+    Description d = analyze(std::string(prologue) +
+        "sem s1 is multi, D 2, c:=R4r[rs1]");
+    EXPECT_EQ(timingOf(d, "s1").latency, 3u);
+}
+
+TEST(Eval, NestedConditionalsProduceFourVariants)
+{
+    Description d = analyze(std::string(prologue) +
+        "val a is iflag=1 ? #simm13 : R4r[rs2]\n"
+        "val b is rd=0 ? a : R4r[rs1]\n"
+        "sem foo is multi, D 1, s:=b, D 1");
+    int n = 0;
+    for (const Timing &t : d.timings)
+        if (t.mnemonic == "foo")
+            ++n;
+    // rd==0 forks, and only its taken arm forks again on iflag:
+    // three reachable variants.
+    EXPECT_EQ(n, 3);
+    // Each variant's conditions start with the rd test.
+    for (const Timing &t : d.timings) {
+        if (t.mnemonic != "foo")
+            continue;
+        ASSERT_FALSE(t.conds.empty());
+        EXPECT_EQ(t.conds[0].field, Field::Rd);
+    }
+}
+
+TEST(Eval, ConcreteConditionDoesNotFork)
+{
+    Description d = analyze(std::string(prologue) +
+        "sem foo is multi, D 1, s:=(1=1 ? R4r[rs1] : R4r[rs2]), D 1");
+    int n = 0;
+    for (const Timing &t : d.timings)
+        if (t.mnemonic == "foo")
+            ++n;
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(timingOf(d, "foo").reads[0].field, Field::Rs1);
+}
+
+TEST(Eval, ReleaseNeverExtendsLatencyPastClamp)
+{
+    // AR with a delay beyond the last D: the release is clamped to
+    // the retire slot.
+    Description d = analyze(std::string(prologue) +
+        "sem foo is AR ALU 1 7, D 2");
+    const Timing &t = timingOf(d, "foo");
+    ASSERT_EQ(t.release.size(), t.latency + 1);
+    bool found = false;
+    for (const auto &ev : t.release[t.latency])
+        found |= d.units[ev.unit].name == "ALU";
+    EXPECT_TRUE(found);
+}
+
+TEST(Eval, DuplicateUnitRejected)
+{
+    EXPECT_THROW(analyze("unit A1 1\nunit A1 2"), FatalError);
+}
+
+TEST(Eval, SemOfUnknownAliasRejected)
+{
+    EXPECT_THROW(
+        analyze(std::string(prologue) + "sem s1 is Bogus[rs1]"),
+        FatalError);
+}
+
+TEST(Eval, ListIndexingByConstant)
+{
+    Description d = analyze(std::string(prologue) +
+        "val ops is [ add32 sub32 ]\n"
+        "sem s1 is multi, D 1, s:=R4r[rs1], "
+        "R4w[rd]:=(ops[1]) s s");
+    EXPECT_EQ(timingOf(d, "s1").writes.size(), 1u);
+}
+
+TEST(Eval, ApplyingANumberRejected)
+{
+    EXPECT_THROW(
+        analyze(std::string(prologue) + "sem s1 is 3 4"),
+        FatalError);
+}
+
+} // namespace
+} // namespace eel::sadl

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Fidelity test for the paper's Figure 2: analyzing the figure's
+ * hyperSPARC description must reproduce exactly the inferences the
+ * paper states Spawn draws from it (§3.1): add/sub/sra "can be dual
+ * issued, execute in 3 cycles, read their operands in cycle 1,
+ * produce a value at the end of cycle 1 that subsequent instructions
+ * can use, and update the register file in cycle 2."
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/sadl/timing.hh"
+
+namespace eel::sadl {
+namespace {
+
+class Fig2 : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        std::ifstream f(std::string(EEL_SOURCE_DIR) +
+                        "/machines/hypersparc_fig2.sadl");
+        ASSERT_TRUE(f.is_open());
+        std::stringstream ss;
+        ss << f.rdbuf();
+        desc = new Description(analyze(ss.str()));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete desc;
+        desc = nullptr;
+    }
+
+    static std::vector<const Timing *>
+    variantsOf(const std::string &mnemonic)
+    {
+        std::vector<const Timing *> out;
+        for (const Timing &t : desc->timings)
+            if (t.mnemonic == mnemonic)
+                out.push_back(&t);
+        return out;
+    }
+
+    static Description *desc;
+};
+
+Description *Fig2::desc = nullptr;
+
+TEST_F(Fig2, DeclaresTheFiguresResources)
+{
+    EXPECT_EQ(desc->unitIndex("Group"), 0);
+    EXPECT_EQ(desc->units[0].count, 2u);  // 2-way superscalar
+    EXPECT_GE(desc->unitIndex("ALU"), 0);
+    EXPECT_GE(desc->unitIndex("ALUr"), 0);
+    EXPECT_GE(desc->unitIndex("ALUw"), 0);
+    EXPECT_GE(desc->unitIndex("LSU"), 0);
+    ASSERT_EQ(desc->regFiles.size(), 1u);
+    EXPECT_EQ(desc->regFiles[0].name, "R");
+    EXPECT_EQ(desc->regFiles[0].size, 32u);
+    EXPECT_EQ(desc->regFiles[0].bits, 32u);
+}
+
+TEST_F(Fig2, ThreeInstructionsTwoVariantsEach)
+{
+    for (const char *m : {"add", "sub", "sra"})
+        EXPECT_EQ(variantsOf(m).size(), 2u) << m;
+}
+
+TEST_F(Fig2, ExecuteInThreeCycles)
+{
+    for (const char *m : {"add", "sub", "sra"})
+        for (const Timing *t : variantsOf(m))
+            EXPECT_EQ(t->latency, 3u) << m;
+}
+
+TEST_F(Fig2, CanBeDualIssued)
+{
+    // One Group slot of two acquired in cycle 0, released in cycle 1.
+    for (const Timing *t : variantsOf("add")) {
+        ASSERT_FALSE(t->acquire[0].empty());
+        const UnitEvent &e = t->acquire[0][0];
+        EXPECT_EQ(desc->units[e.unit].name, "Group");
+        EXPECT_EQ(e.num, 1u);
+        bool released_at_1 = false;
+        for (const UnitEvent &r : t->release[1])
+            if (r.unit == e.unit)
+                released_at_1 = true;
+        EXPECT_TRUE(released_at_1);
+    }
+}
+
+TEST_F(Fig2, ReadOperandsInCycleOne)
+{
+    for (const Timing *t : variantsOf("add"))
+        for (const RegAccess &r : t->reads)
+            EXPECT_EQ(r.cycle, 1u);
+}
+
+TEST_F(Fig2, ValueAvailableAtEndOfCycleOne)
+{
+    for (const Timing *t : variantsOf("add")) {
+        ASSERT_EQ(t->writes.size(), 1u);
+        EXPECT_EQ(t->writes[0].valueReady, 1u);
+    }
+}
+
+TEST_F(Fig2, RegisterFileUpdatedInCycleTwo)
+{
+    for (const Timing *t : variantsOf("add"))
+        EXPECT_EQ(t->writes[0].cycle, 2u);
+}
+
+TEST_F(Fig2, ImmediateVariantReadsOneOperand)
+{
+    auto vars = variantsOf("sub");
+    const Timing *imm = nullptr;
+    const Timing *rreg = nullptr;
+    for (const Timing *t : vars) {
+        ASSERT_EQ(t->conds.size(), 1u);
+        (t->conds[0].mustEqual ? imm : rreg) = t;
+    }
+    ASSERT_TRUE(imm && rreg);
+    EXPECT_EQ(imm->reads.size(), 1u);   // rs1 only
+    EXPECT_EQ(rreg->reads.size(), 2u);  // rs1 and rs2
+}
+
+TEST_F(Fig2, AddAndSubShareATimingGroup)
+{
+    // Spawn groups instructions with identical timing to save space.
+    auto a = variantsOf("add"), s = variantsOf("sub");
+    EXPECT_EQ(a[0]->group, s[0]->group);
+    EXPECT_EQ(a[1]->group, s[1]->group);
+}
+
+TEST_F(Fig2, ShiftUsesTheSameAluTiming)
+{
+    // In the figure sra flows through the same ALU macro shape.
+    auto a = variantsOf("add"), r = variantsOf("sra");
+    EXPECT_EQ(a[0]->latency, r[0]->latency);
+}
+
+} // namespace
+} // namespace eel::sadl

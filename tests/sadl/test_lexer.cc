@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/sadl/lexer.hh"
+#include "src/support/logging.hh"
+
+namespace eel::sadl {
+namespace {
+
+std::vector<Tok>
+kinds(const std::string &src)
+{
+    std::vector<Tok> out;
+    for (const Token &t : tokenize(src))
+        out.push_back(t.kind);
+    return out;
+}
+
+TEST(Lexer, Keywords)
+{
+    auto v = kinds("unit val alias register sem is");
+    ASSERT_EQ(v.size(), 7u);
+    EXPECT_EQ(v[0], Tok::KwUnit);
+    EXPECT_EQ(v[1], Tok::KwVal);
+    EXPECT_EQ(v[2], Tok::KwAlias);
+    EXPECT_EQ(v[3], Tok::KwRegister);
+    EXPECT_EQ(v[4], Tok::KwSem);
+    EXPECT_EQ(v[5], Tok::KwIs);
+    EXPECT_EQ(v[6], Tok::End);
+}
+
+TEST(Lexer, CommandLettersAreIdentifiers)
+{
+    // A/R/AR/D are contextual; the lexer produces plain identifiers.
+    auto toks = tokenize("A R AR D");
+    EXPECT_EQ(toks[0].kind, Tok::Ident);
+    EXPECT_EQ(toks[0].text, "A");
+    EXPECT_EQ(toks[2].kind, Tok::Ident);
+    EXPECT_EQ(toks[2].text, "AR");
+}
+
+TEST(Lexer, OperatorIdentifiers)
+{
+    auto toks = tokenize("+ - & | ^ << >>");
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(toks[i].kind, Tok::OpIdent) << i;
+    EXPECT_EQ(toks[5].text, "<<");
+    EXPECT_EQ(toks[6].text, ">>");
+}
+
+TEST(Lexer, AssignVsColon)
+{
+    auto toks = tokenize("x := y ? a : b");
+    EXPECT_EQ(toks[1].kind, Tok::Assign);
+    EXPECT_EQ(toks[5].kind, Tok::Colon);
+}
+
+TEST(Lexer, Immediates)
+{
+    auto toks = tokenize("#simm13 #imm22");
+    EXPECT_EQ(toks[0].kind, Tok::Immediate);
+    EXPECT_EQ(toks[0].text, "simm13");
+    EXPECT_EQ(toks[1].text, "imm22");
+}
+
+TEST(Lexer, BareHashIsError)
+{
+    EXPECT_THROW(tokenize("# foo"), FatalError);
+}
+
+TEST(Lexer, Numbers)
+{
+    auto toks = tokenize("0 42 4095");
+    EXPECT_EQ(toks[0].value, 0);
+    EXPECT_EQ(toks[1].value, 42);
+    EXPECT_EQ(toks[2].value, 4095);
+}
+
+TEST(Lexer, CommentsAndLines)
+{
+    auto toks = tokenize("a // comment with := and ?\nb");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, Lambda)
+{
+    auto toks = tokenize("\\op.\\a. x");
+    EXPECT_EQ(toks[0].kind, Tok::Lambda);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[2].kind, Tok::Dot);
+}
+
+TEST(Lexer, Punctuation)
+{
+    auto v = kinds("( ) [ ] { } , @");
+    EXPECT_EQ(v[0], Tok::LParen);
+    EXPECT_EQ(v[1], Tok::RParen);
+    EXPECT_EQ(v[2], Tok::LBracket);
+    EXPECT_EQ(v[3], Tok::RBracket);
+    EXPECT_EQ(v[4], Tok::LBrace);
+    EXPECT_EQ(v[5], Tok::RBrace);
+    EXPECT_EQ(v[6], Tok::Comma);
+    EXPECT_EQ(v[7], Tok::At);
+}
+
+TEST(Lexer, UnexpectedCharacter)
+{
+    EXPECT_THROW(tokenize("a $ b"), FatalError);
+}
+
+} // namespace
+} // namespace eel::sadl

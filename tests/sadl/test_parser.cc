@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "src/sadl/parser.hh"
+#include "src/support/logging.hh"
+
+namespace eel::sadl {
+namespace {
+
+TEST(Parser, UnitDecl)
+{
+    Program p = parse("unit Group 2\nunit ALU 1, ALUr 2, ALUw 1");
+    ASSERT_EQ(p.decls.size(), 2u);
+    EXPECT_EQ(p.decls[0].kind, DeclKind::Unit);
+    EXPECT_EQ(p.decls[0].names[0], "Group");
+    EXPECT_EQ(p.decls[0].counts[0], 2);
+    ASSERT_EQ(p.decls[1].names.size(), 3u);
+    EXPECT_EQ(p.decls[1].names[2], "ALUw");
+    EXPECT_EQ(p.decls[1].counts[2], 1);
+}
+
+TEST(Parser, RegisterDecl)
+{
+    Program p = parse("register untyped{32} R[32]");
+    const Decl &d = p.decls[0];
+    EXPECT_EQ(d.kind, DeclKind::Register);
+    EXPECT_EQ(d.names[0], "R");
+    EXPECT_EQ(d.typeBits, 32);
+    EXPECT_EQ(d.arraySize, 32);
+}
+
+TEST(Parser, AliasDecl)
+{
+    Program p = parse(
+        "unit ALUr 2\nregister untyped{32} R[32]\n"
+        "alias signed{32} R4r[i] is AR ALUr, R[i]");
+    const Decl &d = p.decls[2];
+    EXPECT_EQ(d.kind, DeclKind::Alias);
+    EXPECT_EQ(d.names[0], "R4r");
+    EXPECT_EQ(d.param, "i");
+    EXPECT_EQ(d.typeBits, 32);
+    ASSERT_TRUE(d.body);
+    EXPECT_EQ(d.body->kind, ExprKind::Seq);
+}
+
+TEST(Parser, ValWithNameList)
+{
+    Program p = parse("val [ + - ] is (\\op. op) @ [ add32 sub32 ]");
+    const Decl &d = p.decls[0];
+    ASSERT_EQ(d.names.size(), 2u);
+    EXPECT_EQ(d.names[0], "+");
+    EXPECT_EQ(d.names[1], "-");
+    EXPECT_EQ(d.body->kind, ExprKind::Zip);
+}
+
+TEST(Parser, LambdaBodyExtendsThroughCommas)
+{
+    Program p = parse("val f is \\a. D 1, a");
+    const Decl &d = p.decls[0];
+    ASSERT_EQ(d.body->kind, ExprKind::Lambda);
+    EXPECT_EQ(d.body->kids[0]->kind, ExprKind::Seq);
+}
+
+TEST(Parser, ConditionalAndEquality)
+{
+    Program p = parse("val s is iflag=1 ? a : b");
+    const Decl &d = p.decls[0];
+    ASSERT_EQ(d.body->kind, ExprKind::CondExpr);
+    EXPECT_EQ(d.body->kids[0]->kind, ExprKind::EqTest);
+}
+
+TEST(Parser, CommandArguments)
+{
+    Program p = parse("val x is AR Group 2 1, ()");
+    const auto &seq = p.decls[0].body;
+    ASSERT_EQ(seq->kind, ExprKind::Seq);
+    const auto &ar = seq->kids[0];
+    EXPECT_EQ(ar->kind, ExprKind::CmdAR);
+    EXPECT_EQ(ar->name, "Group");
+    EXPECT_EQ(ar->number, 2);
+    EXPECT_EQ(ar->number2, 1);
+}
+
+TEST(Parser, CommandDefaultArguments)
+{
+    Program p = parse("val x is A ALU, D, R ALU");
+    const auto &seq = p.decls[0].body;
+    EXPECT_EQ(seq->kids[0]->kind, ExprKind::CmdA);
+    EXPECT_FALSE(seq->kids[0]->hasNumber);
+    EXPECT_EQ(seq->kids[1]->kind, ExprKind::CmdD);
+    EXPECT_EQ(seq->kids[2]->kind, ExprKind::CmdR);
+}
+
+TEST(Parser, RAsRegisterFileIndexing)
+{
+    // "R[i]" must parse as indexing the register file named R, not
+    // as a release command.
+    Program p = parse("register untyped{32} R[32]\nval x is R[rs1]");
+    EXPECT_EQ(p.decls[1].body->kind, ExprKind::Index);
+}
+
+TEST(Parser, ApplicationIsLeftAssociative)
+{
+    Program p = parse("val x is f a b");
+    const auto &e = p.decls[0].body;
+    ASSERT_EQ(e->kind, ExprKind::Apply);
+    EXPECT_EQ(e->kids[0]->kind, ExprKind::Apply);
+    EXPECT_EQ(e->kids[1]->kind, ExprKind::Name);
+    EXPECT_EQ(e->kids[1]->name, "b");
+}
+
+TEST(Parser, AssignTargets)
+{
+    Program p = parse("val x is a := f 1, R4w := 2");
+    EXPECT_EQ(p.decls[0].body->kind, ExprKind::Seq);
+    EXPECT_EQ(p.decls[0].body->kids[0]->kind, ExprKind::Assign);
+}
+
+TEST(Parser, AssignToNumberRejected)
+{
+    EXPECT_THROW(parse("val x is 1 := 2"), FatalError);
+}
+
+TEST(Parser, UnitValue)
+{
+    Program p = parse("val x is ()");
+    EXPECT_EQ(p.decls[0].body->kind, ExprKind::UnitVal);
+}
+
+TEST(Parser, ListOfPrimaries)
+{
+    Program p = parse("val x is [ a b (f c) 3 ]");
+    const auto &e = p.decls[0].body;
+    ASSERT_EQ(e->kind, ExprKind::List);
+    ASSERT_EQ(e->kids.size(), 4u);
+    EXPECT_EQ(e->kids[2]->kind, ExprKind::Apply);
+    EXPECT_EQ(e->kids[3]->kind, ExprKind::Number);
+}
+
+TEST(Parser, MissingIsRejected)
+{
+    EXPECT_THROW(parse("val x 3"), FatalError);
+}
+
+TEST(Parser, GarbageDeclRejected)
+{
+    EXPECT_THROW(parse("frobnicate x is 3"), FatalError);
+}
+
+} // namespace
+} // namespace eel::sadl

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/builder.hh"
+#include "src/sched/depgraph.hh"
+
+namespace eel::sched {
+namespace {
+
+namespace b = isa::build;
+using isa::Op;
+
+InstRef
+ref(isa::Instruction in, bool instr = false, int32_t tag = -1,
+    int64_t off = 0)
+{
+    InstRef r;
+    r.inst = in;
+    r.isInstrumentation = instr;
+    r.memTag = tag;
+    r.memOff = off;
+    return r;
+}
+
+const machine::MachineModel &m()
+{
+    return machine::MachineModel::builtin("ultrasparc");
+}
+
+TEST(DepGraph, RawEdge)
+{
+    InstSeq seq = {ref(b::rri(Op::Add, 8, 1, 1)),
+                   ref(b::rri(Op::Sub, 9, 8, 1))};
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_FALSE(g.hasEdge(1, 0));
+    EXPECT_EQ(g.numPreds(1), 1u);
+}
+
+TEST(DepGraph, NoEdgeBetweenIndependent)
+{
+    InstSeq seq = {ref(b::rri(Op::Add, 8, 1, 1)),
+                   ref(b::rri(Op::Sub, 9, 2, 1))};
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    EXPECT_FALSE(g.hasEdge(0, 1));
+}
+
+TEST(DepGraph, WarEdge)
+{
+    InstSeq seq = {ref(b::rri(Op::Add, 8, 9, 1)),   // reads %o1
+                   ref(b::rri(Op::Or, 9, 1, 1))};   // writes %o1
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+}
+
+TEST(DepGraph, WawEdge)
+{
+    InstSeq seq = {ref(b::rri(Op::Add, 8, 1, 1)),
+                   ref(b::rri(Op::Or, 8, 2, 1))};
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+}
+
+TEST(DepGraph, IccDependence)
+{
+    InstSeq seq = {ref(b::cmpi(8, 0)),
+                   ref(b::rri(Op::Add, 9, 1, 1)),
+                   ref(b::rrr(Op::Subcc, 0, 9, 10))};
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    // Two icc writers are WAW-ordered; the add is independent.
+    EXPECT_TRUE(g.hasEdge(0, 2));
+    EXPECT_FALSE(g.hasEdge(0, 1));
+}
+
+TEST(DepGraph, OriginalMemoryOpsConservativelyAlias)
+{
+    // §4: "the scheduler conservatively assumes that loads and
+    // stores from the original code access the same address."
+    InstSeq seq = {ref(b::memi(Op::St, 8, 16, 0)),
+                   ref(b::memi(Op::Ld, 9, 17, 512))};
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+}
+
+TEST(DepGraph, LoadsDoNotAliasLoads)
+{
+    InstSeq seq = {ref(b::memi(Op::Ld, 8, 16, 0)),
+                   ref(b::memi(Op::Ld, 9, 17, 0))};
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    EXPECT_FALSE(g.hasEdge(0, 1));
+}
+
+TEST(DepGraph, InstrumentationMemoryIsSeparate)
+{
+    // §4: instrumentation loads and stores are assumed not to
+    // conflict with the original ones...
+    InstSeq seq = {ref(b::memi(Op::St, 8, 16, 0)),
+                   ref(b::memi(Op::Ld, 7, 6, 0), true)};
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    EXPECT_FALSE(g.hasEdge(0, 1));
+    // ...but alias each other.
+    InstSeq seq2 = {ref(b::memi(Op::St, 7, 6, 0), true),
+                    ref(b::memi(Op::Ld, 7, 6, 0), true)};
+    DepGraph g2(seq2, m(), AliasPolicy::SeparateInstrumentation);
+    EXPECT_TRUE(g2.hasEdge(0, 1));
+}
+
+TEST(DepGraph, ConservativePolicyRestrictsInstrumentation)
+{
+    // The restrictive option for constrained instrumentation (§4).
+    InstSeq seq = {ref(b::memi(Op::St, 8, 16, 0)),
+                   ref(b::memi(Op::Ld, 7, 6, 0), true)};
+    DepGraph g(seq, m(), AliasPolicy::Conservative);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+}
+
+TEST(DepGraph, OracleDisambiguatesByTagAndOffset)
+{
+    // Different tags never alias.
+    InstSeq a = {ref(b::memi(Op::St, 8, 16, 0), false, 1, 0),
+                 ref(b::memi(Op::Ld, 9, 17, 0), false, 2, 0)};
+    EXPECT_FALSE(
+        DepGraph(a, m(), AliasPolicy::Oracle).hasEdge(0, 1));
+    // Same tag, disjoint offsets: no alias.
+    InstSeq b2 = {ref(b::memi(Op::St, 8, 16, 0), false, 1, 0),
+                  ref(b::memi(Op::Ld, 9, 16, 8), false, 1, 8)};
+    EXPECT_FALSE(
+        DepGraph(b2, m(), AliasPolicy::Oracle).hasEdge(0, 1));
+    // Same tag, overlapping: alias.
+    InstSeq c = {ref(b::memi(Op::St, 8, 16, 0), false, 1, 0),
+                 ref(b::memi(Op::Ld, 9, 16, 0), false, 1, 0)};
+    EXPECT_TRUE(
+        DepGraph(c, m(), AliasPolicy::Oracle).hasEdge(0, 1));
+    // Unknown tag falls back to conservative.
+    InstSeq d = {ref(b::memi(Op::St, 8, 16, 0)),
+                 ref(b::memi(Op::Ld, 9, 16, 8), false, 1, 8)};
+    EXPECT_TRUE(
+        DepGraph(d, m(), AliasPolicy::Oracle).hasEdge(0, 1));
+}
+
+TEST(DepGraph, OracleDoubleWordOverlap)
+{
+    // An 8-byte store at offset 0 overlaps a 4-byte load at 4.
+    InstSeq seq = {ref(b::memi(Op::Std, 8, 16, 0), false, 1, 0),
+                   ref(b::memi(Op::Ld, 9, 16, 4), false, 1, 4)};
+    EXPECT_TRUE(
+        DepGraph(seq, m(), AliasPolicy::Oracle).hasEdge(0, 1));
+}
+
+TEST(DepGraph, BarrierOrdersEverything)
+{
+    InstSeq seq = {ref(b::rri(Op::Add, 8, 1, 1)),
+                   ref(b::restore()),
+                   ref(b::rri(Op::Add, 9, 2, 1))};
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 2));
+}
+
+TEST(DepGraph, DistanceToEndGrowsAlongChains)
+{
+    InstSeq seq = {ref(b::rri(Op::Add, 8, 1, 1)),
+                   ref(b::rri(Op::Add, 9, 8, 1)),
+                   ref(b::rri(Op::Add, 10, 9, 1)),
+                   ref(b::rri(Op::Add, 11, 2, 1))};
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    auto dist = g.distanceToEnd();
+    EXPECT_GT(dist[0], dist[1]);
+    EXPECT_GT(dist[1], dist[2]);
+    EXPECT_LT(dist[3], dist[0]);  // off the critical path
+}
+
+TEST(DepGraph, RawEdgeWeightReflectsLoadLatency)
+{
+    InstSeq seq = {ref(b::memi(Op::Ld, 8, 16, 0)),
+                   ref(b::rri(Op::Add, 9, 8, 1))};
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    ASSERT_EQ(g.edges().size(), 1u);
+    // UltraSPARC load: value ready in cycle 3, consumer reads in
+    // cycle 1 -> separation 3.
+    EXPECT_EQ(g.edges()[0].minDist, 3);
+}
+
+TEST(DepGraph, G0NeverCreatesDependence)
+{
+    InstSeq seq = {ref(b::cmpi(8, 0)),              // rd = %g0
+                   ref(b::rri(Op::Add, 9, 0, 1))};  // reads %g0
+    DepGraph g(seq, m(), AliasPolicy::SeparateInstrumentation);
+    EXPECT_FALSE(g.hasEdge(0, 1));
+}
+
+} // namespace
+} // namespace eel::sched

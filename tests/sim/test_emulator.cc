@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/exe/executable.hh"
+#include "src/isa/builder.hh"
+#include "src/sim/emulator.hh"
+#include "src/support/logging.hh"
+
+namespace eel::sim {
+namespace {
+
+namespace b = isa::build;
+using isa::Op;
+namespace cond = isa::cond;
+namespace rn = isa::reg;
+
+/** Assemble a little program ending with ta 0 and run it. */
+struct Prog
+{
+    exe::Executable x;
+
+    Prog()
+    {
+        x.entry = exe::textBase;
+    }
+    void
+    push(isa::Instruction in)
+    {
+        x.text.push_back(isa::encode(in));
+    }
+    void
+    exit0()
+    {
+        push(b::ta(isa::trap::exit_prog));
+        push(b::retl());
+        push(b::nop());
+    }
+    Emulator
+    makeEmu()
+    {
+        x.symbols.push_back(exe::Symbol{
+            "main", exe::textBase,
+            static_cast<uint32_t>(4 * x.text.size()), true});
+        return Emulator(x);
+    }
+};
+
+TEST(Emulator, ArithmeticAndExitCode)
+{
+    Prog p;
+    p.push(b::movi(rn::o0, 30));
+    p.push(b::rri(Op::Add, rn::o0, rn::o0, 12));
+    p.exit0();
+    Emulator e = p.makeEmu();
+    RunResult r = e.run();
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(r.exitCode, 42);
+}
+
+TEST(Emulator, G0ReadsZeroIgnoresWrites)
+{
+    Prog p;
+    p.push(b::movi(rn::g0, 99));
+    p.push(b::rri(Op::Add, rn::o0, rn::g0, 7));
+    p.exit0();
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 7);
+}
+
+TEST(Emulator, ConditionCodesSub)
+{
+    // 5 - 5 -> Z; bne not taken, be taken.
+    Prog p;
+    p.push(b::movi(rn::o1, 5));
+    p.push(b::cmpi(rn::o1, 5));
+    p.push(b::bicc(cond::e, 3));    // -> mov 1
+    p.push(b::nop());               // delay
+    p.push(b::movi(rn::o0, 0));     // skipped
+    p.push(b::movi(rn::o0, 1));     // target
+    p.exit0();
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 1);
+}
+
+TEST(Emulator, SignedComparisons)
+{
+    // -3 < 2 signed (bl), but not unsigned (blu would differ).
+    Prog p;
+    p.push(b::movi(rn::o1, -3));
+    p.push(b::cmpi(rn::o1, 2));
+    p.push(b::bicc(cond::l, 3));
+    p.push(b::nop());
+    p.push(b::movi(rn::o0, 0));
+    p.push(b::movi(rn::o0, 1));
+    p.exit0();
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 1);
+}
+
+TEST(Emulator, UnsignedComparisons)
+{
+    // 0xfffffffd > 2 unsigned: bgu taken.
+    Prog p;
+    p.push(b::movi(rn::o1, -3));
+    p.push(b::cmpi(rn::o1, 2));
+    p.push(b::bicc(cond::gu, 3));
+    p.push(b::nop());
+    p.push(b::movi(rn::o0, 0));
+    p.push(b::movi(rn::o0, 1));
+    p.exit0();
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 1);
+}
+
+TEST(Emulator, DelaySlotExecutesOnTakenBranch)
+{
+    Prog p;
+    p.push(b::movi(rn::o0, 0));
+    p.push(b::ba(3));
+    p.push(b::rri(Op::Add, rn::o0, rn::o0, 5));  // delay: executes
+    p.push(b::rri(Op::Add, rn::o0, rn::o0, 100));  // skipped
+    p.push(b::rri(Op::Add, rn::o0, rn::o0, 1));  // target
+    p.exit0();
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 6);
+}
+
+TEST(Emulator, AnnulledUntakenBranchSkipsDelay)
+{
+    Prog p;
+    p.push(b::movi(rn::o0, 0));
+    p.push(b::cmpi(rn::g0, 1));                   // 0 != 1
+    p.push(b::bicc(cond::e, 3, /*annul=*/true));  // untaken, annul
+    p.push(b::rri(Op::Add, rn::o0, rn::o0, 100)); // annulled
+    p.push(b::rri(Op::Add, rn::o0, rn::o0, 1));
+    p.exit0();
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 1);
+}
+
+TEST(Emulator, BaAnnulAlwaysSkipsDelay)
+{
+    Prog p;
+    p.push(b::movi(rn::o0, 0));
+    p.push(b::bicc(cond::a, 2, /*annul=*/true));
+    p.push(b::rri(Op::Add, rn::o0, rn::o0, 100)); // annulled
+    p.push(b::rri(Op::Add, rn::o0, rn::o0, 3));   // target
+    p.exit0();
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 3);
+}
+
+TEST(Emulator, CallAndReturnLeaf)
+{
+    Prog p;
+    // main: call f; delay nop; exit with %o0.
+    p.push(b::call(5));                 // f at +5 insts
+    p.push(b::nop());
+    p.exit0();                          // 3 instructions
+    // f (leaf): o0 = 11; retl.
+    p.push(b::movi(rn::o0, 11));
+    p.push(b::retl());
+    p.push(b::nop());
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 11);
+}
+
+TEST(Emulator, RegisterWindows)
+{
+    Prog p;
+    // main: o0=5; call f; exit(o0).
+    p.push(b::movi(rn::o0, 5));
+    p.push(b::call(5));
+    p.push(b::nop());
+    p.exit0();
+    // f: save; i0 += 2 -> restore into caller's o0.
+    p.push(b::save(96));
+    p.push(b::rri(Op::Add, rn::l5, rn::i0, 2));
+    p.push(b::ret());
+    p.push(b::rri(Op::Restore, rn::o0, rn::l5, 0));
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 7);
+}
+
+TEST(Emulator, WindowOverflowDetected)
+{
+    // Infinite recursion must hit the window-depth wall, not loop.
+    Prog p;
+    p.push(b::save(96));
+    p.push(b::call(-1));
+    p.push(b::nop());
+    Emulator::Config cfg;
+    cfg.windows = 8;
+    p.x.symbols.push_back(exe::Symbol{
+        "main", exe::textBase,
+        static_cast<uint32_t>(4 * p.x.text.size()), true});
+    Emulator e(p.x, cfg);
+    EXPECT_THROW(e.run(), FatalError);
+}
+
+TEST(Emulator, MemoryBigEndian)
+{
+    Prog p;
+    p.push(b::sethi(rn::l0, exe::dataBase));
+    p.push(b::memi(Op::Ld, rn::o0, rn::l0, 0));
+    p.exit0();
+    p.x.data = {0x12, 0x34, 0x56, 0x78};
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(static_cast<uint32_t>(e.run().exitCode), 0x12345678u);
+}
+
+TEST(Emulator, ByteAndHalfLoads)
+{
+    Prog p;
+    p.push(b::sethi(rn::l0, exe::dataBase));
+    p.push(b::memi(Op::Ldsb, rn::o1, rn::l0, 0));  // 0xfe -> -2
+    p.push(b::memi(Op::Ldub, rn::o2, rn::l0, 0));  // 0xfe -> 254
+    p.push(b::memi(Op::Ldsh, rn::o3, rn::l0, 2));  // 0xff00 -> -256
+    p.push(b::rrr(Op::Add, rn::o0, rn::o1, rn::o2));
+    p.push(b::rrr(Op::Add, rn::o0, rn::o0, rn::o3));
+    p.exit0();
+    p.x.data = {0xfe, 0x00, 0xff, 0x00};
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, -2 + 254 - 256);
+}
+
+TEST(Emulator, StoreLoadRoundTrip)
+{
+    Prog p;
+    p.push(b::sethi(rn::l0, exe::dataBase));
+    p.push(b::movi(rn::o1, 1234));
+    p.push(b::memi(Op::St, rn::o1, rn::l0, 8));
+    p.push(b::memi(Op::Ld, rn::o0, rn::l0, 8));
+    p.exit0();
+    p.x.data.resize(16, 0);
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 1234);
+}
+
+TEST(Emulator, DoubleWordMemory)
+{
+    Prog p;
+    p.push(b::sethi(rn::l0, exe::dataBase));
+    p.push(b::movi(rn::o2, 7));    // o2/o3 must be an even pair: use o2=10
+    p.push(b::movi(rn::o3, 9));
+    p.push(b::memi(Op::Std, rn::o2, rn::l0, 8));
+    p.push(b::memi(Op::Ldd, rn::o4, rn::l0, 8));
+    p.push(b::rrr(Op::Add, rn::o0, rn::o4, rn::o5));
+    p.exit0();
+    p.x.data.resize(16, 0);
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 16);
+}
+
+TEST(Emulator, MisalignedAccessFatal)
+{
+    Prog p;
+    p.push(b::sethi(rn::l0, exe::dataBase));
+    p.push(b::memi(Op::Ld, rn::o0, rn::l0, 2));
+    p.exit0();
+    p.x.data.resize(16, 0);
+    Emulator e = p.makeEmu();
+    EXPECT_THROW(e.run(), FatalError);
+}
+
+TEST(Emulator, OutOfRangeAccessFatal)
+{
+    Prog p;
+    p.push(b::movi(rn::l0, 0x100));  // nowhere
+    p.push(b::memi(Op::Ld, rn::o0, rn::l0, 0));
+    p.exit0();
+    Emulator e = p.makeEmu();
+    EXPECT_THROW(e.run(), FatalError);
+}
+
+TEST(Emulator, MulDiv)
+{
+    Prog p;
+    p.push(b::movi(rn::o1, 7));
+    p.push(b::movi(rn::o2, 6));
+    p.push(b::rrr(Op::Smul, rn::o3, rn::o1, rn::o2));  // 42, Y=0
+    p.push(b::rri(Op::Wry, rn::g0, rn::g0, 0));        // Y = 0
+    p.push(b::rri(Op::Udiv, rn::o0, rn::o3, 6));       // 7
+    p.exit0();
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 7);
+}
+
+TEST(Emulator, MulSetsY)
+{
+    Prog p;
+    p.push(b::sethi(rn::o1, 0x40000000));
+    p.push(b::rrr(Op::Umul, rn::o2, rn::o1, rn::o1));
+    p.push(b::rrr(Op::Rdy, rn::o0, rn::g0, rn::g0));
+    p.exit0();
+    Emulator e = p.makeEmu();
+    // 0x40000000^2 = 2^60: high word = 0x10000000.
+    EXPECT_EQ(static_cast<uint32_t>(e.run().exitCode), 0x10000000u);
+}
+
+TEST(Emulator, DivideByZeroFatal)
+{
+    Prog p;
+    p.push(b::rri(Op::Udiv, rn::o0, rn::o1, 0));
+    p.exit0();
+    Emulator e = p.makeEmu();
+    EXPECT_THROW(e.run(), FatalError);
+}
+
+TEST(Emulator, FloatingPoint)
+{
+    Prog p;
+    p.push(b::sethi(rn::l0, exe::dataBase));
+    p.push(b::memi(Op::Lddf, 0, rn::l0, 0));   // 1.5
+    p.push(b::memi(Op::Lddf, 2, rn::l0, 8));   // 2.25
+    p.push(b::fp3(Op::Faddd, 4, 0, 2));        // 3.75
+    p.push(b::fp3(Op::Fmuld, 6, 4, 2));        // 8.4375
+    p.push(b::fp2(Op::Fdtoi, 8, 6));           // 8
+    p.push(b::memi(Op::Stf, 8, rn::l0, 16));
+    p.push(b::memi(Op::Ld, rn::o0, rn::l0, 16));
+    p.exit0();
+    auto pushd = [&](double v) {
+        uint64_t bits;
+        static_assert(sizeof bits == sizeof v);
+        std::memcpy(&bits, &v, 8);
+        for (int k = 7; k >= 0; --k)
+            p.x.data.push_back(static_cast<uint8_t>(bits >> (8 * k)));
+    };
+    pushd(1.5);
+    pushd(2.25);
+    p.x.data.resize(24, 0);
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 8);
+}
+
+TEST(Emulator, FpCompareAndBranch)
+{
+    Prog p;
+    p.push(b::sethi(rn::l0, exe::dataBase));
+    p.push(b::memi(Op::Ldf, 0, rn::l0, 0));
+    p.push(b::memi(Op::Ldf, 1, rn::l0, 4));
+    p.push(b::fcmp(Op::Fcmps, 0, 1));
+    p.push(b::nop());  // V8 fcmp/fbfcc separation
+    p.push(b::fbfcc(isa::fcond::l, 3));
+    p.push(b::nop());
+    p.push(b::movi(rn::o0, 0));
+    p.push(b::movi(rn::o0, 1));
+    p.exit0();
+    auto pushf = [&](float v) {
+        uint32_t bits;
+        std::memcpy(&bits, &v, 4);
+        for (int k = 3; k >= 0; --k)
+            p.x.data.push_back(static_cast<uint8_t>(bits >> (8 * k)));
+    };
+    pushf(1.0f);
+    pushf(2.0f);
+    Emulator e = p.makeEmu();
+    EXPECT_EQ(e.run().exitCode, 1);  // 1.0 < 2.0
+}
+
+TEST(Emulator, TrapOutput)
+{
+    Prog p;
+    p.push(b::movi(rn::o0, -7));
+    p.push(b::ta(isa::trap::put_int));
+    p.push(b::movi(rn::o0, 'A'));
+    p.push(b::ta(isa::trap::put_char));
+    p.push(b::movi(rn::o0, 0));
+    p.exit0();
+    Emulator e = p.makeEmu();
+    RunResult r = e.run();
+    EXPECT_EQ(r.output, "-7\nA");
+}
+
+TEST(Emulator, InstructionLimit)
+{
+    Prog p;
+    p.push(b::ba(0));  // tight infinite loop
+    p.push(b::nop());
+    p.x.symbols.push_back(exe::Symbol{
+        "main", exe::textBase,
+        static_cast<uint32_t>(4 * p.x.text.size()), true});
+    Emulator::Config cfg;
+    cfg.maxInstructions = 1000;
+    Emulator e(p.x, cfg);
+    RunResult r = e.run();
+    EXPECT_FALSE(r.exited);
+    EXPECT_EQ(r.instructions, 1000u);
+}
+
+TEST(Emulator, TraceSinkSeesRetiredStream)
+{
+    struct Counter : TraceSink
+    {
+        uint64_t n = 0;
+        void retire(uint32_t, const isa::Instruction &) override
+        {
+            ++n;
+        }
+    };
+    Prog p;
+    p.push(b::movi(rn::o0, 0));
+    p.push(b::rri(Op::Add, rn::o0, rn::o0, 1));
+    p.exit0();
+    Emulator e = p.makeEmu();
+    Counter c;
+    RunResult r = e.run(&c);
+    EXPECT_EQ(c.n, r.instructions);
+    EXPECT_EQ(c.n, 3u);  // movi, add, ta
+}
+
+} // namespace
+} // namespace eel::sim

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/timing.hh"
+#include "src/support/logging.hh"
+
+namespace eel::sim {
+namespace {
+
+TEST(ICache, ColdMissesThenHits)
+{
+    ICache c(ICache::Config{1024, 32, 1});
+    EXPECT_TRUE(c.access(0));
+    EXPECT_FALSE(c.access(4));
+    EXPECT_FALSE(c.access(28));
+    EXPECT_TRUE(c.access(32));
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.accesses(), 4u);
+}
+
+TEST(ICache, DirectMappedConflict)
+{
+    ICache c(ICache::Config{1024, 32, 1});
+    c.access(0);
+    c.access(1024);  // same set, different tag: evicts
+    EXPECT_TRUE(c.access(0));
+    EXPECT_EQ(c.misses(), 3u);
+}
+
+TEST(ICache, AssociativityAvoidsConflict)
+{
+    ICache c(ICache::Config{1024, 32, 2});
+    c.access(0);
+    c.access(512);  // 2-way: both fit in set 0
+    EXPECT_FALSE(c.access(0));
+    EXPECT_FALSE(c.access(512));
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(ICache, LruReplacement)
+{
+    ICache c(ICache::Config{64, 32, 2});  // one set, two ways
+    c.access(0);
+    c.access(64);
+    c.access(0);      // touch 0: 64 becomes LRU
+    c.access(128);    // evicts 64
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(64));
+}
+
+TEST(ICache, MissRate)
+{
+    ICache c(ICache::Config{1024, 32, 1});
+    // Working set fits: only compulsory misses.
+    for (int pass = 0; pass < 10; ++pass)
+        for (uint32_t a = 0; a < 1024; a += 4)
+            c.access(a);
+    EXPECT_EQ(c.misses(), 32u);
+    EXPECT_NEAR(c.missRate(), 32.0 / (10 * 256), 1e-9);
+}
+
+TEST(ICache, BadGeometryRejected)
+{
+    EXPECT_THROW(ICache(ICache::Config{1000, 32, 1}), FatalError);
+    EXPECT_THROW(ICache(ICache::Config{1024, 0, 1}), FatalError);
+}
+
+} // namespace
+} // namespace eel::sim

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "src/exe/executable.hh"
+#include "src/isa/builder.hh"
+#include "src/sim/timing.hh"
+
+namespace eel::sim {
+namespace {
+
+namespace b = isa::build;
+using isa::Op;
+namespace rn = isa::reg;
+
+exe::Executable
+loopProgram(int iters, bool dependent)
+{
+    exe::Executable x;
+    auto push = [&](isa::Instruction in) {
+        x.text.push_back(isa::encode(in));
+    };
+    push(b::movi(rn::l0, iters));
+    // loop: 4 adds; subcc; bne loop; delay nop.
+    for (int i = 0; i < 4; ++i)
+        push(dependent ? b::rri(Op::Add, rn::o1, rn::o1, 1)
+                       : b::rri(Op::Add, rn::o1 + i, rn::g1, 1));
+    push(b::rri(Op::Subcc, rn::l0, rn::l0, 1));
+    push(b::bicc(isa::cond::ne, -5));
+    push(b::nop());
+    push(b::movi(rn::o0, 0));
+    push(b::ta(isa::trap::exit_prog));
+    push(b::retl());
+    push(b::nop());
+    x.entry = exe::textBase;
+    x.symbols.push_back(exe::Symbol{
+        "main", exe::textBase,
+        static_cast<uint32_t>(4 * x.text.size()), true});
+    return x;
+}
+
+TEST(TimingSim, DependentCodeIsSlower)
+{
+    const auto &m = machine::MachineModel::builtin("ultrasparc");
+    TimedRun dep = timedRun(loopProgram(500, true), m);
+    TimedRun ind = timedRun(loopProgram(500, false), m);
+    EXPECT_EQ(dep.result.instructions, ind.result.instructions);
+    EXPECT_GT(dep.cycles, ind.cycles);
+    EXPECT_GT(ind.ipc, 1.0);
+}
+
+TEST(TimingSim, WiderMachineNoSlower)
+{
+    exe::Executable x = loopProgram(500, false);
+    TimedRun u = timedRun(x, machine::MachineModel::builtin(
+                                 "ultrasparc"));
+    TimedRun h = timedRun(x, machine::MachineModel::builtin(
+                                 "hypersparc"));
+    EXPECT_LE(u.cycles, h.cycles);
+}
+
+TEST(TimingSim, SecondsUseClockRate)
+{
+    const auto &m = machine::MachineModel::builtin("supersparc");
+    TimedRun r = timedRun(loopProgram(100, false), m);
+    EXPECT_NEAR(r.seconds, double(r.cycles) / (50.0 * 1e6), 1e-12);
+}
+
+TEST(TimingSim, TakenBranchPenaltyCosts)
+{
+    const auto &m = machine::MachineModel::builtin("ultrasparc");
+    exe::Executable x = loopProgram(500, false);
+    TimingSim::Config with;
+    with.takenBranchPenalty = 3;
+    TimingSim::Config without;
+    without.takenBranchPenalty = 0;
+    EXPECT_GT(timedRun(x, m, with).cycles,
+              timedRun(x, m, without).cycles);
+}
+
+TEST(TimingSim, IssueHistogramAccountsEveryCycle)
+{
+    const auto &m = machine::MachineModel::builtin("ultrasparc");
+    TimedRun r = timedRun(loopProgram(200, false), m);
+    ASSERT_EQ(r.issueHistogram.size(), m.issueWidth() + 2);
+    uint64_t insts = 0, cycles = 0;
+    for (size_t k = 0; k < r.issueHistogram.size(); ++k) {
+        cycles += r.issueHistogram[k];
+        insts += k * r.issueHistogram[k];
+    }
+    // Every retired instruction appears in some issue bucket.
+    EXPECT_EQ(insts, r.result.instructions);
+    // Bucketed cycles can slightly undercount the drain but must be
+    // close to the total.
+    EXPECT_LE(cycles, r.cycles + 2);
+    EXPECT_GT(cycles, r.cycles / 2);
+}
+
+TEST(TimingSim, IpcBoundedByIssueWidth)
+{
+    const auto &m = machine::MachineModel::builtin("ultrasparc");
+    TimedRun r = timedRun(loopProgram(300, false), m);
+    EXPECT_LE(r.ipc, double(m.issueWidth()));
+    EXPECT_GT(r.ipc, 0.1);
+}
+
+} // namespace
+} // namespace eel::sim

@@ -1,0 +1,84 @@
+#include "src/support/bits.hh"
+
+#include <gtest/gtest.h>
+
+namespace eel {
+namespace {
+
+TEST(Bits, ExtractBasic)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeef, 3, 0), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xffffffff, 31, 0), 0xffffffffu);
+    EXPECT_EQ(bits(0x0, 31, 0), 0u);
+}
+
+TEST(Bits, ExtractSingleBit)
+{
+    EXPECT_EQ(bits(0x80000000u, 31, 31), 1u);
+    EXPECT_EQ(bits(0x80000000u, 30, 30), 0u);
+    EXPECT_EQ(bits(1u, 0, 0), 1u);
+}
+
+TEST(Bits, InsertBasic)
+{
+    EXPECT_EQ(insertBits(0, 31, 28, 0xd), 0xd0000000u);
+    EXPECT_EQ(insertBits(0xffffffff, 15, 8, 0), 0xffff00ffu);
+    EXPECT_EQ(insertBits(0, 31, 0, 0x12345678), 0x12345678u);
+}
+
+TEST(Bits, InsertMasksField)
+{
+    // Field wider than the slot is truncated, not smeared.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(Bits, InsertExtractRoundTrip)
+{
+    for (unsigned hi = 0; hi < 32; ++hi) {
+        for (unsigned lo = 0; lo <= hi; lo += 3) {
+            uint32_t field = 0x5a5a5a5au;
+            uint32_t word = insertBits(0xffffffffu, hi, lo, field);
+            uint32_t mask = (hi - lo >= 31)
+                                ? 0xffffffffu
+                                : ((1u << (hi - lo + 1)) - 1);
+            EXPECT_EQ(bits(word, hi, lo), field & mask)
+                << "hi=" << hi << " lo=" << lo;
+        }
+    }
+}
+
+TEST(Bits, SextPositive)
+{
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x0, 13), 0);
+    EXPECT_EQ(sext(0xfff, 13), 4095);
+}
+
+TEST(Bits, SextNegative)
+{
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x1fff, 13), -1);
+    EXPECT_EQ(sext(0x1000, 13), -4096);
+    EXPECT_EQ(sext(0x3fffff, 22), -1);
+}
+
+TEST(Bits, SextIgnoresHighGarbage)
+{
+    EXPECT_EQ(sext(0xffffff01, 8), 1);
+}
+
+TEST(Bits, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(0, 13));
+    EXPECT_TRUE(fitsSigned(4095, 13));
+    EXPECT_TRUE(fitsSigned(-4096, 13));
+    EXPECT_FALSE(fitsSigned(4096, 13));
+    EXPECT_FALSE(fitsSigned(-4097, 13));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+}
+
+} // namespace
+} // namespace eel

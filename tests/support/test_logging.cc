@@ -1,0 +1,51 @@
+#include "src/support/logging.hh"
+
+#include <gtest/gtest.h>
+
+namespace eel {
+namespace {
+
+TEST(Logging, StrfmtBasic)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+    EXPECT_EQ(strfmt("%08x", 0x1234u), "00001234");
+}
+
+TEST(Logging, StrfmtLongString)
+{
+    std::string big(10000, 'a');
+    EXPECT_EQ(strfmt("%s", big.c_str()).size(), big.size());
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error %d", 7), FatalError);
+    try {
+        fatal("user error %d", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "user error 7");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, FatalIsNotPanic)
+{
+    // The two error classes are distinct so callers can tell user
+    // errors from internal bugs.
+    EXPECT_THROW(
+        {
+            try {
+                fatal("x");
+            } catch (const PanicError &) {
+                FAIL() << "fatal() threw PanicError";
+            }
+        },
+        FatalError);
+}
+
+} // namespace
+} // namespace eel

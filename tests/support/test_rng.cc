@@ -1,0 +1,90 @@
+#include "src/support/rng.hh"
+
+#include <gtest/gtest.h>
+
+namespace eel {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(0, 1000000), b.uniform(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform(0, 1 << 30) == b.uniform(0, 1 << 30))
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.uniform(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(4.0, 0));
+    EXPECT_NEAR(sum / n, 4.0, 0.3);
+}
+
+TEST(Rng, GeometricRespectsMin)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.geometric(3.0, 2), 2);
+}
+
+TEST(Rng, GeometricDegenerateMean)
+{
+    Rng r(17);
+    EXPECT_EQ(r.geometric(1.0, 2), 2);
+}
+
+TEST(Rng, WeightedPickDistribution)
+{
+    Rng r(19);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {};
+    for (int i = 0; i < 10000; ++i)
+        counts[r.weightedPick(w)]++;
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_GT(counts[2], counts[0]);
+    EXPECT_NEAR(double(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(23);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(31);
+    Rng child = a.fork();
+    // The child stream should not replay the parent stream.
+    Rng b(31);
+    (void)b.fork();
+    EXPECT_EQ(child.uniform(0, 1 << 30), Rng(31).fork().uniform(0, 1 << 30));
+}
+
+} // namespace
+} // namespace eel

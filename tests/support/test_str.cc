@@ -1,0 +1,59 @@
+#include "src/support/str.hh"
+
+#include <gtest/gtest.h>
+
+namespace eel {
+namespace {
+
+TEST(Str, SplitBasic)
+{
+    auto v = split("a,b,c", ",");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "c");
+}
+
+TEST(Str, SplitDropsEmpty)
+{
+    auto v = split(",,a,,b,,", ",");
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "b");
+}
+
+TEST(Str, SplitMultipleSeparators)
+{
+    auto v = split("a b\tc", " \t");
+    ASSERT_EQ(v.size(), 3u);
+}
+
+TEST(Str, SplitEmptyInput)
+{
+    EXPECT_TRUE(split("", ",").empty());
+}
+
+TEST(Str, Trim)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("\t\na b\n"), "a b");
+}
+
+TEST(Str, StartsWith)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_TRUE(startsWith("hello", ""));
+    EXPECT_FALSE(startsWith("he", "hello"));
+    EXPECT_FALSE(startsWith("hello", "lo"));
+}
+
+TEST(Str, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+} // namespace
+} // namespace eel

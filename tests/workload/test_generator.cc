@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/eel/cfg.hh"
+#include "src/sim/emulator.hh"
+#include "src/sim/timing.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::workload {
+namespace {
+
+const machine::MachineModel &m()
+{
+    return machine::MachineModel::builtin("ultrasparc");
+}
+
+GenOptions
+opts(double scale = 0.02)
+{
+    GenOptions g;
+    g.scale = scale;
+    g.machine = &m();
+    return g;
+}
+
+TEST(Spec95, CoversAllEighteenBenchmarks)
+{
+    auto specs = spec95("ultrasparc");
+    ASSERT_EQ(specs.size(), 18u);
+    int fp = 0;
+    for (const BenchmarkSpec &s : specs)
+        fp += s.fp;
+    EXPECT_EQ(fp, 10);
+    EXPECT_EQ(specs[0].name, "099.go");
+    EXPECT_EQ(specs[17].name, "146.wave5");
+}
+
+TEST(Spec95, BlockSizesFollowThePaperPerMachine)
+{
+    auto ultra = spec95("ultrasparc");
+    auto super = spec95("supersparc");
+    // Table 1 vs Table 3 values.
+    EXPECT_DOUBLE_EQ(ultra[9].avgBlockSize, 49.0);   // 102.swim
+    EXPECT_DOUBLE_EQ(super[9].avgBlockSize, 66.1);
+    EXPECT_DOUBLE_EQ(ultra[4].avgBlockSize, 2.0);    // 130.li
+    EXPECT_DOUBLE_EQ(ultra[16].avgBlockSize, 33.9);  // 145.fpppp
+}
+
+TEST(Generator, Deterministic)
+{
+    BenchmarkSpec spec = spec95("ultrasparc")[0];
+    exe::Executable a = generate(spec, opts());
+    exe::Executable b = generate(spec, opts());
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.data, b.data);
+}
+
+TEST(Generator, ProgramsRunAndExitCleanly)
+{
+    for (size_t i : {0u, 4u, 9u, 16u}) {
+        BenchmarkSpec spec = spec95("ultrasparc")[i];
+        exe::Executable x = generate(spec, opts());
+        sim::Emulator emu(x);
+        sim::RunResult r = emu.run();
+        EXPECT_TRUE(r.exited) << spec.name;
+        EXPECT_EQ(r.exitCode, 0) << spec.name;
+        EXPECT_FALSE(r.output.empty()) << spec.name;
+    }
+}
+
+TEST(Generator, CfgBuildsCleanly)
+{
+    for (size_t i : {1u, 10u}) {
+        BenchmarkSpec spec = spec95("ultrasparc")[i];
+        exe::Executable x = generate(spec, opts());
+        auto rs = edit::buildRoutines(x);
+        EXPECT_EQ(rs.size(), 4u) << "default 3 kernels + main";
+        EXPECT_EQ(rs.back().name, "main");
+    }
+}
+
+TEST(Generator, ScaleControlsDynamicLength)
+{
+    BenchmarkSpec spec = spec95("ultrasparc")[3];
+    exe::Executable small = generate(spec, opts(0.02));
+    exe::Executable big = generate(spec, opts(0.08));
+    sim::Emulator es(small), eb(big);
+    uint64_t ns = es.run().instructions;
+    uint64_t nb = eb.run().instructions;
+    EXPECT_GT(nb, 2 * ns);
+    EXPECT_LT(nb, 8 * ns);
+}
+
+TEST(Generator, ReservedRegistersNeverTouched)
+{
+    // Instrumentation scratch (%g5-%g7) must stay free.
+    for (size_t i : {0u, 9u}) {
+        BenchmarkSpec spec = spec95("ultrasparc")[i];
+        exe::Executable x = generate(spec, opts());
+        auto reserved = [](isa::RegId r) {
+            return r.cls == isa::RegClass::Int && r.idx >= 5 &&
+                   r.idx <= 7;
+        };
+        for (uint32_t w : x.text) {
+            isa::Instruction in = isa::decode(w);
+            for (const auto &a : in.uses())
+                EXPECT_FALSE(reserved(a.reg))
+                    << isa::disassemble(in);
+            for (const auto &a : in.defs())
+                EXPECT_FALSE(reserved(a.reg))
+                    << isa::disassemble(in);
+        }
+    }
+}
+
+/** Dynamic average basic block size measured by tracing. */
+double
+measuredAvgBlockSize(const exe::Executable &x)
+{
+    auto rs = edit::buildRoutines(x);
+    struct Sink : sim::TraceSink
+    {
+        std::set<uint32_t> starts;
+        uint64_t blocks = 0;
+        uint64_t insts = 0;
+        void
+        retire(uint32_t pc, const isa::Instruction &) override
+        {
+            ++insts;
+            if (starts.count(pc))
+                ++blocks;
+        }
+    } sink;
+    for (const auto &r : rs)
+        for (const auto &blk : r.blocks)
+            sink.starts.insert(blk.startAddr);
+    sim::Emulator emu(x);
+    emu.run(&sink);
+    return double(sink.insts) / double(sink.blocks);
+}
+
+class BlockSizeFidelity
+    : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(BlockSizeFidelity, MatchesSpecWithinTolerance)
+{
+    BenchmarkSpec spec = spec95("ultrasparc")[GetParam()];
+    exe::Executable x = generate(spec, opts());
+    double measured = measuredAvgBlockSize(x);
+    // Within 35% relative or 1.0 absolute of the paper's value.
+    double tol = std::max(1.0, 0.35 * spec.avgBlockSize);
+    EXPECT_NEAR(measured, spec.avgBlockSize, tol)
+        << spec.name << " target " << spec.avgBlockSize;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, BlockSizeFidelity,
+    ::testing::Values(0, 3, 4, 5, 8, 9, 11, 12, 16),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        std::string n =
+            spec95("ultrasparc")[info.param].name;
+        for (char &c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+TEST(Generator, OracleScheduleIsNoSlower)
+{
+    BenchmarkSpec spec = spec95("ultrasparc")[9];  // swim, fp
+    GenOptions with = opts(0.02);
+    GenOptions without = opts(0.02);
+    without.oracleSchedule = false;
+    exe::Executable a = generate(spec, with);
+    exe::Executable b = generate(spec, without);
+    auto ra = sim::timedRun(a, m());
+    auto rb = sim::timedRun(b, m());
+    // Same computation either way.
+    EXPECT_EQ(ra.result.output, rb.result.output);
+    EXPECT_LE(ra.cycles, rb.cycles);
+}
+
+TEST(Generator, FpBenchmarksUseFpInstructions)
+{
+    exe::Executable fp = generate(spec95("ultrasparc")[9], opts());
+    exe::Executable iq = generate(spec95("ultrasparc")[0], opts());
+    auto countFp = [](const exe::Executable &x) {
+        int n = 0;
+        for (uint32_t w : x.text) {
+            isa::Instruction in = isa::decode(w);
+            if (in.info().format == isa::Format::F3Fp ||
+                in.info().isFpMem)
+                ++n;
+        }
+        return n;
+    };
+    EXPECT_GT(countFp(fp), 20);
+    EXPECT_EQ(countFp(iq), 0);
+}
+
+TEST(Generator, KernelCountControlsStaticFootprint)
+{
+    BenchmarkSpec spec = spec95("ultrasparc")[4];
+    exe::Executable small = generate(spec, opts());
+    spec.kernels = 12;
+    exe::Executable big = generate(spec, opts());
+    EXPECT_GT(big.text.size(), 2 * small.text.size());
+    // And it still runs to completion.
+    sim::Emulator e(big);
+    EXPECT_TRUE(e.run().exited);
+    // 12 kernels + main.
+    EXPECT_EQ(edit::buildRoutines(big).size(), 13u);
+}
+
+} // namespace
+} // namespace eel::workload
