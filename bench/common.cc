@@ -1,9 +1,9 @@
 #include "bench/common.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <set>
 
 #include "src/eel/editor.hh"
 #include "src/qpt/profiler.hh"
@@ -35,9 +35,12 @@ parseArgs(int argc, char **argv)
             opts.schedMachine = value();
         else if (a == "--only")
             opts.only = value();
+        else if (a == "--jobs")
+            opts.jobs = static_cast<unsigned>(std::stoul(value()));
         else if (a == "--help") {
             std::printf("options: --machine <name> --scale <x> "
-                        "--resched-first --only <benchmark>\n");
+                        "--resched-first --only <benchmark> "
+                        "--jobs <n>\n");
             std::exit(0);
         } else {
             fatal("unknown option '%s'", a.c_str());
@@ -53,22 +56,27 @@ double
 measureAvgBlock(const exe::Executable &x,
                 const std::vector<edit::Routine> &routines)
 {
-    struct Sink : sim::TraceSink
+    // A dense per-word leader bitmap beats the red-black tree this
+    // used to probe: the lookup runs once per retired instruction,
+    // and the concrete sink type lets the emulator's templated run
+    // loop inline it.
+    struct Sink final
     {
-        std::set<uint32_t> starts;
+        std::vector<uint8_t> leader;  ///< indexed by text word
         uint64_t blocks = 0, insts = 0;
         void
-        retire(uint32_t pc, const isa::Instruction &) override
+        retire(uint32_t pc, const isa::Instruction &)
         {
             ++insts;
-            blocks += starts.count(pc);
+            blocks += leader[(pc - exe::textBase) / 4];
         }
     } sink;
+    sink.leader.assign(x.text.size(), 0);
     for (const auto &r : routines)
         for (const auto &blk : r.blocks)
-            sink.starts.insert(blk.startAddr);
+            sink.leader[(blk.startAddr - exe::textBase) / 4] = 1;
     sim::Emulator emu(x);
-    emu.run(&sink);
+    emu.run(sink);
     return sink.blocks ? double(sink.insts) / double(sink.blocks)
                        : 0.0;
 }
@@ -76,7 +84,8 @@ measureAvgBlock(const exe::Executable &x,
 } // namespace
 
 Row
-runBenchmark(const TableOptions &opts, size_t index)
+runBenchmark(const TableOptions &opts, size_t index,
+             support::ThreadPool *pool)
 {
     const machine::MachineModel &m =
         machine::MachineModel::builtin(opts.machine);
@@ -96,6 +105,7 @@ runBenchmark(const TableOptions &opts, size_t index)
     sched_opts.schedule = true;
     sched_opts.model = &sched_model;
     sched_opts.sched = opts.sched;
+    sched_opts.pool = pool;
 
     // Table 2 protocol: reschedule first, measure against that.
     exe::Executable base = original;
@@ -147,32 +157,46 @@ runBenchmark(const TableOptions &opts, size_t index)
 std::vector<Row>
 runTable(const TableOptions &opts)
 {
-    std::vector<Row> rows;
     auto specs = workload::spec95(opts.machine);
-    for (size_t i = 0; i < specs.size(); ++i) {
-        if (!opts.only.empty() && specs[i].name != opts.only)
-            continue;
-        rows.push_back(runBenchmark(opts, i));
-        std::fprintf(stderr, "  %-14s done\n",
-                     rows.back().name.c_str());
-    }
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < specs.size(); ++i)
+        if (opts.only.empty() || specs[i].name == opts.only)
+            indices.push_back(i);
+
+    support::ThreadPool pool(opts.jobs);
+
+    // Benchmarks run concurrently; each result lands in its suite
+    // slot, so the gathered table is byte-identical to a serial run
+    // (progress lines on stderr arrive in completion order).
+    std::vector<Row> rows(indices.size());
+    pool.parallelFor(indices.size(), [&](size_t k) {
+        rows[k] = runBenchmark(opts, indices[k], &pool);
+        std::fprintf(stderr, "  %-14s done\n", rows[k].name.c_str());
+    });
     return rows;
 }
 
-void
-printTable(const std::string &title, const std::vector<Row> &rows)
+std::string
+formatTable(const std::string &title, const std::vector<Row> &rows)
 {
-    std::printf("\n%s\n", title.c_str());
-    std::printf("%-14s %8s %10s %10s %18s %18s %9s\n", "Benchmark",
-                "Avg.BB", "Uninst(s)", "(ratio)", "Inst(s) (ratio)",
-                "Sched(s) (ratio)", "%Hidden");
+    std::string out;
+    char buf[256];
+    auto emit = [&](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        out += buf;
+    };
+
+    emit("\n%s\n", title.c_str());
+    emit("%-14s %8s %10s %10s %18s %18s %9s\n", "Benchmark",
+         "Avg.BB", "Uninst(s)", "(ratio)", "Inst(s) (ratio)",
+         "Sched(s) (ratio)", "%Hidden");
 
     auto line = [&](const Row &r) {
-        std::printf("%-14s %8.1f %10.4f %10.2f %10.4f (%4.2f) "
-                    "%10.4f (%4.2f) %8.1f%%\n",
-                    r.name.c_str(), r.avgBlockSize, r.uninstSec,
-                    r.uninstRatioToOriginal, r.instSec, r.instRatio,
-                    r.schedSec, r.schedRatio, r.pctHidden);
+        emit("%-14s %8.1f %10.4f %10.2f %10.4f (%4.2f) "
+             "%10.4f (%4.2f) %8.1f%%\n",
+             r.name.c_str(), r.avgBlockSize, r.uninstSec,
+             r.uninstRatioToOriginal, r.instSec, r.instRatio,
+             r.schedSec, r.schedRatio, r.pctHidden);
     };
     auto averages = [&](bool fp, const char *label) {
         double ir = 0, sr = 0, hid = 0;
@@ -187,10 +211,9 @@ printTable(const std::string &title, const std::vector<Row> &rows)
         }
         if (!n)
             return;
-        std::printf("%-14s %8s %10s %10s %10s (%4.2f) %10s (%4.2f) "
-                    "%8.1f%%\n",
-                    label, "", "", "", "", ir / n, "", sr / n,
-                    hid / n);
+        emit("%-14s %8s %10s %10s %10s (%4.2f) %10s (%4.2f) "
+             "%8.1f%%\n",
+             label, "", "", "", "", ir / n, "", sr / n, hid / n);
     };
 
     for (const Row &r : rows)
@@ -201,6 +224,13 @@ printTable(const std::string &title, const std::vector<Row> &rows)
         if (r.fp)
             line(r);
     averages(true, "CFP95 Average");
+    return out;
+}
+
+void
+printTable(const std::string &title, const std::vector<Row> &rows)
+{
+    std::fputs(formatTable(title, rows).c_str(), stdout);
 }
 
 } // namespace eel::bench

@@ -13,6 +13,7 @@
 
 #include "src/machine/model.hh"
 #include "src/sched/scheduler.hh"
+#include "src/support/thread_pool.hh"
 
 namespace eel::bench {
 
@@ -52,18 +53,35 @@ struct TableOptions
     sched::SchedOptions sched;
     /** Restrict to one benchmark by name ("" = all). */
     std::string only;
+    /**
+     * Worker threads for the edit -> schedule -> simulate pipeline:
+     * runTable runs benchmarks concurrently and each rewrite
+     * schedules its routines on the same pool. 0 = hardware
+     * concurrency, 1 = serial. Results are gathered in suite order,
+     * so the printed table is identical for every jobs value.
+     */
+    unsigned jobs = 0;
 };
 
-/** Parse --machine/--scale/--resched-first/--only from argv. */
+/** Parse --machine/--scale/--resched-first/--only/--jobs from argv. */
 TableOptions parseArgs(int argc, char **argv);
 
-/** Run the full measurement for one benchmark spec index. */
-Row runBenchmark(const TableOptions &opts, size_t index);
+/**
+ * Run the full measurement for one benchmark spec index. A non-null
+ * pool parallelizes the rewrite's per-routine scheduling (it runs
+ * inline when already on a pool worker).
+ */
+Row runBenchmark(const TableOptions &opts, size_t index,
+                 support::ThreadPool *pool = nullptr);
 
 /** Run all benchmarks of the suite. */
 std::vector<Row> runTable(const TableOptions &opts);
 
-/** Print the table in the paper's layout, with CINT/CFP averages. */
+/** Render the table in the paper's layout, with CINT/CFP averages. */
+std::string formatTable(const std::string &title,
+                        const std::vector<Row> &rows);
+
+/** Print formatTable to stdout. */
 void printTable(const std::string &title,
                 const std::vector<Row> &rows);
 

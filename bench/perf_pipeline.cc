@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Perf harness for the reproduction pipeline itself. Times the three
+ * layers this repo's hot path is made of — block scheduling,
+ * functional emulation, timing simulation — plus the end-to-end
+ * Table-1 protocol at jobs=1 and jobs=N, and writes the numbers to a
+ * JSON file so successive PRs have a perf trajectory to compare
+ * against. Exits nonzero if the parallel table output diverges from
+ * the serial one.
+ *
+ * Usage: perf_pipeline [--machine m] [--scale x] [--jobs n]
+ *                      [--out file.json]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/common.hh"
+#include "src/eel/cfg.hh"
+#include "src/eel/editor.hh"
+#include "src/qpt/profiler.hh"
+#include "src/sim/timing.hh"
+#include "src/support/logging.hh"
+#include "src/support/thread_pool.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+using namespace eel;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+elapsed(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Best wall time of `reps` runs of fn (the usual timing protocol on
+ *  a shared host: the minimum is the least-perturbed sample). */
+template <class Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = Clock::now();
+        fn();
+        best = std::min(best, elapsed(t0));
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string machine = "ultrasparc";
+    double scale = 0.3;
+    unsigned jobs = 0;
+    std::string out_path = "BENCH_pipeline.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--machine")
+            machine = value();
+        else if (a == "--scale")
+            scale = std::stod(value());
+        else if (a == "--jobs")
+            jobs = static_cast<unsigned>(std::stoul(value()));
+        else if (a == "--out")
+            out_path = value();
+        else if (a == "--help") {
+            std::printf("options: --machine <name> --scale <x> "
+                        "--jobs <n> --out <file.json>\n");
+            return 0;
+        } else {
+            fatal("unknown option '%s'", a.c_str());
+        }
+    }
+    if (jobs == 0)
+        jobs = support::ThreadPool::hardwareConcurrency();
+
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin(machine);
+    auto specs = workload::spec95(machine);
+
+    // --- Schedule throughput: rewrite-with-scheduling over the
+    // profiling-instrumented first benchmark, counting basic blocks.
+    workload::GenOptions gopts;
+    gopts.scale = scale;
+    gopts.machine = &m;
+    exe::Executable x = workload::generate(specs[0], gopts);
+    auto routines = edit::buildRoutines(x);
+    qpt::ProfilePlan plan = qpt::makePlan(x, routines);
+    size_t blocks = 0;
+    for (const auto &r : routines)
+        blocks += r.blocks.size();
+
+    edit::EditOptions eopts;
+    eopts.schedule = true;
+    eopts.model = &m;
+    double sched_s = bestOf(3, [&] {
+        edit::rewrite(x, routines, plan.plan, eopts);
+    });
+    double sched_blocks_per_s = double(blocks) / sched_s;
+
+    // --- Simulation throughput over the same executable: the
+    // functional emulator alone, then with the timing model fed.
+    uint64_t insts = 0;
+    double emu_s = bestOf(3, [&] {
+        sim::Emulator emu(x);
+        insts = emu.run(nullptr).instructions;
+    });
+    double emu_minst_per_s = double(insts) / emu_s / 1e6;
+
+    double timing_s = bestOf(3, [&] {
+        sim::timedRun(x, m);
+    });
+    double timing_minst_per_s = double(insts) / timing_s / 1e6;
+
+    // --- End-to-end Table-1 protocol, serial vs parallel.
+    bench::TableOptions topts;
+    topts.machine = machine;
+    topts.scale = scale;
+
+    topts.jobs = 1;
+    auto t0 = Clock::now();
+    std::vector<bench::Row> serial_rows = bench::runTable(topts);
+    double e2e_serial_s = elapsed(t0);
+
+    topts.jobs = jobs;
+    t0 = Clock::now();
+    std::vector<bench::Row> parallel_rows = bench::runTable(topts);
+    double e2e_parallel_s = elapsed(t0);
+
+    std::string serial_tab = bench::formatTable("Table 1",
+                                                serial_rows);
+    std::string parallel_tab = bench::formatTable("Table 1",
+                                                  parallel_rows);
+    bool identical = serial_tab == parallel_tab;
+
+    double speedup = e2e_parallel_s > 0
+                         ? e2e_serial_s / e2e_parallel_s
+                         : 0.0;
+
+    std::printf("machine            %s (scale %g, jobs %u, %u cpus)\n",
+                machine.c_str(), scale, jobs,
+                support::ThreadPool::hardwareConcurrency());
+    std::printf("schedule           %.0f blocks/s (%zu blocks in "
+                "%.4fs)\n", sched_blocks_per_s, blocks, sched_s);
+    std::printf("emulate            %.1f Minst/s\n", emu_minst_per_s);
+    std::printf("timing-sim         %.1f Minst/s\n",
+                timing_minst_per_s);
+    std::printf("table1 jobs=1      %.3fs\n", e2e_serial_s);
+    std::printf("table1 jobs=%-6u %.3fs (%.2fx)\n", jobs,
+                e2e_parallel_s, speedup);
+    std::printf("parallel output    %s\n",
+                identical ? "identical" : "DIVERGED");
+
+    FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f)
+        fatal("cannot write %s", out_path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"machine\": \"%s\",\n", machine.c_str());
+    std::fprintf(f, "  \"scale\": %g,\n", scale);
+    std::fprintf(f, "  \"host_cpus\": %u,\n",
+                 support::ThreadPool::hardwareConcurrency());
+    std::fprintf(f, "  \"schedule_blocks_per_s\": %.0f,\n",
+                 sched_blocks_per_s);
+    std::fprintf(f, "  \"emulate_minst_per_s\": %.2f,\n",
+                 emu_minst_per_s);
+    std::fprintf(f, "  \"timing_sim_minst_per_s\": %.2f,\n",
+                 timing_minst_per_s);
+    std::fprintf(f, "  \"table1_jobs1_wall_s\": %.4f,\n",
+                 e2e_serial_s);
+    std::fprintf(f, "  \"table1_jobs\": %u,\n", jobs);
+    std::fprintf(f, "  \"table1_jobsN_wall_s\": %.4f,\n",
+                 e2e_parallel_s);
+    std::fprintf(f, "  \"table1_parallel_speedup\": %.3f,\n", speedup);
+    std::fprintf(f, "  \"parallel_output_identical\": %s\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: jobs=%u table output differs from "
+                     "jobs=1\n", jobs);
+        return 1;
+    }
+    return 0;
+}

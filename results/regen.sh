@@ -1,8 +1,12 @@
 #!/bin/sh
 # Regenerate every result file in this directory (run from the repo
-# root after building). Scales trade run time for stability; all
-# outputs are deterministic at a given scale.
+# root). Builds an optimized tree first so published numbers never
+# come from a debug build. Scales trade run time for stability; all
+# table/ablation outputs are deterministic at a given scale
+# (BENCH_pipeline.json records wall times, which vary with the host).
 set -e
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j
 B=build/bench
 $B/table1_ultrasparc --scale 1 > results/table1.txt
 $B/table2_ultrasparc_resched --scale 1 > results/table2.txt
@@ -16,3 +20,4 @@ $B/ablation_icache --scale 2 > results/ablation_icache.txt
 $B/ablation_sched_model --scale 0.5 > results/ablation_sched_model.txt
 $B/ablation_fastprof --scale 0.3 > results/ablation_fastprof.txt
 $B/ablation_width --scale 0.3 > results/ablation_width.txt
+$B/perf_pipeline --scale 0.3 --out BENCH_pipeline.json

@@ -5,6 +5,7 @@
 
 #include "src/isa/builder.hh"
 #include "src/support/logging.hh"
+#include "src/support/thread_pool.hh"
 
 namespace eel::edit {
 
@@ -37,29 +38,32 @@ rewrite(const exe::Executable &in,
     if (opts.schedule && !opts.model)
         fatal("editor: scheduling requested without a machine model");
 
-    // Pass 1: build each block's new instruction sequence and lay
-    // out the new text, recording old-address -> new-address for
-    // every block leader (branch targets always land on leaders).
+    // Pass 1: build each block's new instruction sequence — snippet
+    // insertion plus (optionally) scheduling. This is the expensive
+    // pass and touches no global layout state, so routines are
+    // independent: with opts.pool set they are built concurrently.
     // Fall-through edge snippets are laid out between blocks; taken
     // edge snippets become trampoline blocks appended after the
     // routine's last block (which never falls through).
     struct NewBlock
     {
-        uint32_t newAddr;
+        uint32_t newAddr = 0;          ///< assigned in the layout pass
         sched::InstSeq insts;
+        uint32_t leaderOldAddr = 0;    ///< old address, if a leader
+        bool isLeader = false;
+        int redirectToSlot = -1;       ///< trampoline slot, if any
         uint32_t redirectTakenTo = 0;  ///< trampoline addr, if any
     };
     std::vector<std::vector<NewBlock>> newBlocks(routines.size());
-    std::map<uint32_t, uint32_t> addrMap;  // old leader -> new addr
 
     std::unique_ptr<sched::ListScheduler> scheduler;
     if (opts.schedule)
         scheduler = std::make_unique<sched::ListScheduler>(
             *opts.model, opts.sched);
 
-    uint32_t cursor = exe::textBase;
-    for (size_t ri = 0; ri < routines.size(); ++ri) {
+    auto buildRoutine = [&](size_t ri) {
         const Routine &r = routines[ri];
+        std::vector<NewBlock> &blocks = newBlocks[ri];
         std::vector<int> blockSlot(r.blocks.size(), -1);
         for (const Block &b : r.blocks) {
             sched::InstSeq code;
@@ -69,11 +73,12 @@ rewrite(const exe::Executable &in,
             if (scheduler)
                 code = scheduler->scheduleBlock(code);
 
-            addrMap[b.startAddr] = cursor;
-            blockSlot[b.id] = static_cast<int>(newBlocks[ri].size());
-            newBlocks[ri].push_back(NewBlock{cursor, std::move(code)});
-            cursor += 4 * static_cast<uint32_t>(
-                newBlocks[ri].back().insts.size());
+            NewBlock nb;
+            nb.insts = std::move(code);
+            nb.leaderOldAddr = b.startAddr;
+            nb.isLeader = true;
+            blockSlot[b.id] = static_cast<int>(blocks.size());
+            blocks.push_back(std::move(nb));
 
             // Fall-through edge instrumentation sits between this
             // block and the next; branch targets skip over it.
@@ -83,10 +88,9 @@ rewrite(const exe::Executable &in,
                     fatal("editor: fall-edge snippet on block %u of "
                           "'%s', which has no fall-through", b.id,
                           r.name.c_str());
-                NewBlock pad{cursor,
-                             markInstrumentation(fe->second), 0};
-                cursor += 4 * static_cast<uint32_t>(pad.insts.size());
-                newBlocks[ri].push_back(std::move(pad));
+                NewBlock pad;
+                pad.insts = markInstrumentation(fe->second);
+                blocks.push_back(std::move(pad));
             }
         }
 
@@ -119,12 +123,36 @@ rewrite(const exe::Executable &in,
                 tramp.push_back(nop);
             }
 
-            newBlocks[ri][blockSlot[b.id]].redirectTakenTo = cursor;
-            newBlocks[ri].push_back(NewBlock{cursor,
-                                             std::move(tramp), 0});
-            cursor += 4 * static_cast<uint32_t>(
-                newBlocks[ri].back().insts.size());
+            blocks[blockSlot[b.id]].redirectToSlot =
+                static_cast<int>(blocks.size());
+            NewBlock tb;
+            tb.insts = std::move(tramp);
+            blocks.push_back(std::move(tb));
         }
+    };
+    if (opts.pool) {
+        opts.pool->parallelFor(routines.size(), buildRoutine);
+    } else {
+        for (size_t ri = 0; ri < routines.size(); ++ri)
+            buildRoutine(ri);
+    }
+
+    // Layout pass (serial): walk routines in original order assigning
+    // addresses, so the result is independent of how pass 1 was
+    // scheduled across threads.
+    std::map<uint32_t, uint32_t> addrMap;  // old leader -> new addr
+    uint32_t cursor = exe::textBase;
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        for (NewBlock &nb : newBlocks[ri]) {
+            nb.newAddr = cursor;
+            if (nb.isLeader)
+                addrMap[nb.leaderOldAddr] = cursor;
+            cursor += 4 * static_cast<uint32_t>(nb.insts.size());
+        }
+        for (NewBlock &nb : newBlocks[ri])
+            if (nb.redirectToSlot >= 0)
+                nb.redirectTakenTo =
+                    newBlocks[ri][nb.redirectToSlot].newAddr;
     }
     if (cursor > exe::textLimit)
         fatal("editor: edited text (%u bytes) exceeds the text region",

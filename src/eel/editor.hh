@@ -17,6 +17,10 @@
 #include "src/eel/cfg.hh"
 #include "src/sched/scheduler.hh"
 
+namespace eel::support {
+class ThreadPool;
+}
+
 namespace eel::edit {
 
 /**
@@ -80,6 +84,13 @@ struct EditOptions
     /** Machine model the scheduler targets (required if schedule). */
     const machine::MachineModel *model = nullptr;
     sched::SchedOptions sched;
+    /**
+     * When set, block contents are built (and scheduled) for all
+     * routines in parallel on this pool. Layout and emission stay
+     * serial, so the output is identical to the single-threaded
+     * rewrite.
+     */
+    support::ThreadPool *pool = nullptr;
 };
 
 /**

@@ -104,6 +104,26 @@ Variant::buildHolds(unsigned num_units)
     }
 }
 
+void
+Variant::buildFlat()
+{
+    auto flatten = [](const std::vector<std::vector<sadl::UnitEvent>>
+                          &table,
+                      std::vector<sadl::UnitEvent> &flat,
+                      std::vector<uint16_t> &off) {
+        flat.clear();
+        off.clear();
+        off.reserve(table.size() + 1);
+        for (const auto &events : table) {
+            off.push_back(static_cast<uint16_t>(flat.size()));
+            flat.insert(flat.end(), events.begin(), events.end());
+        }
+        off.push_back(static_cast<uint16_t>(flat.size()));
+    };
+    flatten(acquire, acquireFlat, acquireOff);
+    flatten(release, releaseFlat, releaseOff);
+}
+
 bool
 Variant::matches(const isa::Instruction &inst) const
 {
@@ -166,6 +186,7 @@ MachineModel::fromSadl(const std::string &source, std::string name,
         for (const sadl::RegAccess &a : t.writes)
             v.writes.push_back(convert(a));
         v.buildHolds(static_cast<unsigned>(m._unitCaps.size()));
+        v.buildFlat();
 
         m._maxLatency = std::max(m._maxLatency, v.latency);
         m.byOp[static_cast<unsigned>(*op)].push_back(std::move(v));

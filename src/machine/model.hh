@@ -68,11 +68,22 @@ struct Variant
     /// Constant-level unit occupancy segments (see UnitHold).
     std::vector<UnitHold> holds;
 
+    /// Flattened copies of acquire/release for the per-retire hot
+    /// loop: cycle c's events are evFlat[evOff[c] .. evOff[c+1]),
+    /// one contiguous array instead of a vector-of-vectors walk.
+    std::vector<sadl::UnitEvent> acquireFlat;
+    std::vector<uint16_t> acquireOff;  ///< size latency + 1
+    std::vector<sadl::UnitEvent> releaseFlat;
+    std::vector<uint16_t> releaseOff;  ///< size latency + 2
+
     /** True if every variant condition holds for inst. */
     bool matches(const isa::Instruction &inst) const;
 
     /** Derive holds from the acquire/release tables. */
     void buildHolds(unsigned num_units);
+
+    /** Derive the flattened event tables from acquire/release. */
+    void buildFlat();
 };
 
 /**

@@ -1,19 +1,66 @@
 #include "src/machine/pipeline.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/support/logging.hh"
 
 namespace eel::machine {
 
+ResolvedVariant
+ResolvedVariant::resolve(const Variant &v, const isa::Instruction &inst)
+{
+    ResolvedVariant rv;
+    rv.variant = &v;
+    auto pushRead = [&](isa::RegId r, uint8_t cycle) {
+        if (!r.tracked())
+            return;
+        if (rv.nReads >= maxAccesses)
+            panic("ResolvedVariant: too many reads");
+        rv.reads[rv.nReads++] =
+            Read{static_cast<uint16_t>(r.flat()), cycle};
+    };
+    auto pushWrite = [&](isa::RegId r, uint8_t cycle, uint8_t ready) {
+        if (!r.tracked())
+            return;
+        if (rv.nWrites >= maxAccesses)
+            panic("ResolvedVariant: too many writes");
+        rv.writes[rv.nWrites++] =
+            Write{static_cast<uint16_t>(r.flat()), cycle, ready};
+    };
+    for (const RegAccess &a : v.reads) {
+        pushRead(a.reg(inst), a.cycle);
+        if (a.pair)
+            pushRead(a.pairReg(inst), a.cycle);
+    }
+    for (const RegAccess &a : v.writes) {
+        pushWrite(a.reg(inst), a.cycle, a.valueReady);
+        if (a.pair)
+            pushWrite(a.pairReg(inst), a.cycle, a.valueReady);
+    }
+    return rv;
+}
+
+ResolvedVariant
+ResolvedVariant::resolve(const MachineModel &model,
+                         const isa::Instruction &inst)
+{
+    return resolve(model.variant(inst), inst);
+}
+
 PipelineState::PipelineState(const MachineModel &model)
     : _model(model), numUnits(model.numUnits())
 {
+    capInit.resize(numUnits);
+    for (unsigned u = 0; u < numUnits; ++u)
+        capInit[u] = static_cast<int16_t>(model.unitCapacity(u));
     slotStamp.assign(windowSize, ~uint64_t(0));
     slotFree.assign(windowSize * numUnits, 0);
     lastRead.assign(isa::numRegIds, 0);
     lastWrite.assign(isa::numRegIds, 0);
     writeAvail.assign(isa::numRegIds, 0);
+    scratchTrace.assign(numUnits, 0);
+    scratchAbsFor.assign(model.maxLatency() + 1, 0);
 }
 
 void
@@ -26,39 +73,89 @@ PipelineState::reset()
     frontierCycle = 0;
 }
 
-int
-PipelineState::freeUnits(uint64_t c, unsigned unit) const
+void
+PipelineState::initSlot(uint64_t c, unsigned slot) const
 {
-    unsigned slot = static_cast<unsigned>(c % windowSize);
-    if (slotStamp[slot] != c) {
-        slotStamp[slot] = c;
-        for (unsigned u = 0; u < numUnits; ++u)
-            slotFree[slot * numUnits + u] =
-                static_cast<int16_t>(_model.unitCapacity(u));
-    }
-    return slotFree[slot * numUnits + unit];
+    slotStamp[slot] = c;
+    std::memcpy(&slotFree[slot * numUnits], capInit.data(),
+                numUnits * sizeof(int16_t));
 }
 
-void
-PipelineState::takeUnits(uint64_t c, unsigned unit, int n)
+int16_t *
+PipelineState::rowFor(uint64_t c) const
 {
-    freeUnits(c, unit);  // ensure the slot is initialized
     unsigned slot = static_cast<unsigned>(c % windowSize);
-    slotFree[slot * numUnits + unit] =
-        static_cast<int16_t>(slotFree[slot * numUnits + unit] - n);
+    if (slotStamp[slot] != c)
+        initSlot(c, slot);
+    return &slotFree[slot * numUnits];
 }
 
 unsigned
-PipelineState::simulate(uint64_t entry_cycle,
-                        const isa::Instruction &inst, const Variant &v,
+PipelineState::simulate(uint64_t entry_cycle, const ResolvedVariant &rv,
                         std::vector<uint64_t> &abs_for) const
 {
-    abs_for.assign(v.latency + 1, 0);
+    const Variant &v = *rv.variant;
+
+    // Every used slot of abs_for is written below; the scratch the
+    // callers pass is pre-sized to maxLatency + 1 in the constructor,
+    // so this grow triggers only for foreign buffers.
+    if (abs_for.size() < v.latency + 1)
+        abs_for.resize(v.latency + 1);
+
+    // Fast path: most dynamic instructions advance unstalled, and
+    // that case has a closed-form precondition — every hazard check
+    // of the walk below, evaluated at abs = entry_cycle + cycle. The
+    // structural condition is phrased over the constant-level hold
+    // segments (free >= level across the segment), which is at least
+    // as strict as the walk's per-event check, so passing here
+    // guarantees the walk would advance every cycle. Failing just
+    // falls through to the exact walk.
+    {
+        bool clean = true;
+        for (unsigned i = 0; i < rv.nReads && clean; ++i) {
+            const ResolvedVariant::Read &a = rv.reads[i];
+            clean = entry_cycle + a.cycle >= writeAvail[a.reg];
+        }
+        for (unsigned i = 0; i < rv.nWrites && clean; ++i) {
+            const ResolvedVariant::Write &a = rv.writes[i];
+            clean = entry_cycle + a.cycle + 1 >= lastRead[a.reg] &&
+                    entry_cycle + a.cycle >= lastWrite[a.reg];
+        }
+        uint64_t row_cycle = ~uint64_t(0);
+        const int16_t *row = nullptr;
+        for (const UnitHold &h : v.holds) {
+            if (!clean)
+                break;
+            for (uint64_t c = entry_cycle + h.from;
+                 c < entry_cycle + h.to; ++c) {
+                if (c != row_cycle) {
+                    row = rowFor(c);
+                    row_cycle = c;
+                }
+                if (row[h.unit] < h.num) {
+                    clean = false;
+                    break;
+                }
+            }
+        }
+        if (clean) {
+            for (unsigned k = 0; k <= v.latency; ++k)
+                abs_for[k] = entry_cycle + k;
+            return 0;
+        }
+    }
 
     // trace[] — the appendix's record of resources this instruction
-    // itself holds while it walks down the pipeline.
-    scratchTrace.assign(numUnits, 0);
-    std::vector<int> &trace = scratchTrace;
+    // itself holds while it walks down the pipeline. All-zero on
+    // entry; the touched entries are re-zeroed before returning
+    // (the panic path below aborts the whole run, so it may leave
+    // them dirty).
+    int *const trace = scratchTrace.data();
+
+    const sadl::UnitEvent *const acq = v.acquireFlat.data();
+    const sadl::UnitEvent *const rel = v.releaseFlat.data();
+    const uint16_t *const acqOff = v.acquireOff.data();
+    const uint16_t *const relOff = v.releaseOff.data();
 
     unsigned stalls = 0;
     unsigned mi_cycle = 0;
@@ -69,51 +166,42 @@ PipelineState::simulate(uint64_t entry_cycle,
 
         // Structural hazards: every unit this pipeline cycle acquires
         // must have enough free copies beyond what we already hold.
-        for (const sadl::UnitEvent &e : v.acquire[mi_cycle]) {
-            if (freeUnits(abs, e.unit) - trace[e.unit] <
-                static_cast<int>(e.num)) {
-                advance = false;
-                break;
+        // The free-count row for abs is resolved once per cycle.
+        if (acqOff[mi_cycle] != acqOff[mi_cycle + 1]) {
+            const int16_t *row = rowFor(abs);
+            for (unsigned e = acqOff[mi_cycle];
+                 e < acqOff[mi_cycle + 1]; ++e) {
+                if (row[acq[e].unit] - trace[acq[e].unit] <
+                    static_cast<int>(acq[e].num)) {
+                    advance = false;
+                    break;
+                }
             }
         }
 
         // RAW hazards: a register read in this pipeline cycle must
         // not precede the producing value's availability.
         if (advance) {
-            for (const RegAccess &a : v.reads) {
-                if (a.cycle != mi_cycle)
-                    continue;
-                isa::RegId r = a.reg(inst);
-                if (r.tracked() && abs < writeAvail[r.flat()]) {
+            for (unsigned i = 0; i < rv.nReads; ++i) {
+                const ResolvedVariant::Read &a = rv.reads[i];
+                if (a.cycle == mi_cycle && abs < writeAvail[a.reg]) {
                     advance = false;
                     break;
-                }
-                if (a.pair) {
-                    isa::RegId p = a.pairReg(inst);
-                    if (p.tracked() && abs < writeAvail[p.flat()]) {
-                        advance = false;
-                        break;
-                    }
                 }
             }
         }
 
         // WAR and WAW hazards on this pipeline cycle's writes.
         if (advance) {
-            for (const RegAccess &a : v.writes) {
+            for (unsigned i = 0; i < rv.nWrites; ++i) {
+                const ResolvedVariant::Write &a = rv.writes[i];
                 if (a.cycle != mi_cycle)
                     continue;
-                auto conflicts = [&](isa::RegId r) {
-                    if (!r.tracked())
-                        return false;
-                    // lastRead/lastWrite hold "cycle + 1" (0 = never).
-                    // WAR: the write may share the final read's cycle.
-                    // WAW: writes to a register stay strictly ordered.
-                    return abs + 1 < lastRead[r.flat()] ||
-                           abs < lastWrite[r.flat()];
-                };
-                if (conflicts(a.reg(inst)) ||
-                    (a.pair && conflicts(a.pairReg(inst)))) {
+                // lastRead/lastWrite hold "cycle + 1" (0 = never).
+                // WAR: the write may share the final read's cycle.
+                // WAW: writes to a register stay strictly ordered.
+                if (abs + 1 < lastRead[a.reg] ||
+                    abs < lastWrite[a.reg]) {
                     advance = false;
                     break;
                 }
@@ -122,20 +210,29 @@ PipelineState::simulate(uint64_t entry_cycle,
 
         if (advance) {
             abs_for[mi_cycle] = abs;
-            for (const sadl::UnitEvent &e : v.acquire[mi_cycle])
-                trace[e.unit] += e.num;
+            for (unsigned e = acqOff[mi_cycle];
+                 e < acqOff[mi_cycle + 1]; ++e)
+                trace[acq[e].unit] += acq[e].num;
             ++mi_cycle;
-            for (const sadl::UnitEvent &e : v.release[mi_cycle])
-                trace[e.unit] -= e.num;
+            for (unsigned e = relOff[mi_cycle];
+                 e < relOff[mi_cycle + 1]; ++e)
+                trace[rel[e].unit] -= rel[e].num;
         } else {
             ++stalls;
         }
         ++abs;
         if (abs - entry_cycle > windowSize / 2)
-            panic("pipeline_stalls: runaway stall on '%s'",
-                  isa::disassemble(inst).c_str());
+            panic("pipeline_stalls: runaway stall (group %u)",
+                  v.group);
     }
     abs_for[v.latency] = abs;
+
+    // Restore the all-zero trace invariant: only units named in the
+    // event tables can have been touched.
+    for (unsigned e = 0; e < acqOff[v.latency]; ++e)
+        trace[acq[e].unit] = 0;
+    for (unsigned e = 0; e < relOff[v.latency + 1]; ++e)
+        trace[rel[e].unit] = 0;
     return stalls;
 }
 
@@ -149,56 +246,74 @@ unsigned
 PipelineState::stallsAt(uint64_t cycle,
                         const isa::Instruction &inst) const
 {
-    const Variant &v = _model.variant(inst);
-    return simulate(cycle, inst, v, scratchAbsFor);
+    return stallsAt(cycle, ResolvedVariant::resolve(_model, inst));
+}
+
+unsigned
+PipelineState::stalls(const ResolvedVariant &rv) const
+{
+    return simulate(frontierCycle, rv, scratchAbsFor);
+}
+
+unsigned
+PipelineState::stallsAt(uint64_t cycle, const ResolvedVariant &rv) const
+{
+    return simulate(cycle, rv, scratchAbsFor);
 }
 
 PipelineState::IssueResult
 PipelineState::issue(const isa::Instruction &inst)
 {
-    const Variant &v = _model.variant(inst);
-    unsigned s = simulate(frontierCycle, inst, v, scratchAbsFor);
-    commit(inst, v, scratchAbsFor);
-    return IssueResult{scratchAbsFor[0], scratchAbsFor[v.latency], s};
+    return issue(ResolvedVariant::resolve(_model, inst));
+}
+
+PipelineState::IssueResult
+PipelineState::issue(const ResolvedVariant &rv)
+{
+    unsigned s = simulate(frontierCycle, rv, scratchAbsFor);
+    commit(rv, scratchAbsFor);
+    return IssueResult{scratchAbsFor[0],
+                       scratchAbsFor[rv.variant->latency], s};
 }
 
 void
-PipelineState::commit(const isa::Instruction &inst, const Variant &v,
+PipelineState::commit(const ResolvedVariant &rv,
                       const std::vector<uint64_t> &abs_for)
 {
+    const Variant &v = *rv.variant;
+
     // Fold this instruction's unit usage into the per-cycle free
     // counts using the precomputed constant-level hold segments.
     // Releases at pipeline cycle k take effect at abs_for[k]
     // (releases apply before acquires within a cycle, §3.1).
+    // Consecutive holds usually start on the same cycle, so the
+    // free-count row is re-resolved only when the cycle changes.
+    uint64_t row_cycle = ~uint64_t(0);
+    int16_t *row = nullptr;
     for (const UnitHold &h : v.holds) {
         uint64_t from = abs_for[h.from];
         uint64_t to = abs_for[h.to];
-        for (uint64_t c = from; c < to; ++c)
-            takeUnits(c, h.unit, h.num);
+        for (uint64_t c = from; c < to; ++c) {
+            if (c != row_cycle) {
+                row = rowFor(c);
+                row_cycle = c;
+            }
+            row[h.unit] = static_cast<int16_t>(row[h.unit] - h.num);
+        }
     }
 
     // Register history.
-    auto touchRead = [&](isa::RegId r, uint64_t c) {
-        if (r.tracked())
-            lastRead[r.flat()] = std::max(lastRead[r.flat()], c + 1);
-    };
-    auto touchWrite = [&](isa::RegId r, uint64_t wb, uint64_t avail) {
-        if (!r.tracked())
-            return;
-        lastWrite[r.flat()] = std::max(lastWrite[r.flat()], wb + 1);
-        writeAvail[r.flat()] = std::max(writeAvail[r.flat()], avail);
-    };
-    for (const RegAccess &a : v.reads) {
-        touchRead(a.reg(inst), abs_for[a.cycle]);
-        if (a.pair)
-            touchRead(a.pairReg(inst), abs_for[a.cycle]);
+    for (unsigned i = 0; i < rv.nReads; ++i) {
+        const ResolvedVariant::Read &a = rv.reads[i];
+        uint64_t c = abs_for[a.cycle] + 1;
+        lastRead[a.reg] = std::max(lastRead[a.reg], c);
     }
-    for (const RegAccess &a : v.writes) {
-        uint64_t wb = abs_for[a.cycle];
-        uint64_t avail = abs_for[a.valueReady] + 1;
-        touchWrite(a.reg(inst), wb, avail);
-        if (a.pair)
-            touchWrite(a.pairReg(inst), wb, avail);
+    for (unsigned i = 0; i < rv.nWrites; ++i) {
+        const ResolvedVariant::Write &a = rv.writes[i];
+        uint64_t wb = abs_for[a.cycle] + 1;
+        uint64_t avail = abs_for[a.ready] + 1;
+        lastWrite[a.reg] = std::max(lastWrite[a.reg], wb);
+        writeAvail[a.reg] = std::max(writeAvail[a.reg], avail);
     }
 
     // In-order issue: the next instruction cannot enter earlier than

@@ -24,6 +24,44 @@
 namespace eel::machine {
 
 /**
+ * A timing variant with its register accesses resolved against one
+ * concrete instruction: flat register ids (pair accesses expanded),
+ * fixed-capacity arrays, no per-use field decoding. Resolving once
+ * per *static* instruction and issuing by plan is the timing
+ * simulator's fast path — the per-retire variant match plus three
+ * RegAccess::reg resolutions were the hottest lookups in the
+ * pipeline (one pipeline_stalls evaluation per dynamic instruction).
+ */
+struct ResolvedVariant
+{
+    struct Read
+    {
+        uint16_t reg;    ///< RegId::flat()
+        uint8_t cycle;
+    };
+    struct Write
+    {
+        uint16_t reg;
+        uint8_t cycle;   ///< writeback pipeline cycle
+        uint8_t ready;   ///< cycle the value was computed in
+    };
+    static constexpr unsigned maxAccesses = 12;
+
+    const Variant *variant = nullptr;  ///< null = unresolved slot
+    uint8_t nReads = 0;
+    uint8_t nWrites = 0;
+    Read reads[maxAccesses];
+    Write writes[maxAccesses];
+
+    /** Resolve v's register accesses against inst. */
+    static ResolvedVariant resolve(const Variant &v,
+                                   const isa::Instruction &inst);
+    /** Resolve model.variant(inst) against inst. */
+    static ResolvedVariant resolve(const MachineModel &model,
+                                   const isa::Instruction &inst);
+};
+
+/**
  * Not thread-safe: stalls() is logically const but reuses internal
  * scratch buffers; use one PipelineState per thread.
  */
@@ -47,6 +85,16 @@ class PipelineState
     unsigned stallsAt(uint64_t cycle,
                       const isa::Instruction &inst) const;
 
+    /**
+     * As stalls()/stallsAt(), with the instruction pre-resolved by
+     * the caller. Hot paths (the timing simulator, the scheduler's
+     * candidate scan) resolve each static instruction once and issue
+     * by plan, skipping the per-call variant match and register
+     * field decoding.
+     */
+    unsigned stalls(const ResolvedVariant &rv) const;
+    unsigned stallsAt(uint64_t cycle, const ResolvedVariant &rv) const;
+
     struct IssueResult
     {
         uint64_t startCycle;  ///< cycle the instruction entered
@@ -56,6 +104,9 @@ class PipelineState
 
     /** Issue inst in order: compute stalls, commit its effects. */
     IssueResult issue(const isa::Instruction &inst);
+
+    /** As issue(), with the instruction pre-resolved by the caller. */
+    IssueResult issue(const ResolvedVariant &rv);
 
     /**
      * Model a fetch bubble (e.g. a taken-branch redirect): the next
@@ -74,24 +125,24 @@ class PipelineState
     struct Trace;
 
     /**
-     * Core of Appendix A: walk inst through its pipeline cycles from
-     * entry_cycle, counting stalls. abs_for[k] receives the absolute
-     * cycle at which pipeline cycle k executed (size latency + 1).
+     * Core of Appendix A: walk the resolved instruction through its
+     * pipeline cycles from entry_cycle, counting stalls. abs_for[k]
+     * receives the absolute cycle at which pipeline cycle k executed
+     * (size latency + 1).
      */
-    unsigned simulate(uint64_t entry_cycle,
-                      const isa::Instruction &inst,
-                      const Variant &v,
+    unsigned simulate(uint64_t entry_cycle, const ResolvedVariant &rv,
                       std::vector<uint64_t> &abs_for) const;
 
-    void commit(const isa::Instruction &inst, const Variant &v,
+    void commit(const ResolvedVariant &rv,
                 const std::vector<uint64_t> &abs_for);
 
-    /** Free copies of unit at absolute cycle c (lazy slot reinit). */
-    int freeUnits(uint64_t c, unsigned unit) const;
-    void takeUnits(uint64_t c, unsigned unit, int n);
+    /** Free-count row for absolute cycle c (lazy slot reinit). */
+    int16_t *rowFor(uint64_t c) const;
+    void initSlot(uint64_t c, unsigned slot) const;
 
     const MachineModel &_model;
     unsigned numUnits;
+    std::vector<int16_t> capInit;  ///< unit capacities, slot reinit
 
     // Ring buffer of per-cycle free unit counts. Slots are stamped
     // with the absolute cycle they represent and re-initialized to
@@ -108,6 +159,9 @@ class PipelineState
 
     // Scratch buffers reused across simulate() calls (performance:
     // one pipeline_stalls evaluation per dynamic instruction).
+    // scratchTrace is zeroed once in the constructor; simulate()
+    // restores the entries it touched before returning. scratchAbsFor
+    // is sized once to maxLatency + 1.
     mutable std::vector<int> scratchTrace;
     mutable std::vector<uint64_t> scratchAbsFor;
 

@@ -45,6 +45,20 @@ legalInDelaySlot(const isa::Instruction &inst, const isa::Instruction &cti)
 std::vector<uint32_t>
 ListScheduler::scheduleRegion(std::span<const InstRef> region) const
 {
+    if (opts.priority == SchedOptions::Priority::OriginalOrder) {
+        std::vector<uint32_t> order(region.size());
+        for (uint32_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        return order;
+    }
+    DepGraph graph(region, model, opts.alias);
+    return scheduleRegion(region, graph);
+}
+
+std::vector<uint32_t>
+ListScheduler::scheduleRegion(std::span<const InstRef> region,
+                              const DepGraph &graph) const
+{
     const size_t n = region.size();
     std::vector<uint32_t> order;
     order.reserve(n);
@@ -54,16 +68,48 @@ ListScheduler::scheduleRegion(std::span<const InstRef> region) const
         return order;
     }
 
-    DepGraph graph(region, model, opts.alias);
     std::vector<int> dist = graph.distanceToEnd();
 
-    // Optional jittered tie-breaking (see SchedOptions).
-    std::vector<uint64_t> jitter;
+    // Per-node tie key: one 64-bit compare replaces the cascaded
+    // distance/original-order comparisons of the candidate loop.
+    // Smaller key wins. With jittered tie-breaking the key is the
+    // seeded random draw instead (see SchedOptions).
+    std::vector<uint64_t> key(n);
     if (opts.tieJitterSeed) {
         std::mt19937_64 rng(opts.tieJitterSeed);
-        jitter.resize(n);
-        for (uint64_t &j : jitter)
-            j = rng();
+        for (uint64_t &k : key)
+            k = rng();
+    } else {
+        for (uint32_t i = 0; i < n; ++i) {
+            switch (opts.priority) {
+              case SchedOptions::Priority::Full:
+              case SchedOptions::Priority::DistanceOnly:
+                // Greater distance first, then original order.
+                key[i] = (uint64_t(uint32_t(INT32_MAX - dist[i]))
+                          << 32) |
+                         i;
+                break;
+              default:
+                key[i] = i;
+                break;
+            }
+        }
+    }
+
+    // DistanceOnly ignores the stall count entirely, so skip the
+    // pipeline simulation; the pick is a pure key comparison.
+    const bool useStalls =
+        opts.priority != SchedOptions::Priority::DistanceOnly;
+
+    // Resolve each instruction's timing once up front; the candidate
+    // scan below evaluates pipeline_stalls for every ready
+    // instruction per pick (O(block^2) evaluations per block).
+    std::vector<machine::ResolvedVariant> rvs;
+    if (useStalls) {
+        rvs.reserve(n);
+        for (const InstRef &r : region)
+            rvs.push_back(
+                machine::ResolvedVariant::resolve(model, r.inst));
     }
 
     std::vector<unsigned> preds(n);
@@ -81,62 +127,34 @@ ListScheduler::scheduleRegion(std::span<const InstRef> region) const
         if (ready.empty())
             panic("scheduler: dependence graph has a cycle");
 
+        // The pick is a strict total order (keys embed the node
+        // index), so it does not depend on the ready list's order
+        // and swap-pop removal below stays deterministic.
+        size_t best_pos = 0;
         uint32_t best = ready[0];
-        unsigned best_stalls = 0;
-        bool first = true;
-        for (uint32_t cand : ready) {
-            unsigned s = state.stalls(region[cand].inst);
-            if (first) {
-                best = cand;
-                best_stalls = s;
-                first = false;
-                continue;
-            }
-            bool better = false;
-            if (!jitter.empty()) {
-                better = s != best_stalls ? s < best_stalls
-                                          : jitter[cand] < jitter[best];
-                if (better) {
+        unsigned best_stalls = useStalls ? state.stalls(rvs[best]) : 0;
+        for (size_t p = 1; p < ready.size(); ++p) {
+            uint32_t cand = ready[p];
+            if (useStalls) {
+                unsigned s = state.stalls(rvs[cand]);
+                if (s < best_stalls ||
+                    (s == best_stalls && key[cand] < key[best])) {
                     best = cand;
                     best_stalls = s;
+                    best_pos = p;
                 }
-                continue;
-            }
-            switch (opts.priority) {
-              case SchedOptions::Priority::Full:
-                if (s != best_stalls)
-                    better = s < best_stalls;
-                else if (dist[cand] != dist[best])
-                    better = dist[cand] > dist[best];
-                else
-                    better = cand < best;
-                break;
-              case SchedOptions::Priority::StallsOnly:
-                if (s != best_stalls)
-                    better = s < best_stalls;
-                else
-                    better = cand < best;
-                break;
-              case SchedOptions::Priority::DistanceOnly:
-                if (dist[cand] != dist[best])
-                    better = dist[cand] > dist[best];
-                else
-                    better = cand < best;
-                break;
-              case SchedOptions::Priority::OriginalOrder:
-                better = cand < best;
-                break;
-            }
-            if (better) {
+            } else if (key[cand] < key[best]) {
                 best = cand;
-                best_stalls = s;
+                best_pos = p;
             }
         }
 
-        state.issue(region[best].inst);
+        if (useStalls)
+            state.issue(rvs[best]);
         done[best] = true;
         order.push_back(best);
-        ready.erase(std::find(ready.begin(), ready.end(), best));
+        ready[best_pos] = ready.back();
+        ready.pop_back();
         for (uint32_t e : graph.succs(best)) {
             uint32_t j = graph.edges()[e].to;
             if (!done[j] && --preds[j] == 0)
@@ -188,7 +206,10 @@ ListScheduler::scheduleBlock(const InstSeq &block) const
         region = block;
     }
 
-    std::vector<uint32_t> order = scheduleRegion(region);
+    // One dependence graph serves both the region scheduling and the
+    // delay-slot legality scan below.
+    DepGraph graph(region, model, opts.alias);
+    std::vector<uint32_t> order = scheduleRegion(region, graph);
 
     InstSeq sched;
     sched.reserve(block.size() + 1);
@@ -207,7 +228,6 @@ ListScheduler::scheduleBlock(const InstSeq &block) const
     // Pick the delay-slot filler: the latest scheduled instruction
     // with no dependence on anything scheduled after it and none on
     // the CTI itself.
-    DepGraph graph(region, model, opts.alias);
     int filler = -1;
     if (opts.fillDelaySlot) {
         for (size_t pos = sched.size(); pos-- > 0;) {

@@ -76,6 +76,15 @@ class ListScheduler
     std::vector<uint32_t>
     scheduleRegion(std::span<const InstRef> region) const;
 
+    /**
+     * As above, with a dependence graph the caller already built for
+     * this region. scheduleBlock uses this to construct the graph
+     * once and share it with delay-slot filling.
+     */
+    std::vector<uint32_t>
+    scheduleRegion(std::span<const InstRef> region,
+                   const DepGraph &graph) const;
+
     const SchedOptions &options() const { return opts; }
 
   private:

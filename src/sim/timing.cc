@@ -66,39 +66,6 @@ TimingSim::TimingSim(const machine::MachineModel &model, Config cfg)
         _icache = std::make_unique<ICache>(cfg.icache);
 }
 
-void
-TimingSim::retire(uint32_t pc, const isa::Instruction &inst)
-{
-    // A control-flow discontinuity redirects fetch.
-    if (havePrev && pc != prevPc + 4 && cfg.takenBranchPenalty)
-        state.fetchBubble(cfg.takenBranchPenalty);
-    prevPc = pc;
-    havePrev = true;
-
-    if (_icache && _icache->access(pc) && cfg.icacheMissPenalty)
-        state.fetchBubble(cfg.icacheMissPenalty);
-
-    machine::PipelineState::IssueResult r = state.issue(inst);
-    ++_insts;
-    _cycles = std::max(_cycles, r.doneCycle);
-
-    // Issue-width histogram over entry cycles (monotone).
-    if (!haveCur) {
-        haveCur = true;
-        curStart = r.startCycle;
-        curCount = 1;
-    } else if (r.startCycle == curStart) {
-        ++curCount;
-    } else {
-        unsigned bucket = std::min<unsigned>(curCount,
-                                             model.issueWidth() + 1);
-        hist[bucket] += 1;
-        hist[0] += r.startCycle - curStart - 1;
-        curStart = r.startCycle;
-        curCount = 1;
-    }
-}
-
 std::vector<uint64_t>
 TimingSim::issueHistogram() const
 {
@@ -118,7 +85,9 @@ timedRun(const exe::Executable &x, const machine::MachineModel &model,
     Emulator emu(x, emu_cfg);
     TimingSim timing(model, cfg);
     TimedRun out;
-    out.result = emu.run(&timing);
+    // Templated run: TimingSim is final, so retire() dispatches
+    // directly and inlines into the interpreter loop.
+    out.result = emu.run(timing);
     out.cycles = timing.cycles();
     out.seconds = timing.seconds();
     out.ipc = timing.ipc();

@@ -13,6 +13,7 @@
 #ifndef EEL_SIM_TIMING_HH
 #define EEL_SIM_TIMING_HH
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -58,8 +59,13 @@ class ICache
 /**
  * TraceSink that issues every retired instruction into a
  * PipelineState and accumulates machine cycles.
+ *
+ * `final` so Emulator::run<TimingSim> statically binds retire(). A
+ * TimingSim instance caches the machine-model timing variant per
+ * text address, so it must observe a single executable image for
+ * its whole lifetime (timedRun constructs one per run).
  */
-class TimingSim : public TraceSink
+class TimingSim final : public TraceSink
 {
   public:
     struct Config
@@ -78,7 +84,46 @@ class TimingSim : public TraceSink
     explicit TimingSim(const machine::MachineModel &model);
     TimingSim(const machine::MachineModel &model, Config cfg);
 
-    void retire(uint32_t pc, const isa::Instruction &inst) override;
+    /** Defined inline: this is the hot per-retire path and inlines
+     *  into the emulator's templated run loop. */
+    void
+    retire(uint32_t pc, const isa::Instruction &inst) override
+    {
+        // A control-flow discontinuity redirects fetch.
+        if (havePrev && pc != prevPc + 4 && cfg.takenBranchPenalty)
+            state.fetchBubble(cfg.takenBranchPenalty);
+        prevPc = pc;
+        havePrev = true;
+
+        if (_icache && _icache->access(pc) && cfg.icacheMissPenalty)
+            state.fetchBubble(cfg.icacheMissPenalty);
+
+        uint32_t word = (pc - exe::textBase) / 4;
+        if (word >= planByWord.size())
+            planByWord.resize(word + 1);
+        machine::ResolvedVariant &rv = planByWord[word];
+        if (!rv.variant)
+            rv = machine::ResolvedVariant::resolve(model, inst);
+        machine::PipelineState::IssueResult r = state.issue(rv);
+        ++_insts;
+        _cycles = std::max(_cycles, r.doneCycle);
+
+        // Issue-width histogram over entry cycles (monotone).
+        if (!haveCur) {
+            haveCur = true;
+            curStart = r.startCycle;
+            curCount = 1;
+        } else if (r.startCycle == curStart) {
+            ++curCount;
+        } else {
+            unsigned bucket = std::min<unsigned>(
+                curCount, model.issueWidth() + 1);
+            hist[bucket] += 1;
+            hist[0] += r.startCycle - curStart - 1;
+            curStart = r.startCycle;
+            curCount = 1;
+        }
+    }
 
     /** Total cycles consumed so far. */
     uint64_t cycles() const { return _cycles; }
@@ -109,6 +154,15 @@ class TimingSim : public TraceSink
     Config cfg;
     machine::PipelineState state;
     std::unique_ptr<ICache> _icache;
+
+    /**
+     * Resolved timing plan per text word ((pc - textBase) / 4),
+     * built lazily on first retire of each static instruction.
+     * Retiring ~1.5M dynamic instructions per benchmark, the
+     * per-retire variant match and register-field decoding were the
+     * hottest lookups in the pipeline; see ResolvedVariant.
+     */
+    std::vector<machine::ResolvedVariant> planByWord;
 
     uint64_t _cycles = 0;
     uint64_t _insts = 0;

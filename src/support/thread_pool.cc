@@ -1,0 +1,150 @@
+#include "src/support/thread_pool.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace eel::support {
+
+namespace {
+
+/** The pool (if any) whose worker is running the current thread. */
+thread_local const ThreadPool *currentPool = nullptr;
+
+} // namespace
+
+/**
+ * One parallelFor invocation. Heap-allocated and held by shared_ptr
+ * so a worker that wakes late — after the batch drained and a new
+ * one was published — still sees its own counters (it then finds
+ * every item claimed and exits without touching the stale functor).
+ */
+struct ThreadPool::Batch
+{
+    const std::function<void(size_t)> *fn;
+    size_t n;
+    std::atomic<size_t> nextItem{0};
+    std::atomic<size_t> finishedItems{0};
+    std::exception_ptr firstError;
+    std::mutex errorMu;
+};
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : nThreads(threads ? threads : hardwareConcurrency())
+{
+    workers.reserve(nThreads - 1);
+    for (unsigned i = 1; i < nThreads; ++i)
+        workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::workerMain()
+{
+    currentPool = this;
+    uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            wake.wait(lock, [&] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            batch = current;
+        }
+        if (batch)
+            runBatch(*batch);
+    }
+}
+
+void
+ThreadPool::runBatch(Batch &batch)
+{
+    for (;;) {
+        size_t i =
+            batch.nextItem.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.n)
+            break;
+        try {
+            (*batch.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(batch.errorMu);
+            if (!batch.firstError)
+                batch.firstError = std::current_exception();
+        }
+        // Count items as they finish so the caller can tell a fully
+        // drained batch from one still in flight.
+        if (batch.finishedItems.fetch_add(
+                1, std::memory_order_acq_rel) + 1 == batch.n) {
+            std::lock_guard<std::mutex> lock(mu);
+            done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    // Inline paths: a pool of one, a single item, or a nested call
+    // from one of our own workers (whose siblings may all be busy in
+    // the enclosing batch — waiting on them could deadlock).
+    if (nThreads == 1 || n == 1 || currentPool == this) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(submitMu);
+    auto batch = std::make_shared<Batch>();
+    batch->fn = &fn;
+    batch->n = n;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        current = batch;
+        ++generation;
+    }
+    wake.notify_all();
+
+    // The caller is a pool thread too; mark it so a nested
+    // parallelFor from one of its items runs inline instead of
+    // re-locking submitMu on this same thread.
+    const ThreadPool *prev = currentPool;
+    currentPool = this;
+    runBatch(*batch);
+    currentPool = prev;
+
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        done.wait(lock, [&] {
+            return batch->finishedItems.load(
+                       std::memory_order_acquire) == n;
+        });
+        current.reset();
+    }
+    if (batch->firstError)
+        std::rethrow_exception(batch->firstError);
+}
+
+} // namespace eel::support

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fixed-size worker pool with a single primitive: parallelFor(n, fn).
+ *
+ * Built for the reproduction pipeline's two fan-out points — the
+ * editor scheduling independent routines and the table driver running
+ * independent benchmarks — where work items are coarse and results
+ * are gathered by index, so determinism is preserved no matter how
+ * items interleave. The caller participates in the batch, so a pool
+ * of size N uses exactly N threads of execution.
+ *
+ * parallelFor is reentrant: a call made from inside a pool worker
+ * (e.g. the editor called from a table-driver task) runs its items
+ * inline on that worker instead of deadlocking on the shared queue.
+ */
+
+#ifndef EEL_SUPPORT_THREAD_POOL_HH
+#define EEL_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eel::support {
+
+class ThreadPool
+{
+  public:
+    /**
+     * A pool of `threads` threads of execution (0 = one per hardware
+     * thread). The constructing thread counts as one: size() == N
+     * spawns N - 1 workers, and size() == 1 spawns none and runs
+     * every batch inline.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total threads of execution, caller included (>= 1). */
+    unsigned size() const { return nThreads; }
+
+    /**
+     * Run fn(i) for every i in [0, n), distributing items across the
+     * pool, and block until all have finished. Items are claimed
+     * dynamically, so per-item cost may vary freely. If any item
+     * throws, the first exception (in completion order) is rethrown
+     * here after the batch drains; the pool remains usable.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /** std::thread::hardware_concurrency, floored at 1. */
+    static unsigned hardwareConcurrency();
+
+  private:
+    struct Batch;
+
+    void workerMain();
+    void runBatch(Batch &batch);
+
+    unsigned nThreads;
+    std::vector<std::thread> workers;
+
+    std::mutex mu;
+    std::condition_variable wake;  ///< workers: a new batch is up
+    std::condition_variable done;  ///< caller: the batch drained
+    bool stopping = false;
+    uint64_t generation = 0;
+    std::shared_ptr<Batch> current;  ///< guarded by mu
+
+    /** Serializes concurrent top-level parallelFor calls. */
+    std::mutex submitMu;
+};
+
+} // namespace eel::support
+
+#endif // EEL_SUPPORT_THREAD_POOL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The parallel pipeline must be a pure speedup: scheduling routines
+ * on a pool and running the table benchmarks concurrently has to
+ * produce bit-identical executables and byte-identical tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/common.hh"
+#include "src/eel/cfg.hh"
+#include "src/eel/editor.hh"
+#include "src/machine/model.hh"
+#include "src/qpt/profiler.hh"
+#include "src/support/thread_pool.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace {
+
+using namespace eel;
+
+TEST(ParallelDeterminism, RewriteIdenticalWithPool)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    auto specs = workload::spec95("ultrasparc");
+    workload::GenOptions gopts;
+    gopts.scale = 0.05;
+    gopts.machine = &m;
+    exe::Executable x = workload::generate(specs[0], gopts);
+    auto routines = edit::buildRoutines(x);
+    qpt::ProfilePlan plan = qpt::makePlan(x, routines);
+
+    edit::EditOptions opts;
+    opts.schedule = true;
+    opts.model = &m;
+    exe::Executable serial = edit::rewrite(x, routines, plan.plan,
+                                           opts);
+
+    support::ThreadPool pool(8);
+    opts.pool = &pool;
+    exe::Executable parallel = edit::rewrite(x, routines, plan.plan,
+                                             opts);
+
+    ASSERT_EQ(serial.text.size(), parallel.text.size());
+    EXPECT_EQ(serial.text, parallel.text);
+    EXPECT_EQ(serial.entry, parallel.entry);
+}
+
+TEST(ParallelDeterminism, TableIdenticalAcrossJobs)
+{
+    bench::TableOptions opts;
+    opts.machine = "ultrasparc";
+    opts.scale = 0.03;
+
+    opts.jobs = 1;
+    std::vector<bench::Row> serial = bench::runTable(opts);
+    opts.jobs = 8;
+    std::vector<bench::Row> parallel = bench::runTable(opts);
+
+    std::string a = bench::formatTable("Table 1", serial);
+    std::string b = bench::formatTable("Table 1", parallel);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+#include "src/support/thread_pool.hh"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using eel::support::ThreadPool;
+
+TEST(ThreadPool, StartupShutdown)
+{
+    // Construction and destruction must not hang or leak threads,
+    // including pools that never run a batch.
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(n);
+        EXPECT_EQ(pool.size(), n);
+    }
+    ThreadPool defaulted;
+    EXPECT_GE(defaulted.size(), 1u);
+    EXPECT_EQ(defaulted.size(), ThreadPool::hardwareConcurrency());
+}
+
+TEST(ThreadPool, ParallelForItemCounts)
+{
+    ThreadPool pool(4);
+    for (size_t n : {size_t(0), size_t(1), size_t(3), size_t(100)}) {
+        std::vector<std::atomic<int>> hits(n ? n : 1);
+        for (auto &h : hits)
+            h = 0;
+        pool.parallelFor(n, [&](size_t i) { ++hits[i]; });
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i], 1) << "item " << i << " of " << n;
+    }
+}
+
+TEST(ThreadPool, PoolOfOneRunsInline)
+{
+    ThreadPool pool(1);
+    std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(8);
+    pool.parallelFor(8, [&](size_t i) {
+        ran[i] = std::this_thread::get_id();
+    });
+    for (const auto &id : ran)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, SumAcrossThreads)
+{
+    ThreadPool pool(4);
+    constexpr size_t n = 10000;
+    std::atomic<uint64_t> sum{0};
+    pool.parallelFor(n, [&](size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), uint64_t(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ExceptionPropagates)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(16,
+                                  [&](size_t i) {
+                                      ++ran;
+                                      if (i == 7)
+                                          throw std::runtime_error(
+                                              "item 7");
+                                  }),
+                 std::runtime_error);
+    // The batch drains fully even when an item throws.
+    EXPECT_EQ(ran.load(), 16);
+
+    // The pool stays usable after a failed batch.
+    std::atomic<int> after{0};
+    pool.parallelFor(8, [&](size_t) { ++after; });
+    EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, NestedCallsRunInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> inner{0};
+    pool.parallelFor(8, [&](size_t) {
+        // A nested call from a worker must not deadlock.
+        pool.parallelFor(4, [&](size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, ManySmallBatches)
+{
+    ThreadPool pool(4);
+    uint64_t total = 0;
+    for (int rep = 0; rep < 200; ++rep) {
+        std::atomic<uint64_t> sum{0};
+        pool.parallelFor(3, [&](size_t i) { sum += i + 1; });
+        total += sum.load();
+    }
+    EXPECT_EQ(total, 200u * 6u);
+}
+
+} // namespace
