@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Ablation: how the trace-formation threshold steers the superblock
+ * scheduler's gain/growth trade-off. A low threshold grows long
+ * traces through lukewarm branches — more motion freedom, but more
+ * tail duplication and more off-trace exits that forfeit the
+ * speculated work; a high threshold keeps traces short and cheap.
+ * Sweeps the mutual-most-likely threshold over the CINT stand-ins
+ * (the short-block codes superblock scheduling exists for) and
+ * reports the hidden fraction and code growth at each point.
+ *
+ * The profile run and the Inst/Local measurement builds are shared
+ * across the sweep; only the superblock rewrite depends on the
+ * threshold.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "src/eel/editor.hh"
+#include "src/qpt/edge_profiler.hh"
+#include "src/sim/timing.hh"
+#include "src/support/logging.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace {
+
+using namespace eel;
+
+constexpr double kThresholds[] = {0.5, 0.6, 0.7, 0.8, 0.9, 0.95};
+
+/** Per-benchmark state independent of the threshold. */
+struct Prepared
+{
+    std::string name;
+    exe::Executable work;  ///< base, with counter bss reserved
+    std::vector<edit::Routine> routines;
+    std::vector<edit::RoutineEdgeCounts> counts;
+    edit::InstrumentationPlan plan;
+    uint64_t baseCycles = 0;
+    uint64_t instCycles = 0;
+    uint64_t localCycles = 0;
+    size_t localText = 0;
+};
+
+Prepared
+prepare(const bench::TableOptions &opts, size_t index,
+        const machine::MachineModel &m, support::ThreadPool *pool)
+{
+    workload::BenchmarkSpec spec =
+        workload::spec95(opts.machine)[index];
+    workload::GenOptions gopts;
+    gopts.scale = opts.scale;
+    gopts.machine = &m;
+    exe::Executable original = workload::generate(spec, gopts);
+
+    Prepared p;
+    p.name = spec.name;
+    p.routines = edit::buildRoutines(original);
+
+    exe::Executable eprof_x = original;
+    qpt::EdgeProfilePlan eplan =
+        qpt::makeEdgePlan(eprof_x, p.routines);
+    exe::Executable eprof = edit::rewrite(
+        eprof_x, p.routines, eplan.plan, edit::EditOptions{});
+    sim::Emulator prof_emu(eprof);
+    if (!prof_emu.run().exited)
+        fatal("%s: profile run did not exit", spec.name.c_str());
+    p.counts = qpt::exportEdgeCounts(
+        qpt::readEdgeCounts(prof_emu, eplan, p.routines), eplan,
+        p.routines);
+
+    p.work = original;
+    qpt::ProfilePlan bplan = qpt::makePlan(p.work, p.routines);
+    p.plan = std::move(bplan.plan);
+
+    edit::EditOptions local_opts;
+    local_opts.schedule = true;
+    local_opts.model = &m;
+    local_opts.sched = opts.sched;
+    local_opts.pool = pool;
+    exe::Executable inst = edit::rewrite(
+        p.work, p.routines, p.plan, edit::EditOptions{});
+    exe::Executable local = edit::rewrite(
+        p.work, p.routines, p.plan, local_opts);
+    p.baseCycles = sim::timedRun(p.work, m).cycles;
+    p.instCycles = sim::timedRun(inst, m).cycles;
+    p.localCycles = sim::timedRun(local, m).cycles;
+    p.localText = local.text.size();
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace eel::bench;
+    TableOptions opts = parseArgs(argc, argv);
+
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin(opts.machine);
+    auto specs = eel::workload::spec95(opts.machine);
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < specs.size(); ++i)
+        if (!specs[i].fp &&
+            (opts.only.empty() || specs[i].name == opts.only))
+            indices.push_back(i);
+
+    std::fprintf(stderr,
+                 "ablation_trace_threshold: machine=%s scale=%.2f "
+                 "(%zu CINT benchmarks)\n",
+                 opts.machine.c_str(), opts.scale, indices.size());
+
+    eel::support::ThreadPool pool(opts.jobs);
+    std::vector<Prepared> prep(indices.size());
+    std::vector<uint64_t> cost(indices.size());
+    for (size_t k = 0; k < indices.size(); ++k)
+        cost[k] = specs[indices[k]].dynTarget;
+    pool.parallelFor(indices.size(), cost, [&](size_t k) {
+        prep[k] = prepare(opts, indices[k], m, &pool);
+    });
+
+    std::printf("\nTrace threshold sweep: superblock scheduling of "
+                "profiling instrumentation (%s, CINT)\n",
+                opts.machine.c_str());
+    std::printf("%-10s %10s %10s %10s %8s\n", "Threshold",
+                "%Hid(loc)", "%Hid(sb)", "Growth", "Traces");
+
+    for (double threshold : kThresholds) {
+        double hid_local = 0, hid_sb = 0, growth = 0;
+        uint64_t traces = 0;
+        std::vector<double> hs(prep.size()), gr(prep.size());
+        std::vector<uint64_t> tr(prep.size());
+        pool.parallelFor(prep.size(), cost, [&](size_t k) {
+            const Prepared &p = prep[k];
+            eel::edit::EditOptions sb_opts;
+            sb_opts.schedule = true;
+            sb_opts.model = &m;
+            sb_opts.sched = opts.sched;
+            sb_opts.pool = &pool;
+            sb_opts.scope = eel::edit::SchedScope::Superblock;
+            sb_opts.superblock.threshold = threshold;
+            sb_opts.edgeCounts = &p.counts;
+            eel::exe::Executable sb = eel::edit::rewrite(
+                p.work, p.routines, p.plan, sb_opts);
+            uint64_t sb_cycles = eel::sim::timedRun(sb, m).cycles;
+            double denom = double(int64_t(p.instCycles) -
+                                  int64_t(p.baseCycles));
+            hs[k] = 100.0 *
+                    double(int64_t(p.instCycles) -
+                           int64_t(sb_cycles)) / denom;
+            gr[k] = 100.0 *
+                    (double(sb.text.size()) -
+                     double(p.localText)) / double(p.localText);
+            uint64_t n = 0;
+            for (size_t ri = 0; ri < p.routines.size(); ++ri)
+                n += eel::sched::formTraces(p.routines[ri],
+                                            p.counts[ri],
+                                            sb_opts.superblock)
+                         .size();
+            tr[k] = n;
+        });
+        for (size_t k = 0; k < prep.size(); ++k) {
+            const Prepared &p = prep[k];
+            double denom = double(int64_t(p.instCycles) -
+                                  int64_t(p.baseCycles));
+            hid_local += 100.0 *
+                         double(int64_t(p.instCycles) -
+                                int64_t(p.localCycles)) / denom;
+            hid_sb += hs[k];
+            growth += gr[k];
+            traces += tr[k];
+        }
+        size_t n = prep.size() ? prep.size() : 1;
+        std::printf("%-10.2f %9.1f%% %9.1f%% %9.1f%% %8llu\n",
+                    threshold, hid_local / double(n),
+                    hid_sb / double(n), growth / double(n),
+                    static_cast<unsigned long long>(traces));
+    }
+    return 0;
+}

@@ -165,11 +165,16 @@ runTable(const TableOptions &opts)
 
     support::ThreadPool pool(opts.jobs);
 
-    // Benchmarks run concurrently; each result lands in its suite
-    // slot, so the gathered table is byte-identical to a serial run
+    // Benchmarks run concurrently, dispatched largest dynamic-size
+    // first so the long poles (go, compress...) don't become the
+    // end-of-batch stragglers; each result lands in its suite slot,
+    // so the gathered table is byte-identical to a serial run
     // (progress lines on stderr arrive in completion order).
+    std::vector<uint64_t> cost(indices.size());
+    for (size_t k = 0; k < indices.size(); ++k)
+        cost[k] = specs[indices[k]].dynTarget;
     std::vector<Row> rows(indices.size());
-    pool.parallelFor(indices.size(), [&](size_t k) {
+    pool.parallelFor(indices.size(), cost, [&](size_t k) {
         rows[k] = runBenchmark(opts, indices[k], &pool);
         std::fprintf(stderr, "  %-14s done\n", rows[k].name.c_str());
     });

@@ -8,8 +8,16 @@
  * against. Exits nonzero if the parallel table output diverges from
  * the serial one.
  *
+ * With --check <baseline.json>, also compares the fresh throughput
+ * numbers against the checked-in baseline and exits nonzero when any
+ * of them drifts outside the tolerance band (default ±25%) — the
+ * perf-regression gate run by ctest. Wall-clock entries are not
+ * gated: they scale with the host. Regenerate the baseline with
+ * results/regen.sh after an intentional perf change.
+ *
  * Usage: perf_pipeline [--machine m] [--scale x] [--jobs n]
- *                      [--out file.json]
+ *                      [--out file.json] [--check baseline.json]
+ *                      [--tolerance frac]
  */
 
 #include <chrono>
@@ -53,6 +61,34 @@ bestOf(int reps, Fn &&fn)
     return best;
 }
 
+/** Pull `"key": <number>` out of a flat JSON object. The baseline
+ *  file is written by this binary, so a full parser would be
+ *  ceremony; any hand edit that breaks the shape fails loudly. */
+double
+jsonNumber(const std::string &text, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t at = text.find(needle);
+    if (at == std::string::npos)
+        fatal("baseline JSON has no \"%s\" entry", key.c_str());
+    return std::stod(text.substr(at + needle.size()));
+}
+
+std::string
+readFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("cannot read %s", path.c_str());
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
 } // namespace
 
 int
@@ -62,6 +98,8 @@ main(int argc, char **argv)
     double scale = 0.3;
     unsigned jobs = 0;
     std::string out_path = "BENCH_pipeline.json";
+    std::string check_path;
+    double tolerance = 0.25;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         auto value = [&]() -> std::string {
@@ -77,9 +115,14 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(std::stoul(value()));
         else if (a == "--out")
             out_path = value();
+        else if (a == "--check")
+            check_path = value();
+        else if (a == "--tolerance")
+            tolerance = std::stod(value());
         else if (a == "--help") {
             std::printf("options: --machine <name> --scale <x> "
-                        "--jobs <n> --out <file.json>\n");
+                        "--jobs <n> --out <file.json> "
+                        "--check <baseline.json> --tolerance <frac>\n");
             return 0;
         } else {
             fatal("unknown option '%s'", a.c_str());
@@ -195,6 +238,46 @@ main(int argc, char **argv)
                      "FAIL: jobs=%u table output differs from "
                      "jobs=1\n", jobs);
         return 1;
+    }
+
+    if (!check_path.empty()) {
+        std::string base = readFile(check_path);
+        if (base.find("\"" + machine + "\"") == std::string::npos)
+            fatal("baseline %s is for a different machine model",
+                  check_path.c_str());
+        if (jsonNumber(base, "scale") != scale)
+            fatal("baseline %s was measured at scale %g, this run "
+                  "at %g — not comparable", check_path.c_str(),
+                  jsonNumber(base, "scale"), scale);
+        struct Gate
+        {
+            const char *key;
+            double fresh;
+        } gates[] = {
+            {"schedule_blocks_per_s", sched_blocks_per_s},
+            {"emulate_minst_per_s", emu_minst_per_s},
+            {"timing_sim_minst_per_s", timing_minst_per_s},
+        };
+        bool bad = false;
+        for (const Gate &g : gates) {
+            double ref = jsonNumber(base, g.key);
+            double ratio = ref > 0 ? g.fresh / ref : 0.0;
+            bool ok = ratio >= 1.0 - tolerance &&
+                      ratio <= 1.0 + tolerance;
+            std::printf("check %-24s %.5g vs baseline %.5g "
+                        "(%.2fx) %s\n", g.key, g.fresh, ref, ratio,
+                        ok ? "ok" : "OUT OF BAND");
+            bad |= !ok;
+        }
+        if (bad) {
+            std::fprintf(stderr,
+                         "FAIL: throughput drifted more than %.0f%% "
+                         "from %s; investigate, or regenerate the "
+                         "baseline (results/regen.sh) if the change "
+                         "is intentional\n", tolerance * 100,
+                         check_path.c_str());
+            return 1;
+        }
     }
     return 0;
 }

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Beyond the paper: profile-guided superblock scheduling. The
+ * paper's local scheduler hides instrumentation overhead only within
+ * one basic block, which caps what it can do for the short-block
+ * CINT codes (Table 1 averages ~4-6 instructions per block). This
+ * bench measures how much more overhead a cross-block scheduler
+ * hides when traces are formed from a Ball-Larus edge profile and
+ * scheduled as superblocks (tail-duplicated, side-entrance-free).
+ *
+ * Protocol, per benchmark:
+ *   1. profile run: edge-instrumented build, counts reconstructed
+ *      by flow conservation (qpt::makeEdgePlan / readEdgeCounts);
+ *   2. measurement builds from the same block-counter plan:
+ *      Inst (unscheduled), Local (the paper's scheduler), and
+ *      Superblock (this subsystem, fed the edge profile);
+ *   3. %hidden for Local and Superblock against the same Inst/base
+ *      cycles, code growth of Superblock relative to Local, and a
+ *      built-in oracle: the Inst and Superblock builds must exit
+ *      with identical architectural state, memory (counter values
+ *      included), and program output.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "src/eel/editor.hh"
+#include "src/qpt/edge_profiler.hh"
+#include "src/sim/timing.hh"
+#include "src/support/logging.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace {
+
+using namespace eel;
+
+struct SbRow
+{
+    std::string name;
+    bool fp = false;
+    double avgBlockSize = 0;
+    double instRatio = 0;
+    double localRatio = 0;
+    double sbRatio = 0;
+    double pctHiddenLocal = 0;
+    double pctHiddenSb = 0;
+    double growthPct = 0;  ///< Superblock text vs Local text
+    size_t traces = 0;
+    double avgTraceLen = 0;
+    bool oracleOk = false;
+};
+
+SbRow
+runOne(const bench::TableOptions &opts, size_t index,
+       support::ThreadPool *pool)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin(opts.machine);
+    workload::BenchmarkSpec spec =
+        workload::spec95(opts.machine)[index];
+
+    workload::GenOptions gopts;
+    gopts.scale = opts.scale;
+    gopts.machine = &m;
+    exe::Executable original = workload::generate(spec, gopts);
+    auto routines = edit::buildRoutines(original);
+
+    // 1. Edge-profile run.
+    exe::Executable eprof_x = original;
+    qpt::EdgeProfilePlan eplan = qpt::makeEdgePlan(eprof_x, routines);
+    exe::Executable eprof = edit::rewrite(
+        eprof_x, routines, eplan.plan, edit::EditOptions{});
+    sim::Emulator prof_emu(eprof);
+    sim::RunResult prof_res = prof_emu.run();
+    if (!prof_res.exited)
+        fatal("%s: profile run did not exit", spec.name.c_str());
+    auto bcounts = qpt::exportEdgeCounts(
+        qpt::readEdgeCounts(prof_emu, eplan, routines), eplan,
+        routines);
+
+    // 2. Measurement builds (block-counter instrumentation).
+    exe::Executable work = original;
+    qpt::ProfilePlan plan = qpt::makePlan(work, routines);
+
+    edit::EditOptions local_opts;
+    local_opts.schedule = true;
+    local_opts.model = &m;
+    local_opts.sched = opts.sched;
+    local_opts.pool = pool;
+    edit::EditOptions sb_opts = local_opts;
+    sb_opts.scope = edit::SchedScope::Superblock;
+    sb_opts.edgeCounts = &bcounts;
+
+    exe::Executable inst = edit::rewrite(
+        work, routines, plan.plan, edit::EditOptions{});
+    exe::Executable local = edit::rewrite(
+        work, routines, plan.plan, local_opts);
+    exe::Executable sb = edit::rewrite(
+        work, routines, plan.plan, sb_opts);
+
+    auto r_base = sim::timedRun(work, m);
+    auto r_inst = sim::timedRun(inst, m);
+    auto r_local = sim::timedRun(local, m);
+    auto r_sb = sim::timedRun(sb, m);
+    if (r_base.result.output != r_sb.result.output ||
+        r_base.result.exitCode != r_sb.result.exitCode)
+        fatal("%s: superblock output differs from base",
+              spec.name.c_str());
+
+    // 3. Oracle: identical architectural exit state, memory
+    // (counters included), output, and exit code.
+    sim::Emulator e_inst(inst), e_sb(sb);
+    sim::RunResult o_inst = e_inst.run();
+    sim::RunResult o_sb = e_sb.run();
+    bool oracle = o_inst.exited && o_sb.exited &&
+                  o_inst.exitCode == o_sb.exitCode &&
+                  o_inst.output == o_sb.output &&
+                  e_inst.snapshot().equalTo(e_sb.snapshot());
+
+    SbRow row;
+    row.name = spec.name;
+    row.fp = spec.fp;
+    double denom = double(int64_t(r_inst.cycles) -
+                          int64_t(r_base.cycles));
+    row.instRatio = double(r_inst.cycles) / double(r_base.cycles);
+    row.localRatio = double(r_local.cycles) / double(r_base.cycles);
+    row.sbRatio = double(r_sb.cycles) / double(r_base.cycles);
+    row.pctHiddenLocal = 100.0 *
+                         double(int64_t(r_inst.cycles) -
+                                int64_t(r_local.cycles)) / denom;
+    row.pctHiddenSb = 100.0 *
+                      double(int64_t(r_inst.cycles) -
+                             int64_t(r_sb.cycles)) / denom;
+    row.growthPct = 100.0 *
+                    (double(sb.text.size()) -
+                     double(local.text.size())) /
+                    double(local.text.size());
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        auto traces = sched::formTraces(routines[ri], bcounts[ri],
+                                        sb_opts.superblock);
+        for (const sched::Trace &t : traces) {
+            ++row.traces;
+            row.avgTraceLen += double(t.blocks.size());
+        }
+    }
+    if (row.traces)
+        row.avgTraceLen /= double(row.traces);
+    row.oracleOk = oracle;
+
+    // Average dynamic block size of the base build, for context.
+    uint64_t blocks = 0;
+    for (const auto &r : routines)
+        blocks += r.blocks.size();
+    row.avgBlockSize =
+        blocks ? double(work.text.size()) / double(blocks) : 0.0;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace eel::bench;
+    TableOptions opts = parseArgs(argc, argv);
+
+    std::fprintf(stderr,
+                 "table_superblock: machine=%s scale=%.2f "
+                 "(beyond the paper)\n",
+                 opts.machine.c_str(), opts.scale);
+
+    auto specs = eel::workload::spec95(opts.machine);
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < specs.size(); ++i)
+        if (opts.only.empty() || specs[i].name == opts.only)
+            indices.push_back(i);
+
+    eel::support::ThreadPool pool(opts.jobs);
+    std::vector<uint64_t> cost(indices.size());
+    for (size_t k = 0; k < indices.size(); ++k)
+        cost[k] = specs[indices[k]].dynTarget;
+    std::vector<SbRow> rows(indices.size());
+    pool.parallelFor(indices.size(), cost, [&](size_t k) {
+        rows[k] = runOne(opts, indices[k], &pool);
+        std::fprintf(stderr, "  %-14s done\n",
+                     rows[k].name.c_str());
+    });
+
+    std::printf("\nSuperblock vs local scheduling of profiling "
+                "instrumentation (%s)\n",
+                opts.machine.c_str());
+    std::printf("%-14s %8s %8s %8s %10s %10s %8s %7s %7s %7s\n",
+                "Benchmark", "Inst", "Local", "Superbl",
+                "%Hid(loc)", "%Hid(sb)", "Growth", "Traces",
+                "AvgLen", "Oracle");
+    int bad_oracle = 0;
+    auto line = [&](const SbRow &r) {
+        std::printf("%-14s %8.2f %8.2f %8.2f %9.1f%% %9.1f%% "
+                    "%7.1f%% %7zu %7.1f %7s\n",
+                    r.name.c_str(), r.instRatio, r.localRatio,
+                    r.sbRatio, r.pctHiddenLocal, r.pctHiddenSb,
+                    r.growthPct, r.traces, r.avgTraceLen,
+                    r.oracleOk ? "ok" : "FAIL");
+        if (!r.oracleOk)
+            ++bad_oracle;
+    };
+    auto averages = [&](bool fp, const char *label) {
+        double hl = 0, hs = 0, g = 0;
+        int n = 0;
+        for (const SbRow &r : rows) {
+            if (r.fp != fp)
+                continue;
+            hl += r.pctHiddenLocal;
+            hs += r.pctHiddenSb;
+            g += r.growthPct;
+            ++n;
+        }
+        if (!n)
+            return;
+        std::printf("%-14s %8s %8s %8s %9.1f%% %9.1f%% %7.1f%%\n",
+                    label, "", "", "", hl / n, hs / n, g / n);
+    };
+    for (const SbRow &r : rows)
+        if (!r.fp)
+            line(r);
+    averages(false, "CINT95 Average");
+    for (const SbRow &r : rows)
+        if (r.fp)
+            line(r);
+    averages(true, "CFP95 Average");
+
+    if (bad_oracle) {
+        std::fprintf(stderr,
+                     "table_superblock: %d oracle failure(s)\n",
+                     bad_oracle);
+        return 1;
+    }
+    return 0;
+}

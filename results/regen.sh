@@ -20,4 +20,6 @@ $B/ablation_icache --scale 2 > results/ablation_icache.txt
 $B/ablation_sched_model --scale 0.5 > results/ablation_sched_model.txt
 $B/ablation_fastprof --scale 0.3 > results/ablation_fastprof.txt
 $B/ablation_width --scale 0.3 > results/ablation_width.txt
+$B/table_superblock --scale 0.5 > results/table_superblock.txt
+$B/ablation_trace_threshold --scale 0.3 > results/ablation_trace_threshold.txt
 $B/perf_pipeline --scale 0.3 --out BENCH_pipeline.json

@@ -179,6 +179,51 @@ buildOne(const exe::Executable &x, const exe::Symbol &fn)
 
 } // namespace
 
+uint32_t
+splitEdge(Routine &r, uint32_t from, RoutineEdgeCounts *counts)
+{
+    if (from >= r.blocks.size())
+        fatal("splitEdge: block %u out of range in '%s'", from,
+              r.name.c_str());
+    Block &b = r.blocks[from];
+    if (b.fallSucc < 0)
+        fatal("splitEdge: block %u of '%s' has no fall-through edge",
+              from, r.name.c_str());
+    if (b.fallSucc == b.takenSucc)
+        fatal("splitEdge: block %u of '%s' branches to its own "
+              "fall-through; the edges cannot be split apart", from,
+              r.name.c_str());
+    int succ = b.fallSucc;
+
+    Block mid;
+    mid.id = static_cast<uint32_t>(r.blocks.size());
+    mid.startAddr = 0;  // synthetic: addressed by the editor, if ever
+    mid.fallSucc = succ;
+    mid.preds.push_back(from);
+
+    // The successor now sees the new block as its predecessor on
+    // this path; a distinct taken edge from `from` keeps its own
+    // pred entry.
+    for (uint32_t &p : r.blocks[succ].preds)
+        if (p == from)
+            p = mid.id;
+
+    b.fallSucc = static_cast<int>(mid.id);
+    uint32_t id = mid.id;
+    r.blocks.push_back(std::move(mid));
+
+    if (counts) {
+        // The split edge's count survives on both halves: the count
+        // of from -> succ is unchanged on from -> mid, and mid's own
+        // fall edge carries it on to succ.
+        BlockEdgeCounts c;
+        c.fall = (*counts)[from].fall;
+        c.exec = (*counts)[from].fall;
+        counts->push_back(c);
+    }
+    return id;
+}
+
 int
 Routine::blockAt(uint32_t addr) const
 {

@@ -61,6 +61,35 @@ struct Routine
 };
 
 /**
+ * Execution counts attached to one block: how often it ran and how
+ * often each out-edge was followed, as reconstructed by qpt edge
+ * profiling (qpt::exportEdgeCounts). Trace formation consumes these.
+ */
+struct BlockEdgeCounts
+{
+    uint64_t fall = 0;   ///< fall-through edge executions
+    uint64_t taken = 0;  ///< taken edge executions
+    uint64_t exec = 0;   ///< block executions (inflow)
+};
+
+/** Indexed by block id within one routine. */
+using RoutineEdgeCounts = std::vector<BlockEdgeCounts>;
+
+/**
+ * Split the fall-through edge from -> r.blocks[from].fallSucc by
+ * inserting a new, empty synthetic block on it. The new block is
+ * appended (id == old blocks.size(), startAddr 0 — it has no address
+ * until the editor lays it out) and the successor's pred list is
+ * rewired. When counts is non-null, the profile count of the split
+ * edge stays attached to both surviving halves: from -> new keeps
+ * the old fall count, and the new block's own fall edge carries the
+ * same count onward, so flow conservation still holds for any later
+ * edge instrumentation or trace formation. Returns the new block id.
+ */
+uint32_t splitEdge(Routine &r, uint32_t from,
+                   RoutineEdgeCounts *counts = nullptr);
+
+/**
  * Discover every routine (function symbols) in the executable and
  * build its CFG. Fatal on malformed code: branches into delay slots,
  * branches escaping their routine, text not covered by any function

@@ -1,8 +1,10 @@
 #include "src/eel/editor.hh"
 
+#include <bitset>
 #include <map>
 #include <memory>
 
+#include "src/eel/liveness.hh"
 #include "src/isa/builder.hh"
 #include "src/support/logging.hh"
 #include "src/support/thread_pool.hh"
@@ -38,6 +40,41 @@ rewrite(const exe::Executable &in,
     if (opts.schedule && !opts.model)
         fatal("editor: scheduling requested without a machine model");
 
+    const bool superblock =
+        opts.schedule && opts.scope == SchedScope::Superblock;
+    if (superblock) {
+        if (!opts.edgeCounts ||
+            opts.edgeCounts->size() != routines.size())
+            fatal("editor: superblock scheduling requires an edge "
+                  "profile for every routine (EditOptions::edgeCounts)");
+        if (!plan.fallEdges.empty() || !plan.takenEdges.empty())
+            fatal("editor: superblock scheduling cannot be combined "
+                  "with edge instrumentation");
+    }
+
+    // Registers no original instruction in the whole program reads
+    // are unobservable: clobbering one past a side exit cannot
+    // change program behaviour, and instrumentation snippets define
+    // their scratch before every read. Dataflow liveness alone
+    // cannot prove this — calls and routine exits conservatively
+    // expose every register — so the editor's reserved scratch
+    // registers would otherwise never cross a side exit, pinning
+    // exactly the instrumentation the superblock exists to hide.
+    std::bitset<32> neverObserved;
+    if (superblock) {
+        std::bitset<32> read;
+        for (const Routine &r : routines)
+            for (const Block &b : r.blocks)
+                for (const sched::InstRef &ref : b.insts)
+                    for (const auto &u : ref.inst.uses())
+                        if (u.reg.tracked() &&
+                            u.reg.cls == isa::RegClass::Int)
+                            read.set(u.reg.idx);
+        neverObserved.set(isa::reg::g6);
+        neverObserved.set(isa::reg::g7);
+        neverObserved &= ~read;
+    }
+
     // Pass 1: build each block's new instruction sequence — snippet
     // insertion plus (optionally) scheduling. This is the expensive
     // pass and touches no global layout state, so routines are
@@ -65,11 +102,173 @@ rewrite(const exe::Executable &in,
         const Routine &r = routines[ri];
         std::vector<NewBlock> &blocks = newBlocks[ri];
         std::vector<int> blockSlot(r.blocks.size(), -1);
-        for (const Block &b : r.blocks) {
+
+        // Superblock mode: form traces from the edge profile. Trace
+        // members are emitted as one hot region at the head's
+        // position (plus cold tail-duplicate copies); every other
+        // block takes the local path below.
+        std::vector<sched::Trace> traces;
+        std::vector<int> traceOf(r.blocks.size(), -1);
+        std::unique_ptr<Liveness> live;
+        if (superblock) {
+            traces = sched::formTraces(r, (*opts.edgeCounts)[ri],
+                                       opts.superblock);
+            for (size_t t = 0; t < traces.size(); ++t)
+                for (uint32_t id : traces[t].blocks)
+                    traceOf[id] = static_cast<int>(t);
+            if (!traces.empty())
+                live = std::make_unique<Liveness>(r);
+        }
+
+        auto blockCode = [&](const Block &b) {
             sched::InstSeq code;
             if (const sched::InstSeq *snip = plan.find(ri, b.id))
                 code = markInstrumentation(*snip);
-            code.insert(code.end(), b.insts.begin(), b.insts.end());
+            code.insert(code.end(), b.insts.begin(),
+                        b.insts.end());
+            return code;
+        };
+        // Relink a fall-through edge whose sink is no longer
+        // physically next: "ba old-target; nop", resolved by pass 2
+        // like a trampoline jump.
+        auto makeStub = [](uint32_t old_target) {
+            NewBlock stub;
+            sched::InstRef jump;
+            jump.inst = isa::build::ba(0);
+            jump.origAddr = old_target;
+            stub.insts.push_back(jump);
+            sched::InstRef nop;
+            nop.inst = isa::build::nop();
+            nop.isInstrumentation = true;
+            stub.insts.push_back(nop);
+            return stub;
+        };
+        auto pushStub = [&](uint32_t old_target) {
+            blocks.push_back(makeStub(old_target));
+        };
+
+        // Tail-duplicate (cold) copies and their stubs collect here
+        // and land after the routine's last block, off the hot path:
+        // they are only ever branched to, so placement is free.
+        std::vector<NewBlock> cold;
+
+        auto emitTrace = [&](const sched::Trace &t) {
+            using sched::BoundaryKind;
+            // Hot copy: one segment per member block. Growth along a
+            // taken edge inverts the branch so the hot successor
+            // falls through; the inverted branch's displacement is
+            // rewritten so pass 2's oldTarget() resolves to the new
+            // exit target (the old fall-through successor).
+            std::vector<sched::SbSegment> segs(t.blocks.size());
+            for (size_t p = 0; p < t.blocks.size(); ++p) {
+                const Block &b = r.blocks[t.blocks[p]];
+                sched::SbSegment &s = segs[p];
+                s.insts = blockCode(b);
+                if (b.hasCti)
+                    s.ctiPos =
+                        static_cast<int>(s.insts.size()) - 2;
+                int exit_blk = -1;  // the branch's off-path target
+                if (p + 1 < t.blocks.size() && t.viaTaken[p + 1]) {
+                    sched::InstRef &cti = s.insts[s.ctiPos];
+                    cti.inst.cond ^= 8;
+                    uint32_t exit_old =
+                        r.blocks[b.fallSucc].startAddr;
+                    cti.inst.disp = static_cast<int32_t>(
+                        (static_cast<int64_t>(exit_old) -
+                         static_cast<int64_t>(cti.origAddr)) / 4);
+                    exit_blk = b.fallSucc;
+                } else if (b.hasCti) {
+                    exit_blk = b.takenSucc;
+                }
+                if (p + 1 == t.blocks.size())
+                    continue;  // last segment: boundary unused
+                if (!b.hasCti) {
+                    s.boundary = BoundaryKind::Free;
+                    continue;
+                }
+                const isa::Instruction &ci =
+                    s.insts[s.ctiPos].inst;
+                if (ci.isBranch() && ci.isNeverBranch()) {
+                    s.boundary = BoundaryKind::Free;
+                } else if (ci.isBranch() && !ci.isAlwaysBranch() &&
+                           exit_blk >= 0) {
+                    s.boundary = BoundaryKind::CondExit;
+                    s.exitLive = live->liveInSet(
+                                     static_cast<uint32_t>(
+                                         exit_blk)) &
+                                 ~neverObserved;
+                    const edit::BlockEdgeCounts &bc =
+                        (*opts.edgeCounts)[ri][b.id];
+                    uint64_t flow = bc.fall + bc.taken;
+                    uint64_t exits =
+                        t.viaTaken[p + 1] ? bc.fall : bc.taken;
+                    if (flow > 0)
+                        s.exitProb =
+                            static_cast<double>(exits) /
+                            static_cast<double>(flow);
+                } else {
+                    s.boundary = BoundaryKind::Rigid;
+                }
+            }
+
+            NewBlock hot;
+            hot.insts = sched::scheduleSuperblock(
+                segs, *opts.model, opts.sched, opts.superblock);
+            hot.leaderOldAddr = r.blocks[t.blocks.front()].startAddr;
+            hot.isLeader = true;
+            blockSlot[t.blocks.front()] =
+                static_cast<int>(blocks.size());
+            blocks.push_back(std::move(hot));
+            // The hot copy's fall-through exit needs a relink stub
+            // unless the old layout's next block still comes out
+            // physically next. That holds exactly when the trace is
+            // contiguous fall-through code (so the main loop resumes
+            // at id last+1 right after us) and that successor is not
+            // swallowed into some trace as a non-head member.
+            bool contiguous = true;
+            for (size_t p = 1; p < t.blocks.size(); ++p)
+                if (t.viaTaken[p] ||
+                    t.blocks[p] != t.blocks[p - 1] + 1)
+                    contiguous = false;
+            const Block &last = r.blocks[t.blocks.back()];
+            bool falls_next =
+                contiguous &&
+                last.fallSucc ==
+                    static_cast<int>(t.blocks.back()) + 1 &&
+                (traceOf[last.fallSucc] < 0 ||
+                 traces[traceOf[last.fallSucc]].blocks.front() ==
+                     static_cast<uint32_t>(last.fallSucc));
+            if (last.fallSucc >= 0 && !falls_next)
+                pushStub(r.blocks[last.fallSucc].startAddr);
+
+            // Cold copies: the tail-duplicated suffix keeps the old
+            // leader addresses so every side entrance still lands on
+            // equivalent (locally scheduled) code.
+            for (size_t p = t.dupFrom; p < t.blocks.size(); ++p) {
+                const Block &b = r.blocks[t.blocks[p]];
+                NewBlock cb;
+                cb.insts = scheduler->scheduleBlock(blockCode(b));
+                cb.leaderOldAddr = b.startAddr;
+                cb.isLeader = true;
+                cold.push_back(std::move(cb));
+                bool next_is_fall =
+                    p + 1 < t.blocks.size() &&
+                    b.fallSucc ==
+                        static_cast<int>(t.blocks[p + 1]);
+                if (b.fallSucc >= 0 && !next_is_fall)
+                    cold.push_back(
+                        makeStub(r.blocks[b.fallSucc].startAddr));
+            }
+        };
+
+        for (const Block &b : r.blocks) {
+            if (traceOf[b.id] >= 0) {
+                const sched::Trace &t = traces[traceOf[b.id]];
+                if (t.blocks.front() == b.id)
+                    emitTrace(t);
+                continue;
+            }
+            sched::InstSeq code = blockCode(b);
             if (scheduler)
                 code = scheduler->scheduleBlock(code);
 
@@ -79,6 +278,16 @@ rewrite(const exe::Executable &in,
             nb.isLeader = true;
             blockSlot[b.id] = static_cast<int>(blocks.size());
             blocks.push_back(std::move(nb));
+
+            // A fall-through successor that moved into a trace (as a
+            // non-head member) is no longer physically next; relink.
+            // Such a member has this off-trace predecessor plus its
+            // trace predecessor, so it is tail-duplicated and its
+            // old leader address maps to the cold copy.
+            if (b.fallSucc >= 0 && traceOf[b.fallSucc] >= 0 &&
+                traces[traceOf[b.fallSucc]].blocks.front() !=
+                    static_cast<uint32_t>(b.fallSucc))
+                pushStub(r.blocks[b.fallSucc].startAddr);
 
             // Fall-through edge instrumentation sits between this
             // block and the next; branch targets skip over it.
@@ -93,6 +302,9 @@ rewrite(const exe::Executable &in,
                 blocks.push_back(std::move(pad));
             }
         }
+
+        for (NewBlock &cb : cold)
+            blocks.push_back(std::move(cb));
 
         // Taken-edge trampolines.
         for (const Block &b : r.blocks) {

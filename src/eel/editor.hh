@@ -16,6 +16,7 @@
 
 #include "src/eel/cfg.hh"
 #include "src/sched/scheduler.hh"
+#include "src/sched/superblock.hh"
 
 namespace eel::support {
 class ThreadPool;
@@ -72,6 +73,20 @@ struct InstrumentationPlan
     }
 };
 
+/** How far the scheduler's candidate motion reaches. */
+enum class SchedScope : uint8_t {
+    /** The paper's scheduler: one basic block at a time (§4). */
+    Local,
+    /**
+     * Profile-guided superblock scheduling: form traces along the
+     * hottest edges (tail-duplicating side-entranced suffixes) and
+     * schedule each trace as one region with speculation checked
+     * against liveness. Requires EditOptions::edgeCounts. Blocks
+     * outside any trace fall back to local scheduling.
+     */
+    Superblock,
+};
+
 struct EditOptions
 {
     /**
@@ -84,6 +99,16 @@ struct EditOptions
     /** Machine model the scheduler targets (required if schedule). */
     const machine::MachineModel *model = nullptr;
     sched::SchedOptions sched;
+    /** Cross-block scheduling mode (only meaningful if schedule). */
+    SchedScope scope = SchedScope::Local;
+    sched::SuperblockOptions superblock;
+    /**
+     * Edge profile for trace formation, indexed like `routines`
+     * (qpt::exportEdgeCounts). Required when scope == Superblock.
+     * Superblock mode is incompatible with edge instrumentation
+     * (fallEdges/takenEdges) — the profile run comes first.
+     */
+    const std::vector<RoutineEdgeCounts> *edgeCounts = nullptr;
     /**
      * When set, block contents are built (and scheduled) for all
      * routines in parallel on this pool. Layout and emission stay

@@ -248,4 +248,30 @@ blockCountsFromEdges(
     return out;
 }
 
+std::vector<edit::RoutineEdgeCounts>
+exportEdgeCounts(const std::vector<std::vector<uint64_t>> &edge_counts,
+                 const EdgeProfilePlan &plan,
+                 const std::vector<edit::Routine> &routines)
+{
+    std::vector<edit::RoutineEdgeCounts> out(routines.size());
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        out[ri].assign(routines[ri].blocks.size(),
+                       edit::BlockEdgeCounts{});
+        const std::vector<Edge> &edges = plan.edges[ri];
+        for (size_t i = 0; i < edges.size(); ++i) {
+            uint64_t c = edge_counts[ri][i];
+            const Edge &e = edges[i];
+            if (e.from >= 0) {
+                if (e.kind == Edge::Kind::Fall)
+                    out[ri][e.from].fall += c;
+                else if (e.kind == Edge::Kind::Taken)
+                    out[ri][e.from].taken += c;
+            }
+            if (e.to >= 0)
+                out[ri][e.to].exec += c;
+        }
+    }
+    return out;
+}
+
 } // namespace eel::qpt

@@ -66,6 +66,16 @@ blockCountsFromEdges(const std::vector<std::vector<uint64_t>> &edge_counts,
                      const EdgeProfilePlan &plan,
                      const std::vector<edit::Routine> &routines);
 
+/**
+ * Fold reconstructed edge counts into the per-block form trace
+ * formation consumes (edit::BlockEdgeCounts: fall / taken / exec
+ * per block, indexed by routine and block id).
+ */
+std::vector<edit::RoutineEdgeCounts>
+exportEdgeCounts(const std::vector<std::vector<uint64_t>> &edge_counts,
+                 const EdgeProfilePlan &plan,
+                 const std::vector<edit::Routine> &routines);
+
 } // namespace eel::qpt
 
 #endif // EEL_QPT_EDGE_PROFILER_HH

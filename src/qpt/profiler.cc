@@ -18,16 +18,26 @@ counterSnippet(uint32_t addr, const ProfileOptions &opts)
     using namespace isa::build;
     int32_t lo = static_cast<int32_t>(addr & 0x3ff);
     sched::InstSeq seq;
-    auto push = [&](isa::Instruction inst) {
+    auto push = [&](isa::Instruction inst, bool is_mem = false) {
         sched::InstRef ref;
         ref.inst = inst;
         ref.isInstrumentation = true;
+        if (is_mem) {
+            // Tag the counter access with its (unique) address so
+            // the dependence graph can prove two blocks' counters
+            // independent — the load side of a later block's
+            // counter may then hoist past an earlier block's store
+            // (sched::DepGraph, superblock scheduling). The tag
+            // also marks the load as known-valid, i.e. safe to
+            // speculate above a side exit.
+            ref.memTag = static_cast<int32_t>(addr);
+        }
         seq.push_back(ref);
     };
     push(sethi(opts.scratch1, addr));
-    push(memi(isa::Op::Ld, opts.scratch2, opts.scratch1, lo));
+    push(memi(isa::Op::Ld, opts.scratch2, opts.scratch1, lo), true);
     push(rri(isa::Op::Add, opts.scratch2, opts.scratch2, 1));
-    push(memi(isa::Op::St, opts.scratch2, opts.scratch1, lo));
+    push(memi(isa::Op::St, opts.scratch2, opts.scratch1, lo), true);
     return seq;
 }
 

@@ -103,8 +103,23 @@ DepGraph::DepGraph(std::span<const InstRef> insts,
         switch (alias) {
           case AliasPolicy::Conservative:
             return true;
-          case AliasPolicy::SeparateInstrumentation:
-            return a.isInstrumentation == b.isInstrumentation;
+          case AliasPolicy::SeparateInstrumentation: {
+            if (a.isInstrumentation != b.isInstrumentation)
+                return false;
+            // Instrumentation the editor generated itself tags its
+            // counter accesses with the counter address; unlike
+            // original code, the editor KNOWS these never collide,
+            // which is what lets superblock scheduling hoist one
+            // block's counter load past another block's store.
+            if (a.isInstrumentation && a.memTag >= 0 &&
+                b.memTag >= 0) {
+                if (a.memTag != b.memTag)
+                    return false;
+                MemRange ra = memRange(a), rb = memRange(b);
+                return ra.lo < rb.hi && rb.lo < ra.hi;
+            }
+            return true;
+          }
           case AliasPolicy::Oracle: {
             if (a.memTag < 0 || b.memTag < 0)
                 return true;

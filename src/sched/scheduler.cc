@@ -8,9 +8,6 @@
 
 namespace eel::sched {
 
-namespace {
-
-/** True if inst may move from before the CTI into its delay slot. */
 bool
 legalInDelaySlot(const isa::Instruction &inst, const isa::Instruction &cti)
 {
@@ -39,8 +36,6 @@ legalInDelaySlot(const isa::Instruction &inst, const isa::Instruction &cti)
     }
     return true;
 }
-
-} // namespace
 
 std::vector<uint32_t>
 ListScheduler::scheduleRegion(std::span<const InstRef> region) const

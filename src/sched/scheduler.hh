@@ -25,6 +25,14 @@
 
 namespace eel::sched {
 
+/**
+ * True if inst may move from before the CTI into its delay slot
+ * (shared by the local scheduler and the superblock scheduler's
+ * delay-slot refill).
+ */
+bool legalInDelaySlot(const isa::Instruction &inst,
+                      const isa::Instruction &cti);
+
 struct SchedOptions
 {
     AliasPolicy alias = AliasPolicy::SeparateInstrumentation;

@@ -1,0 +1,580 @@
+#include "src/sched/superblock.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "src/isa/builder.hh"
+#include "src/support/logging.hh"
+
+namespace eel::sched {
+
+using edit::Block;
+using edit::BlockEdgeCounts;
+using edit::Routine;
+
+namespace {
+
+/** Can the trace be extended through b's taken edge? The branch gets
+ *  inverted in the hot copy, so it must be a plain conditional
+ *  branch: inversion flips cond bit 3 (e<->ne, l<->ge, ...), which
+ *  is undefined for always/never, and an annulled branch executes
+ *  its delay slot conditionally — inverting would flip which path
+ *  runs it. */
+bool
+invertible(const isa::Instruction &cti)
+{
+    if (!cti.isBranch() || cti.annul)
+        return false;
+    return cti.cond != isa::cond::a && cti.cond != isa::cond::n;
+}
+
+/** Can the trace be extended through b's fall-through edge? */
+bool
+growsThroughFall(const Block &b)
+{
+    if (!b.hasCti)
+        return true;
+    const isa::Instruction &cti = b.cti();
+    // Conditional (or never-) branches and calls fall through;
+    // indirect calls do too, but the callee returns to an address
+    // the editor pins, so treat their fall edge as unextendable to
+    // keep the return target a real leader.
+    if (cti.isBranch())
+        return cti.fallsThrough() || cti.isNeverBranch();
+    if (cti.op == isa::Op::Call)
+        return b.fallSucc >= 0;
+    return false;
+}
+
+} // namespace
+
+std::vector<Trace>
+formTraces(const Routine &r, const edit::RoutineEdgeCounts &counts,
+           const SuperblockOptions &opts)
+{
+    std::vector<Trace> out;
+    if (r.blocks.size() < 2 || counts.size() != r.blocks.size())
+        return out;
+
+    int entry = -1;
+    size_t routine_insts = 0;
+    for (const Block &b : r.blocks) {
+        if (b.startAddr == r.entry)
+            entry = static_cast<int>(b.id);
+        routine_insts += b.insts.size();
+    }
+    const uint64_t budget = static_cast<uint64_t>(
+        opts.growthBudget * static_cast<double>(routine_insts));
+
+    // Hottest blocks seed first; ties go to the lower id so the
+    // result is deterministic.
+    std::vector<uint32_t> seeds(r.blocks.size());
+    std::iota(seeds.begin(), seeds.end(), 0);
+    std::stable_sort(seeds.begin(), seeds.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return counts[a].exec > counts[b].exec;
+                     });
+
+    std::vector<bool> taken_by_trace(r.blocks.size(), false);
+    uint64_t growth_used = 0;
+
+    for (uint32_t seed : seeds) {
+        if (taken_by_trace[seed] || counts[seed].exec < opts.minCount)
+            continue;
+
+        Trace t;
+        t.blocks.push_back(seed);
+        t.viaTaken.push_back(0);
+        t.dupFrom = 1;  // sentinel: no duplication yet
+        bool duplicating = false;
+        uint64_t trace_growth = 0;
+
+        uint32_t cur = seed;
+        for (;;) {
+            const Block &b = r.blocks[cur];
+            const BlockEdgeCounts &c = counts[b.id];
+
+            // Candidate extensions, hottest first.
+            struct Cand
+            {
+                int succ;
+                uint64_t count;
+                bool via_taken;
+            };
+            Cand cands[2];
+            int n_cands = 0;
+            bool fall_ok = b.fallSucc >= 0 && growsThroughFall(b);
+            bool taken_ok = b.takenSucc >= 0 && b.hasCti &&
+                            invertible(b.cti());
+            if (b.takenSucc == b.fallSucc) {
+                // Degenerate branch-to-next: the side "exit" would
+                // target the block we grow into, whose hot-interior
+                // address no longer exists. Stop here.
+                fall_ok = taken_ok = false;
+            }
+            if (fall_ok)
+                cands[n_cands++] = Cand{b.fallSucc, c.fall, false};
+            if (taken_ok)
+                cands[n_cands++] = Cand{b.takenSucc, c.taken, true};
+            if (n_cands == 2 && cands[1].count > cands[0].count)
+                std::swap(cands[0], cands[1]);
+
+            uint64_t outflow = c.fall + c.taken;
+            int grew = -1;
+            for (int i = 0; i < n_cands && grew < 0; ++i) {
+                const Cand &cd = cands[i];
+                uint32_t s = static_cast<uint32_t>(cd.succ);
+                if (cd.count < opts.minCount)
+                    continue;
+                if (static_cast<double>(cd.count) <
+                    opts.threshold * static_cast<double>(outflow))
+                    continue;
+                if (static_cast<double>(cd.count) <
+                    opts.threshold *
+                        static_cast<double>(counts[s].exec))
+                    continue;
+                if (taken_by_trace[s] ||
+                    s == static_cast<uint32_t>(entry))
+                    continue;
+                if (std::find(t.blocks.begin(), t.blocks.end(), s) !=
+                    t.blocks.end())
+                    continue;  // no cycles: back edges end the trace
+
+                // Side entrance: every position after the first one
+                // with an off-trace predecessor needs a cold copy
+                // (its hot copy is reachable only through the trace,
+                // and its hot predecessor exists twice).
+                bool dup_here =
+                    duplicating || r.blocks[s].preds.size() > 1;
+                // Duplication splits the successor's executions
+                // between the hot and cold copies; the cold copy
+                // pays a relink jump on its fall path every time it
+                // runs. That recurring toll is only worth paying
+                // when the trace keeps nearly all of the flow.
+                if (dup_here &&
+                    static_cast<double>(cd.count) <
+                        opts.dupThreshold *
+                            static_cast<double>(counts[s].exec))
+                    continue;
+                uint64_t cost = 0;
+                if (dup_here)
+                    cost = r.blocks[s].insts.size() + 2;  // +stub
+                if (growth_used + trace_growth + cost > budget)
+                    continue;
+
+                if (dup_here && !duplicating) {
+                    duplicating = true;
+                    t.dupFrom = t.blocks.size();
+                }
+                trace_growth += cost;
+                t.blocks.push_back(s);
+                t.viaTaken.push_back(cd.via_taken ? 1 : 0);
+                grew = static_cast<int>(s);
+            }
+            if (grew < 0)
+                break;
+            cur = static_cast<uint32_t>(grew);
+        }
+
+        if (t.blocks.size() < 2)
+            continue;
+        if (!duplicating)
+            t.dupFrom = t.blocks.size();
+        for (uint32_t id : t.blocks)
+            taken_by_trace[id] = true;
+        growth_used += trace_growth;
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * May this instruction execute speculatively — above a side exit it
+ * was never guarded by? Rules (see file header): no control flow, no
+ * stores (memory must be exit-consistent), no barriers, no cc/Y/fp
+ * results (the branch reads cc; fp liveness is unknown), no
+ * possibly-trapping ops (div by zero, traps), and loads only when a
+ * memory tag proves the address valid.
+ */
+bool
+speculatable(const InstRef &ref, const SuperblockOptions &opts)
+{
+    const isa::Instruction &in = ref.inst;
+    if (in.isCti() || in.isBarrier() || in.isStore())
+        return false;
+    if (in.op == isa::Op::Ticc || in.op == isa::Op::Udiv ||
+        in.op == isa::Op::Sdiv)
+        return false;
+    if (in.isLoad() &&
+        !(opts.speculateSafeLoads && ref.isInstrumentation &&
+          ref.memTag >= 0))
+        return false;
+    for (const auto &d : in.defs()) {
+        if (!d.reg.tracked())
+            continue;
+        if (d.reg.cls != isa::RegClass::Int)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+InstSeq
+scheduleSuperblock(const std::vector<SbSegment> &segments,
+                   const machine::MachineModel &model,
+                   const SchedOptions &opts,
+                   const SuperblockOptions &sb_opts,
+                   SuperblockStats *stats)
+{
+    // Concatenate the trace into one program-order sequence; the
+    // dependence graph over it has only forward edges, so readiness
+    // subsumes every data constraint on cross-segment motion.
+    InstSeq seq;
+    std::vector<uint32_t> home;      // segment of each instruction
+    std::vector<uint8_t> pinned;     // cti or delay slot: placed at
+                                     // its segment close, never picked
+    std::vector<int> cti_at(segments.size(), -1);  // global cti index
+    for (size_t k = 0; k < segments.size(); ++k) {
+        const SbSegment &s = segments[k];
+        // A non-annulled real delay instruction executes on both
+        // paths wherever it sits relative to the branch, so it may
+        // join the schedulable pool like the local scheduler's
+        // region — the delay slot is then refilled at the segment's
+        // close. A nop stays pinned (the close deletes it when a
+        // filler displaces it; freeing it would emit it in the body
+        // as junk), as does an annulled delay (the fall path skips
+        // it) or one whose registers conflict with its CTI.
+        bool free_delay = false;
+        if (s.ctiPos >= 0 &&
+            static_cast<size_t>(s.ctiPos) + 2 == s.insts.size() &&
+            s.insts[s.ctiPos + 1].inst.op != isa::Op::Nop) {
+            const isa::Instruction &ci = s.insts[s.ctiPos].inst;
+            free_delay = !ci.annul &&
+                         legalInDelaySlot(
+                             s.insts[s.ctiPos + 1].inst, ci);
+        }
+        for (size_t i = 0; i < s.insts.size(); ++i) {
+            bool pin = s.ctiPos >= 0 &&
+                       i >= static_cast<size_t>(s.ctiPos);
+            if (free_delay &&
+                i == static_cast<size_t>(s.ctiPos) + 1)
+                pin = false;
+            if (i == static_cast<size_t>(s.ctiPos))
+                cti_at[k] = static_cast<int>(seq.size());
+            seq.push_back(s.insts[i]);
+            home.push_back(static_cast<uint32_t>(k));
+            pinned.push_back(pin ? 1 : 0);
+        }
+        if (s.ctiPos >= 0 &&
+            s.insts.size() != static_cast<size_t>(s.ctiPos) + 2)
+            panic("superblock: segment CTI not second-to-last");
+    }
+    const size_t n = seq.size();
+    if (n == 0)
+        return seq;
+
+    if (opts.priority == SchedOptions::Priority::OriginalOrder)
+        return seq;
+
+    DepGraph graph(seq, model, opts.alias);
+    std::vector<int> dist = graph.distanceToEnd();
+
+    // Same packed tie key as the local scheduler: greater dependence
+    // distance first, then original program order (which also favors
+    // a segment's own instructions over speculative ones on ties).
+    std::vector<uint64_t> key(n);
+    if (opts.tieJitterSeed) {
+        std::mt19937_64 rng(opts.tieJitterSeed);
+        for (uint64_t &k : key)
+            k = rng();
+    } else {
+        for (uint32_t i = 0; i < n; ++i) {
+            switch (opts.priority) {
+              case SchedOptions::Priority::Full:
+              case SchedOptions::Priority::DistanceOnly:
+                key[i] = (uint64_t(uint32_t(INT32_MAX - dist[i]))
+                          << 32) |
+                         i;
+                break;
+              default:
+                key[i] = i;
+                break;
+            }
+        }
+    }
+    const bool useStalls =
+        opts.priority != SchedOptions::Priority::DistanceOnly;
+
+    // legal[i]: the lowest segment i may occupy without breaking a
+    // side exit, walking boundaries backward from its home. A Free
+    // boundary costs nothing; a CondExit admits only
+    // speculation-legal instructions that clobber nothing live into
+    // the side exit; a Rigid boundary stops everything.
+    // earliest[i] additionally stops at exits taken too often
+    // (maxSpecExitProb): hoisting past those is legal but wasted
+    // work on a path taken half the time. Body picks use earliest;
+    // delay-slot fills — neutral on the exit path, they displace a
+    // nop at worst — use legal.
+    std::vector<uint32_t> legal(n), earliest(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t e = home[i];
+        if (!pinned[i]) {
+            bool spec = speculatable(seq[i], sb_opts);
+            std::bitset<32> writes;
+            for (const auto &d : seq[i].inst.defs())
+                if (d.reg.tracked() &&
+                    d.reg.cls == isa::RegClass::Int)
+                    writes.set(d.reg.idx);
+            while (e > 0) {
+                const SbSegment &below = segments[e - 1];
+                if (below.boundary == BoundaryKind::Rigid)
+                    break;
+                if (below.boundary == BoundaryKind::CondExit) {
+                    if (!spec)
+                        break;
+                    if ((writes & below.exitLive).any())
+                        break;
+                }
+                --e;
+            }
+        }
+        legal[i] = e;
+        uint32_t ep = home[i];
+        while (ep > e) {
+            const SbSegment &below = segments[ep - 1];
+            if (below.boundary == BoundaryKind::CondExit &&
+                below.exitProb > sb_opts.maxSpecExitProb)
+                break;
+            --ep;
+        }
+        earliest[i] = ep;
+    }
+
+    std::vector<machine::ResolvedVariant> rvs;
+    if (useStalls) {
+        rvs.reserve(n);
+        for (const InstRef &r : seq)
+            rvs.push_back(
+                machine::ResolvedVariant::resolve(model, r.inst));
+    }
+
+    // cexBefore[k]: CondExit boundaries among segments [0, k). An
+    // instruction picked into segment k from home h executes wasted
+    // work on every side exit in between, so such "risky" hoists must
+    // buy a strictly better stall count — filling a cycle that would
+    // have been a bubble anyway costs the exit paths nothing, while a
+    // hoist that merely ties displaces real work and delays the exit
+    // branch itself. Motion across Free boundaries carries no risk.
+    std::vector<uint32_t> cexBefore(segments.size() + 1, 0);
+    for (size_t k = 0; k < segments.size(); ++k)
+        cexBefore[k + 1] =
+            cexBefore[k] +
+            (segments[k].boundary == BoundaryKind::CondExit ? 1 : 0);
+
+    std::vector<unsigned> preds(n);
+    std::vector<bool> done(n, false);
+    std::vector<uint32_t> ready;
+    for (uint32_t i = 0; i < n; ++i) {
+        preds[i] = graph.numPreds(i);
+        if (preds[i] == 0)
+            ready.push_back(i);
+    }
+    // Unscheduled non-pinned instructions per home segment: a
+    // segment closes only when its own body has fully drained
+    // (instructions never sink below their home segment — on a side
+    // exit they must already have executed).
+    std::vector<size_t> mandatory(segments.size(), 0);
+    for (uint32_t i = 0; i < n; ++i)
+        if (!pinned[i])
+            ++mandatory[home[i]];
+
+    machine::PipelineState state(model);
+    InstSeq out;
+    out.reserve(n);
+
+    auto schedule = [&](uint32_t i) {
+        if (useStalls)
+            state.issue(rvs[i]);
+        done[i] = true;
+        if (!pinned[i])
+            --mandatory[home[i]];
+        for (uint32_t e : graph.succs(i)) {
+            uint32_t j = graph.edges()[e].to;
+            if (!done[j] && --preds[j] == 0)
+                ready.push_back(j);
+        }
+    };
+    auto dropReady = [&](uint32_t i) {
+        for (size_t p = 0; p < ready.size(); ++p) {
+            if (ready[p] == i) {
+                ready[p] = ready.back();
+                ready.pop_back();
+                return;
+            }
+        }
+    };
+
+    // (instruction, position in `out`) pairs emitted by the current
+    // segment's drain, in schedule order — the delay-slot fallback
+    // scans them backward like the local scheduler scans its block.
+    std::vector<std::pair<uint32_t, size_t>> seg_out;
+
+    for (size_t k = 0; k < segments.size(); ++k) {
+        seg_out.clear();
+        while (mandatory[k] > 0) {
+            // Pick among ready instructions allowed in segment k;
+            // the pool mixes segment k's own with legal speculative
+            // ones from later segments, competing on stalls.
+            int best = -1;
+            size_t best_pos = 0;
+            unsigned best_stalls = 0;
+            unsigned best_risk = 0;
+            for (size_t p = 0; p < ready.size(); ++p) {
+                uint32_t cand = ready[p];
+                if (pinned[cand] || earliest[cand] > k)
+                    continue;
+                unsigned s =
+                    useStalls ? state.stalls(rvs[cand]) : 0;
+                unsigned risk =
+                    cexBefore[home[cand]] > cexBefore[k] ? 1 : 0;
+                if (best < 0 || s < best_stalls ||
+                    (s == best_stalls &&
+                     (risk < best_risk ||
+                      (risk == best_risk &&
+                       key[cand] < key[best])))) {
+                    best = static_cast<int>(cand);
+                    best_stalls = s;
+                    best_risk = risk;
+                    best_pos = p;
+                }
+            }
+            if (best < 0)
+                panic("superblock: no ready instruction for "
+                      "segment %zu", k);
+            if (stats && home[best] > k)
+                ++stats->hoisted;
+            ready[best_pos] = ready.back();
+            ready.pop_back();
+            seg_out.emplace_back(static_cast<uint32_t>(best),
+                                 out.size());
+            out.push_back(seq[best]);
+            schedule(static_cast<uint32_t>(best));
+        }
+
+        if (cti_at[k] < 0)
+            continue;  // free-flowing segment: no CTI to place
+        uint32_t c = static_cast<uint32_t>(cti_at[k]);
+        uint32_t d = c + 1;
+        if (preds[c] != 0)
+            panic("superblock: CTI of segment %zu not ready", k);
+        dropReady(c);
+        out.push_back(seq[c]);
+        schedule(c);
+
+        // Delay slot. A freed delay instruction (unpinned above) has
+        // already drained into the body; refill the slot it vacated
+        // with (a) the latest instruction of this segment's own
+        // schedule with no dependence on anything after it, moved
+        // past the CTI exactly as the local scheduler moves its
+        // trailing instruction — its work is needed on both paths,
+        // so the slot is never wasted — or, failing that, (b) the
+        // best ready candidate from a later segment: useful on the
+        // fall path, wasted (but harmless: it must clear the side
+        // exit, legal <= k) when the exit is taken. A pinned nop may
+        // be displaced (and deleted) the same two ways. Only when
+        // all of that fails does a freed slot cost a fresh nop.
+        const isa::Instruction &cti = seq[c].inst;
+        bool delay_freed = !pinned[d];
+        bool may_fill =
+            opts.fillDelaySlot && !cti.annul &&
+            (delay_freed || seq[d].inst.op == isa::Op::Nop);
+        int fill = -1;
+        if (may_fill) {
+            for (size_t pos = seg_out.size(); pos-- > 0;) {
+                uint32_t idx = seg_out[pos].first;
+                if (!legalInDelaySlot(seq[idx].inst, cti))
+                    continue;
+                bool clean = true;
+                for (size_t later = pos + 1;
+                     later < seg_out.size(); ++later) {
+                    if (graph.hasEdge(idx, seg_out[later].first)) {
+                        clean = false;
+                        break;
+                    }
+                }
+                if (!clean)
+                    continue;
+                InstRef moved = out[seg_out[pos].second];
+                out.erase(out.begin() +
+                          static_cast<ptrdiff_t>(seg_out[pos].second));
+                out.push_back(moved);
+                fill = static_cast<int>(idx);
+                break;
+            }
+        }
+        if (fill < 0 && may_fill) {
+            size_t fill_pos = 0;
+            unsigned fill_stalls = 0;
+            for (size_t p = 0; p < ready.size(); ++p) {
+                uint32_t cand = ready[p];
+                if (pinned[cand] || legal[cand] > k)
+                    continue;
+                if (!legalInDelaySlot(seq[cand].inst, cti))
+                    continue;
+                unsigned s =
+                    useStalls ? state.stalls(rvs[cand]) : 0;
+                if (fill < 0 || s < fill_stalls ||
+                    (s == fill_stalls &&
+                     key[cand] < key[fill])) {
+                    fill = static_cast<int>(cand);
+                    fill_stalls = s;
+                    fill_pos = p;
+                }
+            }
+            if (fill >= 0) {
+                ready[fill_pos] = ready.back();
+                ready.pop_back();
+                out.push_back(seq[fill]);
+                schedule(static_cast<uint32_t>(fill));
+            }
+        }
+        if (fill >= 0) {
+            if (stats)
+                ++stats->delaysFilled;
+            if (!delay_freed) {
+                // The displaced nop is consumed, not emitted.
+                if (preds[d] != 0)
+                    panic("superblock: delay nop has "
+                          "predecessors");
+                dropReady(d);
+                schedule(d);
+            }
+        } else {
+            if (delay_freed) {
+                InstRef nop;
+                nop.inst = isa::build::nop();
+                nop.isInstrumentation = true;
+                out.push_back(nop);
+            } else {
+                if (preds[d] != 0)
+                    panic("superblock: delay slot of segment %zu "
+                          "not ready", k);
+                dropReady(d);
+                out.push_back(seq[d]);
+                schedule(d);
+            }
+        }
+    }
+
+    for (size_t k = 0; k < segments.size(); ++k)
+        if (mandatory[k])
+            panic("superblock: segment %zu left %zu instructions "
+                  "unscheduled", k, mandatory[k]);
+    return out;
+}
+
+} // namespace eel::sched

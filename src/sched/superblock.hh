@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Profile-guided superblock scheduling — the cross-block extension of
+ * the paper's strictly local scheduler (§3-4). Two pieces:
+ *
+ *  1. Trace formation: grow superblocks along the hottest
+ *     fall-through/branch edges of each routine's CFG, using the
+ *     edge counts qpt's Ball-Larus profiler reconstructs. Growth
+ *     along a taken edge inverts the branch so the hot path becomes
+ *     fall-through. A trace is made side-entrance-free by tail
+ *     duplication: the suffix starting at the first block with an
+ *     off-trace predecessor is duplicated, the hot copy reachable
+ *     only through the trace and the cold copy keeping the old
+ *     leader address for every side entrance. The duplicated suffix
+ *     IS the compensation code for the side entrances the hot copy
+ *     no longer admits. Duplication (plus the jump stubs relinking
+ *     cold fall-throughs) is bounded by a per-routine code-growth
+ *     budget.
+ *
+ *  2. Cross-block list scheduling: one dependence graph spans the
+ *     whole superblock and the two-pass list scheduler drains it
+ *     segment by segment with a shared pipeline state. Instructions
+ *     may be hoisted above earlier side exits only when speculation
+ *     is legal: never stores, CTIs, barriers, cc/Y/fp writers, or
+ *     possibly-faulting loads (instrumentation counter loads carry a
+ *     memory tag proving a valid address and may move), and never an
+ *     instruction whose written registers are live into the side
+ *     exit's target (eel::Liveness). Dependence edges always point
+ *     forward in program order, so graph readiness enforces data
+ *     correctness across segments for free.
+ */
+
+#ifndef EEL_SCHED_SUPERBLOCK_HH
+#define EEL_SCHED_SUPERBLOCK_HH
+
+#include <bitset>
+#include <vector>
+
+#include "src/eel/cfg.hh"
+#include "src/sched/scheduler.hh"
+
+namespace eel::sched {
+
+struct SuperblockOptions
+{
+    /**
+     * An edge extends the trace only if it carries at least this
+     * fraction of both its source's outflow and its sink's inflow
+     * (mutual-most-likely, which also bounds how much count a tail
+     * duplication splits). 0.5 means "at least as hot as the
+     * alternative": even a 50/50 branch extends the trace through
+     * its fall edge, which keeps the hot path physically contiguous
+     * and costs nothing when the exit is taken — the exit branch
+     * existed anyway. bench/ablation_trace_threshold sweeps this.
+     */
+    double threshold = 0.5;
+    /** Absolute floor: colder edges never extend a trace. */
+    uint64_t minCount = 50;
+    /**
+     * Stricter bar for growth that forces tail duplication: the
+     * edge must carry at least this fraction of the successor's
+     * executions. The cold copy's executions all pay a relink jump,
+     * so a dup behind a lukewarm branch (e.g. 50/50) costs more on
+     * the off-trace path than cross-block overlap recovers on the
+     * hot one. Growth into single-predecessor blocks is free and
+     * only needs `threshold`.
+     */
+    double dupThreshold = 0.75;
+    /**
+     * Per-routine budget on duplicated instructions plus relink
+     * stubs, as a fraction of the routine's original instruction
+     * count. Growth past this truncates the trace.
+     */
+    double growthBudget = 0.15;
+    /**
+     * Allow hoisting loads whose InstRef::memTag proves a valid
+     * address (instrumentation counters) above side exits. Plain
+     * loads never speculate — they could fault.
+     */
+    bool speculateSafeLoads = true;
+    /**
+     * Hoisting an instruction above a side exit executes it for
+     * nothing every time the exit is taken — and steals a filler the
+     * instruction's home segment may have needed. That trade only
+     * pays when the exit is rarely taken, so body hoists are blocked
+     * across exits with taken probability above this. Delay-slot
+     * fills are exempt: the slot executes on both paths regardless,
+     * so a filler displaces a nop at worst.
+     */
+    double maxSpecExitProb = 0.4;
+};
+
+/** One formed trace within a routine. */
+struct Trace
+{
+    /** Member block ids, head first, in hot-path order. */
+    std::vector<uint32_t> blocks;
+    /** viaTaken[p]: the edge blocks[p-1] -> blocks[p] was the taken
+     *  edge (the branch must be inverted in the hot copy).
+     *  viaTaken[0] is always false. */
+    std::vector<uint8_t> viaTaken;
+    /**
+     * Index of the first tail-duplicated position: blocks[dupFrom..]
+     * had side entrances (or follow a block that did) and get a cold
+     * copy at their old leader address. == blocks.size() when the
+     * trace is naturally side-entrance-free.
+     */
+    size_t dupFrom = 0;
+};
+
+/**
+ * Form traces over one routine from its edge profile. Every returned
+ * trace has >= 2 blocks and each block appears in at most one trace;
+ * the routine's entry block only ever appears as a trace head.
+ */
+std::vector<Trace> formTraces(const edit::Routine &r,
+                              const edit::RoutineEdgeCounts &counts,
+                              const SuperblockOptions &opts);
+
+/** What instructions may do across the boundary after a segment. */
+enum class BoundaryKind : uint8_t {
+    /** Plain fall-through (no CTI, or branch-never): straight-line
+     *  code, only dependence edges constrain motion. */
+    Free,
+    /** Conditional branch with an off-trace taken target: only
+     *  speculation-legal instructions cross, checked against the
+     *  side exit's live-in set. */
+    CondExit,
+    /** Call, return, indirect jump, unconditional branch: nothing
+     *  crosses. */
+    Rigid,
+};
+
+/** One trace member, ready for cross-block scheduling. */
+struct SbSegment
+{
+    /** [body..., cti, delay] in program order (instrumentation
+     *  already prepended), or body only when the block has no CTI. */
+    InstSeq insts;
+    int ctiPos = -1;  ///< index of the CTI in insts, -1 if none
+    /** Boundary between this segment and the next (ignored for the
+     *  last segment). */
+    BoundaryKind boundary = BoundaryKind::Rigid;
+    /** Registers live into the side exit's target (CondExit only). */
+    std::bitset<32> exitLive;
+    /** Fraction of this block's executions that leave through the
+     *  side exit (CondExit only; from the edge profile). */
+    double exitProb = 0.0;
+};
+
+/** Optional counters for tests and benches. */
+struct SuperblockStats
+{
+    uint64_t hoisted = 0;       ///< insts moved above >= 1 side exit
+    uint64_t delaysFilled = 0;  ///< nop delay slots refilled
+};
+
+/**
+ * Schedule one superblock. Returns the full hot-path sequence with
+ * every segment's CTI and delay slot in place. A nop delay slot may
+ * be replaced by a legal instruction pulled from a later segment
+ * (the nop is deleted, so the result can be shorter); a real delay
+ * instruction under a non-annulling CTI may migrate into the body —
+ * it executes on both paths either way — with the vacated slot
+ * refilled the same way, or by a fresh nop when nothing fits.
+ */
+InstSeq scheduleSuperblock(const std::vector<SbSegment> &segments,
+                           const machine::MachineModel &model,
+                           const SchedOptions &opts,
+                           const SuperblockOptions &sb_opts,
+                           SuperblockStats *stats = nullptr);
+
+} // namespace eel::sched
+
+#endif // EEL_SCHED_SUPERBLOCK_HH

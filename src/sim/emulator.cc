@@ -217,6 +217,42 @@ Emulator::fpairSet(unsigned r, uint64_t v)
     fregs[e | 1] = static_cast<uint32_t>(v);
 }
 
+Emulator::ArchSnapshot
+Emulator::snapshot() const
+{
+    ArchSnapshot s;
+    for (unsigned r = 0; r < 32; ++r) {
+        s.intRegs[r] = reg(r);
+        s.fpRegs[r] = fregs[r];
+    }
+    s.icc = icc;
+    s.fcc = fcc;
+    s.y = yreg;
+    s.dataMem = dataMem;
+    s.stackMem = stackMem;
+    return s;
+}
+
+bool
+Emulator::ArchSnapshot::equalTo(const ArchSnapshot &o,
+                                bool ignoreScratch) const
+{
+    for (unsigned r = 0; r < 32; ++r) {
+        // %g6/%g7: reserved editor scratch. %o7/%i7: return
+        // addresses — code addresses differ between layouts.
+        if (ignoreScratch &&
+            (r == 6 || r == 7 || r == 15 || r == 31))
+            continue;
+        if (intRegs[r] != o.intRegs[r])
+            return false;
+    }
+    for (unsigned r = 0; r < 32; ++r)
+        if (fpRegs[r] != o.fpRegs[r])
+            return false;
+    return icc == o.icc && fcc == o.fcc && y == o.y &&
+           dataMem == o.dataMem && stackMem == o.stackMem;
+}
+
 RunResult
 Emulator::run(TraceSink *sink)
 {

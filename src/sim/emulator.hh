@@ -88,6 +88,33 @@ class Emulator
     void setReg(unsigned r, uint32_t v);
     uint32_t fpreg(unsigned r) const { return fregs[r]; }
 
+    /**
+     * Full architectural state after (or before) a run, for oracle
+     * comparisons between differently edited builds of one program:
+     * the current window's 32 integer registers, the fp registers,
+     * condition codes, Y, and both memory images. equalTo() by
+     * default ignores registers whose values are layout-dependent
+     * or editor-reserved rather than computational: %g6/%g7 (the
+     * editor's scratch — a speculated instrumentation load may
+     * leave different junk there after a side exit) and %o7/%i7
+     * (return addresses, i.e. code addresses, which legitimately
+     * differ between two layouts of the same program).
+     */
+    struct ArchSnapshot
+    {
+        uint32_t intRegs[32] = {};
+        uint32_t fpRegs[32] = {};
+        unsigned icc = 0;
+        unsigned fcc = 0;
+        uint32_t y = 0;
+        std::vector<uint8_t> dataMem;
+        std::vector<uint8_t> stackMem;
+
+        bool equalTo(const ArchSnapshot &o,
+                     bool ignoreScratch = true) const;
+    };
+    ArchSnapshot snapshot() const;
+
   private:
     uint32_t load(uint32_t addr, unsigned bytes, bool sign_extend);
     void store(uint32_t addr, unsigned bytes, uint32_t value);

@@ -147,4 +147,22 @@ ThreadPool::parallelFor(size_t n,
         std::rethrow_exception(batch->firstError);
 }
 
+void
+ThreadPool::parallelFor(size_t n, const std::vector<uint64_t> &cost,
+                        const std::function<void(size_t)> &fn)
+{
+    if (cost.size() != n) {
+        parallelFor(n, fn);
+        return;
+    }
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return cost[a] > cost[b];
+                     });
+    parallelFor(n, [&](size_t k) { fn(order[k]); });
+}
+
 } // namespace eel::support

@@ -55,6 +55,18 @@ class ThreadPool
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 
+    /**
+     * Cost-sorted variant: items are dispatched largest-cost first
+     * (cost[i] estimates item i's work; stable on ties, so equal
+     * costs keep index order). Starting the long poles early
+     * minimizes the end-of-batch straggler tail when per-item cost
+     * is wildly uneven — e.g. a benchmark table whose rows differ by
+     * an order of magnitude in dynamic instruction count. fn still
+     * receives the original item index.
+     */
+    void parallelFor(size_t n, const std::vector<uint64_t> &cost,
+                     const std::function<void(size_t)> &fn);
+
     /** std::thread::hardware_concurrency, floored at 1. */
     static unsigned hardwareConcurrency();
 

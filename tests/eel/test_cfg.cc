@@ -196,6 +196,66 @@ TEST(Cfg, TextGapRejected)
     EXPECT_THROW(buildRoutines(x), FatalError);
 }
 
+TEST(Cfg, SplitEdgeInsertsSyntheticBlock)
+{
+    // Diamond head: b0 = [cmp, be, nop] with taken -> b2 and
+    // fall -> b1; splitting the fall edge must leave a fresh block
+    // between b0 and b1 and rewire b1's pred list.
+    exe::Executable x = assemble({
+        b::cmpi(rn::o0, 0),
+        b::bicc(cond::e, 3),
+        b::nop(),
+        b::rri(Op::Add, rn::o1, rn::o1, 1),
+        b::rri(Op::Add, rn::o2, rn::o2, 1),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = buildRoutines(x);
+    Routine &r = rs[0];
+    ASSERT_EQ(r.blocks.size(), 3u);
+    ASSERT_EQ(r.blocks[0].fallSucc, 1);
+    ASSERT_EQ(r.blocks[0].takenSucc, 2);
+
+    RoutineEdgeCounts counts(3);
+    counts[0] = {10, 5, 15};  // fall, taken, exec
+    counts[1] = {10, 0, 10};
+    counts[2] = {0, 0, 15};
+
+    uint32_t mid = splitEdge(r, 0, &counts);
+
+    ASSERT_EQ(mid, 3u);
+    ASSERT_EQ(r.blocks.size(), 4u);
+    EXPECT_EQ(r.blocks[0].fallSucc, 3);
+    EXPECT_EQ(r.blocks[0].takenSucc, 2);  // taken edge untouched
+    EXPECT_EQ(r.blocks[3].fallSucc, 1);
+    EXPECT_EQ(r.blocks[3].startAddr, 0u);
+    EXPECT_TRUE(r.blocks[3].insts.empty());
+    ASSERT_EQ(r.blocks[3].preds.size(), 1u);
+    EXPECT_EQ(r.blocks[3].preds[0], 0u);
+    // b1's pred on the split path is now the synthetic block.
+    ASSERT_EQ(r.blocks[1].preds.size(), 1u);
+    EXPECT_EQ(r.blocks[1].preds[0], 3u);
+
+    // Flow conservation: the split edge's count rides both halves.
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0].fall, 10u);
+    EXPECT_EQ(counts[3].exec, 10u);
+    EXPECT_EQ(counts[3].fall, 10u);
+}
+
+TEST(Cfg, SplitEdgeRejectsBadBlocks)
+{
+    exe::Executable x = assemble({
+        b::movi(rn::o0, 1),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = buildRoutines(x);
+    // Out of range, and a return block with no fall-through edge.
+    EXPECT_THROW(splitEdge(rs[0], 7), FatalError);
+    EXPECT_THROW(splitEdge(rs[0], 0), FatalError);
+}
+
 TEST(Cfg, DumpRoutineMentionsBlocksAndEdges)
 {
     exe::Executable x = assemble({

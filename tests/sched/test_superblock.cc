@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Superblock scheduling tests. Two layers:
+ *
+ *  - Speculation legality on hand-built segments: an instruction
+ *    that writes a register live into a side exit's target must
+ *    never move above that exit; stores and possibly-faulting loads
+ *    never speculate at all; a hot exit (exitProb) blocks body
+ *    hoists even when they would be legal.
+ *
+ *  - End-to-end oracle on CINT-shaped workloads: rewriting with
+ *    tail-duplicated superblocks must leave program behaviour
+ *    untouched — identical emulator output, identical architectural
+ *    exit state, and an identical dynamic execution trace at block
+ *    granularity (per-block counter values; instruction-level order
+ *    inside a block legitimately differs under scheduling).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/eel/editor.hh"
+#include "src/isa/builder.hh"
+#include "src/qpt/edge_profiler.hh"
+#include "src/qpt/profiler.hh"
+#include "src/sched/superblock.hh"
+#include "src/sim/emulator.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::sched {
+namespace {
+
+namespace b = isa::build;
+using isa::Op;
+namespace cond = isa::cond;
+
+InstRef
+ref(isa::Instruction in)
+{
+    InstRef r;
+    r.inst = in;
+    return r;
+}
+
+const machine::MachineModel &
+m()
+{
+    return machine::MachineModel::builtin("ultrasparc");
+}
+
+/** Index of the first instruction in `seq` encoding like `in`, or
+ *  -1. */
+int
+find(const InstSeq &seq, const isa::Instruction &in)
+{
+    uint32_t word = isa::encode(in);
+    for (size_t i = 0; i < seq.size(); ++i)
+        if (isa::encode(seq[i].inst) == word)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** Two-segment trace: seg0 = [body..., bne, nop] with a CondExit
+ *  boundary, seg1 = tail. */
+std::vector<SbSegment>
+twoSegments(InstSeq seg0_body, InstSeq seg1,
+            std::bitset<32> exit_live, double exit_prob,
+            bool annul = false)
+{
+    std::vector<SbSegment> segs(2);
+    segs[0].insts = std::move(seg0_body);
+    segs[0].insts.push_back(ref(b::bicc(cond::ne, 8, annul)));
+    segs[0].insts.push_back(ref(b::nop()));
+    segs[0].ctiPos = static_cast<int>(segs[0].insts.size()) - 2;
+    segs[0].boundary = BoundaryKind::CondExit;
+    segs[0].exitLive = exit_live;
+    segs[0].exitProb = exit_prob;
+    segs[1].insts = std::move(seg1);
+    return segs;
+}
+
+TEST(Superblock, LiveOutOnSideExitNeverHoisted)
+{
+    // seg0 ends in a load-use stall the scheduler wants to fill;
+    // seg1's first instruction would fill it but writes %o2, which
+    // is live into the side exit's target.
+    isa::Instruction clobber = b::rri(Op::Add, 10, 10, 1);  // %o2
+    std::bitset<32> live;
+    live.set(10);
+    auto segs = twoSegments(
+        {ref(b::memi(Op::Ld, 8, 16, 0)),
+         ref(b::rri(Op::Subcc, 0, 8, 5))},
+        {ref(clobber), ref(b::memi(Op::St, 10, 16, 8))},
+        live, 0.0);
+
+    SuperblockStats stats;
+    InstSeq out = scheduleSuperblock(segs, m(), {}, {}, &stats);
+
+    int cti = find(out, b::bicc(cond::ne, 8));
+    int at = find(out, clobber);
+    ASSERT_GE(cti, 0);
+    ASSERT_GE(at, 0);
+    // Above the branch AND in its delay slot both execute on the
+    // side-exit path; the clobber must sit strictly below the slot.
+    EXPECT_GT(at, cti + 1);
+    EXPECT_EQ(stats.hoisted, 0u);
+}
+
+TEST(Superblock, StoresAndPlainLoadsNeverSpeculate)
+{
+    isa::Instruction store = b::memi(Op::St, 9, 16, 8);
+    isa::Instruction load = b::memi(Op::Ld, 11, 16, 12);
+    auto segs = twoSegments(
+        {ref(b::memi(Op::Ld, 8, 16, 0)),
+         ref(b::rri(Op::Subcc, 0, 8, 5))},
+        {ref(store), ref(load),
+         ref(b::rri(Op::Add, 12, 11, 1))},
+        std::bitset<32>(), 0.0);
+
+    InstSeq out = scheduleSuperblock(segs, m(), {}, {});
+
+    int cti = find(out, b::bicc(cond::ne, 8));
+    ASSERT_GE(cti, 0);
+    EXPECT_GT(find(out, store), cti + 1);
+    EXPECT_GT(find(out, load), cti + 1);
+}
+
+TEST(Superblock, SafeLoadHoistsIntoStallAboveColdExit)
+{
+    // An instrumentation load with a memory tag is the only
+    // zero-stall candidate for the bubble behind seg0's load; the
+    // exit is cold, so it may cross. The branch annuls, putting the
+    // delay slot off-limits to refilling — the load must land in the
+    // body, strictly above the exit.
+    InstRef counter = ref(b::memi(Op::Ld, 7, 6, 0));  // %g7 = [%g6]
+    counter.isInstrumentation = true;
+    counter.memTag = 1;
+    auto segs = twoSegments(
+        {ref(b::memi(Op::Ld, 8, 16, 0)),
+         ref(b::rri(Op::Subcc, 0, 8, 5))},
+        {counter, ref(b::rri(Op::Add, 7, 7, 1))},
+        std::bitset<32>(), 0.0, /*annul=*/true);
+
+    SuperblockStats stats;
+    InstSeq out = scheduleSuperblock(segs, m(), {}, {}, &stats);
+
+    int cti = find(out, b::bicc(cond::ne, 8, true));
+    int at = find(out, counter.inst);
+    ASSERT_GE(cti, 0);
+    ASSERT_GE(at, 0);
+    EXPECT_LT(at, cti);
+    EXPECT_GE(stats.hoisted, 1u);
+}
+
+TEST(Superblock, HoistedFillerMigratesIntoDelaySlot)
+{
+    // Same shape, but the branch does not annul: the delay slot
+    // executes on both paths, so the counter does the most good
+    // parked there — the original nop is deleted and the sequence
+    // shrinks by one.
+    InstRef counter = ref(b::memi(Op::Ld, 7, 6, 0));
+    counter.isInstrumentation = true;
+    counter.memTag = 1;
+    auto segs = twoSegments(
+        {ref(b::memi(Op::Ld, 8, 16, 0)),
+         ref(b::rri(Op::Subcc, 0, 8, 5))},
+        {counter, ref(b::rri(Op::Add, 7, 7, 1))},
+        std::bitset<32>(), 0.0);
+    size_t in_count = segs[0].insts.size() + segs[1].insts.size();
+
+    SuperblockStats stats;
+    InstSeq out = scheduleSuperblock(segs, m(), {}, {}, &stats);
+
+    int cti = find(out, b::bicc(cond::ne, 8));
+    int at = find(out, counter.inst);
+    ASSERT_GE(cti, 0);
+    EXPECT_EQ(at, cti + 1);
+    EXPECT_EQ(stats.delaysFilled, 1u);
+    EXPECT_EQ(out.size(), in_count - 1);  // the nop is gone
+}
+
+TEST(Superblock, HotExitBlocksBodyHoists)
+{
+    // Same bubble, but the exit is taken half the time: hoisting
+    // would execute seg1's work for nothing on every exit, so the
+    // body before the branch must hold only seg0's instructions.
+    InstRef counter = ref(b::memi(Op::Ld, 7, 6, 0));
+    counter.isInstrumentation = true;
+    counter.memTag = 1;
+    InstSeq seg0_body = {ref(b::memi(Op::Ld, 8, 16, 0)),
+                         ref(b::rri(Op::Subcc, 0, 8, 5))};
+    auto segs = twoSegments(seg0_body,
+                            {counter, ref(b::rri(Op::Add, 7, 7, 1))},
+                            std::bitset<32>(), 0.5);
+
+    SuperblockStats stats;
+    InstSeq out = scheduleSuperblock(segs, m(), {}, {}, &stats);
+
+    int cti = find(out, b::bicc(cond::ne, 8));
+    ASSERT_GE(cti, 0);
+    for (int i = 0; i < cti; ++i) {
+        uint32_t w = isa::encode(out[i].inst);
+        bool from_seg0 = false;
+        for (const InstRef &s : seg0_body)
+            from_seg0 |= isa::encode(s.inst) == w;
+        EXPECT_TRUE(from_seg0)
+            << "seg1 instruction hoisted above a 50% exit at " << i;
+    }
+    EXPECT_EQ(stats.hoisted, 0u);
+}
+
+TEST(Superblock, FormTracesInvariants)
+{
+    // Over a real profiled workload: traces partition their blocks
+    // (each block in at most one trace), every trace has >= 2
+    // blocks, and a routine's entry block only appears as a head.
+    const machine::MachineModel &mm = m();
+    workload::BenchmarkSpec spec = workload::spec95("ultrasparc")[0];
+    workload::GenOptions gopts;
+    gopts.scale = 0.01;
+    gopts.machine = &mm;
+    exe::Executable x = workload::generate(spec, gopts);
+    auto routines = edit::buildRoutines(x);
+
+    exe::Executable prof_x = x;
+    auto eplan = qpt::makeEdgePlan(prof_x, routines);
+    exe::Executable prof =
+        edit::rewrite(prof_x, routines, eplan.plan, {});
+    sim::Emulator emu(prof);
+    emu.run();
+    auto counts = qpt::exportEdgeCounts(
+        qpt::readEdgeCounts(emu, eplan, routines), eplan, routines);
+
+    size_t total_traces = 0;
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        const edit::Routine &r = routines[ri];
+        auto traces = formTraces(r, counts[ri], {});
+        std::vector<int> seen(r.blocks.size(), 0);
+        int entry = -1;
+        for (const edit::Block &bb : r.blocks)
+            if (bb.startAddr == r.entry)
+                entry = static_cast<int>(bb.id);
+        for (const Trace &t : traces) {
+            EXPECT_GE(t.blocks.size(), 2u);
+            EXPECT_EQ(t.blocks.size(), t.viaTaken.size());
+            EXPECT_LE(t.dupFrom, t.blocks.size());
+            for (size_t p = 0; p < t.blocks.size(); ++p) {
+                ++seen[t.blocks[p]];
+                if (p > 0) {
+                    EXPECT_NE(static_cast<int>(t.blocks[p]), entry);
+                }
+            }
+        }
+        for (int c : seen)
+            EXPECT_LE(c, 1);
+        total_traces += traces.size();
+    }
+    EXPECT_GT(total_traces, 0u);
+}
+
+/** Full pipeline at a given scale: edge-profile, then rewrite with
+ *  block counters under local and superblock scheduling, run all
+ *  three, and compare behaviour. */
+void
+oracleFor(size_t bench, double scale)
+{
+    const machine::MachineModel &mm = m();
+    workload::BenchmarkSpec spec =
+        workload::spec95("ultrasparc")[bench];
+    workload::GenOptions gopts;
+    gopts.scale = scale;
+    gopts.machine = &mm;
+    exe::Executable orig = workload::generate(spec, gopts);
+    auto routines = edit::buildRoutines(orig);
+
+    exe::Executable eprof_x = orig;
+    auto eplan = qpt::makeEdgePlan(eprof_x, routines);
+    exe::Executable eprof =
+        edit::rewrite(eprof_x, routines, eplan.plan, {});
+    sim::Emulator prof_emu(eprof);
+    prof_emu.run();
+    auto bcounts = qpt::exportEdgeCounts(
+        qpt::readEdgeCounts(prof_emu, eplan, routines), eplan,
+        routines);
+
+    exe::Executable work = orig;
+    qpt::ProfilePlan plan = qpt::makePlan(work, routines);
+
+    edit::EditOptions sopts;
+    sopts.schedule = true;
+    sopts.model = &mm;
+    sopts.scope = edit::SchedScope::Superblock;
+    sopts.edgeCounts = &bcounts;
+
+    exe::Executable inst =
+        edit::rewrite(work, routines, plan.plan, {});
+    exe::Executable sb =
+        edit::rewrite(work, routines, plan.plan, sopts);
+
+    sim::Emulator ei(inst), es(sb);
+    sim::RunResult ri = ei.run();
+    sim::RunResult rs = es.run();
+
+    // Identical observable behaviour...
+    ASSERT_TRUE(ri.exited);
+    ASSERT_TRUE(rs.exited);
+    EXPECT_EQ(ri.exitCode, rs.exitCode);
+    EXPECT_EQ(ri.output, rs.output);
+    // ...identical architectural exit state (scratch and return
+    // addresses excepted: code addresses differ between layouts)...
+    EXPECT_TRUE(es.snapshot().equalTo(ei.snapshot(), true));
+    // ...and an identical dynamic trace at block granularity: every
+    // original block's counter — including tail-duplicated ones,
+    // whose hot and cold copies both carry the snippet — accumulates
+    // the same count under both layouts.
+    EXPECT_EQ(qpt::readCounts(ei, plan), qpt::readCounts(es, plan));
+}
+
+TEST(Superblock, OracleGo) { oracleFor(0, 0.02); }
+TEST(Superblock, OracleGcc) { oracleFor(2, 0.02); }
+TEST(Superblock, OracleCompress) { oracleFor(3, 0.02); }
+
+} // namespace
+} // namespace eel::sched

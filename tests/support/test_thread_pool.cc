@@ -90,6 +90,36 @@ TEST(ThreadPool, NestedCallsRunInline)
     EXPECT_EQ(inner.load(), 32);
 }
 
+TEST(ThreadPool, CostSortedDispatchOrder)
+{
+    // With a single thread of execution, dispatch order is execution
+    // order: largest cost first, index order on ties, and fn still
+    // sees original indices.
+    ThreadPool pool(1);
+    std::vector<uint64_t> cost = {5, 40, 5, 90, 40, 0};
+    std::vector<size_t> order;
+    pool.parallelFor(cost.size(), cost,
+                     [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{3, 1, 4, 0, 2, 5}));
+}
+
+TEST(ThreadPool, CostSortedRunsEveryItemOnce)
+{
+    // Multi-threaded: completion order is nondeterministic, but every
+    // item must run exactly once, and an empty batch is a no-op.
+    ThreadPool pool(4);
+    std::vector<uint64_t> cost(64);
+    for (size_t i = 0; i < cost.size(); ++i)
+        cost[i] = (i * 7919) % 100;
+    std::vector<std::atomic<int>> hits(cost.size());
+    pool.parallelFor(cost.size(), cost, [&](size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    pool.parallelFor(0, std::vector<uint64_t>{}, [&](size_t) {
+        FAIL() << "empty batch ran an item";
+    });
+}
+
 TEST(ThreadPool, ManySmallBatches)
 {
     ThreadPool pool(4);
