@@ -7,6 +7,7 @@
 
 #include "src/eel/editor.hh"
 #include "src/qpt/profiler.hh"
+#include "src/sim/shard.hh"
 #include "src/sim/timing.hh"
 #include "src/support/logging.hh"
 #include "src/workload/generator.hh"
@@ -37,10 +38,12 @@ parseArgs(int argc, char **argv)
             opts.only = value();
         else if (a == "--jobs")
             opts.jobs = static_cast<unsigned>(std::stoul(value()));
+        else if (a == "--shard-interval")
+            opts.shardInterval = std::stoull(value());
         else if (a == "--help") {
             std::printf("options: --machine <name> --scale <x> "
                         "--resched-first --only <benchmark> "
-                        "--jobs <n>\n");
+                        "--jobs <n> --shard-interval <insts>\n");
             std::exit(0);
         } else {
             fatal("unknown option '%s'", a.c_str());
@@ -92,6 +95,19 @@ runBenchmark(const TableOptions &opts, size_t index,
     workload::BenchmarkSpec spec =
         workload::spec95(opts.machine)[index];
 
+    // Timing runs go through the sharded path when requested; the
+    // merge is deterministic, so rows don't change (only wall time).
+    // parallelFor runs inline from a pool worker, so sharding inside
+    // a full-suite run degrades gracefully to the serial path.
+    auto timed = [&](const exe::Executable &xe) {
+        if (!opts.shardInterval)
+            return sim::timedRun(xe, m);
+        sim::ShardOptions sopts;
+        sopts.interval = opts.shardInterval;
+        sopts.pool = pool;
+        return sim::runSharded(xe, m, sopts).toTimedRun();
+    };
+
     workload::GenOptions gopts;
     gopts.scale = opts.scale;
     gopts.machine = &m;
@@ -114,8 +130,8 @@ runBenchmark(const TableOptions &opts, size_t index,
         auto routines0 = edit::buildRoutines(original);
         base = edit::rewrite(original, routines0,
                              edit::InstrumentationPlan{}, sched_opts);
-        auto r_orig = sim::timedRun(original, m);
-        auto r_base = sim::timedRun(base, m);
+        auto r_orig = timed(original);
+        auto r_base = timed(base);
         base_ratio = double(r_base.cycles) / double(r_orig.cycles);
     }
 
@@ -128,9 +144,9 @@ runBenchmark(const TableOptions &opts, size_t index,
     exe::Executable scheduled =
         edit::rewrite(work, routines, plan.plan, sched_opts);
 
-    auto r_base = sim::timedRun(base, m);
-    auto r_inst = sim::timedRun(instrumented, m);
-    auto r_sched = sim::timedRun(scheduled, m);
+    auto r_base = timed(base);
+    auto r_inst = timed(instrumented);
+    auto r_sched = timed(scheduled);
     if (r_base.result.output != r_inst.result.output ||
         r_base.result.output != r_sched.result.output)
         fatal("%s: instrumented output differs from original",

@@ -61,9 +61,20 @@ struct TableOptions
      * so the printed table is identical for every jobs value.
      */
     unsigned jobs = 0;
+    /**
+     * Shard each timing simulation every N dynamic instructions and
+     * replay the shards on the pool (sim::runSharded). 0 = serial
+     * timedRun. Sharded results merge in shard order, so the table
+     * is byte-identical either way; this trades one extra functional
+     * pass for replays that spread across the jobs. Most useful with
+     * --only, where a single benchmark would otherwise leave all but
+     * one worker idle.
+     */
+    uint64_t shardInterval = 0;
 };
 
-/** Parse --machine/--scale/--resched-first/--only/--jobs from argv. */
+/** Parse --machine/--scale/--resched-first/--only/--jobs/
+ *  --shard-interval from argv. */
 TableOptions parseArgs(int argc, char **argv);
 
 /**

@@ -2,11 +2,13 @@
  * @file
  * Perf harness for the reproduction pipeline itself. Times the three
  * layers this repo's hot path is made of — block scheduling,
- * functional emulation, timing simulation — plus the end-to-end
+ * functional emulation, timing simulation — plus the sharded
+ * checkpoint-and-replay simulator at jobs 1/2/N and the end-to-end
  * Table-1 protocol at jobs=1 and jobs=N, and writes the numbers to a
  * JSON file so successive PRs have a perf trajectory to compare
  * against. Exits nonzero if the parallel table output diverges from
- * the serial one.
+ * the serial one or the sharded cycles diverge from the serial
+ * simulator.
  *
  * With --check <baseline.json>, also compares the fresh throughput
  * numbers against the checked-in baseline and exits nonzero when any
@@ -29,6 +31,7 @@
 #include "src/eel/cfg.hh"
 #include "src/eel/editor.hh"
 #include "src/qpt/profiler.hh"
+#include "src/sim/shard.hh"
 #include "src/sim/timing.hh"
 #include "src/support/logging.hh"
 #include "src/support/thread_pool.hh"
@@ -164,10 +167,42 @@ main(int argc, char **argv)
     });
     double emu_minst_per_s = double(insts) / emu_s / 1e6;
 
+    uint64_t serial_cycles = 0;
     double timing_s = bestOf(3, [&] {
-        sim::timedRun(x, m);
+        serial_cycles = sim::timedRun(x, m).cycles;
     });
     double timing_minst_per_s = double(insts) / timing_s / 1e6;
+
+    // --- Sharded timing simulation (checkpoint-and-replay,
+    // sim::runSharded). jobs=1 measures the subsystem's intrinsic
+    // overhead — the extra functional capture pass plus per-shard
+    // warmups — and is the host-stable number the baseline gates.
+    // jobs=2 and jobs=N record scaling, informational only: they
+    // measure the host's parallelism more than this code. Merged
+    // cycles must equal the serial simulator's exactly.
+    sim::ShardOptions sopts;
+    uint64_t sharded_cycles = 0;
+    double sharded1_s = bestOf(3, [&] {
+        sharded_cycles = sim::runSharded(x, m, sopts).cycles;
+    });
+    double sharded1_minst_per_s = double(insts) / sharded1_s / 1e6;
+    bool cycles_match = sharded_cycles == serial_cycles;
+
+    support::ThreadPool pool2(2);
+    sopts.pool = &pool2;
+    double sharded2_s = bestOf(3, [&] {
+        cycles_match &= sim::runSharded(x, m, sopts).cycles ==
+                        serial_cycles;
+    });
+    double sharded2_minst_per_s = double(insts) / sharded2_s / 1e6;
+
+    support::ThreadPool poolN(jobs);
+    sopts.pool = &poolN;
+    double shardedN_s = bestOf(3, [&] {
+        cycles_match &= sim::runSharded(x, m, sopts).cycles ==
+                        serial_cycles;
+    });
+    double shardedN_minst_per_s = double(insts) / shardedN_s / 1e6;
 
     // --- End-to-end Table-1 protocol, serial vs parallel.
     bench::TableOptions topts;
@@ -202,6 +237,14 @@ main(int argc, char **argv)
     std::printf("emulate            %.1f Minst/s\n", emu_minst_per_s);
     std::printf("timing-sim         %.1f Minst/s\n",
                 timing_minst_per_s);
+    std::printf("sharded jobs=1     %.1f Minst/s\n",
+                sharded1_minst_per_s);
+    std::printf("sharded jobs=2     %.1f Minst/s\n",
+                sharded2_minst_per_s);
+    std::printf("sharded jobs=%-5u %.1f Minst/s\n", jobs,
+                shardedN_minst_per_s);
+    std::printf("sharded cycles     %s\n",
+                cycles_match ? "match serial" : "DIVERGED");
     std::printf("table1 jobs=1      %.3fs\n", e2e_serial_s);
     std::printf("table1 jobs=%-6u %.3fs (%.2fx)\n", jobs,
                 e2e_parallel_s, speedup);
@@ -222,6 +265,15 @@ main(int argc, char **argv)
                  emu_minst_per_s);
     std::fprintf(f, "  \"timing_sim_minst_per_s\": %.2f,\n",
                  timing_minst_per_s);
+    std::fprintf(f, "  \"sharded_timing_minst_per_s_jobs1\": %.2f,\n",
+                 sharded1_minst_per_s);
+    std::fprintf(f, "  \"sharded_timing_minst_per_s_jobs2\": %.2f,\n",
+                 sharded2_minst_per_s);
+    std::fprintf(f, "  \"sharded_timing_jobs\": %u,\n", jobs);
+    std::fprintf(f, "  \"sharded_timing_minst_per_s_jobsN\": %.2f,\n",
+                 shardedN_minst_per_s);
+    std::fprintf(f, "  \"sharded_cycles_match_serial\": %s,\n",
+                 cycles_match ? "true" : "false");
     std::fprintf(f, "  \"table1_jobs1_wall_s\": %.4f,\n",
                  e2e_serial_s);
     std::fprintf(f, "  \"table1_jobs\": %u,\n", jobs);
@@ -237,6 +289,12 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: jobs=%u table output differs from "
                      "jobs=1\n", jobs);
+        return 1;
+    }
+    if (!cycles_match) {
+        std::fprintf(stderr,
+                     "FAIL: sharded simulation cycles diverged from "
+                     "the serial simulator\n");
         return 1;
     }
 
@@ -257,6 +315,10 @@ main(int argc, char **argv)
             {"schedule_blocks_per_s", sched_blocks_per_s},
             {"emulate_minst_per_s", emu_minst_per_s},
             {"timing_sim_minst_per_s", timing_minst_per_s},
+            // jobs=1 only: the jobs>1 numbers track the host's idle
+            // cores, not this code, and would flap on shared CI.
+            {"sharded_timing_minst_per_s_jobs1",
+             sharded1_minst_per_s},
         };
         bool bad = false;
         for (const Gate &g : gates) {

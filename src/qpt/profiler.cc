@@ -156,8 +156,12 @@ makePlan(exe::Executable &x, const std::vector<Routine> &routines,
     return out;
 }
 
+namespace {
+
+/** Shared by the emulator- and snapshot-backed readers. */
+template <class ReadWord>
 std::vector<std::vector<uint64_t>>
-readCounts(const sim::Emulator &emu, const ProfilePlan &plan)
+readCountsWith(const ReadWord &readWord, const ProfilePlan &plan)
 {
     std::vector<std::vector<uint64_t>> counts(plan.counterOf.size());
     for (size_t ri = 0; ri < plan.counterOf.size(); ++ri) {
@@ -166,7 +170,7 @@ readCounts(const sim::Emulator &emu, const ProfilePlan &plan)
             int c = plan.counterOf[ri][bi];
             if (c >= 0)
                 counts[ri][bi] =
-                    emu.readWord(plan.counterBase + 4 * c);
+                    readWord(plan.counterBase + 4 * c);
         }
     }
     // Skipped blocks borrow their partner's count (partners are
@@ -181,6 +185,33 @@ readCounts(const sim::Emulator &emu, const ProfilePlan &plan)
         }
     }
     return counts;
+}
+
+} // namespace
+
+std::vector<std::vector<uint64_t>>
+readCounts(const sim::Emulator &emu, const ProfilePlan &plan)
+{
+    return readCountsWith(
+        [&](uint32_t addr) { return emu.readWord(addr); }, plan);
+}
+
+std::vector<std::vector<uint64_t>>
+readCounts(const sim::Emulator::ArchSnapshot &state,
+           const ProfilePlan &plan)
+{
+    // The counter array lives in bss, i.e. inside the data image.
+    return readCountsWith(
+        [&](uint32_t addr) -> uint64_t {
+            size_t off = addr - exe::dataBase;
+            if (off + 4 > state.dataMem.size())
+                fatal("qpt: counter at 0x%x outside snapshot", addr);
+            return (uint32_t(state.dataMem[off]) << 24) |
+                   (uint32_t(state.dataMem[off + 1]) << 16) |
+                   (uint32_t(state.dataMem[off + 2]) << 8) |
+                   uint32_t(state.dataMem[off + 3]);
+        },
+        plan);
 }
 
 } // namespace eel::qpt

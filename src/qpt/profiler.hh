@@ -71,6 +71,16 @@ ProfilePlan makePlan(exe::Executable &x,
 std::vector<std::vector<uint64_t>>
 readCounts(const sim::Emulator &emu, const ProfilePlan &plan);
 
+/**
+ * As above, but from a captured architectural snapshot — the form a
+ * sharded run hands back (sim::ShardedRun::finalState), where the
+ * counter array is part of the merged data image rather than a live
+ * emulator.
+ */
+std::vector<std::vector<uint64_t>>
+readCounts(const sim::Emulator::ArchSnapshot &state,
+           const ProfilePlan &plan);
+
 /** The 4-instruction counter snippet for a counter at addr. */
 sched::InstSeq counterSnippet(uint32_t addr, const ProfileOptions &opts);
 

@@ -1,0 +1,157 @@
+#include "src/sim/checkpoint.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/support/logging.hh"
+
+namespace eel::sim {
+
+MemDelta
+MemDelta::diff(const std::vector<uint8_t> &ref,
+               const std::vector<uint8_t> &cur)
+{
+    if (ref.size() != cur.size())
+        fatal("memdelta: image size mismatch (%zu vs %zu)",
+              ref.size(), cur.size());
+    MemDelta d;
+    for (size_t off = 0; off < cur.size(); off += pageBytes) {
+        size_t len = std::min<size_t>(pageBytes, cur.size() - off);
+        if (std::memcmp(ref.data() + off, cur.data() + off, len) != 0)
+            d.pages.push_back(
+                {static_cast<uint32_t>(off),
+                 {cur.begin() + off, cur.begin() + off + len}});
+    }
+    return d;
+}
+
+void
+MemDelta::apply(std::vector<uint8_t> &mem) const
+{
+    for (const Page &p : pages) {
+        if (p.offset + p.bytes.size() > mem.size())
+            fatal("memdelta: page at 0x%x overruns image", p.offset);
+        std::memcpy(mem.data() + p.offset, p.bytes.data(),
+                    p.bytes.size());
+    }
+}
+
+uint64_t
+MemDelta::bytes() const
+{
+    uint64_t n = 0;
+    for (const Page &p : pages)
+        n += p.bytes.size() + sizeof(Page);
+    return n;
+}
+
+uint64_t
+CheckpointLog::bytes() const
+{
+    uint64_t n = 0;
+    for (const Checkpoint &cp : checkpoints)
+        n += cp.dataDelta.bytes() + cp.stackDelta.bytes() +
+             cp.state.wins.size() * sizeof(uint32_t) +
+             cp.warmupPcs.size() * sizeof(uint32_t) +
+             sizeof(Checkpoint);
+    return n;
+}
+
+namespace {
+
+/** Rolling buffer of the last N retired pcs. */
+struct RingSink final
+{
+    std::vector<uint32_t> ring;
+    size_t head = 0;
+    bool wrapped = false;
+
+    explicit RingSink(unsigned n) { ring.assign(n ? n : 1, 0); }
+
+    void
+    retire(uint32_t pc, const isa::Instruction &)
+    {
+        ring[head] = pc;
+        if (++head == ring.size()) {
+            head = 0;
+            wrapped = true;
+        }
+    }
+
+    std::vector<uint32_t>
+    ordered() const
+    {
+        std::vector<uint32_t> out;
+        if (wrapped)
+            out.insert(out.end(), ring.begin() + head, ring.end());
+        out.insert(out.end(), ring.begin(), ring.begin() + head);
+        return out;
+    }
+};
+
+/** x's pristine data+bss image, as the emulator constructs it. */
+std::vector<uint8_t>
+initialDataImage(const exe::Executable &x)
+{
+    std::vector<uint8_t> mem(x.bssEnd() - exe::dataBase, 0);
+    std::memcpy(mem.data(), x.data.data(), x.data.size());
+    return mem;
+}
+
+} // namespace
+
+CheckpointLog
+captureCheckpoints(const exe::Executable &x,
+                   const CheckpointOptions &opts,
+                   std::shared_ptr<const Emulator::DecodedText> text)
+{
+    if (opts.interval == 0)
+        fatal("checkpoint: interval must be nonzero");
+    if (!text)
+        text = Emulator::decodeText(x);
+
+    CheckpointLog log;
+    log.interval = opts.interval;
+
+    Emulator emu(x, opts.emu, text);
+    RingSink sink(opts.warmup);
+
+    const std::vector<uint8_t> data0 = initialDataImage(x);
+    const std::vector<uint8_t> stack0(opts.emu.stackBytes, 0);
+
+    uint64_t cap = opts.emu.maxInstructions;
+    for (;;) {
+        uint64_t step = std::min(opts.interval, cap);
+        RunResult r = emu.run(sink, step);
+        log.functional.instructions += r.instructions;
+        log.functional.output += r.output;
+        log.functional.exitCode = r.exitCode;
+        log.functional.exited = r.exited;
+        cap -= r.instructions;
+        // Stop without a trailing checkpoint: the final shard ends
+        // at program exit (or the instruction cap), not at a cut.
+        if (r.exited || r.instructions < step || cap == 0)
+            break;
+        Checkpoint cp;
+        cp.state = emu.saveState(/*withMemory=*/false);
+        cp.dataDelta = MemDelta::diff(data0, emu.dataImage());
+        cp.stackDelta = MemDelta::diff(stack0, emu.stackImage());
+        cp.warmupPcs = sink.ordered();
+        log.checkpoints.push_back(std::move(cp));
+    }
+    return log;
+}
+
+Emulator::State
+materializeState(const exe::Executable &x,
+                 const Emulator::Config &cfg, const Checkpoint &cp)
+{
+    Emulator::State s = cp.state;
+    s.dataMem = initialDataImage(x);
+    cp.dataDelta.apply(s.dataMem);
+    s.stackMem.assign(cfg.stackBytes, 0);
+    cp.stackDelta.apply(s.stackMem);
+    return s;
+}
+
+} // namespace eel::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Checkpoint capture for sharded simulation.
+ *
+ * One benchmark's timing simulation is bounded by the serial
+ * simulator: the table benches parallelize across benchmarks, but a
+ * single long run leaves the pool idle. The fix is the classic
+ * checkpoint-and-replay split: a cheap functional pass (the emulator
+ * alone runs ~10x faster than the emulator feeding the timing model)
+ * captures full machine state every `interval` dynamic instructions,
+ * and the expensive timing replay of the segments between
+ * checkpoints then fans out across the thread pool (src/sim/shard).
+ *
+ * A checkpoint holds the register/cursor state plus the memory image
+ * as page deltas against the executable's pristine initial image —
+ * the benchmarks touch a small working set, so storing only dirty
+ * pages keeps a whole run's checkpoint log in the tens-of-kilobytes
+ * range instead of shards x megabytes. Each checkpoint also carries
+ * the pcs of the last `warmup` retired instructions: the replay
+ * issues them through the timing model first (uncounted) so the
+ * pipeline's bounded history — unit ring, register read/write
+ * cycles, fetch redirect state — matches the serial simulator's at
+ * the cut, which is what makes the merged cycle totals exact (see
+ * shard.hh for the bound).
+ */
+
+#ifndef EEL_SIM_CHECKPOINT_HH
+#define EEL_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/emulator.hh"
+
+namespace eel::sim {
+
+/** Pages of a memory image that differ from a reference image. */
+struct MemDelta
+{
+    static constexpr uint32_t pageBytes = 4096;
+
+    struct Page
+    {
+        uint32_t offset;             ///< byte offset into the image
+        std::vector<uint8_t> bytes;  ///< pageBytes (short at the end)
+    };
+    std::vector<Page> pages;
+
+    /** Pages of `cur` that differ from `ref` (equal sizes). */
+    static MemDelta diff(const std::vector<uint8_t> &ref,
+                         const std::vector<uint8_t> &cur);
+
+    /** Overwrite mem's recorded pages; mem must be ref-sized. */
+    void apply(std::vector<uint8_t> &mem) const;
+
+    /** Retained payload bytes. */
+    uint64_t bytes() const;
+};
+
+/** Machine state at one cut, with memory stored as deltas. */
+struct Checkpoint
+{
+    Emulator::State state;  ///< bare (memory images left empty)
+    MemDelta dataDelta;     ///< vs the executable's initial data+bss
+    MemDelta stackDelta;    ///< vs the zeroed initial stack
+    /** Last `warmup` retired pcs before the cut, oldest first. */
+    std::vector<uint32_t> warmupPcs;
+};
+
+struct CheckpointLog
+{
+    std::vector<Checkpoint> checkpoints;  ///< ascending state.retired
+    RunResult functional;  ///< whole-run result of the capture pass
+    uint64_t interval = 0;
+    uint64_t bytes() const;  ///< approximate retained size
+};
+
+struct CheckpointOptions
+{
+    /** Dynamic instructions per shard (and between checkpoints). */
+    uint64_t interval = 64 * 1024;
+    /** Retired-pc history kept per checkpoint for timing warmup. */
+    unsigned warmup = 1024;
+    Emulator::Config emu{};
+};
+
+/**
+ * Run the functional pass over x, capturing a checkpoint every
+ * opts.interval retired instructions (none at 0 or at program
+ * exit). Pass a shared pre-decoded text to skip re-decoding.
+ */
+CheckpointLog
+captureCheckpoints(const exe::Executable &x,
+                   const CheckpointOptions &opts = {},
+                   std::shared_ptr<const Emulator::DecodedText> text =
+                       nullptr);
+
+/**
+ * Expand cp back into a full emulator state for x (initial images
+ * plus the recorded deltas); restoreState() of the result positions
+ * a fresh emulator exactly at cp's cut.
+ */
+Emulator::State materializeState(const exe::Executable &x,
+                                 const Emulator::Config &cfg,
+                                 const Checkpoint &cp);
+
+} // namespace eel::sim
+
+#endif // EEL_SIM_CHECKPOINT_HH

@@ -13,16 +13,31 @@ namespace eel::sim {
 using isa::Instruction;
 using isa::Op;
 
+std::shared_ptr<const Emulator::DecodedText>
+Emulator::decodeText(const exe::Executable &x)
+{
+    auto text = std::make_shared<DecodedText>();
+    text->reserve(x.text.size());
+    for (uint32_t w : x.text)
+        text->push_back(isa::decode(w));
+    return text;
+}
+
 Emulator::Emulator(const exe::Executable &x)
     : Emulator(x, Config{})
 {}
 
 Emulator::Emulator(const exe::Executable &x, Config cfg)
-    : x(x), cfg(cfg)
+    : Emulator(x, cfg, nullptr)
+{}
+
+Emulator::Emulator(const exe::Executable &x, Config cfg,
+                   std::shared_ptr<const DecodedText> text)
+    : x(x), cfg(cfg),
+      decoded(text ? std::move(text) : decodeText(x))
 {
-    decoded.reserve(x.text.size());
-    for (uint32_t w : x.text)
-        decoded.push_back(isa::decode(w));
+    if (decoded->size() != x.text.size())
+        fatal("emulator: pre-decoded text does not match executable");
 
     wins.assign(16ull * cfg.windows, 0);
 
@@ -38,6 +53,9 @@ Emulator::Emulator(const exe::Executable &x, Config cfg)
     // Conventional initial stack pointer, 8-byte aligned with a
     // little headroom.
     setReg(isa::reg::sp, stackHi - 64);
+
+    curPc = x.entry;
+    curNpc = curPc + 4;
 }
 
 uint32_t
@@ -71,8 +89,8 @@ Emulator::setReg(unsigned r, uint32_t v)
     }
 }
 
-uint8_t *
-Emulator::memPtr(uint32_t addr, unsigned bytes)
+const uint8_t *
+Emulator::memPtr(uint32_t addr, unsigned bytes) const
 {
     if (addr >= dataLo && addr + bytes <= dataHi)
         return &dataMem[addr - dataLo];
@@ -82,8 +100,15 @@ Emulator::memPtr(uint32_t addr, unsigned bytes)
           "bss, and stack", addr, bytes);
 }
 
+uint8_t *
+Emulator::memPtr(uint32_t addr, unsigned bytes)
+{
+    return const_cast<uint8_t *>(
+        static_cast<const Emulator *>(this)->memPtr(addr, bytes));
+}
+
 uint32_t
-Emulator::load(uint32_t addr, unsigned bytes, bool sign_extend)
+Emulator::load(uint32_t addr, unsigned bytes, bool sign_extend) const
 {
     if (addr % bytes != 0)
         fatal("emulator: misaligned %u-byte load at 0x%x", bytes,
@@ -115,7 +140,7 @@ Emulator::store(uint32_t addr, unsigned bytes, uint32_t value)
 uint32_t
 Emulator::readWord(uint32_t addr) const
 {
-    return const_cast<Emulator *>(this)->load(addr, 4, false);
+    return load(addr, 4, false);
 }
 
 void
@@ -215,6 +240,65 @@ Emulator::fpairSet(unsigned r, uint64_t v)
     unsigned e = r & ~1u;
     fregs[e] = static_cast<uint32_t>(v >> 32);
     fregs[e | 1] = static_cast<uint32_t>(v);
+}
+
+Emulator::State
+Emulator::saveState(bool withMemory) const
+{
+    State s;
+    s.wins = wins;
+    for (unsigned r = 0; r < 8; ++r)
+        s.globals[r] = globals[r];
+    for (unsigned r = 0; r < 32; ++r)
+        s.fpRegs[r] = fregs[r];
+    s.cwp = cwp;
+    s.winDepth = winDepth;
+    s.icc = icc;
+    s.fcc = fcc;
+    s.y = yreg;
+    if (withMemory) {
+        s.dataMem = dataMem;
+        s.stackMem = stackMem;
+    }
+    s.pc = curPc;
+    s.npc = curNpc;
+    s.annul = curAnnul;
+    s.exited = hasExited;
+    s.exitCode = savedExitCode;
+    s.retired = totalRetired;
+    return s;
+}
+
+void
+Emulator::restoreState(const State &s)
+{
+    if (s.wins.size() != wins.size())
+        fatal("emulator: restoreState window depth mismatch "
+              "(%zu slots vs %zu)", s.wins.size(), wins.size());
+    if (!s.dataMem.empty() && s.dataMem.size() != dataMem.size())
+        fatal("emulator: restoreState data image size mismatch");
+    if (!s.stackMem.empty() && s.stackMem.size() != stackMem.size())
+        fatal("emulator: restoreState stack image size mismatch");
+    wins = s.wins;
+    for (unsigned r = 0; r < 8; ++r)
+        globals[r] = s.globals[r];
+    for (unsigned r = 0; r < 32; ++r)
+        fregs[r] = s.fpRegs[r];
+    cwp = s.cwp;
+    winDepth = s.winDepth;
+    icc = s.icc;
+    fcc = s.fcc;
+    yreg = s.y;
+    if (!s.dataMem.empty())
+        dataMem = s.dataMem;
+    if (!s.stackMem.empty())
+        stackMem = s.stackMem;
+    curPc = s.pc;
+    curNpc = s.npc;
+    curAnnul = s.annul;
+    hasExited = s.exited;
+    savedExitCode = s.exitCode;
+    totalRetired = s.retired;
 }
 
 Emulator::ArchSnapshot

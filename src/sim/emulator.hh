@@ -17,9 +17,11 @@
 #ifndef EEL_SIM_EMULATOR_HH
 #define EEL_SIM_EMULATOR_HH
 
+#include <array>
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,25 +65,102 @@ class Emulator
         uint64_t maxInstructions = 1ull << 32;
     };
 
+    /**
+     * The pre-decoded text image. Decoding is pure per-word work, so
+     * one DecodedText may be shared by any number of emulators of the
+     * same executable — the sharded replayer constructs one emulator
+     * per shard and would otherwise re-decode the whole text each
+     * time.
+     */
+    using DecodedText = std::vector<isa::Instruction>;
+    static std::shared_ptr<const DecodedText>
+    decodeText(const exe::Executable &x);
+
     explicit Emulator(const exe::Executable &x);
     Emulator(const exe::Executable &x, Config cfg);
+    Emulator(const exe::Executable &x, Config cfg,
+             std::shared_ptr<const DecodedText> text);
 
     /**
-     * Run from the entry point until the exit trap or the limit.
-     * Architectural and memory state persist afterwards (so counters
-     * can be read out); construct a fresh Emulator for a fresh run.
+     * Run from the current cursor until the exit trap or the limit.
+     * A freshly constructed emulator is positioned at the entry
+     * point; the cursor (pc/npc and the pending-annul flag) persists
+     * across calls, so run(sink, n) executes the next n instructions
+     * and a later call resumes exactly where it stopped.
+     * Architectural and memory state persist too (so counters can be
+     * read out). Once the exit trap retires, further calls return
+     * immediately with the saved exit code.
      *
      * The templated form statically binds sink.retire; pass a
      * `final` sink class to guarantee direct dispatch.
      */
-    template <class Sink> RunResult run(Sink &sink);
+    template <class Sink> RunResult run(Sink &sink, uint64_t limit);
+
+    /** Run until exit or the configured instruction cap. */
+    template <class Sink>
+    RunResult
+    run(Sink &sink)
+    {
+        return run(sink, cfg.maxInstructions);
+    }
 
     /** Polymorphic entry point (nullptr = no trace). */
     RunResult run(TraceSink *sink = nullptr);
 
+    /** Total instructions retired since construction/restore. */
+    uint64_t retired() const { return totalRetired; }
+    /** True once the exit trap has retired. */
+    bool finished() const { return hasExited; }
+
     /** Memory access after (or before) a run, e.g. counter readout. */
     uint32_t readWord(uint32_t addr) const;
     void writeWord(uint32_t addr, uint32_t value);
+
+    /** The live memory images (for diffing against a reference). */
+    const std::vector<uint8_t> &dataImage() const { return dataMem; }
+    const std::vector<uint8_t> &stackImage() const { return stackMem; }
+
+    /**
+     * Complete machine state — every register window, condition
+     * codes, memory, the run cursor, and the retirement count — as
+     * opposed to ArchSnapshot, which is the *comparison* view of the
+     * current window. restoreState() on a fresh emulator of the same
+     * executable and Config reproduces the source emulator exactly,
+     * which is what the checkpoint-and-replay sharding is built on.
+     */
+    struct State
+    {
+        std::vector<uint32_t> wins;
+        std::array<uint32_t, 8> globals = {};
+        std::array<uint32_t, 32> fpRegs = {};
+        unsigned cwp = 0;
+        int winDepth = 0;
+        unsigned icc = 0;
+        unsigned fcc = 0;
+        uint32_t y = 0;
+        std::vector<uint8_t> dataMem;   ///< empty if saved bare
+        std::vector<uint8_t> stackMem;  ///< empty if saved bare
+        uint32_t pc = 0;
+        uint32_t npc = 0;
+        bool annul = false;
+        bool exited = false;
+        int exitCode = -1;
+        uint64_t retired = 0;
+    };
+
+    /**
+     * Capture the full state; withMemory=false leaves the memory
+     * images empty for callers that store them separately (e.g. as
+     * page deltas against the initial image).
+     */
+    State saveState(bool withMemory = true) const;
+
+    /**
+     * Adopt a previously saved state. The state's window depth and
+     * memory image sizes must match this emulator's Config; a bare
+     * state (empty memory images) keeps the current memory.
+     */
+    void restoreState(const State &s);
 
     /** Architectural register access (current window). */
     uint32_t reg(unsigned r) const;
@@ -116,8 +195,10 @@ class Emulator
     ArchSnapshot snapshot() const;
 
   private:
-    uint32_t load(uint32_t addr, unsigned bytes, bool sign_extend);
+    uint32_t load(uint32_t addr, unsigned bytes,
+                  bool sign_extend) const;
     void store(uint32_t addr, unsigned bytes, uint32_t value);
+    const uint8_t *memPtr(uint32_t addr, unsigned bytes) const;
     uint8_t *memPtr(uint32_t addr, unsigned bytes);
     void setIccLogic(uint32_t result);
     void setIccAdd(uint32_t a, uint32_t b, uint32_t r);
@@ -130,7 +211,7 @@ class Emulator
     const exe::Executable &x;
     Config cfg;
 
-    std::vector<isa::Instruction> decoded;  ///< pre-decoded text
+    std::shared_ptr<const DecodedText> decoded;  ///< pre-decoded text
 
     // Register windows: window w's 16 slots hold outs (0-7) and
     // locals (8-15); the ins of window w are the outs of window w+1.
@@ -148,25 +229,38 @@ class Emulator
     std::vector<uint8_t> dataMem;   ///< [dataBase, bssEnd)
     std::vector<uint8_t> stackMem;  ///< [stackBase, stackTop)
     uint32_t dataLo, dataHi, stackLo, stackHi;
+
+    // Run cursor: where the next run() call resumes.
+    uint32_t curPc = 0;
+    uint32_t curNpc = 0;
+    bool curAnnul = false;
+    bool hasExited = false;
+    int savedExitCode = -1;
+    uint64_t totalRetired = 0;
 };
 
 template <class Sink>
 RunResult
-Emulator::run(Sink &sink)
+Emulator::run(Sink &sink, uint64_t limit)
 {
     using isa::Instruction;
     using isa::Op;
 
     RunResult res;
-    uint32_t pc = x.entry;
-    uint32_t npc = pc + 4;
-    bool annul_next = false;
+    res.exited = hasExited;
+    res.exitCode = savedExitCode;
+    if (hasExited || limit == 0)
+        return res;
+
+    uint32_t pc = curPc;
+    uint32_t npc = curNpc;
+    bool annul_next = curAnnul;
 
     // Hot-loop invariants: the decoded text as a raw array, so the
     // per-retire pc -> instruction step is one subtract, one shift,
     // and one bounds check.
-    const Instruction *const text = decoded.data();
-    const uint32_t textWords = static_cast<uint32_t>(decoded.size());
+    const Instruction *const text = decoded->data();
+    const uint32_t textWords = static_cast<uint32_t>(decoded->size());
 
     auto src2 = [&](const Instruction &in) -> uint32_t {
         return in.iflag ? static_cast<uint32_t>(in.simm13)
@@ -179,7 +273,7 @@ Emulator::run(Sink &sink)
     };
     auto b64 = [](double d) { return std::bit_cast<uint64_t>(d); };
 
-    while (res.instructions < cfg.maxInstructions) {
+    while (res.instructions < limit) {
         uint32_t off = pc - exe::textBase;
         uint32_t idx = off >> 2;
         if ((off & 3) || idx >= textWords)
@@ -365,6 +459,12 @@ Emulator::run(Sink &sink)
                   case isa::trap::exit_prog:
                     res.exitCode = static_cast<int>(reg(isa::reg::o0));
                     res.exited = true;
+                    hasExited = true;
+                    savedExitCode = res.exitCode;
+                    curPc = pc;
+                    curNpc = npc;
+                    curAnnul = annul_next;
+                    totalRetired += res.instructions;
                     return res;
                   case isa::trap::put_int:
                     res.output += strfmt(
@@ -533,6 +633,10 @@ Emulator::run(Sink &sink)
         pc = next_pc;
         npc = next_npc;
     }
+    curPc = pc;
+    curNpc = npc;
+    curAnnul = annul_next;
+    totalRetired += res.instructions;
     return res;
 }
 

