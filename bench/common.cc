@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/eel/batch.hh"
 #include "src/eel/editor.hh"
 #include "src/qpt/profiler.hh"
 #include "src/sim/shard.hh"
@@ -40,10 +41,13 @@ parseArgs(int argc, char **argv)
             opts.jobs = static_cast<unsigned>(std::stoul(value()));
         else if (a == "--shard-interval")
             opts.shardInterval = std::stoull(value());
+        else if (a == "--batch")
+            opts.batch = true;
         else if (a == "--help") {
             std::printf("options: --machine <name> --scale <x> "
                         "--resched-first --only <benchmark> "
-                        "--jobs <n> --shard-interval <insts>\n");
+                        "--jobs <n> --shard-interval <insts> "
+                        "--batch\n");
             std::exit(0);
         } else {
             fatal("unknown option '%s'", a.c_str());
@@ -135,14 +139,28 @@ runBenchmark(const TableOptions &opts, size_t index,
         base_ratio = double(r_base.cycles) / double(r_orig.cycles);
     }
 
-    auto routines = edit::buildRoutines(base);
-    exe::Executable work = base;
-    qpt::ProfilePlan plan = qpt::makePlan(work, routines);
-
-    exe::Executable instrumented =
-        edit::rewrite(work, routines, plan.plan, edit::EditOptions{});
-    exe::Executable scheduled =
-        edit::rewrite(work, routines, plan.plan, sched_opts);
+    std::vector<edit::Routine> routines;
+    exe::Executable instrumented, scheduled;
+    if (opts.batch) {
+        edit::BatchOptions bopts;
+        bopts.model = &sched_model;
+        bopts.sched = opts.sched;
+        bopts.pool = pool;
+        edit::BatchRewriter rw(base, bopts);
+        edit::BatchResult batch = rw.rewriteAll(
+            {edit::VariantKind::SlowProfile, edit::VariantKind::Sched});
+        routines = std::move(batch.routines);
+        instrumented = std::move(batch.variants[0].image);
+        scheduled = std::move(batch.variants[1].image);
+    } else {
+        routines = edit::buildRoutines(base);
+        exe::Executable work = base;
+        qpt::ProfilePlan plan = qpt::makePlan(work, routines);
+        instrumented = edit::rewrite(work, routines, plan.plan,
+                                     edit::EditOptions{});
+        scheduled = edit::rewrite(work, routines, plan.plan,
+                                  sched_opts);
+    }
 
     auto r_base = timed(base);
     auto r_inst = timed(instrumented);

@@ -71,6 +71,13 @@ struct TableOptions
      * one worker idle.
      */
     uint64_t shardInterval = 0;
+    /**
+     * Stamp the instrumented and scheduled images through
+     * edit::BatchRewriter (one shared analysis pass, COW-shared
+     * sections) instead of two independent rewrites. The images are
+     * byte-identical either way, so rows don't change.
+     */
+    bool batch = false;
 };
 
 /** Parse --machine/--scale/--resched-first/--only/--jobs/

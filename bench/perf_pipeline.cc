@@ -6,9 +6,13 @@
  * checkpoint-and-replay simulator at jobs 1/2/N and the end-to-end
  * Table-1 protocol at jobs=1 and jobs=N, and writes the numbers to a
  * JSON file so successive PRs have a perf trajectory to compare
- * against. Exits nonzero if the parallel table output diverges from
- * the serial one or the sharded cycles diverge from the serial
- * simulator.
+ * against. Also expands the whole suite into all five batch-rewrite
+ * variant kinds through one COW SectionStore and records the stored
+ * bytes per variant against the eager-copy footprint. Exits nonzero
+ * if the parallel table output diverges from the serial one, the
+ * sharded cycles diverge from the serial simulator, the batch images
+ * differ from the eager pipeline's, or the COW store saves less than
+ * 3x memory per variant.
  *
  * With --check <baseline.json>, also compares the fresh throughput
  * numbers against the checked-in baseline and exits nonzero when any
@@ -28,8 +32,10 @@
 #include <string>
 
 #include "bench/common.hh"
+#include "src/eel/batch.hh"
 #include "src/eel/cfg.hh"
 #include "src/eel/editor.hh"
+#include "src/exe/section_store.hh"
 #include "src/qpt/profiler.hh"
 #include "src/sim/shard.hh"
 #include "src/sim/timing.hh"
@@ -204,6 +210,54 @@ main(int argc, char **argv)
     });
     double shardedN_minst_per_s = double(insts) / shardedN_s / 1e6;
 
+    // --- Batch rewriting: every SPEC95 stand-in expanded into all
+    // five variant kinds through one shared SectionStore, versus the
+    // same images with COW sharing severed (the pre-COW memory
+    // behaviour). The images must be byte-identical either way; the
+    // stored-bytes-per-variant number is the COW payoff and is
+    // deterministic at a given scale, so the baseline gates it.
+    exe::SectionStore store;
+    const std::vector<edit::VariantKind> all_kinds = {
+        edit::VariantKind::Identity,
+        edit::VariantKind::SlowProfile,
+        edit::VariantKind::EdgeProfile,
+        edit::VariantKind::Sched,
+        edit::VariantKind::Superblock,
+    };
+    edit::BatchOptions bopts;
+    bopts.model = &m;
+    bopts.store = &store;
+    std::vector<edit::BatchResult> batches;
+    bool batch_identical = true;
+    size_t eager_flat_bytes = 0, n_images = 0;
+    for (const auto &spec : specs) {
+        exe::Executable orig = workload::generate(spec, gopts);
+        edit::BatchRewriter rw(orig, bopts);
+        batches.push_back(rw.rewriteAll(all_kinds));
+        edit::BatchResult eager =
+            edit::eagerRewriteAll(orig, all_kinds, bopts);
+        const edit::BatchResult &batch = batches.back();
+        for (size_t k = 0; k < all_kinds.size(); ++k) {
+            const exe::Executable &b = batch.variants[k].image;
+            const exe::Executable &e = eager.variants[k].image;
+            batch_identical &= b.text == e.text && b.data == e.data;
+            eager_flat_bytes += 4 * e.text.size() + e.data.size();
+            ++n_images;
+        }
+    }
+    std::vector<const exe::Executable *> batch_images;
+    for (const edit::BatchResult &b : batches)
+        for (const edit::BatchVariant &v : b.variants)
+            batch_images.push_back(&v.image);
+    exe::ShareStats share = exe::shareStats(batch_images);
+    double batch_mb_eager =
+        double(eager_flat_bytes) / double(n_images) / 1e6;
+    double batch_mb_cow =
+        double(share.storedBytes) / double(n_images) / 1e6;
+    double batch_reduction =
+        batch_mb_cow > 0 ? batch_mb_eager / batch_mb_cow : 0.0;
+    batches.clear();
+
     // --- End-to-end Table-1 protocol, serial vs parallel.
     bench::TableOptions topts;
     topts.machine = machine;
@@ -245,6 +299,13 @@ main(int argc, char **argv)
                 shardedN_minst_per_s);
     std::printf("sharded cycles     %s\n",
                 cycles_match ? "match serial" : "DIVERGED");
+    std::printf("batch rewrite      %.3f MB/variant cow, %.3f "
+                "MB/variant eager (%.2fx, %.0f%% refs shared, %zu "
+                "images)\n", batch_mb_cow, batch_mb_eager,
+                batch_reduction, 100.0 * share.sharedFrac(),
+                n_images);
+    std::printf("batch output       %s\n",
+                batch_identical ? "identical to eager" : "DIVERGED");
     std::printf("table1 jobs=1      %.3fs\n", e2e_serial_s);
     std::printf("table1 jobs=%-6u %.3fs (%.2fx)\n", jobs,
                 e2e_parallel_s, speedup);
@@ -274,6 +335,16 @@ main(int argc, char **argv)
                  shardedN_minst_per_s);
     std::fprintf(f, "  \"sharded_cycles_match_serial\": %s,\n",
                  cycles_match ? "true" : "false");
+    std::fprintf(f, "  \"batch_rewrite_mb_per_variant\": %.4f,\n",
+                 batch_mb_cow);
+    std::fprintf(f, "  \"batch_rewrite_mb_per_variant_eager\": %.4f,\n",
+                 batch_mb_eager);
+    std::fprintf(f, "  \"batch_rewrite_mem_reduction\": %.3f,\n",
+                 batch_reduction);
+    std::fprintf(f, "  \"batch_share_frac\": %.4f,\n",
+                 share.sharedFrac());
+    std::fprintf(f, "  \"batch_identical\": %s,\n",
+                 batch_identical ? "true" : "false");
     std::fprintf(f, "  \"table1_jobs1_wall_s\": %.4f,\n",
                  e2e_serial_s);
     std::fprintf(f, "  \"table1_jobs\": %u,\n", jobs);
@@ -295,6 +366,18 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: sharded simulation cycles diverged from "
                      "the serial simulator\n");
+        return 1;
+    }
+    if (!batch_identical) {
+        std::fprintf(stderr,
+                     "FAIL: batch-rewritten images differ from the "
+                     "eager-copy pipeline\n");
+        return 1;
+    }
+    if (batch_reduction < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: COW batch stores only %.2fx less than "
+                     "eager copies (need >= 3x)\n", batch_reduction);
         return 1;
     }
 
@@ -319,6 +402,9 @@ main(int argc, char **argv)
             // cores, not this code, and would flap on shared CI.
             {"sharded_timing_minst_per_s_jobs1",
              sharded1_minst_per_s},
+            // Deterministic at a given scale: a drift here means the
+            // COW layout or the interner changed, not the host.
+            {"batch_rewrite_mb_per_variant", batch_mb_cow},
         };
         bool bad = false;
         for (const Gate &g : gates) {

@@ -1,0 +1,164 @@
+#include "src/eel/batch.hh"
+
+#include "src/sim/emulator.hh"
+#include "src/support/logging.hh"
+#include "src/support/thread_pool.hh"
+
+namespace eel::edit {
+
+namespace {
+
+/** Sever COW sharing: give the section private freshly-built pages. */
+template <class T>
+void
+unshare(exe::CowSection<T> &s)
+{
+    std::vector<T> f = s.flat();
+    s.clear();
+    s.append(f.data(), f.size());
+}
+
+bool
+wants(const std::vector<VariantKind> &kinds, VariantKind k)
+{
+    for (VariantKind v : kinds)
+        if (v == k)
+            return true;
+    return false;
+}
+
+} // namespace
+
+BatchRewriter::BatchRewriter(const exe::Executable &in,
+                             const BatchOptions &opts)
+    : in(in), opts(opts), routines(buildRoutines(in))
+{}
+
+BatchResult
+BatchRewriter::rewriteAll(const std::vector<VariantKind> &kinds)
+{
+    bool needCounters = wants(kinds, VariantKind::SlowProfile) ||
+                        wants(kinds, VariantKind::Sched) ||
+                        wants(kinds, VariantKind::Superblock);
+    bool needEdges = wants(kinds, VariantKind::EdgeProfile) ||
+                     wants(kinds, VariantKind::Superblock);
+    bool needSched = wants(kinds, VariantKind::Sched) ||
+                     wants(kinds, VariantKind::Superblock);
+    if (needSched && !opts.model)
+        fatal("batch: Sched/Superblock variants need a machine model");
+
+    BatchResult res;
+    res.routines = routines;
+
+    // Analysis pass. Everything here happens once regardless of how
+    // many variants the batch stamps below.
+    //
+    // The edge profile lives on its own copy of the input: its
+    // counter array must not land in the work image's bss, or every
+    // counter-carrying variant's text would shift relative to the
+    // single-image flow.
+    exe::Executable eprof;
+    if (needEdges) {
+        exe::Executable eprof_x = in;
+        res.edgePlan =
+            qpt::makeEdgePlan(eprof_x, routines, opts.profile);
+        EditOptions plain;
+        plain.pool = opts.pool;
+        eprof = rewrite(eprof_x, routines, res.edgePlan.plan, plain);
+        sim::Emulator emu(eprof);
+        sim::RunResult r = emu.run();
+        if (!r.exited)
+            fatal("batch: edge-profiling run hit the instruction cap");
+        res.edgeCounts = qpt::exportEdgeCounts(
+            qpt::readEdgeCounts(emu, res.edgePlan, routines),
+            res.edgePlan, routines);
+    }
+
+    res.work = in;
+    if (needCounters)
+        res.profilePlan =
+            qpt::makePlan(res.work, routines, opts.profile);
+
+    std::vector<Liveness> live;
+    if (wants(kinds, VariantKind::Superblock)) {
+        live.reserve(routines.size());
+        for (const Routine &r : routines)
+            live.emplace_back(r);
+    }
+
+    // Stamp pass: one rewrite per requested kind, in parallel. Every
+    // variant reads the shared analysis; none mutates it.
+    EditOptions plain;
+    plain.pool = opts.pool;
+
+    EditOptions sched = plain;
+    sched.schedule = true;
+    sched.model = opts.model;
+    sched.sched = opts.sched;
+
+    EditOptions sblock = sched;
+    sblock.scope = SchedScope::Superblock;
+    sblock.superblock = opts.superblock;
+    sblock.edgeCounts = &res.edgeCounts;
+    sblock.liveness = &live;
+
+    res.variants.resize(kinds.size());
+    auto stamp = [&](size_t k) {
+        BatchVariant &v = res.variants[k];
+        v.kind = kinds[k];
+        switch (kinds[k]) {
+          case VariantKind::Identity:
+            v.image = rewrite(in, routines, InstrumentationPlan{},
+                              plain);
+            break;
+          case VariantKind::SlowProfile:
+            v.image = rewrite(res.work, routines,
+                              res.profilePlan.plan, plain);
+            break;
+          case VariantKind::EdgeProfile:
+            v.image = eprof;
+            break;
+          case VariantKind::Sched:
+            v.image = rewrite(res.work, routines,
+                              res.profilePlan.plan, sched);
+            break;
+          case VariantKind::Superblock:
+            v.image = rewrite(res.work, routines,
+                              res.profilePlan.plan, sblock);
+            break;
+        }
+    };
+    if (opts.pool) {
+        opts.pool->parallelFor(kinds.size(), stamp);
+    } else {
+        for (size_t k = 0; k < kinds.size(); ++k)
+            stamp(k);
+    }
+
+    if (opts.store) {
+        opts.store->intern(res.work);
+        for (BatchVariant &v : res.variants)
+            opts.store->intern(v.image);
+    }
+    return res;
+}
+
+BatchResult
+eagerRewriteAll(const exe::Executable &in,
+                const std::vector<VariantKind> &kinds,
+                const BatchOptions &opts)
+{
+    BatchOptions eopts = opts;
+    eopts.store = nullptr;  // eager images never intern
+    BatchRewriter rw(in, eopts);
+    BatchResult res = rw.rewriteAll(kinds);
+    unshare(res.work.text);
+    unshare(res.work.data);
+    for (BatchVariant &v : res.variants) {
+        unshare(v.image.text);
+        unshare(v.image.data);
+    }
+    return res;
+}
+
+} // namespace eel::edit

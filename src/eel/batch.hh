@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Batch rewriting: one analysis pass, many variants.
+ *
+ * The single-image flow (bench/common.cc, the qpt tools) rebuilds
+ * the CFG, liveness, and profiles for every rewrite of the same
+ * binary. BatchRewriter runs that analysis once — buildRoutines, a
+ * per-routine Liveness vector, the block-counter plan, and (when a
+ * profile-guided variant is requested) one internal edge-profiling
+ * run — and then stamps out the requested variants on the thread
+ * pool. Because Executable sections are copy-on-write
+ * (exe::SectionStore), the variants share every unedited page with
+ * the work image and with each other: N variants cost one data
+ * section plus N re-laid-out text sections, not N full images.
+ *
+ * eagerRewriteAll() is the same pipeline with sharing deliberately
+ * severed afterwards — every variant holds private pages, like the
+ * pre-COW editor did. It exists as the differential baseline: batch
+ * output must be byte-identical to eager output (asserted by
+ * tests/integration/test_differential_fuzz.cc and perf_pipeline),
+ * and the memory gap between the two is the batch win.
+ */
+
+#ifndef EEL_EEL_BATCH_HH
+#define EEL_EEL_BATCH_HH
+
+#include <vector>
+
+#include "src/eel/editor.hh"
+#include "src/eel/liveness.hh"
+#include "src/qpt/edge_profiler.hh"
+#include "src/qpt/profiler.hh"
+
+namespace eel::edit {
+
+/** The rewrite variants a batch can stamp from one analysis pass. */
+enum class VariantKind : uint8_t {
+    /** Re-layout with no instrumentation and no scheduling. The text
+     *  is byte-identical to the input, so with a SectionStore it
+     *  interns onto the input's own pages. */
+    Identity,
+    /** qpt §4.2 per-block counters, unscheduled ("Inst."). */
+    SlowProfile,
+    /** Ball-Larus edge counters, unscheduled. */
+    EdgeProfile,
+    /** Per-block counters scheduled locally ("Sched."). */
+    Sched,
+    /** Per-block counters under profile-guided superblock
+     *  scheduling (uses the internal edge-profile run). */
+    Superblock,
+};
+
+struct BatchOptions
+{
+    /** Machine model (required for Sched/Superblock variants). */
+    const machine::MachineModel *model = nullptr;
+    sched::SchedOptions sched;
+    sched::SuperblockOptions superblock;
+    qpt::ProfileOptions profile;
+    /** Variants are stamped in parallel on this pool (and each
+     *  rewrite schedules its routines on it); null = serial. */
+    support::ThreadPool *pool = nullptr;
+    /** When set, the work image and every variant are interned here,
+     *  so identical pages across variants collapse to one chunk. */
+    exe::SectionStore *store = nullptr;
+};
+
+struct BatchVariant
+{
+    VariantKind kind;
+    exe::Executable image;
+};
+
+struct BatchResult
+{
+    /**
+     * The analysis image: the input plus the block-counter array in
+     * bss (exactly bench/common.cc's `work`). Counter-carrying
+     * variants are rewrites of this image, so profilePlan's counter
+     * addresses are valid for all of them.
+     */
+    exe::Executable work;
+    /** One per requested kind, in request order. */
+    std::vector<BatchVariant> variants;
+
+    // The shared analysis, exposed so callers can read counters out
+    // of finished runs without redoing any of it.
+    std::vector<Routine> routines;
+    qpt::ProfilePlan profilePlan;      ///< set if any counter variant
+    qpt::EdgeProfilePlan edgePlan;     ///< set if EdgeProfile/Superblock
+    std::vector<RoutineEdgeCounts> edgeCounts;  ///< ditto
+
+    const exe::Executable *
+    find(VariantKind kind) const
+    {
+        for (const BatchVariant &v : variants)
+            if (v.kind == kind)
+                return &v.image;
+        return nullptr;
+    }
+};
+
+/**
+ * One analysis pass over an input image, then any number of variant
+ * stampings from it. The constructor builds the CFG; rewriteAll()
+ * adds exactly the analyses its requested kinds need (liveness and
+ * the edge-profile run are skipped unless a superblock or
+ * edge-profile variant asks for them).
+ */
+class BatchRewriter
+{
+  public:
+    BatchRewriter(const exe::Executable &in, const BatchOptions &opts);
+
+    /** Stamp one variant per kind (kinds may repeat). */
+    BatchResult rewriteAll(const std::vector<VariantKind> &kinds);
+
+  private:
+    const exe::Executable &in;
+    BatchOptions opts;
+    std::vector<Routine> routines;
+};
+
+/**
+ * The eager-copy baseline: same analysis, same variants, but every
+ * image's pages are made private afterwards — the memory behaviour
+ * of the pre-COW editor. Output is byte-identical to rewriteAll().
+ */
+BatchResult eagerRewriteAll(const exe::Executable &in,
+                            const std::vector<VariantKind> &kinds,
+                            const BatchOptions &opts);
+
+} // namespace eel::edit
+
+#endif // EEL_EEL_BATCH_HH

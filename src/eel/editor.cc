@@ -109,15 +109,22 @@ rewrite(const exe::Executable &in,
         // block takes the local path below.
         std::vector<sched::Trace> traces;
         std::vector<int> traceOf(r.blocks.size(), -1);
-        std::unique_ptr<Liveness> live;
+        std::unique_ptr<Liveness> liveOwned;
+        const Liveness *live = nullptr;
         if (superblock) {
             traces = sched::formTraces(r, (*opts.edgeCounts)[ri],
                                        opts.superblock);
             for (size_t t = 0; t < traces.size(); ++t)
                 for (uint32_t id : traces[t].blocks)
                     traceOf[id] = static_cast<int>(t);
-            if (!traces.empty())
-                live = std::make_unique<Liveness>(r);
+            if (!traces.empty()) {
+                if (opts.liveness) {
+                    live = &(*opts.liveness)[ri];
+                } else {
+                    liveOwned = std::make_unique<Liveness>(r);
+                    live = liveOwned.get();
+                }
+            }
         }
 
         auto blockCode = [&](const Block &b) {

@@ -24,6 +24,8 @@ class ThreadPool;
 
 namespace eel::edit {
 
+class Liveness;
+
 /**
  * Instrumentation placement. Three placement kinds:
  *
@@ -109,6 +111,13 @@ struct EditOptions
      * (fallEdges/takenEdges) — the profile run comes first.
      */
     const std::vector<RoutineEdgeCounts> *edgeCounts = nullptr;
+    /**
+     * Precomputed per-routine liveness, indexed like `routines`.
+     * When set, superblock scheduling reuses it instead of re-running
+     * the analysis per rewrite — one analysis pass can then serve a
+     * whole batch of variants (edit::BatchRewriter).
+     */
+    const std::vector<Liveness> *liveness = nullptr;
     /**
      * When set, block contents are built (and scheduled) for all
      * routines in parallel on this pool. Layout and emission stay

@@ -27,7 +27,7 @@ put32(std::ostream &os, uint32_t v)
 uint32_t
 get32(std::istream &is)
 {
-    unsigned char b[4];
+    unsigned char b[4] = {0, 0, 0, 0};
     is.read(reinterpret_cast<char *>(b), 4);
     return b[0] | (b[1] << 8) | (b[2] << 16) |
            (static_cast<uint32_t>(b[3]) << 24);
@@ -44,7 +44,7 @@ std::string
 getStr(std::istream &is)
 {
     uint32_t n = get32(is);
-    if (n > (1u << 20))
+    if (!is || n > (1u << 20))
         fatal("xef: corrupt string length %u", n);
     std::string s(n, '\0');
     is.read(s.data(), n);
@@ -93,8 +93,11 @@ Executable::save(const std::string &path) const
     for (uint32_t w : text)
         put32(os, w);
     put32(os, static_cast<uint32_t>(data.size()));
-    os.write(reinterpret_cast<const char *>(data.data()),
-             static_cast<std::streamsize>(data.size()));
+    {
+        std::vector<uint8_t> flat = data.flat();
+        os.write(reinterpret_cast<const char *>(flat.data()),
+                 static_cast<std::streamsize>(flat.size()));
+    }
     put32(os, bssBytes);
     put32(os, static_cast<uint32_t>(symbols.size()));
     for (const Symbol &s : symbols) {
@@ -120,27 +123,86 @@ Executable::load(const std::string &path)
     Executable x;
     x.entry = get32(is);
     uint32_t nwords = get32(is);
-    if (nwords > (textLimit - textBase) / 4)
-        fatal("xef: '%s': text too large", path.c_str());
-    x.text.resize(nwords);
-    for (uint32_t &w : x.text)
-        w = get32(is);
+    if (!is || nwords > (textLimit - textBase) / 4)
+        fatal("xef: '%s': text too large or truncated header",
+              path.c_str());
+    x.text.reserve(nwords);
+    for (uint32_t i = 0; i < nwords; ++i)
+        x.text.push_back(get32(is));
+    if (!is)
+        fatal("xef: '%s': truncated text section", path.c_str());
     uint32_t nd = get32(is);
-    x.data.resize(nd);
-    is.read(reinterpret_cast<char *>(x.data.data()), nd);
+    // Bound counts by what the remaining stream could actually hold
+    // before allocating, so a corrupt header can't drive a huge
+    // resize or a silent short read.
+    if (!is || nd > (1u << 26))
+        fatal("xef: '%s': corrupt data size %u", path.c_str(), nd);
+    {
+        std::vector<uint8_t> flat(nd);
+        is.read(reinterpret_cast<char *>(flat.data()), nd);
+        if (!is || static_cast<uint32_t>(is.gcount()) != nd)
+            fatal("xef: '%s': truncated data section", path.c_str());
+        x.data.append(flat.data(), flat.size());
+    }
     x.bssBytes = get32(is);
     uint32_t ns = get32(is);
+    if (!is || ns > (1u << 20))
+        fatal("xef: '%s': corrupt symbol count %u", path.c_str(), ns);
     for (uint32_t i = 0; i < ns; ++i) {
         Symbol s;
         s.name = getStr(is);
         s.addr = get32(is);
         s.size = get32(is);
         s.isFunc = get32(is) != 0;
+        if (!is)
+            fatal("xef: '%s': truncated symbol table", path.c_str());
         x.symbols.push_back(std::move(s));
     }
     if (!is)
         fatal("xef: '%s' truncated", path.c_str());
+    x.validate(path);
     return x;
+}
+
+void
+Executable::validate(const std::string &origin) const
+{
+    if (textEnd() > textLimit)
+        fatal("xef: '%s': text overruns layout window (%u words)",
+              origin.c_str(), static_cast<uint32_t>(text.size()));
+    if (!text.empty() && !inText(entry))
+        fatal("xef: '%s': entry %#x outside text [%#x,%#x)",
+              origin.c_str(), entry, textBase, textEnd());
+    // bssEnd() computes in 32 bits; catch data+bss wrapping past 4 GiB.
+    uint64_t end64 = uint64_t(bssBase()) + bssBytes;
+    if (end64 > (uint64_t(1) << 32))
+        fatal("xef: '%s': data+bss overflow address space",
+              origin.c_str());
+    for (const Symbol &s : symbols) {
+        if (s.isFunc) {
+            if (!inText(s.addr) ||
+                uint64_t(s.addr) + s.size > textEnd())
+                fatal("xef: '%s': function symbol '%s' at %#x (+%u) "
+                      "outside text [%#x,%#x)",
+                      origin.c_str(), s.name.c_str(), s.addr, s.size,
+                      textBase, textEnd());
+        } else {
+            if (s.addr < dataBase ||
+                uint64_t(s.addr) + s.size > bssEnd())
+                fatal("xef: '%s': data symbol '%s' at %#x (+%u) "
+                      "outside data+bss [%#x,%#x)",
+                      origin.c_str(), s.name.c_str(), s.addr, s.size,
+                      dataBase, bssEnd());
+            // A symbol lives in data or in bss, never straddling the
+            // boundary — a straddler means the sections overlap.
+            if (s.addr < dataEnd() &&
+                uint64_t(s.addr) + s.size > dataEnd())
+                fatal("xef: '%s': symbol '%s' at %#x (+%u) overlaps "
+                      "data/bss boundary %#x",
+                      origin.c_str(), s.name.c_str(), s.addr, s.size,
+                      dataEnd());
+        }
+    }
 }
 
 std::string

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "src/exe/section_store.hh"
+
 namespace eel::exe {
 
 constexpr uint32_t textBase = 0x10000;
@@ -39,10 +41,11 @@ struct Symbol
 class Executable
 {
   public:
-    /// Instruction words, at textBase + 4*i.
-    std::vector<uint32_t> text;
+    /// Instruction words, at textBase + 4*i. Copying an Executable
+    /// copies page references; see section_store.hh.
+    TextSection text;
     /// Initialized data bytes, at dataBase.
-    std::vector<uint8_t> data;
+    DataSection data;
     /// Zero-initialized region following data.
     uint32_t bssBytes = 0;
     uint32_t entry = textBase;
@@ -85,6 +88,15 @@ class Executable
     /** Serialize to / from the on-disk XEF container. */
     void save(const std::string &path) const;
     static Executable load(const std::string &path);
+
+    /**
+     * Structural sanity checks on an image: text within the layout
+     * window, entry inside text, symbols inside their sections, no
+     * data/bss overflow. fatal()s with a description on violation;
+     * load() runs this so a malformed container is rejected rather
+     * than handed to the editor or emulator.
+     */
+    void validate(const std::string &origin = "image") const;
 
     /** Full textual disassembly (addresses, symbols, instructions). */
     std::string disassembleText() const;

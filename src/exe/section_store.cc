@@ -1,0 +1,168 @@
+#include "src/exe/section_store.hh"
+
+#include <unordered_map>
+
+#include "src/exe/executable.hh"
+
+namespace eel::exe {
+
+namespace {
+
+/** FNV-1a over a whole page. Buckets are verified by memcmp, so the
+ *  hash only has to spread, never to prove equality. */
+uint64_t
+pageHash(const Chunk &c)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint8_t b : c.mem) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+ChunkPtr
+SectionStore::intern(ChunkPtr c)
+{
+    uint64_t h = pageHash(*c);
+    std::lock_guard<std::mutex> lock(mu);
+    ++calls;
+    auto &bucket = table[h];
+    for (size_t i = 0; i < bucket.size();) {
+        ChunkPtr cand = bucket[i].lock();
+        if (!cand) {
+            // Last image dropped this page; compact the bucket.
+            bucket[i] = bucket.back();
+            bucket.pop_back();
+            continue;
+        }
+        if (cand == c ||
+            std::memcmp(cand->mem.data(), c->mem.data(),
+                        Chunk::bytes) == 0) {
+            ++hits;
+            return cand;
+        }
+        ++i;
+    }
+    bucket.push_back(c);
+    return c;
+}
+
+void
+SectionStore::intern(Executable &x)
+{
+    intern(x.text);
+    intern(x.data);
+}
+
+SectionStore::Stats
+SectionStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Stats s;
+    s.internCalls = calls;
+    s.internHits = hits;
+    for (const auto &[h, bucket] : table)
+        for (const auto &w : bucket)
+            if (!w.expired())
+                ++s.liveChunks;
+    s.liveBytes = s.liveChunks * Chunk::bytes;
+    return s;
+}
+
+std::shared_ptr<void>
+SectionStore::cachedView(
+    const std::vector<ChunkPtr> &chunks,
+    const std::function<std::shared_ptr<void>()> &make)
+{
+    std::vector<const Chunk *> key;
+    key.reserve(chunks.size());
+    for (const ChunkPtr &c : chunks)
+        key.push_back(c.get());
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = views.find(key);
+        if (it != views.end())
+            if (std::shared_ptr<void> v = it->second.lock())
+                return v;
+    }
+    // Build outside the lock (decoding can be slow); a racing build
+    // of the same view is wasted work, not a correctness problem.
+    std::shared_ptr<void> v = make();
+    std::lock_guard<std::mutex> lock(mu);
+    views[std::move(key)] = v;
+    return v;
+}
+
+namespace {
+
+ShareStats
+refStats(const std::vector<std::vector<const std::vector<ChunkPtr> *>>
+             &perImage,
+         size_t flat_bytes)
+{
+    ShareStats s;
+    s.images = perImage.size();
+    s.flatBytes = flat_bytes;
+    std::unordered_map<const Chunk *, size_t> uses;
+    for (const auto &sections : perImage)
+        for (const auto *refs : sections)
+            for (const ChunkPtr &c : *refs) {
+                ++uses[c.get()];
+                ++s.totalRefs;
+            }
+    s.uniqueChunks = uses.size();
+    s.storedBytes = s.uniqueChunks * Chunk::bytes;
+    for (const auto &sections : perImage)
+        for (const auto *refs : sections)
+            for (const ChunkPtr &c : *refs)
+                if (uses[c.get()] > 1)
+                    ++s.sharedRefs;
+    return s;
+}
+
+enum class Pick { Text, Data, Both };
+
+ShareStats
+pickStats(const std::vector<const Executable *> &images, Pick pick)
+{
+    std::vector<std::vector<const std::vector<ChunkPtr> *>> per;
+    size_t flat = 0;
+    for (const Executable *x : images) {
+        std::vector<const std::vector<ChunkPtr> *> sections;
+        if (pick != Pick::Data) {
+            sections.push_back(&x->text.chunkRefs());
+            flat += x->text.byteSize();
+        }
+        if (pick != Pick::Text) {
+            sections.push_back(&x->data.chunkRefs());
+            flat += x->data.byteSize();
+        }
+        per.push_back(std::move(sections));
+    }
+    return refStats(per, flat);
+}
+
+} // namespace
+
+ShareStats
+shareStats(const std::vector<const Executable *> &images)
+{
+    return pickStats(images, Pick::Both);
+}
+
+ShareStats
+textShareStats(const std::vector<const Executable *> &images)
+{
+    return pickStats(images, Pick::Text);
+}
+
+ShareStats
+dataShareStats(const std::vector<const Executable *> &images)
+{
+    return pickStats(images, Pick::Data);
+}
+
+} // namespace eel::exe

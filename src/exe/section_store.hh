@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Copy-on-write section storage for XEF images.
+ *
+ * An executable's text and data sections are held as sequences of
+ * immutable, refcounted pages (Chunk). Copying an Executable copies
+ * page references, not page contents, so a rewriting pipeline that
+ * stamps out many variants of one binary — instrumented, scheduled,
+ * superblock-formed — keeps exactly one copy of every page the edit
+ * did not touch (ATOM and Valgrind's translation cache share program
+ * state across instrumented variants the same way). Mutation goes
+ * through CowSection, which clones only the affected page and only
+ * when it is shared.
+ *
+ * SectionStore adds content-addressed interning on top: two pages
+ * with identical bytes — e.g. the text of an identity rewrite and
+ * its original — collapse to one canonical chunk, so sharing is
+ * visible as pointer identity and measurable (ShareStats). The store
+ * also memoizes derived per-image views (the emulator's decoded
+ * text) keyed by the exact chunk sequence, so repeated requests
+ * against the same image reuse the decode instead of redoing and
+ * re-storing it.
+ */
+
+#ifndef EEL_EXE_SECTION_STORE_HH
+#define EEL_EXE_SECTION_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace eel::exe {
+
+class Executable;
+class SectionStore;
+
+/**
+ * One immutable page of section content. Pages are fixed-size and
+ * zero-padded past the owning section's end, so content equality is
+ * a plain memcmp of the whole page. 1 KiB pages suit this synthetic
+ * format's KB-scale images; a real ELF store would use the MMU page.
+ */
+struct Chunk
+{
+    static constexpr uint32_t bytes = 1024;
+    alignas(8) std::array<uint8_t, bytes> mem = {};
+};
+
+using ChunkPtr = std::shared_ptr<const Chunk>;
+
+/**
+ * A section as a copy-on-write sequence of chunks, with enough of
+ * std::vector's interface that Executable's text/data members keep
+ * their call sites. Reads are value-returning (operator[] and the
+ * const iterator yield T, not T&); writes go through set()/resize()
+ * etc., which clone a shared chunk before touching it. Unused tail
+ * bytes of the last chunk are kept zero so equal content always
+ * means equal page bytes.
+ */
+template <class T>
+class CowSection
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+
+  public:
+    static constexpr size_t perChunk = Chunk::bytes / sizeof(T);
+
+    CowSection() = default;
+    CowSection(std::initializer_list<T> init) { *this = init; }
+    CowSection &
+    operator=(std::initializer_list<T> init)
+    {
+        clear();
+        append(init.begin(), init.size());
+        return *this;
+    }
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    T
+    operator[](size_t i) const
+    {
+        T v;
+        std::memcpy(&v, slot(i), sizeof(T));
+        return v;
+    }
+
+    /** COW write of element i (the chunked analogue of s[i] = v). */
+    void
+    set(size_t i, T v)
+    {
+        std::memcpy(mutableChunk(i / perChunk)->mem.data() +
+                        (i % perChunk) * sizeof(T),
+                    &v, sizeof(T));
+    }
+
+    void
+    push_back(T v)
+    {
+        size_t i = count;
+        if (i / perChunk == chunks.size())
+            chunks.push_back(std::make_shared<Chunk>());
+        ++count;
+        set(i, v);
+    }
+
+    /** Chunks allocate on demand; reserve is a compatibility no-op. */
+    void reserve(size_t) {}
+
+    void
+    clear()
+    {
+        chunks.clear();
+        count = 0;
+    }
+
+    void
+    resize(size_t n, T fill = T())
+    {
+        if (n < count) {
+            // Re-zero the abandoned tail of the surviving last chunk
+            // so the zero-pad invariant (and page-level dedup) holds.
+            size_t keep_chunks = (n + perChunk - 1) / perChunk;
+            if (keep_chunks && n % perChunk != 0) {
+                Chunk *c = mutableChunk(keep_chunks - 1);
+                size_t used = n % perChunk;
+                std::memset(c->mem.data() + used * sizeof(T), 0,
+                            (perChunk - used) * sizeof(T));
+            }
+            chunks.resize(keep_chunks);
+            count = n;
+            return;
+        }
+        while (count < n)
+            push_back(fill);
+    }
+
+    void
+    assign(size_t n, T fill)
+    {
+        clear();
+        resize(n, fill);
+    }
+
+    void
+    append(const T *src, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            push_back(src[i]);
+    }
+
+    /** Copy the whole section out to contiguous storage. */
+    void
+    copyTo(T *dst) const
+    {
+        size_t left = count;
+        for (size_t ci = 0; left > 0; ++ci) {
+            size_t n = left < perChunk ? left : perChunk;
+            std::memcpy(dst + ci * perChunk, chunks[ci]->mem.data(),
+                        n * sizeof(T));
+            left -= n;
+        }
+    }
+
+    std::vector<T>
+    flat() const
+    {
+        std::vector<T> out(count);
+        copyTo(out.data());
+        return out;
+    }
+
+    bool
+    operator==(const CowSection &o) const
+    {
+        if (count != o.count)
+            return false;
+        for (size_t ci = 0; ci < chunks.size(); ++ci) {
+            if (chunks[ci] == o.chunks[ci])
+                continue;  // shared page: equal by identity
+            if (std::memcmp(chunks[ci]->mem.data(),
+                            o.chunks[ci]->mem.data(),
+                            Chunk::bytes) != 0)
+                return false;
+        }
+        return true;
+    }
+
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const T *;
+        using reference = T;
+
+        const_iterator() = default;
+        const_iterator(const CowSection *s, size_t i) : s(s), i(i) {}
+        T operator*() const { return (*s)[i]; }
+        const_iterator &
+        operator++()
+        {
+            ++i;
+            return *this;
+        }
+        const_iterator
+        operator++(int)
+        {
+            const_iterator t = *this;
+            ++i;
+            return t;
+        }
+        bool operator==(const const_iterator &) const = default;
+
+      private:
+        const CowSection *s = nullptr;
+        size_t i = 0;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count}; }
+
+    /** The underlying page references (sharing is pointer identity). */
+    const std::vector<ChunkPtr> &chunkRefs() const { return chunks; }
+
+    /** Bytes of content (not counting page-tail padding). */
+    size_t byteSize() const { return count * sizeof(T); }
+
+    /** Replace every page with its canonical store chunk. */
+    void internInto(SectionStore &store);
+
+  private:
+    const uint8_t *
+    slot(size_t i) const
+    {
+        return chunks[i / perChunk]->mem.data() +
+               (i % perChunk) * sizeof(T);
+    }
+
+    /**
+     * Chunk ci, cloned first if any other section (or the run cursor
+     * of a sibling image) still references it. A uniquely owned
+     * chunk is edited in place: the store only holds weak references,
+     * so interned-but-unshared pages stay cheap to mutate.
+     */
+    Chunk *
+    mutableChunk(size_t ci)
+    {
+        if (chunks[ci].use_count() != 1)
+            chunks[ci] = std::make_shared<Chunk>(*chunks[ci]);
+        // The only strong owner is this section; editing in place is
+        // invisible to everyone else.
+        return const_cast<Chunk *>(chunks[ci].get());
+    }
+
+    std::vector<ChunkPtr> chunks;
+    size_t count = 0;
+};
+
+using TextSection = CowSection<uint32_t>;
+using DataSection = CowSection<uint8_t>;
+
+/**
+ * Content-addressed chunk table. intern() maps a page to its
+ * canonical refcounted chunk, adopting the caller's page when the
+ * content is new. The table holds weak references only — pages die
+ * with the last image that uses them, and use_count() stays an exact
+ * image-reference count (which the aliasing tests assert on).
+ * Thread-safe: batch rewriting interns from pool workers.
+ */
+class SectionStore
+{
+  public:
+    struct Stats
+    {
+        size_t internCalls = 0;   ///< pages offered to intern()
+        size_t internHits = 0;    ///< resolved to an existing page
+        size_t liveChunks = 0;    ///< distinct pages currently alive
+        size_t liveBytes = 0;     ///< liveChunks * Chunk::bytes
+    };
+
+    /** Canonical chunk for this content (maybe `c` itself). */
+    ChunkPtr intern(ChunkPtr c);
+
+    /** Intern every page of a section (and of an executable). */
+    template <class T>
+    void
+    intern(CowSection<T> &s)
+    {
+        s.internInto(*this);
+    }
+    void intern(Executable &x);
+
+    Stats stats() const;
+
+    /**
+     * Memoized derived view of a chunk sequence (e.g. the decoded
+     * text the emulator runs from). Keyed by the exact page pointers,
+     * so images that share all their text pages share the view; held
+     * weakly, so views die with their last user.
+     */
+    std::shared_ptr<void>
+    cachedView(const std::vector<ChunkPtr> &chunks,
+               const std::function<std::shared_ptr<void>()> &make);
+
+  private:
+    mutable std::mutex mu;
+    // hash(content) -> candidate pages with that hash.
+    std::unordered_map<uint64_t, std::vector<std::weak_ptr<const Chunk>>>
+        table;
+    std::map<std::vector<const Chunk *>, std::weak_ptr<void>> views;
+    size_t calls = 0, hits = 0;
+};
+
+template <class T>
+void
+CowSection<T>::internInto(SectionStore &store)
+{
+    for (ChunkPtr &c : chunks)
+        c = store.intern(std::move(c));
+}
+
+/**
+ * Cross-image sharing statistics, by page-pointer identity: how many
+ * of the images' page references resolve to a page some other
+ * reference also uses, and how much memory the set occupies versus
+ * what flat (eager-copy) images would.
+ */
+struct ShareStats
+{
+    size_t images = 0;
+    size_t totalRefs = 0;    ///< page references across all images
+    size_t sharedRefs = 0;   ///< references to multiply-used pages
+    size_t uniqueChunks = 0; ///< distinct pages backing the set
+    size_t flatBytes = 0;    ///< sum of per-image content bytes
+    size_t storedBytes = 0;  ///< uniqueChunks * Chunk::bytes
+
+    double
+    sharedFrac() const
+    {
+        return totalRefs ? double(sharedRefs) / double(totalRefs)
+                         : 0.0;
+    }
+    double
+    reduction() const
+    {
+        return storedBytes ? double(flatBytes) / double(storedBytes)
+                           : 0.0;
+    }
+};
+
+/** Sharing over whole images (text + data sections). */
+ShareStats shareStats(const std::vector<const Executable *> &images);
+/** Sharing over the text sections only. */
+ShareStats textShareStats(const std::vector<const Executable *> &images);
+/** Sharing over the data sections only. */
+ShareStats dataShareStats(const std::vector<const Executable *> &images);
+
+} // namespace eel::exe
+
+#endif // EEL_EXE_SECTION_STORE_HH

@@ -94,7 +94,7 @@ std::vector<uint8_t>
 initialDataImage(const exe::Executable &x)
 {
     std::vector<uint8_t> mem(x.bssEnd() - exe::dataBase, 0);
-    std::memcpy(mem.data(), x.data.data(), x.data.size());
+    x.data.copyTo(mem.data());
     return mem;
 }
 

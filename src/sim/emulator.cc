@@ -23,6 +23,22 @@ Emulator::decodeText(const exe::Executable &x)
     return text;
 }
 
+std::shared_ptr<const Emulator::DecodedText>
+Emulator::decodeText(const exe::Executable &x, exe::SectionStore &store)
+{
+    std::shared_ptr<void> v = store.cachedView(
+        x.text.chunkRefs(), [&x]() -> std::shared_ptr<void> {
+            return std::const_pointer_cast<DecodedText>(
+                std::shared_ptr<const DecodedText>(decodeText(x)));
+        });
+    auto cached = std::static_pointer_cast<const DecodedText>(v);
+    // Identical pages but a different word count (possible only when
+    // a text ends in zero words): the view is not reusable.
+    if (cached->size() != x.text.size())
+        return decodeText(x);
+    return cached;
+}
+
 Emulator::Emulator(const exe::Executable &x)
     : Emulator(x, Config{})
 {}
@@ -44,7 +60,7 @@ Emulator::Emulator(const exe::Executable &x, Config cfg,
     dataLo = exe::dataBase;
     dataHi = x.bssEnd();
     dataMem.assign(dataHi - dataLo, 0);
-    std::memcpy(dataMem.data(), x.data.data(), x.data.size());
+    x.data.copyTo(dataMem.data());
 
     stackHi = 0x80000000u;
     stackLo = stackHi - cfg.stackBytes;

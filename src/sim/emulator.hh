@@ -76,6 +76,16 @@ class Emulator
     static std::shared_ptr<const DecodedText>
     decodeText(const exe::Executable &x);
 
+    /**
+     * As above, but memoized in a section store: the decode is keyed
+     * by x's exact text pages, so any executable whose text resolves
+     * to the same interned chunks — the original and an identical
+     * rewrite, or repeated requests for one image — reuses one
+     * DecodedText instead of decoding (and holding) its own.
+     */
+    static std::shared_ptr<const DecodedText>
+    decodeText(const exe::Executable &x, exe::SectionStore &store);
+
     explicit Emulator(const exe::Executable &x);
     Emulator(const exe::Executable &x, Config cfg);
     Emulator(const exe::Executable &x, Config cfg,

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Batch rewriter and COW aliasing tests: the SPEC95 sharing
+ * guarantee (≥80% of page references shared across a batch's
+ * variants), the eager-path byte-identity, and the aliasing
+ * regression — mutating one variant's pages must leave its siblings'
+ * and the work image's pages untouched, by pointer and by content.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/eel/batch.hh"
+#include "src/exe/section_store.hh"
+#include "src/isa/builder.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+#include "tests/fuzz_spec.hh"
+
+namespace eel::edit {
+namespace {
+
+const machine::MachineModel &
+m()
+{
+    return machine::MachineModel::builtin("ultrasparc");
+}
+
+exe::Executable
+genProgram(uint64_t seed)
+{
+    workload::GenOptions gopts;
+    gopts.machine = &m();
+    return workload::generate(tests::randomSpec(seed), gopts);
+}
+
+TEST(BatchRewriter, MatchesSingleImageFlow)
+{
+    // The batch path must reproduce bench/common.cc's two-rewrite
+    // flow bit for bit: same analysis inputs, same plan, same images.
+    exe::Executable orig = genProgram(7);
+    auto routines = buildRoutines(orig);
+    exe::Executable work = orig;
+    qpt::ProfilePlan plan = qpt::makePlan(work, routines);
+    exe::Executable inst =
+        rewrite(work, routines, plan.plan, EditOptions{});
+    EditOptions sopts;
+    sopts.schedule = true;
+    sopts.model = &m();
+    exe::Executable sched = rewrite(work, routines, plan.plan, sopts);
+
+    BatchOptions bopts;
+    bopts.model = &m();
+    BatchRewriter rw(orig, bopts);
+    BatchResult batch = rw.rewriteAll(
+        {VariantKind::SlowProfile, VariantKind::Sched});
+
+    EXPECT_TRUE(batch.work.text == work.text);
+    EXPECT_EQ(batch.work.bssBytes, work.bssBytes);
+    ASSERT_EQ(batch.variants.size(), 2u);
+    EXPECT_TRUE(batch.variants[0].image.text == inst.text);
+    EXPECT_TRUE(batch.variants[1].image.text == sched.text);
+    EXPECT_TRUE(batch.variants[0].image.data == inst.data);
+    EXPECT_EQ(batch.profilePlan.counterBase, plan.counterBase);
+    EXPECT_EQ(batch.profilePlan.numCounters, plan.numCounters);
+}
+
+TEST(BatchRewriter, AliasingRegression)
+{
+    exe::SectionStore store;
+    BatchOptions bopts;
+    bopts.model = &m();
+    bopts.store = &store;
+    exe::Executable orig = genProgram(11);
+    BatchRewriter rw(orig, bopts);
+    BatchResult batch = rw.rewriteAll({VariantKind::Identity,
+                                       VariantKind::SlowProfile,
+                                       VariantKind::Sched});
+
+    exe::Executable &mutant = batch.variants[0].image;   // identity
+    exe::Executable &sibling = batch.variants[1].image;
+    exe::Executable &work = batch.work;
+
+    // Interned state: the identity text and both data sections sit
+    // on the work image's pages.
+    ASSERT_EQ(mutant.text.chunkRefs(), work.text.chunkRefs());
+    ASSERT_EQ(mutant.data.chunkRefs(), work.data.chunkRefs());
+    ASSERT_EQ(sibling.data.chunkRefs(), work.data.chunkRefs());
+
+    exe::ChunkPtr shared_text = work.text.chunkRefs()[0];
+    exe::ChunkPtr shared_data = work.data.chunkRefs()[0];
+    long text_uses = shared_text.use_count();
+    long data_uses = shared_data.use_count();
+    std::vector<uint32_t> work_text = work.text.flat();
+    std::vector<uint8_t> work_data = work.data.flat();
+    std::vector<uint8_t> sib_data = sibling.data.flat();
+
+    uint32_t old_word = mutant.text[0];
+    mutant.text.set(0, isa::encode(isa::build::nop()));
+    mutant.data.set(3, static_cast<uint8_t>(~mutant.data[3]));
+
+    // The mutant got private copies of the touched pages...
+    EXPECT_NE(mutant.text.chunkRefs()[0], shared_text);
+    EXPECT_NE(mutant.data.chunkRefs()[0], shared_data);
+    EXPECT_NE(mutant.text[0], old_word);
+    // ...the shared pages lost exactly one reference (our handle
+    // keeps them at +1)...
+    EXPECT_EQ(shared_text.use_count(), text_uses - 1);
+    EXPECT_EQ(shared_data.use_count(), data_uses - 1);
+    // ...and the sibling and work images are untouched, by pointer
+    // and by content.
+    EXPECT_EQ(work.text.chunkRefs()[0], shared_text);
+    EXPECT_EQ(work.data.chunkRefs()[0], shared_data);
+    EXPECT_EQ(sibling.data.chunkRefs()[0], shared_data);
+    EXPECT_EQ(work.text.flat(), work_text);
+    EXPECT_EQ(work.data.flat(), work_data);
+    EXPECT_EQ(sibling.data.flat(), sib_data);
+    // Untouched pages of the mutant still alias the work image.
+    if (mutant.data.chunkRefs().size() > 1)
+        EXPECT_EQ(mutant.data.chunkRefs()[1],
+                  work.data.chunkRefs()[1]);
+}
+
+TEST(BatchRewriter, Spec95BatchSharesAtLeast80Percent)
+{
+    // The acceptance bar: batch-rewriting every SPEC95 stand-in into
+    // identity + slow-profile + scheduled + superblock variants must
+    // leave ≥80% of page references pointing at shared pages, per
+    // benchmark and across the whole suite's shared store.
+    exe::SectionStore store;
+    BatchOptions bopts;
+    bopts.model = &m();
+    bopts.store = &store;
+
+    auto specs = workload::spec95("ultrasparc");
+    workload::GenOptions gopts;
+    gopts.machine = &m();
+    gopts.scale = 0.02;
+
+    size_t suite_total = 0, suite_shared = 0;
+    // Results stay alive across the loop — a real batch holds its
+    // variants simultaneously; that is what the store's live-chunk
+    // accounting and the memory claim are about.
+    std::vector<BatchResult> results;
+    for (auto &spec : specs) {
+        SCOPED_TRACE(spec.name);
+        exe::Executable orig = workload::generate(spec, gopts);
+        BatchRewriter rw(orig, bopts);
+        results.push_back(rw.rewriteAll({VariantKind::Identity,
+                                         VariantKind::SlowProfile,
+                                         VariantKind::Sched,
+                                         VariantKind::Superblock}));
+        const BatchResult &batch = results.back();
+        std::vector<const exe::Executable *> images = {&batch.work};
+        for (const BatchVariant &v : batch.variants)
+            images.push_back(&v.image);
+        exe::ShareStats ss = exe::shareStats(images);
+        EXPECT_GE(ss.sharedFrac(), 0.8)
+            << "shared " << ss.sharedRefs << "/" << ss.totalRefs;
+        // Memory: the batch stores the suite in far fewer bytes
+        // than five flat images.
+        EXPECT_GE(ss.reduction(), 3.0);
+        suite_total += ss.totalRefs;
+        suite_shared += ss.sharedRefs;
+        for (const BatchVariant &v : batch.variants)
+            EXPECT_EQ(v.image.data.chunkRefs(),
+                      batch.work.data.chunkRefs());
+    }
+    EXPECT_GE(double(suite_shared) / double(suite_total), 0.8);
+
+    exe::SectionStore::Stats st = store.stats();
+    EXPECT_GT(st.internHits, 0u);
+    EXPECT_GT(st.liveChunks, 0u);
+}
+
+} // namespace
+} // namespace eel::edit

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
 
 #include "src/exe/executable.hh"
 #include "src/isa/builder.hh"
@@ -108,6 +112,150 @@ TEST(Executable, LoadRejectsMissingFile)
 {
     EXPECT_THROW(Executable::load("/nonexistent/file.xef"),
                  FatalError);
+}
+
+namespace {
+
+std::string
+tmpPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/** Write the first `keep` bytes of src to a new file. */
+std::string
+truncateTo(const std::string &src, size_t keep, const char *name)
+{
+    std::ifstream is(src, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    std::string path = tmpPath(name);
+    std::ofstream os(path, std::ios::binary);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(
+                 std::min(keep, bytes.size())));
+    return path;
+}
+
+} // namespace
+
+TEST(Executable, LoadRejectsTruncation)
+{
+    // Cutting the container at every byte boundary must produce a
+    // clean rejection — never a crash, never a silently short image.
+    std::string path = tmpPath("eel_trunc_src.xef");
+    Executable x = tiny();
+    x.addBss("ctrs", 24);
+    x.save(path);
+    size_t full = std::filesystem::file_size(path);
+    for (size_t keep = 0; keep < full; keep += 3) {
+        std::string cut =
+            truncateTo(path, keep, "eel_trunc_cut.xef");
+        EXPECT_THROW(Executable::load(cut), FatalError)
+            << "accepted a file truncated to " << keep << " of "
+            << full << " bytes";
+        std::remove(cut.c_str());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Executable, LoadRejectsHugeSectionCounts)
+{
+    // A corrupt header claiming a huge data section or symbol table
+    // must be rejected before any allocation is attempted.
+    auto writeHeader = [](const char *name, uint32_t ntext,
+                          uint32_t nd) {
+        std::string path = tmpPath(name);
+        std::ofstream os(path, std::ios::binary);
+        os.write("XEF1", 4);
+        auto put = [&](uint32_t v) {
+            char b[4] = {static_cast<char>(v),
+                         static_cast<char>(v >> 8),
+                         static_cast<char>(v >> 16),
+                         static_cast<char>(v >> 24)};
+            os.write(b, 4);
+        };
+        put(textBase);  // entry
+        put(ntext);
+        // Counts must be rejected before their payload is read, so
+        // only emit a few real words regardless of the claim.
+        for (uint32_t i = 0; i < std::min(ntext, 4u); ++i)
+            put(0x01000000);  // nop
+        put(nd);
+        return path;
+    };
+    std::string big_text =
+        writeHeader("eel_hugetext.xef", 0xffffffffu, 0);
+    EXPECT_THROW(Executable::load(big_text), FatalError);
+    std::remove(big_text.c_str());
+    std::string big_data =
+        writeHeader("eel_hugedata.xef", 1, 0xfffffff0u);
+    EXPECT_THROW(Executable::load(big_data), FatalError);
+    std::remove(big_data.c_str());
+}
+
+TEST(Executable, ValidateRejectsSymbolPastTextEnd)
+{
+    Executable x = tiny();
+    x.symbols.push_back(
+        Symbol{"ghost", x.textEnd() + 64, 8, true});
+    EXPECT_THROW(x.validate(), FatalError);
+
+    // The same image round-tripped through the container must be
+    // rejected by the loader, not handed to the editor.
+    std::string path = tmpPath("eel_ghost.xef");
+    x.save(path);
+    EXPECT_THROW(Executable::load(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Executable, ValidateRejectsFunctionOverrunningText)
+{
+    Executable x = tiny();
+    // Starts inside text but claims bytes past textEnd().
+    x.symbols.push_back(
+        Symbol{"overrun", textBase + 8, 1024, true});
+    EXPECT_THROW(x.validate(), FatalError);
+}
+
+TEST(Executable, ValidateRejectsEntryOutsideText)
+{
+    Executable x = tiny();
+    x.entry = x.textEnd() + 16;
+    EXPECT_THROW(x.validate(), FatalError);
+    std::string path = tmpPath("eel_badentry.xef");
+    x.save(path);
+    EXPECT_THROW(Executable::load(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Executable, ValidateRejectsDataBssOverlap)
+{
+    Executable x = tiny();  // 4 data bytes, so dataEnd = dataBase+4
+    // A symbol claiming storage across the data/bss boundary means
+    // the two sections overlap.
+    x.symbols.push_back(Symbol{"straddle", dataBase + 2, 16, false});
+    EXPECT_THROW(x.validate(), FatalError);
+
+    std::string path = tmpPath("eel_overlap.xef");
+    x.save(path);
+    EXPECT_THROW(Executable::load(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Executable, ValidateRejectsDataSymbolPastBssEnd)
+{
+    Executable x = tiny();
+    x.symbols.push_back(
+        Symbol{"beyond", x.bssEnd() + 8, 4, false});
+    EXPECT_THROW(x.validate(), FatalError);
+}
+
+TEST(Executable, ValidateAcceptsWellFormedImage)
+{
+    Executable x = tiny();
+    x.addBss("ctrs", 24);
+    x.validate();  // must not throw
 }
 
 TEST(Executable, DisassembleShowsSymbolsAndInstructions)

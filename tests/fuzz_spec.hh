@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helper for the randomized differential tests: maps a fuzz
+ * seed to a workload::BenchmarkSpec whose shape (block size, mix,
+ * ILP, footprint) varies with the seed. Tests print the seed on
+ * failure, so any generated program can be reproduced by number.
+ */
+
+#ifndef EEL_TESTS_FUZZ_SPEC_HH
+#define EEL_TESTS_FUZZ_SPEC_HH
+
+#include <string>
+
+#include "src/isa/instruction.hh"
+#include "src/support/rng.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::tests {
+
+inline workload::BenchmarkSpec
+randomSpec(uint64_t seed)
+{
+    // Decorrelate neighbouring seeds before handing them to the
+    // generator's own Rng.
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+    workload::BenchmarkSpec s;
+    s.name = "fuzz" + std::to_string(seed);
+    s.fp = rng.chance(0.4);
+    s.avgBlockSize = 2.0 + 0.1 * rng.uniform(0, 60);
+    s.loadFrac = 0.10 + 0.01 * rng.uniform(0, 20);
+    s.storeFrac = 0.05 + 0.01 * rng.uniform(0, 10);
+    s.fpFrac = s.fp ? 0.20 + 0.01 * rng.uniform(0, 30) : 0.0;
+    s.serialProb = 0.20 + 0.01 * rng.uniform(0, 60);
+    s.dynTarget = 8000 + 1000 * rng.uniform(0, 24);
+    s.kernels = 1 + static_cast<unsigned>(rng.uniform(0, 2));
+    s.seed = seed + 1;
+    return s;
+}
+
+/** Order-sensitive hash of the retired-pc stream: two runs retire
+ *  the same architectural trace iff the hashes match (FNV-1a). */
+struct TraceHashSink final
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    void
+    retire(uint32_t pc, const isa::Instruction &)
+    {
+        h ^= pc;
+        h *= 0x100000001b3ull;
+    }
+};
+
+} // namespace eel::tests
+
+#endif // EEL_TESTS_FUZZ_SPEC_HH
