@@ -7,6 +7,8 @@
 
 #include "src/eel/batch.hh"
 #include "src/eel/editor.hh"
+#include "src/obs/log.hh"
+#include "src/obs/trace.hh"
 #include "src/qpt/profiler.hh"
 #include "src/sim/shard.hh"
 #include "src/sim/timing.hh"
@@ -43,11 +45,20 @@ parseArgs(int argc, char **argv)
             opts.shardInterval = std::stoull(value());
         else if (a == "--batch")
             opts.batch = true;
+        else if (a == "--trace") {
+            opts.tracePath = value();
+            obs::enableTracing();
+            obs::setThreadName("main");
+        } else if (a == "--json")
+            opts.jsonPath = value();
+        else if (a == "--breakdown")
+            opts.breakdownPath = value();
         else if (a == "--help") {
             std::printf("options: --machine <name> --scale <x> "
                         "--resched-first --only <benchmark> "
                         "--jobs <n> --shard-interval <insts> "
-                        "--batch\n");
+                        "--batch --trace <out.json> "
+                        "--json <out.json> --breakdown <out.txt>\n");
             std::exit(0);
         } else {
             fatal("unknown option '%s'", a.c_str());
@@ -103,13 +114,28 @@ runBenchmark(const TableOptions &opts, size_t index,
     // merge is deterministic, so rows don't change (only wall time).
     // parallelFor runs inline from a pool worker, so sharding inside
     // a full-suite run degrades gracefully to the serial path.
+    // Stall attribution is always on here (the tables report it);
+    // the histogram-sums-to-total invariant is checked per run.
+    sim::TimingSim::Config tcfg;
+    tcfg.collectStalls = true;
     auto timed = [&](const exe::Executable &xe) {
-        if (!opts.shardInterval)
-            return sim::timedRun(xe, m);
-        sim::ShardOptions sopts;
-        sopts.interval = opts.shardInterval;
-        sopts.pool = pool;
-        return sim::runSharded(xe, m, sopts).toTimedRun();
+        sim::TimedRun r;
+        if (!opts.shardInterval) {
+            r = sim::timedRun(xe, m, tcfg);
+        } else {
+            sim::ShardOptions sopts;
+            sopts.interval = opts.shardInterval;
+            sopts.pool = pool;
+            sopts.timing = tcfg;
+            r = sim::runSharded(xe, m, sopts).toTimedRun();
+        }
+        if (r.stallBreakdown.total() != r.stallCycles)
+            fatal("%s: stall histogram sums to %llu but the run "
+                  "counted %llu stall cycles",
+                  spec.name.c_str(),
+                  (unsigned long long)r.stallBreakdown.total(),
+                  (unsigned long long)r.stallCycles);
+        return r;
     };
 
     workload::GenOptions gopts;
@@ -139,12 +165,20 @@ runBenchmark(const TableOptions &opts, size_t index,
         base_ratio = double(r_base.cycles) / double(r_orig.cycles);
     }
 
+    // Slot-fill audit over the scheduled (instrumented) rewrite only
+    // — the Table 2 baseline reschedule above deliberately runs
+    // without it. Atomic sink: per-routine scheduling may fan out
+    // across the pool.
+    obs::SlotFillAudit audit;
+    sched_opts.sched.audit = &audit;
+
     std::vector<edit::Routine> routines;
     exe::Executable instrumented, scheduled;
     if (opts.batch) {
         edit::BatchOptions bopts;
         bopts.model = &sched_model;
         bopts.sched = opts.sched;
+        bopts.sched.audit = &audit;
         bopts.pool = pool;
         edit::BatchRewriter rw(base, bopts);
         edit::BatchResult batch = rw.rewriteAll(
@@ -185,6 +219,13 @@ runBenchmark(const TableOptions &opts, size_t index,
                            int64_t(r_sched.cycles)) /
                     double(int64_t(r_inst.cycles) -
                            int64_t(r_base.cycles));
+    row.baseStalls = r_base.stallBreakdown;
+    row.baseStallCycles = r_base.stallCycles;
+    row.instStalls = r_inst.stallBreakdown;
+    row.instStallCycles = r_inst.stallCycles;
+    row.schedStalls = r_sched.stallBreakdown;
+    row.schedStallCycles = r_sched.stallCycles;
+    row.audit = audit.snapshot();
     return row;
 }
 
@@ -210,7 +251,8 @@ runTable(const TableOptions &opts)
     std::vector<Row> rows(indices.size());
     pool.parallelFor(indices.size(), cost, [&](size_t k) {
         rows[k] = runBenchmark(opts, indices[k], &pool);
-        std::fprintf(stderr, "  %-14s done\n", rows[k].name.c_str());
+        obs::logf(obs::LogLevel::Info, "  %-14s done",
+                  rows[k].name.c_str());
     });
     return rows;
 }
@@ -226,16 +268,26 @@ formatTable(const std::string &title, const std::vector<Row> &rows)
     };
 
     emit("\n%s\n", title.c_str());
-    emit("%-14s %8s %10s %10s %18s %18s %9s\n", "Benchmark",
-         "Avg.BB", "Uninst(s)", "(ratio)", "Inst(s) (ratio)",
-         "Sched(s) (ratio)", "%Hidden");
+    // The trailing block is the scheduled run's stall composition:
+    // each StallReason's share of its total stall cycles.
+    emit("%-14s %8s %10s %10s %18s %18s %9s  %5s %5s %5s %5s %5s\n",
+         "Benchmark", "Avg.BB", "Uninst(s)", "(ratio)",
+         "Inst(s) (ratio)", "Sched(s) (ratio)", "%Hidden", "raw%",
+         "waw%", "res%", "icm%", "br%");
 
+    auto pct = [](uint64_t part, uint64_t whole) {
+        return whole ? 100.0 * double(part) / double(whole) : 0.0;
+    };
     auto line = [&](const Row &r) {
         emit("%-14s %8.1f %10.4f %10.2f %10.4f (%4.2f) "
-             "%10.4f (%4.2f) %8.1f%%\n",
+             "%10.4f (%4.2f) %8.1f%%",
              r.name.c_str(), r.avgBlockSize, r.uninstSec,
              r.uninstRatioToOriginal, r.instSec, r.instRatio,
              r.schedSec, r.schedRatio, r.pctHidden);
+        for (unsigned i = 0; i < obs::numStallReasons; ++i)
+            emit(" %5.1f",
+                 pct(r.schedStalls.cycles[i], r.schedStallCycles));
+        emit("\n");
     };
     auto averages = [&](bool fp, const char *label) {
         double ir = 0, sr = 0, hid = 0;
@@ -270,6 +322,151 @@ void
 printTable(const std::string &title, const std::vector<Row> &rows)
 {
     std::fputs(formatTable(title, rows).c_str(), stdout);
+}
+
+std::string
+formatBreakdown(const std::string &title, const std::vector<Row> &rows)
+{
+    std::string out;
+    char buf[256];
+    auto emit = [&](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        out += buf;
+    };
+
+    emit("%s — stall attribution and scheduler slot-fill audit\n",
+         title.c_str());
+    emit("(cycles per StallReason; each image's histogram sums "
+         "exactly to its total stall cycles)\n\n");
+    for (const Row &r : rows) {
+        emit("%s\n", r.name.c_str());
+        struct
+        {
+            const char *label;
+            const obs::StallBreakdown *bd;
+            uint64_t total;
+        } images[3] = {
+            {"uninst", &r.baseStalls, r.baseStallCycles},
+            {"inst", &r.instStalls, r.instStallCycles},
+            {"sched", &r.schedStalls, r.schedStallCycles},
+        };
+        for (const auto &img : images) {
+            emit("  %-7s total %12llu |", img.label,
+                 (unsigned long long)img.total);
+            for (unsigned i = 0; i < obs::numStallReasons; ++i)
+                emit(" %s %llu",
+                     obs::stallReasonName(obs::StallReason(i)),
+                     (unsigned long long)img.bd->cycles[i]);
+            emit("\n");
+        }
+        emit("  slot-fill audit: empty slots %llu |",
+             (unsigned long long)r.audit.total());
+        for (unsigned i = 0; i < obs::numSlotFillReasons; ++i)
+            emit(" %s %llu",
+                 obs::slotFillReasonName(obs::SlotFillReason(i)),
+                 (unsigned long long)r.audit.slots[i]);
+        emit("\n\n");
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void
+appendBreakdownJson(std::string &out, const obs::StallBreakdown &bd,
+                    uint64_t total)
+{
+    char buf[96];
+    out += "{";
+    for (unsigned i = 0; i < obs::numStallReasons; ++i) {
+        std::snprintf(buf, sizeof(buf), "\"%s\": %llu, ",
+                      obs::stallReasonName(obs::StallReason(i)),
+                      (unsigned long long)bd.cycles[i]);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "\"total\": %llu}",
+                  (unsigned long long)total);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+tableJson(const std::string &title, const TableOptions &opts,
+          const std::vector<Row> &rows)
+{
+    std::string out;
+    char buf[256];
+    auto emit = [&](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        out += buf;
+    };
+
+    emit("{\n  \"title\": \"%s\",\n", jsonEscape(title).c_str());
+    emit("  \"machine\": \"%s\",\n", opts.machine.c_str());
+    emit("  \"scale\": %g,\n", opts.scale);
+    out += "  \"rows\": [\n";
+    for (size_t k = 0; k < rows.size(); ++k) {
+        const Row &r = rows[k];
+        emit("    {\"name\": \"%s\", \"fp\": %s, "
+             "\"avg_block\": %.4f, \"uninst_sec\": %.6f, "
+             "\"uninst_ratio\": %.4f, \"inst_sec\": %.6f, "
+             "\"inst_ratio\": %.4f, \"sched_sec\": %.6f, "
+             "\"sched_ratio\": %.4f, \"pct_hidden\": %.4f,\n",
+             jsonEscape(r.name).c_str(), r.fp ? "true" : "false",
+             r.avgBlockSize, r.uninstSec, r.uninstRatioToOriginal,
+             r.instSec, r.instRatio, r.schedSec, r.schedRatio,
+             r.pctHidden);
+        out += "     \"stalls\": {\"uninst\": ";
+        appendBreakdownJson(out, r.baseStalls, r.baseStallCycles);
+        out += ", \"inst\": ";
+        appendBreakdownJson(out, r.instStalls, r.instStallCycles);
+        out += ", \"sched\": ";
+        appendBreakdownJson(out, r.schedStalls, r.schedStallCycles);
+        out += "},\n     \"slot_audit\": {";
+        for (unsigned i = 0; i < obs::numSlotFillReasons; ++i) {
+            emit("\"%s\": %llu, ",
+                 obs::slotFillReasonName(obs::SlotFillReason(i)),
+                 (unsigned long long)r.audit.slots[i]);
+        }
+        emit("\"total\": %llu}}%s\n",
+             (unsigned long long)r.audit.total(),
+             k + 1 < rows.size() ? "," : "");
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+void
+emitOutputs(const TableOptions &opts, const std::string &title,
+            const std::vector<Row> &rows)
+{
+    auto writeFile = [](const std::string &path,
+                        const std::string &content) {
+        FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            fatal("cannot write '%s'", path.c_str());
+        std::fwrite(content.data(), 1, content.size(), f);
+        std::fclose(f);
+    };
+    if (!opts.jsonPath.empty())
+        writeFile(opts.jsonPath, tableJson(title, opts, rows));
+    if (!opts.breakdownPath.empty())
+        writeFile(opts.breakdownPath, formatBreakdown(title, rows));
+    if (!opts.tracePath.empty() && !obs::writeTrace(opts.tracePath))
+        fatal("cannot write trace '%s'", opts.tracePath.c_str());
 }
 
 } // namespace eel::bench

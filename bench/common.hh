@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "src/machine/model.hh"
+#include "src/obs/slotfill.hh"
+#include "src/obs/stall.hh"
 #include "src/sched/scheduler.hh"
 #include "src/support/thread_pool.hh"
 
@@ -29,6 +31,19 @@ struct Row
     double schedSec;
     double schedRatio;
     double pctHidden;
+
+    /**
+     * Stall attribution per image (always collected by the table
+     * runs; the invariant breakdown.total() == stallCycles is
+     * checked per run). Serial and sharded runs produce identical
+     * values for the default perfect-cache config.
+     */
+    obs::StallBreakdown baseStalls, instStalls, schedStalls;
+    uint64_t baseStallCycles = 0;
+    uint64_t instStallCycles = 0;
+    uint64_t schedStallCycles = 0;
+    /** Scheduler slot-fill audit over the scheduled image's rewrite. */
+    obs::SlotFillCounts audit;
 };
 
 struct TableOptions
@@ -78,10 +93,21 @@ struct TableOptions
      * byte-identical either way, so rows don't change.
      */
     bool batch = false;
+    /**
+     * Observability outputs (all optional). --trace enables span
+     * collection for the whole run and writes a Chrome trace_event
+     * JSON (load into Perfetto / chrome://tracing); --json mirrors
+     * the printed table as structured JSON; --breakdown writes the
+     * per-benchmark stall histograms and slot-fill audit as text.
+     */
+    std::string tracePath;
+    std::string jsonPath;
+    std::string breakdownPath;
 };
 
 /** Parse --machine/--scale/--resched-first/--only/--jobs/
- *  --shard-interval from argv. */
+ *  --shard-interval/--trace/--json/--breakdown from argv.
+ *  --trace enables tracing immediately. */
 TableOptions parseArgs(int argc, char **argv);
 
 /**
@@ -102,6 +128,24 @@ std::string formatTable(const std::string &title,
 /** Print formatTable to stdout. */
 void printTable(const std::string &title,
                 const std::vector<Row> &rows);
+
+/** Render the per-benchmark stall-reason histograms and slot-fill
+ *  audit as text (the --breakdown payload). */
+std::string formatBreakdown(const std::string &title,
+                            const std::vector<Row> &rows);
+
+/** Render the table as structured JSON (the --json payload). */
+std::string tableJson(const std::string &title,
+                      const TableOptions &opts,
+                      const std::vector<Row> &rows);
+
+/**
+ * Write the optional observability outputs of one table run:
+ * opts.jsonPath (tableJson), opts.breakdownPath (formatBreakdown),
+ * opts.tracePath (obs::writeTrace). No-ops for unset paths.
+ */
+void emitOutputs(const TableOptions &opts, const std::string &title,
+                 const std::vector<Row> &rows);
 
 } // namespace eel::bench
 

@@ -23,7 +23,12 @@
  *
  * Usage: perf_pipeline [--machine m] [--scale x] [--jobs n]
  *                      [--out file.json] [--check baseline.json]
- *                      [--tolerance frac]
+ *                      [--tolerance frac] [--trace out.json]
+ *
+ * --trace records spans over the whole suite (batch stamps, shard
+ * replays, pool steals included) and writes Perfetto-loadable JSON.
+ * The metrics registry (pool/store/emulator counters) is serialized
+ * into a "metrics" section of the output JSON either way.
  */
 
 #include <chrono>
@@ -36,6 +41,8 @@
 #include "src/eel/cfg.hh"
 #include "src/eel/editor.hh"
 #include "src/exe/section_store.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
 #include "src/qpt/profiler.hh"
 #include "src/sim/shard.hh"
 #include "src/sim/timing.hh"
@@ -108,6 +115,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     std::string out_path = "BENCH_pipeline.json";
     std::string check_path;
+    std::string trace_path;
     double tolerance = 0.25;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -128,10 +136,13 @@ main(int argc, char **argv)
             check_path = value();
         else if (a == "--tolerance")
             tolerance = std::stod(value());
+        else if (a == "--trace")
+            trace_path = value();
         else if (a == "--help") {
             std::printf("options: --machine <name> --scale <x> "
                         "--jobs <n> --out <file.json> "
-                        "--check <baseline.json> --tolerance <frac>\n");
+                        "--check <baseline.json> --tolerance <frac> "
+                        "--trace <out.json>\n");
             return 0;
         } else {
             fatal("unknown option '%s'", a.c_str());
@@ -139,6 +150,10 @@ main(int argc, char **argv)
     }
     if (jobs == 0)
         jobs = support::ThreadPool::hardwareConcurrency();
+    if (!trace_path.empty()) {
+        obs::enableTracing();
+        obs::setThreadName("main");
+    }
 
     const machine::MachineModel &m =
         machine::MachineModel::builtin(machine);
@@ -351,10 +366,17 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"table1_jobsN_wall_s\": %.4f,\n",
                  e2e_parallel_s);
     std::fprintf(f, "  \"table1_parallel_speedup\": %.3f,\n", speedup);
-    std::fprintf(f, "  \"parallel_output_identical\": %s\n",
+    std::fprintf(f, "  \"parallel_output_identical\": %s,\n",
                  identical ? "true" : "false");
+    // Namespaced keys ("pool.steals", ...) cannot collide with the
+    // flat gate keys jsonNumber() pulls out above.
+    std::string metrics = obs::metricsJson("  ");
+    std::fprintf(f, "  \"metrics\": %s\n", metrics.c_str());
     std::fprintf(f, "}\n");
     std::fclose(f);
+
+    if (!trace_path.empty() && !obs::writeTrace(trace_path))
+        fatal("cannot write trace to %s", trace_path.c_str());
 
     if (!identical) {
         std::fprintf(stderr,

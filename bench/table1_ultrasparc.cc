@@ -26,8 +26,10 @@ main(int argc, char **argv)
                  "table1: machine=%s scale=%.2f (paper: Table 1)\n",
                  opts.machine.c_str(), opts.scale);
     std::vector<Row> rows = runTable(opts);
-    printTable("Table 1: Slow profiling instrumentation on the " +
-                   opts.machine + " (paper Table 1, UltraSPARC)",
-               rows);
+    std::string title =
+        "Table 1: Slow profiling instrumentation on the " +
+        opts.machine + " (paper Table 1, UltraSPARC)";
+    printTable(title, rows);
+    emitOutputs(opts, title, rows);
     return 0;
 }

@@ -25,6 +25,8 @@
 
 #include "bench/common.hh"
 #include "src/eel/editor.hh"
+#include "src/obs/log.hh"
+#include "src/obs/trace.hh"
 #include "src/qpt/edge_profiler.hh"
 #include "src/sim/timing.hh"
 #include "src/support/logging.hh"
@@ -49,6 +51,11 @@ struct SbRow
     size_t traces = 0;
     double avgTraceLen = 0;
     bool oracleOk = false;
+    /** Stall attribution of the superblock build's timing run. */
+    obs::StallBreakdown sbStalls;
+    uint64_t sbStallCycles = 0;
+    /** Slot-fill audit over the superblock rewrite. */
+    obs::SlotFillCounts audit;
 };
 
 SbRow
@@ -91,6 +98,10 @@ runOne(const bench::TableOptions &opts, size_t index,
     edit::EditOptions sb_opts = local_opts;
     sb_opts.scope = edit::SchedScope::Superblock;
     sb_opts.edgeCounts = &bcounts;
+    // Slot-fill audit over the superblock rewrite only, so the
+    // columns attribute unfilled slots of the cross-block scheduler.
+    obs::SlotFillAudit audit;
+    sb_opts.sched.audit = &audit;
 
     exe::Executable inst = edit::rewrite(
         work, routines, plan.plan, edit::EditOptions{});
@@ -99,10 +110,17 @@ runOne(const bench::TableOptions &opts, size_t index,
     exe::Executable sb = edit::rewrite(
         work, routines, plan.plan, sb_opts);
 
+    sim::TimingSim::Config tcfg;
+    tcfg.collectStalls = true;
     auto r_base = sim::timedRun(work, m);
     auto r_inst = sim::timedRun(inst, m);
     auto r_local = sim::timedRun(local, m);
-    auto r_sb = sim::timedRun(sb, m);
+    auto r_sb = sim::timedRun(sb, m, tcfg);
+    if (r_sb.stallBreakdown.total() != r_sb.stallCycles)
+        fatal("%s: stall histogram sums to %llu but the run counted "
+              "%llu stall cycles", spec.name.c_str(),
+              (unsigned long long)r_sb.stallBreakdown.total(),
+              (unsigned long long)r_sb.stallCycles);
     if (r_base.result.output != r_sb.result.output ||
         r_base.result.exitCode != r_sb.result.exitCode)
         fatal("%s: superblock output differs from base",
@@ -147,6 +165,9 @@ runOne(const bench::TableOptions &opts, size_t index,
     if (row.traces)
         row.avgTraceLen /= double(row.traces);
     row.oracleOk = oracle;
+    row.sbStalls = r_sb.stallBreakdown;
+    row.sbStallCycles = r_sb.stallCycles;
+    row.audit = audit.snapshot();
 
     // Average dynamic block size of the base build, for context.
     uint64_t blocks = 0;
@@ -183,8 +204,8 @@ main(int argc, char **argv)
     std::vector<SbRow> rows(indices.size());
     pool.parallelFor(indices.size(), cost, [&](size_t k) {
         rows[k] = runOne(opts, indices[k], &pool);
-        std::fprintf(stderr, "  %-14s done\n",
-                     rows[k].name.c_str());
+        eel::obs::logf(eel::obs::LogLevel::Info, "  %-14s done",
+                       rows[k].name.c_str());
     });
 
     std::printf("\nSuperblock vs local scheduling of profiling "
@@ -229,6 +250,85 @@ main(int argc, char **argv)
         if (r.fp)
             line(r);
     averages(true, "CFP95 Average");
+
+    auto writeFile = [](const std::string &path,
+                        const std::string &body) {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            eel::fatal("cannot open %s for writing", path.c_str());
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+    };
+    if (!opts.jsonPath.empty()) {
+        std::string j;
+        char buf[256];
+        auto emit = [&](const char *fmt, auto... a) {
+            std::snprintf(buf, sizeof buf, fmt, a...);
+            j += buf;
+        };
+        emit("{\n  \"table\": \"superblock\",\n"
+             "  \"machine\": \"%s\",\n  \"scale\": %.4f,\n"
+             "  \"rows\": [\n",
+             opts.machine.c_str(), opts.scale);
+        for (size_t k = 0; k < rows.size(); ++k) {
+            const SbRow &r = rows[k];
+            emit("    {\"name\": \"%s\", \"fp\": %s, "
+                 "\"inst_ratio\": %.6f, \"local_ratio\": %.6f, "
+                 "\"sb_ratio\": %.6f, \"pct_hidden_local\": %.4f, "
+                 "\"pct_hidden_sb\": %.4f, \"growth_pct\": %.4f, "
+                 "\"traces\": %zu, \"avg_trace_len\": %.4f, "
+                 "\"oracle_ok\": %s,\n",
+                 r.name.c_str(), r.fp ? "true" : "false",
+                 r.instRatio, r.localRatio, r.sbRatio,
+                 r.pctHiddenLocal, r.pctHiddenSb, r.growthPct,
+                 r.traces, r.avgTraceLen,
+                 r.oracleOk ? "true" : "false");
+            j += "     \"sb_stalls\": {";
+            for (unsigned i = 0; i < eel::obs::numStallReasons; ++i)
+                emit("%s\"%s\": %llu", i ? ", " : "",
+                     eel::obs::stallReasonName(
+                         eel::obs::StallReason(i)),
+                     (unsigned long long)r.sbStalls.cycles[i]);
+            emit("}, \"sb_stall_cycles\": %llu,\n",
+                 (unsigned long long)r.sbStallCycles);
+            j += "     \"slot_audit\": {";
+            for (unsigned i = 0; i < eel::obs::numSlotFillReasons;
+                 ++i)
+                emit("%s\"%s\": %llu", i ? ", " : "",
+                     eel::obs::slotFillReasonName(
+                         eel::obs::SlotFillReason(i)),
+                     (unsigned long long)r.audit.slots[i]);
+            j += "}}";
+            j += (k + 1 < rows.size()) ? ",\n" : "\n";
+        }
+        j += "  ]\n}\n";
+        writeFile(opts.jsonPath, j);
+    }
+    if (!opts.breakdownPath.empty()) {
+        std::string b = "Stall breakdown: superblock builds (" +
+                        opts.machine + ")\n";
+        char buf[160];
+        for (const SbRow &r : rows) {
+            std::snprintf(buf, sizeof buf, "%s: %llu stall cycles\n",
+                          r.name.c_str(),
+                          (unsigned long long)r.sbStallCycles);
+            b += buf;
+            for (unsigned i = 0; i < eel::obs::numStallReasons;
+                 ++i) {
+                std::snprintf(
+                    buf, sizeof buf, "  %-16s %12llu\n",
+                    eel::obs::stallReasonName(
+                        eel::obs::StallReason(i)),
+                    (unsigned long long)r.sbStalls.cycles[i]);
+                b += buf;
+            }
+        }
+        writeFile(opts.breakdownPath, b);
+    }
+    if (!opts.tracePath.empty() &&
+        !eel::obs::writeTrace(opts.tracePath))
+        eel::fatal("cannot write trace to %s",
+                   opts.tracePath.c_str());
 
     if (bad_oracle) {
         std::fprintf(stderr,

@@ -8,7 +8,11 @@ set -e
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j
 B=build/bench
-$B/table1_ultrasparc --scale 1 > results/table1.txt
+# Table 1 also publishes the stall-attribution histograms, the
+# scheduler slot-fill audit, and a structured mirror of the table.
+$B/table1_ultrasparc --scale 1 \
+    --breakdown results/stall_breakdown.txt \
+    --json results/table1.json > results/table1.txt
 $B/table2_ultrasparc_resched --scale 1 > results/table2.txt
 $B/table3_supersparc --scale 1 > results/table3.txt
 $B/table1_ultrasparc --machine hypersparc --scale 0.5 > results/table1_hypersparc.txt

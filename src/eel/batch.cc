@@ -1,5 +1,6 @@
 #include "src/eel/batch.hh"
 
+#include "src/obs/trace.hh"
 #include "src/sim/emulator.hh"
 #include "src/support/logging.hh"
 #include "src/support/thread_pool.hh"
@@ -25,6 +26,19 @@ wants(const std::vector<VariantKind> &kinds, VariantKind k)
         if (v == k)
             return true;
     return false;
+}
+
+const char *
+kindName(VariantKind k)
+{
+    switch (k) {
+      case VariantKind::Identity:     return "identity";
+      case VariantKind::SlowProfile:  return "slow_profile";
+      case VariantKind::EdgeProfile:  return "edge_profile";
+      case VariantKind::Sched:        return "sched";
+      case VariantKind::Superblock:   return "superblock";
+    }
+    return "unknown";
 }
 
 } // namespace
@@ -59,6 +73,7 @@ BatchRewriter::rewriteAll(const std::vector<VariantKind> &kinds)
     // single-image flow.
     exe::Executable eprof;
     if (needEdges) {
+        obs::Span span("batch.edge_profile_run");
         exe::Executable eprof_x = in;
         res.edgePlan =
             qpt::makeEdgePlan(eprof_x, routines, opts.profile);
@@ -75,12 +90,15 @@ BatchRewriter::rewriteAll(const std::vector<VariantKind> &kinds)
     }
 
     res.work = in;
-    if (needCounters)
+    if (needCounters) {
+        obs::Span span("batch.analysis");
         res.profilePlan =
             qpt::makePlan(res.work, routines, opts.profile);
+    }
 
     std::vector<Liveness> live;
     if (wants(kinds, VariantKind::Superblock)) {
+        obs::Span span("batch.liveness");
         live.reserve(routines.size());
         for (const Routine &r : routines)
             live.emplace_back(r);
@@ -104,6 +122,8 @@ BatchRewriter::rewriteAll(const std::vector<VariantKind> &kinds)
 
     res.variants.resize(kinds.size());
     auto stamp = [&](size_t k) {
+        obs::Span span(std::string("batch.stamp.") +
+                       kindName(kinds[k]));
         BatchVariant &v = res.variants[k];
         v.kind = kinds[k];
         switch (kinds[k]) {
@@ -136,6 +156,7 @@ BatchRewriter::rewriteAll(const std::vector<VariantKind> &kinds)
     }
 
     if (opts.store) {
+        obs::Span span("batch.intern");
         opts.store->intern(res.work);
         for (BatchVariant &v : res.variants)
             opts.store->intern(v.image);

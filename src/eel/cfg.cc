@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/obs/trace.hh"
 #include "src/support/logging.hh"
 
 namespace eel::edit {
@@ -236,6 +237,7 @@ Routine::blockAt(uint32_t addr) const
 std::vector<Routine>
 buildRoutines(const exe::Executable &x)
 {
+    obs::Span span("edit.cfg");
     std::vector<const exe::Symbol *> fns;
     for (const exe::Symbol &s : x.symbols)
         if (s.isFunc)

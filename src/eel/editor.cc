@@ -6,6 +6,7 @@
 
 #include "src/eel/liveness.hh"
 #include "src/isa/builder.hh"
+#include "src/obs/trace.hh"
 #include "src/support/logging.hh"
 #include "src/support/thread_pool.hh"
 
@@ -99,6 +100,7 @@ rewrite(const exe::Executable &in,
             *opts.model, opts.sched);
 
     auto buildRoutine = [&](size_t ri) {
+        obs::Span span("edit.routine");
         const Routine &r = routines[ri];
         std::vector<NewBlock> &blocks = newBlocks[ri];
         std::vector<int> blockSlot(r.blocks.size(), -1);
@@ -349,13 +351,17 @@ rewrite(const exe::Executable &in,
             blocks.push_back(std::move(tb));
         }
     };
-    if (opts.pool) {
-        opts.pool->parallelFor(routines.size(), buildRoutine);
-    } else {
-        for (size_t ri = 0; ri < routines.size(); ++ri)
-            buildRoutine(ri);
+    {
+        obs::Span span("edit.build");
+        if (opts.pool) {
+            opts.pool->parallelFor(routines.size(), buildRoutine);
+        } else {
+            for (size_t ri = 0; ri < routines.size(); ++ri)
+                buildRoutine(ri);
+        }
     }
 
+    obs::Span emitSpan("edit.layout+emit");
     // Layout pass (serial): walk routines in original order assigning
     // addresses, so the result is independent of how pass 1 was
     // scheduled across threads.

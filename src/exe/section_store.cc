@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "src/exe/executable.hh"
+#include "src/obs/metrics.hh"
 
 namespace eel::exe {
 
@@ -26,6 +27,11 @@ pageHash(const Chunk &c)
 ChunkPtr
 SectionStore::intern(ChunkPtr c)
 {
+    static obs::Metric mCalls("store.intern_calls",
+                              obs::MetricKind::Counter);
+    static obs::Metric mHits("store.intern_hits",
+                             obs::MetricKind::Counter);
+    mCalls.add();
     uint64_t h = pageHash(*c);
     std::lock_guard<std::mutex> lock(mu);
     ++calls;
@@ -42,6 +48,7 @@ SectionStore::intern(ChunkPtr c)
             std::memcmp(cand->mem.data(), c->mem.data(),
                         Chunk::bytes) == 0) {
             ++hits;
+            mHits.add();
             return cand;
         }
         ++i;

@@ -1,6 +1,7 @@
 #include "src/machine/pipeline.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 #include "src/support/logging.hh"
@@ -73,6 +74,72 @@ PipelineState::reset()
     frontierCycle = 0;
 }
 
+PipelineState::Snapshot
+PipelineState::snapshot() const
+{
+    return Snapshot{slotStamp, slotFree, lastRead, lastWrite,
+                    writeAvail, frontierCycle};
+}
+
+void
+PipelineState::restore(const Snapshot &s)
+{
+    if (s.slotFree.size() != slotFree.size() ||
+        s.lastRead.size() != lastRead.size())
+        panic("PipelineState::restore: snapshot from a different "
+              "machine model");
+    slotStamp = s.slotStamp;
+    slotFree = s.slotFree;
+    lastRead = s.lastRead;
+    lastWrite = s.lastWrite;
+    writeAvail = s.writeAvail;
+    frontierCycle = s.frontierCycle;
+}
+
+void
+PipelineState::appendNormalizedKey(std::vector<uint64_t> &out) const
+{
+    const uint64_t d = frontierCycle;
+
+    // Unit ring: future instructions enter at cycles >= d (simulate()
+    // starts at the frontier and abs only advances), so rows stamped
+    // before d are dead. Live rows equal to full capacity are
+    // indistinguishable from untouched slots (initSlot would recreate
+    // them bit-identically) and are dropped to canonicalize. The rest
+    // are emitted rebased to d, in ascending cycle order.
+    std::vector<std::pair<uint64_t, unsigned>> live;
+    for (unsigned s = 0; s < windowSize; ++s) {
+        uint64_t stamp = slotStamp[s];
+        if (stamp == ~uint64_t(0) || stamp < d)
+            continue;
+        if (std::memcmp(&slotFree[s * numUnits], capInit.data(),
+                        numUnits * sizeof(int16_t)) == 0)
+            continue;
+        live.emplace_back(stamp - d, s);
+    }
+    std::sort(live.begin(), live.end());
+    out.push_back(live.size());
+    for (const auto &[at, s] : live) {
+        out.push_back(at);
+        for (unsigned u = 0; u < numUnits; ++u)
+            out.push_back(static_cast<uint16_t>(
+                slotFree[s * numUnits + u]));
+    }
+
+    // Register history, rebased to d with inert values mapped to 0.
+    // A value is inert when the hazard check it feeds can no longer
+    // fire for any abs >= d: RAW needs abs < writeAvail (inert <= d),
+    // WAW needs abs < lastWrite (inert <= d), WAR needs abs + 1 <
+    // lastRead (inert <= d + 1). commit() only max()es these upward
+    // with values > d, so an inert value also never influences later
+    // state.
+    for (size_t r = 0; r < lastRead.size(); ++r) {
+        out.push_back(lastRead[r] > d + 1 ? lastRead[r] - d : 0);
+        out.push_back(lastWrite[r] > d ? lastWrite[r] - d : 0);
+        out.push_back(writeAvail[r] > d ? writeAvail[r] - d : 0);
+    }
+}
+
 void
 PipelineState::initSlot(uint64_t c, unsigned slot) const
 {
@@ -90,10 +157,32 @@ PipelineState::rowFor(uint64_t c) const
     return &slotFree[slot * numUnits];
 }
 
+namespace {
+
+/** Debug-build assertion that the scratch buffers are not in use;
+ *  see the scratchBusy member comment. */
+struct ScratchGuard
+{
+    explicit ScratchGuard(bool &busy) : _busy(busy)
+    {
+        assert(!_busy && "PipelineState scratch used reentrantly "
+                         "(shared across threads?)");
+        _busy = true;
+    }
+    ~ScratchGuard() { _busy = false; }
+    bool &_busy;
+};
+
+} // namespace
+
 unsigned
 PipelineState::simulate(uint64_t entry_cycle, const ResolvedVariant &rv,
-                        std::vector<uint64_t> &abs_for) const
+                        std::vector<uint64_t> &abs_for,
+                        obs::StallBreakdown *why) const
 {
+#ifndef NDEBUG
+    ScratchGuard guard(scratchBusy);
+#endif
     const Variant &v = *rv.variant;
 
     // Every used slot of abs_for is written below; the scratch the
@@ -163,6 +252,10 @@ PipelineState::simulate(uint64_t entry_cycle, const ResolvedVariant &rv,
 
     while (mi_cycle < v.latency) {
         bool advance = true;
+        // Which ordered hazard check blocked this cycle. Exactly one
+        // fails per non-advancing cycle (the checks short-circuit),
+        // so the per-reason counts sum to the stall total.
+        obs::StallReason blocked = obs::StallReason::Resource;
 
         // Structural hazards: every unit this pipeline cycle acquires
         // must have enough free copies beyond what we already hold.
@@ -186,6 +279,7 @@ PipelineState::simulate(uint64_t entry_cycle, const ResolvedVariant &rv,
                 const ResolvedVariant::Read &a = rv.reads[i];
                 if (a.cycle == mi_cycle && abs < writeAvail[a.reg]) {
                     advance = false;
+                    blocked = obs::StallReason::RawDep;
                     break;
                 }
             }
@@ -203,6 +297,7 @@ PipelineState::simulate(uint64_t entry_cycle, const ResolvedVariant &rv,
                 if (abs + 1 < lastRead[a.reg] ||
                     abs < lastWrite[a.reg]) {
                     advance = false;
+                    blocked = obs::StallReason::WarWawDep;
                     break;
                 }
             }
@@ -219,6 +314,8 @@ PipelineState::simulate(uint64_t entry_cycle, const ResolvedVariant &rv,
                 trace[rel[e].unit] -= rel[e].num;
         } else {
             ++stalls;
+            if (why)
+                why->add(blocked);
         }
         ++abs;
         if (abs - entry_cycle > windowSize / 2)
@@ -250,15 +347,17 @@ PipelineState::stallsAt(uint64_t cycle,
 }
 
 unsigned
-PipelineState::stalls(const ResolvedVariant &rv) const
+PipelineState::stalls(const ResolvedVariant &rv,
+                      obs::StallBreakdown *why) const
 {
-    return simulate(frontierCycle, rv, scratchAbsFor);
+    return simulate(frontierCycle, rv, scratchAbsFor, why);
 }
 
 unsigned
-PipelineState::stallsAt(uint64_t cycle, const ResolvedVariant &rv) const
+PipelineState::stallsAt(uint64_t cycle, const ResolvedVariant &rv,
+                        obs::StallBreakdown *why) const
 {
-    return simulate(cycle, rv, scratchAbsFor);
+    return simulate(cycle, rv, scratchAbsFor, why);
 }
 
 PipelineState::IssueResult
@@ -268,9 +367,9 @@ PipelineState::issue(const isa::Instruction &inst)
 }
 
 PipelineState::IssueResult
-PipelineState::issue(const ResolvedVariant &rv)
+PipelineState::issue(const ResolvedVariant &rv, obs::StallBreakdown *why)
 {
-    unsigned s = simulate(frontierCycle, rv, scratchAbsFor);
+    unsigned s = simulate(frontierCycle, rv, scratchAbsFor, why);
     commit(rv, scratchAbsFor);
     return IssueResult{scratchAbsFor[0],
                        scratchAbsFor[rv.variant->latency], s};

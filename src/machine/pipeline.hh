@@ -20,6 +20,7 @@
 
 #include "src/isa/instruction.hh"
 #include "src/machine/model.hh"
+#include "src/obs/stall.hh"
 
 namespace eel::machine {
 
@@ -62,8 +63,12 @@ struct ResolvedVariant
 };
 
 /**
- * Not thread-safe: stalls() is logically const but reuses internal
- * scratch buffers; use one PipelineState per thread.
+ * Not thread-safe: stalls() is logically const but reuses explicit
+ * mutable scratch buffers (scratchTrace/scratchAbsFor below); use
+ * one PipelineState per thread. Debug builds assert on reentrant or
+ * cross-thread overlap of the scratch (see simulate()), so a future
+ * caller sharing a state across threads fails loudly instead of
+ * silently corrupting the per-reason stall accounting.
  */
 class PipelineState
 {
@@ -91,9 +96,16 @@ class PipelineState
      * candidate scan) resolve each static instruction once and issue
      * by plan, skipping the per-call variant match and register
      * field decoding.
+     *
+     * A non-null `why` receives one count per stall cycle, tagged
+     * with the hazard that blocked that cycle (the Appendix A walk
+     * fails exactly one check per non-advancing cycle). Null keeps
+     * the fast path untouched — attribution costs nothing when off.
      */
-    unsigned stalls(const ResolvedVariant &rv) const;
-    unsigned stallsAt(uint64_t cycle, const ResolvedVariant &rv) const;
+    unsigned stalls(const ResolvedVariant &rv,
+                    obs::StallBreakdown *why = nullptr) const;
+    unsigned stallsAt(uint64_t cycle, const ResolvedVariant &rv,
+                      obs::StallBreakdown *why = nullptr) const;
 
     struct IssueResult
     {
@@ -105,8 +117,11 @@ class PipelineState
     /** Issue inst in order: compute stalls, commit its effects. */
     IssueResult issue(const isa::Instruction &inst);
 
-    /** As issue(), with the instruction pre-resolved by the caller. */
-    IssueResult issue(const ResolvedVariant &rv);
+    /** As issue(), with the instruction pre-resolved by the caller.
+     *  A non-null `why` accumulates per-reason stall attribution,
+     *  as in stalls(). */
+    IssueResult issue(const ResolvedVariant &rv,
+                      obs::StallBreakdown *why = nullptr);
 
     /**
      * Model a fetch bubble (e.g. a taken-branch redirect): the next
@@ -115,6 +130,34 @@ class PipelineState
      * calls this; the timing simulator does.
      */
     void fetchBubble(unsigned n) { frontierCycle += n; }
+
+    /**
+     * Full copy of the hazard history (unit ring + register cycles +
+     * frontier), in absolute cycles. restore() on a PipelineState of
+     * the same machine model continues exactly where the snapshotted
+     * one stood — the sharded simulator uses this to hand a shard's
+     * end state to its successor when warmup validation fails.
+     */
+    struct Snapshot
+    {
+        std::vector<uint64_t> slotStamp;
+        std::vector<int16_t> slotFree;
+        std::vector<uint64_t> lastRead, lastWrite, writeAvail;
+        uint64_t frontierCycle = 0;
+    };
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+
+    /**
+     * Append a translation-invariant encoding of the state that can
+     * affect any *future* issue. Two states with equal keys produce
+     * identical stall counts, reasons and relative issue cycles for
+     * every subsequent instruction sequence, even if their absolute
+     * cycle origins differ (all hazard checks compare cycles >= the
+     * frontier, so history is rebased to it and cycles that can no
+     * longer bind are canonicalized to 0).
+     */
+    void appendNormalizedKey(std::vector<uint64_t> &out) const;
 
     /** Cycle at which the next instruction would enter unstalled. */
     uint64_t frontier() const { return frontierCycle; }
@@ -128,10 +171,12 @@ class PipelineState
      * Core of Appendix A: walk the resolved instruction through its
      * pipeline cycles from entry_cycle, counting stalls. abs_for[k]
      * receives the absolute cycle at which pipeline cycle k executed
-     * (size latency + 1).
+     * (size latency + 1). A non-null `why` gets one count per stall
+     * cycle under the failing hazard's StallReason.
      */
     unsigned simulate(uint64_t entry_cycle, const ResolvedVariant &rv,
-                      std::vector<uint64_t> &abs_for) const;
+                      std::vector<uint64_t> &abs_for,
+                      obs::StallBreakdown *why) const;
 
     void commit(const ResolvedVariant &rv,
                 const std::vector<uint64_t> &abs_for);
@@ -164,6 +209,12 @@ class PipelineState
     // is sized once to maxLatency + 1.
     mutable std::vector<int> scratchTrace;
     mutable std::vector<uint64_t> scratchAbsFor;
+
+    /** Debug-build reentrancy canary for the scratch buffers:
+     *  simulate() sets it for its duration and asserts it was clear
+     *  on entry. Catches both reentrant use and (best-effort) two
+     *  threads sharing one PipelineState. */
+    mutable bool scratchBusy = false;
 
     uint64_t frontierCycle = 0;
 };

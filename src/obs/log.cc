@@ -1,0 +1,91 @@
+#include "src/obs/log.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace eel::obs {
+
+namespace {
+
+constexpr int kUnset = -1;
+std::atomic<int> gLevel{kUnset};
+
+int
+parseEnvLevel()
+{
+    const char *e = std::getenv("EEL_LOG");
+    if (!e || !*e)
+        return static_cast<int>(LogLevel::Info);
+    if (!std::strcmp(e, "debug"))
+        return static_cast<int>(LogLevel::Debug);
+    if (!std::strcmp(e, "info"))
+        return static_cast<int>(LogLevel::Info);
+    if (!std::strcmp(e, "warn"))
+        return static_cast<int>(LogLevel::Warn);
+    if (!std::strcmp(e, "error"))
+        return static_cast<int>(LogLevel::Error);
+    if (!std::strcmp(e, "silent") || !std::strcmp(e, "off"))
+        return static_cast<int>(LogLevel::Silent);
+    std::fprintf(stderr,
+                 "warn: EEL_LOG='%s' not recognized (want "
+                 "debug|info|warn|error|silent); using info\n", e);
+    return static_cast<int>(LogLevel::Info);
+}
+
+const char *
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Silent: return "silent";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    int v = gLevel.load(std::memory_order_relaxed);
+    if (v == kUnset) {
+        v = parseEnvLevel();
+        // A racing first call parses the same env: both store the
+        // same value, so the exchange needs no retry loop.
+        gLevel.store(v, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(v);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void
+reloadLogLevelFromEnv()
+{
+    gLevel.store(parseEnvLevel(), std::memory_order_relaxed);
+}
+
+void
+logf(LogLevel level, const char *fmt, ...)
+{
+    if (!logEnabled(level))
+        return;
+    char buf[4096];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%s: %s\n", prefix(level), buf);
+}
+
+} // namespace eel::obs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Leveled logging with an environment override: EEL_LOG=debug (or
+ * info/warn/error/silent) sets the threshold below which messages
+ * are dropped. support/logging.hh's inform()/warn() are thin shims
+ * over logf(Info)/logf(Warn), so every existing status line gains
+ * the filter for free; new code calls logf() directly.
+ *
+ * Deliberately dependency-free (no src/support include) so the obs
+ * library sits below everything else in the link order.
+ */
+
+#ifndef EEL_OBS_LOG_HH
+#define EEL_OBS_LOG_HH
+
+namespace eel::obs {
+
+enum class LogLevel : int {
+    Debug = 0,
+    Info,
+    Warn,
+    Error,
+    Silent,  ///< EEL_LOG=silent: nothing at all
+};
+
+/** Current threshold; first call reads EEL_LOG (default Info). */
+LogLevel logLevel();
+
+/** Override the threshold programmatically (tests, --verbose). */
+void setLogLevel(LogLevel level);
+
+/** Re-read EEL_LOG, discarding any override (tests). */
+void reloadLogLevelFromEnv();
+
+inline bool
+logEnabled(LogLevel level)
+{
+    return level >= logLevel() && logLevel() != LogLevel::Silent;
+}
+
+/** printf-style message to stderr, prefixed by its level, dropped
+ *  when below the threshold. */
+void logf(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace eel::obs
+
+#endif // EEL_OBS_LOG_HH

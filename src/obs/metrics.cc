@@ -1,0 +1,141 @@
+#include "src/obs/metrics.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "src/obs/log.hh"
+
+namespace eel::obs {
+
+namespace {
+
+/** One thread's slot array. Owned by the registry (threads die;
+ *  their counts must not). */
+struct Shard
+{
+    std::atomic<uint64_t> v[Metric::maxMetrics] = {};
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::string> names;
+    std::vector<MetricKind> kinds;
+    std::vector<std::unique_ptr<Shard>> shards;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+thread_local Shard *tlShard = nullptr;
+
+Shard &
+myShard()
+{
+    if (!tlShard) {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.shards.push_back(std::make_unique<Shard>());
+        tlShard = r.shards.back().get();
+    }
+    return *tlShard;
+}
+
+} // namespace
+
+Metric::Metric(const char *name, MetricKind kind)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (uint32_t i = 0; i < r.names.size(); ++i) {
+        if (r.names[i] == name) {
+            id = i;
+            return;
+        }
+    }
+    if (r.names.size() >= maxMetrics) {
+        // Out of slots: alias the last metric rather than crash a
+        // measurement run; loud so the cap gets raised.
+        logf(LogLevel::Error,
+             "metrics: out of slots registering '%s'", name);
+        id = maxMetrics - 1;
+        return;
+    }
+    id = static_cast<uint32_t>(r.names.size());
+    r.names.emplace_back(name);
+    r.kinds.push_back(kind);
+}
+
+void
+Metric::add(uint64_t n)
+{
+    myShard().v[id].fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+Metric::observe(uint64_t v)
+{
+    std::atomic<uint64_t> &slot = myShard().v[id];
+    // The shard is only ever written by its owning thread, so a
+    // read-check-store (no CAS) cannot lose a concurrent update.
+    if (v > slot.load(std::memory_order_relaxed))
+        slot.store(v, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+metricsSnapshot()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(r.names.size());
+    for (uint32_t i = 0; i < r.names.size(); ++i) {
+        uint64_t acc = 0;
+        for (const auto &s : r.shards) {
+            uint64_t v = s->v[i].load(std::memory_order_relaxed);
+            if (r.kinds[i] == MetricKind::Counter)
+                acc += v;
+            else
+                acc = std::max(acc, v);
+        }
+        out.emplace_back(r.names[i], acc);
+    }
+    return out;
+}
+
+std::string
+metricsJson(const std::string &indent)
+{
+    auto snap = metricsSnapshot();
+    std::string out = "{";
+    char buf[128];
+    for (size_t i = 0; i < snap.size(); ++i) {
+        std::snprintf(buf, sizeof buf, "%s\n%s  \"%s\": %llu",
+                      i ? "," : "", indent.c_str(),
+                      snap[i].first.c_str(),
+                      static_cast<unsigned long long>(snap[i].second));
+        out += buf;
+    }
+    if (!snap.empty())
+        out += "\n" + indent;
+    out += "}";
+    return out;
+}
+
+void
+resetMetrics()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto &s : r.shards)
+        for (auto &slot : s->v)
+            slot.store(0, std::memory_order_relaxed);
+}
+
+} // namespace eel::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lock-free metrics registry: named counters and max-gauges that hot
+ * paths bump without synchronization. Each thread owns a shard of
+ * relaxed atomics (one slot per registered metric); snapshot() merges
+ * the shards — counters by sum, gauges by max — so report sites
+ * never contend and a reader still gets exact totals.
+ *
+ * Intended for cold-ish paths (a steal, a page intern, a decode-memo
+ * probe): an update is one thread_local load plus one relaxed RMW.
+ * Registration (the Metric constructor) takes a mutex, so declare
+ * metrics as function-local statics at the report site.
+ */
+
+#ifndef EEL_OBS_METRICS_HH
+#define EEL_OBS_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eel::obs {
+
+enum class MetricKind : uint8_t {
+    Counter,   ///< shards merge by sum
+    MaxGauge,  ///< shards merge by max
+};
+
+class Metric
+{
+  public:
+    /** Registers (or reuses) the named metric. At most
+     *  `maxMetrics` distinct names may be registered. */
+    Metric(const char *name, MetricKind kind);
+
+    /** Counter: add n to this thread's shard. */
+    void add(uint64_t n = 1);
+    /** MaxGauge: raise this thread's shard to at least v. */
+    void observe(uint64_t v);
+
+    static constexpr unsigned maxMetrics = 64;
+
+  private:
+    uint32_t id;
+};
+
+/** Merged (name, value) pairs in registration order. */
+std::vector<std::pair<std::string, uint64_t>> metricsSnapshot();
+
+/**
+ * The snapshot rendered as a JSON object, one "name": value per
+ * line, each line prefixed by `indent`. Empty registry renders as
+ * an empty object. Serialized into the `metrics` section of
+ * BENCH_pipeline.json.
+ */
+std::string metricsJson(const std::string &indent);
+
+/** Zero every shard (tests and bench setup). Call only while no
+ *  other thread is mid-update. */
+void resetMetrics();
+
+} // namespace eel::obs
+
+#endif // EEL_OBS_METRICS_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Scheduler slot-fill audit: for every empty issue slot a schedule
+ * leaves behind (stall cycles at a pick, or a nop in a delay slot),
+ * record why no instrumentation instruction could fill it. This
+ * turns the paper's §4.1 "basic blocks are too short to hide the
+ * overhead" explanation into a measured number: NoReadyInst means
+ * the block genuinely ran out of instrumentation, Dependence and
+ * ResourceConflict mean work existed but could not start, and the
+ * LivenessMask/SpeculationGate reasons are the superblock
+ * scheduler's cross-block hoist constraints.
+ *
+ * The accumulator is a set of relaxed atomics because routines are
+ * scheduled in parallel on the pool; sums are deterministic (each
+ * routine's contribution is, and addition commutes) even though the
+ * interleaving is not.
+ */
+
+#ifndef EEL_OBS_SLOTFILL_HH
+#define EEL_OBS_SLOTFILL_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace eel::obs {
+
+enum class SlotFillReason : uint8_t {
+    NoReadyInst = 0,   ///< no unscheduled instrumentation left
+    Dependence,        ///< instrumentation exists but waits on a dep
+    ResourceConflict,  ///< ready instrumentation blocked on a unit
+    LivenessMask,      ///< hoist clobbers a side exit's live-ins
+    SpeculationGate,   ///< hoist barred: unspeculatable or exit too hot
+};
+
+inline constexpr unsigned numSlotFillReasons = 5;
+
+inline const char *
+slotFillReasonName(SlotFillReason r)
+{
+    switch (r) {
+      case SlotFillReason::NoReadyInst: return "no_ready_inst";
+      case SlotFillReason::Dependence: return "dependence";
+      case SlotFillReason::ResourceConflict: return "resource_conflict";
+      case SlotFillReason::LivenessMask: return "liveness_mask";
+      case SlotFillReason::SpeculationGate: return "speculation_gate";
+    }
+    return "?";
+}
+
+/** Plain copyable snapshot of an audit. */
+struct SlotFillCounts
+{
+    uint64_t slots[numSlotFillReasons] = {};
+
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (uint64_t s : slots)
+            t += s;
+        return t;
+    }
+
+    SlotFillCounts &
+    operator+=(const SlotFillCounts &o)
+    {
+        for (unsigned i = 0; i < numSlotFillReasons; ++i)
+            slots[i] += o.slots[i];
+        return *this;
+    }
+
+    bool operator==(const SlotFillCounts &o) const = default;
+};
+
+/** Thread-safe accumulator threaded through SchedOptions (null =
+ *  auditing off, zero cost beyond one pointer test per stalled
+ *  pick). */
+class SlotFillAudit
+{
+  public:
+    void
+    add(SlotFillReason r, uint64_t n = 1)
+    {
+        slots[static_cast<unsigned>(r)].fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    SlotFillCounts
+    snapshot() const
+    {
+        SlotFillCounts c;
+        for (unsigned i = 0; i < numSlotFillReasons; ++i)
+            c.slots[i] = slots[i].load(std::memory_order_relaxed);
+        return c;
+    }
+
+  private:
+    std::atomic<uint64_t> slots[numSlotFillReasons] = {};
+};
+
+} // namespace eel::obs
+
+#endif // EEL_OBS_SLOTFILL_HH

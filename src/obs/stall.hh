@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Stall attribution: every stall cycle the pipeline model charges is
+ * tagged with the hazard that caused it. machine::PipelineState fills
+ * the dependence/resource reasons from the Appendix A walk (each
+ * non-advancing cycle fails exactly one hazard check); the timing
+ * simulator adds the two fetch-side effects the Spawn models omit
+ * (taken-branch redirects and icache misses). The invariant callers
+ * rely on — and the benches assert — is that a run's breakdown sums
+ * exactly to its total stall cycles.
+ *
+ * Header-only and dependency-free so the hot pipeline loop can fill
+ * a breakdown through a raw uint64_t array without pulling in any of
+ * the tracing machinery.
+ */
+
+#ifndef EEL_OBS_STALL_HH
+#define EEL_OBS_STALL_HH
+
+#include <cstdint>
+
+namespace eel::obs {
+
+enum class StallReason : uint8_t {
+    RawDep = 0,      ///< read waits on a producing value (RAW)
+    WarWawDep,       ///< write ordered behind a read/write (WAR/WAW)
+    Resource,        ///< functional unit hold (structural hazard)
+    ICacheMiss,      ///< fetch bubble on an instruction cache miss
+    BranchRedirect,  ///< fetch bubble on a control-flow discontinuity
+};
+
+inline constexpr unsigned numStallReasons = 5;
+
+inline const char *
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::RawDep: return "raw_dep";
+      case StallReason::WarWawDep: return "war_waw_dep";
+      case StallReason::Resource: return "resource";
+      case StallReason::ICacheMiss: return "icache_miss";
+      case StallReason::BranchRedirect: return "branch_redirect";
+    }
+    return "?";
+}
+
+/** Per-reason stall-cycle histogram. Plain counters: one breakdown
+ *  per simulator/thread, merged explicitly (and deterministically,
+ *  in shard order) by the owner. */
+struct StallBreakdown
+{
+    uint64_t cycles[numStallReasons] = {};
+
+    void
+    add(StallReason r, uint64_t n = 1)
+    {
+        cycles[static_cast<unsigned>(r)] += n;
+    }
+
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (uint64_t c : cycles)
+            t += c;
+        return t;
+    }
+
+    StallBreakdown &
+    operator+=(const StallBreakdown &o)
+    {
+        for (unsigned i = 0; i < numStallReasons; ++i)
+            cycles[i] += o.cycles[i];
+        return *this;
+    }
+
+    /** Per-reason counts are monotone within one simulator, so a
+     *  warmup prefix subtracts exactly (sharded boundary
+     *  correction). */
+    StallBreakdown &
+    operator-=(const StallBreakdown &o)
+    {
+        for (unsigned i = 0; i < numStallReasons; ++i)
+            cycles[i] -= o.cycles[i];
+        return *this;
+    }
+
+    bool operator==(const StallBreakdown &o) const = default;
+};
+
+} // namespace eel::obs
+
+#endif // EEL_OBS_STALL_HH

@@ -1,0 +1,216 @@
+#include "src/obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/obs/log.hh"
+
+namespace eel::obs {
+
+namespace detail {
+std::atomic<bool> tracingOn{false};
+} // namespace detail
+
+namespace {
+
+struct Event
+{
+    char phase;        ///< 'X' complete, 'i' instant
+    std::string name;
+    uint64_t tsNs;
+    uint64_t durNs;    ///< 'X' only
+    std::string args;  ///< pre-rendered JSON object, may be empty
+};
+
+/** One thread's buffered events. Owned by the registry so events
+ *  survive the thread (pool workers outlive their batches, but a
+ *  trace may be written after a pool is destroyed). */
+struct ThreadBuf
+{
+    int tid;
+    std::string name;
+    std::vector<Event> events;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<ThreadBuf>> bufs;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+thread_local ThreadBuf *tlBuf = nullptr;
+
+ThreadBuf &
+myBuf()
+{
+    if (!tlBuf) {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        auto b = std::make_unique<ThreadBuf>();
+        b->tid = static_cast<int>(r.bufs.size());
+        tlBuf = b.get();
+        r.bufs.push_back(std::move(b));
+    }
+    return *tlBuf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+namespace detail {
+
+uint64_t
+traceNowNs()
+{
+    using namespace std::chrono;
+    static const steady_clock::time_point epoch = steady_clock::now();
+    return static_cast<uint64_t>(
+        duration_cast<nanoseconds>(steady_clock::now() - epoch)
+            .count());
+}
+
+void
+recordComplete(std::string name, uint64_t t0, uint64_t t1)
+{
+    myBuf().events.push_back(
+        Event{'X', std::move(name), t0, t1 - t0, {}});
+}
+
+} // namespace detail
+
+void
+enableTracing()
+{
+    detail::traceNowNs();  // pin the epoch before the first span
+    detail::tracingOn.store(true, std::memory_order_relaxed);
+}
+
+void
+resetTrace()
+{
+    detail::tracingOn.store(false, std::memory_order_relaxed);
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto &b : r.bufs)
+        b->events.clear();
+}
+
+void
+instant(const char *name)
+{
+    if (tracingEnabled())
+        myBuf().events.push_back(
+            Event{'i', name, detail::traceNowNs(), 0, {}});
+}
+
+void
+instant(const char *name, std::string args_json)
+{
+    if (tracingEnabled())
+        myBuf().events.push_back(Event{'i', name,
+                                       detail::traceNowNs(), 0,
+                                       std::move(args_json)});
+}
+
+void
+setThreadName(std::string name)
+{
+    // Recorded even when tracing is off: cheap, and a later
+    // enableTracing() then still knows the long-lived threads.
+    myBuf().name = std::move(name);
+}
+
+bool
+writeTrace(const std::string &path)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        logf(LogLevel::Error, "trace: cannot write %s", path.c_str());
+        return false;
+    }
+
+    std::fprintf(f, "{\"traceEvents\":[\n");
+    std::fprintf(f,
+                 "{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                 "\"name\":\"process_name\","
+                 "\"args\":{\"name\":\"eelsched\"}}");
+
+    for (const auto &b : r.bufs) {
+        std::string tname =
+            b->name.empty() ? "thread-" + std::to_string(b->tid)
+                            : b->name;
+        std::fprintf(f,
+                     ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                     "\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"%s\"}}",
+                     b->tid, jsonEscape(tname).c_str());
+
+        // Spans are appended at destruction, so a parent lands after
+        // its children; sort by start time (longer duration first on
+        // ties) to restore the nesting order viewers expect — which
+        // also makes ts monotone per tid by construction.
+        std::vector<const Event *> evs;
+        evs.reserve(b->events.size());
+        for (const Event &e : b->events)
+            evs.push_back(&e);
+        std::stable_sort(evs.begin(), evs.end(),
+                         [](const Event *a, const Event *b2) {
+                             if (a->tsNs != b2->tsNs)
+                                 return a->tsNs < b2->tsNs;
+                             return a->durNs > b2->durNs;
+                         });
+        for (const Event *e : evs) {
+            std::fprintf(f,
+                         ",\n{\"ph\":\"%c\",\"pid\":1,\"tid\":%d,"
+                         "\"name\":\"%s\",\"ts\":%.3f",
+                         e->phase, b->tid,
+                         jsonEscape(e->name).c_str(),
+                         double(e->tsNs) / 1000.0);
+            if (e->phase == 'X')
+                std::fprintf(f, ",\"dur\":%.3f",
+                             double(e->durNs) / 1000.0);
+            if (e->phase == 'i')
+                std::fprintf(f, ",\"s\":\"t\"");
+            if (!e->args.empty())
+                std::fprintf(f, ",\"args\":%s", e->args.c_str());
+            std::fprintf(f, "}");
+        }
+    }
+    std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace eel::obs

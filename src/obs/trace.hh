@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Scoped spans and trace export in the Chrome trace_event format
+ * (loadable in Perfetto / chrome://tracing). Disabled by default and
+ * zero-cost when off: a Span construction is one relaxed atomic load
+ * and every recording call checks the same flag before touching any
+ * state. When enabled (--trace on the benches), events buffer into
+ * per-thread vectors — no locking on the record path beyond one-time
+ * thread registration — and writeTrace() merges them, sorted by
+ * timestamp per thread, into a single JSON file.
+ *
+ * Timestamps come from steady_clock relative to a process-global
+ * epoch, so spans from every thread (pool workers included) share
+ * one timeline.
+ */
+
+#ifndef EEL_OBS_TRACE_HH
+#define EEL_OBS_TRACE_HH
+
+#include <atomic>
+#include <string>
+
+namespace eel::obs {
+
+namespace detail {
+extern std::atomic<bool> tracingOn;
+uint64_t traceNowNs();
+void recordComplete(std::string name, uint64_t t0, uint64_t t1);
+} // namespace detail
+
+/** Is span/instant recording active? */
+inline bool
+tracingEnabled()
+{
+    return detail::tracingOn.load(std::memory_order_relaxed);
+}
+
+/** Turn recording on (benches: --trace). */
+void enableTracing();
+/** Turn recording off and drop everything buffered (tests). */
+void resetTrace();
+
+/**
+ * RAII span: records a complete ("X") event covering construction
+ * to destruction on the current thread. Inert when tracing is off.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (tracingEnabled()) {
+            _name = name;
+            _t0 = detail::traceNowNs();
+            _active = true;
+        }
+    }
+    explicit Span(std::string name)
+    {
+        if (tracingEnabled()) {
+            _name = std::move(name);
+            _t0 = detail::traceNowNs();
+            _active = true;
+        }
+    }
+    ~Span()
+    {
+        if (_active)
+            detail::recordComplete(std::move(_name), _t0,
+                                   detail::traceNowNs());
+    }
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    std::string _name;
+    uint64_t _t0 = 0;
+    bool _active = false;
+};
+
+/** Record an instant ("i") event, optionally with a pre-rendered
+ *  JSON object as its args. No-op when tracing is off. */
+void instant(const char *name);
+void instant(const char *name, std::string args_json);
+
+/** Name the current thread in the exported trace ("main",
+ *  "pool-worker-3", ...). Unnamed threads get "thread-<tid>". */
+void setThreadName(std::string name);
+
+/**
+ * Write everything recorded so far as Chrome trace_event JSON.
+ * Events are sorted by timestamp within each thread. Returns false
+ * (after logging) if the file cannot be written. Call only when no
+ * thread is concurrently recording (i.e. after the measured work).
+ */
+bool writeTrace(const std::string &path);
+
+} // namespace eel::obs
+
+#endif // EEL_OBS_TRACE_HH

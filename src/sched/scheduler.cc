@@ -37,6 +37,47 @@ legalInDelaySlot(const isa::Instruction &inst, const isa::Instruction &cti)
     return true;
 }
 
+obs::SlotFillReason
+classifyUnfilledSlot(const machine::PipelineState &state,
+                     std::span<const InstRef> region,
+                     std::span<const machine::ResolvedVariant> rvs,
+                     std::span<const uint32_t> ready,
+                     unsigned instrLeft)
+{
+    if (instrLeft == 0)
+        return obs::SlotFillReason::NoReadyInst;
+
+    // Best (fewest-stalls) ready instrumentation candidate; ties
+    // resolve to the first in ready-list order — the audit only
+    // needs the stall character, not the scheduler's exact pick.
+    int cand = -1;
+    unsigned cand_stalls = 0;
+    for (uint32_t r : ready) {
+        if (!region[r].isInstrumentation)
+            continue;
+        unsigned s = state.stalls(rvs[r]);
+        if (cand < 0 || s < cand_stalls) {
+            cand = static_cast<int>(r);
+            cand_stalls = s;
+        }
+    }
+    // Instrumentation exists but none of it is ready: its
+    // predecessors are unscheduled, i.e. a dependence holds it back.
+    if (cand < 0)
+        return obs::SlotFillReason::Dependence;
+
+    // A ready candidate that itself stalls: attribute by what its
+    // stall cycles are made of.
+    obs::StallBreakdown bd;
+    state.stalls(rvs[cand], &bd);
+    uint64_t res = bd.cycles[unsigned(obs::StallReason::Resource)];
+    uint64_t dep =
+        bd.cycles[unsigned(obs::StallReason::RawDep)] +
+        bd.cycles[unsigned(obs::StallReason::WarWawDep)];
+    return res >= dep ? obs::SlotFillReason::ResourceConflict
+                      : obs::SlotFillReason::Dependence;
+}
+
 std::vector<uint32_t>
 ListScheduler::scheduleRegion(std::span<const InstRef> region) const
 {
@@ -116,6 +157,13 @@ ListScheduler::scheduleRegion(std::span<const InstRef> region,
             ready.push_back(i);
     }
 
+    // Unscheduled instrumentation instructions, for the slot-fill
+    // audit's "nothing left to fill with" case.
+    unsigned instrLeft = 0;
+    if (opts.audit)
+        for (const InstRef &r : region)
+            instrLeft += r.isInstrumentation;
+
     machine::PipelineState state(model);
 
     while (order.size() < n) {
@@ -144,9 +192,22 @@ ListScheduler::scheduleRegion(std::span<const InstRef> region,
             }
         }
 
+        // Audit: the pick still stalls, i.e. best_stalls cycles of
+        // empty issue slots precede it. Record why instrumentation
+        // could not cover them. Read-only — the schedule is
+        // unaffected.
+        if (opts.audit && useStalls && best_stalls > 0) {
+            obs::SlotFillReason why = classifyUnfilledSlot(
+                state, region, rvs, ready, instrLeft);
+            opts.audit->add(why,
+                            uint64_t(best_stalls) * model.issueWidth());
+        }
+
         if (useStalls)
             state.issue(rvs[best]);
         done[best] = true;
+        if (opts.audit && region[best].isInstrumentation)
+            --instrLeft;
         order.push_back(best);
         ready[best_pos] = ready.back();
         ready.pop_back();
@@ -253,6 +314,18 @@ ListScheduler::scheduleBlock(const InstSeq &block) const
     if (filler >= 0) {
         out.push_back(sched[filler]);
     } else {
+        // A synthesized delay-slot nop is an empty slot the schedule
+        // could not fill: audit it. Distinguish "no instrumentation
+        // at all" from "instrumentation exists but is dependence-
+        // bound" (either on later instructions or on the CTI itself).
+        if (opts.audit) {
+            bool anyInstr = false;
+            for (const InstRef &r : region)
+                anyInstr = anyInstr || r.isInstrumentation;
+            opts.audit->add(anyInstr
+                                ? obs::SlotFillReason::Dependence
+                                : obs::SlotFillReason::NoReadyInst);
+        }
         InstRef nop;
         nop.inst = isa::build::nop();
         nop.isInstrumentation = true;

@@ -20,6 +20,7 @@
 #define EEL_SCHED_SCHEDULER_HH
 
 #include "src/machine/pipeline.hh"
+#include "src/obs/slotfill.hh"
 #include "src/sched/depgraph.hh"
 #include "src/sched/inst_ref.hh"
 
@@ -58,7 +59,32 @@ struct SchedOptions
      * simple one-pass heuristic cannot match (paper §4.2).
      */
     uint64_t tieJitterSeed = 0;
+
+    /**
+     * Optional slot-fill audit: whenever the picked instruction
+     * still stalls (empty issue slots the schedule could not cover),
+     * record why no instrumentation instruction could fill them.
+     * Thread-safe sink (relaxed atomics); null = no audit, and the
+     * pick loop is unchanged. The audit only observes — schedules
+     * are bit-identical with it on or off.
+     */
+    obs::SlotFillAudit *audit = nullptr;
 };
+
+/**
+ * Classify why the empty issue slots in front of a stalled pick
+ * could not be filled by an instrumentation instruction. `instrLeft`
+ * is the number of unscheduled instrumentation instructions in the
+ * region, `ready` the current ready list, `rvs` the region's
+ * resolved variants (parallel to `region`). Shared by the list and
+ * superblock schedulers.
+ */
+obs::SlotFillReason
+classifyUnfilledSlot(const machine::PipelineState &state,
+                     std::span<const InstRef> region,
+                     std::span<const machine::ResolvedVariant> rvs,
+                     std::span<const uint32_t> ready,
+                     unsigned instrLeft);
 
 class ListScheduler
 {

@@ -320,6 +320,10 @@ scheduleSuperblock(const std::vector<SbSegment> &segments,
     // delay-slot fills — neutral on the exit path, they displace a
     // nop at worst — use legal.
     std::vector<uint32_t> legal(n), earliest(n);
+    // Why the backward boundary walk stopped (slot-fill audit):
+    // 1 = a liveness mask (the side exit's live-in set), 2 = a
+    // speculation gate (non-speculatable inst or a rigid boundary).
+    std::vector<uint8_t> gateCause(n, 0);
     for (uint32_t i = 0; i < n; ++i) {
         uint32_t e = home[i];
         if (!pinned[i]) {
@@ -331,13 +335,19 @@ scheduleSuperblock(const std::vector<SbSegment> &segments,
                     writes.set(d.reg.idx);
             while (e > 0) {
                 const SbSegment &below = segments[e - 1];
-                if (below.boundary == BoundaryKind::Rigid)
+                if (below.boundary == BoundaryKind::Rigid) {
+                    gateCause[i] = 2;
                     break;
+                }
                 if (below.boundary == BoundaryKind::CondExit) {
-                    if (!spec)
+                    if (!spec) {
+                        gateCause[i] = 2;
                         break;
-                    if ((writes & below.exitLive).any())
+                    }
+                    if ((writes & below.exitLive).any()) {
+                        gateCause[i] = 1;
                         break;
+                    }
                 }
                 --e;
             }
@@ -396,12 +406,22 @@ scheduleSuperblock(const std::vector<SbSegment> &segments,
     InstSeq out;
     out.reserve(n);
 
+    // Unscheduled non-pinned instrumentation, for the audit's "no
+    // candidate left" case.
+    unsigned instrLeft = 0;
+    if (opts.audit)
+        for (uint32_t i = 0; i < n; ++i)
+            instrLeft += !pinned[i] && seq[i].isInstrumentation;
+
     auto schedule = [&](uint32_t i) {
         if (useStalls)
             state.issue(rvs[i]);
         done[i] = true;
-        if (!pinned[i])
+        if (!pinned[i]) {
             --mandatory[home[i]];
+            if (opts.audit && seq[i].isInstrumentation)
+                --instrLeft;
+        }
         for (uint32_t e : graph.succs(i)) {
             uint32_t j = graph.edges()[e].to;
             if (!done[j] && --preds[j] == 0)
@@ -416,6 +436,58 @@ scheduleSuperblock(const std::vector<SbSegment> &segments,
                 return;
             }
         }
+    };
+
+    // Audit classification for one empty slot while draining segment
+    // k. Gated candidates (earliest > k) attribute to the boundary
+    // that holds them back: the exit-probability gate and rigid/
+    // non-speculatable stops are SpeculationGate, a live-in clobber
+    // is LivenessMask. `stallClassify` selects the stall-character
+    // split for ready candidates (body picks); the delay-slot nop
+    // path passes false — there the blocker was delay-slot legality,
+    // a dependence on the CTI.
+    auto auditReason = [&](size_t k, bool stallClassify) {
+        if (instrLeft == 0)
+            return obs::SlotFillReason::NoReadyInst;
+        int cand = -1;
+        unsigned cand_stalls = 0;
+        bool gatedLive = false, gatedSpec = false;
+        for (uint32_t r : ready) {
+            if (pinned[r] || !seq[r].isInstrumentation)
+                continue;
+            if (earliest[r] > k) {
+                if (legal[r] > k && gateCause[r] == 1)
+                    gatedLive = true;
+                else
+                    gatedSpec = true;
+                continue;
+            }
+            unsigned s = (stallClassify && useStalls)
+                             ? state.stalls(rvs[r])
+                             : 0;
+            if (cand < 0 || s < cand_stalls) {
+                cand = static_cast<int>(r);
+                cand_stalls = s;
+            }
+        }
+        if (cand >= 0) {
+            if (!stallClassify || !useStalls)
+                return obs::SlotFillReason::Dependence;
+            obs::StallBreakdown bd;
+            state.stalls(rvs[cand], &bd);
+            uint64_t res =
+                bd.cycles[unsigned(obs::StallReason::Resource)];
+            uint64_t dep =
+                bd.cycles[unsigned(obs::StallReason::RawDep)] +
+                bd.cycles[unsigned(obs::StallReason::WarWawDep)];
+            return res >= dep ? obs::SlotFillReason::ResourceConflict
+                              : obs::SlotFillReason::Dependence;
+        }
+        if (gatedLive)
+            return obs::SlotFillReason::LivenessMask;
+        if (gatedSpec)
+            return obs::SlotFillReason::SpeculationGate;
+        return obs::SlotFillReason::Dependence;
     };
 
     // (instruction, position in `out`) pairs emitted by the current
@@ -455,6 +527,10 @@ scheduleSuperblock(const std::vector<SbSegment> &segments,
             if (best < 0)
                 panic("superblock: no ready instruction for "
                       "segment %zu", k);
+            if (opts.audit && useStalls && best_stalls > 0)
+                opts.audit->add(
+                    auditReason(k, true),
+                    uint64_t(best_stalls) * model.issueWidth());
             if (stats && home[best] > k)
                 ++stats->hoisted;
             ready[best_pos] = ready.back();
@@ -555,6 +631,8 @@ scheduleSuperblock(const std::vector<SbSegment> &segments,
             }
         } else {
             if (delay_freed) {
+                if (opts.audit)
+                    opts.audit->add(auditReason(k, false));
                 InstRef nop;
                 nop.inst = isa::build::nop();
                 nop.isInstrumentation = true;

@@ -6,6 +6,8 @@
 
 #include "src/isa/opcodes.hh"
 #include "src/isa/registers.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
 #include "src/support/logging.hh"
 
 namespace eel::sim {
@@ -16,6 +18,7 @@ using isa::Op;
 std::shared_ptr<const Emulator::DecodedText>
 Emulator::decodeText(const exe::Executable &x)
 {
+    obs::Span span("emu.decode");
     auto text = std::make_shared<DecodedText>();
     text->reserve(x.text.size());
     for (uint32_t w : x.text)
@@ -26,11 +29,21 @@ Emulator::decodeText(const exe::Executable &x)
 std::shared_ptr<const Emulator::DecodedText>
 Emulator::decodeText(const exe::Executable &x, exe::SectionStore &store)
 {
+    static obs::Metric mHits("emu.decode_memo_hits",
+                             obs::MetricKind::Counter);
+    static obs::Metric mMisses("emu.decode_memo_misses",
+                               obs::MetricKind::Counter);
+    bool made = false;
     std::shared_ptr<void> v = store.cachedView(
-        x.text.chunkRefs(), [&x]() -> std::shared_ptr<void> {
+        x.text.chunkRefs(), [&x, &made]() -> std::shared_ptr<void> {
+            made = true;
             return std::const_pointer_cast<DecodedText>(
                 std::shared_ptr<const DecodedText>(decodeText(x)));
         });
+    if (made)
+        mMisses.add();
+    else
+        mHits.add();
     auto cached = std::static_pointer_cast<const DecodedText>(v);
     // Identical pages but a different word count (possible only when
     // a text ends in zero words): the view is not reusable.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
 #include "src/support/logging.hh"
 
 namespace eel::sim {
@@ -47,10 +49,19 @@ struct ShardOut
     std::vector<uint64_t> hist;
     uint64_t icMisses = 0;
     uint64_t icAccesses = 0;
+    obs::StallBreakdown breakdown;
+    uint64_t stallCycles = 0;
     uint64_t blocks = 0;
     std::vector<uint64_t> perWord;
     std::string output;
     Emulator::ArchSnapshot endState;  ///< last shard only
+
+    // Stitch-validation records (perfect-cache config only): the
+    // normalized timing state this shard measured from, the state it
+    // ended in, and that end state raw, so a mis-warmed successor
+    // can be replayed from it.
+    std::vector<uint64_t> startKey, endKey;
+    TimingSim::State endTiming;
 };
 
 } // namespace
@@ -66,6 +77,8 @@ ShardedRun::toTimedRun() const
     tr.issueHistogram = issueHistogram;
     tr.icacheMisses = icacheMisses;
     tr.icacheAccesses = icacheAccesses;
+    tr.stallBreakdown = stallBreakdown;
+    tr.stallCycles = stallCycles;
     return tr;
 }
 
@@ -81,7 +94,11 @@ runSharded(const exe::Executable &x,
     copts.interval = opts.interval;
     copts.warmup = opts.warmup;
     copts.emu = opts.emu;
-    CheckpointLog log = captureCheckpoints(x, copts, text);
+    CheckpointLog log;
+    {
+        obs::Span span("shard.capture");
+        log = captureCheckpoints(x, copts, text);
+    }
 
     ShardedRun out;
     out.stats.captureSec = elapsed(t0);
@@ -101,17 +118,33 @@ runSharded(const exe::Executable &x,
                               : total;
     };
 
+    // Validation + handoff only works when the timing state is
+    // self-contained; icache contents are not snapshotted (that
+    // config is documented approximate anyway).
+    const bool validate = !opts.timing.useICache;
+
     std::vector<ShardOut> results(shards);
-    auto runShard = [&](size_t k) {
+    // Replay shard k's region. A null handoff starts the timing
+    // model cold and warms it on the checkpoint's recorded pc tail
+    // (optimistic parallel pass); a non-null handoff continues from
+    // the predecessor's exact end state (stitch resimulation).
+    auto replayRegion = [&](size_t k, const TimingSim::State *handoff) {
         Emulator emu(x, opts.emu, text);
         if (k > 0)
             emu.restoreState(
                 materializeState(x, opts.emu, log.checkpoints[k - 1]));
 
         TimingSim timing(model, opts.timing);
-        if (k > 0) {
+        if (handoff) {
+            timing.restoreState(*handoff);
+        } else if (k > 0) {
             for (uint32_t pc : log.checkpoints[k - 1].warmupPcs)
                 timing.retire(pc, (*text)[(pc - exe::textBase) / 4]);
+        }
+        ShardOut &o = results[k];
+        if (validate) {
+            o.startKey.clear();
+            timing.appendNormalizedKey(o.startKey);
         }
         // Everything accrued so far belongs to earlier shards; this
         // shard contributes only deltas past the cut.
@@ -121,6 +154,10 @@ runSharded(const exe::Executable &x,
             timing.icache() ? timing.icache()->misses() : 0;
         const uint64_t warmAccesses =
             timing.icache() ? timing.icache()->accesses() : 0;
+        // Stall counters are monotone, so the warmup's share
+        // subtracts exactly (per reason).
+        const obs::StallBreakdown warmBrk = timing.stallBreakdown();
+        const uint64_t warmStall = timing.stallCycles();
 
         ReplaySink sink{&timing, opts.blockLeader, {}, 0};
         if (opts.blockLeader)
@@ -128,7 +165,6 @@ runSharded(const exe::Executable &x,
 
         RunResult r = emu.run(sink, shardEnd(k) - shardStart(k));
 
-        ShardOut &o = results[k];
         o.cycles = timing.cycles() - warmCycles;
         o.insts = r.instructions;
         o.hist = timing.issueHistogram();
@@ -139,11 +175,23 @@ runSharded(const exe::Executable &x,
             o.icMisses = timing.icache()->misses() - warmMisses;
             o.icAccesses = timing.icache()->accesses() - warmAccesses;
         }
+        o.breakdown = timing.stallBreakdown();
+        o.breakdown -= warmBrk;
+        o.stallCycles = timing.stallCycles() - warmStall;
         o.blocks = sink.blocks;
         o.perWord = std::move(sink.perWord);
         o.output = std::move(r.output);
         if (k + 1 == shards)
             o.endState = emu.snapshot();
+        if (validate) {
+            o.endTiming = timing.snapshotState();
+            o.endKey.clear();
+            timing.appendNormalizedKey(o.endKey);
+        }
+    };
+    auto runShard = [&](size_t k) {
+        obs::Span span("shard.replay." + std::to_string(k));
+        replayRegion(k, nullptr);
     };
 
     t0 = Clock::now();
@@ -158,6 +206,33 @@ runSharded(const exe::Executable &x,
     } else {
         for (size_t k = 0; k < shards; ++k)
             runShard(k);
+    }
+
+    // Stitch pass: warmup replay only reproduces the serial pipeline
+    // when the stream re-synchronizes from a cold start; streams
+    // with independently saturated chains (e.g. an FP pipe plus the
+    // profiling counters' memory traffic) can phase-lock differently
+    // and never converge, no matter how long the warmup. Walking the
+    // shards in order, shard 0 is exact by construction (it starts
+    // from reset, like the serial run), and shard k is exact iff its
+    // post-warmup state matches its predecessor's exact end state
+    // under the translation-invariant key. A mismatched shard is
+    // replayed from the predecessor's handed-off end state, which
+    // restores the induction — so the merged cycle, stall and
+    // per-reason counters are bit-equal to the serial simulator's
+    // for every interval/warmup setting, while matched shards (the
+    // common case) keep the fully parallel path.
+    if (validate && shards > 1) {
+        obs::Span span("shard.stitch");
+        static obs::Metric mResims("shard.stitch_resims",
+                                   obs::MetricKind::Counter);
+        for (size_t k = 1; k < shards; ++k) {
+            if (results[k].startKey == results[k - 1].endKey)
+                continue;
+            replayRegion(k, &results[k - 1].endTiming);
+            mResims.add();
+            ++out.stats.resims;
+        }
     }
     out.stats.replaySec = elapsed(t0);
 
@@ -177,6 +252,8 @@ runSharded(const exe::Executable &x,
             out.issueHistogram[b] += o.hist[b];
         out.icacheMisses += o.icMisses;
         out.icacheAccesses += o.icAccesses;
+        out.stallBreakdown += o.breakdown;
+        out.stallCycles += o.stallCycles;
         out.blocksRetired += o.blocks;
         for (size_t w = 0; w < o.perWord.size(); ++w)
             out.leaderRetires[w] += o.perWord[w];

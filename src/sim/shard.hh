@@ -17,14 +17,27 @@
  * timing model and discards the cycles, instructions, icache and
  * histogram counts accrued up to the cut; the shard contributes only
  * the counter deltas of its own instructions. PipelineState keeps
- * bounded history — a 256-cycle unit ring plus register cycles no
- * more than maxLatency past the issue frontier — and the frontier
- * advances at least one cycle per issueWidth instructions, so a
- * warmup of W instructions reproduces the serial pipeline exactly
- * once W/issueWidth > 256 + maxLatency. The default (1024, width <=
- * 4, latencies < 64) satisfies this with margin: merged cycles,
- * instruction counts and per-block counts equal the serial
- * simulator's bit for bit (tests/sim/test_shard.cc asserts it).
+ * bounded history (a 256-cycle unit ring plus register cycles no
+ * more than maxLatency past the issue frontier), so a 1024-inst
+ * warmup usually reproduces the serial pipeline at the cut — but
+ * not always: a stream with two independently saturated chains
+ * (fpppp's FP pipe plus the profiling counters' memory traffic, for
+ * instance) phase-locks the chains differently from a cold start
+ * and never re-synchronizes, at any warmup length. Exactness
+ * therefore comes from a validation stitch instead of a warmup
+ * bound: every shard records a translation-invariant key of its
+ * post-warmup timing state (TimingSim::appendNormalizedKey) plus
+ * its raw end state, and a serial walk over the finished shards
+ * re-replays any shard whose start key differs from its
+ * predecessor's exact end key, continuing from that predecessor's
+ * handed-off state. By induction the merged cycles, stall counts,
+ * per-reason stall breakdown and per-block counts equal the serial
+ * simulator's bit for bit at every interval/warmup/jobs setting
+ * (tests/sim/test_shard.cc asserts it, including on the
+ * non-converging instrumented-fpppp stream); mis-warmed shards cost
+ * one extra serial region replay each (the `shard.stitch_resims`
+ * metric counts them), while converged shards — the common case —
+ * stay fully parallel.
  *
  * The one knowingly approximate configuration is Config::useICache:
  * cache history is unbounded, so each shard's cache only carries
@@ -74,7 +87,10 @@ struct ShardStats
     size_t shards = 0;
     uint64_t checkpointBytes = 0;  ///< retained checkpoint payload
     double captureSec = 0;         ///< functional capture pass
-    double replaySec = 0;          ///< parallel replay wall time
+    double replaySec = 0;          ///< parallel replay + stitch wall time
+    /** Shards whose warmup failed validation and were replayed
+     *  serially from the predecessor's end state. */
+    size_t resims = 0;
 };
 
 struct ShardedRun
@@ -86,6 +102,16 @@ struct ShardedRun
     std::vector<uint64_t> issueHistogram;
     uint64_t icacheMisses = 0;
     uint64_t icacheAccesses = 0;
+    /**
+     * Per-reason stall attribution (populated only when
+     * timing.collectStalls). Warmup-attributed stalls are
+     * subtracted per shard, exactly like the cycle counters, and
+     * shards merge in index order — so for the perfect-cache
+     * config the merged breakdown is bit-equal to the serial
+     * simulator's at every interval setting.
+     */
+    obs::StallBreakdown stallBreakdown;
+    uint64_t stallCycles = 0;
     /** Leader-word retire counts (empty unless blockLeader given). */
     std::vector<uint64_t> leaderRetires;
     uint64_t blocksRetired = 0;

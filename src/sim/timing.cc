@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.hh"
 #include "src/support/logging.hh"
 
 namespace eel::sim {
@@ -66,6 +67,35 @@ TimingSim::TimingSim(const machine::MachineModel &model, Config cfg)
         _icache = std::make_unique<ICache>(cfg.icache);
 }
 
+TimingSim::State
+TimingSim::snapshotState() const
+{
+    return State{state.snapshot(), _cycles,   prevPc, havePrev,
+                 curStart,         curCount, haveCur};
+}
+
+void
+TimingSim::restoreState(const State &s)
+{
+    state.restore(s.pipe);
+    _cycles = s.cycles;
+    prevPc = s.prevPc;
+    havePrev = s.havePrev;
+    curStart = s.curStart;
+    curCount = s.curCount;
+    haveCur = s.haveCur;
+}
+
+void
+TimingSim::appendNormalizedKey(std::vector<uint64_t> &out) const
+{
+    uint64_t f = state.frontier();
+    out.push_back(_cycles > f ? _cycles - f : 0);
+    out.push_back(prevPc);
+    out.push_back(havePrev);
+    state.appendNormalizedKey(out);
+}
+
 std::vector<uint64_t>
 TimingSim::issueHistogram() const
 {
@@ -82,6 +112,7 @@ TimedRun
 timedRun(const exe::Executable &x, const machine::MachineModel &model,
          TimingSim::Config cfg, Emulator::Config emu_cfg)
 {
+    obs::Span span("sim.timedRun");
     Emulator emu(x, emu_cfg);
     TimingSim timing(model, cfg);
     TimedRun out;
@@ -96,6 +127,8 @@ timedRun(const exe::Executable &x, const machine::MachineModel &model,
         out.icacheMisses = timing.icache()->misses();
         out.icacheAccesses = timing.icache()->accesses();
     }
+    out.stallBreakdown = timing.stallBreakdown();
+    out.stallCycles = timing.stallCycles();
     return out;
 }
 

@@ -79,6 +79,10 @@ class TimingSim final : public TraceSink
         bool useICache = false;
         ICache::Config icache;
         unsigned icacheMissPenalty = 6;
+        /** Attribute every stall/bubble cycle to a StallReason
+         *  (stallBreakdown()). Off by default: the attribution
+         *  branch stays out of the per-retire hot path. */
+        bool collectStalls = false;
     };
 
     explicit TimingSim(const machine::MachineModel &model);
@@ -90,13 +94,25 @@ class TimingSim final : public TraceSink
     retire(uint32_t pc, const isa::Instruction &inst) override
     {
         // A control-flow discontinuity redirects fetch.
-        if (havePrev && pc != prevPc + 4 && cfg.takenBranchPenalty)
+        if (havePrev && pc != prevPc + 4 && cfg.takenBranchPenalty) {
             state.fetchBubble(cfg.takenBranchPenalty);
+            if (cfg.collectStalls) {
+                _breakdown.add(obs::StallReason::BranchRedirect,
+                               cfg.takenBranchPenalty);
+                _stallCycles += cfg.takenBranchPenalty;
+            }
+        }
         prevPc = pc;
         havePrev = true;
 
-        if (_icache && _icache->access(pc) && cfg.icacheMissPenalty)
+        if (_icache && _icache->access(pc) && cfg.icacheMissPenalty) {
             state.fetchBubble(cfg.icacheMissPenalty);
+            if (cfg.collectStalls) {
+                _breakdown.add(obs::StallReason::ICacheMiss,
+                               cfg.icacheMissPenalty);
+                _stallCycles += cfg.icacheMissPenalty;
+            }
+        }
 
         uint32_t word = (pc - exe::textBase) / 4;
         if (word >= planByWord.size())
@@ -104,7 +120,10 @@ class TimingSim final : public TraceSink
         machine::ResolvedVariant &rv = planByWord[word];
         if (!rv.variant)
             rv = machine::ResolvedVariant::resolve(model, inst);
-        machine::PipelineState::IssueResult r = state.issue(rv);
+        machine::PipelineState::IssueResult r = state.issue(
+            rv, cfg.collectStalls ? &_breakdown : nullptr);
+        if (cfg.collectStalls)
+            _stallCycles += r.stalls;
         ++_insts;
         _cycles = std::max(_cycles, r.doneCycle);
 
@@ -149,6 +168,54 @@ class TimingSim final : public TraceSink
 
     const ICache *icache() const { return _icache.get(); }
 
+    /**
+     * Per-reason stall attribution (only populated when
+     * cfg.collectStalls). Invariant: stallBreakdown().total()
+     * == stallCycles() — every attributed cycle is a stall cycle
+     * and vice versa.
+     */
+    const obs::StallBreakdown &stallBreakdown() const
+    {
+        return _breakdown;
+    }
+    uint64_t stallCycles() const { return _stallCycles; }
+
+    /**
+     * Everything a successor needs to continue this stream's timing
+     * exactly: the pipeline hazard history plus the simulator's own
+     * fetch-redirect and cycle-accumulator state. Counters
+     * (instructions, stalls, histogram totals) are deliberately
+     * excluded — callers measure deltas around a restore. Does not
+     * capture icache contents; the sharded stitch pass only runs for
+     * the perfect-cache config.
+     */
+    struct State
+    {
+        machine::PipelineState::Snapshot pipe;
+        uint64_t cycles = 0;
+        uint32_t prevPc = 0;
+        bool havePrev = false;
+        uint64_t curStart = 0;
+        unsigned curCount = 0;
+        bool haveCur = false;
+    };
+    State snapshotState() const;
+    /** Continue from s (same machine model and executable image);
+     *  this sim's counters keep their current values. */
+    void restoreState(const State &s);
+
+    /**
+     * Translation-invariant key over the state that determines every
+     * future retire's cycle and stall contribution (pipeline history
+     * rebased to the frontier, the cycle accumulator's lead over it,
+     * and the fetch-redirect state). Equal keys => identical
+     * cycle/stall/breakdown deltas for any subsequent stream, even
+     * from different absolute cycle origins. The issue-width
+     * histogram's grouping state is excluded: it is documented as
+     * boundary-approximate under sharding.
+     */
+    void appendNormalizedKey(std::vector<uint64_t> &out) const;
+
   private:
     const machine::MachineModel &model;
     Config cfg;
@@ -168,6 +235,9 @@ class TimingSim final : public TraceSink
     uint64_t _insts = 0;
     uint32_t prevPc = 0;
     bool havePrev = false;
+
+    obs::StallBreakdown _breakdown;
+    uint64_t _stallCycles = 0;
 
     // Histogram bookkeeping over issue start cycles.
     std::vector<uint64_t> hist;
@@ -189,6 +259,9 @@ struct TimedRun
     std::vector<uint64_t> issueHistogram;
     uint64_t icacheMisses = 0;
     uint64_t icacheAccesses = 0;
+    /** Populated only under TimingSim::Config::collectStalls. */
+    obs::StallBreakdown stallBreakdown;
+    uint64_t stallCycles = 0;
 };
 
 TimedRun timedRun(const exe::Executable &x,

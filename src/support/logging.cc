@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/obs/log.hh"
+
 namespace eel {
 
 std::string
@@ -34,7 +36,7 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", s.c_str());
+    obs::logf(obs::LogLevel::Info, "%s", s.c_str());
 }
 
 void
@@ -44,7 +46,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", s.c_str());
+    obs::logf(obs::LogLevel::Warn, "%s", s.c_str());
 }
 
 void

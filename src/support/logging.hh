@@ -3,6 +3,13 @@
  * Status and error reporting in the gem5 tradition: inform/warn for
  * status, fatal for user errors, panic for internal invariant
  * violations.
+ *
+ * inform()/warn() are thin shims over the leveled obs logger
+ * (src/obs/log.hh): they emit at Info/Warn and honor the EEL_LOG
+ * environment override, so EEL_LOG=warn silences status chatter and
+ * EEL_LOG=silent mutes everything. New code should call obs::logf()
+ * directly (it adds Debug and Error levels); this header stays for
+ * the existing call sites and for fatal/panic/strfmt.
  */
 
 #ifndef EEL_SUPPORT_LOGGING_HH

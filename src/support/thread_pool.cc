@@ -4,6 +4,10 @@
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <string>
+
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
 
 namespace eel::support {
 
@@ -74,6 +78,7 @@ void
 ThreadPool::workerMain(unsigned slot)
 {
     currentPool = this;
+    obs::setThreadName("pool-worker-" + std::to_string(slot));
     uint64_t seen = 0;
     for (;;) {
         std::shared_ptr<Batch> batch;
@@ -125,6 +130,19 @@ ThreadPool::runBatch(Batch &batch, unsigned slot)
             }
             if (loot.empty())
                 break;
+            // Work-stealing visibility: one counter tick per steal
+            // plus (when tracing) an instant event on the thief's
+            // track, so Perfetto shows where the pool rebalanced.
+            static obs::Metric mSteals("pool.steals",
+                                       obs::MetricKind::Counter);
+            static obs::Metric mStolen("pool.stolen_items",
+                                       obs::MetricKind::Counter);
+            mSteals.add();
+            mStolen.add(loot.size());
+            if (obs::tracingEnabled())
+                obs::instant("pool.steal",
+                             "{\"items\":" +
+                                 std::to_string(loot.size()) + "}");
             item = loot.front();
             loot.pop_front();
             if (!loot.empty()) {
@@ -177,6 +195,15 @@ ThreadPool::parallelFor(size_t n,
     // each slot consumes its deque in dispatch order.
     for (size_t i = 0; i < n; ++i)
         batch->queues[i % nThreads].items.push_back(i);
+    static obs::Metric mBatches("pool.batches",
+                                obs::MetricKind::Counter);
+    static obs::Metric mItems("pool.items",
+                              obs::MetricKind::Counter);
+    static obs::Metric mDepth("pool.max_deque_depth",
+                              obs::MetricKind::MaxGauge);
+    mBatches.add();
+    mItems.add(n);
+    mDepth.observe((n + nThreads - 1) / nThreads);
     {
         std::lock_guard<std::mutex> lock(mu);
         current = batch;

@@ -207,6 +207,161 @@ TEST(SequenceCycles, EmptySequence)
     EXPECT_EQ(sequenceCycles(ultra(), {}), 0u);
 }
 
+machine::ResolvedVariant
+rv(const MachineModel &m, const isa::Instruction &inst)
+{
+    return ResolvedVariant::resolve(m, inst);
+}
+
+TEST(StallAttribution, RawDependenceCharged)
+{
+    PipelineState st(ultra());
+    st.issue(b::memi(Op::Ld, 8, 1, 0));
+    obs::StallBreakdown bd;
+    isa::Instruction use = b::rri(Op::Add, 9, 8, 1);
+    unsigned s = st.stalls(rv(ultra(), use), &bd);
+    EXPECT_EQ(s, 3u);
+    EXPECT_EQ(bd.total(), s);
+    EXPECT_EQ(bd.cycles[unsigned(obs::StallReason::RawDep)], s);
+}
+
+TEST(StallAttribution, StructuralHazardCharged)
+{
+    PipelineState st(ultra());
+    st.issue(b::memi(Op::Ld, 8, 1, 0));
+    obs::StallBreakdown bd;
+    isa::Instruction ld2 = b::memi(Op::Ld, 9, 2, 0);
+    unsigned s = st.stalls(rv(ultra(), ld2), &bd);
+    EXPECT_GE(s, 1u);
+    EXPECT_EQ(bd.total(), s);
+    EXPECT_GE(bd.cycles[unsigned(obs::StallReason::Resource)], 1u);
+}
+
+TEST(StallAttribution, WawOrderingCharged)
+{
+    // A second write to f4 behind an in-flight divide must wait for
+    // the divide's writeback: WAW, not a resource or RAW hazard (the
+    // add runs on a different unit and reads only f0/f2).
+    PipelineState st(ultra());
+    st.issue(b::fp3(Op::Fdivd, 4, 0, 2));
+    obs::StallBreakdown bd;
+    isa::Instruction w2 = b::fp3(Op::Faddd, 4, 0, 2);
+    unsigned s = st.stalls(rv(ultra(), w2), &bd);
+    EXPECT_GE(s, 1u);
+    EXPECT_EQ(bd.total(), s);
+    EXPECT_GE(bd.cycles[unsigned(obs::StallReason::WarWawDep)], 1u);
+}
+
+TEST(StallAttribution, NullChannelSameCount)
+{
+    // Attribution is observational: the count with the out-channel
+    // equals the count without it, and no-stall picks charge nothing.
+    PipelineState st(ultra());
+    st.issue(b::memi(Op::Ld, 8, 1, 0));
+    isa::Instruction use = b::rri(Op::Add, 9, 8, 1);
+    obs::StallBreakdown bd;
+    EXPECT_EQ(st.stalls(rv(ultra(), use), &bd),
+              st.stalls(rv(ultra(), use)));
+    obs::StallBreakdown none;
+    EXPECT_EQ(st.stalls(rv(ultra(), b::rri(Op::Sub, 9, 2, 1)),
+                        &none), 0u);
+    EXPECT_EQ(none.total(), 0u);
+}
+
+TEST(StallAttribution, IssueAccumulatesAcrossSequence)
+{
+    // Over a whole sequence the histogram sums exactly to the total
+    // stall cycles issue() reports — the invariant the benches check
+    // per run.
+    PipelineState st(ultra());
+    obs::StallBreakdown bd;
+    uint64_t total = 0;
+    std::vector<isa::Instruction> seq = {
+        b::memi(Op::Ld, 8, 16, 0),
+        b::rri(Op::Add, 9, 8, 1),
+        b::memi(Op::Ld, 10, 9, 0),
+        b::memi(Op::St, 10, 16, 4),
+        b::fp3(Op::Fdivd, 4, 0, 2),
+        b::fp3(Op::Faddd, 4, 0, 2),
+    };
+    for (const isa::Instruction &inst : seq)
+        total += st.issue(rv(ultra(), inst), &bd).stalls;
+    EXPECT_GT(total, 0u);
+    EXPECT_EQ(bd.total(), total);
+}
+
+TEST(PipelineSnapshot, RestoreContinuesExactly)
+{
+    // A restored state must be indistinguishable from the original:
+    // issue a prefix, snapshot, issue a suffix twice — once live,
+    // once after restore — and demand identical issue results and
+    // stall attribution.
+    std::vector<isa::Instruction> prefix = {
+        b::memi(Op::Ld, 8, 1, 0),
+        b::fp3(Op::Fdivd, 4, 0, 2),
+        b::rri(Op::Add, 9, 8, 1),
+    };
+    std::vector<isa::Instruction> suffix = {
+        b::fp3(Op::Faddd, 6, 4, 2),
+        b::memi(Op::Ld, 10, 9, 4),
+        b::rri(Op::Sub, 11, 10, 2),
+    };
+    PipelineState st(ultra());
+    for (const auto &in : prefix)
+        st.issue(in);
+    PipelineState::Snapshot snap = st.snapshot();
+
+    std::vector<PipelineState::IssueResult> live;
+    obs::StallBreakdown liveBd;
+    for (const auto &in : suffix)
+        live.push_back(st.issue(rv(ultra(), in), &liveBd));
+
+    PipelineState st2(ultra());
+    st2.restore(snap);
+    obs::StallBreakdown restoredBd;
+    for (size_t i = 0; i < suffix.size(); ++i) {
+        auto r = st2.issue(rv(ultra(), suffix[i]), &restoredBd);
+        EXPECT_EQ(r.startCycle, live[i].startCycle) << i;
+        EXPECT_EQ(r.doneCycle, live[i].doneCycle) << i;
+        EXPECT_EQ(r.stalls, live[i].stalls) << i;
+    }
+    EXPECT_TRUE(restoredBd == liveBd);
+}
+
+TEST(PipelineSnapshot, NormalizedKeyIsTranslationInvariant)
+{
+    // The same instruction history issued from two different cycle
+    // origins (one pipeline starts with a fetch bubble) must produce
+    // equal normalized keys — that equality is what the sharded
+    // stitch pass uses to accept a warmup-reconstructed state.
+    std::vector<isa::Instruction> seq = {
+        b::memi(Op::Ld, 8, 1, 0),
+        b::fp3(Op::Fdivd, 4, 0, 2),
+        b::rri(Op::Add, 9, 8, 1),
+        b::fp3(Op::Faddd, 6, 4, 2),
+    };
+    PipelineState a(ultra()), bst(ultra());
+    bst.fetchBubble(13);
+    for (const auto &in : seq) {
+        a.issue(in);
+        bst.issue(in);
+    }
+    std::vector<uint64_t> ka, kb;
+    a.appendNormalizedKey(ka);
+    bst.appendNormalizedKey(kb);
+    EXPECT_EQ(ka, kb);
+
+    // And a genuinely different history must not collide: the
+    // divide's pending write keeps its key distinct.
+    PipelineState c(ultra());
+    for (const auto &in : seq)
+        c.issue(in);
+    c.issue(b::fp3(Op::Fdivd, 12, 6, 2));
+    std::vector<uint64_t> kc;
+    c.appendNormalizedKey(kc);
+    EXPECT_NE(ka, kc);
+}
+
 TEST(PipelineStalls, QptSnippetLatency)
 {
     // The paper's 4-instruction profiling sequence "can execute in 4

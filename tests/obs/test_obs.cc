@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The observability layer's own contract: metric shards merge to
+ * exact totals under a contended parallelFor, the EEL_LOG override
+ * parses, tracing is off by default and records when enabled — and,
+ * most important, the disabled paths are inert: the emulator retires
+ * the same instruction stream with tracing on, and the timing
+ * simulator counts the same cycles with stall collection on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/machine/model.hh"
+#include "src/obs/log.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
+#include "src/sim/emulator.hh"
+#include "src/sim/timing.hh"
+#include "src/support/thread_pool.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::obs {
+namespace {
+
+exe::Executable
+smallWorkload()
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    workload::GenOptions gopts;
+    gopts.scale = 0.05;
+    gopts.machine = &m;
+    return workload::generate(workload::spec95("ultrasparc")[0],
+                              gopts);
+}
+
+uint64_t
+metricValue(const char *name)
+{
+    for (const auto &[n, v] : metricsSnapshot())
+        if (n == name)
+            return v;
+    ADD_FAILURE() << "metric " << name << " not registered";
+    return 0;
+}
+
+TEST(Metrics, ShardsMergeExactlyUnderParallelFor)
+{
+    resetMetrics();
+    support::ThreadPool pool(4);
+    const size_t n = 20000;
+    pool.parallelFor(n, [](size_t i) {
+        static Metric c("test.counter", MetricKind::Counter);
+        static Metric g("test.gauge", MetricKind::MaxGauge);
+        c.add();
+        g.observe(i + 1);
+    });
+    // Every increment landed in some thread's shard; the merge must
+    // recover the exact total (sum) and peak (max) regardless of how
+    // stealing scattered the items.
+    EXPECT_EQ(metricValue("test.counter"), n);
+    EXPECT_EQ(metricValue("test.gauge"), n);
+}
+
+TEST(Metrics, SameNameAliasesOneSlot)
+{
+    resetMetrics();
+    Metric a("test.alias", MetricKind::Counter);
+    Metric b("test.alias", MetricKind::Counter);
+    a.add(2);
+    b.add(3);
+    EXPECT_EQ(metricValue("test.alias"), 5u);
+}
+
+TEST(Metrics, JsonRendersRegisteredNames)
+{
+    resetMetrics();
+    static Metric c("test.json_metric", MetricKind::Counter);
+    c.add(7);
+    std::string j = metricsJson("  ");
+    EXPECT_NE(j.find("\"test.json_metric\": 7"), std::string::npos);
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+}
+
+TEST(Log, ThresholdAndEnvOverride)
+{
+    setLogLevel(LogLevel::Warn);
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+
+    ::setenv("EEL_LOG", "debug", 1);
+    reloadLogLevelFromEnv();
+    EXPECT_TRUE(logEnabled(LogLevel::Debug));
+
+    ::setenv("EEL_LOG", "silent", 1);
+    reloadLogLevelFromEnv();
+    EXPECT_FALSE(logEnabled(LogLevel::Error));
+
+    ::unsetenv("EEL_LOG");
+    reloadLogLevelFromEnv();  // default Info
+    EXPECT_TRUE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+}
+
+TEST(Trace, OffByDefaultRecordsWhenEnabled)
+{
+    EXPECT_FALSE(tracingEnabled());
+    {
+        Span inert("test.never");  // must not crash or record
+    }
+
+    enableTracing();
+    setThreadName("gtest-main");
+    {
+        Span s("test.span");
+        instant("test.instant", "{\"k\":1}");
+    }
+    std::string path = ::testing::TempDir() + "eel_obs_trace.json";
+    ASSERT_TRUE(writeTrace(path));
+    resetTrace();
+    EXPECT_FALSE(tracingEnabled());
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"test.span\""), std::string::npos);
+    EXPECT_NE(text.find("\"test.instant\""), std::string::npos);
+    EXPECT_NE(text.find("\"gtest-main\""), std::string::npos);
+}
+
+/** FNV-1a over the retired pc stream: any divergence in what the
+ *  emulator executes shows up here. */
+struct HashSink final
+{
+    uint64_t h = 14695981039346656037ull;
+    void
+    retire(uint32_t pc, const isa::Instruction &)
+    {
+        h ^= pc;
+        h *= 1099511628211ull;
+    }
+};
+
+TEST(DisabledPath, EmulatorStreamIdenticalUnderTracing)
+{
+    exe::Executable x = smallWorkload();
+
+    HashSink off;
+    sim::Emulator e1(x);
+    sim::RunResult r1 = e1.run(off);
+    ASSERT_TRUE(r1.exited);
+
+    enableTracing();
+    HashSink on;
+    sim::Emulator e2(x);
+    sim::RunResult r2 = e2.run(on);
+    resetTrace();
+
+    EXPECT_EQ(r1.instructions, r2.instructions);
+    EXPECT_EQ(r1.output, r2.output);
+    EXPECT_EQ(off.h, on.h);
+}
+
+TEST(DisabledPath, TimingIdenticalWithStallCollection)
+{
+    exe::Executable x = smallWorkload();
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+
+    sim::TimedRun plain = sim::timedRun(x, m);
+    sim::TimingSim::Config cfg;
+    cfg.collectStalls = true;
+    sim::TimedRun counted = sim::timedRun(x, m, cfg);
+
+    // Collection is observational: cycle-exact either way, and the
+    // histogram it fills sums exactly to the stall total.
+    EXPECT_EQ(plain.cycles, counted.cycles);
+    EXPECT_EQ(plain.issueHistogram, counted.issueHistogram);
+    EXPECT_EQ(counted.stallBreakdown.total(), counted.stallCycles);
+    EXPECT_GT(counted.stallCycles, 0u);
+    EXPECT_EQ(plain.stallCycles, 0u);  // off path never touched it
+}
+
+} // namespace
+} // namespace eel::obs

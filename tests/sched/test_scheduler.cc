@@ -248,6 +248,55 @@ TEST(Scheduler, InstrumentationMovesIntoStallCycles)
               machine::sequenceCycles(m(), nv));
 }
 
+TEST(Scheduler, AuditDoesNotChangeSchedule)
+{
+    // The slot-fill audit is observational: the same block schedules
+    // to the same instruction sequence with the sink attached.
+    InstSeq block = {
+        ref(b::sethi(6, 0x500000), true),
+        ref(b::memi(Op::Ld, 7, 6, 0), true),
+        ref(b::rri(Op::Add, 7, 7, 1), true),
+        ref(b::memi(Op::St, 7, 6, 0), true),
+        ref(b::memi(Op::Ld, 8, 16, 0)),
+        ref(b::memi(Op::Ld, 9, 8, 0)),
+        ref(b::memi(Op::Ld, 10, 9, 0)),
+        ref(b::rri(Op::Add, 11, 10, 1)),
+        ref(b::memi(Op::St, 11, 16, 8)),
+    };
+    ListScheduler plain(m());
+    InstSeq expect = plain.scheduleBlock(block);
+
+    obs::SlotFillAudit audit;
+    SchedOptions opts;
+    opts.audit = &audit;
+    ListScheduler audited(m(), opts);
+    InstSeq out = audited.scheduleBlock(block);
+    EXPECT_EQ(encodeAll(out), encodeAll(expect));
+    // The pointer-chasing chain stalls even in the best schedule, so
+    // the audit must have classified some empty slots.
+    EXPECT_GT(audit.snapshot().total(), 0u);
+}
+
+TEST(Scheduler, AuditWithoutInstrumentationIsNoReadyInst)
+{
+    // A block containing no instrumentation can only ever report
+    // "nothing left to fill with".
+    obs::SlotFillAudit audit;
+    SchedOptions opts;
+    opts.audit = &audit;
+    ListScheduler s(m(), opts);
+    InstSeq block = {
+        ref(b::memi(Op::Ld, 8, 16, 0)),
+        ref(b::memi(Op::Ld, 9, 8, 0)),
+        ref(b::rri(Op::Add, 10, 9, 1)),
+    };
+    s.scheduleBlock(block);
+    obs::SlotFillCounts c = audit.snapshot();
+    EXPECT_GT(c.total(), 0u);
+    EXPECT_EQ(c.total(),
+              c.slots[unsigned(obs::SlotFillReason::NoReadyInst)]);
+}
+
 TEST(Scheduler, EmptyBlock)
 {
     ListScheduler s(m());
