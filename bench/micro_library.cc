@@ -164,6 +164,124 @@ BM_TimedRun(benchmark::State &state)
 }
 BENCHMARK(BM_TimedRun);
 
+/** BM_TimedRun with the trace memo pinned off: the difference is
+ *  the memo's net win on a loop-dominated stream (key build + apply
+ *  per trace vs one issue walk per instruction). */
+void
+BM_TimedRunNoMemo(benchmark::State &state)
+{
+    const exe::Executable &x = benchProgram();
+    const auto &m = machine::MachineModel::builtin("ultrasparc");
+    sim::TimingSim::Config cfg;
+    cfg.traceMemo = false;
+    for (auto _ : state) {
+        sim::TimedRun r = sim::timedRun(x, m, cfg);
+        benchmark::DoNotOptimize(r.cycles);
+        state.SetItemsProcessed(state.items_processed() +
+                                int64_t(r.result.instructions));
+    }
+}
+BENCHMARK(BM_TimedRunNoMemo);
+
+// --- Per-engine microbenches. The Minst/s aggregates above mix
+// dispatch, hazard checks and bookkeeping; these isolate one engine
+// each so a future regression can be attributed below the aggregate.
+
+/** Hold-check-only loop: pipeline_stalls on an unstalled add stream
+ *  (the no-stall precondition is the whole cost — no commit, no
+ *  walk), per engine. */
+void
+holdCheckBench(benchmark::State &state, bool simd)
+{
+    const auto &m = machine::MachineModel::builtin("ultrasparc");
+    machine::PipelineState st(m, simd);
+    machine::ResolvedVariant rv = machine::ResolvedVariant::resolve(
+        m, b::rri(isa::Op::Add, 8, 9, 42));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(st.stalls(rv));
+    state.SetItemsProcessed(state.iterations());
+}
+void
+BM_HoldCheckSimd(benchmark::State &state)
+{
+    holdCheckBench(state, true);
+}
+BENCHMARK(BM_HoldCheckSimd);
+void
+BM_HoldCheckScalar(benchmark::State &state)
+{
+    holdCheckBench(state, false);
+}
+BENCHMARK(BM_HoldCheckScalar);
+
+/** Full issue loop (check + commit) per hold engine, on the mixed
+ *  stalling stream BM_PipelineIssue uses. */
+void
+issueEngineBench(benchmark::State &state, bool simd)
+{
+    const auto &m = machine::MachineModel::builtin("ultrasparc");
+    machine::PipelineState st(m, simd);
+    isa::Instruction seq[4] = {
+        b::memi(isa::Op::Ld, 8, 16, 0),
+        b::rri(isa::Op::Add, 9, 8, 1),
+        b::fp3(isa::Op::Fmuld, 4, 0, 2),
+        b::memi(isa::Op::St, 9, 16, 4),
+    };
+    machine::ResolvedVariant rvs[4];
+    for (int i = 0; i < 4; ++i)
+        rvs[i] = machine::ResolvedVariant::resolve(m, seq[i]);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(st.issue(rvs[i & 3]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+void
+BM_IssueSimdHold(benchmark::State &state)
+{
+    issueEngineBench(state, true);
+}
+BENCHMARK(BM_IssueSimdHold);
+void
+BM_IssueScalarHold(benchmark::State &state)
+{
+    issueEngineBench(state, false);
+}
+BENCHMARK(BM_IssueScalarHold);
+
+/** Dispatch-only loop: functional emulation into a null sink, per
+ *  dispatch engine. The two differ only in how the interpreter
+ *  reaches the next handler. */
+void
+dispatchBench(benchmark::State &state,
+              sim::Emulator::Config::Dispatch d)
+{
+    const exe::Executable &x = benchProgram();
+    sim::Emulator::Config cfg;
+    cfg.dispatch = d;
+    auto text = sim::Emulator::decodeText(x);
+    for (auto _ : state) {
+        sim::Emulator emu(x, cfg, text);
+        sim::RunResult r = emu.run();
+        benchmark::DoNotOptimize(r.instructions);
+        state.SetItemsProcessed(state.items_processed() +
+                                int64_t(r.instructions));
+    }
+}
+void
+BM_DispatchThreaded(benchmark::State &state)
+{
+    dispatchBench(state, sim::Emulator::Config::Dispatch::Threaded);
+}
+BENCHMARK(BM_DispatchThreaded);
+void
+BM_DispatchSwitch(benchmark::State &state)
+{
+    dispatchBench(state, sim::Emulator::Config::Dispatch::Switch);
+}
+BENCHMARK(BM_DispatchSwitch);
+
 void
 BM_InstrumentAndSchedule(benchmark::State &state)
 {

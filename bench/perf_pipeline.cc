@@ -203,11 +203,31 @@ main(int argc, char **argv)
     // cycles must equal the serial simulator's exactly.
     sim::ShardOptions sopts;
     uint64_t sharded_cycles = 0;
+    sim::ShardStats sstats;
     double sharded1_s = bestOf(3, [&] {
-        sharded_cycles = sim::runSharded(x, m, sopts).cycles;
+        sim::ShardedRun sr = sim::runSharded(x, m, sopts);
+        sharded_cycles = sr.cycles;
+        sstats = sr.stats;
     });
     double sharded1_minst_per_s = double(insts) / sharded1_s / 1e6;
     bool cycles_match = sharded_cycles == serial_cycles;
+    // Intrinsic overhead of the sharding machinery at jobs=1: the
+    // fraction of the run's wall time that is not the timing replay
+    // of the shards' own instructions — the functional capture pass
+    // plus the per-shard warmup replays (warmup/interval of the
+    // replayed stream). This is the number the fan-out has to win
+    // back with parallelism before sharding pays at all; on a 1-CPU
+    // host jobs=1 therefore *must* lose to the serial simulator by
+    // about this fraction.
+    double capture_frac =
+        sharded1_s > 0 ? sstats.captureSec / sharded1_s : 0;
+    double warmup_frac =
+        insts ? double(sopts.warmup) * double(sstats.shards > 0
+                                                  ? sstats.shards - 1
+                                                  : 0) /
+                    double(insts)
+              : 0;
+    double sharded_overhead_frac = capture_frac + warmup_frac;
 
     support::ThreadPool pool2(2);
     sopts.pool = &pool2;
@@ -314,6 +334,10 @@ main(int argc, char **argv)
                 shardedN_minst_per_s);
     std::printf("sharded cycles     %s\n",
                 cycles_match ? "match serial" : "DIVERGED");
+    std::printf("sharded overhead   %.1f%% of jobs=1 wall (capture "
+                "%.1f%%, warmup %.1f%%, %zu shards)\n",
+                100 * sharded_overhead_frac, 100 * capture_frac,
+                100 * warmup_frac, sstats.shards);
     std::printf("batch rewrite      %.3f MB/variant cow, %.3f "
                 "MB/variant eager (%.2fx, %.0f%% refs shared, %zu "
                 "images)\n", batch_mb_cow, batch_mb_eager,
@@ -350,6 +374,8 @@ main(int argc, char **argv)
                  shardedN_minst_per_s);
     std::fprintf(f, "  \"sharded_cycles_match_serial\": %s,\n",
                  cycles_match ? "true" : "false");
+    std::fprintf(f, "  \"sharded_timing_overhead_frac\": %.4f,\n",
+                 sharded_overhead_frac);
     std::fprintf(f, "  \"batch_rewrite_mb_per_variant\": %.4f,\n",
                  batch_mb_cow);
     std::fprintf(f, "  \"batch_rewrite_mb_per_variant_eager\": %.4f,\n",

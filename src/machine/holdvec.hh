@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Row primitives for the vectorized hold-segment checks.
+ *
+ * PipelineState keeps its per-cycle free unit counts in rows padded
+ * to a multiple of `holdLanes` int16 lanes, and every Variant carries
+ * matching per-pipeline-cycle requirement/occupancy rows
+ * (Variant::holdMin/holdUse). That reduces both sides of the
+ * structural hazard work — "may this instruction pass cycle k?" and
+ * "commit this instruction's usage at cycle k" — to one compare or
+ * subtract across a whole row, which the two functions below
+ * implement as 128-bit vector ops where available.
+ *
+ * Three implementations, selected at compile time:
+ *   - SSE2 intrinsics (any x86-64 target),
+ *   - NEON intrinsics (aarch64),
+ *   - a plain scalar loop, used when the build disables the
+ *     EEL_SIMD_HOLD option or targets anything else.
+ * All three are exact: padding lanes hold INT16_MIN requirements
+ * (never block) and zero occupancy (never change), so no tail code
+ * and no masking is needed anywhere.
+ */
+
+#ifndef EEL_MACHINE_HOLDVEC_HH
+#define EEL_MACHINE_HOLDVEC_HH
+
+#include <cstdint>
+
+#if defined(EEL_SIMD_HOLD) && defined(__SSE2__)
+#include <emmintrin.h>
+#define EEL_HOLDVEC_SSE2 1
+#elif defined(EEL_SIMD_HOLD) && defined(__ARM_NEON) && \
+    defined(__aarch64__)
+#include <arm_neon.h>
+#define EEL_HOLDVEC_NEON 1
+#endif
+
+namespace eel::machine {
+
+/** Lanes per row block; rows are padded to a multiple of this. */
+inline constexpr unsigned holdLanes = 8;
+
+/** numUnits rounded up to a whole number of row blocks. */
+constexpr unsigned
+paddedUnits(unsigned num_units)
+{
+    return (num_units + holdLanes - 1) / holdLanes * holdLanes;
+}
+
+/** Name of the row implementation compiled in (for reporting). */
+constexpr const char *
+holdVecImpl()
+{
+#if defined(EEL_HOLDVEC_SSE2)
+    return "sse2";
+#elif defined(EEL_HOLDVEC_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+/** True if any lane i < lanes has row[i] < req[i]. */
+inline bool
+holdRowBlocked(const int16_t *row, const int16_t *req, unsigned lanes)
+{
+#if defined(EEL_HOLDVEC_SSE2)
+    for (unsigned i = 0; i < lanes; i += holdLanes) {
+        __m128i r = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(row + i));
+        __m128i q = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(req + i));
+        if (_mm_movemask_epi8(_mm_cmplt_epi16(r, q)))
+            return true;
+    }
+    return false;
+#elif defined(EEL_HOLDVEC_NEON)
+    for (unsigned i = 0; i < lanes; i += holdLanes) {
+        uint16x8_t lt = vcltq_s16(vld1q_s16(row + i),
+                                  vld1q_s16(req + i));
+        if (vmaxvq_u16(lt))
+            return true;
+    }
+    return false;
+#else
+    for (unsigned i = 0; i < lanes; ++i)
+        if (row[i] < req[i])
+            return true;
+    return false;
+#endif
+}
+
+/** row[i] -= use[i] for every lane i < lanes. */
+inline void
+holdRowSub(int16_t *row, const int16_t *use, unsigned lanes)
+{
+#if defined(EEL_HOLDVEC_SSE2)
+    for (unsigned i = 0; i < lanes; i += holdLanes) {
+        __m128i r = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(row + i));
+        __m128i u = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(use + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(row + i),
+                         _mm_sub_epi16(r, u));
+    }
+#elif defined(EEL_HOLDVEC_NEON)
+    for (unsigned i = 0; i < lanes; i += holdLanes)
+        vst1q_s16(row + i, vsubq_s16(vld1q_s16(row + i),
+                                     vld1q_s16(use + i)));
+#else
+    for (unsigned i = 0; i < lanes; ++i)
+        row[i] = static_cast<int16_t>(row[i] - use[i]);
+#endif
+}
+
+} // namespace eel::machine
+
+#endif // EEL_MACHINE_HOLDVEC_HH

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/obs/metrics.hh"
 #include "src/support/logging.hh"
 
 namespace eel::machine {
@@ -49,14 +50,18 @@ ResolvedVariant::resolve(const MachineModel &model,
     return resolve(model.variant(inst), inst);
 }
 
-PipelineState::PipelineState(const MachineModel &model)
-    : _model(model), numUnits(model.numUnits())
+PipelineState::PipelineState(const MachineModel &model, bool simd_holds)
+    : _model(model), numUnits(model.numUnits()),
+      rowStride(paddedUnits(model.numUnits())), simdHold(simd_holds)
 {
-    capInit.resize(numUnits);
+    // Rows are padded to the vector lane width; pad lanes stay zero
+    // in capInit (and therefore in every re-initialized slot), which
+    // the row primitives rely on being inert.
+    capInit.assign(rowStride, 0);
     for (unsigned u = 0; u < numUnits; ++u)
         capInit[u] = static_cast<int16_t>(model.unitCapacity(u));
     slotStamp.assign(windowSize, ~uint64_t(0));
-    slotFree.assign(windowSize * numUnits, 0);
+    slotFree.assign(static_cast<size_t>(windowSize) * rowStride, 0);
     lastRead.assign(isa::numRegIds, 0);
     lastWrite.assign(isa::numRegIds, 0);
     writeAvail.assign(isa::numRegIds, 0);
@@ -71,6 +76,7 @@ PipelineState::reset()
     std::fill(lastRead.begin(), lastRead.end(), 0);
     std::fill(lastWrite.begin(), lastWrite.end(), 0);
     std::fill(writeAvail.begin(), writeAvail.end(), 0);
+    maxStamped = 0;
     frontierCycle = 0;
 }
 
@@ -94,6 +100,92 @@ PipelineState::restore(const Snapshot &s)
     lastWrite = s.lastWrite;
     writeAvail = s.writeAvail;
     frontierCycle = s.frontierCycle;
+    maxStamped = 0;
+    for (uint64_t stamp : slotStamp)
+        if (stamp != ~uint64_t(0) && stamp > maxStamped)
+            maxStamped = stamp;
+}
+
+void
+PipelineState::captureRebased(RebasedPipe &out) const
+{
+    out.clear();
+    const uint64_t d = frontierCycle;
+
+    // Live rows, ascending by cycle. The canonicalization matches
+    // appendNormalizedKey(): dead rows (frontier passed them) and
+    // full-capacity rows (bit-identical to a lazy re-init) are
+    // dropped. The scan walks cycles, not slots, so it touches
+    // [d, maxStamped] instead of the whole ring.
+    const uint64_t top =
+        std::min(maxStamped, d + windowSize - 1);
+    for (uint64_t c = d; c <= top; ++c) {
+        const unsigned slot = static_cast<unsigned>(c % windowSize);
+        if (slotStamp[slot] != c)
+            continue;
+        const int16_t *row = &slotFree[size_t(slot) * rowStride];
+        if (std::memcmp(row, capInit.data(),
+                        numUnits * sizeof(int16_t)) == 0)
+            continue;
+        out.rowAt.push_back(c - d);
+        out.rowFree.insert(out.rowFree.end(), row, row + rowStride);
+    }
+
+    // Registers with any value that can still bind, as the same
+    // canonical rebased triples appendNormalizedKey() emits (see the
+    // inertness thresholds there), but sparse: inert-everywhere
+    // registers are omitted entirely.
+    for (uint32_t r = 0; r < lastRead.size(); ++r) {
+        const uint64_t lr = lastRead[r] > d + 1 ? lastRead[r] - d : 0;
+        const uint64_t lw = lastWrite[r] > d ? lastWrite[r] - d : 0;
+        const uint64_t wa = writeAvail[r] > d ? writeAvail[r] - d : 0;
+        if (!(lr | lw | wa))
+            continue;
+        out.regs.push_back(r);
+        out.regVals.push_back(lr);
+        out.regVals.push_back(lw);
+        out.regVals.push_back(wa);
+    }
+}
+
+void
+PipelineState::applyRebased(const RebasedPipe &p, uint64_t frontierDelta)
+{
+    const uint64_t d1 = frontierCycle + frontierDelta;
+
+    // Rows: every live non-capacity row of the target state is
+    // written outright. Current rows the new frontier passed are dead
+    // by construction; current rows at cycles >= d1 either recur in p
+    // (rows only lose capacity, so a live row stays live) or were
+    // full-capacity on both sides, which lazy re-init reproduces.
+    const int16_t *free = p.rowFree.data();
+    for (size_t i = 0; i < p.rowAt.size(); ++i, free += rowStride) {
+        const uint64_t c = d1 + p.rowAt[i];
+        const unsigned slot = static_cast<unsigned>(c % windowSize);
+        slotStamp[slot] = c;
+        std::memcpy(&slotFree[size_t(slot) * rowStride], free,
+                    rowStride * sizeof(int16_t));
+        if (c > maxStamped)
+            maxStamped = c;
+    }
+
+    // Registers: listed ones get their exact rebased values; a zero
+    // component (inert in the target) leaves the current value, which
+    // was inert at the old frontier and stays inert at the newer one.
+    // Unlisted registers were inert-everywhere in the target and are
+    // left untouched for the same reason.
+    const uint64_t *v = p.regVals.data();
+    for (size_t i = 0; i < p.regs.size(); ++i, v += 3) {
+        const uint32_t r = p.regs[i];
+        if (v[0])
+            lastRead[r] = v[0] + d1;
+        if (v[1])
+            lastWrite[r] = v[1] + d1;
+        if (v[2])
+            writeAvail[r] = v[2] + d1;
+    }
+
+    frontierCycle = d1;
 }
 
 void
@@ -112,7 +204,7 @@ PipelineState::appendNormalizedKey(std::vector<uint64_t> &out) const
         uint64_t stamp = slotStamp[s];
         if (stamp == ~uint64_t(0) || stamp < d)
             continue;
-        if (std::memcmp(&slotFree[s * numUnits], capInit.data(),
+        if (std::memcmp(&slotFree[s * rowStride], capInit.data(),
                         numUnits * sizeof(int16_t)) == 0)
             continue;
         live.emplace_back(stamp - d, s);
@@ -123,7 +215,7 @@ PipelineState::appendNormalizedKey(std::vector<uint64_t> &out) const
         out.push_back(at);
         for (unsigned u = 0; u < numUnits; ++u)
             out.push_back(static_cast<uint16_t>(
-                slotFree[s * numUnits + u]));
+                slotFree[s * rowStride + u]));
     }
 
     // Register history, rebased to d with inert values mapped to 0.
@@ -144,8 +236,10 @@ void
 PipelineState::initSlot(uint64_t c, unsigned slot) const
 {
     slotStamp[slot] = c;
-    std::memcpy(&slotFree[slot * numUnits], capInit.data(),
-                numUnits * sizeof(int16_t));
+    std::memcpy(&slotFree[slot * rowStride], capInit.data(),
+                rowStride * sizeof(int16_t));
+    if (c > maxStamped)
+        maxStamped = c;
 }
 
 int16_t *
@@ -154,7 +248,22 @@ PipelineState::rowFor(uint64_t c) const
     unsigned slot = static_cast<unsigned>(c % windowSize);
     if (slotStamp[slot] != c)
         initSlot(c, slot);
-    return &slotFree[slot * numUnits];
+    return &slotFree[slot * rowStride];
+}
+
+void
+PipelineState::flushSimdMetrics() const
+{
+    static obs::Metric mBlocks("simd.hold_blocks",
+                               obs::MetricKind::Counter);
+    static obs::Metric mClean("simd.clean_issues",
+                              obs::MetricKind::Counter);
+    if (_simdBlocks)
+        mBlocks.add(_simdBlocks);
+    if (_fastIssues)
+        mClean.add(_fastIssues);
+    _simdBlocks = 0;
+    _fastIssues = 0;
 }
 
 namespace {
@@ -346,20 +455,6 @@ PipelineState::stallsAt(uint64_t cycle,
     return stallsAt(cycle, ResolvedVariant::resolve(_model, inst));
 }
 
-unsigned
-PipelineState::stalls(const ResolvedVariant &rv,
-                      obs::StallBreakdown *why) const
-{
-    return simulate(frontierCycle, rv, scratchAbsFor, why);
-}
-
-unsigned
-PipelineState::stallsAt(uint64_t cycle, const ResolvedVariant &rv,
-                        obs::StallBreakdown *why) const
-{
-    return simulate(cycle, rv, scratchAbsFor, why);
-}
-
 PipelineState::IssueResult
 PipelineState::issue(const isa::Instruction &inst)
 {
@@ -367,7 +462,8 @@ PipelineState::issue(const isa::Instruction &inst)
 }
 
 PipelineState::IssueResult
-PipelineState::issue(const ResolvedVariant &rv, obs::StallBreakdown *why)
+PipelineState::issueSlow(const ResolvedVariant &rv,
+                         obs::StallBreakdown *why)
 {
     unsigned s = simulate(frontierCycle, rv, scratchAbsFor, why);
     commit(rv, scratchAbsFor);

@@ -154,4 +154,12 @@ materializeState(const exe::Executable &x,
     return s;
 }
 
+void
+restoreCheckpoint(Emulator &emu, const Checkpoint &cp)
+{
+    emu.restoreState(cp.state);  // bare state: keeps emu's memory
+    cp.dataDelta.apply(emu.dataImageMut());
+    cp.stackDelta.apply(emu.stackImageMut());
+}
+
 } // namespace eel::sim

@@ -105,6 +105,21 @@ Emulator::State materializeState(const exe::Executable &x,
                                  const Emulator::Config &cfg,
                                  const Checkpoint &cp);
 
+/**
+ * Position emu exactly at cp's cut, in place: restore the bare
+ * register/cursor state (which keeps emu's memory) and patch the
+ * recorded page deltas straight into the live images. Equivalent to
+ * restoreState(materializeState(...)) — which allocates and copies
+ * two full memory images per call, the dominant per-shard setup cost
+ * of the replay fan-out — but allocation-free.
+ *
+ * Precondition: emu's images hold the pristine initial contents the
+ * deltas were diffed against, i.e. emu is freshly constructed for
+ * the same executable and Config. (The shard replay constructs one
+ * emulator per region, so this holds by construction there.)
+ */
+void restoreCheckpoint(Emulator &emu, const Checkpoint &cp);
+
 } // namespace eel::sim
 
 #endif // EEL_SIM_CHECKPOINT_HH

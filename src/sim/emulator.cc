@@ -15,14 +15,68 @@ namespace eel::sim {
 using isa::Instruction;
 using isa::Op;
 
+namespace {
+
+/**
+ * (op, iflag) -> dispatch token, built once from the same X-macro
+ * lists the interpreter bodies expand. Plain ops ignore iflag; ops
+ * absent from both lists (only Op::Invalid) map to Tok_Invalid.
+ */
+struct TokenTable
+{
+    uint8_t t[2 * isa::numOps];
+    TokenTable()
+    {
+        for (uint8_t &v : t)
+            v = Tok_Invalid;
+#define EEL_EMU_T(op)                                                 \
+    t[2 * static_cast<unsigned>(Op::op) + 0] = Tok_##op##_r;          \
+    t[2 * static_cast<unsigned>(Op::op) + 1] = Tok_##op##_i;
+        EEL_EMU_SRC2_OPS(EEL_EMU_T)
+#undef EEL_EMU_T
+#define EEL_EMU_T(op)                                                 \
+    t[2 * static_cast<unsigned>(Op::op) + 0] = Tok_##op;              \
+    t[2 * static_cast<unsigned>(Op::op) + 1] = Tok_##op;
+        EEL_EMU_PLAIN_OPS(EEL_EMU_T)
+#undef EEL_EMU_T
+    }
+};
+
+const TokenTable tokenTable;
+
+} // namespace
+
+uint8_t
+emulatorToken(const Instruction &in)
+{
+    return tokenTable.t[2 * static_cast<unsigned>(in.op) +
+                        (in.iflag ? 1 : 0)];
+}
+
+namespace detail {
+
+void
+noteThreadedRetires(uint64_t n)
+{
+    static obs::Metric mHits("dispatch.threaded_hits",
+                             obs::MetricKind::Counter);
+    mHits.add(n);
+}
+
+} // namespace detail
+
 std::shared_ptr<const Emulator::DecodedText>
 Emulator::decodeText(const exe::Executable &x)
 {
     obs::Span span("emu.decode");
     auto text = std::make_shared<DecodedText>();
-    text->reserve(x.text.size());
-    for (uint32_t w : x.text)
-        text->push_back(isa::decode(w));
+    text->insts.reserve(x.text.size());
+    text->tokens.reserve(x.text.size());
+    for (uint32_t w : x.text) {
+        Instruction in = isa::decode(w);
+        text->tokens.push_back(emulatorToken(in));
+        text->insts.push_back(in);
+    }
     return text;
 }
 
@@ -69,6 +123,7 @@ Emulator::Emulator(const exe::Executable &x, Config cfg,
         fatal("emulator: pre-decoded text does not match executable");
 
     wins.assign(16ull * cfg.windows, 0);
+    setWindow(0);
 
     dataLo = exe::dataBase;
     dataHi = x.bssEnd();
@@ -85,37 +140,6 @@ Emulator::Emulator(const exe::Executable &x, Config cfg,
 
     curPc = x.entry;
     curNpc = curPc + 4;
-}
-
-uint32_t
-Emulator::reg(unsigned r) const
-{
-    if (r < 8)
-        return globals[r];
-    unsigned w = cwp;
-    if (r < 16)
-        return wins[16 * w + (r - 8)];            // outs
-    if (r < 24)
-        return wins[16 * w + 8 + (r - 16)];       // locals
-    unsigned up = (cwp + 1) % cfg.windows;
-    return wins[16 * up + (r - 24)];              // ins = caller outs
-}
-
-void
-Emulator::setReg(unsigned r, uint32_t v)
-{
-    if (r == 0)
-        return;
-    if (r < 8) {
-        globals[r] = v;
-    } else if (r < 16) {
-        wins[16 * cwp + (r - 8)] = v;
-    } else if (r < 24) {
-        wins[16 * cwp + 8 + (r - 16)] = v;
-    } else {
-        unsigned up = (cwp + 1) % cfg.windows;
-        wins[16 * up + (r - 24)] = v;
-    }
 }
 
 const uint8_t *
@@ -313,7 +337,7 @@ Emulator::restoreState(const State &s)
         globals[r] = s.globals[r];
     for (unsigned r = 0; r < 32; ++r)
         fregs[r] = s.fpRegs[r];
-    cwp = s.cwp;
+    setWindow(s.cwp);
     winDepth = s.winDepth;
     icc = s.icc;
     fcc = s.fcc;

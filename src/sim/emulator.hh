@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/exe/executable.hh"
@@ -55,6 +56,52 @@ struct RunResult
     std::string output;         ///< put_int / put_char trap output
 };
 
+// X-macro op lists for the interpreter engines. Every opcode whose
+// handler reads the src2 operand (rs2 or simm13) is split into two
+// dispatch tokens — one per addressing form — so the operand fetch is
+// resolved at decode time instead of per retire. The remaining ops
+// get one token each. interp_loop.inc expands these lists twice: once
+// into a token switch (portable) and once into computed-goto handler
+// labels (direct-threaded).
+#define EEL_EMU_SRC2_OPS(X)                                           \
+    X(Add) X(Addcc) X(Sub) X(Subcc) X(And) X(Andcc) X(Or) X(Orcc)     \
+    X(Xor) X(Xorcc) X(Sll) X(Srl) X(Sra) X(Umul) X(Smul) X(Udiv)      \
+    X(Sdiv) X(Wry) X(Save) X(Restore) X(Jmpl) X(Ld) X(Ldub) X(Ldsb)   \
+    X(Lduh) X(Ldsh) X(Ldd) X(St) X(Stb) X(Sth) X(Std) X(Ldf)          \
+    X(Lddf) X(Stf) X(Stdf)
+#define EEL_EMU_PLAIN_OPS(X)                                          \
+    X(Rdy) X(Sethi) X(Nop) X(Bicc) X(Fbfcc) X(Call) X(Ticc)           \
+    X(Fadds) X(Fsubs) X(Fmuls) X(Fdivs) X(Faddd) X(Fsubd) X(Fmuld)    \
+    X(Fdivd) X(Fsqrts) X(Fsqrtd) X(Fmovs) X(Fnegs) X(Fabss)           \
+    X(Fitos) X(Fitod) X(Fstoi) X(Fdtoi) X(Fstod) X(Fdtos) X(Fcmps)    \
+    X(Fcmpd)
+
+/**
+ * Dispatch token: the pre-resolved handler index for one decoded
+ * instruction. Tokens (not label addresses) are what the decode memo
+ * persists, so one DecodedText serves every engine and every run()
+ * instantiation — label addresses are private to each instantiated
+ * interpreter body.
+ */
+enum EmulatorToken : uint8_t {
+#define EEL_EMU_T(op) Tok_##op##_i, Tok_##op##_r,
+    EEL_EMU_SRC2_OPS(EEL_EMU_T)
+#undef EEL_EMU_T
+#define EEL_EMU_T(op) Tok_##op,
+    EEL_EMU_PLAIN_OPS(EEL_EMU_T)
+#undef EEL_EMU_T
+    Tok_Invalid,
+    NumEmulatorTokens
+};
+
+/** The dispatch token for one decoded instruction. */
+uint8_t emulatorToken(const isa::Instruction &in);
+
+namespace detail {
+/** Folds a run's retires into the "dispatch.threaded_hits" counter. */
+void noteThreadedRetires(uint64_t n);
+} // namespace detail
+
 class Emulator
 {
   public:
@@ -63,6 +110,17 @@ class Emulator
         unsigned windows = 128;       ///< register window depth
         uint32_t stackBytes = 1 << 20;
         uint64_t maxInstructions = 1ull << 32;
+
+        /**
+         * Interpreter engine. Auto picks direct-threaded dispatch
+         * when the build supports it (EEL_THREADED_DISPATCH on a
+         * computed-goto compiler) and the token switch otherwise;
+         * Switch pins the portable engine. Both engines retire the
+         * identical instruction stream — the differential fuzz
+         * oracle holds them bit-equal — so this only selects speed.
+         */
+        enum class Dispatch : uint8_t { Auto, Threaded, Switch };
+        Dispatch dispatch = Dispatch::Auto;
     };
 
     /**
@@ -70,9 +128,25 @@ class Emulator
      * one DecodedText may be shared by any number of emulators of the
      * same executable — the sharded replayer constructs one emulator
      * per shard and would otherwise re-decode the whole text each
-     * time.
+     * time. Alongside the decoded fields it carries the resolved
+     * dispatch token per word, so the engines never re-derive the
+     * handler from (op, iflag) at retire time; via the memoized
+     * overload below, the token table persists across runs and
+     * shards in the section store.
      */
-    using DecodedText = std::vector<isa::Instruction>;
+    struct DecodedText
+    {
+        std::vector<isa::Instruction> insts;
+        std::vector<uint8_t> tokens;  ///< EmulatorToken per word
+
+        size_t size() const { return insts.size(); }
+        const isa::Instruction *data() const { return insts.data(); }
+        const isa::Instruction &
+        operator[](size_t i) const
+        {
+            return insts[i];
+        }
+    };
     static std::shared_ptr<const DecodedText>
     decodeText(const exe::Executable &x);
 
@@ -129,6 +203,12 @@ class Emulator
     /** The live memory images (for diffing against a reference). */
     const std::vector<uint8_t> &dataImage() const { return dataMem; }
     const std::vector<uint8_t> &stackImage() const { return stackMem; }
+    /** Mutable image access for in-place checkpoint restore
+     *  (restoreCheckpoint in src/sim/checkpoint.hh patches page
+     *  deltas straight into the live images instead of materializing
+     *  and copying whole replacements). */
+    std::vector<uint8_t> &dataImageMut() { return dataMem; }
+    std::vector<uint8_t> &stackImageMut() { return stackMem; }
 
     /**
      * Complete machine state — every register window, condition
@@ -172,9 +252,35 @@ class Emulator
      */
     void restoreState(const State &s);
 
-    /** Architectural register access (current window). */
-    uint32_t reg(unsigned r) const;
-    void setReg(unsigned r, uint32_t v);
+    /**
+     * Architectural register access (current window). Inline and
+     * branch-light: outs and locals are contiguous in a window's 16
+     * slots, so r in [8,24) is one indexed load off the cached
+     * window base; ins resolve through the cached caller-window
+     * base. The bases are maintained by setWindow() so the modulo
+     * window arithmetic happens per save/restore, not per access.
+     */
+    uint32_t
+    reg(unsigned r) const
+    {
+        if (r < 8)
+            return globals[r];
+        if (r < 24)
+            return wins[winBase + (r - 8)];   // outs + locals
+        return wins[upBase + (r - 24)];       // ins = caller outs
+    }
+    void
+    setReg(unsigned r, uint32_t v)
+    {
+        if (r == 0)
+            return;
+        if (r < 8)
+            globals[r] = v;
+        else if (r < 24)
+            wins[winBase + (r - 8)] = v;
+        else
+            wins[upBase + (r - 24)] = v;
+    }
     uint32_t fpreg(unsigned r) const { return fregs[r]; }
 
     /**
@@ -205,6 +311,22 @@ class Emulator
     ArchSnapshot snapshot() const;
 
   private:
+    // The interpreter engines (defined via interp_loop.inc). Both
+    // retire the identical stream; run() selects per Config.
+    template <class Sink>
+    RunResult runSwitch(Sink &sink, uint64_t limit);
+    template <class Sink>
+    RunResult runThreaded(Sink &sink, uint64_t limit);
+
+    /** Set cwp and the cached window bases reg()/setReg() read. */
+    void
+    setWindow(unsigned w)
+    {
+        cwp = w;
+        winBase = 16 * w;
+        upBase = 16 * ((w + 1) % cfg.windows);
+    }
+
     uint32_t load(uint32_t addr, unsigned bytes,
                   bool sign_extend) const;
     void store(uint32_t addr, unsigned bytes, uint32_t value);
@@ -229,6 +351,8 @@ class Emulator
     uint32_t globals[8] = {};
     uint32_t fregs[32] = {};
     unsigned cwp = 0;
+    unsigned winBase = 0;  ///< wins[] index of window cwp (16 * cwp)
+    unsigned upBase = 0;   ///< wins[] index of the caller's window
     int winDepth = 0;
 
     // Condition codes: icc as NZVC bits 3..0; fcc as 0=E,1=L,2=G,3=U.
@@ -249,405 +373,40 @@ class Emulator
     uint64_t totalRetired = 0;
 };
 
+// Computed goto ("labels as values") is a GNU extension; the
+// direct-threaded engine exists only where it does.
+#if defined(EEL_THREADED_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define EEL_HAVE_THREADED_DISPATCH 1
+#else
+#define EEL_HAVE_THREADED_DISPATCH 0
+#endif
+
+// Instantiate the two interpreter engines from the shared body.
+#define EEL_INTERP_NAME runSwitch
+#define EEL_INTERP_THREADED 0
+#include "src/sim/interp_loop.inc"
+
+#if EEL_HAVE_THREADED_DISPATCH
+#define EEL_INTERP_NAME runThreaded
+#define EEL_INTERP_THREADED 1
+#include "src/sim/interp_loop.inc"
+#endif
+
 template <class Sink>
 RunResult
 Emulator::run(Sink &sink, uint64_t limit)
 {
-    using isa::Instruction;
-    using isa::Op;
-
-    RunResult res;
-    res.exited = hasExited;
-    res.exitCode = savedExitCode;
-    if (hasExited || limit == 0)
+#if EEL_HAVE_THREADED_DISPATCH
+    if (cfg.dispatch != Config::Dispatch::Switch) {
+        RunResult res = runThreaded(sink, limit);
+        detail::noteThreadedRetires(res.instructions);
         return res;
-
-    uint32_t pc = curPc;
-    uint32_t npc = curNpc;
-    bool annul_next = curAnnul;
-
-    // Hot-loop invariants: the decoded text as a raw array, so the
-    // per-retire pc -> instruction step is one subtract, one shift,
-    // and one bounds check.
-    const Instruction *const text = decoded->data();
-    const uint32_t textWords = static_cast<uint32_t>(decoded->size());
-
-    auto src2 = [&](const Instruction &in) -> uint32_t {
-        return in.iflag ? static_cast<uint32_t>(in.simm13)
-                        : reg(in.rs2);
-    };
-    auto f32 = [](uint32_t bits) { return std::bit_cast<float>(bits); };
-    auto b32 = [](float f) { return std::bit_cast<uint32_t>(f); };
-    auto f64 = [](uint64_t bits) {
-        return std::bit_cast<double>(bits);
-    };
-    auto b64 = [](double d) { return std::bit_cast<uint64_t>(d); };
-
-    while (res.instructions < limit) {
-        uint32_t off = pc - exe::textBase;
-        uint32_t idx = off >> 2;
-        if ((off & 3) || idx >= textWords)
-            fatal("emulator: pc 0x%x outside text", pc);
-        uint32_t cur_pc = pc;
-
-        if (annul_next) {
-            annul_next = false;
-            pc = npc;
-            npc += 4;
-            continue;
-        }
-
-        const Instruction &in = text[idx];
-        if (in.op == Op::Invalid)
-            fatal("emulator: invalid instruction at 0x%x", cur_pc);
-
-        ++res.instructions;
-        sink.retire(cur_pc, in);
-
-        uint32_t next_pc = npc;
-        uint32_t next_npc = npc + 4;
-
-        switch (in.op) {
-          case Op::Add:
-            setReg(in.rd, reg(in.rs1) + src2(in));
-            break;
-          case Op::Addcc: {
-            uint32_t a = reg(in.rs1), b = src2(in), r = a + b;
-            setReg(in.rd, r);
-            setIccAdd(a, b, r);
-            break;
-          }
-          case Op::Sub:
-            setReg(in.rd, reg(in.rs1) - src2(in));
-            break;
-          case Op::Subcc: {
-            uint32_t a = reg(in.rs1), b = src2(in), r = a - b;
-            setReg(in.rd, r);
-            setIccSub(a, b, r);
-            break;
-          }
-          case Op::And:
-            setReg(in.rd, reg(in.rs1) & src2(in));
-            break;
-          case Op::Andcc: {
-            uint32_t r = reg(in.rs1) & src2(in);
-            setReg(in.rd, r);
-            setIccLogic(r);
-            break;
-          }
-          case Op::Or:
-            setReg(in.rd, reg(in.rs1) | src2(in));
-            break;
-          case Op::Orcc: {
-            uint32_t r = reg(in.rs1) | src2(in);
-            setReg(in.rd, r);
-            setIccLogic(r);
-            break;
-          }
-          case Op::Xor:
-            setReg(in.rd, reg(in.rs1) ^ src2(in));
-            break;
-          case Op::Xorcc: {
-            uint32_t r = reg(in.rs1) ^ src2(in);
-            setReg(in.rd, r);
-            setIccLogic(r);
-            break;
-          }
-          case Op::Sll:
-            setReg(in.rd, reg(in.rs1) << (src2(in) & 31));
-            break;
-          case Op::Srl:
-            setReg(in.rd, reg(in.rs1) >> (src2(in) & 31));
-            break;
-          case Op::Sra:
-            setReg(in.rd, static_cast<uint32_t>(
-                static_cast<int32_t>(reg(in.rs1)) >>
-                (src2(in) & 31)));
-            break;
-          case Op::Umul: {
-            uint64_t p = static_cast<uint64_t>(reg(in.rs1)) *
-                         src2(in);
-            setReg(in.rd, static_cast<uint32_t>(p));
-            yreg = static_cast<uint32_t>(p >> 32);
-            break;
-          }
-          case Op::Smul: {
-            int64_t p = static_cast<int64_t>(
-                            static_cast<int32_t>(reg(in.rs1))) *
-                        static_cast<int32_t>(src2(in));
-            setReg(in.rd, static_cast<uint32_t>(p));
-            yreg = static_cast<uint32_t>(
-                static_cast<uint64_t>(p) >> 32);
-            break;
-          }
-          case Op::Udiv: {
-            uint64_t dividend = (static_cast<uint64_t>(yreg) << 32) |
-                                reg(in.rs1);
-            uint32_t divisor = src2(in);
-            if (divisor == 0)
-                fatal("emulator: udiv by zero at 0x%x", cur_pc);
-            uint64_t q = dividend / divisor;
-            setReg(in.rd, q > 0xffffffffull
-                              ? 0xffffffffu
-                              : static_cast<uint32_t>(q));
-            break;
-          }
-          case Op::Sdiv: {
-            int64_t dividend = static_cast<int64_t>(
-                (static_cast<uint64_t>(yreg) << 32) | reg(in.rs1));
-            int32_t divisor = static_cast<int32_t>(src2(in));
-            if (divisor == 0)
-                fatal("emulator: sdiv by zero at 0x%x", cur_pc);
-            int64_t q = dividend / divisor;
-            if (q > 0x7fffffffll)
-                q = 0x7fffffffll;
-            if (q < -0x80000000ll)
-                q = -0x80000000ll;
-            setReg(in.rd, static_cast<uint32_t>(q));
-            break;
-          }
-          case Op::Rdy:
-            setReg(in.rd, yreg);
-            break;
-          case Op::Wry:
-            yreg = reg(in.rs1) ^ src2(in);
-            break;
-          case Op::Sethi:
-            setReg(in.rd, in.imm22 << 10);
-            break;
-          case Op::Nop:
-            break;
-          case Op::Save: {
-            uint32_t v = reg(in.rs1) + src2(in);
-            if (++winDepth >= static_cast<int>(cfg.windows) - 1)
-                fatal("emulator: register window overflow (depth %d); "
-                      "increase Config::windows", winDepth);
-            cwp = (cwp + cfg.windows - 1) % cfg.windows;
-            setReg(in.rd, v);
-            break;
-          }
-          case Op::Restore: {
-            uint32_t v = reg(in.rs1) + src2(in);
-            if (--winDepth < -1)
-                fatal("emulator: register window underflow at 0x%x",
-                      cur_pc);
-            cwp = (cwp + 1) % cfg.windows;
-            setReg(in.rd, v);
-            break;
-          }
-          case Op::Bicc: {
-            bool taken = iccCond(in.cond);
-            if (taken)
-                next_npc = cur_pc + 4 * static_cast<uint32_t>(in.disp);
-            if (in.annul && (!taken || in.cond == isa::cond::a))
-                annul_next = true;
-            break;
-          }
-          case Op::Fbfcc: {
-            bool taken = fccCond(in.cond);
-            if (taken)
-                next_npc = cur_pc + 4 * static_cast<uint32_t>(in.disp);
-            if (in.annul && (!taken || in.cond == isa::fcond::a))
-                annul_next = true;
-            break;
-          }
-          case Op::Call:
-            setReg(isa::reg::o7, cur_pc);
-            next_npc = cur_pc + 4 * static_cast<uint32_t>(in.disp);
-            break;
-          case Op::Jmpl: {
-            uint32_t target = reg(in.rs1) + src2(in);
-            setReg(in.rd, cur_pc);
-            if (target & 3)
-                fatal("emulator: misaligned jmpl target 0x%x", target);
-            next_npc = target;
-            break;
-          }
-          case Op::Ticc:
-            if (iccCond(in.cond)) {
-                switch (in.simm13) {
-                  case isa::trap::exit_prog:
-                    res.exitCode = static_cast<int>(reg(isa::reg::o0));
-                    res.exited = true;
-                    hasExited = true;
-                    savedExitCode = res.exitCode;
-                    curPc = pc;
-                    curNpc = npc;
-                    curAnnul = annul_next;
-                    totalRetired += res.instructions;
-                    return res;
-                  case isa::trap::put_int:
-                    res.output += strfmt(
-                        "%d\n",
-                        static_cast<int32_t>(reg(isa::reg::o0)));
-                    break;
-                  case isa::trap::put_char:
-                    res.output.push_back(static_cast<char>(
-                        reg(isa::reg::o0) & 0xff));
-                    break;
-                  case isa::trap::sink:
-                    break;
-                  default:
-                    fatal("emulator: unknown trap %d at 0x%x",
-                          in.simm13, cur_pc);
-                }
-            }
-            break;
-
-          case Op::Ld:
-            setReg(in.rd, load(reg(in.rs1) + src2(in), 4, false));
-            break;
-          case Op::Ldub:
-            setReg(in.rd, load(reg(in.rs1) + src2(in), 1, false));
-            break;
-          case Op::Ldsb:
-            setReg(in.rd, load(reg(in.rs1) + src2(in), 1, true));
-            break;
-          case Op::Lduh:
-            setReg(in.rd, load(reg(in.rs1) + src2(in), 2, false));
-            break;
-          case Op::Ldsh:
-            setReg(in.rd, load(reg(in.rs1) + src2(in), 2, true));
-            break;
-          case Op::Ldd: {
-            uint32_t a = reg(in.rs1) + src2(in);
-            if (a & 7)
-                fatal("emulator: misaligned ldd at 0x%x", cur_pc);
-            setReg(in.rd & ~1u, load(a, 4, false));
-            setReg((in.rd & ~1u) | 1, load(a + 4, 4, false));
-            break;
-          }
-          case Op::St:
-            store(reg(in.rs1) + src2(in), 4, reg(in.rd));
-            break;
-          case Op::Stb:
-            store(reg(in.rs1) + src2(in), 1, reg(in.rd));
-            break;
-          case Op::Sth:
-            store(reg(in.rs1) + src2(in), 2, reg(in.rd));
-            break;
-          case Op::Std: {
-            uint32_t a = reg(in.rs1) + src2(in);
-            if (a & 7)
-                fatal("emulator: misaligned std at 0x%x", cur_pc);
-            store(a, 4, reg(in.rd & ~1u));
-            store(a + 4, 4, reg((in.rd & ~1u) | 1));
-            break;
-          }
-          case Op::Ldf:
-            fregs[in.rd] = load(reg(in.rs1) + src2(in), 4, false);
-            break;
-          case Op::Lddf: {
-            uint32_t a = reg(in.rs1) + src2(in);
-            if (a & 7)
-                fatal("emulator: misaligned lddf at 0x%x", cur_pc);
-            fregs[in.rd & ~1u] = load(a, 4, false);
-            fregs[(in.rd & ~1u) | 1] = load(a + 4, 4, false);
-            break;
-          }
-          case Op::Stf:
-            store(reg(in.rs1) + src2(in), 4, fregs[in.rd]);
-            break;
-          case Op::Stdf: {
-            uint32_t a = reg(in.rs1) + src2(in);
-            if (a & 7)
-                fatal("emulator: misaligned stdf at 0x%x", cur_pc);
-            store(a, 4, fregs[in.rd & ~1u]);
-            store(a + 4, 4, fregs[(in.rd & ~1u) | 1]);
-            break;
-          }
-
-          case Op::Fadds:
-            fregs[in.rd] = b32(f32(fregs[in.rs1]) + f32(fregs[in.rs2]));
-            break;
-          case Op::Fsubs:
-            fregs[in.rd] = b32(f32(fregs[in.rs1]) - f32(fregs[in.rs2]));
-            break;
-          case Op::Fmuls:
-            fregs[in.rd] = b32(f32(fregs[in.rs1]) * f32(fregs[in.rs2]));
-            break;
-          case Op::Fdivs:
-            fregs[in.rd] = b32(f32(fregs[in.rs1]) / f32(fregs[in.rs2]));
-            break;
-          case Op::Faddd:
-            fpairSet(in.rd,
-                     b64(f64(fpairGet(in.rs1)) + f64(fpairGet(in.rs2))));
-            break;
-          case Op::Fsubd:
-            fpairSet(in.rd,
-                     b64(f64(fpairGet(in.rs1)) - f64(fpairGet(in.rs2))));
-            break;
-          case Op::Fmuld:
-            fpairSet(in.rd,
-                     b64(f64(fpairGet(in.rs1)) * f64(fpairGet(in.rs2))));
-            break;
-          case Op::Fdivd:
-            fpairSet(in.rd,
-                     b64(f64(fpairGet(in.rs1)) / f64(fpairGet(in.rs2))));
-            break;
-          case Op::Fsqrts:
-            fregs[in.rd] = b32(std::sqrt(f32(fregs[in.rs2])));
-            break;
-          case Op::Fsqrtd:
-            fpairSet(in.rd, b64(std::sqrt(f64(fpairGet(in.rs2)))));
-            break;
-          case Op::Fmovs:
-            fregs[in.rd] = fregs[in.rs2];
-            break;
-          case Op::Fnegs:
-            fregs[in.rd] = fregs[in.rs2] ^ 0x80000000u;
-            break;
-          case Op::Fabss:
-            fregs[in.rd] = fregs[in.rs2] & 0x7fffffffu;
-            break;
-          case Op::Fitos:
-            fregs[in.rd] = b32(static_cast<float>(
-                static_cast<int32_t>(fregs[in.rs2])));
-            break;
-          case Op::Fitod:
-            fpairSet(in.rd, b64(static_cast<double>(
-                static_cast<int32_t>(fregs[in.rs2]))));
-            break;
-          case Op::Fstoi:
-            fregs[in.rd] = static_cast<uint32_t>(
-                static_cast<int32_t>(f32(fregs[in.rs2])));
-            break;
-          case Op::Fdtoi:
-            fregs[in.rd] = static_cast<uint32_t>(
-                static_cast<int32_t>(f64(fpairGet(in.rs2))));
-            break;
-          case Op::Fstod:
-            fpairSet(in.rd, b64(static_cast<double>(
-                f32(fregs[in.rs2]))));
-            break;
-          case Op::Fdtos:
-            fregs[in.rd] = b32(static_cast<float>(
-                f64(fpairGet(in.rs2))));
-            break;
-          case Op::Fcmps: {
-            float a = f32(fregs[in.rs1]), b = f32(fregs[in.rs2]);
-            fcc = (a != a || b != b) ? 3 : a < b ? 1 : a > b ? 2 : 0;
-            break;
-          }
-          case Op::Fcmpd: {
-            double a = f64(fpairGet(in.rs1)), b = f64(fpairGet(in.rs2));
-            fcc = (a != a || b != b) ? 3 : a < b ? 1 : a > b ? 2 : 0;
-            break;
-          }
-
-          case Op::Invalid:
-          case Op::NumOps:
-            fatal("emulator: invalid opcode at 0x%x", cur_pc);
-        }
-
-        pc = next_pc;
-        npc = next_npc;
     }
-    curPc = pc;
-    curNpc = npc;
-    curAnnul = annul_next;
-    totalRetired += res.instructions;
-    return res;
+#endif
+    // Dispatch::Threaded degrades to the token switch when the build
+    // has no computed goto; the engines are output-identical.
+    return runSwitch(sink, limit);
 }
 
 } // namespace eel::sim

@@ -130,9 +130,10 @@ runSharded(const exe::Executable &x,
     // the predecessor's exact end state (stitch resimulation).
     auto replayRegion = [&](size_t k, const TimingSim::State *handoff) {
         Emulator emu(x, opts.emu, text);
+        // Fresh emulator => pristine images, so the checkpoint's page
+        // deltas can be patched in place (no image materialization).
         if (k > 0)
-            emu.restoreState(
-                materializeState(x, opts.emu, log.checkpoints[k - 1]));
+            restoreCheckpoint(emu, log.checkpoints[k - 1]);
 
         TimingSim timing(model, opts.timing);
         if (handoff) {
@@ -188,6 +189,7 @@ runSharded(const exe::Executable &x,
             o.endKey.clear();
             timing.appendNormalizedKey(o.endKey);
         }
+        timing.flushPipelineMetrics();
     };
     auto runShard = [&](size_t k) {
         obs::Span span("shard.replay." + std::to_string(k));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.hh"
 #include "src/obs/trace.hh"
 #include "src/support/logging.hh"
 
@@ -58,18 +59,28 @@ TimingSim::TimingSim(const machine::MachineModel &model)
 {}
 
 TimingSim::TimingSim(const machine::MachineModel &model, Config cfg)
-    : model(model), cfg(cfg), state(model),
+    : model(model), cfg(cfg), state(model, cfg.simdHold),
       hist(model.issueWidth() + 2, 0)
 {
     if (this->cfg.takenBranchPenalty == Config::fromModel)
         this->cfg.takenBranchPenalty = model.branchPenalty();
     if (cfg.useICache)
         _icache = std::make_unique<ICache>(cfg.icache);
+    // The icache is deliberately outside the normalized key (its
+    // state is address-history dependent, not translation-invariant),
+    // so the memo is forced off under it rather than being wrong.
+    memoOn = this->cfg.traceMemo && !cfg.useICache;
+    if (memoOn) {
+        bufPcs.reserve(kTraceMax);
+        bufInsts.reserve(kTraceMax);
+        bufJumps.reserve(64);
+    }
 }
 
 TimingSim::State
 TimingSim::snapshotState() const
 {
+    sync();
     return State{state.snapshot(), _cycles,   prevPc, havePrev,
                  curStart,         curCount, haveCur};
 }
@@ -77,6 +88,7 @@ TimingSim::snapshotState() const
 void
 TimingSim::restoreState(const State &s)
 {
+    sync();
     state.restore(s.pipe);
     _cycles = s.cycles;
     prevPc = s.prevPc;
@@ -89,6 +101,7 @@ TimingSim::restoreState(const State &s)
 void
 TimingSim::appendNormalizedKey(std::vector<uint64_t> &out) const
 {
+    sync();
     uint64_t f = state.frontier();
     out.push_back(_cycles > f ? _cycles - f : 0);
     out.push_back(prevPc);
@@ -96,9 +109,138 @@ TimingSim::appendNormalizedKey(std::vector<uint64_t> &out) const
     state.appendNormalizedKey(out);
 }
 
+void
+TimingSim::flushTrace()
+{
+    const size_t n = bufPcs.size();
+    if (!n)
+        return;
+
+    // Entry key: everything that determines what replaying the buffer
+    // does. The pc stream (start + discontinuities) fixes the
+    // instruction sequence and intra-trace bubble pattern; the
+    // histogram grouping lead, the cycle accumulator's lead over the
+    // frontier and the fetch-redirect state fix the bookkeeping; the
+    // rebased pipeline capture fixes every stall. All cycle values
+    // are frontier-relative, so recurrences at different absolute
+    // cycles match (appendNormalizedKey's invariant).
+    const uint64_t f0 = state.frontier();
+    keyScratch.clear();
+    keyScratch.push_back(bufPcs[0]);
+    keyScratch.push_back(n);
+    keyScratch.insert(keyScratch.end(), bufJumps.begin(),
+                      bufJumps.end());
+    keyScratch.push_back(haveCur ? 1 : 0);
+    keyScratch.push_back(haveCur ? curCount : 0);
+    keyScratch.push_back(haveCur ? f0 - curStart : 0);
+    keyScratch.push_back(_cycles > f0 ? _cycles - f0 : 0);
+    keyScratch.push_back(prevPc);
+    keyScratch.push_back(havePrev ? 1 : 0);
+    state.captureRebased(pipeScratch);
+
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    for (uint64_t v : keyScratch)
+        mix(v);
+    for (uint64_t v : pipeScratch.rowAt)
+        mix(v);
+    for (int16_t v : pipeScratch.rowFree)
+        mix(static_cast<uint16_t>(v));
+    for (uint32_t v : pipeScratch.regs)
+        mix(v);
+    for (uint64_t v : pipeScratch.regVals)
+        mix(v);
+
+    std::vector<MemoEntry> &bucket = memoTable[h];
+    for (const MemoEntry &e : bucket) {
+        if (e.keyHead == keyScratch && e.entryPipe == pipeScratch) {
+            applyTrace(e);
+            ++memoHits;
+            bufPcs.clear();
+            bufInsts.clear();
+            bufJumps.clear();
+            return;
+        }
+    }
+
+    // Miss: issue the buffer directly and record the deltas it
+    // produced, so the next recurrence of this entry state can skip
+    // straight to the end state.
+    ++memoMisses;
+    const uint64_t stalls0 = _stallCycles;
+    const obs::StallBreakdown bd0 = _breakdown;
+    histScratch = hist;
+    for (size_t i = 0; i < n; ++i)
+        issueOne(bufPcs[i], bufInsts[i]);
+
+    if (memoEntries < kMemoMaxEntries) {
+        MemoEntry e;
+        e.keyHead = keyScratch;
+        e.entryPipe = pipeScratch;
+        state.captureRebased(e.endPipe);
+        e.frontierDelta = state.frontier() - f0;
+        e.endCyclesLead = _cycles - state.frontier();
+        e.endCurStartLead = haveCur ? state.frontier() - curStart : 0;
+        e.dInsts = n;
+        e.dStalls = _stallCycles - stalls0;
+        e.dBreakdown = _breakdown;
+        e.dBreakdown -= bd0;
+        e.histDelta.resize(hist.size());
+        for (size_t k = 0; k < hist.size(); ++k)
+            e.histDelta[k] = hist[k] - histScratch[k];
+        e.endPrevPc = prevPc;
+        e.endCurCount = curCount;
+        e.endHaveCur = haveCur;
+        bucket.push_back(std::move(e));
+        ++memoEntries;
+    }
+    bufPcs.clear();
+    bufInsts.clear();
+    bufJumps.clear();
+}
+
+void
+TimingSim::applyTrace(const MemoEntry &e)
+{
+    state.applyRebased(e.endPipe, e.frontierDelta);
+    const uint64_t f = state.frontier();
+    _cycles = f + e.endCyclesLead;
+    prevPc = e.endPrevPc;
+    havePrev = true;
+    _insts += e.dInsts;
+    _stallCycles += e.dStalls;
+    _breakdown += e.dBreakdown;
+    for (size_t k = 0; k < hist.size(); ++k)
+        hist[k] += e.histDelta[k];
+    haveCur = e.endHaveCur;
+    curCount = e.endCurCount;
+    curStart = f - e.endCurStartLead;
+}
+
+void
+TimingSim::flushPipelineMetrics() const
+{
+    sync();
+    static obs::Metric mHits("memo.trace_hits",
+                             obs::MetricKind::Counter);
+    static obs::Metric mMisses("memo.trace_misses",
+                               obs::MetricKind::Counter);
+    if (memoHits)
+        mHits.add(memoHits);
+    if (memoMisses)
+        mMisses.add(memoMisses);
+    memoHits = 0;
+    memoMisses = 0;
+    state.flushSimdMetrics();
+}
+
 std::vector<uint64_t>
 TimingSim::issueHistogram() const
 {
+    sync();
     std::vector<uint64_t> out = hist;
     if (haveCur) {
         unsigned bucket = std::min<unsigned>(curCount,
@@ -129,6 +271,7 @@ timedRun(const exe::Executable &x, const machine::MachineModel &model,
     }
     out.stallBreakdown = timing.stallBreakdown();
     out.stallCycles = timing.stallCycles();
+    timing.flushPipelineMetrics();
     return out;
 }
 

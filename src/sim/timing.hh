@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/machine/pipeline.hh"
@@ -83,15 +84,82 @@ class TimingSim final : public TraceSink
          *  (stallBreakdown()). Off by default: the attribution
          *  branch stays out of the per-retire hot path. */
         bool collectStalls = false;
+        /** Use the vectorized hold-segment fast path in the pipeline
+         *  state (see PipelineState's constructor). Identical output
+         *  either way; off pins the scalar reference walk, which the
+         *  differential fuzz oracle runs against this engine. */
+        bool simdHold = true;
+        /**
+         * Memoize the timing of repeated instruction traces. Retires
+         * are buffered into short straight-line-biased traces; when a
+         * trace recurs with an identical translation-invariant entry
+         * state (appendNormalizedKey's invariant), its recorded
+         * cycle/stall/histogram deltas are applied instead of
+         * re-issuing every instruction. Exact — the replay path IS
+         * the direct path, and equal normalized states time any
+         * future stream identically — so cycles, stall attribution
+         * and histograms are bit-identical with the memo on or off
+         * (the differential fuzz oracle pins this). Ignored (forced
+         * off) under useICache: cache state is deliberately outside
+         * the normalized key.
+         */
+        bool traceMemo = true;
     };
 
     explicit TimingSim(const machine::MachineModel &model);
     TimingSim(const machine::MachineModel &model, Config cfg);
 
     /** Defined inline: this is the hot per-retire path and inlines
-     *  into the emulator's templated run loop. */
+     *  into the emulator's templated run loop. With the trace memo
+     *  on, a retire is just an append to the pending trace buffer;
+     *  flushTrace() settles the buffer against the memo table. */
     void
     retire(uint32_t pc, const isa::Instruction &inst) override
+    {
+        if (memoOn) {
+            bufferRetire(pc, inst);
+            return;
+        }
+        issueOne(pc, inst);
+    }
+
+    /** Total cycles consumed so far. */
+    uint64_t
+    cycles() const
+    {
+        sync();
+        return _cycles;
+    }
+    uint64_t
+    instructions() const
+    {
+        sync();
+        return _insts;
+    }
+    double
+    ipc() const
+    {
+        sync();
+        return _cycles ? double(_insts) / double(_cycles) : 0.0;
+    }
+    /** Seconds at the model's clock rate. */
+    double
+    seconds() const
+    {
+        sync();
+        return double(_cycles) / (model.clockMhz() * 1e6);
+    }
+
+  private:
+    /**
+     * The direct per-retire path: fetch bubbles, icache, resolved
+     * plan lookup, in-order issue, histogram grouping. With the
+     * trace memo on this is also the miss/replay path, which is what
+     * makes the memo exact: a recorded delta is just this function's
+     * effect, re-applied.
+     */
+    void
+    issueOne(uint32_t pc, const isa::Instruction &inst)
     {
         // A control-flow discontinuity redirects fetch.
         if (havePrev && pc != prevPc + 4 && cfg.takenBranchPenalty) {
@@ -144,21 +212,44 @@ class TimingSim final : public TraceSink
         }
     }
 
-    /** Total cycles consumed so far. */
-    uint64_t cycles() const { return _cycles; }
-    uint64_t instructions() const { return _insts; }
-    double
-    ipc() const
+    /**
+     * Append one retire to the pending trace buffer. Traces are cut
+     * at control-flow discontinuities once they reach kTraceTarget
+     * instructions (loop-shaped workloads then produce a small set of
+     * recurring multi-block traces), with a hard cap for straight
+     * runs. The only work per retire is a compare and three appends;
+     * everything else happens once per trace in flushTrace().
+     */
+    void
+    bufferRetire(uint32_t pc, const isa::Instruction &inst)
     {
-        return _cycles ? double(_insts) / double(_cycles) : 0.0;
-    }
-    /** Seconds at the model's clock rate. */
-    double
-    seconds() const
-    {
-        return double(_cycles) / (model.clockMhz() * 1e6);
+        if (!bufPcs.empty() && pc != bufPcs.back() + 4) {
+            if (bufPcs.size() >= kTraceTarget)
+                flushTrace();
+            else
+                bufJumps.push_back(uint64_t(bufPcs.size()) << 32 | pc);
+        }
+        bufPcs.push_back(pc);
+        bufInsts.push_back(inst);
+        if (bufPcs.size() >= kTraceMax)
+            flushTrace();
     }
 
+    /**
+     * Settle any pending trace buffer so the observable state is
+     * exact. Every public reader calls this, which is what keeps the
+     * memo invisible: any flush pattern (including the forced cuts
+     * sync itself causes) produces bit-identical outputs, because a
+     * memo hit applies exactly what replaying the buffer would.
+     */
+    void
+    sync() const
+    {
+        if (!bufPcs.empty())
+            const_cast<TimingSim *>(this)->flushTrace();
+    }
+
+  public:
     /**
      * Issue-width histogram: hist[k] = cycles in which k
      * instructions entered the pipeline (k = 0 .. issueWidth).
@@ -174,11 +265,18 @@ class TimingSim final : public TraceSink
      * == stallCycles() — every attributed cycle is a stall cycle
      * and vice versa.
      */
-    const obs::StallBreakdown &stallBreakdown() const
+    const obs::StallBreakdown &
+    stallBreakdown() const
     {
+        sync();
         return _breakdown;
     }
-    uint64_t stallCycles() const { return _stallCycles; }
+    uint64_t
+    stallCycles() const
+    {
+        sync();
+        return _stallCycles;
+    }
 
     /**
      * Everything a successor needs to continue this stream's timing
@@ -203,6 +301,13 @@ class TimingSim final : public TraceSink
     /** Continue from s (same machine model and executable image);
      *  this sim's counters keep their current values. */
     void restoreState(const State &s);
+
+    /** Fold the pipeline's vectorized-fast-path counters and the
+     *  trace memo's hit/miss counts into the obs metrics registry
+     *  ("simd.hold_blocks", "memo.trace_hits"); run drivers call
+     *  this once per finished run, keeping the hot path free of
+     *  shared-counter traffic. */
+    void flushPipelineMetrics() const;
 
     /**
      * Translation-invariant key over the state that determines every
@@ -244,6 +349,69 @@ class TimingSim final : public TraceSink
     uint64_t curStart = 0;
     unsigned curCount = 0;
     bool haveCur = false;
+
+    // ------------------------------------------------------------
+    // Trace memo (Config::traceMemo). The benchmark workloads are
+    // loop-dominated: a handful of static straight-line segments
+    // account for nearly all dynamic instructions. Buffering retires
+    // into multi-block traces and memoizing each trace's timing
+    // deltas against its normalized entry state replaces the per-
+    // instruction issue walk with one table hit per ~kTraceTarget
+    // instructions on the steady state.
+
+    /**
+     * One recorded trace: the entry key (pc stream + grouping +
+     * normalized timing state) and the deltas replaying it produced.
+     * End-state fields are stored rebased to the end frontier so a
+     * hit at any absolute cycle origin can re-apply them.
+     */
+    struct MemoEntry
+    {
+        std::vector<uint64_t> keyHead;   ///< see flushTrace()
+        machine::PipelineState::RebasedPipe entryPipe;
+        machine::PipelineState::RebasedPipe endPipe;
+        std::vector<uint64_t> histDelta; ///< per hist bucket
+        obs::StallBreakdown dBreakdown;
+        uint64_t frontierDelta = 0;      ///< end - entry frontier
+        uint64_t endCyclesLead = 0;      ///< _cycles - end frontier
+        uint64_t endCurStartLead = 0;    ///< end frontier - curStart
+        uint64_t dInsts = 0;
+        uint64_t dStalls = 0;
+        uint32_t endPrevPc = 0;
+        unsigned endCurCount = 0;
+        bool endHaveCur = false;
+    };
+
+    /** Settle the pending buffer: memo hit applies recorded deltas,
+     *  miss replays through issueOne() and records them. */
+    void flushTrace();
+    /** Jump this sim's state by a recorded trace's deltas. */
+    void applyTrace(const MemoEntry &e);
+
+    /** Trace cut policy: prefer ending at a discontinuity once this
+     *  long...  */
+    static constexpr size_t kTraceTarget = 48;
+    /** ...but never buffer a straight run past this. */
+    static constexpr size_t kTraceMax = 512;
+    /** Recording stops (hits keep working) past this many entries —
+     *  a workload diverse enough to blow the cap would mostly miss
+     *  anyway, and entries pin snapshots of pipeline state. */
+    static constexpr size_t kMemoMaxEntries = size_t(1) << 14;
+
+    bool memoOn = false;  ///< cfg.traceMemo && !cfg.useICache
+    std::vector<uint32_t> bufPcs;
+    std::vector<isa::Instruction> bufInsts;
+    /** Discontinuities in the buffered pc stream: index << 32 |
+     *  target pc. With bufPcs[0], reproduces the whole stream. */
+    std::vector<uint64_t> bufJumps;
+    std::unordered_map<uint64_t, std::vector<MemoEntry>> memoTable;
+    size_t memoEntries = 0;
+    mutable uint64_t memoHits = 0;
+    mutable uint64_t memoMisses = 0;
+    // flushTrace() scratch, reused to keep the per-trace cost flat.
+    std::vector<uint64_t> keyScratch;
+    machine::PipelineState::RebasedPipe pipeScratch;
+    std::vector<uint64_t> histScratch;
 };
 
 /**

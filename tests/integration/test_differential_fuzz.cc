@@ -20,6 +20,16 @@
  * program output against the original. Shared-chunk statistics are
  * asserted so the sharing the batch path exists for provably
  * happened.
+ *
+ * The same seeds also drive the simulator-engine differential: the
+ * direct-threaded and token-switch interpreters must retire the
+ * identical architectural trace, and every timing-engine combination
+ * (SIMD vs scalar hold checks, trace memo on vs off, either
+ * dispatch) must reproduce the portable reference stack's cycles,
+ * issue histogram and per-reason stall attribution bit for bit. In a
+ * build without the optional engines the fast combos degrade to the
+ * reference and the oracle still runs (the `portable` preset does
+ * exactly that, keeping the fallback paths honest).
  */
 
 #include <gtest/gtest.h>
@@ -32,6 +42,7 @@
 #include "src/qpt/edge_profiler.hh"
 #include "src/qpt/profiler.hh"
 #include "src/sim/emulator.hh"
+#include "src/sim/timing.hh"
 #include "src/workload/generator.hh"
 #include "tests/fuzz_spec.hh"
 
@@ -67,6 +78,79 @@ runImage(const exe::Executable &x, exe::SectionStore *store)
     vr.result = vr.emu->run(sink);
     vr.traceHash = sink.h;
     return vr;
+}
+
+sim::TimedRun
+timeWithEngines(const exe::Executable &x,
+                const machine::MachineModel &m,
+                sim::Emulator::Config::Dispatch dispatch, bool simd,
+                bool memo)
+{
+    sim::TimingSim::Config tc;
+    tc.collectStalls = true;
+    tc.simdHold = simd;
+    tc.traceMemo = memo;
+    sim::Emulator::Config ec;
+    ec.dispatch = dispatch;
+    return sim::timedRun(x, m, tc, ec);
+}
+
+void
+engineDifferential(const exe::Executable &x,
+                   const machine::MachineModel &m)
+{
+    using Dispatch = sim::Emulator::Config::Dispatch;
+
+    // Functional dispatch differential: both interpreter engines
+    // retire the identical architectural trace and land in the
+    // identical machine state (scratch registers included — same
+    // image, so even those must agree).
+    sim::Emulator::Config swCfg, thCfg;
+    swCfg.dispatch = Dispatch::Switch;
+    thCfg.dispatch = Dispatch::Threaded;
+    sim::Emulator swEmu(x, swCfg), thEmu(x, thCfg);
+    tests::TraceHashSink swSink, thSink;
+    sim::RunResult swRes = swEmu.run(swSink);
+    sim::RunResult thRes = thEmu.run(thSink);
+    ASSERT_TRUE(swRes.exited);
+    ASSERT_TRUE(thRes.exited);
+    EXPECT_EQ(swSink.h, thSink.h);
+    EXPECT_EQ(swRes.instructions, thRes.instructions);
+    EXPECT_EQ(swRes.exitCode, thRes.exitCode);
+    EXPECT_EQ(swRes.output, thRes.output);
+    EXPECT_TRUE(thEmu.snapshot().equalTo(swEmu.snapshot(),
+                                         /*ignoreScratch=*/false));
+
+    // Timing-engine differential: the reference is the portable
+    // stack (token-switch dispatch, scalar hold walk, no memo);
+    // every accelerated combination must reproduce it bit for bit —
+    // cycles, issue-width histogram, stall total AND per-reason
+    // attribution.
+    sim::TimedRun ref =
+        timeWithEngines(x, m, Dispatch::Switch, false, false);
+    EXPECT_EQ(ref.stallBreakdown.total(), ref.stallCycles);
+    const struct
+    {
+        Dispatch d;
+        bool simd, memo;
+        const char *name;
+    } combos[] = {
+        {Dispatch::Threaded, false, false, "threaded"},
+        {Dispatch::Switch, true, false, "simd"},
+        {Dispatch::Switch, false, true, "memo"},
+        {Dispatch::Threaded, true, true, "threaded+simd+memo"},
+    };
+    for (const auto &c : combos) {
+        SCOPED_TRACE(c.name);
+        sim::TimedRun got = timeWithEngines(x, m, c.d, c.simd, c.memo);
+        EXPECT_EQ(got.cycles, ref.cycles);
+        EXPECT_EQ(got.issueHistogram, ref.issueHistogram);
+        EXPECT_EQ(got.stallCycles, ref.stallCycles);
+        EXPECT_TRUE(got.stallBreakdown == ref.stallBreakdown);
+        EXPECT_EQ(got.result.instructions, ref.result.instructions);
+        EXPECT_EQ(got.result.exitCode, ref.result.exitCode);
+        EXPECT_EQ(got.result.output, ref.result.output);
+    }
 }
 
 void
@@ -173,6 +257,12 @@ fuzzSeed(uint64_t seed)
     EXPECT_EQ(
         sim::Emulator::decodeText(batch.variants[0].image, store).get(),
         sim::Emulator::decodeText(batch.work, store).get());
+
+    // --- Simulator engines: every dispatch/hold/memo combination is
+    // bit-equal on the original program and on the locally scheduled
+    // variant (different code layout, same seeds).
+    engineDifferential(orig, m);
+    engineDifferential(batch.variants[3].image, m);
 }
 
 // 64 seeds, split so a failure narrows to a quarter of the space
