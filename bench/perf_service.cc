@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Perf harness for the rewriting service: starts an in-process
+ * svc::Server, drives it with the closed-loop multi-connection load
+ * generator, and writes latency/throughput/hit-rate numbers to
+ * BENCH_service.json so successive PRs have a service-tier
+ * trajectory to compare against.
+ *
+ * Also the correctness gate the service tier must clear to claim it
+ * is "the same pipeline behind a socket":
+ *
+ *   - byte-identity: for every base image and every exercised
+ *     rewrite kind, the REWRITE reply must equal a direct
+ *     BatchRewriter run of the identical input, byte for byte;
+ *   - cache efficacy: the resubmit-heavy mix must achieve >= 80%
+ *     page-intern hit rate on measured SUBMIT_XEF requests (that is
+ *     what the process-wide SectionStore is for);
+ *   - liveness: a non-zero number of requests must complete, and no
+ *     request may end in an error status.
+ *
+ * Exits nonzero when any gate fails.
+ *
+ * Usage: perf_service [--connections n] [--requests n] [--warmup n]
+ *                     [--images n] [--scale x] [--machine m]
+ *                     [--threads n] [--out file.json]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/eel/batch.hh"
+#include "src/exe/executable.hh"
+#include "src/machine/model.hh"
+#include "src/obs/metrics.hh"
+#include "src/support/logging.hh"
+#include "src/support/thread_pool.hh"
+#include "src/svc/client.hh"
+#include "src/svc/loadgen.hh"
+#include "src/svc/server.hh"
+
+using namespace eel;
+
+namespace {
+
+/** Direct (in-process, no socket) rewrite of `bytes`: the reference
+ *  the service's REWRITE replies are compared against. */
+std::string
+directRewrite(const std::string &bytes, uint8_t kind,
+              const machine::MachineModel &model,
+              support::ThreadPool &pool)
+{
+    exe::Executable in = exe::Executable::loadBytes(bytes);
+    exe::SectionStore store;  // private: isolate from the server's
+    store.intern(in);
+    edit::BatchOptions opts;
+    opts.model = &model;
+    opts.pool = &pool;
+    opts.store = &store;
+    edit::BatchRewriter rw(in, opts);
+    edit::BatchResult res =
+        rw.rewriteAll({static_cast<edit::VariantKind>(kind)});
+    return res.variants.at(0).image.saveBytes();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    svc::LoadConfig load;
+    svc::ServerConfig scfg;
+    std::string out_path = "BENCH_service.json";
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", argv[i]);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--connections"))
+            load.connections = unsigned(atoi(next()));
+        else if (!std::strcmp(argv[i], "--requests"))
+            load.requestsPerConn = unsigned(atoi(next()));
+        else if (!std::strcmp(argv[i], "--warmup"))
+            load.warmupPerConn = unsigned(atoi(next()));
+        else if (!std::strcmp(argv[i], "--images"))
+            load.imageCount = unsigned(atoi(next()));
+        else if (!std::strcmp(argv[i], "--scale"))
+            load.imageScale = atof(next());
+        else if (!std::strcmp(argv[i], "--machine"))
+            load.machine = next();
+        else if (!std::strcmp(argv[i], "--threads"))
+            scfg.threads = unsigned(atoi(next()));
+        else if (!std::strcmp(argv[i], "--out"))
+            out_path = next();
+        else
+            fatal("unknown flag %s", argv[i]);
+    }
+    scfg.defaultMachine = load.machine;
+
+    svc::Server server(scfg);
+    server.start();
+    load.port = server.port();
+
+    svc::LoadStats stats = svc::runLoad(load);
+
+    // Gate 1: the service's rewrites must be byte-identical to a
+    // direct BatchRewriter run on the same input. Replies come over
+    // the live server (and its caches), the reference from a private
+    // pool + store — if COW sharing or concurrency ever corrupted a
+    // page, the bytes diverge here.
+    bool identical = true;
+    {
+        const machine::MachineModel &model =
+            machine::MachineModel::builtin(load.machine);
+        support::ThreadPool refPool(1);
+        std::vector<std::string> bases = svc::loadImages(load);
+        svc::Client probe = svc::Client::dialTcp(server.port());
+        for (const std::string &base : bases) {
+            uint64_t id = svc::contentId(base);
+            probe.submit(base);
+            for (uint8_t kind : load.rewriteKinds) {
+                svc::RewriteRequest rr;
+                rr.imageId = id;
+                rr.kind = kind;
+                rr.machine = load.machine;
+                auto rep = probe.rewrite(rr);
+                if (!rep.ok()) {
+                    identical = false;
+                    continue;
+                }
+                std::string ref = directRewrite(base, kind, model,
+                                                refPool);
+                identical = identical && rep.value.xef == ref;
+            }
+        }
+    }
+
+    std::string statsJson = server.statsJson();
+    exe::SectionStore::Stats ss = server.store().stats();
+    server.stop();
+
+    double internHitRate =
+        ss.internCalls
+            ? double(ss.internHits) / double(ss.internCalls)
+            : 0.0;
+
+    FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f)
+        fatal("cannot write %s", out_path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"machine\": \"%s\",\n",
+                 load.machine.c_str());
+    std::fprintf(f, "  \"connections\": %u,\n", load.connections);
+    std::fprintf(f, "  \"requests_per_conn\": %u,\n",
+                 load.requestsPerConn);
+    std::fprintf(f, "  \"completed\": %llu,\n",
+                 (unsigned long long)stats.completed);
+    std::fprintf(f, "  \"errors\": %llu,\n",
+                 (unsigned long long)stats.errors);
+    std::fprintf(f, "  \"busy_rejected\": %llu,\n",
+                 (unsigned long long)stats.busy);
+    std::fprintf(f, "  \"deadline_exceeded\": %llu,\n",
+                 (unsigned long long)stats.deadlineExceeded);
+    std::fprintf(f, "  \"wall_s\": %.4f,\n", stats.wallSeconds);
+    std::fprintf(f, "  \"requests_per_s\": %.1f,\n",
+                 stats.requestsPerSecond);
+    std::fprintf(f, "  \"p50_ms\": %.3f,\n", stats.p50Ms);
+    std::fprintf(f, "  \"p99_ms\": %.3f,\n", stats.p99Ms);
+    std::fprintf(f, "  \"p999_ms\": %.3f,\n", stats.p999Ms);
+    std::fprintf(f, "  \"submit_page_hit_rate\": %.4f,\n",
+                 stats.submitHitRate());
+    std::fprintf(f, "  \"store_intern_hit_rate\": %.4f,\n",
+                 internHitRate);
+    std::fprintf(f, "  \"store_live_mb\": %.3f,\n",
+                 double(ss.liveBytes) / (1024.0 * 1024.0));
+    std::fprintf(f, "  \"store_gc_runs\": %zu,\n", ss.gcRuns);
+    std::fprintf(f, "  \"store_gc_reclaimed_pages\": %zu,\n",
+                 ss.gcReclaimedPages);
+    std::fprintf(f, "  \"rewrite_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"server_stats\": %s,\n", statsJson.c_str());
+    std::string metrics = obs::metricsJson("  ");
+    std::fprintf(f, "  \"metrics\": %s\n", metrics.c_str());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+
+    std::printf("perf_service: %llu completed, %.1f req/s, "
+                "p50 %.2fms p99 %.2fms, submit hit-rate %.3f, "
+                "identical=%s -> %s\n",
+                (unsigned long long)stats.completed,
+                stats.requestsPerSecond, stats.p50Ms, stats.p99Ms,
+                stats.submitHitRate(), identical ? "yes" : "no",
+                out_path.c_str());
+
+    // Gates (see file comment).
+    int rc = 0;
+    if (stats.completed == 0) {
+        std::fprintf(stderr, "FAIL: no requests completed\n");
+        rc = 1;
+    }
+    if (stats.errors) {
+        std::fprintf(stderr, "FAIL: %llu requests errored\n",
+                     (unsigned long long)stats.errors);
+        rc = 1;
+    }
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: service rewrite differs from direct "
+                     "BatchRewriter output\n");
+        rc = 1;
+    }
+    if (stats.submitHitRate() < 0.8) {
+        std::fprintf(stderr,
+                     "FAIL: submit page hit-rate %.3f < 0.8\n",
+                     stats.submitHitRate());
+        rc = 1;
+    }
+    return rc;
+}

@@ -4,7 +4,18 @@
 # come from a debug build. Scales trade run time for stability; all
 # table/ablation outputs are deterministic at a given scale
 # (BENCH_pipeline.json records wall times, which vary with the host).
+#
+# regen.sh --service regenerates only BENCH_service.json (from the
+# tier-1 RelWithDebInfo tree, same rationale as BENCH_pipeline.json).
 set -e
+
+if [ "$1" = "--service" ]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build -j
+    build/bench/perf_service --connections 4 --requests 100 \
+        --warmup 20 --images 4 --out BENCH_service.json
+    exit 0
+fi
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j
 B=build/bench
@@ -34,3 +45,5 @@ $B/ablation_trace_threshold --scale 0.3 > results/ablation_trace_threshold.txt
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j
 $B/perf_pipeline --scale 0.3 --out BENCH_pipeline.json
+$B/perf_service --connections 4 --requests 100 --warmup 20 \
+    --images 4 --out BENCH_service.json

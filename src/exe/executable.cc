@@ -81,31 +81,97 @@ Executable::addBss(const std::string &sym_name, uint32_t bytes)
     return addr;
 }
 
+namespace {
+
+/** Container writer shared by save() and saveBytes(). */
+void
+writeContainer(std::ostream &os, const Executable &x)
+{
+    os.write(magic, 4);
+    put32(os, x.entry);
+    put32(os, static_cast<uint32_t>(x.text.size()));
+    for (uint32_t w : x.text)
+        put32(os, w);
+    put32(os, static_cast<uint32_t>(x.data.size()));
+    {
+        std::vector<uint8_t> flat = x.data.flat();
+        os.write(reinterpret_cast<const char *>(flat.data()),
+                 static_cast<std::streamsize>(flat.size()));
+    }
+    put32(os, x.bssBytes);
+    put32(os, static_cast<uint32_t>(x.symbols.size()));
+    for (const Symbol &s : x.symbols) {
+        putStr(os, s.name);
+        put32(os, s.addr);
+        put32(os, s.size);
+        put32(os, s.isFunc ? 1 : 0);
+    }
+}
+
+/** Container reader shared by load() and loadBytes(). `origin` names
+ *  the source (a path, a connection) in rejection messages. */
+Executable
+readContainer(std::istream &is, const std::string &origin)
+{
+    char m[4];
+    is.read(m, 4);
+    if (!is || std::memcmp(m, magic, 4) != 0)
+        fatal("xef: '%s' is not an XEF image", origin.c_str());
+    Executable x;
+    x.entry = get32(is);
+    uint32_t nwords = get32(is);
+    if (!is || nwords > (textLimit - textBase) / 4)
+        fatal("xef: '%s': text too large or truncated header",
+              origin.c_str());
+    x.text.reserve(nwords);
+    for (uint32_t i = 0; i < nwords; ++i)
+        x.text.push_back(get32(is));
+    if (!is)
+        fatal("xef: '%s': truncated text section", origin.c_str());
+    uint32_t nd = get32(is);
+    // Bound counts by what the remaining stream could actually hold
+    // before allocating, so a corrupt header can't drive a huge
+    // resize or a silent short read.
+    if (!is || nd > (1u << 26))
+        fatal("xef: '%s': corrupt data size %u", origin.c_str(), nd);
+    {
+        std::vector<uint8_t> flat(nd);
+        is.read(reinterpret_cast<char *>(flat.data()), nd);
+        if (!is || static_cast<uint32_t>(is.gcount()) != nd)
+            fatal("xef: '%s': truncated data section", origin.c_str());
+        x.data.append(flat.data(), flat.size());
+    }
+    x.bssBytes = get32(is);
+    uint32_t ns = get32(is);
+    if (!is || ns > (1u << 20))
+        fatal("xef: '%s': corrupt symbol count %u", origin.c_str(),
+              ns);
+    for (uint32_t i = 0; i < ns; ++i) {
+        Symbol s;
+        s.name = getStr(is);
+        s.addr = get32(is);
+        s.size = get32(is);
+        s.isFunc = get32(is) != 0;
+        if (!is)
+            fatal("xef: '%s': truncated symbol table",
+                  origin.c_str());
+        x.symbols.push_back(std::move(s));
+    }
+    if (!is)
+        fatal("xef: '%s' truncated", origin.c_str());
+    x.validate(origin);
+    return x;
+}
+
+} // namespace
+
 void
 Executable::save(const std::string &path) const
 {
     std::ofstream os(path, std::ios::binary);
     if (!os)
         fatal("xef: cannot write '%s'", path.c_str());
-    os.write(magic, 4);
-    put32(os, entry);
-    put32(os, static_cast<uint32_t>(text.size()));
-    for (uint32_t w : text)
-        put32(os, w);
-    put32(os, static_cast<uint32_t>(data.size()));
-    {
-        std::vector<uint8_t> flat = data.flat();
-        os.write(reinterpret_cast<const char *>(flat.data()),
-                 static_cast<std::streamsize>(flat.size()));
-    }
-    put32(os, bssBytes);
-    put32(os, static_cast<uint32_t>(symbols.size()));
-    for (const Symbol &s : symbols) {
-        putStr(os, s.name);
-        put32(os, s.addr);
-        put32(os, s.size);
-        put32(os, s.isFunc ? 1 : 0);
-    }
+    writeContainer(os, *this);
     if (!os)
         fatal("xef: write to '%s' failed", path.c_str());
 }
@@ -116,52 +182,23 @@ Executable::load(const std::string &path)
     std::ifstream is(path, std::ios::binary);
     if (!is)
         fatal("xef: cannot read '%s'", path.c_str());
-    char m[4];
-    is.read(m, 4);
-    if (std::memcmp(m, magic, 4) != 0)
-        fatal("xef: '%s' is not an XEF file", path.c_str());
-    Executable x;
-    x.entry = get32(is);
-    uint32_t nwords = get32(is);
-    if (!is || nwords > (textLimit - textBase) / 4)
-        fatal("xef: '%s': text too large or truncated header",
-              path.c_str());
-    x.text.reserve(nwords);
-    for (uint32_t i = 0; i < nwords; ++i)
-        x.text.push_back(get32(is));
-    if (!is)
-        fatal("xef: '%s': truncated text section", path.c_str());
-    uint32_t nd = get32(is);
-    // Bound counts by what the remaining stream could actually hold
-    // before allocating, so a corrupt header can't drive a huge
-    // resize or a silent short read.
-    if (!is || nd > (1u << 26))
-        fatal("xef: '%s': corrupt data size %u", path.c_str(), nd);
-    {
-        std::vector<uint8_t> flat(nd);
-        is.read(reinterpret_cast<char *>(flat.data()), nd);
-        if (!is || static_cast<uint32_t>(is.gcount()) != nd)
-            fatal("xef: '%s': truncated data section", path.c_str());
-        x.data.append(flat.data(), flat.size());
-    }
-    x.bssBytes = get32(is);
-    uint32_t ns = get32(is);
-    if (!is || ns > (1u << 20))
-        fatal("xef: '%s': corrupt symbol count %u", path.c_str(), ns);
-    for (uint32_t i = 0; i < ns; ++i) {
-        Symbol s;
-        s.name = getStr(is);
-        s.addr = get32(is);
-        s.size = get32(is);
-        s.isFunc = get32(is) != 0;
-        if (!is)
-            fatal("xef: '%s': truncated symbol table", path.c_str());
-        x.symbols.push_back(std::move(s));
-    }
-    if (!is)
-        fatal("xef: '%s' truncated", path.c_str());
-    x.validate(path);
-    return x;
+    return readContainer(is, path);
+}
+
+std::string
+Executable::saveBytes() const
+{
+    std::ostringstream os(std::ios::binary);
+    writeContainer(os, *this);
+    return std::move(os).str();
+}
+
+Executable
+Executable::loadBytes(const std::string &bytes,
+                      const std::string &origin)
+{
+    std::istringstream is(bytes, std::ios::binary);
+    return readContainer(is, origin);
 }
 
 void

@@ -90,6 +90,18 @@ class Executable
     static Executable load(const std::string &path);
 
     /**
+     * The same container to / from an in-memory byte string, for
+     * callers that move images over a wire instead of a filesystem
+     * (the rewriting service's SUBMIT_XEF payload). loadBytes runs
+     * the same truncation/bounds checks and validate() pass as
+     * load(), so a malformed payload is rejected with FatalError
+     * rather than handed to the editor or emulator.
+     */
+    std::string saveBytes() const;
+    static Executable loadBytes(const std::string &bytes,
+                                const std::string &origin = "payload");
+
+    /**
      * Structural sanity checks on an image: text within the layout
      * window, entry inside text, symbols inside their sections, no
      * data/bss overflow. fatal()s with a description on violation;

@@ -35,6 +35,8 @@ SectionStore::intern(ChunkPtr c)
     uint64_t h = pageHash(*c);
     std::lock_guard<std::mutex> lock(mu);
     ++calls;
+    if (gcWatermark && tableEntries >= gcWatermark)
+        gcLocked();
     auto &bucket = table[h];
     for (size_t i = 0; i < bucket.size();) {
         ChunkPtr cand = bucket[i].lock();
@@ -42,6 +44,7 @@ SectionStore::intern(ChunkPtr c)
             // Last image dropped this page; compact the bucket.
             bucket[i] = bucket.back();
             bucket.pop_back();
+            --tableEntries;
             continue;
         }
         if (cand == c ||
@@ -54,6 +57,7 @@ SectionStore::intern(ChunkPtr c)
         ++i;
     }
     bucket.push_back(c);
+    ++tableEntries;
     return c;
 }
 
@@ -62,6 +66,63 @@ SectionStore::intern(Executable &x)
 {
     intern(x.text);
     intern(x.data);
+}
+
+SectionStore::InternCounts
+SectionStore::internCounted(Executable &x)
+{
+    InternCounts c;
+    c.pages = x.text.chunkRefs().size() + x.data.chunkRefs().size();
+    c.hits = x.text.internInto(*this) + x.data.internInto(*this);
+    return c;
+}
+
+size_t
+SectionStore::gcLocked()
+{
+    static obs::Metric mReclaimed("store.gc_reclaimed_pages",
+                                  obs::MetricKind::Counter);
+    size_t reclaimed = 0;
+    for (auto it = table.begin(); it != table.end();) {
+        auto &bucket = it->second;
+        for (size_t i = 0; i < bucket.size();) {
+            if (bucket[i].expired()) {
+                bucket[i] = bucket.back();
+                bucket.pop_back();
+                --tableEntries;
+                ++reclaimed;
+            } else {
+                ++i;
+            }
+        }
+        if (bucket.empty())
+            it = table.erase(it);
+        else
+            ++it;
+    }
+    for (auto it = views.begin(); it != views.end();)
+        if (it->second.expired())
+            it = views.erase(it);
+        else
+            ++it;
+    ++gcRuns;
+    gcReclaimed += reclaimed;
+    mReclaimed.add(reclaimed);
+    return reclaimed;
+}
+
+size_t
+SectionStore::gc()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return gcLocked();
+}
+
+void
+SectionStore::setGcWatermark(size_t entries)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    gcWatermark = entries;
 }
 
 SectionStore::Stats
@@ -76,6 +137,10 @@ SectionStore::stats() const
             if (!w.expired())
                 ++s.liveChunks;
     s.liveBytes = s.liveChunks * Chunk::bytes;
+    s.tableEntries = tableEntries;
+    s.viewEntries = views.size();
+    s.gcRuns = gcRuns;
+    s.gcReclaimedPages = gcReclaimed;
     return s;
 }
 

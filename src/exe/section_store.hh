@@ -235,8 +235,10 @@ class CowSection
     /** Bytes of content (not counting page-tail padding). */
     size_t byteSize() const { return count * sizeof(T); }
 
-    /** Replace every page with its canonical store chunk. */
-    void internInto(SectionStore &store);
+    /** Replace every page with its canonical store chunk. Returns
+     *  how many pages resolved to an existing canonical chunk (the
+     *  per-image hit count a cache server reports per request). */
+    size_t internInto(SectionStore &store);
 
   private:
     const uint8_t *
@@ -286,6 +288,10 @@ class SectionStore
         size_t internHits = 0;    ///< resolved to an existing page
         size_t liveChunks = 0;    ///< distinct pages currently alive
         size_t liveBytes = 0;     ///< liveChunks * Chunk::bytes
+        size_t tableEntries = 0;  ///< index entries, dead ones included
+        size_t viewEntries = 0;   ///< memoized derived views held
+        size_t gcRuns = 0;
+        size_t gcReclaimedPages = 0;  ///< dead index entries swept
     };
 
     /** Canonical chunk for this content (maybe `c` itself). */
@@ -300,6 +306,37 @@ class SectionStore
     }
     void intern(Executable &x);
 
+    /** Per-image interning accounting: pages offered and pages that
+     *  resolved to an already-canonical chunk. This is what a cache
+     *  server reports back per SUBMIT — a resubmitted or lightly
+     *  edited image hits on (nearly) every page. */
+    struct InternCounts
+    {
+        size_t pages = 0;
+        size_t hits = 0;
+    };
+    InternCounts internCounted(Executable &x);
+
+    /**
+     * Sweep the index: drop table entries whose page died with its
+     * last image, and memoized views whose owner died. The table
+     * holds weak references, so the pages themselves are freed the
+     * moment the last image drops them — what grows without gc is
+     * the *index* (hash buckets full of expired entries, view keys),
+     * which in a long-lived daemon that interns every submitted
+     * image is an unbounded leak. Returns reclaimed page entries and
+     * feeds the "store.gc_reclaimed_pages" metric.
+     */
+    size_t gc();
+
+    /**
+     * Auto-gc trigger: once the index holds this many page entries,
+     * the next intern() sweeps inline (0 = manual gc() only, the
+     * default — batch pipelines die before the index matters). A
+     * daemon sets this to bound its index by live working set.
+     */
+    void setGcWatermark(size_t entries);
+
     Stats stats() const;
 
     /**
@@ -313,20 +350,31 @@ class SectionStore
                const std::function<std::shared_ptr<void>()> &make);
 
   private:
+    /** Sweep with mu already held; intern()'s watermark path. */
+    size_t gcLocked();
+
     mutable std::mutex mu;
     // hash(content) -> candidate pages with that hash.
     std::unordered_map<uint64_t, std::vector<std::weak_ptr<const Chunk>>>
         table;
     std::map<std::vector<const Chunk *>, std::weak_ptr<void>> views;
     size_t calls = 0, hits = 0;
+    size_t tableEntries = 0;  ///< sum of bucket sizes (dead included)
+    size_t gcWatermark = 0;
+    size_t gcRuns = 0, gcReclaimed = 0;
 };
 
 template <class T>
-void
+size_t
 CowSection<T>::internInto(SectionStore &store)
 {
-    for (ChunkPtr &c : chunks)
+    size_t resolved = 0;
+    for (ChunkPtr &c : chunks) {
+        const Chunk *offered = c.get();
         c = store.intern(std::move(c));
+        resolved += c.get() != offered;
+    }
+    return resolved;
 }
 
 /**

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 namespace eel::obs {
 
@@ -75,6 +76,47 @@ reloadLogLevelFromEnv()
     gLevel.store(parseEnvLevel(), std::memory_order_relaxed);
 }
 
+namespace {
+
+/** Per-thread log tag. The first thread to log is almost always the
+ *  process main thread; later unnamed threads get a small ordinal so
+ *  two interleaved connections stay distinguishable even before
+ *  anyone names them. */
+struct ThreadTag
+{
+    char name[64];
+
+    ThreadTag()
+    {
+        static std::atomic<unsigned> next{0};
+        unsigned n = next.fetch_add(1, std::memory_order_relaxed);
+        if (n == 0)
+            std::snprintf(name, sizeof name, "main");
+        else
+            std::snprintf(name, sizeof name, "t%u", n);
+    }
+};
+
+thread_local ThreadTag gTag;
+
+} // namespace
+
+const char *
+logThreadName()
+{
+    return gTag.name;
+}
+
+namespace detail {
+
+void
+setLogThreadName(const char *name)
+{
+    std::snprintf(gTag.name, sizeof gTag.name, "%s", name);
+}
+
+} // namespace detail
+
 void
 logf(LogLevel level, const char *fmt, ...)
 {
@@ -85,7 +127,16 @@ logf(LogLevel level, const char *fmt, ...)
     va_start(ap, fmt);
     std::vsnprintf(buf, sizeof buf, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "%s: %s\n", prefix(level), buf);
+    // Wall-clock stamp at millisecond resolution: enough to order a
+    // daemon's interleaved per-connection lines, cheap to render.
+    struct timespec ts;
+    clock_gettime(CLOCK_REALTIME, &ts);
+    struct tm tm;
+    localtime_r(&ts.tv_sec, &tm);
+    std::fprintf(stderr, "%02d:%02d:%02d.%03ld %-5s [%s] %s\n",
+                 tm.tm_hour, tm.tm_min, tm.tm_sec,
+                 ts.tv_nsec / 1000000, prefix(level),
+                 logThreadName(), buf);
 }
 
 } // namespace eel::obs

@@ -38,10 +38,25 @@ logEnabled(LogLevel level)
     return level >= logLevel() && logLevel() != LogLevel::Silent;
 }
 
-/** printf-style message to stderr, prefixed by its level, dropped
- *  when below the threshold. */
+/** printf-style message to stderr, prefixed by a wall-clock
+ *  timestamp, the level, and the calling thread's name, dropped when
+ *  below the threshold:
+ *      14:02:11.123 info  [pool-worker-2] message
+ *  A daemon's interleaved per-connection logs are unreadable without
+ *  the stamp and the thread tag; setThreadName() (trace.hh) names
+ *  the thread on both the trace and the log side at once. */
 void logf(LogLevel level, const char *fmt, ...)
     __attribute__((format(printf, 2, 3)));
+
+/** The calling thread's log/trace name: the name set by
+ *  setThreadName(), or "main" for the first thread seen and "t<N>"
+ *  for later unnamed ones. */
+const char *logThreadName();
+
+namespace detail {
+/** Called by setThreadName() to keep the log tag in sync. */
+void setLogThreadName(const char *name);
+} // namespace detail
 
 } // namespace eel::obs
 

@@ -146,6 +146,9 @@ setThreadName(std::string name)
 {
     // Recorded even when tracing is off: cheap, and a later
     // enableTracing() then still knows the long-lived threads.
+    // The log layer shares the tag so trace tracks and log lines
+    // agree on who a thread is.
+    detail::setLogThreadName(name.c_str());
     myBuf().name = std::move(name);
 }
 

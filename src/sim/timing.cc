@@ -275,4 +275,50 @@ timedRun(const exe::Executable &x, const machine::MachineModel &model,
     return out;
 }
 
+TimedRun
+timedRun(const exe::Executable &x, const machine::MachineModel &model,
+         const RunBudget &budget, TimingSim::Config cfg,
+         Emulator::Config emu_cfg)
+{
+    obs::Span span("sim.timedRunBudget");
+    const uint64_t cap = emu_cfg.maxInstructions;
+    const uint64_t slice =
+        budget.sliceInstructions ? budget.sliceInstructions
+                                 : 64 * 1024;
+    Emulator emu = budget.decodeStore
+                       ? Emulator(x, emu_cfg,
+                                  Emulator::decodeText(
+                                      x, *budget.decodeStore))
+                       : Emulator(x, emu_cfg);
+    TimingSim timing(model, cfg);
+    TimedRun out;
+    while (!emu.finished() && emu.retired() < cap) {
+        uint64_t step = std::min(slice, cap - emu.retired());
+        RunResult r = emu.run(timing, step);
+        out.result.instructions += r.instructions;
+        out.result.output += r.output;
+        if (emu.finished()) {
+            out.result.exited = true;
+            out.result.exitCode = r.exitCode;
+            break;
+        }
+        if (budget.cancel && budget.cancel()) {
+            out.cancelled = true;
+            break;
+        }
+    }
+    out.cycles = timing.cycles();
+    out.seconds = timing.seconds();
+    out.ipc = timing.ipc();
+    out.issueHistogram = timing.issueHistogram();
+    if (timing.icache()) {
+        out.icacheMisses = timing.icache()->misses();
+        out.icacheAccesses = timing.icache()->accesses();
+    }
+    out.stallBreakdown = timing.stallBreakdown();
+    out.stallCycles = timing.stallCycles();
+    timing.flushPipelineMetrics();
+    return out;
+}
+
 } // namespace eel::sim

@@ -14,6 +14,7 @@
 #define EEL_SIM_TIMING_HH
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -430,10 +431,46 @@ struct TimedRun
     /** Populated only under TimingSim::Config::collectStalls. */
     obs::StallBreakdown stallBreakdown;
     uint64_t stallCycles = 0;
+    /** True when a RunBudget cancelled the run early; the counters
+     *  above then describe the partial run. */
+    bool cancelled = false;
 };
 
 TimedRun timedRun(const exe::Executable &x,
                   const machine::MachineModel &model,
+                  TimingSim::Config cfg = {},
+                  Emulator::Config emu_cfg = {});
+
+/**
+ * Cooperative cancellation for a timed run. The emulator's cursor
+ * makes the interpreter resumable, so the run proceeds in slices of
+ * `sliceInstructions` and polls cancel() at each slice boundary —
+ * the timing analogue of a shard boundary. A service enforcing a
+ * per-request deadline closes over its clock in cancel(); the poll
+ * costs one memo sync per slice, so slices stay coarse.
+ */
+struct RunBudget
+{
+    /** Polled between slices; return true to stop the run. Null
+     *  never cancels (the budget then only slices the run). */
+    std::function<bool()> cancel;
+    uint64_t sliceInstructions = 64 * 1024;
+    /** When set, the emulator's text decode is memoized here
+     *  (Emulator::decodeText(x, store)), so repeated requests
+     *  against one image share the decode across runs. */
+    exe::SectionStore *decodeStore = nullptr;
+};
+
+/**
+ * timedRun under a budget: identical counters for a run that
+ * completes (the slice boundaries are invisible — TimingSim's sync
+ * keeps the memo exact at any flush pattern), partial counters with
+ * .cancelled set for one that is stopped. emu_cfg.maxInstructions
+ * still bounds the whole run.
+ */
+TimedRun timedRun(const exe::Executable &x,
+                  const machine::MachineModel &model,
+                  const RunBudget &budget,
                   TimingSim::Config cfg = {},
                   Emulator::Config emu_cfg = {});
 

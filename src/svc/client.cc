@@ -1,0 +1,99 @@
+#include "src/svc/client.hh"
+
+#include "src/support/logging.hh"
+
+namespace eel::svc {
+
+Frame
+Client::call(Op op, std::string body)
+{
+    Frame req;
+    req.seq = nextSeq++;
+    req.code = static_cast<uint8_t>(op);
+    req.body = std::move(body);
+    conn.writeFrame(req);
+    Frame rep;
+    if (!conn.readFrame(rep))
+        fatal("svc: server closed connection mid-call");
+    if (rep.seq != req.seq)
+        fatal("svc: reply seq %u for request seq %u", rep.seq,
+              req.seq);
+    return rep;
+}
+
+namespace {
+
+/** SimulateReply (the partial-progress body) also rides on
+ *  DeadlineExceeded replies; everything else decodes only on Ok. */
+template <class Body>
+bool
+decodableStatus(Status st)
+{
+    return st == Status::Ok;
+}
+
+template <>
+bool
+decodableStatus<SimulateReply>(Status st)
+{
+    return st == Status::Ok || st == Status::DeadlineExceeded;
+}
+
+template <class Body>
+Client::Reply<Body>
+parse(Frame rep)
+{
+    Client::Reply<Body> out;
+    out.status = static_cast<Status>(rep.code);
+    if (decodableStatus<Body>(out.status))
+        out.value = Body::decode(rep.body);
+    else
+        out.message = std::move(rep.body);
+    return out;
+}
+
+} // namespace
+
+Client::Reply<SubmitReply>
+Client::submit(const std::string &xefBytes)
+{
+    return parse<SubmitReply>(call(Op::SubmitXef, xefBytes));
+}
+
+Client::Reply<RewriteReply>
+Client::rewrite(const RewriteRequest &req)
+{
+    return parse<RewriteReply>(call(Op::Rewrite, req.encode()));
+}
+
+Client::Reply<SimulateReply>
+Client::simulate(const SimulateRequest &req)
+{
+    return parse<SimulateReply>(call(Op::Simulate, req.encode()));
+}
+
+Client::Reply<std::string>
+Client::stats()
+{
+    Frame rep = call(Op::Stats, {});
+    Reply<std::string> out;
+    out.status = static_cast<Status>(rep.code);
+    if (out.status == Status::Ok)
+        out.value = std::move(rep.body);
+    else
+        out.message = std::move(rep.body);
+    return out;
+}
+
+bool
+Client::sendRawExpectReply(const std::string &bytes, Frame &out)
+{
+    try {
+        conn.writeRaw(bytes);
+        return conn.readFrame(out);
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+} // namespace eel::svc

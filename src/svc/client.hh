@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Blocking typed client for the rewriting service. One Client per
+ * connection; calls are synchronous (send one frame, read one
+ * reply), which is exactly what the closed-loop load generator
+ * wants. Errors from the server come back as Reply::status plus a
+ * message; transport errors throw FatalError.
+ */
+
+#ifndef EEL_SVC_CLIENT_HH
+#define EEL_SVC_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/svc/net.hh"
+#include "src/svc/wire.hh"
+
+namespace eel::svc {
+
+class Client
+{
+  public:
+    explicit Client(Conn conn) : conn(std::move(conn)) {}
+
+    static Client dialTcp(uint16_t port,
+                          const std::string &host = "127.0.0.1")
+    {
+        return Client(connectTcp(port, host));
+    }
+    static Client dialUnix(const std::string &path)
+    {
+        return Client(connectUnix(path));
+    }
+
+    template <class Body> struct Reply
+    {
+        Status status = Status::Ok;
+        Body value;           ///< decoded only when present
+        std::string message;  ///< error text for non-Ok statuses
+
+        bool ok() const { return status == Status::Ok; }
+    };
+
+    Reply<SubmitReply> submit(const std::string &xefBytes);
+    Reply<RewriteReply> rewrite(const RewriteRequest &req);
+    Reply<SimulateReply> simulate(const SimulateRequest &req);
+    /** STATS; value is the server's JSON text. */
+    Reply<std::string> stats();
+
+    /**
+     * Escape hatch for protocol tests: send arbitrary bytes, then
+     * try to read one reply frame. Returns false on EOF/error
+     * instead of throwing, since broken input often (rightly) gets
+     * the connection dropped.
+     */
+    bool sendRawExpectReply(const std::string &bytes, Frame &out);
+
+    Conn &connection() { return conn; }
+
+  private:
+    Frame call(Op op, std::string body);
+
+    Conn conn;
+    uint32_t nextSeq = 1;
+};
+
+} // namespace eel::svc
+
+#endif // EEL_SVC_CLIENT_HH

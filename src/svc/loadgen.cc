@@ -1,0 +1,243 @@
+#include "src/svc/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <thread>
+
+#include "src/exe/executable.hh"
+#include "src/machine/model.hh"
+#include "src/obs/trace.hh"
+#include "src/support/logging.hh"
+#include "src/svc/client.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::svc {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::string
+editedVariant(const std::string &base, unsigned variant)
+{
+    exe::Executable x = exe::Executable::loadBytes(base, "loadgen");
+    if (x.data.empty())
+        x.data.push_back(0);
+    size_t i = (variant * 131u) % x.data.size();
+    x.data.set(i, static_cast<uint8_t>(x.data[i] ^ (variant + 1)));
+    return x.saveBytes();
+}
+
+struct PerConn
+{
+    Clock::time_point measuredStart, end;
+    std::vector<double> latenciesMs;
+    uint64_t completed = 0;
+    uint64_t errors = 0;
+    uint64_t busy = 0;
+    uint64_t deadline = 0;
+    uint64_t submitPages = 0;
+    uint64_t submitPageHits = 0;
+};
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    double idx = p * double(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = idx - double(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+std::vector<std::string>
+loadImages(const LoadConfig &cfg)
+{
+    const machine::MachineModel &model =
+        machine::MachineModel::builtin(cfg.machine);
+    std::vector<workload::BenchmarkSpec> specs =
+        workload::spec95(cfg.machine);
+    std::vector<std::string> out;
+    for (unsigned i = 0; i < cfg.imageCount; ++i) {
+        workload::BenchmarkSpec spec =
+            specs[i % specs.size()];
+        spec.seed = cfg.seed + i;
+        workload::GenOptions gopts;
+        gopts.scale = cfg.imageScale;
+        gopts.machine = &model;
+        out.push_back(
+            workload::generate(spec, gopts).saveBytes());
+    }
+    return out;
+}
+
+LoadStats
+runLoad(const LoadConfig &cfg)
+{
+    const std::vector<std::string> bases = loadImages(cfg);
+
+    // Edited variants are derived once, up front: the measured loop
+    // should time the service, not variant synthesis.
+    std::vector<std::vector<std::string>> edits(bases.size());
+    for (size_t b = 0; b < bases.size(); ++b)
+        for (unsigned v = 0; v < cfg.editVariants; ++v)
+            edits[b].push_back(editedVariant(bases[b], v));
+
+    std::vector<uint64_t> baseIds(bases.size());
+    for (size_t b = 0; b < bases.size(); ++b)
+        baseIds[b] = contentId(bases[b]);
+
+    const double wSum = cfg.resubmitWeight + cfg.editWeight +
+                        cfg.rewriteWeight + cfg.simulateWeight;
+    if (wSum <= 0)
+        fatal("loadgen: request mix weights sum to zero");
+
+    std::vector<PerConn> per(cfg.connections);
+    std::vector<std::thread> threads;
+    Clock::time_point t0;
+
+    auto connMain = [&](unsigned ci) {
+        obs::setThreadName("loadgen-" + std::to_string(ci));
+        PerConn &me = per[ci];
+        Client client =
+            cfg.unixPath.empty()
+                ? Client::dialTcp(cfg.port)
+                : Client::dialUnix(cfg.unixPath);
+        std::mt19937_64 rng(cfg.seed * 7919 + ci);
+        std::uniform_real_distribution<double> uni(0.0, 1.0);
+        std::exponential_distribution<double> think(
+            cfg.thinkMeanMs > 0 ? 1.0 / cfg.thinkMeanMs : 1.0);
+
+        // Warmup seeds every base image so measured resubmits hit.
+        for (size_t b = 0; b < bases.size(); ++b)
+            client.submit(bases[b]);
+
+        const unsigned total =
+            cfg.warmupPerConn + cfg.requestsPerConn;
+        for (unsigned i = 0; i < total; ++i) {
+            const bool measured = i >= cfg.warmupPerConn;
+            if (i == cfg.warmupPerConn)
+                me.measuredStart = Clock::now();
+            const size_t b = rng() % bases.size();
+            double roll = uni(rng) * wSum;
+
+            Status st = Status::Ok;
+            Clock::time_point start = Clock::now();
+            if (roll < cfg.resubmitWeight) {
+                auto r = client.submit(bases[b]);
+                st = r.status;
+                if (measured && r.ok()) {
+                    me.submitPages += r.value.pages;
+                    me.submitPageHits += r.value.pageHits;
+                }
+            } else if (roll < cfg.resubmitWeight + cfg.editWeight) {
+                const std::vector<std::string> &ev = edits[b];
+                auto r = client.submit(ev[rng() % ev.size()]);
+                st = r.status;
+                if (measured && r.ok()) {
+                    me.submitPages += r.value.pages;
+                    me.submitPageHits += r.value.pageHits;
+                }
+            } else if (roll < cfg.resubmitWeight + cfg.editWeight +
+                                  cfg.rewriteWeight) {
+                RewriteRequest rr;
+                rr.imageId = baseIds[b];
+                rr.kind = cfg.rewriteKinds
+                              [rng() % cfg.rewriteKinds.size()];
+                rr.deadlineMs = cfg.deadlineMs;
+                rr.machine = cfg.machine;
+                st = client.rewrite(rr).status;
+            } else {
+                SimulateRequest sr;
+                sr.imageId = baseIds[b];
+                sr.timing = 1;
+                sr.limit = cfg.simulateLimit;
+                sr.deadlineMs = cfg.deadlineMs;
+                sr.machine = cfg.machine;
+                st = client.simulate(sr).status;
+            }
+            double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - start)
+                            .count();
+
+            if (measured) {
+                switch (st) {
+                  case Status::Ok:
+                    ++me.completed;
+                    me.latenciesMs.push_back(ms);
+                    break;
+                  case Status::DeadlineExceeded:
+                    ++me.completed;
+                    ++me.deadline;
+                    me.latenciesMs.push_back(ms);
+                    break;
+                  case Status::Busy:
+                    ++me.busy;
+                    break;
+                  default:
+                    ++me.errors;
+                    break;
+                }
+            }
+            if (cfg.thinkMeanMs > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        think(rng)));
+            }
+        }
+        me.end = Clock::now();
+    };
+
+    t0 = Clock::now();
+    for (unsigned c = 0; c < cfg.connections; ++c)
+        threads.emplace_back(connMain, c);
+    for (std::thread &t : threads)
+        t.join();
+
+    // Measured wall excludes each connection's warmup: first
+    // measured-request start to last completion.
+    Clock::time_point wallStart = t0;
+    Clock::time_point wallEnd = t0;
+    bool first = true;
+    for (const PerConn &p : per) {
+        if (p.measuredStart == Clock::time_point{})
+            continue;
+        if (first || p.measuredStart < wallStart)
+            wallStart = p.measuredStart;
+        if (first || p.end > wallEnd)
+            wallEnd = p.end;
+        first = false;
+    }
+    double wall =
+        std::chrono::duration<double>(wallEnd - wallStart).count();
+
+    LoadStats out;
+    std::vector<double> all;
+    for (const PerConn &p : per) {
+        out.completed += p.completed;
+        out.errors += p.errors;
+        out.busy += p.busy;
+        out.deadlineExceeded += p.deadline;
+        out.submitPages += p.submitPages;
+        out.submitPageHits += p.submitPageHits;
+        all.insert(all.end(), p.latenciesMs.begin(),
+                   p.latenciesMs.end());
+    }
+    std::sort(all.begin(), all.end());
+    out.wallSeconds = wall;
+    out.requestsPerSecond =
+        wall > 0 ? double(out.completed) / wall : 0;
+    out.p50Ms = percentile(all, 0.50);
+    out.p99Ms = percentile(all, 0.99);
+    out.p999Ms = percentile(all, 0.999);
+    return out;
+}
+
+} // namespace eel::svc

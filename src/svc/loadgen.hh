@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Closed-loop load generator for the rewriting service.
+ *
+ * N connections each run an independent request loop: issue one
+ * request, wait for its reply, optionally think (exponential delay),
+ * repeat — so offered load is bounded by service rate times N, the
+ * classic closed-loop shape (and why its p99 understates an
+ * open-loop system's under the same mean load; see EXPERIMENTS.md).
+ *
+ * The request mix models a build farm's edit/rebuild cycle over a
+ * working set of workload::Generator programs:
+ *
+ *   - resubmit: SUBMIT_XEF of a base image already submitted during
+ *     warmup — the page-intern hit path a content-addressed store
+ *     exists for;
+ *   - edit: SUBMIT_XEF of a variant with one data byte changed —
+ *     nearly all pages still intern onto the base image's;
+ *   - rewrite / simulate: work requests against submitted images.
+ *
+ * Latencies are recorded per completed request after a warmup phase
+ * that also seeds the server's caches; results report p50/p99/p999,
+ * throughput, and the page-intern hit rate the mix achieved.
+ */
+
+#ifndef EEL_SVC_LOADGEN_HH
+#define EEL_SVC_LOADGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eel::svc {
+
+struct LoadConfig
+{
+    uint16_t port = 0;         ///< TCP (unixPath empty)
+    std::string unixPath;
+
+    unsigned connections = 4;
+    /** Measured requests per connection (after warmup). */
+    unsigned requestsPerConn = 200;
+    /** Unmeasured requests per connection that also populate the
+     *  server's image registry and rewrite cache. */
+    unsigned warmupPerConn = 20;
+
+    /** Mean exponential think time between requests; 0 = none. */
+    double thinkMeanMs = 0.0;
+
+    // Mix, normalized over the four weights.
+    double resubmitWeight = 0.45;
+    double editWeight = 0.15;
+    double rewriteWeight = 0.25;
+    double simulateWeight = 0.15;
+
+    /** Base images from workload::Generator (spec95 prefix). */
+    unsigned imageCount = 4;
+    /** Scale on each spec's dynamic-instruction target; keep small —
+     *  simulate requests run the image. */
+    double imageScale = 0.02;
+    /** Distinct edited variants per base image. */
+    unsigned editVariants = 3;
+
+    /** Rewrite kinds cycled by rewrite requests (edit::VariantKind
+     *  values); default Identity + Sched. */
+    std::vector<uint8_t> rewriteKinds = {0, 3};
+    uint64_t simulateLimit = 200000;
+    uint32_t deadlineMs = 30000;
+    std::string machine = "ultrasparc";
+    uint64_t seed = 1;
+};
+
+struct LoadStats
+{
+    uint64_t completed = 0;  ///< measured Ok (or DeadlineExceeded)
+    uint64_t errors = 0;     ///< every other status
+    uint64_t busy = 0;
+    uint64_t deadlineExceeded = 0;
+
+    double wallSeconds = 0;
+    double requestsPerSecond = 0;
+    double p50Ms = 0, p99Ms = 0, p999Ms = 0;
+
+    /** SUBMIT_XEF page accounting over the measured phase. */
+    uint64_t submitPages = 0;
+    uint64_t submitPageHits = 0;
+    double
+    submitHitRate() const
+    {
+        return submitPages
+                   ? double(submitPageHits) / double(submitPages)
+                   : 0.0;
+    }
+};
+
+/** Run the closed loop against a started server. Blocks. */
+LoadStats runLoad(const LoadConfig &cfg);
+
+/** The base images the generator would submit (exposed so harnesses
+ *  can replay the same inputs against a direct BatchRewriter for the
+ *  byte-identity check). */
+std::vector<std::string> loadImages(const LoadConfig &cfg);
+
+} // namespace eel::svc
+
+#endif // EEL_SVC_LOADGEN_HH

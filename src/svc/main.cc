@@ -1,0 +1,123 @@
+/**
+ * @file
+ * eelsvcd — the rewriting service daemon.
+ *
+ * Runs a svc::Server in the foreground, prints the bound endpoint on
+ * stdout (so a parent that started us on an ephemeral port can find
+ * it), and drains gracefully on SIGTERM/SIGINT: the signal handler
+ * writes to a self-pipe, the main thread wakes, stops accepting,
+ * finishes in-flight requests, answers them, and exits 0.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "src/obs/log.hh"
+#include "src/obs/trace.hh"
+#include "src/svc/server.hh"
+
+namespace {
+
+int gSignalPipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int)
+{
+    char c = 0;
+    // write() is async-signal-safe; best-effort (a full pipe means a
+    // wakeup is already pending).
+    ssize_t ignored = ::write(gSignalPipe[1], &c, 1);
+    (void)ignored;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--port N] [--unix PATH] [--threads N]\n"
+        "          [--queue N] [--machine NAME] [--deadline-ms N]\n"
+        "  --port N         TCP port (default 0 = ephemeral)\n"
+        "  --unix PATH      listen on a unix socket instead\n"
+        "  --threads N      pool threads (default: hardware)\n"
+        "  --queue N        admission queue depth (default 64)\n"
+        "  --machine NAME   default machine model\n"
+        "  --deadline-ms N  default per-request deadline\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace eel;
+
+    svc::ServerConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--port")
+            cfg.tcpPort = static_cast<uint16_t>(atoi(next()));
+        else if (a == "--unix")
+            cfg.unixPath = next();
+        else if (a == "--threads")
+            cfg.threads = static_cast<unsigned>(atoi(next()));
+        else if (a == "--queue")
+            cfg.queueCapacity =
+                static_cast<size_t>(atoll(next()));
+        else if (a == "--machine")
+            cfg.defaultMachine = next();
+        else if (a == "--deadline-ms")
+            cfg.defaultDeadlineMs =
+                static_cast<uint32_t>(atoi(next()));
+        else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (::pipe(gSignalPipe) != 0) {
+        std::perror("pipe");
+        return 1;
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    obs::setThreadName("svcd-main");
+    svc::Server server(cfg);
+    try {
+        server.start();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "eelsvcd: %s\n", e.what());
+        return 1;
+    }
+
+    // Parseable by whoever spawned us (tests, scripts).
+    if (cfg.unixPath.empty())
+        std::printf("listening port=%u\n", unsigned(server.port()));
+    else
+        std::printf("listening unix=%s\n", cfg.unixPath.c_str());
+    std::fflush(stdout);
+
+    char c;
+    while (::read(gSignalPipe[0], &c, 1) < 0 && errno == EINTR) {
+    }
+    obs::logf(obs::LogLevel::Info, "svcd: signal received");
+    server.stop();  // drains, answers in-flight, joins
+    return 0;
+}

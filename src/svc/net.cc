@@ -1,0 +1,308 @@
+#include "src/svc/net.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/support/logging.hh"
+
+namespace eel::svc {
+
+namespace {
+
+/** Read exactly n bytes; returns bytes read (short only at EOF). */
+size_t
+readFull(int fd, char *buf, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::recv(fd, buf + got, n - got, 0);
+        if (r == 0)
+            break;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("svc: recv: %s", std::strerror(errno));
+        }
+        got += static_cast<size_t>(r);
+    }
+    return got;
+}
+
+void
+writeFull(int fd, const char *buf, size_t n)
+{
+    size_t sent = 0;
+    while (sent < n) {
+        // MSG_NOSIGNAL: a peer that hung up yields EPIPE here
+        // instead of killing the process with SIGPIPE.
+        ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("svc: send: %s", std::strerror(errno));
+        }
+        sent += static_cast<size_t>(r);
+    }
+}
+
+void
+putU32le(char *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+uint32_t
+getU32le(const char *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+} // namespace
+
+Conn &
+Conn::operator=(Conn &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        _fd = o._fd;
+        o._fd = -1;
+    }
+    return *this;
+}
+
+void
+Conn::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+void
+Conn::shutdownWrite()
+{
+    if (_fd >= 0)
+        ::shutdown(_fd, SHUT_WR);
+}
+
+bool
+Conn::readFrame(Frame &out, uint32_t maxBytes)
+{
+    char hdr[4];
+    size_t got = readFull(_fd, hdr, 4);
+    if (got == 0)
+        return false;  // clean EOF between frames
+    if (got < 4)
+        fatal("svc: connection closed mid-length-prefix");
+    uint32_t len = getU32le(hdr);
+    // length counts seq (4) + code (1) + body.
+    if (len < 5)
+        fatal("svc: frame length %u below header size", len);
+    if (len > maxBytes)
+        fatal("svc: frame length %u exceeds limit %u", len, maxBytes);
+
+    char meta[5];
+    if (readFull(_fd, meta, 5) < 5)
+        fatal("svc: connection closed mid-frame");
+    out.seq = getU32le(meta);
+    out.code = static_cast<uint8_t>(meta[4]);
+    out.body.resize(len - 5);
+    if (!out.body.empty() &&
+        readFull(_fd, out.body.data(), out.body.size()) <
+            out.body.size())
+        fatal("svc: connection closed mid-frame");
+    return true;
+}
+
+void
+Conn::writeFrame(const Frame &f)
+{
+    std::string buf;
+    buf.resize(9);
+    putU32le(buf.data(), static_cast<uint32_t>(5 + f.body.size()));
+    putU32le(buf.data() + 4, f.seq);
+    buf[8] = static_cast<char>(f.code);
+    buf += f.body;
+    std::lock_guard<std::mutex> lock(writeMu);
+    writeFull(_fd, buf.data(), buf.size());
+}
+
+void
+Conn::writeRaw(const std::string &bytes)
+{
+    std::lock_guard<std::mutex> lock(writeMu);
+    writeFull(_fd, bytes.data(), bytes.size());
+}
+
+Conn
+connectTcp(uint16_t port, const std::string &host)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("svc: socket: %s", std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        fatal("svc: bad address '%s'", host.c_str());
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        int e = errno;
+        ::close(fd);
+        fatal("svc: connect %s:%u: %s", host.c_str(), port,
+              std::strerror(e));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return Conn(fd);
+}
+
+Conn
+connectUnix(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("svc: socket: %s", std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        ::close(fd);
+        fatal("svc: unix path too long: %s", path.c_str());
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        int e = errno;
+        ::close(fd);
+        fatal("svc: connect %s: %s", path.c_str(), std::strerror(e));
+    }
+    return Conn(fd);
+}
+
+Listener::~Listener()
+{
+    if (listenFd >= 0)
+        ::close(listenFd);
+    if (wakeR >= 0)
+        ::close(wakeR);
+    if (wakeW >= 0)
+        ::close(wakeW);
+    if (!unixPath.empty())
+        ::unlink(unixPath.c_str());
+}
+
+void
+Listener::openWakePipe()
+{
+    int p[2];
+    if (::pipe(p) != 0)
+        fatal("svc: pipe: %s", std::strerror(errno));
+    wakeR = p[0];
+    wakeW = p[1];
+}
+
+void
+Listener::listenTcp(uint16_t port)
+{
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal("svc: socket: %s", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        fatal("svc: bind port %u: %s", port, std::strerror(errno));
+    if (::listen(listenFd, 64) != 0)
+        fatal("svc: listen: %s", std::strerror(errno));
+    socklen_t alen = sizeof addr;
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &alen) != 0)
+        fatal("svc: getsockname: %s", std::strerror(errno));
+    _port = ntohs(addr.sin_port);
+    openWakePipe();
+}
+
+void
+Listener::listenUnix(const std::string &path)
+{
+    ::unlink(path.c_str());
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal("svc: socket: %s", std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        fatal("svc: unix path too long: %s", path.c_str());
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        fatal("svc: bind %s: %s", path.c_str(), std::strerror(errno));
+    if (::listen(listenFd, 64) != 0)
+        fatal("svc: listen: %s", std::strerror(errno));
+    unixPath = path;
+    openWakePipe();
+}
+
+Conn
+Listener::accept()
+{
+    for (;;) {
+        pollfd fds[2];
+        fds[0] = {listenFd, POLLIN, 0};
+        fds[1] = {wakeR, POLLIN, 0};
+        int n = ::poll(fds, 2, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("svc: poll: %s", std::strerror(errno));
+        }
+        if (fds[1].revents)
+            return Conn();  // woken for shutdown
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            fatal("svc: accept: %s", std::strerror(errno));
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return Conn(fd);
+    }
+}
+
+void
+Listener::wake()
+{
+    if (wakeW >= 0) {
+        char c = 0;
+        // Best-effort: a full pipe already guarantees a wakeup.
+        ssize_t ignored = ::write(wakeW, &c, 1);
+        (void)ignored;
+    }
+}
+
+} // namespace eel::svc

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Minimal blocking socket layer for the service: a framed connection
+ * (read/write one wire Frame), TCP and unix-socket dialers, and a
+ * listener whose accept loop can be woken for shutdown.
+ *
+ * Everything here is blocking; concurrency lives in the server (one
+ * reader thread per connection). Writes are protected by a per-Conn
+ * mutex so worker threads can reply on a connection while its reader
+ * blocks in readFrame. SIGPIPE is avoided with MSG_NOSIGNAL rather
+ * than a process-wide handler, so embedding the server in a test
+ * binary does not disturb signal state.
+ */
+
+#ifndef EEL_SVC_NET_HH
+#define EEL_SVC_NET_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/svc/wire.hh"
+
+namespace eel::svc {
+
+/** One framed byte-stream connection. Movable, closes on destruct. */
+class Conn
+{
+  public:
+    Conn() = default;
+    explicit Conn(int fd) : _fd(fd) {}
+    ~Conn() { close(); }
+
+    Conn(Conn &&o) noexcept : _fd(o._fd) { o._fd = -1; }
+    Conn &operator=(Conn &&o) noexcept;
+    Conn(const Conn &) = delete;
+    Conn &operator=(const Conn &) = delete;
+
+    bool ok() const { return _fd >= 0; }
+    int fd() const { return _fd; }
+    void close();
+
+    /** Half-close the write side (peer sees EOF; reads still work).
+     *  Lets a test send a partial frame and still collect the
+     *  server's reaction without either side blocking. */
+    void shutdownWrite();
+
+    /**
+     * Read one frame. Returns false on clean EOF at a frame
+     * boundary; throws FatalError on a malformed length prefix
+     * (0, < header, or > maxBytes), mid-frame EOF, or socket error.
+     */
+    bool readFrame(Frame &out, uint32_t maxBytes = kMaxFrameBytes);
+
+    /** Write one frame (atomic w.r.t. other writers on this Conn);
+     *  throws FatalError on error. */
+    void writeFrame(const Frame &f);
+
+    /** Send raw bytes verbatim — for protocol tests that need to
+     *  produce deliberately broken frames. */
+    void writeRaw(const std::string &bytes);
+
+  private:
+    int _fd = -1;
+    std::mutex writeMu;
+};
+
+/** Connect to a TCP endpoint (IPv4 loopback unless host is given). */
+Conn connectTcp(uint16_t port, const std::string &host = "127.0.0.1");
+
+/** Connect to a unix-domain socket path. */
+Conn connectUnix(const std::string &path);
+
+/**
+ * A listening socket plus a self-pipe, so accept() blocks in poll()
+ * on both and wake() interrupts it from another thread. TCP bind to
+ * port 0 picks an ephemeral port, reported by port().
+ */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener();
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /** Bind + listen on 127.0.0.1:port (0 = ephemeral). */
+    void listenTcp(uint16_t port);
+    /** Bind + listen on a unix socket path (unlinked first). */
+    void listenUnix(const std::string &path);
+
+    uint16_t port() const { return _port; }
+
+    /** Block until a connection arrives (returned ok()) or wake()
+     *  is called (returned !ok()). */
+    Conn accept();
+
+    /** Unblock a pending or future accept(); idempotent. */
+    void wake();
+
+  private:
+    void openWakePipe();
+
+    int listenFd = -1;
+    int wakeR = -1;
+    int wakeW = -1;
+    uint16_t _port = 0;
+    std::string unixPath;  ///< unlinked on destruct
+};
+
+} // namespace eel::svc
+
+#endif // EEL_SVC_NET_HH

@@ -1,0 +1,605 @@
+#include "src/svc/server.hh"
+
+#include <algorithm>
+#include <sys/socket.h>
+
+#include "src/eel/batch.hh"
+#include "src/machine/model.hh"
+#include "src/obs/log.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
+#include "src/sim/timing.hh"
+#include "src/support/logging.hh"
+
+namespace eel::svc {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+obs::Metric &
+mRequests()
+{
+    static obs::Metric m("svc.requests", obs::MetricKind::Counter);
+    return m;
+}
+
+obs::Metric &
+mRewriteCacheHits()
+{
+    static obs::Metric m("svc.rewrite_cache_hits",
+                         obs::MetricKind::Counter);
+    return m;
+}
+
+obs::Metric &
+mQueueDepth()
+{
+    static obs::Metric m("svc.queue_depth",
+                         obs::MetricKind::MaxGauge);
+    return m;
+}
+
+} // namespace
+
+struct Server::ConnState
+{
+    Conn conn;
+    explicit ConnState(Conn c) : conn(std::move(c)) {}
+};
+
+struct Server::Job
+{
+    std::shared_ptr<ConnState> cs;
+    Frame frame;
+    Clock::time_point deadline;
+};
+
+Server::Server(ServerConfig cfg)
+    : cfg(cfg), _pool(cfg.threads)
+{
+    _store.setGcWatermark(cfg.storeGcWatermark);
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (cfg.unixPath.empty())
+        listener.listenTcp(cfg.tcpPort);
+    else
+        listener.listenUnix(cfg.unixPath);
+    started = true;
+    acceptor = std::thread([this] {
+        obs::setThreadName("svc-accept");
+        acceptLoop();
+    });
+    dispatcher = std::thread([this] {
+        obs::setThreadName("svc-dispatch");
+        // One loop per pool thread of execution: every compute
+        // thread drains the queue until drain/stop empties it.
+        _pool.parallelFor(_pool.size(), [this](size_t) {
+            workerLoop();
+        });
+    });
+    if (cfg.unixPath.empty())
+        obs::logf(obs::LogLevel::Info,
+                  "svc: listening port=%u threads=%u queue=%zu",
+                  unsigned(port()), _pool.size(),
+                  cfg.queueCapacity);
+    else
+        obs::logf(obs::LogLevel::Info,
+                  "svc: listening unix=%s threads=%u queue=%zu",
+                  cfg.unixPath.c_str(), _pool.size(),
+                  cfg.queueCapacity);
+}
+
+void
+Server::beginDrain()
+{
+    if (!draining.exchange(true)) {
+        obs::logf(obs::LogLevel::Info, "svc: draining");
+        listener.wake();
+        qcv.notify_all();
+    }
+}
+
+void
+Server::stop()
+{
+    if (!started || stopped)
+        return;
+    beginDrain();
+    // The dispatcher returns once every worker loop has seen
+    // "draining and queue empty" — i.e. all admitted work is done
+    // and answered.
+    if (dispatcher.joinable())
+        dispatcher.join();
+    stopping.store(true);
+    {
+        // Shut the sockets down (not close — readers own the fds)
+        // so readers blocked in recv() wake with EOF.
+        std::lock_guard<std::mutex> lock(connMu);
+        for (auto &w : conns)
+            if (auto cs = w.lock())
+                if (cs->conn.ok())
+                    ::shutdown(cs->conn.fd(), SHUT_RDWR);
+    }
+    for (std::thread &t : readers)
+        if (t.joinable())
+            t.join();
+    if (acceptor.joinable())
+        acceptor.join();
+    stopped = true;
+    obs::logf(obs::LogLevel::Info, "svc: stopped");
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        Conn c = listener.accept();
+        if (!c.ok() || draining.load())
+            return;
+        auto cs = std::make_shared<ConnState>(std::move(c));
+        std::lock_guard<std::mutex> lock(connMu);
+        {
+            std::lock_guard<std::mutex> clock(ctrMu);
+            ++ctr.accepted;
+        }
+        // Prune registry slots of connections that fully wound down.
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [](const std::weak_ptr<ConnState>
+                                          &w) {
+                                       return w.expired();
+                                   }),
+                    conns.end());
+        conns.push_back(cs);
+        readers.emplace_back([this, cs] {
+            obs::setThreadName("svc-conn");
+            readerLoop(cs);
+        });
+    }
+}
+
+void
+Server::reply(ConnState &cs, uint32_t seq, Status st,
+              std::string body)
+{
+    Frame f;
+    f.seq = seq;
+    f.code = static_cast<uint8_t>(st);
+    f.body = std::move(body);
+    try {
+        cs.conn.writeFrame(f);
+    } catch (const FatalError &e) {
+        // Peer went away; the reader will notice on its next read.
+        obs::logf(obs::LogLevel::Debug, "svc: reply dropped: %s",
+                  e.what());
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<ConnState> cs)
+{
+    for (;;) {
+        Frame f;
+        try {
+            if (!cs->conn.readFrame(f, cfg.maxFrameBytes))
+                break;  // clean EOF
+        } catch (const FatalError &e) {
+            // Malformed framing: we may not even know the seq, so
+            // answer seq 0 and hang up — the stream is unsynchronized.
+            {
+                std::lock_guard<std::mutex> lock(ctrMu);
+                ++ctr.badFrames;
+            }
+            obs::logf(obs::LogLevel::Warn, "svc: bad frame: %s",
+                      e.what());
+            reply(*cs, 0, Status::BadFrame, e.what());
+            break;
+        }
+
+        if (f.code < uint8_t(Op::SubmitXef) ||
+            f.code > uint8_t(Op::Stats)) {
+            std::lock_guard<std::mutex> lock(ctrMu);
+            ++ctr.badFrames;
+            reply(*cs, f.seq, Status::BadRequest,
+                  strfmt("unknown op %u", unsigned(f.code)));
+            continue;
+        }
+        if (draining.load()) {
+            std::lock_guard<std::mutex> lock(ctrMu);
+            ++ctr.drainRejected;
+            reply(*cs, f.seq, Status::Draining,
+                  "server is draining");
+            continue;
+        }
+
+        // Pull the deadline out of the body without a full decode:
+        // it binds from arrival, so queueing delay counts against it.
+        uint32_t wantMs = 0;
+        try {
+            if (f.code == uint8_t(Op::Rewrite))
+                wantMs = RewriteRequest::decode(f.body).deadlineMs;
+            else if (f.code == uint8_t(Op::Simulate))
+                wantMs = SimulateRequest::decode(f.body).deadlineMs;
+        } catch (const FatalError &) {
+            // Let the worker produce the BadFrame reply.
+        }
+        if (wantMs == 0)
+            wantMs = cfg.defaultDeadlineMs;
+        wantMs = std::min(wantMs, cfg.maxDeadlineMs);
+
+        Job job;
+        job.cs = cs;
+        job.frame = std::move(f);
+        job.deadline =
+            Clock::now() + std::chrono::milliseconds(wantMs);
+        {
+            std::lock_guard<std::mutex> lock(qmu);
+            if (queue.size() >= cfg.queueCapacity) {
+                std::lock_guard<std::mutex> clock(ctrMu);
+                ++ctr.busyRejected;
+                reply(*cs, job.frame.seq, Status::Busy,
+                      "admission queue full");
+                continue;
+            }
+            queue.push_back(std::move(job));
+            mQueueDepth().observe(queue.size());
+        }
+        {
+            std::lock_guard<std::mutex> lock(ctrMu);
+            ++ctr.requests;
+        }
+        mRequests().add(1);
+        qcv.notify_one();
+    }
+    // Do not close here: queued jobs from this connection may still
+    // hold the ConnState and write their replies. The fd closes with
+    // the last strong reference.
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(qmu);
+            qcv.wait(lock, [this] {
+                return !queue.empty() || draining.load();
+            });
+            if (queue.empty()) {
+                if (draining.load())
+                    return;
+                continue;
+            }
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        try {
+            process(job);
+        } catch (const std::exception &e) {
+            // Never let a request abort the pool batch.
+            {
+                std::lock_guard<std::mutex> lock(ctrMu);
+                ++ctr.errors;
+            }
+            obs::logf(obs::LogLevel::Error,
+                      "svc: request failed: %s", e.what());
+            reply(*job.cs, job.frame.seq, Status::ServerError,
+                  e.what());
+        }
+    }
+}
+
+void
+Server::process(Job &job)
+{
+    obs::Span span("svc.request");
+    const Frame &f = job.frame;
+
+    if (Clock::now() >= job.deadline &&
+        f.code != uint8_t(Op::Stats)) {
+        {
+            std::lock_guard<std::mutex> lock(ctrMu);
+            ++ctr.deadlineExpired;
+        }
+        // SIMULATE's DeadlineExceeded body is always a SimulateReply
+        // (here: zero progress), so clients decode it uniformly.
+        reply(*job.cs, f.seq, Status::DeadlineExceeded,
+              f.code == uint8_t(Op::Simulate)
+                  ? SimulateReply{}.encode()
+                  : std::string("deadline expired before execution"));
+        return;
+    }
+
+    Status st = Status::Ok;
+    std::string body;
+    try {
+        switch (static_cast<Op>(f.code)) {
+          case Op::SubmitXef:
+            body = handleSubmit(f);
+            {
+                std::lock_guard<std::mutex> lock(ctrMu);
+                ++ctr.submits;
+            }
+            break;
+          case Op::Rewrite:
+            body = handleRewrite(f, st);
+            {
+                std::lock_guard<std::mutex> lock(ctrMu);
+                ++ctr.rewrites;
+            }
+            break;
+          case Op::Simulate:
+            body = handleSimulate(f, job.deadline, st);
+            {
+                std::lock_guard<std::mutex> lock(ctrMu);
+                ++ctr.simulates;
+            }
+            break;
+          case Op::Stats:
+            body = statsJson();
+            {
+                std::lock_guard<std::mutex> lock(ctrMu);
+                ++ctr.statsCalls;
+            }
+            break;
+        }
+    } catch (const FatalError &e) {
+        // Body decode failures and bad arguments land here; the
+        // message tells the client what was wrong.
+        std::string what = e.what();
+        bool frameShaped = what.find("wire:") != std::string::npos;
+        bool imageShaped = what.find("xef") != std::string::npos ||
+                           what.find("payload") != std::string::npos;
+        st = frameShaped ? Status::BadFrame
+             : imageShaped ? Status::BadImage
+                           : Status::BadRequest;
+        body = std::move(what);
+        std::lock_guard<std::mutex> lock(ctrMu);
+        ++ctr.badFrames;
+    }
+    if (st == Status::DeadlineExceeded) {
+        std::lock_guard<std::mutex> lock(ctrMu);
+        ++ctr.deadlineExpired;
+    }
+    reply(*job.cs, f.seq, st, std::move(body));
+}
+
+std::string
+Server::handleSubmit(const Frame &req)
+{
+    // loadBytes throws FatalError mentioning "payload" on malformed
+    // containers — mapped to BadImage by the caller.
+    exe::Executable x = exe::Executable::loadBytes(req.body);
+    exe::SectionStore::InternCounts ic = _store.internCounted(x);
+
+    SubmitReply r;
+    r.imageId = contentId(req.body);
+    r.pages = static_cast<uint32_t>(ic.pages);
+    r.pageHits = static_cast<uint32_t>(ic.hits);
+
+    auto image =
+        std::make_shared<const exe::Executable>(std::move(x));
+    std::lock_guard<std::mutex> lock(regMu);
+    auto it = images.find(r.imageId);
+    if (it != images.end()) {
+        imageLru.erase(it->second.lru);
+        imageLru.push_front(r.imageId);
+        it->second.lru = imageLru.begin();
+        it->second.image = std::move(image);
+    } else {
+        imageLru.push_front(r.imageId);
+        images.emplace(r.imageId,
+                       ImageEntry{std::move(image),
+                                  imageLru.begin()});
+        if (images.size() > cfg.maxImages) {
+            images.erase(imageLru.back());
+            imageLru.pop_back();
+        }
+    }
+    return r.encode();
+}
+
+std::shared_ptr<const exe::Executable>
+Server::findImage(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(regMu);
+    auto it = images.find(id);
+    if (it == images.end())
+        return nullptr;
+    imageLru.erase(it->second.lru);
+    imageLru.push_front(id);
+    it->second.lru = imageLru.begin();
+    return it->second.image;
+}
+
+std::string
+Server::handleRewrite(const Frame &req, Status &st)
+{
+    RewriteRequest r = RewriteRequest::decode(req.body);
+    auto image = findImage(r.imageId);
+    if (!image) {
+        st = Status::BadImage;
+        return strfmt("unknown image id %llx",
+                      static_cast<unsigned long long>(r.imageId));
+    }
+    if (r.kind > uint8_t(edit::VariantKind::Superblock))
+        fatal("unknown rewrite kind %u", unsigned(r.kind));
+    std::string machineName =
+        r.machine.empty() ? cfg.defaultMachine : r.machine;
+    // Throws FatalError ("unknown builtin machine") -> BadRequest.
+    const machine::MachineModel &model =
+        machine::MachineModel::builtin(machineName);
+
+    std::string key;
+    putU64(key, r.imageId);
+    putU8(key, r.kind);
+    key += machineName;
+    {
+        std::lock_guard<std::mutex> lock(regMu);
+        auto it = rewrites.find(key);
+        if (it != rewrites.end()) {
+            rewriteLru.erase(it->second.lru);
+            rewriteLru.push_front(key);
+            it->second.lru = rewriteLru.begin();
+            {
+                std::lock_guard<std::mutex> clock(ctrMu);
+                ++ctr.rewriteCacheHits;
+            }
+            mRewriteCacheHits().add(1);
+            RewriteReply rep;
+            rep.cached = 1;
+            rep.xef = *it->second.xef;
+            return rep.encode();
+        }
+    }
+
+    edit::BatchOptions opts;
+    opts.model = &model;
+    opts.pool = &_pool;  // reentrant: runs inline on this worker
+    opts.store = &_store;
+    edit::BatchRewriter rewriter(*image, opts);
+    edit::BatchResult res = rewriter.rewriteAll(
+        {static_cast<edit::VariantKind>(r.kind)});
+
+    RewriteReply rep;
+    rep.cached = 0;
+    rep.xef = res.variants.at(0).image.saveBytes();
+
+    auto cached = std::make_shared<const std::string>(rep.xef);
+    std::lock_guard<std::mutex> lock(regMu);
+    if (rewrites.find(key) == rewrites.end()) {
+        rewriteLru.push_front(key);
+        rewrites.emplace(key, RewriteEntry{std::move(cached),
+                                           rewriteLru.begin()});
+        if (rewrites.size() > cfg.maxRewriteCache) {
+            rewrites.erase(rewriteLru.back());
+            rewriteLru.pop_back();
+        }
+    }
+    return rep.encode();
+}
+
+std::string
+Server::handleSimulate(const Frame &req,
+                       Clock::time_point deadline, Status &st)
+{
+    SimulateRequest r = SimulateRequest::decode(req.body);
+    auto image = findImage(r.imageId);
+    if (!image) {
+        st = Status::BadImage;
+        return strfmt("unknown image id %llx",
+                      static_cast<unsigned long long>(r.imageId));
+    }
+    std::string machineName =
+        r.machine.empty() ? cfg.defaultMachine : r.machine;
+    const machine::MachineModel &model =
+        machine::MachineModel::builtin(machineName);
+
+    sim::RunBudget budget;
+    budget.cancel = [deadline] {
+        return Clock::now() >= deadline;
+    };
+    budget.sliceInstructions = cfg.sliceInstructions;
+    budget.decodeStore = &_store;
+
+    sim::Emulator::Config ecfg;
+    if (r.limit)
+        ecfg.maxInstructions = r.limit;
+
+    SimulateReply rep;
+    if (r.timing) {
+        sim::TimedRun run =
+            sim::timedRun(*image, model, budget, {}, ecfg);
+        rep.instructions = run.result.instructions;
+        rep.cycles = run.cycles;
+        rep.exitCode =
+            static_cast<uint32_t>(run.result.exitCode);
+        rep.exited = run.result.exited;
+        if (run.cancelled)
+            st = Status::DeadlineExceeded;
+    } else {
+        // Functional-only: same slicing, no pipeline model.
+        sim::Emulator emu(*image, ecfg,
+                          sim::Emulator::decodeText(*image, _store));
+        sim::NullSink sink;
+        const uint64_t cap = ecfg.maxInstructions;
+        while (!emu.finished() && emu.retired() < cap) {
+            uint64_t step = std::min(budget.sliceInstructions,
+                                     cap - emu.retired());
+            sim::RunResult rr = emu.run(sink, step);
+            rep.instructions += rr.instructions;
+            if (emu.finished()) {
+                rep.exited = true;
+                rep.exitCode = static_cast<uint32_t>(rr.exitCode);
+                break;
+            }
+            if (budget.cancel()) {
+                st = Status::DeadlineExceeded;
+                break;
+            }
+        }
+    }
+    return rep.encode();
+}
+
+Server::Counters
+Server::counters() const
+{
+    std::lock_guard<std::mutex> lock(ctrMu);
+    return ctr;
+}
+
+std::string
+Server::statsJson()
+{
+    Counters c = counters();
+    exe::SectionStore::Stats ss = _store.stats();
+    size_t nImages, nRewrites;
+    {
+        std::lock_guard<std::mutex> lock(regMu);
+        nImages = images.size();
+        nRewrites = rewrites.size();
+    }
+    size_t depth;
+    {
+        std::lock_guard<std::mutex> lock(qmu);
+        depth = queue.size();
+    }
+    return strfmt(
+        "{\"accepted\":%llu,\"requests\":%llu,\"submits\":%llu,"
+        "\"rewrites\":%llu,\"simulates\":%llu,\"stats\":%llu,"
+        "\"bad_frames\":%llu,\"busy_rejected\":%llu,"
+        "\"drain_rejected\":%llu,\"deadline_expired\":%llu,"
+        "\"rewrite_cache_hits\":%llu,\"errors\":%llu,"
+        "\"queue_depth\":%zu,\"images\":%zu,\"rewrite_cache\":%zu,"
+        "\"store\":{\"intern_calls\":%zu,\"intern_hits\":%zu,"
+        "\"live_chunks\":%zu,\"live_bytes\":%zu,"
+        "\"table_entries\":%zu,\"view_entries\":%zu,"
+        "\"gc_runs\":%zu,\"gc_reclaimed_pages\":%zu}}",
+        static_cast<unsigned long long>(c.accepted),
+        static_cast<unsigned long long>(c.requests),
+        static_cast<unsigned long long>(c.submits),
+        static_cast<unsigned long long>(c.rewrites),
+        static_cast<unsigned long long>(c.simulates),
+        static_cast<unsigned long long>(c.statsCalls),
+        static_cast<unsigned long long>(c.badFrames),
+        static_cast<unsigned long long>(c.busyRejected),
+        static_cast<unsigned long long>(c.drainRejected),
+        static_cast<unsigned long long>(c.deadlineExpired),
+        static_cast<unsigned long long>(c.rewriteCacheHits),
+        static_cast<unsigned long long>(c.errors), depth, nImages,
+        nRewrites, ss.internCalls, ss.internHits, ss.liveChunks,
+        ss.liveBytes, ss.tableEntries, ss.viewEntries, ss.gcRuns,
+        ss.gcReclaimedPages);
+}
+
+} // namespace eel::svc

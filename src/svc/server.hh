@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The rewriting service: a persistent daemon that keeps one
+ * process-wide exe::SectionStore hot across requests.
+ *
+ * Threading model
+ *
+ *     acceptor ──> reader (one per connection)
+ *                     │  bounded admission queue (Busy when full)
+ *                     v
+ *     dispatcher ──> pool.parallelFor(N, workerLoop)
+ *
+ * The acceptor and per-connection readers are plain threads (they
+ * block on sockets); compute runs on the existing support::ThreadPool.
+ * The dispatcher thread submits one parallelFor batch of N worker
+ * loops, so all N pool threads of execution drain the queue
+ * concurrently, and a BatchRewriter invoked by a worker reenters the
+ * same pool inline (parallelFor is reentrant) rather than
+ * deadlocking on it.
+ *
+ * Requests carry a deadline. It is checked when a job is dequeued
+ * (queueing delay counts against the budget) and, for SIMULATE, at
+ * every simulation slice boundary via sim::RunBudget — so an
+ * over-budget run is cancelled within one slice and answered with
+ * DeadlineExceeded plus the partial progress, instead of holding a
+ * worker hostage.
+ *
+ * Shared state: one SectionStore interns every submitted image and
+ * every rewrite output, so resubmits and common pages across clients
+ * collapse to the same chunks; an LRU image registry bounds how many
+ * decoded images are held; an LRU rewrite cache replays
+ * byte-identical results for repeated (image, kind, machine) asks.
+ *
+ * Drain: beginDrain() stops accepting connections, answers new
+ * requests with Draining, lets queued and in-flight work finish, and
+ * leaves replies flowing; stop() then tears the threads down. The
+ * daemon binary wires SIGTERM to exactly this pair.
+ */
+
+#ifndef EEL_SVC_SERVER_HH
+#define EEL_SVC_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exe/executable.hh"
+#include "src/exe/section_store.hh"
+#include "src/support/thread_pool.hh"
+#include "src/svc/net.hh"
+#include "src/svc/wire.hh"
+
+namespace eel::svc {
+
+struct ServerConfig
+{
+    /** TCP port to listen on (0 = ephemeral, see Server::port()).
+     *  Ignored when unixPath is set. */
+    uint16_t tcpPort = 0;
+    /** When non-empty, listen on this unix socket instead of TCP. */
+    std::string unixPath;
+
+    /** Pool threads of execution (0 = one per hardware thread). */
+    unsigned threads = 0;
+    /** Admission queue depth; a frame arriving past it is answered
+     *  Busy immediately instead of growing latency unboundedly. */
+    size_t queueCapacity = 64;
+    /** Decoded images kept in the LRU registry. */
+    size_t maxImages = 256;
+    /** (image, kind, machine) rewrite results kept. */
+    size_t maxRewriteCache = 256;
+    uint32_t maxFrameBytes = kMaxFrameBytes;
+
+    /** Deadline applied when a request carries none. */
+    uint32_t defaultDeadlineMs = 10000;
+    /** Ceiling clamped onto any requested deadline. */
+    uint32_t maxDeadlineMs = 60000;
+    /** Instructions between SIMULATE cancellation checks. */
+    uint64_t sliceInstructions = 64 * 1024;
+    /** Store index GC watermark (0 = manual GC only). */
+    size_t storeGcWatermark = 1 << 16;
+
+    std::string defaultMachine = "ultrasparc";
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg);
+    ~Server();  ///< calls stop()
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, then launch acceptor + dispatcher. */
+    void start();
+
+    /** Bound TCP port (valid after start(); 0 for unix sockets). */
+    uint16_t port() const { return listener.port(); }
+
+    /** Stop accepting; new requests get Draining; queued and
+     *  in-flight work completes and is answered. Idempotent. */
+    void beginDrain();
+
+    /** beginDrain(), wait for the queue to empty, then close
+     *  connections and join every thread. Idempotent. */
+    void stop();
+
+    /** The process-wide content-addressed store (shared with tests
+     *  and the in-process load harness). */
+    exe::SectionStore &store() { return _store; }
+    support::ThreadPool &pool() { return _pool; }
+
+    struct Counters
+    {
+        uint64_t accepted = 0;       ///< connections
+        uint64_t requests = 0;       ///< frames admitted to the queue
+        uint64_t submits = 0;
+        uint64_t rewrites = 0;
+        uint64_t simulates = 0;
+        uint64_t statsCalls = 0;
+        uint64_t badFrames = 0;
+        uint64_t busyRejected = 0;
+        uint64_t drainRejected = 0;
+        uint64_t deadlineExpired = 0;
+        uint64_t rewriteCacheHits = 0;
+        uint64_t errors = 0;         ///< ServerError replies
+    };
+    Counters counters() const;
+
+    /** The STATS reply body (also handy for tests). */
+    std::string statsJson();
+
+  private:
+    struct ConnState;
+    struct Job;
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<ConnState> cs);
+    void workerLoop();
+    void process(Job &job);
+
+    void reply(ConnState &cs, uint32_t seq, Status st,
+               std::string body);
+
+    std::string handleSubmit(const Frame &req);
+    std::string handleRewrite(const Frame &req, Status &st);
+    std::string handleSimulate(const Frame &req,
+                               std::chrono::steady_clock::time_point
+                                   deadline,
+                               Status &st);
+
+    std::shared_ptr<const exe::Executable> findImage(uint64_t id);
+
+    ServerConfig cfg;
+    exe::SectionStore _store;
+    support::ThreadPool _pool;
+    Listener listener;
+
+    std::thread acceptor;
+    std::thread dispatcher;
+    /** Weak registry: the reader thread and any queued jobs hold the
+     *  strong refs, so a connection's fd closes exactly when the
+     *  last reply that could use it is done — never while a worker
+     *  might write to a recycled descriptor. */
+    std::mutex connMu;
+    std::vector<std::weak_ptr<ConnState>> conns;
+    std::vector<std::thread> readers;
+
+    std::mutex qmu;
+    std::condition_variable qcv;
+    std::deque<Job> queue;
+
+    std::atomic<bool> draining{false};
+    std::atomic<bool> stopping{false};
+    bool started = false;
+    bool stopped = false;
+
+    // Image registry + rewrite cache, both LRU, both under regMu.
+    struct ImageEntry
+    {
+        std::shared_ptr<const exe::Executable> image;
+        std::list<uint64_t>::iterator lru;
+    };
+    struct RewriteEntry
+    {
+        std::shared_ptr<const std::string> xef;
+        std::list<std::string>::iterator lru;
+    };
+    std::mutex regMu;
+    std::unordered_map<uint64_t, ImageEntry> images;
+    std::list<uint64_t> imageLru;  ///< front = most recent
+    std::unordered_map<std::string, RewriteEntry> rewrites;
+    std::list<std::string> rewriteLru;
+
+    mutable std::mutex ctrMu;
+    Counters ctr;
+};
+
+} // namespace eel::svc
+
+#endif // EEL_SVC_SERVER_HH

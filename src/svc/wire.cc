@@ -1,0 +1,242 @@
+#include "src/svc/wire.hh"
+
+#include "src/support/logging.hh"
+
+namespace eel::svc {
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+      case Status::Ok: return "ok";
+      case Status::BadFrame: return "bad-frame";
+      case Status::BadRequest: return "bad-request";
+      case Status::BadImage: return "bad-image";
+      case Status::Busy: return "busy";
+      case Status::DeadlineExceeded: return "deadline-exceeded";
+      case Status::Draining: return "draining";
+      case Status::ServerError: return "server-error";
+    }
+    return "?";
+}
+
+void
+putU8(std::string &out, uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out += s;
+}
+
+uint8_t
+Cursor::getU8()
+{
+    if (at + 1 > s.size())
+        fatal("wire: truncated body (u8 at %zu of %zu)", at, s.size());
+    return static_cast<uint8_t>(s[at++]);
+}
+
+uint32_t
+Cursor::getU32()
+{
+    if (at + 4 > s.size())
+        fatal("wire: truncated body (u32 at %zu of %zu)", at,
+              s.size());
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(
+                 static_cast<uint8_t>(s[at + i]))
+             << (8 * i);
+    at += 4;
+    return v;
+}
+
+uint64_t
+Cursor::getU64()
+{
+    if (at + 8 > s.size())
+        fatal("wire: truncated body (u64 at %zu of %zu)", at,
+              s.size());
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(
+                 static_cast<uint8_t>(s[at + i]))
+             << (8 * i);
+    at += 8;
+    return v;
+}
+
+std::string
+Cursor::getStr()
+{
+    uint32_t n = getU32();
+    if (at + n > s.size())
+        fatal("wire: string length %u exceeds remaining %zu bytes",
+              n, s.size() - at);
+    std::string v = s.substr(at, n);
+    at += n;
+    return v;
+}
+
+std::string
+Cursor::rest()
+{
+    std::string v = s.substr(at);
+    at = s.size();
+    return v;
+}
+
+void
+Cursor::expectEnd() const
+{
+    if (at != s.size())
+        fatal("wire: %zu trailing bytes after body", s.size() - at);
+}
+
+std::string
+SubmitReply::encode() const
+{
+    std::string out;
+    putU64(out, imageId);
+    putU32(out, pages);
+    putU32(out, pageHits);
+    return out;
+}
+
+SubmitReply
+SubmitReply::decode(const std::string &body)
+{
+    Cursor c(body);
+    SubmitReply r;
+    r.imageId = c.getU64();
+    r.pages = c.getU32();
+    r.pageHits = c.getU32();
+    c.expectEnd();
+    return r;
+}
+
+std::string
+RewriteRequest::encode() const
+{
+    std::string out;
+    putU64(out, imageId);
+    putU8(out, kind);
+    putU32(out, deadlineMs);
+    putStr(out, machine);
+    return out;
+}
+
+RewriteRequest
+RewriteRequest::decode(const std::string &body)
+{
+    Cursor c(body);
+    RewriteRequest r;
+    r.imageId = c.getU64();
+    r.kind = c.getU8();
+    r.deadlineMs = c.getU32();
+    r.machine = c.getStr();
+    c.expectEnd();
+    return r;
+}
+
+std::string
+RewriteReply::encode() const
+{
+    std::string out;
+    putU8(out, cached);
+    out += xef;
+    return out;
+}
+
+RewriteReply
+RewriteReply::decode(const std::string &body)
+{
+    Cursor c(body);
+    RewriteReply r;
+    r.cached = c.getU8();
+    r.xef = c.rest();
+    return r;
+}
+
+std::string
+SimulateRequest::encode() const
+{
+    std::string out;
+    putU64(out, imageId);
+    putU8(out, timing);
+    putU32(out, deadlineMs);
+    putU64(out, limit);
+    putStr(out, machine);
+    return out;
+}
+
+SimulateRequest
+SimulateRequest::decode(const std::string &body)
+{
+    Cursor c(body);
+    SimulateRequest r;
+    r.imageId = c.getU64();
+    r.timing = c.getU8();
+    r.deadlineMs = c.getU32();
+    r.limit = c.getU64();
+    r.machine = c.getStr();
+    c.expectEnd();
+    return r;
+}
+
+std::string
+SimulateReply::encode() const
+{
+    std::string out;
+    putU64(out, instructions);
+    putU64(out, cycles);
+    putU32(out, exitCode);
+    putU8(out, exited);
+    return out;
+}
+
+SimulateReply
+SimulateReply::decode(const std::string &body)
+{
+    Cursor c(body);
+    SimulateReply r;
+    r.instructions = c.getU64();
+    r.cycles = c.getU64();
+    r.exitCode = c.getU32();
+    r.exited = c.getU8();
+    c.expectEnd();
+    return r;
+}
+
+uint64_t
+contentId(const std::string &bytes)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char ch : bytes) {
+        h ^= static_cast<uint8_t>(ch);
+        h *= 0x100000001b3ull;
+    }
+    // Reserve 0 as "no image" so registries can use it as a sentinel.
+    return h ? h : 1;
+}
+
+} // namespace eel::svc

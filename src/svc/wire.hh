@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Wire format of the rewriting service: length-prefixed binary
+ * frames over a byte stream (TCP or unix socket).
+ *
+ * Every frame is
+ *
+ *     u32 length | u32 seq | u8 code | body[length - 5]
+ *
+ * with all integers little-endian and `length` counting everything
+ * after itself (so a frame occupies length + 4 bytes on the wire).
+ * `seq` is chosen by the client and echoed in the reply, so a client
+ * may pipeline requests on one connection and match replies out of
+ * order. `code` is an Op in requests and a Status in replies.
+ *
+ * Request bodies:
+ *   SubmitXef   xef container bytes (exe::Executable::saveBytes)
+ *   Rewrite     u64 imageId | u8 kind | u32 deadlineMs | str machine
+ *   Simulate    u64 imageId | u8 timing | u32 deadlineMs |
+ *               u64 limit | str machine
+ *   Stats       (empty)
+ *
+ * Reply bodies (status Ok unless noted):
+ *   SubmitXef   u64 imageId | u32 pages | u32 pageHits
+ *   Rewrite     u8 cached | xef container bytes
+ *   Simulate    u64 instructions | u64 cycles | u32 exitCode |
+ *               u8 exited   (also the body of a DeadlineExceeded
+ *               reply, describing the partial run)
+ *   Stats       JSON text
+ *   any error   human-readable message text
+ *
+ * str is u32 byteCount | bytes. Decoding reads through a Cursor that
+ * throws FatalError on underrun, so a truncated or garbage body
+ * becomes a clean BadFrame reply, never an out-of-bounds read.
+ */
+
+#ifndef EEL_SVC_WIRE_HH
+#define EEL_SVC_WIRE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace eel::svc {
+
+/** Frames a peer may not exceed (either direction). A full XEF image
+ *  plus headroom; an honest client never gets near it, and a hostile
+ *  length prefix is rejected before any allocation. */
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class Op : uint8_t {
+    SubmitXef = 1,  ///< intern an image, get its content id
+    Rewrite = 2,    ///< stamp one variant of a submitted image
+    Simulate = 3,   ///< emulate / time a submitted image
+    Stats = 4,      ///< server + store counters as JSON
+};
+
+enum class Status : uint8_t {
+    Ok = 0,
+    BadFrame = 1,          ///< unparseable frame or body
+    BadRequest = 2,        ///< unknown op / invalid arguments
+    BadImage = 3,          ///< malformed XEF or unknown image id
+    Busy = 4,              ///< admission queue full, retry later
+    DeadlineExceeded = 5,  ///< cancelled at the deadline
+    Draining = 6,          ///< server is shutting down
+    ServerError = 7,       ///< internal failure
+};
+
+const char *statusName(Status s);
+
+/** One decoded frame (request or reply). */
+struct Frame
+{
+    uint32_t seq = 0;
+    uint8_t code = 0;  ///< Op or Status
+    std::string body;
+};
+
+// --- body encoding -------------------------------------------------
+
+void putU8(std::string &out, uint8_t v);
+void putU32(std::string &out, uint32_t v);
+void putU64(std::string &out, uint64_t v);
+void putStr(std::string &out, const std::string &s);
+
+/** Bounded body reader; every getter throws FatalError on underrun
+ *  (and putStr's length prefix is checked against the remainder). */
+struct Cursor
+{
+    const std::string &s;
+    size_t at = 0;
+
+    explicit Cursor(const std::string &s) : s(s) {}
+
+    uint8_t getU8();
+    uint32_t getU32();
+    uint64_t getU64();
+    std::string getStr();
+    /** Everything not yet consumed (e.g. a trailing xef payload). */
+    std::string rest();
+    bool atEnd() const { return at == s.size(); }
+    /** Throw BadFrame-shaped FatalError unless fully consumed. */
+    void expectEnd() const;
+};
+
+// --- typed request / reply bodies ---------------------------------
+
+struct SubmitReply
+{
+    uint64_t imageId = 0;
+    uint32_t pages = 0;
+    uint32_t pageHits = 0;
+
+    std::string encode() const;
+    static SubmitReply decode(const std::string &body);
+};
+
+struct RewriteRequest
+{
+    uint64_t imageId = 0;
+    uint8_t kind = 0;  ///< edit::VariantKind
+    uint32_t deadlineMs = 0;  ///< 0 = server default
+    std::string machine;      ///< "" = server default
+
+    std::string encode() const;
+    static RewriteRequest decode(const std::string &body);
+};
+
+struct RewriteReply
+{
+    uint8_t cached = 0;  ///< served from the rewrite result cache
+    std::string xef;
+
+    std::string encode() const;
+    static RewriteReply decode(const std::string &body);
+};
+
+struct SimulateRequest
+{
+    uint64_t imageId = 0;
+    uint8_t timing = 1;       ///< 0 = functional emulation only
+    uint32_t deadlineMs = 0;  ///< 0 = server default
+    uint64_t limit = 0;       ///< max instructions, 0 = unbounded
+    std::string machine;      ///< "" = server default
+
+    std::string encode() const;
+    static SimulateRequest decode(const std::string &body);
+};
+
+struct SimulateReply
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;  ///< 0 for functional-only runs
+    uint32_t exitCode = 0;
+    uint8_t exited = 0;
+
+    std::string encode() const;
+    static SimulateReply decode(const std::string &body);
+};
+
+/** Content id of a submitted image: FNV-1a over the container
+ *  bytes, so identical resubmits address the same registry entry. */
+uint64_t contentId(const std::string &bytes);
+
+} // namespace eel::svc
+
+#endif // EEL_SVC_WIRE_HH

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/exe/executable.hh"
+#include "src/exe/section_store.hh"
+#include "src/isa/builder.hh"
+#include "src/support/logging.hh"
+
+namespace eel::exe {
+namespace {
+
+namespace b = isa::build;
+
+Executable
+program(unsigned words, uint8_t fill)
+{
+    Executable x;
+    x.text.push_back(isa::encode(b::movi(8, 0)));
+    x.text.push_back(isa::encode(b::ta(isa::trap::exit_prog)));
+    x.text.push_back(isa::encode(b::retl()));
+    x.text.push_back(isa::encode(b::nop()));
+    // Every page gets unique content (word = position hash + fill),
+    // so intern hits measure cross-image sharing, not accidental
+    // duplicate pages inside one image.
+    while (x.text.size() < words)
+        x.text.push_back(
+            static_cast<uint32_t>(x.text.size()) * 2654435761u +
+            fill);
+    x.entry = textBase;
+    x.symbols.push_back(
+        Symbol{"main", textBase,
+               4 * static_cast<uint32_t>(x.text.size()), true});
+    // The (i >> 8) term keeps successive 1 KiB pages from holding
+    // identical bytes (a plain i & 0xff pattern repeats per page and
+    // would self-intern).
+    for (unsigned i = 0; i < 2048; ++i)
+        x.data.push_back(
+            static_cast<uint8_t>((i + 31 * (i >> 8)) ^ fill));
+    return x;
+}
+
+TEST(StoreGc, SweepsDeadIndexEntriesWhenImagesDie)
+{
+    SectionStore store;
+    {
+        Executable x = program(2048, 1);
+        store.intern(x);
+        SectionStore::Stats s = store.stats();
+        EXPECT_GT(s.tableEntries, 0u);
+        EXPECT_EQ(s.tableEntries, s.liveChunks);
+        // Image alive: nothing to reclaim.
+        EXPECT_EQ(store.gc(), 0u);
+    }
+    // Pages are weakly held, so they died with the image — but the
+    // index entries survive until gc() sweeps them.
+    SectionStore::Stats before = store.stats();
+    EXPECT_EQ(before.liveChunks, 0u);
+    EXPECT_GT(before.tableEntries, 0u);
+
+    size_t swept = store.gc();
+    SectionStore::Stats after = store.stats();
+    EXPECT_EQ(swept, before.tableEntries);
+    EXPECT_EQ(after.tableEntries, 0u);
+    EXPECT_EQ(after.gcRuns, 2u);  // the no-op run above counted too
+    EXPECT_EQ(after.gcReclaimedPages, swept);
+}
+
+TEST(StoreGc, KeepsLiveEntriesAndReusesThem)
+{
+    SectionStore store;
+    Executable keep = program(2048, 2);
+    store.intern(keep);
+    {
+        Executable dead = program(2048, 3);
+        store.intern(dead);
+    }
+    size_t live = store.stats().liveChunks;
+    EXPECT_GT(store.gc(), 0u);
+    EXPECT_EQ(store.stats().tableEntries, live);
+
+    // A clone of the survivor still interns onto the same chunks.
+    Executable again = program(2048, 2);
+    SectionStore::InternCounts ic = store.internCounted(again);
+    EXPECT_EQ(ic.hits, ic.pages);
+}
+
+TEST(StoreGc, WatermarkTriggersAutomaticSweep)
+{
+    SectionStore store;
+    store.setGcWatermark(8);
+    // Churn dead images through the store; without GC the index
+    // would grow without bound, with the watermark it stays near it.
+    for (uint8_t i = 0; i < 24; ++i) {
+        Executable x = program(2048, i);
+        store.intern(x);
+    }
+    SectionStore::Stats s = store.stats();
+    EXPECT_GT(s.gcRuns, 0u);
+    EXPECT_GT(s.gcReclaimedPages, 0u);
+    EXPECT_LE(s.tableEntries, 8u + 8u);  // watermark + one image
+}
+
+TEST(StoreGc, InternCountedReportsHitsForResubmit)
+{
+    SectionStore store;
+    Executable first = program(2048, 7);
+    SectionStore::InternCounts cold = store.internCounted(first);
+    EXPECT_GT(cold.pages, 0u);
+    EXPECT_EQ(cold.hits, 0u);
+
+    Executable second = program(2048, 7);
+    SectionStore::InternCounts warm = store.internCounted(second);
+    EXPECT_EQ(warm.pages, cold.pages);
+    EXPECT_EQ(warm.hits, warm.pages);
+}
+
+TEST(StoreGc, SaveLoadBytesRoundTrip)
+{
+    Executable x = program(512, 9);
+    std::string bytes = x.saveBytes();
+    Executable y = Executable::loadBytes(bytes);
+    ASSERT_EQ(y.text.size(), x.text.size());
+    for (size_t i = 0; i < x.text.size(); ++i)
+        ASSERT_EQ(y.text[i], x.text[i]);
+    ASSERT_EQ(y.data.size(), x.data.size());
+    for (size_t i = 0; i < x.data.size(); ++i)
+        ASSERT_EQ(y.data[i], x.data[i]);
+    EXPECT_EQ(y.bssBytes, x.bssBytes);
+    EXPECT_EQ(y.entry, x.entry);
+    ASSERT_EQ(y.symbols.size(), x.symbols.size());
+    EXPECT_EQ(y.symbols[0].name, x.symbols[0].name);
+    // And the byte form is stable: save(load(b)) == b.
+    EXPECT_EQ(y.saveBytes(), bytes);
+}
+
+TEST(StoreGc, LoadBytesRejectsGarbage)
+{
+    EXPECT_THROW(Executable::loadBytes("not an xef container"),
+                 FatalError);
+    std::string bytes = program(512, 9).saveBytes();
+    for (size_t cut : {size_t(4), bytes.size() / 2,
+                       bytes.size() - 3})
+        EXPECT_THROW(Executable::loadBytes(bytes.substr(0, cut)),
+                     FatalError);
+}
+
+} // namespace
+} // namespace eel::exe

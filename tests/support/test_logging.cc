@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <thread>
+
+#include "src/obs/log.hh"
+#include "src/obs/trace.hh"
+
 namespace eel {
 namespace {
 
@@ -45,6 +51,37 @@ TEST(Logging, FatalIsNotPanic)
             }
         },
         FatalError);
+}
+
+TEST(Logging, LineHasTimestampAndThreadName)
+{
+    obs::setLogLevel(obs::LogLevel::Info);
+    testing::internal::CaptureStderr();
+    obs::logf(obs::LogLevel::Info, "stamp check %d", 42);
+    std::string line = testing::internal::GetCapturedStderr();
+    // 14:02:11.123 info  [<thread>] stamp check 42
+    std::regex shape(
+        R"(^\d{2}:\d{2}:\d{2}\.\d{3} info  \[[^\]]+\] stamp check 42\n$)");
+    EXPECT_TRUE(std::regex_match(line, shape)) << line;
+}
+
+TEST(Logging, ThreadNamesDistinguishThreads)
+{
+    // Unnamed threads get distinct ordinal tags; setThreadName (the
+    // trace-layer entry point) renames the log tag too.
+    std::string mine = obs::logThreadName();
+    std::string other;
+    std::thread t([&] { other = obs::logThreadName(); });
+    t.join();
+    EXPECT_NE(mine, other);
+
+    std::string renamed;
+    std::thread t2([&] {
+        obs::setThreadName("log-test-worker");
+        renamed = obs::logThreadName();
+    });
+    t2.join();
+    EXPECT_EQ(renamed, "log-test-worker");
 }
 
 } // namespace
