@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "src/eel/batch.hh"
 #include "src/eel/editor.hh"
@@ -43,7 +44,13 @@ parseArgs(int argc, char **argv)
             opts.jobs = static_cast<unsigned>(std::stoul(value()));
         else if (a == "--shard-interval")
             opts.shardInterval = std::stoull(value());
-        else if (a == "--batch")
+        else if (a == "--result-cache") {
+            opts.resultCacheDir = value();
+            // The cache serves the sharded path; give it shards to
+            // key if the caller didn't pick an interval.
+            if (!opts.shardInterval)
+                opts.shardInterval = 64 * 1024;
+        } else if (a == "--batch")
             opts.batch = true;
         else if (a == "--trace") {
             opts.tracePath = value();
@@ -57,6 +64,7 @@ parseArgs(int argc, char **argv)
             std::printf("options: --machine <name> --scale <x> "
                         "--resched-first --only <benchmark> "
                         "--jobs <n> --shard-interval <insts> "
+                        "--result-cache <dir> "
                         "--batch --trace <out.json> "
                         "--json <out.json> --breakdown <out.txt>\n");
             std::exit(0);
@@ -112,8 +120,8 @@ runBenchmark(const TableOptions &opts, size_t index,
 
     // Timing runs go through the sharded path when requested; the
     // merge is deterministic, so rows don't change (only wall time).
-    // parallelFor runs inline from a pool worker, so sharding inside
-    // a full-suite run degrades gracefully to the serial path.
+    // A nested parallelFor shares its shards with the whole pool, so
+    // the benchmark × shard fan-out saturates the jobs end to end.
     // Stall attribution is always on here (the tables report it);
     // the histogram-sums-to-total invariant is checked per run.
     sim::TimingSim::Config tcfg;
@@ -127,6 +135,7 @@ runBenchmark(const TableOptions &opts, size_t index,
             sopts.interval = opts.shardInterval;
             sopts.pool = pool;
             sopts.timing = tcfg;
+            sopts.cache = opts.cache;
             r = sim::runSharded(xe, m, sopts).toTimedRun();
         }
         if (r.stallBreakdown.total() != r.stallCycles)
@@ -230,8 +239,18 @@ runBenchmark(const TableOptions &opts, size_t index,
 }
 
 std::vector<Row>
-runTable(const TableOptions &opts)
+runTable(const TableOptions &optsIn)
 {
+    TableOptions opts = optsIn;
+    // --result-cache: one cache for the whole table, disk-backed so
+    // the next regeneration starts warm.
+    std::unique_ptr<sim::ResultCache> owned;
+    if (!opts.cache && !opts.resultCacheDir.empty()) {
+        owned = std::make_unique<sim::ResultCache>(
+            sim::ResultCache::Config{opts.resultCacheDir, nullptr});
+        opts.cache = owned.get();
+    }
+
     auto specs = workload::spec95(opts.machine);
     std::vector<size_t> indices;
     for (size_t i = 0; i < specs.size(); ++i)

@@ -15,6 +15,7 @@
 #include "src/obs/slotfill.hh"
 #include "src/obs/stall.hh"
 #include "src/sched/scheduler.hh"
+#include "src/sim/resultcache.hh"
 #include "src/support/thread_pool.hh"
 
 namespace eel::bench {
@@ -81,11 +82,24 @@ struct TableOptions
      * replay the shards on the pool (sim::runSharded). 0 = serial
      * timedRun. Sharded results merge in shard order, so the table
      * is byte-identical either way; this trades one extra functional
-     * pass for replays that spread across the jobs. Most useful with
-     * --only, where a single benchmark would otherwise leave all but
-     * one worker idle.
+     * pass for replays that spread across the jobs. The pool shares
+     * work across nesting levels, so the benchmark × shard fan-out
+     * saturates the jobs even when few benchmarks remain (or with
+     * --only, where the outer level is a single item).
      */
     uint64_t shardInterval = 0;
+    /**
+     * Content-addressed result cache for the sharded timing runs
+     * (sim::ResultCache): "" = off, otherwise the disk-tier
+     * directory, persisted across processes so a regeneration after
+     * an edit pays only for the shards that execute changed pages.
+     * Cached tables are byte-identical to cold ones. Only the
+     * sharded path consults it, so set shardInterval too.
+     */
+    std::string resultCacheDir;
+    /** Cache instance to use instead of constructing one from
+     *  resultCacheDir (embedding callers; not a CLI flag). */
+    sim::ResultCache *cache = nullptr;
     /**
      * Stamp the instrumented and scheduled images through
      * edit::BatchRewriter (one shared analysis pass, COW-shared
@@ -106,8 +120,8 @@ struct TableOptions
 };
 
 /** Parse --machine/--scale/--resched-first/--only/--jobs/
- *  --shard-interval/--trace/--json/--breakdown from argv.
- *  --trace enables tracing immediately. */
+ *  --shard-interval/--result-cache/--trace/--json/--breakdown from
+ *  argv. --trace enables tracing immediately. */
 TableOptions parseArgs(int argc, char **argv);
 
 /**

@@ -20,11 +20,19 @@
  *
  * Exits nonzero when any gate fails.
  *
+ * Runs the load twice: the closed loop above (existing flat keys in
+ * the JSON), then an open-loop pass at --open-rate requests/second
+ * (Poisson arrivals, latency measured from scheduled arrival, so
+ * queueing delay counts — the "open_*" keys). --open-rate 0 (the
+ * default) self-calibrates to half the closed-loop throughput, which
+ * keeps the open-loop system stable while still exercising queueing.
+ *
  * Usage: perf_service [--connections n] [--requests n] [--warmup n]
  *                     [--images n] [--scale x] [--machine m]
- *                     [--threads n] [--out file.json]
+ *                     [--threads n] [--open-rate r] [--out file.json]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -72,6 +80,7 @@ main(int argc, char **argv)
     svc::LoadConfig load;
     svc::ServerConfig scfg;
     std::string out_path = "BENCH_service.json";
+    double openRate = 0;  // 0 = half the closed-loop throughput
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char * {
             if (i + 1 >= argc)
@@ -92,6 +101,8 @@ main(int argc, char **argv)
             load.machine = next();
         else if (!std::strcmp(argv[i], "--threads"))
             scfg.threads = unsigned(atoi(next()));
+        else if (!std::strcmp(argv[i], "--open-rate"))
+            openRate = atof(next());
         else if (!std::strcmp(argv[i], "--out"))
             out_path = next();
         else
@@ -104,6 +115,21 @@ main(int argc, char **argv)
     load.port = server.port();
 
     svc::LoadStats stats = svc::runLoad(load);
+
+    // Open-loop pass against the same (now warm) server. Calibrated
+    // below saturation by default so the arrival schedule is
+    // sustainable and the percentiles measure queueing, not runaway
+    // backlog.
+    svc::LoadConfig openLoad = load;
+    openLoad.mode = svc::LoadConfig::ArrivalMode::Open;
+    openLoad.dist = svc::LoadConfig::ArrivalDist::Poisson;
+    openLoad.openRate =
+        openRate > 0
+            ? openRate
+            : std::max(10.0, stats.requestsPerSecond * 0.5);
+    openLoad.warmupPerConn =
+        std::min(load.warmupPerConn, 5u);  // server is already warm
+    svc::LoadStats openStats = svc::runLoad(openLoad);
 
     // Gate 1: the service's rewrites must be byte-identical to a
     // direct BatchRewriter run on the same input. Replies come over
@@ -171,6 +197,18 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"p999_ms\": %.3f,\n", stats.p999Ms);
     std::fprintf(f, "  \"submit_page_hit_rate\": %.4f,\n",
                  stats.submitHitRate());
+    std::fprintf(f, "  \"open_rate_offered\": %.1f,\n",
+                 openLoad.openRate);
+    std::fprintf(f, "  \"open_completed\": %llu,\n",
+                 (unsigned long long)openStats.completed);
+    std::fprintf(f, "  \"open_errors\": %llu,\n",
+                 (unsigned long long)openStats.errors);
+    std::fprintf(f, "  \"open_requests_per_s\": %.1f,\n",
+                 openStats.requestsPerSecond);
+    std::fprintf(f, "  \"open_p50_ms\": %.3f,\n", openStats.p50Ms);
+    std::fprintf(f, "  \"open_p99_ms\": %.3f,\n", openStats.p99Ms);
+    std::fprintf(f, "  \"open_p999_ms\": %.3f,\n",
+                 openStats.p999Ms);
     std::fprintf(f, "  \"store_intern_hit_rate\": %.4f,\n",
                  internHitRate);
     std::fprintf(f, "  \"store_live_mb\": %.3f,\n",
@@ -193,6 +231,11 @@ main(int argc, char **argv)
                 stats.requestsPerSecond, stats.p50Ms, stats.p99Ms,
                 stats.submitHitRate(), identical ? "yes" : "no",
                 out_path.c_str());
+    std::printf("perf_service[open]: offered %.1f req/s, achieved "
+                "%.1f, p50 %.2fms p99 %.2fms (queue-time "
+                "included)\n",
+                openLoad.openRate, openStats.requestsPerSecond,
+                openStats.p50Ms, openStats.p99Ms);
 
     // Gates (see file comment).
     int rc = 0;
@@ -200,9 +243,15 @@ main(int argc, char **argv)
         std::fprintf(stderr, "FAIL: no requests completed\n");
         rc = 1;
     }
-    if (stats.errors) {
+    if (stats.errors || openStats.errors) {
         std::fprintf(stderr, "FAIL: %llu requests errored\n",
-                     (unsigned long long)stats.errors);
+                     (unsigned long long)(stats.errors +
+                                          openStats.errors));
+        rc = 1;
+    }
+    if (openStats.completed == 0) {
+        std::fprintf(stderr,
+                     "FAIL: no open-loop requests completed\n");
         rc = 1;
     }
     if (!identical) {

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Process-restart gate for the result cache's disk tier.
+ *
+ * The in-process test (tests/sim/test_resultcache.cc) proves a
+ * *fresh ResultCache instance* reloads the tier; this harness proves
+ * the stronger claim — a genuinely different process does. Phase one
+ * populates a scratch cache directory with a sharded timing run,
+ * then exec()s itself with --verify; the child constructs its cache
+ * from nothing but the directory, demands the run comes back warm
+ * from disk, and compares it field for field against an uncached
+ * recompute in the same process. Any divergence, cold rerun, or
+ * rejected file is a hard failure.
+ *
+ * Usage: rescache_roundtrip            (full populate + restart)
+ *        rescache_roundtrip --dir D --verify   (child phase)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "src/eel/cfg.hh"
+#include "src/eel/editor.hh"
+#include "src/machine/model.hh"
+#include "src/sim/resultcache.hh"
+#include "src/sim/shard.hh"
+#include "src/support/logging.hh"
+#include "src/support/thread_pool.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+using namespace eel;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Same deterministic workload in both processes: spec95[0] on the
+ *  ultrasparc at a scale small enough for a smoke-speed ctest entry
+ *  but large enough to shard. */
+exe::Executable
+makeWorkload()
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    auto specs = workload::spec95("ultrasparc");
+    workload::GenOptions gopts;
+    gopts.scale = 0.05;
+    gopts.machine = &m;
+    return workload::generate(specs[0], gopts);
+}
+
+std::vector<uint8_t>
+leaderMap(const exe::Executable &x)
+{
+    std::vector<uint8_t> leader(x.text.size(), 0);
+    for (const auto &r : edit::buildRoutines(x))
+        for (const auto &blk : r.blocks)
+            leader[(blk.startAddr - exe::textBase) / 4] = 1;
+    return leader;
+}
+
+sim::ShardOptions
+shardOpts(support::ThreadPool &pool,
+          const std::vector<uint8_t> &leader,
+          sim::ResultCache *cache)
+{
+    sim::ShardOptions o;
+    o.interval = 2000;
+    o.pool = &pool;
+    o.blockLeader = &leader;
+    o.timing.collectStalls = true;
+    o.cache = cache;
+    return o;
+}
+
+bool
+runsEqual(const sim::ShardedRun &a, const sim::ShardedRun &b)
+{
+    return a.cycles == b.cycles &&
+           a.result.instructions == b.result.instructions &&
+           a.result.exitCode == b.result.exitCode &&
+           a.result.output == b.result.output &&
+           a.issueHistogram == b.issueHistogram &&
+           a.stallBreakdown == b.stallBreakdown &&
+           a.stallCycles == b.stallCycles &&
+           a.leaderRetires == b.leaderRetires &&
+           a.blocksRetired == b.blocksRetired &&
+           a.finalState.equalTo(b.finalState, false);
+}
+
+int
+verifyPhase(const std::string &dir)
+{
+    const machine::MachineModel &model =
+        machine::MachineModel::builtin("ultrasparc");
+    exe::Executable x = makeWorkload();
+    std::vector<uint8_t> leader = leaderMap(x);
+    support::ThreadPool pool(4);
+
+    sim::ResultCache cache({dir, nullptr});
+    sim::ResultCache::Stats loaded = cache.stats();
+    if (loaded.diskEntriesLoaded == 0 || loaded.diskRejects != 0) {
+        std::fprintf(stderr,
+                     "FAIL: restart loaded %llu entries, rejected "
+                     "%llu\n",
+                     (unsigned long long)loaded.diskEntriesLoaded,
+                     (unsigned long long)loaded.diskRejects);
+        return 1;
+    }
+
+    sim::ShardedRun warm =
+        sim::runSharded(x, model, shardOpts(pool, leader, &cache));
+    if (!warm.stats.cachedRun || cache.stats().diskHits == 0) {
+        std::fprintf(stderr,
+                     "FAIL: run not served from the disk tier "
+                     "(cachedRun=%d diskHits=%llu)\n",
+                     int(warm.stats.cachedRun),
+                     (unsigned long long)cache.stats().diskHits);
+        return 1;
+    }
+
+    sim::ShardedRun fresh =
+        sim::runSharded(x, model, shardOpts(pool, leader, nullptr));
+    if (!runsEqual(warm, fresh)) {
+        std::fprintf(stderr,
+                     "FAIL: disk-warm run differs from recompute\n");
+        return 1;
+    }
+    std::printf("rescache_roundtrip: verify ok (%llu entries, "
+                "%llu cycles)\n",
+                (unsigned long long)loaded.diskEntriesLoaded,
+                (unsigned long long)warm.cycles);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir;
+    bool verify = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--dir") && i + 1 < argc)
+            dir = argv[++i];
+        else if (!std::strcmp(argv[i], "--verify"))
+            verify = true;
+        else
+            fatal("unknown flag %s", argv[i]);
+    }
+    if (verify) {
+        if (dir.empty())
+            fatal("--verify needs --dir");
+        return verifyPhase(dir);
+    }
+
+    fs::path scratch =
+        fs::temp_directory_path() /
+        ("eel_rescache_roundtrip." + std::to_string(::getpid()));
+    fs::remove_all(scratch);
+    dir = scratch.string();
+
+    // Populate phase: one cold sharded run through a disk-backed
+    // cache.
+    {
+        const machine::MachineModel &model =
+            machine::MachineModel::builtin("ultrasparc");
+        exe::Executable x = makeWorkload();
+        std::vector<uint8_t> leader = leaderMap(x);
+        support::ThreadPool pool(4);
+        sim::ResultCache cache({dir, nullptr});
+        sim::ShardedRun cold = sim::runSharded(
+            x, model, shardOpts(pool, leader, &cache));
+        if (!cold.result.exited || cache.stats().stores == 0) {
+            std::fprintf(stderr,
+                         "FAIL: populate phase stored nothing\n");
+            fs::remove_all(scratch);
+            return 1;
+        }
+    }
+
+    // Restart: a brand-new process inherits only the directory.
+    char self[4096];
+    ssize_t n =
+        ::readlink("/proc/self/exe", self, sizeof self - 1);
+    if (n <= 0)
+        fatal("readlink /proc/self/exe failed");
+    self[n] = 0;
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("fork failed");
+    if (pid == 0) {
+        ::execl(self, self, "--dir", dir.c_str(), "--verify",
+                (char *)nullptr);
+        std::perror("execl");
+        _exit(127);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    fs::remove_all(scratch);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: verify child exited with status %d\n",
+                     status);
+        return 1;
+    }
+    std::printf("rescache_roundtrip: populate + process restart + "
+                "byte-equal warm replay ok\n");
+    return 0;
+}

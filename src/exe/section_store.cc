@@ -7,12 +7,8 @@
 
 namespace eel::exe {
 
-namespace {
-
-/** FNV-1a over a whole page. Buckets are verified by memcmp, so the
- *  hash only has to spread, never to prove equality. */
 uint64_t
-pageHash(const Chunk &c)
+pageContentHash(const Chunk &c)
 {
     uint64_t h = 0xcbf29ce484222325ull;
     for (uint8_t b : c.mem) {
@@ -22,8 +18,6 @@ pageHash(const Chunk &c)
     return h;
 }
 
-} // namespace
-
 ChunkPtr
 SectionStore::intern(ChunkPtr c)
 {
@@ -32,7 +26,7 @@ SectionStore::intern(ChunkPtr c)
     static obs::Metric mHits("store.intern_hits",
                              obs::MetricKind::Counter);
     mCalls.add();
-    uint64_t h = pageHash(*c);
+    uint64_t h = pageContentHash(*c);
     std::lock_guard<std::mutex> lock(mu);
     ++calls;
     if (gcWatermark && tableEntries >= gcWatermark)
@@ -105,6 +99,11 @@ SectionStore::gcLocked()
             it = views.erase(it);
         else
             ++it;
+    for (auto it = hashes.begin(); it != hashes.end();)
+        if (it->second.first.expired())
+            it = hashes.erase(it);
+        else
+            ++it;
     ++gcRuns;
     gcReclaimed += reclaimed;
     mReclaimed.add(reclaimed);
@@ -139,9 +138,31 @@ SectionStore::stats() const
     s.liveBytes = s.liveChunks * Chunk::bytes;
     s.tableEntries = tableEntries;
     s.viewEntries = views.size();
+    s.hashEntries = hashes.size();
     s.gcRuns = gcRuns;
     s.gcReclaimedPages = gcReclaimed;
     return s;
+}
+
+uint64_t
+SectionStore::contentHash(const ChunkPtr &c)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = hashes.find(c.get());
+        // A live witness means the address still names the chunk it
+        // was hashed as (two live shared_ptrs to one address are the
+        // same object). An expired witness means the original page
+        // died and the allocator recycled its address — the cached
+        // hash describes the dead page's bytes, so fall through and
+        // re-hash.
+        if (it != hashes.end() && !it->second.first.expired())
+            return it->second.second;
+    }
+    uint64_t h = pageContentHash(*c);
+    std::lock_guard<std::mutex> lock(mu);
+    hashes[c.get()] = {std::weak_ptr<const Chunk>(c), h};
+    return h;
 }
 
 std::shared_ptr<void>

@@ -55,6 +55,12 @@ struct Chunk
 
 using ChunkPtr = std::shared_ptr<const Chunk>;
 
+/** FNV-1a over a whole page. This is the content identity the
+ *  store's intern index and the simulation result cache key on;
+ *  buckets/keys are verified against actual bytes, so the hash only
+ *  has to spread, never to prove equality. */
+uint64_t pageContentHash(const Chunk &c);
+
 /**
  * A section as a copy-on-write sequence of chunks, with enough of
  * std::vector's interface that Executable's text/data members keep
@@ -290,6 +296,7 @@ class SectionStore
         size_t liveBytes = 0;     ///< liveChunks * Chunk::bytes
         size_t tableEntries = 0;  ///< index entries, dead ones included
         size_t viewEntries = 0;   ///< memoized derived views held
+        size_t hashEntries = 0;   ///< memoized content hashes held
         size_t gcRuns = 0;
         size_t gcReclaimedPages = 0;  ///< dead index entries swept
     };
@@ -340,6 +347,18 @@ class SectionStore
     Stats stats() const;
 
     /**
+     * Content hash of a page (pageContentHash), memoized by chunk
+     * identity. The memo holds a weak reference next to each cached
+     * hash and re-hashes whenever that reference has expired: a
+     * chunk address the allocator recycled after gc() reclaimed the
+     * original page therefore never serves the dead page's hash to a
+     * live cache key (re-hash-on-miss, not pinning — the store must
+     * not keep result-cache pages alive). Expired memo entries are
+     * swept by gc() like the intern index.
+     */
+    uint64_t contentHash(const ChunkPtr &c);
+
+    /**
      * Memoized derived view of a chunk sequence (e.g. the decoded
      * text the emulator runs from). Keyed by the exact page pointers,
      * so images that share all their text pages share the view; held
@@ -358,6 +377,11 @@ class SectionStore
     std::unordered_map<uint64_t, std::vector<std::weak_ptr<const Chunk>>>
         table;
     std::map<std::vector<const Chunk *>, std::weak_ptr<void>> views;
+    // chunk address -> (liveness witness, content hash); see
+    // contentHash() for the recycled-address hazard this guards.
+    std::unordered_map<const Chunk *,
+                       std::pair<std::weak_ptr<const Chunk>, uint64_t>>
+        hashes;
     size_t calls = 0, hits = 0;
     size_t tableEntries = 0;  ///< sum of bucket sizes (dead included)
     size_t gcWatermark = 0;

@@ -89,7 +89,8 @@ struct RingSink final
     }
 };
 
-/** x's pristine data+bss image, as the emulator constructs it. */
+} // namespace
+
 std::vector<uint8_t>
 initialDataImage(const exe::Executable &x)
 {
@@ -97,8 +98,6 @@ initialDataImage(const exe::Executable &x)
     x.data.copyTo(mem.data());
     return mem;
 }
-
-} // namespace
 
 CheckpointLog
 captureCheckpoints(const exe::Executable &x,

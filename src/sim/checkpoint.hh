@@ -96,6 +96,11 @@ captureCheckpoints(const exe::Executable &x,
                    std::shared_ptr<const Emulator::DecodedText> text =
                        nullptr);
 
+/** x's pristine data+bss image, as the emulator constructs it —
+ *  the reference image every MemDelta in a checkpoint (and in a
+ *  cached result's final state) is diffed against. */
+std::vector<uint8_t> initialDataImage(const exe::Executable &x);
+
 /**
  * Expand cp back into a full emulator state for x (initial images
  * plus the recorded deltas); restoreState() of the result positions

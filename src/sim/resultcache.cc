@@ -1,0 +1,1123 @@
+#include "src/sim/resultcache.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "src/exe/section_store.hh"
+#include "src/obs/metrics.hh"
+
+namespace eel::sim {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/**
+ * Two independent 64-bit accumulation streams over the same input,
+ * giving 128-bit keys: FNV-1a-with-finalizer for stream a, the
+ * classic hash_combine recurrence for stream b. Collisions are
+ * further backed by runSharded's merged-output fatals.
+ */
+struct H2
+{
+    uint64_t a = 0xcbf29ce484222325ull;
+    uint64_t b = 0x9ae16a3b2f90404full;
+
+    void
+    u64(uint64_t v)
+    {
+        a ^= v;
+        a *= 0x100000001b3ull;
+        a ^= a >> 29;
+        b ^= v + 0x9e3779b97f4a7c15ull + (b << 6) + (b >> 2);
+    }
+    void u32(uint32_t v) { u64(v); }
+    void ub(bool v) { u64(v ? 1 : 0); }
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s)
+            u64(static_cast<uint8_t>(c));
+    }
+    void
+    v64(const std::vector<uint64_t> &v)
+    {
+        u64(v.size());
+        for (uint64_t x : v)
+            u64(x);
+    }
+    void
+    v32(const std::vector<uint32_t> &v)
+    {
+        u64(v.size());
+        for (uint32_t x : v)
+            u64(x);
+    }
+    void
+    v8(const std::vector<uint8_t> &v)
+    {
+        // Pages and delta payloads: fold 8 bytes per step.
+        u64(v.size());
+        size_t i = 0;
+        for (; i + 8 <= v.size(); i += 8) {
+            uint64_t w;
+            std::memcpy(&w, v.data() + i, 8);
+            u64(w);
+        }
+        uint64_t tail = 0;
+        for (unsigned k = 0; i < v.size(); ++i, ++k)
+            tail |= uint64_t(v[i]) << (8 * k);
+        u64(tail);
+    }
+    ResultCache::Key key() const { return {a, b}; }
+};
+
+/** Plain FNV-1a over a string (file checksums, manifest digests). */
+uint64_t
+fnv64(const void *data, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+// ----------------------------------------------------------------
+// Entry serialization. Fixed-width little-endian fields; every
+// reader is bounds-checked and flips `ok` instead of overrunning,
+// so a truncated or bit-flipped payload decodes to a clean reject.
+
+struct Enc
+{
+    std::string s;
+
+    void
+    raw(const void *p, size_t n)
+    {
+        s.append(static_cast<const char *>(p), n);
+    }
+    void u8(uint8_t v) { raw(&v, 1); }
+    void
+    u32(uint32_t v)
+    {
+        uint8_t b[4];
+        for (int i = 0; i < 4; ++i)
+            b[i] = uint8_t(v >> (8 * i));
+        raw(b, 4);
+    }
+    void
+    u64(uint64_t v)
+    {
+        uint8_t b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = uint8_t(v >> (8 * i));
+        raw(b, 8);
+    }
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void ub(bool v) { u8(v ? 1 : 0); }
+    void
+    blob(const std::string &v)
+    {
+        u64(v.size());
+        raw(v.data(), v.size());
+    }
+    void
+    v8(const std::vector<uint8_t> &v)
+    {
+        u64(v.size());
+        raw(v.data(), v.size());
+    }
+    void
+    v64(const std::vector<uint64_t> &v)
+    {
+        u64(v.size());
+        for (uint64_t x : v)
+            u64(x);
+    }
+    void
+    v32(const std::vector<uint32_t> &v)
+    {
+        u64(v.size());
+        for (uint32_t x : v)
+            u32(x);
+    }
+    void
+    v16(const std::vector<int16_t> &v)
+    {
+        u64(v.size());
+        for (int16_t x : v)
+            u32(static_cast<uint16_t>(x));
+    }
+};
+
+struct Dec
+{
+    const uint8_t *p, *e;
+    bool ok = true;
+
+    Dec(const std::string &s)
+        : p(reinterpret_cast<const uint8_t *>(s.data())),
+          e(p + s.size())
+    {
+    }
+
+    bool
+    need(size_t n)
+    {
+        if (!ok || size_t(e - p) < n) {
+            ok = false;
+            return false;
+        }
+        return true;
+    }
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return *p++;
+    }
+    uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= uint32_t(p[i]) << (8 * i);
+        p += 4;
+        return v;
+    }
+    uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t(p[i]) << (8 * i);
+        p += 8;
+        return v;
+    }
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+    bool
+    ub()
+    {
+        uint8_t v = u8();
+        if (v > 1)
+            ok = false;
+        return v == 1;
+    }
+    std::string
+    blob()
+    {
+        uint64_t n = u64();
+        if (!need(n))
+            return {};
+        std::string v(reinterpret_cast<const char *>(p), n);
+        p += n;
+        return v;
+    }
+    std::vector<uint8_t>
+    v8()
+    {
+        uint64_t n = u64();
+        if (!need(n))
+            return {};
+        std::vector<uint8_t> v(p, p + n);
+        p += n;
+        return v;
+    }
+    std::vector<uint64_t>
+    v64()
+    {
+        uint64_t n = u64();
+        if (!ok || n > size_t(e - p) / 8) {
+            ok = false;
+            return {};
+        }
+        std::vector<uint64_t> v(n);
+        for (auto &x : v)
+            x = u64();
+        return v;
+    }
+    std::vector<uint32_t>
+    v32()
+    {
+        uint64_t n = u64();
+        if (!ok || n > size_t(e - p) / 4) {
+            ok = false;
+            return {};
+        }
+        std::vector<uint32_t> v(n);
+        for (auto &x : v)
+            x = u32();
+        return v;
+    }
+    std::vector<int16_t>
+    v16()
+    {
+        uint64_t n = u64();
+        if (!ok || n > size_t(e - p) / 4) {
+            ok = false;
+            return {};
+        }
+        std::vector<int16_t> v(n);
+        for (auto &x : v)
+            x = static_cast<int16_t>(
+                static_cast<uint16_t>(u32()));
+        return v;
+    }
+    bool done() const { return ok && p == e; }
+};
+
+void
+putBreakdown(Enc &o, const obs::StallBreakdown &b)
+{
+    for (unsigned i = 0; i < obs::numStallReasons; ++i)
+        o.u64(b.cycles[i]);
+}
+
+void
+getBreakdown(Dec &d, obs::StallBreakdown &b)
+{
+    for (unsigned i = 0; i < obs::numStallReasons; ++i)
+        b.cycles[i] = d.u64();
+}
+
+void
+putTiming(Enc &o, const TimingSim::State &t)
+{
+    o.v64(t.pipe.slotStamp);
+    o.v16(t.pipe.slotFree);
+    o.v64(t.pipe.lastRead);
+    o.v64(t.pipe.lastWrite);
+    o.v64(t.pipe.writeAvail);
+    o.u64(t.pipe.frontierCycle);
+    o.u64(t.cycles);
+    o.u32(t.prevPc);
+    o.ub(t.havePrev);
+    o.u64(t.curStart);
+    o.u32(t.curCount);
+    o.ub(t.haveCur);
+}
+
+void
+getTiming(Dec &d, TimingSim::State &t)
+{
+    t.pipe.slotStamp = d.v64();
+    t.pipe.slotFree = d.v16();
+    t.pipe.lastRead = d.v64();
+    t.pipe.lastWrite = d.v64();
+    t.pipe.writeAvail = d.v64();
+    t.pipe.frontierCycle = d.u64();
+    t.cycles = d.u64();
+    t.prevPc = d.u32();
+    t.havePrev = d.ub();
+    t.curStart = d.u64();
+    t.curCount = d.u32();
+    t.haveCur = d.ub();
+}
+
+void
+putDelta(Enc &o, const MemDelta &m)
+{
+    o.u32(static_cast<uint32_t>(m.pages.size()));
+    for (const MemDelta::Page &pg : m.pages) {
+        o.u32(pg.offset);
+        o.v8(pg.bytes);
+    }
+}
+
+bool
+getDelta(Dec &d, MemDelta &m)
+{
+    uint32_t n = d.u32();
+    m.pages.clear();
+    for (uint32_t i = 0; i < n && d.ok; ++i) {
+        MemDelta::Page pg;
+        pg.offset = d.u32();
+        pg.bytes = d.v8();
+        if (pg.bytes.size() > MemDelta::pageBytes)
+            d.ok = false;
+        m.pages.push_back(std::move(pg));
+    }
+    return d.ok;
+}
+
+void
+putResult(Enc &o, const RunResult &r)
+{
+    o.u64(r.instructions);
+    o.i32(r.exitCode);
+    o.ub(r.exited);
+    o.blob(r.output);
+}
+
+void
+getResult(Dec &d, RunResult &r)
+{
+    r.instructions = d.u64();
+    r.exitCode = d.i32();
+    r.exited = d.ub();
+    r.output = d.blob();
+}
+
+void
+putPairs(Enc &o, const std::vector<std::pair<uint32_t, uint64_t>> &v)
+{
+    o.u64(v.size());
+    for (const auto &[i, h] : v) {
+        o.u32(i);
+        o.u64(h);
+    }
+}
+
+std::vector<std::pair<uint32_t, uint64_t>>
+getPairs(Dec &d)
+{
+    uint64_t n = d.u64();
+    if (!d.ok || n > size_t(d.e - d.p) / 12) {
+        d.ok = false;
+        return {};
+    }
+    std::vector<std::pair<uint32_t, uint64_t>> v(n);
+    for (auto &[i, h] : v) {
+        i = d.u32();
+        h = d.u64();
+    }
+    return v;
+}
+
+std::string
+hex(uint64_t v)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i, v >>= 4)
+        s[i] = digits[v & 15];
+    return s;
+}
+
+constexpr char kMagic[6] = {'E', 'E', 'L', 'R', 'C', '1'};
+constexpr uint8_t kKindShard = 0;
+constexpr uint8_t kKindRun = 1;
+constexpr uint8_t kKindTimed = 2;
+
+} // namespace
+
+void
+ResultCache::noteHit(bool fromDisk, uint64_t Stats::*tier)
+{
+    static obs::Metric mHits("rescache.hits",
+                             obs::MetricKind::Counter);
+    static obs::Metric mDisk("rescache.disk_hits",
+                             obs::MetricKind::Counter);
+    ++st.hits;
+    ++(st.*tier);
+    mHits.add();
+    if (fromDisk) {
+        ++st.diskHits;
+        mDisk.add();
+    }
+}
+
+uint64_t
+ResultCache::pageHash(const exe::ChunkPtr &c) const
+{
+    if (cfg.store)
+        return cfg.store->contentHash(c);
+    return exe::pageContentHash(*c);
+}
+
+ResultCache::ResultCache(Config c) : cfg(std::move(c))
+{
+    if (!cfg.dir.empty())
+        loadDiskTier();
+}
+
+// ----------------------------------------------------------------
+// Key construction.
+
+namespace {
+
+/** Everything besides page contents and machine state that affects
+ *  a timing run's output. Engine-selection knobs (dispatch,
+ *  simdHold, traceMemo) are proven output-invariant by the
+ *  differential fuzz oracle and deliberately excluded. */
+void
+hashFingerprint(H2 &h, const machine::MachineModel &model,
+                const TimingSim::Config &tcfg,
+                const Emulator::Config &ecfg, uint64_t interval,
+                unsigned warmup)
+{
+    h.str(model.name());
+    h.u64(std::bit_cast<uint64_t>(model.clockMhz()));
+    h.u32(model.issueWidth());
+    h.u32(model.branchPenalty());
+    h.u32(model.maxLatency());
+    h.u32(model.numGroups());
+    h.u32(model.numUnits());
+    for (unsigned u = 0; u < model.numUnits(); ++u)
+        h.u32(model.unitCapacity(u));
+
+    unsigned penalty =
+        tcfg.takenBranchPenalty == TimingSim::Config::fromModel
+            ? model.branchPenalty()
+            : tcfg.takenBranchPenalty;
+    h.u32(penalty);
+    h.ub(tcfg.useICache);
+    h.u32(tcfg.icache.bytes);
+    h.u32(tcfg.icache.lineBytes);
+    h.u32(tcfg.icache.assoc);
+    h.u32(tcfg.icacheMissPenalty);
+    h.ub(tcfg.collectStalls);
+
+    h.u32(ecfg.windows);
+    h.u32(ecfg.stackBytes);
+    h.u64(ecfg.maxInstructions);
+
+    h.u64(interval);
+    h.u32(warmup);
+}
+
+void
+hashCheckpointState(H2 &h, const Checkpoint &cp)
+{
+    const Emulator::State &s = cp.state;
+    h.v32(s.wins);
+    for (uint32_t g : s.globals)
+        h.u32(g);
+    for (uint32_t f : s.fpRegs)
+        h.u32(f);
+    h.u32(s.cwp);
+    h.u64(static_cast<uint64_t>(static_cast<int64_t>(s.winDepth)));
+    h.u32(s.icc);
+    h.u32(s.fcc);
+    h.u32(s.y);
+    h.u32(s.pc);
+    h.u32(s.npc);
+    h.ub(s.annul);
+    h.ub(s.exited);
+    h.u64(static_cast<uint64_t>(
+        static_cast<int64_t>(s.exitCode)));
+    h.u64(s.retired);
+    for (const MemDelta::Page &pg : cp.dataDelta.pages) {
+        h.u32(pg.offset);
+        h.v8(pg.bytes);
+    }
+    for (const MemDelta::Page &pg : cp.stackDelta.pages) {
+        h.u32(pg.offset);
+        h.v8(pg.bytes);
+    }
+}
+
+} // namespace
+
+ResultCache::ImageKey
+ResultCache::imageKey(const exe::Executable &x,
+                      const machine::MachineModel &model,
+                      const TimingSim::Config &tcfg,
+                      const Emulator::Config &ecfg,
+                      uint64_t interval, unsigned warmup,
+                      const std::vector<uint8_t> *blockLeader)
+{
+    H2 h;
+    hashFingerprint(h, model, tcfg, ecfg, interval, warmup);
+    if (blockLeader) {
+        h.u64(1);
+        h.v8(*blockLeader);
+    } else {
+        h.u64(0);
+    }
+    // Pristine data identity: the checkpoints' memory deltas are
+    // diffed against the initial data image, so the same delta over
+    // different pristine data is different memory — a data edit
+    // conservatively invalidates every shard.
+    h.u64(x.entry);
+    h.u64(x.bssBytes);
+    h.u64(x.data.size());
+    for (const exe::ChunkPtr &c : x.data.chunkRefs())
+        h.u64(pageHash(c));
+
+    ImageKey k;
+    k.base = h.key();
+    k.leader = blockLeader != nullptr;
+
+    // Text identity extends the base into the whole-image run key;
+    // shard keys see text only through their touched-page manifests.
+    h.u64(x.text.size());
+    k.textPageHash.reserve(x.text.chunkRefs().size());
+    for (const exe::ChunkPtr &c : x.text.chunkRefs()) {
+        uint64_t ph = pageHash(c);
+        k.textPageHash.push_back(ph);
+        h.u64(ph);
+    }
+    k.run = h.key();
+    return k;
+}
+
+ResultCache::Key
+ResultCache::shardKeyWarm(const ImageKey &k, const Checkpoint *cp,
+                          uint64_t len, bool isLast) const
+{
+    H2 h;
+    h.u64(k.base.a);
+    h.u64(k.base.b);
+    h.u64(1);  // flavor: checkpoint + recorded warmup
+    h.u64(len);
+    h.ub(isLast);
+    if (cp) {
+        hashCheckpointState(h, *cp);
+        h.v32(cp->warmupPcs);
+    } else {
+        h.u64(0x5ead0000);  // shard 0: starts from reset
+    }
+    return h.key();
+}
+
+ResultCache::Key
+ResultCache::shardKeyHandoff(const ImageKey &k, const Checkpoint *cp,
+                             const std::vector<uint64_t> &entryKey,
+                             uint64_t len, bool isLast) const
+{
+    H2 h;
+    h.u64(k.base.a);
+    h.u64(k.base.b);
+    h.u64(2);  // flavor: exact handed-off timing state
+    h.u64(len);
+    h.ub(isLast);
+    if (cp)
+        hashCheckpointState(h, *cp);
+    else
+        h.u64(0x5ead0000);
+    // The normalized key, not the raw snapshot: equal keys time any
+    // future stream identically (appendNormalizedKey's invariant),
+    // and the raw snapshot is not translation-invariant.
+    h.v64(entryKey);
+    return h.key();
+}
+
+ResultCache::Key
+ResultCache::timedKey(const exe::Executable &x,
+                      const machine::MachineModel &model,
+                      const TimingSim::Config &tcfg,
+                      const Emulator::Config &ecfg)
+{
+    H2 h;
+    h.u64(3);  // flavor: whole serial timed run
+    hashFingerprint(h, model, tcfg, ecfg, 0, 0);
+    h.u64(x.entry);
+    h.u64(x.bssBytes);
+    h.u64(x.data.size());
+    for (const exe::ChunkPtr &c : x.data.chunkRefs())
+        h.u64(pageHash(c));
+    h.u64(x.text.size());
+    for (const exe::ChunkPtr &c : x.text.chunkRefs())
+        h.u64(pageHash(c));
+    return h.key();
+}
+
+// ----------------------------------------------------------------
+// Arch state <-> delta form.
+
+ResultCache::ArchDelta
+ResultCache::deltaArch(const Emulator::ArchSnapshot &s,
+                       const exe::Executable &x)
+{
+    ArchDelta d;
+    if (s.dataMem.empty() && s.stackMem.empty())
+        return d;  // absent (not the last shard)
+    d.present = true;
+    std::copy(std::begin(s.intRegs), std::end(s.intRegs),
+              std::begin(d.intRegs));
+    std::copy(std::begin(s.fpRegs), std::end(s.fpRegs),
+              std::begin(d.fpRegs));
+    d.icc = s.icc;
+    d.fcc = s.fcc;
+    d.y = s.y;
+    d.dataDelta = MemDelta::diff(initialDataImage(x), s.dataMem);
+    d.stackDelta = MemDelta::diff(
+        std::vector<uint8_t>(s.stackMem.size(), 0), s.stackMem);
+    return d;
+}
+
+Emulator::ArchSnapshot
+ResultCache::rebuildArch(const ArchDelta &d, const exe::Executable &x,
+                         const Emulator::Config &ecfg)
+{
+    Emulator::ArchSnapshot s;
+    if (!d.present)
+        return s;
+    std::copy(std::begin(d.intRegs), std::end(d.intRegs),
+              std::begin(s.intRegs));
+    std::copy(std::begin(d.fpRegs), std::end(d.fpRegs),
+              std::begin(s.fpRegs));
+    s.icc = d.icc;
+    s.fcc = d.fcc;
+    s.y = d.y;
+    s.dataMem = initialDataImage(x);
+    d.dataDelta.apply(s.dataMem);
+    s.stackMem.assign(ecfg.stackBytes, 0);
+    d.stackDelta.apply(s.stackMem);
+    return s;
+}
+
+// ----------------------------------------------------------------
+// Entry payloads (shared by the disk tier).
+
+namespace {
+
+void
+putArch(Enc &o, const ResultCache::ArchDelta &d)
+{
+    o.ub(d.present);
+    if (!d.present)
+        return;
+    for (uint32_t r : d.intRegs)
+        o.u32(r);
+    for (uint32_t r : d.fpRegs)
+        o.u32(r);
+    o.u32(d.icc);
+    o.u32(d.fcc);
+    o.u32(d.y);
+    putDelta(o, d.dataDelta);
+    putDelta(o, d.stackDelta);
+}
+
+void
+getArch(Dec &d, ResultCache::ArchDelta &a)
+{
+    a.present = d.ub();
+    if (!a.present)
+        return;
+    for (uint32_t &r : a.intRegs)
+        r = d.u32();
+    for (uint32_t &r : a.fpRegs)
+        r = d.u32();
+    a.icc = d.u32();
+    a.fcc = d.u32();
+    a.y = d.u32();
+    getDelta(d, a.dataDelta);
+    getDelta(d, a.stackDelta);
+}
+
+} // namespace
+
+// ----------------------------------------------------------------
+// Tier operations.
+
+bool
+ResultCache::lookupShard(const ImageKey &k, const Key &sk,
+                         const exe::Executable &x,
+                         const Emulator::Config &ecfg,
+                         ShardValue &out)
+{
+    static obs::Metric mMisses("rescache.misses",
+                               obs::MetricKind::Counter);
+    static obs::Metric mInval("rescache.invalidations",
+                              obs::MetricKind::Counter);
+    std::lock_guard<std::mutex> lock(mu);
+    ++st.lookups;
+    auto it = shardTier.find(sk);
+    if (it != shardTier.end()) {
+        for (const ShardEntry &e : it->second) {
+            bool match = true;
+            for (const auto &[idx, ph] : e.manifest)
+                if (idx >= k.textPageHash.size() ||
+                    k.textPageHash[idx] != ph) {
+                    match = false;
+                    break;
+                }
+            if (!match)
+                continue;
+            const StoredShard &v = e.value;
+            out.cycles = v.cycles;
+            out.insts = v.insts;
+            out.hist = v.hist;
+            out.breakdown = v.breakdown;
+            out.stallCycles = v.stallCycles;
+            out.blocks = v.blocks;
+            out.perWord.clear();
+            if (k.leader) {
+                out.perWord.assign(v.perWordSize, 0);
+                for (const auto &[w, n] : v.perWordNz)
+                    if (w < out.perWord.size())
+                        out.perWord[w] = n;
+            }
+            out.output = v.output;
+            out.endState = rebuildArch(v.endState, x, ecfg);
+            out.startKey = v.startKey;
+            out.endKey = v.endKey;
+            out.endTiming = v.endTiming;
+            noteHit(e.fromDisk, &Stats::shardHits);
+            return true;
+        }
+        // Candidates existed but an executed page's content changed:
+        // this shard must re-run because of the edit.
+        ++st.invalidations;
+        mInval.add();
+    }
+    ++st.misses;
+    mMisses.add();
+    return false;
+}
+
+void
+ResultCache::storeShard(const ImageKey &k, const Key &sk,
+                        const std::vector<uint32_t> &touchedPages,
+                        const ShardValue &v, const exe::Executable &x)
+{
+    ShardEntry e;
+    e.manifest.reserve(touchedPages.size());
+    for (uint32_t idx : touchedPages)
+        if (idx < k.textPageHash.size())
+            e.manifest.emplace_back(idx, k.textPageHash[idx]);
+
+    StoredShard &s = e.value;
+    s.cycles = v.cycles;
+    s.insts = v.insts;
+    s.hist = v.hist;
+    s.breakdown = v.breakdown;
+    s.stallCycles = v.stallCycles;
+    s.blocks = v.blocks;
+    s.perWordSize = v.perWord.size();
+    for (uint32_t w = 0; w < v.perWord.size(); ++w)
+        if (v.perWord[w])
+            s.perWordNz.emplace_back(w, v.perWord[w]);
+    s.output = v.output;
+    s.endState = deltaArch(v.endState, x);
+    s.startKey = v.startKey;
+    s.endKey = v.endKey;
+    s.endTiming = v.endTiming;
+
+    std::string payload;
+    std::string name;
+    std::lock_guard<std::mutex> lock(mu);
+    auto &bucket = shardTier[sk];
+    for (const ShardEntry &old : bucket)
+        if (old.manifest == e.manifest)
+            return;  // deterministic values: first store wins
+    ++st.stores;
+    if (!cfg.dir.empty()) {
+        Enc o;
+        o.u64(sk.a);
+        o.u64(sk.b);
+        putPairs(o, e.manifest);
+        o.u64(s.cycles);
+        o.u64(s.insts);
+        o.v64(s.hist);
+        putBreakdown(o, s.breakdown);
+        o.u64(s.stallCycles);
+        o.u64(s.blocks);
+        putPairs(o, s.perWordNz);
+        o.u64(s.perWordSize);
+        o.blob(s.output);
+        putArch(o, s.endState);
+        o.v64(s.startKey);
+        o.v64(s.endKey);
+        putTiming(o, s.endTiming);
+        payload = std::move(o.s);
+        Enc m;
+        putPairs(m, e.manifest);
+        name = "s" + hex(sk.a) + hex(sk.b) + "-" +
+               hex(fnv64(m.s.data(), m.s.size())) + ".rc";
+    }
+    bucket.push_back(std::move(e));
+    if (!name.empty())
+        writeEntry(kKindShard, name, payload);
+}
+
+bool
+ResultCache::lookupRun(const ImageKey &k, const exe::Executable &x,
+                       const Emulator::Config &ecfg, RunValue &out)
+{
+    static obs::Metric mMisses("rescache.misses",
+                               obs::MetricKind::Counter);
+    std::lock_guard<std::mutex> lock(mu);
+    ++st.lookups;
+    auto it = runTier.find(k.run);
+    if (it == runTier.end()) {
+        ++st.misses;
+        mMisses.add();
+        return false;
+    }
+    const StoredRun &v = it->second.value;
+    out.result = v.result;
+    out.cycles = v.cycles;
+    out.issueHistogram = v.issueHistogram;
+    out.stallBreakdown = v.stallBreakdown;
+    out.stallCycles = v.stallCycles;
+    out.leaderRetires.clear();
+    if (k.leader) {
+        out.leaderRetires.assign(v.leaderSize, 0);
+        for (const auto &[w, n] : v.leaderNz)
+            if (w < out.leaderRetires.size())
+                out.leaderRetires[w] = n;
+    }
+    out.blocksRetired = v.blocksRetired;
+    out.finalState = rebuildArch(v.finalState, x, ecfg);
+    out.shards = v.shards;
+    out.resims = v.resims;
+    noteHit(it->second.fromDisk, &Stats::runHits);
+    return true;
+}
+
+void
+ResultCache::storeRun(const ImageKey &k, const exe::Executable &x,
+                      const RunValue &v)
+{
+    RunEntry e;
+    StoredRun &s = e.value;
+    s.result = v.result;
+    s.cycles = v.cycles;
+    s.issueHistogram = v.issueHistogram;
+    s.stallBreakdown = v.stallBreakdown;
+    s.stallCycles = v.stallCycles;
+    s.leaderSize = v.leaderRetires.size();
+    for (uint32_t w = 0; w < v.leaderRetires.size(); ++w)
+        if (v.leaderRetires[w])
+            s.leaderNz.emplace_back(w, v.leaderRetires[w]);
+    s.blocksRetired = v.blocksRetired;
+    s.finalState = deltaArch(v.finalState, x);
+    s.shards = v.shards;
+    s.resims = v.resims;
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (runTier.count(k.run))
+        return;
+    ++st.stores;
+    std::string name, payload;
+    if (!cfg.dir.empty()) {
+        Enc o;
+        o.u64(k.run.a);
+        o.u64(k.run.b);
+        putResult(o, s.result);
+        o.u64(s.cycles);
+        o.v64(s.issueHistogram);
+        putBreakdown(o, s.stallBreakdown);
+        o.u64(s.stallCycles);
+        putPairs(o, s.leaderNz);
+        o.u64(s.leaderSize);
+        o.u64(s.blocksRetired);
+        putArch(o, s.finalState);
+        o.u64(s.shards);
+        o.u64(s.resims);
+        payload = std::move(o.s);
+        name = "r" + hex(k.run.a) + hex(k.run.b) + ".rc";
+    }
+    runTier.emplace(k.run, std::move(e));
+    if (!name.empty())
+        writeEntry(kKindRun, name, payload);
+}
+
+bool
+ResultCache::lookupTimed(const Key &k, TimedValue &out)
+{
+    static obs::Metric mMisses("rescache.misses",
+                               obs::MetricKind::Counter);
+    std::lock_guard<std::mutex> lock(mu);
+    ++st.lookups;
+    auto it = timedTier.find(k);
+    if (it == timedTier.end()) {
+        ++st.misses;
+        mMisses.add();
+        return false;
+    }
+    out = it->second.value;
+    noteHit(it->second.fromDisk, &Stats::timedHits);
+    return true;
+}
+
+void
+ResultCache::storeTimed(const Key &k, const TimedValue &v)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (timedTier.count(k))
+        return;
+    ++st.stores;
+    timedTier.emplace(k, TimedEntry{v, false});
+    if (!cfg.dir.empty()) {
+        Enc o;
+        o.u64(k.a);
+        o.u64(k.b);
+        o.u64(v.instructions);
+        o.u64(v.cycles);
+        o.i32(v.exitCode);
+        o.ub(v.exited);
+        o.blob(v.output);
+        writeEntry(kKindTimed,
+                   "t" + hex(k.a) + hex(k.b) + ".rc", o.s);
+    }
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return st;
+}
+
+// ----------------------------------------------------------------
+// Disk tier. One file per entry:
+//
+//   "EELRC1" | u32 version | u8 kind | u64 payloadLen
+//   | payload | u64 fnv64(payload)
+//
+// Writes go to a unique temp name then rename into place, so a
+// concurrent reader never sees a half-written entry. Loads verify
+// every layer and count a clean reject (never a crash, never a
+// poisoned result) for anything malformed.
+
+void
+ResultCache::writeEntry(uint8_t kind, const std::string &name,
+                        const std::string &payload)
+{
+    // mu is held: tempSeq and the write ordering stay consistent.
+    std::error_code ec;
+    fs::create_directories(cfg.dir, ec);
+    std::string tmp = cfg.dir + "/.tmp-" +
+                      std::to_string(getpid()) + "-" +
+                      std::to_string(++tempSeq);
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            return;  // unwritable dir: stay memory-only
+        Enc o;
+        o.raw(kMagic, sizeof(kMagic));
+        o.u32(diskVersion);
+        o.u8(kind);
+        o.u64(payload.size());
+        f.write(o.s.data(), o.s.size());
+        f.write(payload.data(), payload.size());
+        Enc sum;
+        sum.u64(fnv64(payload.data(), payload.size()));
+        f.write(sum.s.data(), sum.s.size());
+        if (!f)
+            return;
+    }
+    fs::rename(tmp, cfg.dir + "/" + name, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+bool
+ResultCache::adoptPayload(uint8_t kind, const std::string &payload)
+{
+    Dec d(payload);
+    Key k{d.u64(), d.u64()};
+    if (kind == kKindShard) {
+        ShardEntry e;
+        e.fromDisk = true;
+        e.manifest = getPairs(d);
+        StoredShard &s = e.value;
+        s.cycles = d.u64();
+        s.insts = d.u64();
+        s.hist = d.v64();
+        getBreakdown(d, s.breakdown);
+        s.stallCycles = d.u64();
+        s.blocks = d.u64();
+        s.perWordNz = getPairs(d);
+        s.perWordSize = d.u64();
+        s.output = d.blob();
+        getArch(d, s.endState);
+        s.startKey = d.v64();
+        s.endKey = d.v64();
+        getTiming(d, s.endTiming);
+        if (!d.done())
+            return false;
+        auto &bucket = shardTier[k];
+        for (const ShardEntry &old : bucket)
+            if (old.manifest == e.manifest)
+                return true;
+        bucket.push_back(std::move(e));
+        return true;
+    }
+    if (kind == kKindRun) {
+        RunEntry e;
+        e.fromDisk = true;
+        StoredRun &s = e.value;
+        getResult(d, s.result);
+        s.cycles = d.u64();
+        s.issueHistogram = d.v64();
+        getBreakdown(d, s.stallBreakdown);
+        s.stallCycles = d.u64();
+        s.leaderNz = getPairs(d);
+        s.leaderSize = d.u64();
+        s.blocksRetired = d.u64();
+        getArch(d, s.finalState);
+        s.shards = d.u64();
+        s.resims = d.u64();
+        if (!d.done())
+            return false;
+        runTier.emplace(k, std::move(e));
+        return true;
+    }
+    if (kind == kKindTimed) {
+        TimedEntry e;
+        e.fromDisk = true;
+        e.value.instructions = d.u64();
+        e.value.cycles = d.u64();
+        e.value.exitCode = d.i32();
+        e.value.exited = d.ub();
+        e.value.output = d.blob();
+        if (!d.done())
+            return false;
+        timedTier.emplace(k, std::move(e));
+        return true;
+    }
+    return false;
+}
+
+void
+ResultCache::loadDiskTier()
+{
+    std::error_code ec;
+    fs::create_directories(cfg.dir, ec);
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &de : fs::directory_iterator(cfg.dir, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        if (de.path().extension() != ".rc")
+            continue;
+        std::ifstream f(de.path(), std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+        const size_t header = sizeof(kMagic) + 4 + 1 + 8;
+        bool rejected = true;
+        if (f && bytes.size() >= header + 8 &&
+            std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0) {
+            Dec d(bytes);
+            d.p += sizeof(kMagic);
+            uint32_t version = d.u32();
+            uint8_t kind = d.u8();
+            uint64_t len = d.u64();
+            if (version == diskVersion &&
+                len == bytes.size() - header - 8) {
+                std::string payload = bytes.substr(header, len);
+                Dec tail(bytes);
+                tail.p += header + len;
+                uint64_t sum = tail.u64();
+                if (sum ==
+                        fnv64(payload.data(), payload.size()) &&
+                    adoptPayload(kind, payload)) {
+                    rejected = false;
+                    ++st.diskEntriesLoaded;
+                }
+            }
+        }
+        if (rejected)
+            ++st.diskRejects;
+    }
+}
+
+} // namespace eel::sim

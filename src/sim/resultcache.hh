@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Content-addressed cache of sharded timing-simulation results.
+ *
+ * The paper's methodology is "edit a binary, re-measure it": every
+ * table is a sweep of rewritten variants of one program, and the
+ * variants share ~95% of their text pages through exe::SectionStore.
+ * Yet each variant pays a full timing run. This subsystem closes
+ * that gap by memoizing per-shard timing results under keys built
+ * from exactly what determines them:
+ *
+ *   shard key  = H(machine/config fingerprint,
+ *                  pristine-data identity of the image,
+ *                  the shard's entry machine state (its checkpoint:
+ *                  registers, cursor, memory deltas, warmup pcs —
+ *                  or, for a stitch resimulation, the predecessor's
+ *                  normalized timing key via
+ *                  TimingSim::appendNormalizedKey),
+ *                  shard length, last-shard flag)
+ *   + manifest = content hashes of the text pages the shard's replay
+ *                actually executed (its page-touch bitmap)
+ *
+ * A candidate under the key is a hit only if every manifest page
+ * hash matches the current image — so after a one-byte edit to a
+ * hot page, exactly the shards that execute that page re-run
+ * (counted as rescache.invalidations), and every other shard's
+ * result is reused byte-for-byte. Register/memory entry state is in
+ * the key because the retired pc stream is a function of it; text
+ * content enters only through the manifest because an edit to a
+ * never-executed page cannot change a replay (the emulator faults
+ * loads outside data/stack, so text is only read at executed pcs).
+ *
+ * A second, run-level tier keys the fully merged run on the whole
+ * image (every text+data page hash) plus the fingerprint, letting an
+ * unchanged image skip even the functional capture pass. A third
+ * tier does the same for whole serial timedRun() results, which is
+ * what the service daemon consults across SIMULATE requests.
+ *
+ * Both tiers live in memory; with Config::dir set they write through
+ * to a disk tier (one versioned, checksummed file per entry, loaded
+ * on construction) so very long runs survive process restarts. Any
+ * disk anomaly — short file, bad magic, wrong version, checksum
+ * mismatch, truncated payload — rejects that file cleanly and the
+ * lookup is treated as cold; a corrupt cache can cost time, never
+ * correctness.
+ *
+ * The cache is only consulted for the perfect-icache configuration:
+ * with Config::useICache the timing state is not self-contained
+ * (cache contents are never snapshotted) and that config is
+ * documented approximate anyway — the same gate the sharded
+ * validation stitch uses.
+ */
+
+#ifndef EEL_SIM_RESULTCACHE_HH
+#define EEL_SIM_RESULTCACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/checkpoint.hh"
+#include "src/sim/timing.hh"
+
+namespace eel::exe {
+class SectionStore;
+}
+
+namespace eel::sim {
+
+class ResultCache
+{
+  public:
+    struct Config
+    {
+        /** Disk tier root ("" = in-memory only). Created on demand;
+         *  entries already present are loaded at construction. */
+        std::string dir;
+        /** Optional store whose contentHash() memoizes page hashing
+         *  (gc-safe: the store re-hashes recycled chunk addresses
+         *  instead of pinning pages). Null = hash pages directly. */
+        exe::SectionStore *store = nullptr;
+    };
+
+    struct Stats
+    {
+        uint64_t lookups = 0;        ///< shard+run+timed lookups
+        uint64_t hits = 0;           ///< all tiers
+        uint64_t runHits = 0;        ///< whole-run tier hits
+        uint64_t shardHits = 0;      ///< shard tier hits
+        uint64_t timedHits = 0;      ///< serial timed-run tier hits
+        uint64_t diskHits = 0;       ///< hits on disk-loaded entries
+        uint64_t misses = 0;
+        /** Lookups that found candidates under the key but every
+         *  candidate's page manifest mismatched the current image —
+         *  i.e. a shard re-run forced by an edited executed page. */
+        uint64_t invalidations = 0;
+        uint64_t stores = 0;
+        uint64_t diskEntriesLoaded = 0;
+        uint64_t diskRejects = 0;    ///< corrupt/alien files skipped
+    };
+
+    /** 128-bit content key (two independent FNV-1a streams); low
+     *  collision odds are backed by runSharded's merged-output
+     *  fatals, which would trip on any mismatched payload. */
+    struct Key
+    {
+        uint64_t a = 0, b = 0;
+        bool operator==(const Key &) const = default;
+    };
+
+    /**
+     * Per-invocation key context for one (executable, model, config)
+     * triple: the whole-image run key, the text-free base the shard
+     * keys mix from, and the per-page content hashes the manifests
+     * verify against.
+     */
+    struct ImageKey
+    {
+        Key run;   ///< fingerprint + every text and data page
+        Key base;  ///< fingerprint + pristine-data identity only
+        std::vector<uint64_t> textPageHash;  ///< per 1 KiB text page
+        bool leader = false;  ///< a block-leader bitmap was keyed in
+    };
+
+    /** One shard's cached timing deltas — exactly the per-shard
+     *  record runSharded merges, including the stitch-validation
+     *  keys and handoff state. */
+    struct ShardValue
+    {
+        uint64_t cycles = 0;
+        uint64_t insts = 0;
+        std::vector<uint64_t> hist;
+        obs::StallBreakdown breakdown;
+        uint64_t stallCycles = 0;
+        uint64_t blocks = 0;
+        std::vector<uint64_t> perWord;  ///< sized iff leader bitmap
+        std::string output;
+        Emulator::ArchSnapshot endState;  ///< last shard only
+        std::vector<uint64_t> startKey, endKey;
+        TimingSim::State endTiming;
+    };
+
+    /** A fully merged sharded run (the fields a warm re-run must
+     *  reproduce byte-for-byte; wall-clock stats excluded). */
+    struct RunValue
+    {
+        RunResult result;
+        uint64_t cycles = 0;
+        std::vector<uint64_t> issueHistogram;
+        obs::StallBreakdown stallBreakdown;
+        uint64_t stallCycles = 0;
+        std::vector<uint64_t> leaderRetires;
+        uint64_t blocksRetired = 0;
+        Emulator::ArchSnapshot finalState;
+        uint64_t shards = 0;
+        uint64_t resims = 0;
+    };
+
+    /** A completed serial timedRun() (the service's SIMULATE tier). */
+    struct TimedValue
+    {
+        uint64_t instructions = 0;
+        uint64_t cycles = 0;
+        int exitCode = -1;
+        bool exited = false;
+        std::string output;
+    };
+
+    ResultCache() : ResultCache(Config{}) {}
+    explicit ResultCache(Config cfg);
+
+    /**
+     * Build the key context for one runSharded invocation. Hashes
+     * the machine model, the output-affecting timing/emulator/shard
+     * configuration (engine-selection knobs that are proven
+     * output-invariant — dispatch, simdHold, traceMemo — are
+     * deliberately excluded), the pristine data identity, every
+     * text page, and the block-leader bitmap if any.
+     */
+    ImageKey imageKey(const exe::Executable &x,
+                      const machine::MachineModel &model,
+                      const TimingSim::Config &tcfg,
+                      const Emulator::Config &ecfg,
+                      uint64_t interval, unsigned warmup,
+                      const std::vector<uint8_t> *blockLeader);
+
+    /** Key for a shard replayed from its checkpoint with recorded
+     *  warmup pcs (cp null for shard 0, which starts from reset). */
+    Key shardKeyWarm(const ImageKey &k, const Checkpoint *cp,
+                     uint64_t len, bool isLast) const;
+    /** Key for a stitch resimulation continued from the
+     *  predecessor's exact end state, identified by its normalized
+     *  timing key (equal keys time any future stream identically). */
+    Key shardKeyHandoff(const ImageKey &k, const Checkpoint *cp,
+                        const std::vector<uint64_t> &entryKey,
+                        uint64_t len, bool isLast) const;
+
+    /**
+     * Shard tier: a candidate under sk hits iff every touched page
+     * in its manifest still hashes the same in k. On a hit, out is
+     * the exact prior replay (endState rebuilt from deltas against
+     * x's pristine images sized by ecfg).
+     */
+    bool lookupShard(const ImageKey &k, const Key &sk,
+                     const exe::Executable &x,
+                     const Emulator::Config &ecfg, ShardValue &out);
+    void storeShard(const ImageKey &k, const Key &sk,
+                    const std::vector<uint32_t> &touchedPages,
+                    const ShardValue &v, const exe::Executable &x);
+
+    /** Run tier: keyed on the whole image, no manifest needed. */
+    bool lookupRun(const ImageKey &k, const exe::Executable &x,
+                   const Emulator::Config &ecfg, RunValue &out);
+    void storeRun(const ImageKey &k, const exe::Executable &x,
+                  const RunValue &v);
+
+    /** Timed-run tier (serial timedRun; the service's SIMULATE). */
+    Key timedKey(const exe::Executable &x,
+                 const machine::MachineModel &model,
+                 const TimingSim::Config &tcfg,
+                 const Emulator::Config &ecfg);
+    bool lookupTimed(const Key &k, TimedValue &out);
+    void storeTimed(const Key &k, const TimedValue &v);
+
+    Stats stats() const;
+
+    /** Disk format version; bump on any layout change. */
+    static constexpr uint32_t diskVersion = 1;
+
+    /** endState/finalState as deltas vs the pristine images (a full
+     *  ArchSnapshot carries the whole 1 MiB stack). Public only so
+     *  the serializers in resultcache.cc can name it. */
+    struct ArchDelta
+    {
+        bool present = false;
+        uint32_t intRegs[32] = {};
+        uint32_t fpRegs[32] = {};
+        unsigned icc = 0, fcc = 0;
+        uint32_t y = 0;
+        MemDelta dataDelta;   ///< vs initialDataImage(x)
+        MemDelta stackDelta;  ///< vs zeros
+    };
+
+  private:
+    struct KeyHash
+    {
+        size_t operator()(const Key &k) const { return size_t(k.a); }
+    };
+
+    struct StoredShard
+    {
+        uint64_t cycles = 0, insts = 0;
+        std::vector<uint64_t> hist;
+        obs::StallBreakdown breakdown;
+        uint64_t stallCycles = 0;
+        uint64_t blocks = 0;
+        /** Sparse perWord: (word index, count), plus original size. */
+        std::vector<std::pair<uint32_t, uint64_t>> perWordNz;
+        uint64_t perWordSize = 0;
+        std::string output;
+        ArchDelta endState;
+        std::vector<uint64_t> startKey, endKey;
+        TimingSim::State endTiming;
+    };
+
+    struct ShardEntry
+    {
+        std::vector<std::pair<uint32_t, uint64_t>> manifest;
+        StoredShard value;
+        bool fromDisk = false;
+    };
+
+    struct StoredRun
+    {
+        RunResult result;
+        uint64_t cycles = 0;
+        std::vector<uint64_t> issueHistogram;
+        obs::StallBreakdown stallBreakdown;
+        uint64_t stallCycles = 0;
+        std::vector<std::pair<uint32_t, uint64_t>> leaderNz;
+        uint64_t leaderSize = 0;
+        uint64_t blocksRetired = 0;
+        ArchDelta finalState;
+        uint64_t shards = 0;
+        uint64_t resims = 0;
+    };
+
+    struct RunEntry
+    {
+        StoredRun value;
+        bool fromDisk = false;
+    };
+
+    struct TimedEntry
+    {
+        TimedValue value;
+        bool fromDisk = false;
+    };
+
+    static ArchDelta deltaArch(const Emulator::ArchSnapshot &s,
+                               const exe::Executable &x);
+    static Emulator::ArchSnapshot rebuildArch(
+        const ArchDelta &d, const exe::Executable &x,
+        const Emulator::Config &ecfg);
+
+    uint64_t pageHash(const exe::ChunkPtr &c) const;
+    void loadDiskTier();
+    void writeEntry(uint8_t kind, const std::string &name,
+                    const std::string &payload);
+    bool adoptPayload(uint8_t kind, const std::string &payload);
+    void noteHit(bool fromDisk, uint64_t Stats::*tier);
+
+    Config cfg;
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::vector<ShardEntry>, KeyHash> shardTier;
+    std::unordered_map<Key, RunEntry, KeyHash> runTier;
+    std::unordered_map<Key, TimedEntry, KeyHash> timedTier;
+    Stats st;
+    uint64_t tempSeq = 0;
+};
+
+} // namespace eel::sim
+
+#endif // EEL_SIM_RESULTCACHE_HH

@@ -5,6 +5,7 @@
 
 #include "src/obs/metrics.hh"
 #include "src/obs/trace.hh"
+#include "src/sim/resultcache.hh"
 #include "src/support/logging.hh"
 
 namespace eel::sim {
@@ -26,11 +27,16 @@ struct ReplaySink final
     const std::vector<uint8_t> *leader;  ///< may be null
     std::vector<uint64_t> perWord;       ///< sized iff leader
     uint64_t blocks = 0;
+    /** Page-touch bitmap (one byte per text page), set for every
+     *  retired pc when the result cache is recording a manifest. */
+    uint8_t *touched = nullptr;
 
     void
     retire(uint32_t pc, const isa::Instruction &inst)
     {
         timing->retire(pc, inst);
+        if (touched)
+            touched[(pc - exe::textBase) / exe::Chunk::bytes] = 1;
         if (leader) {
             uint32_t w = (pc - exe::textBase) / 4;
             if ((*leader)[w]) {
@@ -62,7 +68,62 @@ struct ShardOut
     // can be replayed from it.
     std::vector<uint64_t> startKey, endKey;
     TimingSim::State endTiming;
+
+    /** Text pages this shard's replay (incl. warmup) executed; sized
+     *  only while the result cache records manifests. */
+    std::vector<uint8_t> touched;
 };
+
+/** Adopt a cached shard result (icache counters are zero by the
+ *  cache's perfect-icache gate). */
+void
+adoptShardValue(ShardOut &o, ResultCache::ShardValue &&v)
+{
+    o.cycles = v.cycles;
+    o.insts = v.insts;
+    o.hist = std::move(v.hist);
+    o.icMisses = 0;
+    o.icAccesses = 0;
+    o.breakdown = v.breakdown;
+    o.stallCycles = v.stallCycles;
+    o.blocks = v.blocks;
+    o.perWord = std::move(v.perWord);
+    o.output = std::move(v.output);
+    o.endState = std::move(v.endState);
+    o.startKey = std::move(v.startKey);
+    o.endKey = std::move(v.endKey);
+    o.endTiming = std::move(v.endTiming);
+}
+
+/** The per-shard record, as the cache stores it. */
+ResultCache::ShardValue
+toShardValue(const ShardOut &o)
+{
+    ResultCache::ShardValue v;
+    v.cycles = o.cycles;
+    v.insts = o.insts;
+    v.hist = o.hist;
+    v.breakdown = o.breakdown;
+    v.stallCycles = o.stallCycles;
+    v.blocks = o.blocks;
+    v.perWord = o.perWord;
+    v.output = o.output;
+    v.endState = o.endState;
+    v.startKey = o.startKey;
+    v.endKey = o.endKey;
+    v.endTiming = o.endTiming;
+    return v;
+}
+
+std::vector<uint32_t>
+touchedPageList(const std::vector<uint8_t> &touched)
+{
+    std::vector<uint32_t> pages;
+    for (uint32_t i = 0; i < touched.size(); ++i)
+        if (touched[i])
+            pages.push_back(i);
+    return pages;
+}
 
 } // namespace
 
@@ -88,6 +149,40 @@ runSharded(const exe::Executable &x,
            const ShardOptions &opts)
 {
     auto text = Emulator::decodeText(x);
+
+    // The cache is gated exactly like the validation stitch: without
+    // an icache the timing state is self-contained, so cached results
+    // are byte-identical to a cold run.
+    const bool useCache = opts.cache && !opts.timing.useICache;
+    ResultCache::ImageKey ikey;
+    if (useCache) {
+        ikey = opts.cache->imageKey(x, model, opts.timing, opts.emu,
+                                    opts.interval, opts.warmup,
+                                    opts.blockLeader);
+        // Run-level tier: an image whose every text+data page is
+        // unchanged skips even the functional capture pass.
+        ResultCache::RunValue rv;
+        if (opts.cache->lookupRun(ikey, x, opts.emu, rv)) {
+            ShardedRun hit;
+            hit.result = rv.result;
+            hit.cycles = rv.cycles;
+            hit.issueHistogram = std::move(rv.issueHistogram);
+            hit.stallBreakdown = rv.stallBreakdown;
+            hit.stallCycles = rv.stallCycles;
+            hit.leaderRetires = std::move(rv.leaderRetires);
+            hit.blocksRetired = rv.blocksRetired;
+            hit.finalState = std::move(rv.finalState);
+            hit.seconds =
+                double(hit.cycles) / (model.clockMhz() * 1e6);
+            hit.ipc = hit.cycles ? double(hit.result.instructions) /
+                                       double(hit.cycles)
+                                 : 0.0;
+            hit.stats.shards = rv.shards;
+            hit.stats.resims = rv.resims;
+            hit.stats.cachedRun = true;
+            return hit;
+        }
+    }
 
     auto t0 = Clock::now();
     CheckpointOptions copts;
@@ -135,14 +230,25 @@ runSharded(const exe::Executable &x,
         if (k > 0)
             restoreCheckpoint(emu, log.checkpoints[k - 1]);
 
+        ShardOut &o = results[k];
+        if (useCache)
+            o.touched.assign(x.text.chunkRefs().size(), 0);
+
         TimingSim timing(model, opts.timing);
         if (handoff) {
             timing.restoreState(*handoff);
         } else if (k > 0) {
-            for (uint32_t pc : log.checkpoints[k - 1].warmupPcs)
+            // Warmup pcs count as touches: the instructions replayed
+            // here come from the current text, so an edit to a page
+            // only the warmup executes still changes the timing state
+            // at the cut.
+            for (uint32_t pc : log.checkpoints[k - 1].warmupPcs) {
                 timing.retire(pc, (*text)[(pc - exe::textBase) / 4]);
+                if (useCache)
+                    o.touched[(pc - exe::textBase) /
+                              exe::Chunk::bytes] = 1;
+            }
         }
-        ShardOut &o = results[k];
         if (validate) {
             o.startKey.clear();
             timing.appendNormalizedKey(o.startKey);
@@ -160,7 +266,8 @@ runSharded(const exe::Executable &x,
         const obs::StallBreakdown warmBrk = timing.stallBreakdown();
         const uint64_t warmStall = timing.stallCycles();
 
-        ReplaySink sink{&timing, opts.blockLeader, {}, 0};
+        ReplaySink sink{&timing, opts.blockLeader, {}, 0,
+                        useCache ? o.touched.data() : nullptr};
         if (opts.blockLeader)
             sink.perWord.assign(x.text.size(), 0);
 
@@ -191,22 +298,58 @@ runSharded(const exe::Executable &x,
         }
         timing.flushPipelineMetrics();
     };
+    // Shard-tier lookups run up front on the calling thread; only
+    // the misses are dispatched to the pool. A shard hits when its
+    // entry state (checkpoint + recorded warmup) and every text page
+    // it executed are unchanged — so after an edit, exactly the
+    // shards that execute the edited pages replay.
+    std::vector<ResultCache::Key> warmKey(useCache ? shards : 0);
+    std::vector<char> cached(shards, 0);
+    if (useCache) {
+        for (size_t k = 0; k < shards; ++k) {
+            const Checkpoint *cp =
+                k ? &log.checkpoints[k - 1] : nullptr;
+            warmKey[k] = opts.cache->shardKeyWarm(
+                ikey, cp, shardEnd(k) - shardStart(k),
+                k + 1 == shards);
+            ResultCache::ShardValue sv;
+            if (opts.cache->lookupShard(ikey, warmKey[k], x,
+                                        opts.emu, sv)) {
+                adoptShardValue(results[k], std::move(sv));
+                cached[k] = 1;
+                ++out.stats.cachedShards;
+            }
+        }
+    }
+
     auto runShard = [&](size_t k) {
         obs::Span span("shard.replay." + std::to_string(k));
         replayRegion(k, nullptr);
+        if (useCache)
+            opts.cache->storeShard(ikey, warmKey[k],
+                                   touchedPageList(results[k].touched),
+                                   toShardValue(results[k]), x);
     };
 
     t0 = Clock::now();
-    if (opts.pool && shards > 1) {
+    std::vector<size_t> missIdx;
+    missIdx.reserve(shards);
+    for (size_t k = 0; k < shards; ++k)
+        if (!cached[k])
+            missIdx.push_back(k);
+    if (opts.pool && missIdx.size() > 1) {
         // Cost-sorted dispatch: all shards are interval-sized except
         // the tail, so this mostly matters when the cap or an early
         // exit makes the last shard short.
-        std::vector<uint64_t> cost(shards);
-        for (size_t k = 0; k < shards; ++k)
-            cost[k] = shardEnd(k) - shardStart(k) + opts.warmup;
-        opts.pool->parallelFor(shards, cost, runShard);
+        std::vector<uint64_t> cost(missIdx.size());
+        for (size_t i = 0; i < missIdx.size(); ++i)
+            cost[i] = shardEnd(missIdx[i]) - shardStart(missIdx[i]) +
+                      opts.warmup;
+        opts.pool->parallelFor(missIdx.size(), cost, [&](size_t i) {
+            runShard(missIdx[i]);
+        });
     } else {
-        for (size_t k = 0; k < shards; ++k)
+        for (size_t k : missIdx)
             runShard(k);
     }
 
@@ -231,7 +374,29 @@ runSharded(const exe::Executable &x,
         for (size_t k = 1; k < shards; ++k) {
             if (results[k].startKey == results[k - 1].endKey)
                 continue;
-            replayRegion(k, &results[k - 1].endTiming);
+            if (useCache) {
+                // Resimulations get their own cache flavor, keyed on
+                // the predecessor's exact (normalized) end state
+                // instead of the warmup trace — so a warm re-run of a
+                // non-converging stream skips even its stitch work.
+                const Checkpoint *cp = &log.checkpoints[k - 1];
+                ResultCache::Key hk = opts.cache->shardKeyHandoff(
+                    ikey, cp, results[k - 1].endKey,
+                    shardEnd(k) - shardStart(k), k + 1 == shards);
+                ResultCache::ShardValue sv;
+                if (opts.cache->lookupShard(ikey, hk, x, opts.emu,
+                                            sv)) {
+                    adoptShardValue(results[k], std::move(sv));
+                    ++out.stats.cachedShards;
+                    continue;
+                }
+                replayRegion(k, &results[k - 1].endTiming);
+                opts.cache->storeShard(
+                    ikey, hk, touchedPageList(results[k].touched),
+                    toShardValue(results[k]), x);
+            } else {
+                replayRegion(k, &results[k - 1].endTiming);
+            }
             mResims.add();
             ++out.stats.resims;
         }
@@ -274,6 +439,21 @@ runSharded(const exe::Executable &x,
     out.seconds = double(out.cycles) / (model.clockMhz() * 1e6);
     out.ipc = out.cycles ? double(insts) / double(out.cycles) : 0.0;
     out.finalState = results.back().endState;
+
+    if (useCache) {
+        ResultCache::RunValue rv;
+        rv.result = out.result;
+        rv.cycles = out.cycles;
+        rv.issueHistogram = out.issueHistogram;
+        rv.stallBreakdown = out.stallBreakdown;
+        rv.stallCycles = out.stallCycles;
+        rv.leaderRetires = out.leaderRetires;
+        rv.blocksRetired = out.blocksRetired;
+        rv.finalState = out.finalState;
+        rv.shards = shards;
+        rv.resims = out.stats.resims;
+        opts.cache->storeRun(ikey, x, rv);
+    }
     return out;
 }
 

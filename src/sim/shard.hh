@@ -63,6 +63,8 @@
 
 namespace eel::sim {
 
+class ResultCache;
+
 struct ShardOptions
 {
     /** Dynamic instructions per shard. */
@@ -80,6 +82,16 @@ struct ShardOptions
      * ShardedRun::leaderRetires.
      */
     const std::vector<uint8_t> *blockLeader = nullptr;
+    /**
+     * Optional content-addressed result cache (src/sim/resultcache).
+     * Consulted only for the perfect-icache configuration — the same
+     * gate as the validation stitch, because a shard's timing state
+     * is only self-contained without cache contents. A warm run
+     * reuses every shard whose entry state and executed text pages
+     * are unchanged; the run-level tier can skip even the capture
+     * pass. Cached results are byte-identical to a cold run.
+     */
+    ResultCache *cache = nullptr;
 };
 
 struct ShardStats
@@ -91,6 +103,10 @@ struct ShardStats
     /** Shards whose warmup failed validation and were replayed
      *  serially from the predecessor's end state. */
     size_t resims = 0;
+    /** Shards satisfied from the result cache (warm or handoff
+     *  entries), and whether the whole run was a run-tier hit. */
+    size_t cachedShards = 0;
+    bool cachedRun = false;
 };
 
 struct ShardedRun

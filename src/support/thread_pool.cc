@@ -19,35 +19,218 @@ thread_local const ThreadPool *currentPool = nullptr;
 } // namespace
 
 /**
- * One parallelFor invocation. Heap-allocated and held by shared_ptr
- * so a worker that wakes late — after the batch drained and a new
- * one was published — still sees its own queues (it then finds
- * every deque empty and exits without touching the stale functor).
+ * One top-level parallelFor invocation plus any nested calls made
+ * from inside its items. Heap-allocated and held by shared_ptr so a
+ * worker that wakes late — after the batch drained and a new one was
+ * published — still sees its own queues (it then finds every deque
+ * empty and exits without touching a stale functor).
  *
- * Items are dealt round-robin across one deque per thread slot.
- * Each slot is owned by exactly one thread (the submitting caller is
- * slot 0, workers are 1..n-1), which pops from the front; a thread
- * whose deque is empty steals the back half of a victim's. The
- * per-deque mutex is uncontended except during steals, and items
- * are coarse (a routine to schedule, a benchmark to run, a shard to
- * replay), so lock cost is noise against item cost.
+ * Work items are Tasks: (context, index) pairs, where a Ctx is one
+ * parallelFor call — the root call that created the batch, or a
+ * nested call injected by a running item. Tasks are dealt
+ * round-robin across one deque per thread slot. Each slot is owned
+ * by exactly one thread (the submitting caller is slot 0, workers
+ * are 1..n-1), which pops from the front; a thread whose deque is
+ * empty steals from another's. The per-deque mutex is uncontended
+ * except during steals, and items are coarse (a routine to schedule,
+ * a benchmark to run, a shard to replay), so lock cost is noise
+ * against item cost.
+ *
+ * Parking: a thread with nothing to run sleeps on parkCv until the
+ * batch's event counter moves — a task enqueue (new work to scan
+ * for) or a context completion (its waiter can return). The counter
+ * is read before each scan, so a wakeup between scan and sleep is
+ * never lost.
  */
 struct ThreadPool::Batch
 {
+    /** One parallelFor call: its functor, item count, and drain
+     *  bookkeeping. The root Ctx lives in the Batch; nested Ctxs
+     *  live on their caller's stack, which is safe because every
+     *  task of a Ctx finishes before its call returns, and a
+     *  finishing executor touches only the Batch afterwards. */
+    struct Ctx
+    {
+        const std::function<void(size_t)> *fn = nullptr;
+        size_t n = 0;
+        std::atomic<size_t> finished{0};
+        std::exception_ptr firstError;
+        std::mutex errorMu;
+    };
+
+    struct Task
+    {
+        Ctx *ctx = nullptr;
+        size_t idx = 0;
+    };
+
     struct Queue
     {
         std::mutex mu;
-        std::deque<size_t> items;
+        std::deque<Task> items;
     };
 
-    const std::function<void(size_t)> *fn = nullptr;
-    size_t n = 0;
+    Ctx root;
     unsigned nQueues = 0;
     std::unique_ptr<Queue[]> queues;
-    std::atomic<size_t> finishedItems{0};
-    std::exception_ptr firstError;
-    std::mutex errorMu;
+
+    std::mutex parkMu;
+    std::condition_variable parkCv;
+    uint64_t events = 0;  ///< guarded by parkMu
+
+    void
+    bumpEvents()
+    {
+        {
+            std::lock_guard<std::mutex> lock(parkMu);
+            ++events;
+        }
+        parkCv.notify_all();
+    }
+
+    /** Deal tasks for ctx round-robin, first slot `start`. */
+    void
+    enqueue(Ctx &ctx, unsigned start)
+    {
+        for (size_t i = 0; i < ctx.n; ++i) {
+            Queue &q = queues[(start + i) % nQueues];
+            std::lock_guard<std::mutex> lock(q.mu);
+            q.items.push_back(Task{&ctx, i});
+        }
+        bumpEvents();
+    }
+
+    /** Run one claimed task; record its error and count it done. */
+    void
+    execute(const Task &t)
+    {
+        try {
+            (*t.ctx->fn)(t.idx);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(t.ctx->errorMu);
+            if (!t.ctx->firstError)
+                t.ctx->firstError = std::current_exception();
+        }
+        // After this fetch_add the ctx's waiter may wake and destroy
+        // the (stack-resident, nested) ctx, so touch only the Batch
+        // past here.
+        if (t.ctx->finished.fetch_add(1, std::memory_order_acq_rel) +
+                1 == t.ctx->n)
+            bumpEvents();
+    }
+
+    /**
+     * Work loop: claim and run tasks until `ctx` has fully drained.
+     * Top-level threads (only = nullptr) run anything; a nested
+     * caller passes only = &its ctx and claims nothing but its own
+     * tasks — taking a sibling's could mean running (and blocking
+     * in) an unrelated outer item while this call's work is done.
+     */
+    void
+    helpRun(unsigned slot, Ctx &ctx, const Ctx *only)
+    {
+        static obs::Metric mSteals("pool.steals",
+                                   obs::MetricKind::Counter);
+        static obs::Metric mStolen("pool.stolen_items",
+                                   obs::MetricKind::Counter);
+        Queue &own = queues[slot];
+        for (;;) {
+            uint64_t seen;
+            {
+                std::lock_guard<std::mutex> lock(parkMu);
+                seen = events;
+            }
+
+            Task task;
+            bool have = false;
+            {
+                std::lock_guard<std::mutex> lock(own.mu);
+                auto it = own.items.begin();
+                if (only)
+                    it = std::find_if(own.items.begin(),
+                                      own.items.end(),
+                                      [&](const Task &t) {
+                                          return t.ctx == only;
+                                      });
+                if (it != own.items.end()) {
+                    task = *it;
+                    own.items.erase(it);
+                    have = true;
+                }
+            }
+            if (!have) {
+                // Steal: a top-level thread takes the back half of
+                // the first non-empty victim (preserving the
+                // victim's dispatch order); a nested caller takes
+                // every one of its own tasks back from all victims.
+                std::deque<Task> loot;
+                for (unsigned off = 1; off < nQueues; ++off) {
+                    Queue &victim = queues[(slot + off) % nQueues];
+                    std::lock_guard<std::mutex> lock(victim.mu);
+                    if (only) {
+                        for (auto it = victim.items.begin();
+                             it != victim.items.end();) {
+                            if (it->ctx == only) {
+                                loot.push_back(*it);
+                                it = victim.items.erase(it);
+                            } else {
+                                ++it;
+                            }
+                        }
+                    } else if (loot.empty()) {
+                        size_t take = (victim.items.size() + 1) / 2;
+                        while (take--) {
+                            loot.push_front(victim.items.back());
+                            victim.items.pop_back();
+                        }
+                        if (!loot.empty())
+                            break;
+                    }
+                }
+                if (!loot.empty()) {
+                    // Work-stealing visibility: one counter tick per
+                    // steal plus (when tracing) an instant event on
+                    // the thief's track, so Perfetto shows where the
+                    // pool rebalanced.
+                    mSteals.add();
+                    mStolen.add(loot.size());
+                    if (obs::tracingEnabled())
+                        obs::instant(
+                            "pool.steal",
+                            "{\"items\":" +
+                                std::to_string(loot.size()) + "}");
+                    task = loot.front();
+                    loot.pop_front();
+                    have = true;
+                    if (!loot.empty()) {
+                        std::lock_guard<std::mutex> lock(own.mu);
+                        own.items.insert(own.items.end(),
+                                         loot.begin(), loot.end());
+                    }
+                }
+            }
+            if (have) {
+                execute(task);
+                continue;
+            }
+            if (ctx.finished.load(std::memory_order_acquire) ==
+                ctx.n)
+                return;
+            // Nothing runnable and ctx still in flight: its last
+            // tasks are running on other threads. Park until any
+            // enqueue or completion moves the event counter.
+            std::unique_lock<std::mutex> lock(parkMu);
+            parkCv.wait(lock, [&] {
+                return events != seen ||
+                       ctx.finished.load(
+                           std::memory_order_acquire) == ctx.n;
+            });
+        }
+    }
 };
+
+thread_local ThreadPool::Batch *ThreadPool::currentBatch = nullptr;
+thread_local unsigned ThreadPool::currentSlot = 0;
 
 unsigned
 ThreadPool::hardwareConcurrency()
@@ -100,72 +283,18 @@ ThreadPool::workerMain(unsigned slot)
 void
 ThreadPool::runBatch(Batch &batch, unsigned slot)
 {
-    Batch::Queue &own = batch.queues[slot];
-    for (;;) {
-        size_t item = 0;
-        bool have = false;
-        {
-            std::lock_guard<std::mutex> lock(own.mu);
-            if (!own.items.empty()) {
-                item = own.items.front();
-                own.items.pop_front();
-                have = true;
-            }
-        }
-        if (!have) {
-            // Steal the back half of the first non-empty victim,
-            // preserving the victim's dispatch order within the
-            // stolen span. Never hold two queue locks at once.
-            std::deque<size_t> loot;
-            for (unsigned off = 1;
-                 off < batch.nQueues && loot.empty(); ++off) {
-                Batch::Queue &victim =
-                    batch.queues[(slot + off) % batch.nQueues];
-                std::lock_guard<std::mutex> lock(victim.mu);
-                size_t take = (victim.items.size() + 1) / 2;
-                while (take--) {
-                    loot.push_front(victim.items.back());
-                    victim.items.pop_back();
-                }
-            }
-            if (loot.empty())
-                break;
-            // Work-stealing visibility: one counter tick per steal
-            // plus (when tracing) an instant event on the thief's
-            // track, so Perfetto shows where the pool rebalanced.
-            static obs::Metric mSteals("pool.steals",
-                                       obs::MetricKind::Counter);
-            static obs::Metric mStolen("pool.stolen_items",
-                                       obs::MetricKind::Counter);
-            mSteals.add();
-            mStolen.add(loot.size());
-            if (obs::tracingEnabled())
-                obs::instant("pool.steal",
-                             "{\"items\":" +
-                                 std::to_string(loot.size()) + "}");
-            item = loot.front();
-            loot.pop_front();
-            if (!loot.empty()) {
-                std::lock_guard<std::mutex> lock(own.mu);
-                own.items.insert(own.items.end(), loot.begin(),
-                                 loot.end());
-            }
-        }
-        try {
-            (*batch.fn)(item);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(batch.errorMu);
-            if (!batch.firstError)
-                batch.firstError = std::current_exception();
-        }
-        // Count items as they finish so the caller can tell a fully
-        // drained batch from one still in flight.
-        if (batch.finishedItems.fetch_add(
-                1, std::memory_order_acq_rel) + 1 == batch.n) {
-            std::lock_guard<std::mutex> lock(mu);
-            done.notify_all();
-        }
-    }
+    // Save/restore: a root call on pool B from inside pool A's item
+    // lands here with A's batch in the thread-locals, and A's item
+    // continues after B's batch drains.
+    Batch *prevBatch = currentBatch;
+    unsigned prevSlot = currentSlot;
+    currentBatch = &batch;
+    currentSlot = slot;
+    // Workers serve the whole batch — root tasks and any nested
+    // injections — until the root call has fully drained.
+    batch.helpRun(slot, batch.root, nullptr);
+    currentBatch = prevBatch;
+    currentSlot = prevSlot;
 }
 
 void
@@ -174,27 +303,41 @@ ThreadPool::parallelFor(size_t n,
 {
     if (n == 0)
         return;
-
-    // Inline paths: a pool of one, a single item, or a nested call
-    // from one of our own workers (whose siblings may all be busy in
-    // the enclosing batch — waiting on them could deadlock).
-    if (nThreads == 1 || n == 1 || currentPool == this) {
+    if (nThreads == 1 || n == 1) {
         for (size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
 
+    // Nested call from inside a live batch of this pool: share the
+    // items with the pool instead of running them all inline. The
+    // helpRun filter (`only`) keeps this deadlock-free even when
+    // every sibling worker is parked inside a never-returning outer
+    // item — the caller steals its own tasks back and runs them.
+    if (currentPool == this && currentBatch) {
+        Batch &batch = *currentBatch;
+        Batch::Ctx ctx;
+        ctx.fn = &fn;
+        ctx.n = n;
+        batch.enqueue(ctx, currentSlot);
+        batch.helpRun(currentSlot, ctx, &ctx);
+        if (ctx.firstError)
+            std::rethrow_exception(ctx.firstError);
+        return;
+    }
+
     std::lock_guard<std::mutex> submit(submitMu);
     auto batch = std::make_shared<Batch>();
-    batch->fn = &fn;
-    batch->n = n;
+    batch->root.fn = &fn;
+    batch->root.n = n;
     batch->nQueues = nThreads;
     batch->queues = std::make_unique<Batch::Queue[]>(nThreads);
     // Deal round-robin: with the cost-sorted overload's descending
     // dispatch order this hands every slot a long pole up front, and
     // each slot consumes its deque in dispatch order.
     for (size_t i = 0; i < n; ++i)
-        batch->queues[i % nThreads].items.push_back(i);
+        batch->queues[i % nThreads].items.push_back(
+            Batch::Task{&batch->root, i});
     static obs::Metric mBatches("pool.batches",
                                 obs::MetricKind::Counter);
     static obs::Metric mItems("pool.items",
@@ -212,23 +355,22 @@ ThreadPool::parallelFor(size_t n,
     wake.notify_all();
 
     // The caller is a pool thread too; mark it so a nested
-    // parallelFor from one of its items runs inline instead of
-    // re-locking submitMu on this same thread.
-    const ThreadPool *prev = currentPool;
+    // parallelFor from one of its items injects into this batch.
+    const ThreadPool *prevPool = currentPool;
     currentPool = this;
     runBatch(*batch, 0);
-    currentPool = prev;
+    currentPool = prevPool;
 
+    // runBatch returns only when root has drained (helpRun's exit
+    // condition), so the batch is complete here; workers parked in
+    // it have been woken by the final completion event and will exit
+    // on their own.
     {
-        std::unique_lock<std::mutex> lock(mu);
-        done.wait(lock, [&] {
-            return batch->finishedItems.load(
-                       std::memory_order_acquire) == n;
-        });
+        std::lock_guard<std::mutex> lock(mu);
         current.reset();
     }
-    if (batch->firstError)
-        std::rethrow_exception(batch->firstError);
+    if (batch->root.firstError)
+        std::rethrow_exception(batch->root.firstError);
 }
 
 void

@@ -16,9 +16,17 @@
  * mixes therefore rebalance without every claim bouncing one shared
  * atomic counter between cores.
  *
- * parallelFor is reentrant: a call made from inside a pool worker
- * (e.g. the editor called from a table-driver task) runs its items
- * inline on that worker instead of deadlocking on the shared queue.
+ * parallelFor is reentrant, and a nested call shares its items with
+ * the pool instead of deadlocking on the shared queue: the nested
+ * caller deals its items into the live batch's deques, and any
+ * worker that drains its own deque picks them up, so a two-level
+ * fan-out (a table of benchmarks, each sharding its simulation)
+ * saturates the pool end to end even when the outer level has fewer
+ * items than threads. While its items are in flight the nested
+ * caller only executes work belonging to its own call (it steals its
+ * own items back, never a sibling's blocked item), so a nested call
+ * completes even when every other worker is parked inside a
+ * never-returning outer item — it just degrades to running inline.
  */
 
 #ifndef EEL_SUPPORT_THREAD_POOL_HH
@@ -83,12 +91,16 @@ class ThreadPool
     void workerMain(unsigned slot);
     void runBatch(Batch &batch, unsigned slot);
 
+    /** The live batch (and slot) this thread participates in, so a
+     *  nested parallelFor can inject into it. */
+    static thread_local Batch *currentBatch;
+    static thread_local unsigned currentSlot;
+
     unsigned nThreads;
     std::vector<std::thread> workers;
 
     std::mutex mu;
     std::condition_variable wake;  ///< workers: a new batch is up
-    std::condition_variable done;  ///< caller: the batch drained
     bool stopping = false;
     uint64_t generation = 0;
     std::shared_ptr<Batch> current;  ///< guarded by mu

@@ -98,6 +98,12 @@ runLoad(const LoadConfig &cfg)
                         cfg.rewriteWeight + cfg.simulateWeight;
     if (wSum <= 0)
         fatal("loadgen: request mix weights sum to zero");
+    const bool open = cfg.mode == LoadConfig::ArrivalMode::Open;
+    if (open && cfg.openRate <= 0)
+        fatal("loadgen: open-loop mode needs openRate > 0");
+    // Per-connection share of the offered rate, as a mean gap in ms.
+    const double meanGapMs =
+        open ? 1000.0 * double(cfg.connections) / cfg.openRate : 0;
 
     std::vector<PerConn> per(cfg.connections);
     std::vector<std::thread> threads;
@@ -114,22 +120,52 @@ runLoad(const LoadConfig &cfg)
         std::uniform_real_distribution<double> uni(0.0, 1.0);
         std::exponential_distribution<double> think(
             cfg.thinkMeanMs > 0 ? 1.0 / cfg.thinkMeanMs : 1.0);
+        std::exponential_distribution<double> arrival(
+            meanGapMs > 0 ? 1.0 / meanGapMs : 1.0);
 
         // Warmup seeds every base image so measured resubmits hit.
         for (size_t b = 0; b < bases.size(); ++b)
             client.submit(bases[b]);
 
+        // Open-loop arrival schedule, built lazily off the measured
+        // phase's start. Warmup always runs closed-loop: its job is
+        // seeding caches, not offering calibrated load.
+        Clock::time_point scheduleBase;
+        double nextArrivalMs = 0;
+
         const unsigned total =
             cfg.warmupPerConn + cfg.requestsPerConn;
         for (unsigned i = 0; i < total; ++i) {
             const bool measured = i >= cfg.warmupPerConn;
-            if (i == cfg.warmupPerConn)
+            if (i == cfg.warmupPerConn) {
                 me.measuredStart = Clock::now();
+                scheduleBase = me.measuredStart;
+                nextArrivalMs = 0;
+            }
             const size_t b = rng() % bases.size();
             double roll = uni(rng) * wSum;
 
             Status st = Status::Ok;
-            Clock::time_point start = Clock::now();
+            Clock::time_point start;
+            if (open && measured) {
+                nextArrivalMs +=
+                    cfg.dist == LoadConfig::ArrivalDist::Poisson
+                        ? arrival(rng)
+                        : meanGapMs;
+                Clock::time_point scheduled =
+                    scheduleBase +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            nextArrivalMs));
+                // If the reply stream has fallen behind the
+                // schedule this is a no-op and `start` predates the
+                // send — exactly the queueing delay an open-loop
+                // latency must include.
+                std::this_thread::sleep_until(scheduled);
+                start = scheduled;
+            } else {
+                start = Clock::now();
+            }
             if (roll < cfg.resubmitWeight) {
                 auto r = client.submit(bases[b]);
                 st = r.status;
@@ -186,7 +222,7 @@ runLoad(const LoadConfig &cfg)
                     break;
                 }
             }
-            if (cfg.thinkMeanMs > 0) {
+            if (!open && cfg.thinkMeanMs > 0) {
                 std::this_thread::sleep_for(
                     std::chrono::duration<double, std::milli>(
                         think(rng)));

@@ -1,12 +1,22 @@
 /**
  * @file
- * Closed-loop load generator for the rewriting service.
+ * Load generator for the rewriting service, closed- or open-loop.
  *
- * N connections each run an independent request loop: issue one
- * request, wait for its reply, optionally think (exponential delay),
- * repeat — so offered load is bounded by service rate times N, the
- * classic closed-loop shape (and why its p99 understates an
- * open-loop system's under the same mean load; see EXPERIMENTS.md).
+ * Closed loop (default): N connections each run an independent
+ * request loop — issue one request, wait for its reply, optionally
+ * think (exponential delay), repeat — so offered load is bounded by
+ * service rate times N, the classic closed-loop shape (and why its
+ * p99 understates an open-loop system's under the same mean load;
+ * see EXPERIMENTS.md).
+ *
+ * Open loop: requests arrive on a fixed schedule (Poisson or
+ * uniform inter-arrivals at openRate req/s split across the
+ * connections) regardless of how fast replies come back, and each
+ * latency is measured from the request's *scheduled* arrival time —
+ * so when the server falls behind, the time a request spends stuck
+ * behind its connection's previous one counts against it. That is
+ * the coordinated-omission-free measurement a closed loop can't
+ * give.
  *
  * The request mix models a build farm's edit/rebuild cycle over a
  * working set of workload::Generator programs:
@@ -44,8 +54,21 @@ struct LoadConfig
      *  server's image registry and rewrite cache. */
     unsigned warmupPerConn = 20;
 
-    /** Mean exponential think time between requests; 0 = none. */
+    /** Mean exponential think time between requests; 0 = none.
+     *  Closed loop only — open-loop pacing comes from the arrival
+     *  schedule. */
     double thinkMeanMs = 0.0;
+
+    enum class ArrivalMode { Closed, Open };
+    enum class ArrivalDist { Poisson, Uniform };
+    ArrivalMode mode = ArrivalMode::Closed;
+    /** Open loop: total offered rate in requests/second, divided
+     *  evenly across the connections. Must be > 0 in open mode. */
+    double openRate = 200.0;
+    /** Open loop: inter-arrival distribution. Poisson (exponential
+     *  gaps) models independent clients; Uniform (fixed gaps) is the
+     *  deterministic worst-case-free baseline. */
+    ArrivalDist dist = ArrivalDist::Poisson;
 
     // Mix, normalized over the four weights.
     double resubmitWeight = 0.45;

@@ -42,12 +42,15 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--port N] [--unix PATH] [--threads N]\n"
         "          [--queue N] [--machine NAME] [--deadline-ms N]\n"
+        "          [--result-cache DIR]\n"
         "  --port N         TCP port (default 0 = ephemeral)\n"
         "  --unix PATH      listen on a unix socket instead\n"
         "  --threads N      pool threads (default: hardware)\n"
         "  --queue N        admission queue depth (default 64)\n"
         "  --machine NAME   default machine model\n"
-        "  --deadline-ms N  default per-request deadline\n",
+        "  --deadline-ms N  default per-request deadline\n"
+        "  --result-cache DIR  persist timed SIMULATE results to\n"
+        "                   DIR so they survive daemon restarts\n",
         argv0);
 }
 
@@ -82,6 +85,8 @@ main(int argc, char **argv)
         else if (a == "--deadline-ms")
             cfg.defaultDeadlineMs =
                 static_cast<uint32_t>(atoi(next()));
+        else if (a == "--result-cache")
+            cfg.resultCacheDir = next();
         else {
             usage(argv[0]);
             return 2;

@@ -56,7 +56,10 @@ struct Server::Job
 };
 
 Server::Server(ServerConfig cfg)
-    : cfg(cfg), _pool(cfg.threads)
+    : cfg(cfg),
+      _rescache(sim::ResultCache::Config{cfg.resultCacheDir,
+                                         &_store}),
+      _pool(cfg.threads)
 {
     _store.setGcWatermark(cfg.storeGcWatermark);
 }
@@ -517,15 +520,43 @@ Server::handleSimulate(const Frame &req,
 
     SimulateReply rep;
     if (r.timing) {
-        sim::TimedRun run =
-            sim::timedRun(*image, model, budget, {}, ecfg);
-        rep.instructions = run.result.instructions;
-        rep.cycles = run.cycles;
-        rep.exitCode =
-            static_cast<uint32_t>(run.result.exitCode);
-        rep.exited = run.result.exited;
-        if (run.cancelled)
-            st = Status::DeadlineExceeded;
+        // Content-addressed: the key covers the image's text pages,
+        // the machine fingerprint, and ecfg (so different limits
+        // never collide). A hit is a finished run by construction —
+        // cancelled runs are never stored — so it can't owe a
+        // DeadlineExceeded.
+        sim::ResultCache::Key key =
+            _rescache.timedKey(*image, model, {}, ecfg);
+        sim::ResultCache::TimedValue tv;
+        if (_rescache.lookupTimed(key, tv)) {
+            rep.instructions = tv.instructions;
+            rep.cycles = tv.cycles;
+            rep.exitCode = static_cast<uint32_t>(tv.exitCode);
+            rep.exited = tv.exited;
+            std::lock_guard<std::mutex> lock(ctrMu);
+            ++ctr.simCacheHits;
+        } else {
+            sim::TimedRun run =
+                sim::timedRun(*image, model, budget, {}, ecfg);
+            rep.instructions = run.result.instructions;
+            rep.cycles = run.cycles;
+            rep.exitCode =
+                static_cast<uint32_t>(run.result.exitCode);
+            rep.exited = run.result.exited;
+            if (run.cancelled) {
+                // Partial progress is deadline-dependent, not
+                // content-dependent: caching it would replay one
+                // client's timeout to everyone else.
+                st = Status::DeadlineExceeded;
+            } else {
+                tv.instructions = run.result.instructions;
+                tv.cycles = run.cycles;
+                tv.exitCode = run.result.exitCode;
+                tv.exited = run.result.exited;
+                tv.output = run.result.output;
+                _rescache.storeTimed(key, tv);
+            }
+        }
     } else {
         // Functional-only: same slicing, no pipeline model.
         sim::Emulator emu(*image, ecfg,
@@ -563,6 +594,7 @@ Server::statsJson()
 {
     Counters c = counters();
     exe::SectionStore::Stats ss = _store.stats();
+    sim::ResultCache::Stats rc = _rescache.stats();
     size_t nImages, nRewrites;
     {
         std::lock_guard<std::mutex> lock(regMu);
@@ -579,12 +611,17 @@ Server::statsJson()
         "\"rewrites\":%llu,\"simulates\":%llu,\"stats\":%llu,"
         "\"bad_frames\":%llu,\"busy_rejected\":%llu,"
         "\"drain_rejected\":%llu,\"deadline_expired\":%llu,"
-        "\"rewrite_cache_hits\":%llu,\"errors\":%llu,"
+        "\"rewrite_cache_hits\":%llu,\"sim_cache_hits\":%llu,"
+        "\"errors\":%llu,"
         "\"queue_depth\":%zu,\"images\":%zu,\"rewrite_cache\":%zu,"
         "\"store\":{\"intern_calls\":%zu,\"intern_hits\":%zu,"
         "\"live_chunks\":%zu,\"live_bytes\":%zu,"
         "\"table_entries\":%zu,\"view_entries\":%zu,"
-        "\"gc_runs\":%zu,\"gc_reclaimed_pages\":%zu}}",
+        "\"gc_runs\":%zu,\"gc_reclaimed_pages\":%zu},"
+        "\"rescache\":{\"lookups\":%llu,\"hits\":%llu,"
+        "\"disk_hits\":%llu,\"misses\":%llu,"
+        "\"invalidations\":%llu,\"stores\":%llu,"
+        "\"disk_loaded\":%llu,\"disk_rejects\":%llu}}",
         static_cast<unsigned long long>(c.accepted),
         static_cast<unsigned long long>(c.requests),
         static_cast<unsigned long long>(c.submits),
@@ -596,10 +633,19 @@ Server::statsJson()
         static_cast<unsigned long long>(c.drainRejected),
         static_cast<unsigned long long>(c.deadlineExpired),
         static_cast<unsigned long long>(c.rewriteCacheHits),
+        static_cast<unsigned long long>(c.simCacheHits),
         static_cast<unsigned long long>(c.errors), depth, nImages,
         nRewrites, ss.internCalls, ss.internHits, ss.liveChunks,
         ss.liveBytes, ss.tableEntries, ss.viewEntries, ss.gcRuns,
-        ss.gcReclaimedPages);
+        ss.gcReclaimedPages,
+        static_cast<unsigned long long>(rc.lookups),
+        static_cast<unsigned long long>(rc.hits),
+        static_cast<unsigned long long>(rc.diskHits),
+        static_cast<unsigned long long>(rc.misses),
+        static_cast<unsigned long long>(rc.invalidations),
+        static_cast<unsigned long long>(rc.stores),
+        static_cast<unsigned long long>(rc.diskEntriesLoaded),
+        static_cast<unsigned long long>(rc.diskRejects));
 }
 
 } // namespace eel::svc

@@ -55,6 +55,7 @@
 
 #include "src/exe/executable.hh"
 #include "src/exe/section_store.hh"
+#include "src/sim/resultcache.hh"
 #include "src/support/thread_pool.hh"
 #include "src/svc/net.hh"
 #include "src/svc/wire.hh"
@@ -90,6 +91,12 @@ struct ServerConfig
     size_t storeGcWatermark = 1 << 16;
 
     std::string defaultMachine = "ultrasparc";
+
+    /** Disk tier for the timing-result cache: "" keeps the cache
+     *  in-memory only; a directory persists SIMULATE results across
+     *  daemon restarts (sim::ResultCache's versioned, checksummed
+     *  format — stale or corrupt files are re-derived, not trusted). */
+    std::string resultCacheDir;
 };
 
 class Server
@@ -119,6 +126,8 @@ class Server
      *  and the in-process load harness). */
     exe::SectionStore &store() { return _store; }
     support::ThreadPool &pool() { return _pool; }
+    /** The timing-result cache behind SIMULATE (tests, harnesses). */
+    sim::ResultCache &rescache() { return _rescache; }
 
     struct Counters
     {
@@ -133,6 +142,10 @@ class Server
         uint64_t drainRejected = 0;
         uint64_t deadlineExpired = 0;
         uint64_t rewriteCacheHits = 0;
+        /** Timed SIMULATE requests answered from the result cache
+         *  (content-addressed: resubmitting an edited image misses,
+         *  resubmitting identical bytes hits across connections). */
+        uint64_t simCacheHits = 0;
         uint64_t errors = 0;         ///< ServerError replies
     };
     Counters counters() const;
@@ -163,6 +176,9 @@ class Server
 
     ServerConfig cfg;
     exe::SectionStore _store;
+    /** Cross-request SIMULATE result cache. Declared after _store:
+     *  it memoizes page hashes through it. */
+    sim::ResultCache _rescache;
     support::ThreadPool _pool;
     Listener listener;
 

@@ -115,6 +115,61 @@ TEST(StoreGc, InternCountedReportsHitsForResubmit)
     EXPECT_EQ(warm.hits, warm.pages);
 }
 
+TEST(StoreGc, ContentHashMemoizesByLiveIdentity)
+{
+    SectionStore store;
+    auto chunk = std::make_shared<Chunk>();
+    chunk->mem.fill(0x11);
+    ChunkPtr held = chunk;
+
+    uint64_t h = store.contentHash(held);
+    EXPECT_EQ(h, pageContentHash(*held));
+    EXPECT_EQ(store.contentHash(held), h);  // memo hit
+    EXPECT_EQ(store.stats().hashEntries, 1u);
+
+    // Kill the page, then allocate a different-content page. If the
+    // allocator recycles the address (same-size block, so it
+    // usually does), the memo's witness has expired and the store
+    // must re-hash the new bytes — a pointer-keyed memo would serve
+    // the dead page's hash to a live result-cache key.
+    const Chunk *addr = held.get();
+    chunk.reset();
+    held.reset();
+    auto next = std::make_shared<Chunk>();
+    next->mem.fill(0x22);
+    ChunkPtr reborn = next;
+    uint64_t h2 = store.contentHash(reborn);
+    EXPECT_EQ(h2, pageContentHash(*reborn));
+    EXPECT_NE(h2, h);
+    if (reborn.get() != addr)
+        // Allocator did not recycle; the hazard path wasn't hit,
+        // but the invariant above still held.
+        SUCCEED();
+}
+
+TEST(StoreGc, GcSweepsHashMemoWithoutInflatingReclaimCount)
+{
+    SectionStore store;
+    {
+        Executable x = program(2048, 4);
+        store.intern(x);
+        for (const ChunkPtr &c : x.text.chunkRefs())
+            store.contentHash(c);
+        EXPECT_EQ(store.stats().hashEntries,
+                  x.text.chunkRefs().size());
+    }
+    SectionStore::Stats before = store.stats();
+    EXPECT_GT(before.hashEntries, 0u);
+
+    // gc sweeps expired hash memos alongside the intern index, but
+    // only index entries count as reclaimed pages.
+    size_t swept = store.gc();
+    SectionStore::Stats after = store.stats();
+    EXPECT_EQ(swept, before.tableEntries);
+    EXPECT_EQ(after.hashEntries, 0u);
+    EXPECT_EQ(after.gcReclaimedPages, before.tableEntries);
+}
+
 TEST(StoreGc, SaveLoadBytesRoundTrip)
 {
     Executable x = program(512, 9);

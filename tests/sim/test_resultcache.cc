@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Correctness gates for the content-addressed result cache: a warm
+ * run must be byte-identical to a cold one, a one-byte edit to a hot
+ * text page must invalidate exactly the shards that execute that
+ * page, and the disk tier must survive a process restart — while any
+ * corrupt, truncated, or wrong-version cache file is rejected
+ * cleanly and treated as a cold lookup, never trusted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/eel/cfg.hh"
+#include "src/eel/editor.hh"
+#include "src/isa/builder.hh"
+#include "src/machine/model.hh"
+#include "src/sim/resultcache.hh"
+#include "src/sim/shard.hh"
+#include "src/support/thread_pool.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace eel::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+exe::Executable
+makeWorkload(double scale)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    auto specs = workload::spec95("ultrasparc");
+    workload::GenOptions gopts;
+    gopts.scale = scale;
+    gopts.machine = &m;
+    return workload::generate(specs[0], gopts);
+}
+
+std::vector<uint8_t>
+leaderMap(const exe::Executable &x)
+{
+    std::vector<uint8_t> leader(x.text.size(), 0);
+    for (const auto &r : edit::buildRoutines(x))
+        for (const auto &blk : r.blocks)
+            leader[(blk.startAddr - exe::textBase) / 4] = 1;
+    return leader;
+}
+
+/** Full retired-pc trace of the functional run, for computing which
+ *  shards touch which text pages (replay touch = own retires plus
+ *  the recorded warmup pcs, which are the trace just before the
+ *  cut). */
+std::vector<uint32_t>
+pcTrace(const exe::Executable &x)
+{
+    struct Sink final
+    {
+        std::vector<uint32_t> pcs;
+        void
+        retire(uint32_t pc, const isa::Instruction &)
+        {
+            pcs.push_back(pc);
+        }
+    } sink;
+    Emulator emu(x);
+    emu.run(sink);
+    return sink.pcs;
+}
+
+/** The set of shards whose replay touches `page`, mirroring the
+ *  replay's marking: shard k marks its own retires plus its warmup
+ *  prefix (the last `warmup` retires before its cut). */
+std::set<size_t>
+shardsTouchingPage(const std::vector<uint32_t> &trace,
+                   uint64_t interval, unsigned warmup, uint32_t page)
+{
+    std::set<size_t> touching;
+    size_t shards =
+        trace.size() % interval ? trace.size() / interval + 1
+                                : std::max<size_t>(
+                                      1, trace.size() / interval);
+    for (size_t k = 0; k < shards; ++k) {
+        uint64_t start = k * interval;
+        uint64_t lo = k == 0 ? 0
+                             : (start > warmup ? start - warmup : 0);
+        uint64_t hi = std::min<uint64_t>(trace.size(),
+                                         start + interval);
+        for (uint64_t i = lo; i < hi; ++i) {
+            if ((trace[i] - exe::textBase) / exe::Chunk::bytes ==
+                page) {
+                touching.insert(k);
+                break;
+            }
+        }
+    }
+    return touching;
+}
+
+void
+expectRunsEqual(const ShardedRun &a, const ShardedRun &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.result.instructions, b.result.instructions);
+    EXPECT_EQ(a.result.exitCode, b.result.exitCode);
+    EXPECT_EQ(a.result.output, b.result.output);
+    EXPECT_EQ(a.issueHistogram, b.issueHistogram);
+    EXPECT_TRUE(a.stallBreakdown == b.stallBreakdown);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    EXPECT_EQ(a.leaderRetires, b.leaderRetires);
+    EXPECT_EQ(a.blocksRetired, b.blocksRetired);
+    EXPECT_TRUE(a.finalState.equalTo(b.finalState, false));
+}
+
+/** A scratch directory under /tmp, clean at entry. */
+fs::path
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::temp_directory_path() / name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+struct Fixture
+{
+    const machine::MachineModel &model =
+        machine::MachineModel::builtin("ultrasparc");
+    exe::Executable x = makeWorkload(0.05);
+    std::vector<uint8_t> leader = leaderMap(x);
+    support::ThreadPool pool{4};
+
+    ShardOptions
+    opts(ResultCache *cache)
+    {
+        ShardOptions o;
+        o.interval = 2000;
+        o.pool = &pool;
+        o.blockLeader = &leader;
+        o.timing.collectStalls = true;
+        o.cache = cache;
+        return o;
+    }
+};
+
+TEST(ResultCache, WarmRunHitsRunTier)
+{
+    Fixture f;
+    ResultCache cache;
+
+    ShardedRun cold = runSharded(f.x, f.model, f.opts(&cache));
+    ASSERT_TRUE(cold.result.exited);
+    EXPECT_FALSE(cold.stats.cachedRun);
+    EXPECT_EQ(cold.stats.cachedShards, 0u);
+    EXPECT_GE(cold.stats.shards, 4u);
+    EXPECT_GT(cache.stats().stores, 0u);
+
+    ShardedRun warm = runSharded(f.x, f.model, f.opts(&cache));
+    EXPECT_TRUE(warm.stats.cachedRun);
+    EXPECT_EQ(warm.stats.shards, cold.stats.shards);
+    expectRunsEqual(warm, cold);
+
+    ResultCache::Stats st = cache.stats();
+    EXPECT_GE(st.runHits, 1u);
+    EXPECT_EQ(st.hits, st.runHits + st.shardHits + st.timedHits);
+    EXPECT_EQ(st.invalidations, 0u);
+
+    // A run without the cache matches too (the cache changed
+    // nothing about the cold path).
+    ShardedRun plain = runSharded(f.x, f.model, f.opts(nullptr));
+    expectRunsEqual(plain, cold);
+}
+
+TEST(ResultCache, ConfigChangeMissesCleanly)
+{
+    Fixture f;
+    ResultCache cache;
+    ShardedRun cold = runSharded(f.x, f.model, f.opts(&cache));
+
+    // A different machine model is a different fingerprint: a plain
+    // miss (no candidates, so no invalidation), and the results are
+    // the other model's own.
+    const machine::MachineModel &other =
+        machine::MachineModel::builtin("supersparc");
+    ShardedRun otherCold = runSharded(f.x, other, f.opts(&cache));
+    EXPECT_FALSE(otherCold.stats.cachedRun);
+    EXPECT_EQ(otherCold.stats.cachedShards, 0u);
+    EXPECT_EQ(cache.stats().invalidations, 0u);
+    EXPECT_NE(otherCold.cycles, cold.cycles);
+
+    // And each key now warm-hits independently.
+    EXPECT_TRUE(
+        runSharded(f.x, f.model, f.opts(&cache)).stats.cachedRun);
+    EXPECT_TRUE(
+        runSharded(f.x, other, f.opts(&cache)).stats.cachedRun);
+}
+
+/**
+ * Two phases on two text pages: a counted loop at the top of page 0,
+ * then a counted loop at the top of page 1 (the gap is nop padding
+ * that never executes). The early shards therefore execute only page
+ * 0 and the late shards only page 1, so a page edit has a strict
+ * subset of shards to invalidate.
+ */
+exe::Executable
+phasedProgram()
+{
+    namespace b = isa::build;
+    namespace rn = isa::reg;
+    namespace cond = isa::cond;
+    exe::Executable x;
+    x.entry = exe::textBase;
+    auto push = [&](isa::Instruction in) {
+        x.text.push_back(isa::encode(in));
+    };
+    push(b::movi(rn::o1, 4000));                      // w0
+    push(b::rri(isa::Op::Subcc, rn::o1, rn::o1, 1));  // w1: A loop
+    push(b::bicc(cond::ne, -1));                      // w2 -> w1
+    push(b::nop());                                   // w3 delay
+    push(b::movi(rn::o2, 1200));                      // w4
+    push(b::ba(295));                                 // w5 -> w300
+    push(b::nop());                                   // w6 delay
+    while (x.text.size() < 300)
+        push(b::nop());                               // never runs
+    push(b::nop());                                   // w300: page 1
+    push(b::rri(isa::Op::Subcc, rn::o2, rn::o2, 1));  // w301: B loop
+    push(b::bicc(cond::ne, -2));                      // w302 -> w300
+    push(b::nop());                                   // w303 delay
+    push(b::movi(rn::o0, 0));
+    push(b::ta(isa::trap::exit_prog));
+    push(b::retl());
+    push(b::nop());
+    x.symbols.push_back(exe::Symbol{
+        "main", exe::textBase,
+        static_cast<uint32_t>(4 * x.text.size()), true});
+    return x;
+}
+
+TEST(ResultCache, HotPageEditInvalidatesExactlyTouchingShards)
+{
+    const machine::MachineModel &model =
+        machine::MachineModel::builtin("ultrasparc");
+    exe::Executable x = phasedProgram();
+    std::vector<uint8_t> leader = leaderMap(x);
+    support::ThreadPool pool(4);
+    ResultCache cache;
+    ShardOptions o;
+    o.interval = 500;
+    o.pool = &pool;
+    o.blockLeader = &leader;
+    o.timing.collectStalls = true;
+    o.cache = &cache;
+    ShardOptions uncached = o;
+    uncached.cache = nullptr;
+
+    ShardedRun cold = runSharded(x, model, o);
+    ASSERT_TRUE(cold.result.exited);
+    // The touch accounting below assumes every shard was satisfied
+    // by its warmup replay (a stitch resim replays without warmup).
+    ASSERT_EQ(cold.stats.resims, 0u);
+    size_t shards = cold.stats.shards;
+    ASSERT_GE(shards, 8u);
+
+    // The hot nop at the head of the page-1 loop: rewriting its
+    // imm22 from 0 to 1 is a one-byte edit that still writes the
+    // hardwired-zero %g0. Architecturally inert, so the functional
+    // capture — and with it every shard key — is unchanged, and
+    // only the page-hash manifests differ.
+    const uint32_t editWord = 300;
+    ASSERT_EQ(x.text[editWord], 0x01000000u);
+    std::vector<uint32_t> trace = pcTrace(x);
+    ASSERT_EQ(trace.size(), cold.result.instructions);
+    std::set<size_t> touching = shardsTouchingPage(
+        trace, o.interval, o.warmup,
+        editWord * 4 / exe::Chunk::bytes);
+    ASSERT_FALSE(touching.empty());
+    ASSERT_LT(touching.size(), shards);
+
+    exe::Executable edited = x;
+    edited.text.set(editWord, 0x01000001u);
+
+    ResultCache::Stats before = cache.stats();
+    ShardedRun warm = runSharded(edited, model, o);
+    ResultCache::Stats after = cache.stats();
+
+    // The whole-image run key misses (one page changed), the shard
+    // tier reuses every shard that never executes the edited page,
+    // and each shard that does counts exactly one invalidation.
+    EXPECT_FALSE(warm.stats.cachedRun);
+    EXPECT_EQ(warm.stats.shards, shards);
+    EXPECT_EQ(warm.stats.cachedShards, shards - touching.size());
+    EXPECT_EQ(after.invalidations - before.invalidations,
+              touching.size());
+
+    // The mixed cached/re-run merge is byte-identical to a fresh
+    // cold run of the edited image.
+    ShardedRun reference = runSharded(edited, model, uncached);
+    expectRunsEqual(warm, reference);
+
+    // The edit was inert, so it is also byte-identical to the
+    // original image's run.
+    expectRunsEqual(warm, cold);
+
+    // Running the edited image again now hits its own run-tier
+    // entry, stored by the mixed run.
+    EXPECT_TRUE(runSharded(edited, model, o).stats.cachedRun);
+}
+
+TEST(ResultCache, DiskTierSurvivesReconstruction)
+{
+    Fixture f;
+    fs::path dir = scratchDir("eel_rescache_disk");
+
+    ShardedRun cold;
+    {
+        ResultCache cache({dir.string(), nullptr});
+        cold = runSharded(f.x, f.model, f.opts(&cache));
+        ASSERT_TRUE(cold.result.exited);
+        EXPECT_GT(cache.stats().stores, 0u);
+    }
+    ASSERT_TRUE(fs::exists(dir));
+    size_t files = 0;
+    for (const auto &e : fs::directory_iterator(dir))
+        files += e.path().extension() == ".rc";
+    EXPECT_GT(files, 0u);
+
+    // A fresh instance — a new process, as far as the cache can
+    // tell — loads the tier and serves the run warm.
+    ResultCache reborn({dir.string(), nullptr});
+    ResultCache::Stats st = reborn.stats();
+    EXPECT_EQ(st.diskEntriesLoaded, files);
+    EXPECT_EQ(st.diskRejects, 0u);
+
+    ShardedRun warm = runSharded(f.x, f.model, f.opts(&reborn));
+    EXPECT_TRUE(warm.stats.cachedRun);
+    EXPECT_GT(reborn.stats().diskHits, 0u);
+    expectRunsEqual(warm, cold);
+
+    fs::remove_all(dir);
+}
+
+TEST(ResultCache, CorruptDiskFilesRejectedAndTreatedCold)
+{
+    Fixture f;
+    fs::path dir = scratchDir("eel_rescache_corrupt");
+
+    ShardedRun cold;
+    {
+        ResultCache cache({dir.string(), nullptr});
+        cold = runSharded(f.x, f.model, f.opts(&cache));
+    }
+
+    // Damage every entry, rotating through the failure modes the
+    // loader must reject: truncation to a stub, bad magic, a future
+    // version, a flipped payload byte (checksum mismatch), and a
+    // payload cut short (length mismatch).
+    size_t files = 0;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        if (e.path().extension() != ".rc")
+            continue;
+        std::string bytes;
+        {
+            std::ifstream in(e.path(), std::ios::binary);
+            bytes.assign(std::istreambuf_iterator<char>(in), {});
+        }
+        ASSERT_GT(bytes.size(), 30u);
+        switch (files % 5) {
+          case 0:
+            bytes.resize(3);
+            break;
+          case 1:
+            bytes[0] = 'X';
+            break;
+          case 2:
+            bytes[6] = char(0xff);  // version field
+            break;
+          case 3:
+            bytes[bytes.size() / 2] ^= 0x40;
+            break;
+          case 4:
+            bytes.resize(bytes.size() - 5);
+            break;
+        }
+        std::ofstream out(e.path(),
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        ++files;
+    }
+    ASSERT_GT(files, 0u);
+    // Plus a file that was never a cache entry at all.
+    std::ofstream(dir / "alien.rc") << "not a cache entry";
+
+    ResultCache reborn({dir.string(), nullptr});
+    ResultCache::Stats st = reborn.stats();
+    EXPECT_EQ(st.diskEntriesLoaded, 0u);
+    EXPECT_EQ(st.diskRejects, files + 1);
+
+    // Cold but correct: corruption costs time, never poisons output.
+    ShardedRun rerun = runSharded(f.x, f.model, f.opts(&reborn));
+    EXPECT_FALSE(rerun.stats.cachedRun);
+    EXPECT_EQ(rerun.stats.cachedShards, 0u);
+    expectRunsEqual(rerun, cold);
+
+    fs::remove_all(dir);
+}
+
+TEST(ResultCache, TimedTierRoundtripsThroughDisk)
+{
+    Fixture f;
+    fs::path dir = scratchDir("eel_rescache_timed");
+
+    ResultCache::TimedValue v;
+    v.instructions = 12345;
+    v.cycles = 67890;
+    v.exitCode = 7;
+    v.exited = true;
+    v.output = std::string("hello\0world", 11);
+
+    ResultCache::Key key;
+    {
+        ResultCache cache({dir.string(), nullptr});
+        key = cache.timedKey(f.x, f.model, {}, {});
+        ResultCache::TimedValue out;
+        EXPECT_FALSE(cache.lookupTimed(key, out));
+        cache.storeTimed(key, v);
+        ASSERT_TRUE(cache.lookupTimed(key, out));
+        EXPECT_EQ(out.output, v.output);
+
+        // The key covers the image: an edited text page misses.
+        exe::Executable edited = f.x;
+        edited.text.set(0, f.x.text[0] ^ 1u);
+        EXPECT_FALSE(cache.lookupTimed(
+            cache.timedKey(edited, f.model, {}, {}), out));
+        // And so does a different timing config.
+        TimingSim::Config icfg;
+        icfg.useICache = true;
+        EXPECT_FALSE(cache.lookupTimed(
+            cache.timedKey(f.x, f.model, icfg, {}), out));
+    }
+
+    ResultCache reborn({dir.string(), nullptr});
+    ResultCache::TimedValue out;
+    ASSERT_TRUE(reborn.lookupTimed(key, out));
+    EXPECT_EQ(out.instructions, v.instructions);
+    EXPECT_EQ(out.cycles, v.cycles);
+    EXPECT_EQ(out.exitCode, v.exitCode);
+    EXPECT_EQ(out.exited, v.exited);
+    EXPECT_EQ(out.output, v.output);
+    EXPECT_EQ(reborn.stats().diskHits, 1u);
+
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace eel::sim

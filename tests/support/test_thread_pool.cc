@@ -1,8 +1,13 @@
 #include "src/support/thread_pool.hh"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -79,7 +84,7 @@ TEST(ThreadPool, ExceptionPropagates)
     EXPECT_EQ(after.load(), 8);
 }
 
-TEST(ThreadPool, NestedCallsRunInline)
+TEST(ThreadPool, NestedCallsComplete)
 {
     ThreadPool pool(4);
     std::atomic<int> inner{0};
@@ -88,6 +93,58 @@ TEST(ThreadPool, NestedCallsRunInline)
         pool.parallelFor(4, [&](size_t) { ++inner; });
     });
     EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, NestedCallsShareWork)
+{
+    // A two-level fan-out whose outer level has fewer items than
+    // threads (the table-of-benchmarks × shards shape): the nested
+    // calls' items must spill onto the idle workers, not run inline
+    // on the two outer callers.
+    ThreadPool pool(8);
+    std::mutex mu;
+    std::set<std::thread::id> innerThreads;
+    std::atomic<int> inner{0};
+    pool.parallelFor(2, [&](size_t) {
+        pool.parallelFor(32, [&](size_t) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+            ++inner;
+            std::lock_guard<std::mutex> lock(mu);
+            innerThreads.insert(std::this_thread::get_id());
+        });
+    });
+    EXPECT_EQ(inner.load(), 64);
+    // 64 sleepy items against 2 busy outer threads: the other 6
+    // workers have tens of milliseconds to claim one.
+    EXPECT_GT(innerThreads.size(), 2u);
+}
+
+TEST(ThreadPool, NestedCallDegradesInlineWhenWorkersBlocked)
+{
+    // The service-daemon shape: every other worker is parked forever
+    // inside its outer item, so nobody can help. The nested call
+    // must steal its own items back and complete inline rather than
+    // wait on a sibling that never returns.
+    ThreadPool pool(4);
+    std::atomic<int> inner{0};
+    std::atomic<bool> release{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    pool.parallelFor(4, [&](size_t i) {
+        if (i == 0) {
+            pool.parallelFor(8, [&](size_t) { ++inner; });
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                release = true;
+            }
+            cv.notify_all();
+        } else {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] { return release.load(); });
+        }
+    });
+    EXPECT_EQ(inner.load(), 8);
 }
 
 TEST(ThreadPool, CostSortedDispatchOrder)

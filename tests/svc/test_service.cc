@@ -547,5 +547,74 @@ TEST(ServiceConcurrency, MixedOpsFourClientThreads)
     server.stop();
 }
 
+TEST(ServiceConcurrency, ConcurrentSimulateCacheHits)
+{
+    // Many client threads issue timed SIMULATEs of the same two
+    // images concurrently: the race check for the result cache's
+    // shared tiers (run under tsan by the tsan_service ctest
+    // entry), plus the semantic gate — every cached reply must
+    // equal the cold one, and an edited image must never be served
+    // the base image's timing.
+    Server server(testConfig());
+    server.start();
+
+    std::string tiny = tinyXef();
+    exe::Executable ed = exe::Executable::loadBytes(tiny);
+    // One text-word edit (swap the delay nop for an architecturally
+    // different encoding is overkill here — a data edit already
+    // changes the content-addressed key).
+    ed.data.set(0, static_cast<uint8_t>(ed.data[0] ^ 0xff));
+    std::string edited = ed.saveBytes();
+    uint64_t ids[2] = {contentId(tiny), contentId(edited)};
+
+    SimulateRequest sr;
+    sr.timing = 1;
+    SimulateReply ref[2];
+    {
+        Client seed = Client::dialTcp(server.port());
+        ASSERT_TRUE(seed.submit(tiny).ok());
+        ASSERT_TRUE(seed.submit(edited).ok());
+        for (int k = 0; k < 2; ++k) {
+            sr.imageId = ids[k];
+            auto r = seed.simulate(sr);
+            ASSERT_TRUE(r.ok());
+            ref[k] = r.value;
+        }
+    }
+
+    constexpr unsigned kThreads = 4, kIters = 25;
+    std::vector<std::thread> clients;
+    std::vector<int> failures(kThreads, 0);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            Client c = Client::dialTcp(server.port());
+            SimulateRequest req;
+            req.timing = 1;
+            for (unsigned i = 0; i < kIters; ++i) {
+                int k = (i + t) % 2;
+                req.imageId = ids[k];
+                auto r = c.simulate(req);
+                if (!r.ok() ||
+                    r.value.cycles != ref[k].cycles ||
+                    r.value.instructions != ref[k].instructions ||
+                    r.value.exitCode != ref[k].exitCode ||
+                    r.value.exited != ref[k].exited)
+                    ++failures[t];
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    for (unsigned t = 0; t < kThreads; ++t)
+        EXPECT_EQ(failures[t], 0) << "client " << t;
+
+    // The seed pass populated both keys, so every threaded request
+    // was answerable from the cache.
+    Server::Counters ctr = server.counters();
+    EXPECT_GE(ctr.simCacheHits, uint64_t(kThreads) * kIters);
+    EXPECT_EQ(ctr.errors, 0u);
+    server.stop();
+}
+
 } // namespace
 } // namespace eel::svc
