@@ -7,7 +7,12 @@
  * speculated work; a high threshold keeps traces short and cheap.
  * Sweeps the mutual-most-likely threshold over the CINT stand-ins
  * (the short-block codes superblock scheduling exists for) and
- * reports the hidden fraction and code growth at each point.
+ * reports the hidden fraction, static code growth, and the dynamic
+ * duplication surcharge at each point. The dynamic column comes from
+ * sched::accountGrowth, which charges a tail-duplicated block once
+ * even when several relink paths re-enter it — the per-visit count
+ * this bench once did double-charged exactly those blocks
+ * (tests/sched/test_superblock.cc pins the corrected numbers).
  *
  * The profile run and the Inst/Local measurement builds are shared
  * across the sweep; only the superblock rewrite depends on the
@@ -19,6 +24,7 @@
 #include "bench/common.hh"
 #include "src/eel/editor.hh"
 #include "src/qpt/edge_profiler.hh"
+#include "src/sched/superblock.hh"
 #include "src/sim/timing.hh"
 #include "src/support/logging.hh"
 #include "src/workload/generator.hh"
@@ -42,6 +48,9 @@ struct Prepared
     uint64_t instCycles = 0;
     uint64_t localCycles = 0;
     size_t localText = 0;
+    /** Profiled dynamic instructions (exec-weighted block sizes):
+     *  the denominator of the dynamic-growth column. */
+    uint64_t dynBase = 0;
 };
 
 Prepared
@@ -88,6 +97,9 @@ prepare(const bench::TableOptions &opts, size_t index,
     p.instCycles = sim::timedRun(inst, m).cycles;
     p.localCycles = sim::timedRun(local, m).cycles;
     p.localText = local.text.size();
+    for (size_t ri = 0; ri < p.routines.size(); ++ri)
+        for (const edit::Block &b : p.routines[ri].blocks)
+            p.dynBase += p.counts[ri][b.id].exec * b.insts.size();
     return p;
 }
 
@@ -125,13 +137,15 @@ main(int argc, char **argv)
     std::printf("\nTrace threshold sweep: superblock scheduling of "
                 "profiling instrumentation (%s, CINT)\n",
                 opts.machine.c_str());
-    std::printf("%-10s %10s %10s %10s %8s\n", "Threshold",
-                "%Hid(loc)", "%Hid(sb)", "Growth", "Traces");
+    std::printf("%-10s %10s %10s %10s %10s %8s\n", "Threshold",
+                "%Hid(loc)", "%Hid(sb)", "Growth", "DynGrow",
+                "Traces");
 
     for (double threshold : kThresholds) {
-        double hid_local = 0, hid_sb = 0, growth = 0;
+        double hid_local = 0, hid_sb = 0, growth = 0, dyngrow = 0;
         uint64_t traces = 0;
         std::vector<double> hs(prep.size()), gr(prep.size());
+        std::vector<double> dg(prep.size());
         std::vector<uint64_t> tr(prep.size());
         pool.parallelFor(prep.size(), cost, [&](size_t k) {
             const Prepared &p = prep[k];
@@ -154,13 +168,21 @@ main(int argc, char **argv)
             gr[k] = 100.0 *
                     (double(sb.text.size()) -
                      double(p.localText)) / double(p.localText);
-            uint64_t n = 0;
-            for (size_t ri = 0; ri < p.routines.size(); ++ri)
-                n += eel::sched::formTraces(p.routines[ri],
-                                            p.counts[ri],
-                                            sb_opts.superblock)
-                         .size();
+            uint64_t n = 0, dynExtra = 0;
+            for (size_t ri = 0; ri < p.routines.size(); ++ri) {
+                auto rtraces = eel::sched::formTraces(
+                    p.routines[ri], p.counts[ri],
+                    sb_opts.superblock);
+                n += rtraces.size();
+                dynExtra += eel::sched::accountGrowth(
+                                p.routines[ri], p.counts[ri],
+                                rtraces)
+                                .dynExtra;
+            }
             tr[k] = n;
+            dg[k] = p.dynBase ? 100.0 * double(dynExtra) /
+                                    double(p.dynBase)
+                              : 0.0;
         });
         for (size_t k = 0; k < prep.size(); ++k) {
             const Prepared &p = prep[k];
@@ -171,12 +193,15 @@ main(int argc, char **argv)
                                 int64_t(p.localCycles)) / denom;
             hid_sb += hs[k];
             growth += gr[k];
+            dyngrow += dg[k];
             traces += tr[k];
         }
         size_t n = prep.size() ? prep.size() : 1;
-        std::printf("%-10.2f %9.1f%% %9.1f%% %9.1f%% %8llu\n",
+        std::printf("%-10.2f %9.1f%% %9.1f%% %9.1f%% %9.2f%% "
+                    "%8llu\n",
                     threshold, hid_local / double(n),
                     hid_sb / double(n), growth / double(n),
+                    dyngrow / double(n),
                     static_cast<unsigned long long>(traces));
     }
     return 0;

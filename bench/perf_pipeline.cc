@@ -358,6 +358,69 @@ main(int argc, char **argv)
         batch_mb_cow > 0 ? batch_mb_eager / batch_mb_cow : 0.0;
     batches.clear();
 
+    // --- Pipeline scheduling tier: hidden fraction of the counter
+    // overhead on the loop-dominated CFP stand-ins, superblock vs
+    // superblock+modulo. Simulated cycles are deterministic at a
+    // given scale, so the baseline gates the pipeline number: a
+    // drift means the loop analyzer or the modulo scheduler changed
+    // what it emits, not that the host got slower. Bit-identity of
+    // the pipelined build against the unscheduled one is a hard
+    // invariant, same as the batch/incremental checks above.
+    std::vector<size_t> fp_indices;
+    for (size_t i = 0; i < specs.size(); ++i)
+        if (specs[i].fp)
+            fp_indices.push_back(i);
+    support::ThreadPool pipe_pool(jobs);
+    std::vector<double> hid_sb(fp_indices.size());
+    std::vector<double> hid_pipe(fp_indices.size());
+    std::vector<uint8_t> pipe_ok(fp_indices.size(), 0);
+    std::vector<uint64_t> fp_cost(fp_indices.size());
+    for (size_t k = 0; k < fp_indices.size(); ++k)
+        fp_cost[k] = specs[fp_indices[k]].dynTarget;
+    pipe_pool.parallelFor(fp_indices.size(), fp_cost, [&](size_t k) {
+        exe::Executable orig =
+            workload::generate(specs[fp_indices[k]], gopts);
+        edit::BatchOptions pb;
+        pb.model = &m;
+        pb.pool = &pipe_pool;
+        edit::BatchRewriter rw(orig, pb);
+        edit::BatchResult b =
+            rw.rewriteAll({edit::VariantKind::SlowProfile,
+                           edit::VariantKind::Superblock,
+                           edit::VariantKind::Pipeline});
+        uint64_t c_base = sim::timedRun(b.work, m).cycles;
+        uint64_t c_inst =
+            sim::timedRun(b.variants[0].image, m).cycles;
+        uint64_t c_sb = sim::timedRun(b.variants[1].image, m).cycles;
+        uint64_t c_pipe =
+            sim::timedRun(b.variants[2].image, m).cycles;
+        double denom = double(int64_t(c_inst) - int64_t(c_base));
+        hid_sb[k] =
+            100.0 * double(int64_t(c_inst) - int64_t(c_sb)) / denom;
+        hid_pipe[k] = 100.0 *
+                      double(int64_t(c_inst) - int64_t(c_pipe)) /
+                      denom;
+        sim::Emulator e_inst(b.variants[0].image);
+        sim::Emulator e_pipe(b.variants[2].image);
+        sim::RunResult ri = e_inst.run();
+        sim::RunResult rp = e_pipe.run();
+        pipe_ok[k] = ri.exited && rp.exited &&
+                     ri.exitCode == rp.exitCode &&
+                     ri.output == rp.output &&
+                     e_inst.snapshot().equalTo(e_pipe.snapshot()) &&
+                     qpt::readCounts(e_inst, b.profilePlan) ==
+                         qpt::readCounts(e_pipe, b.profilePlan);
+    });
+    double sb_cfp_hidden = 0, pipe_cfp_hidden = 0;
+    bool pipeline_identical = true;
+    for (size_t k = 0; k < fp_indices.size(); ++k) {
+        sb_cfp_hidden += hid_sb[k];
+        pipe_cfp_hidden += hid_pipe[k];
+        pipeline_identical &= pipe_ok[k] != 0;
+    }
+    sb_cfp_hidden /= double(fp_indices.size());
+    pipe_cfp_hidden /= double(fp_indices.size());
+
     // --- End-to-end Table-1 protocol, serial vs parallel.
     bench::TableOptions topts;
     topts.machine = machine;
@@ -418,6 +481,10 @@ main(int argc, char **argv)
                 n_images);
     std::printf("batch output       %s\n",
                 batch_identical ? "identical to eager" : "DIVERGED");
+    std::printf("pipeline tier      CFP hidden %.1f%% (superblock "
+                "%.1f%%), output %s\n",
+                pipe_cfp_hidden, sb_cfp_hidden,
+                pipeline_identical ? "identical" : "DIVERGED");
     std::printf("table1 jobs=1      %.3fs\n", e2e_serial_s);
     std::printf("table1 jobs=%-6u %.3fs (%.2fx)\n", jobs,
                 e2e_parallel_s, speedup);
@@ -465,6 +532,12 @@ main(int argc, char **argv)
                  share.sharedFrac());
     std::fprintf(f, "  \"batch_identical\": %s,\n",
                  batch_identical ? "true" : "false");
+    std::fprintf(f, "  \"pipeline_cfp_hidden_pct\": %.4f,\n",
+                 pipe_cfp_hidden);
+    std::fprintf(f, "  \"superblock_cfp_hidden_pct\": %.4f,\n",
+                 sb_cfp_hidden);
+    std::fprintf(f, "  \"pipeline_identical\": %s,\n",
+                 pipeline_identical ? "true" : "false");
     std::fprintf(f, "  \"table1_jobs1_wall_s\": %.4f,\n",
                  e2e_serial_s);
     std::fprintf(f, "  \"table1_jobs\": %u,\n", jobs);
@@ -507,6 +580,12 @@ main(int argc, char **argv)
                      "eager copies (need >= 3x)\n", batch_reduction);
         return 1;
     }
+    if (!pipeline_identical) {
+        std::fprintf(stderr,
+                     "FAIL: a pipelined CFP build diverged from its "
+                     "unscheduled instrumentation\n");
+        return 1;
+    }
     if (!incremental_identical) {
         std::fprintf(stderr,
                      "FAIL: cached/incremental simulation output "
@@ -545,6 +624,10 @@ main(int argc, char **argv)
             // Deterministic at a given scale: a drift here means the
             // COW layout or the interner changed, not the host.
             {"batch_rewrite_mb_per_variant", batch_mb_cow},
+            // Likewise deterministic: the modulo scheduler's CFP
+            // payoff, guarded so a scheduler change that quietly
+            // stops pipelining (or pipelines worse) fails ctest.
+            {"pipeline_cfp_hidden_pct", pipe_cfp_hidden},
         };
         bool bad = false;
         for (const Gate &g : gates) {

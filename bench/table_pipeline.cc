@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Beyond the paper, tier three: modulo scheduling of profiling
+ * instrumentation across loop backedges. The superblock tier
+ * (bench/table_superblock) hides overhead along acyclic hot paths,
+ * but the loop-dominated CFP codes spend their cycles inside hot
+ * single-block loops where a counter's load-add-store chain stalls
+ * every iteration and no acyclic scheduler can overlap it with the
+ * next one. This bench measures the pipeline tier against the same
+ * Inst/Local/Superblock ladder.
+ *
+ * Protocol, per benchmark:
+ *   1. one BatchRewriter analysis pass (internal edge-profile run),
+ *      stamping four variants from the same block-counter plan:
+ *      Inst (unscheduled), Sched (the paper's local scheduler),
+ *      Superblock, and Pipeline (superblock + modulo-scheduled hot
+ *      loops);
+ *   2. %hidden for each tier against the same Inst/base cycles, and
+ *      code growth of Pipeline relative to Superblock (prologues and
+ *      unrolled loop bodies are the only delta);
+ *   3. loop accounting from the analyzer's own view: accepted
+ *      pipeline loops, rotation vs unroll decisions, and the
+ *      achieved II against the MII lower bound;
+ *   4. a built-in oracle: the Inst and Pipeline builds must exit
+ *      with identical architectural state, memory, counter values,
+ *      and program output.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "src/eel/batch.hh"
+#include "src/eel/liveness.hh"
+#include "src/isa/registers.hh"
+#include "src/obs/log.hh"
+#include "src/qpt/profiler.hh"
+#include "src/sched/pipeline.hh"
+#include "src/sim/timing.hh"
+#include "src/support/logging.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/spec.hh"
+
+namespace {
+
+using namespace eel;
+
+struct PipeRow
+{
+    std::string name;
+    bool fp = false;
+    double instRatio = 0;
+    double localRatio = 0;
+    double sbRatio = 0;
+    double pipeRatio = 0;
+    double pctHiddenLocal = 0;
+    double pctHiddenSb = 0;
+    double pctHiddenPipe = 0;
+    double growthPct = 0;  ///< Pipeline text vs Superblock text
+    size_t loops = 0;      ///< accepted pipeline loops
+    size_t rotated = 0;    ///< loops scheduled as prologue+kernel
+    size_t unrolled = 0;   ///< loops that took the unroll fallback
+    double avgII = 0;      ///< mean achieved II over accepted loops
+    double avgMII = 0;     ///< mean MII lower bound over the same
+    bool oracleOk = false;
+};
+
+PipeRow
+runOne(const bench::TableOptions &opts, size_t index,
+       support::ThreadPool *pool)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin(opts.machine);
+    workload::BenchmarkSpec spec =
+        workload::spec95(opts.machine)[index];
+
+    workload::GenOptions gopts;
+    gopts.scale = opts.scale;
+    gopts.machine = &m;
+    exe::Executable original = workload::generate(spec, gopts);
+
+    edit::BatchOptions bopts;
+    bopts.model = &m;
+    bopts.sched = opts.sched;
+    bopts.pool = pool;
+    edit::BatchRewriter rw(original, bopts);
+    edit::BatchResult batch =
+        rw.rewriteAll({edit::VariantKind::SlowProfile,
+                       edit::VariantKind::Sched,
+                       edit::VariantKind::Superblock,
+                       edit::VariantKind::Pipeline});
+    const exe::Executable &inst = batch.variants[0].image;
+    const exe::Executable &local = batch.variants[1].image;
+    const exe::Executable &sb = batch.variants[2].image;
+    const exe::Executable &pipe = batch.variants[3].image;
+
+    auto r_base = sim::timedRun(batch.work, m);
+    auto r_inst = sim::timedRun(inst, m);
+    auto r_local = sim::timedRun(local, m);
+    auto r_sb = sim::timedRun(sb, m);
+    auto r_pipe = sim::timedRun(pipe, m);
+    if (r_base.result.output != r_pipe.result.output ||
+        r_base.result.exitCode != r_pipe.result.exitCode)
+        fatal("%s: pipeline output differs from base",
+              spec.name.c_str());
+
+    // Oracle: identical architectural exit state, memory (counters
+    // included), output, and exit code.
+    sim::Emulator e_inst(inst), e_pipe(pipe);
+    sim::RunResult o_inst = e_inst.run();
+    sim::RunResult o_pipe = e_pipe.run();
+    bool oracle =
+        o_inst.exited && o_pipe.exited &&
+        o_inst.exitCode == o_pipe.exitCode &&
+        o_inst.output == o_pipe.output &&
+        e_inst.snapshot().equalTo(e_pipe.snapshot()) &&
+        qpt::readCounts(e_inst, batch.profilePlan) ==
+            qpt::readCounts(e_pipe, batch.profilePlan);
+
+    PipeRow row;
+    row.name = spec.name;
+    row.fp = spec.fp;
+    double denom = double(int64_t(r_inst.cycles) -
+                          int64_t(r_base.cycles));
+    row.instRatio = double(r_inst.cycles) / double(r_base.cycles);
+    row.localRatio = double(r_local.cycles) / double(r_base.cycles);
+    row.sbRatio = double(r_sb.cycles) / double(r_base.cycles);
+    row.pipeRatio = double(r_pipe.cycles) / double(r_base.cycles);
+    row.pctHiddenLocal = 100.0 *
+                         double(int64_t(r_inst.cycles) -
+                                int64_t(r_local.cycles)) / denom;
+    row.pctHiddenSb = 100.0 *
+                      double(int64_t(r_inst.cycles) -
+                             int64_t(r_sb.cycles)) / denom;
+    row.pctHiddenPipe = 100.0 *
+                        double(int64_t(r_inst.cycles) -
+                               int64_t(r_pipe.cycles)) / denom;
+    row.growthPct = 100.0 *
+                    (double(pipe.text.size()) -
+                     double(sb.text.size())) /
+                    double(sb.text.size());
+
+    // Loop accounting: the same analyzer + scheduler decisions the
+    // Pipeline stamp made, replayed per loop so the table can report
+    // them (scheduleLoop is deterministic on identical inputs).
+    // The editor's never-observed scratch mask is part of those
+    // inputs: registers no original instruction reads are dead into
+    // every exit, which is what licenses rotating the counter
+    // snippet's scratch-register chain.
+    std::bitset<32> neverObserved;
+    neverObserved.set(isa::reg::g6);
+    neverObserved.set(isa::reg::g7);
+    for (const edit::Routine &r : batch.routines)
+        for (const edit::Block &b : r.blocks)
+            for (const sched::InstRef &ref : b.insts)
+                for (const auto &u : ref.inst.uses())
+                    if (u.reg.tracked() &&
+                        u.reg.cls == isa::RegClass::Int)
+                        neverObserved.reset(u.reg.idx);
+    sched::PipelineOptions popts = bopts.pipeline;
+    for (size_t ri = 0; ri < batch.routines.size(); ++ri) {
+        const edit::Routine &r = batch.routines[ri];
+        auto ploops = sched::findPipelineLoops(
+            r, batch.edgeCounts[ri], popts);
+        if (ploops.empty())
+            continue;
+        edit::Liveness live(r);
+        for (const sched::PipelineLoop &pl : ploops) {
+            const edit::Block &blk = r.blocks[pl.block];
+            // The editor's blockCode: counter snippet (marked as
+            // instrumentation) prepended to the body.
+            sched::InstSeq code;
+            if (const sched::InstSeq *snip =
+                    batch.profilePlan.plan.find(ri, pl.block)) {
+                code = *snip;
+                for (sched::InstRef &ref : code)
+                    ref.isInstrumentation = true;
+            }
+            code.insert(code.end(), blk.insts.begin(),
+                        blk.insts.end());
+            const edit::BlockEdgeCounts &bc =
+                batch.edgeCounts[ri][pl.block];
+            uint64_t flow = bc.fall + bc.taken;
+            sched::LoopSchedule ls = sched::scheduleLoop(
+                code,
+                live.liveInSet(static_cast<uint32_t>(blk.fallSucc)) &
+                    ~neverObserved,
+                flow ? double(bc.fall) / double(flow) : 0.0,
+                r.blocks[blk.fallSucc].startAddr, m, opts.sched,
+                sched::SuperblockOptions{}, popts);
+            ++row.loops;
+            row.rotated += ls.kind == sched::LoopKind::Rotate;
+            row.unrolled += ls.kind == sched::LoopKind::Unroll;
+            row.avgII += ls.achievedII;
+            row.avgMII += ls.bounds.mii;
+        }
+    }
+    if (row.loops) {
+        row.avgII /= double(row.loops);
+        row.avgMII /= double(row.loops);
+    }
+    row.oracleOk = oracle;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace eel::bench;
+    TableOptions opts = parseArgs(argc, argv);
+
+    std::fprintf(stderr,
+                 "table_pipeline: machine=%s scale=%.2f "
+                 "(beyond the paper)\n",
+                 opts.machine.c_str(), opts.scale);
+
+    auto specs = eel::workload::spec95(opts.machine);
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < specs.size(); ++i)
+        if (opts.only.empty() || specs[i].name == opts.only)
+            indices.push_back(i);
+
+    eel::support::ThreadPool pool(opts.jobs);
+    std::vector<uint64_t> cost(indices.size());
+    for (size_t k = 0; k < indices.size(); ++k)
+        cost[k] = specs[indices[k]].dynTarget;
+    std::vector<PipeRow> rows(indices.size());
+    pool.parallelFor(indices.size(), cost, [&](size_t k) {
+        rows[k] = runOne(opts, indices[k], &pool);
+        eel::obs::logf(eel::obs::LogLevel::Info, "  %-14s done",
+                       rows[k].name.c_str());
+    });
+
+    std::printf("\nModulo scheduling vs superblock/local tiers "
+                "(%s)\n", opts.machine.c_str());
+    std::printf("%-14s %7s %7s %7s %9s %9s %10s %7s %5s %4s %9s "
+                "%6s\n",
+                "Benchmark", "Inst", "Superbl", "Pipe", "%Hid(sb)",
+                "%Hid(pip)", "Growth", "Loops", "Rot", "Unr",
+                "II/MII", "Oracle");
+    int bad_oracle = 0;
+    auto line = [&](const PipeRow &r) {
+        char iimii[32] = "-";
+        if (r.loops)
+            std::snprintf(iimii, sizeof iimii, "%.1f/%.1f",
+                          r.avgII, r.avgMII);
+        std::printf("%-14s %7.2f %7.2f %7.2f %8.1f%% %8.1f%% "
+                    "%9.2f%% %7zu %5zu %4zu %9s %6s\n",
+                    r.name.c_str(), r.instRatio, r.sbRatio,
+                    r.pipeRatio, r.pctHiddenSb, r.pctHiddenPipe,
+                    r.growthPct, r.loops, r.rotated, r.unrolled,
+                    iimii, r.oracleOk ? "ok" : "FAIL");
+        if (!r.oracleOk)
+            ++bad_oracle;
+    };
+    auto averages = [&](bool fp, const char *label) {
+        double hl = 0, hs = 0, hp = 0, g = 0;
+        int n = 0;
+        for (const PipeRow &r : rows) {
+            if (r.fp != fp)
+                continue;
+            hl += r.pctHiddenLocal;
+            hs += r.pctHiddenSb;
+            hp += r.pctHiddenPipe;
+            g += r.growthPct;
+            ++n;
+        }
+        if (!n)
+            return;
+        std::printf("%-14s %7s %7s %7s %8.1f%% %8.1f%% %9.2f%%   "
+                    "(local tier: %.1f%%)\n",
+                    label, "", "", "", hs / n, hp / n, g / n,
+                    hl / n);
+    };
+    for (const PipeRow &r : rows)
+        if (!r.fp)
+            line(r);
+    averages(false, "CINT95 Average");
+    for (const PipeRow &r : rows)
+        if (r.fp)
+            line(r);
+    averages(true, "CFP95 Average");
+
+    if (!opts.jsonPath.empty()) {
+        std::string j;
+        char buf[512];
+        auto emit = [&](const char *fmt, auto... a) {
+            std::snprintf(buf, sizeof buf, fmt, a...);
+            j += buf;
+        };
+        emit("{\n  \"table\": \"pipeline\",\n"
+             "  \"machine\": \"%s\",\n  \"scale\": %.4f,\n"
+             "  \"rows\": [\n",
+             opts.machine.c_str(), opts.scale);
+        for (size_t k = 0; k < rows.size(); ++k) {
+            const PipeRow &r = rows[k];
+            emit("    {\"name\": \"%s\", \"fp\": %s, "
+                 "\"inst_ratio\": %.6f, \"local_ratio\": %.6f, "
+                 "\"sb_ratio\": %.6f, \"pipe_ratio\": %.6f, "
+                 "\"pct_hidden_local\": %.4f, "
+                 "\"pct_hidden_sb\": %.4f, "
+                 "\"pct_hidden_pipe\": %.4f, "
+                 "\"growth_pct\": %.4f, \"loops\": %zu, "
+                 "\"rotated\": %zu, \"unrolled\": %zu, "
+                 "\"avg_ii\": %.4f, \"avg_mii\": %.4f, "
+                 "\"oracle_ok\": %s}%s\n",
+                 r.name.c_str(), r.fp ? "true" : "false",
+                 r.instRatio, r.localRatio, r.sbRatio, r.pipeRatio,
+                 r.pctHiddenLocal, r.pctHiddenSb, r.pctHiddenPipe,
+                 r.growthPct, r.loops, r.rotated, r.unrolled,
+                 r.avgII, r.avgMII, r.oracleOk ? "true" : "false",
+                 k + 1 < rows.size() ? "," : "");
+        }
+        double cfp_sb = 0, cfp_pipe = 0;
+        int nfp = 0;
+        for (const PipeRow &r : rows)
+            if (r.fp) {
+                cfp_sb += r.pctHiddenSb;
+                cfp_pipe += r.pctHiddenPipe;
+                ++nfp;
+            }
+        emit("  ],\n  \"cfp_hidden_sb_pct\": %.4f,\n"
+             "  \"cfp_hidden_pipe_pct\": %.4f\n}\n",
+             nfp ? cfp_sb / nfp : 0.0, nfp ? cfp_pipe / nfp : 0.0);
+        std::FILE *f = std::fopen(opts.jsonPath.c_str(), "w");
+        if (!f)
+            eel::fatal("cannot open %s for writing",
+                       opts.jsonPath.c_str());
+        std::fwrite(j.data(), 1, j.size(), f);
+        std::fclose(f);
+    }
+
+    if (bad_oracle) {
+        std::fprintf(stderr, "table_pipeline: %d oracle failure(s)\n",
+                     bad_oracle);
+        return 1;
+    }
+    return 0;
+}

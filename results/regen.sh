@@ -44,7 +44,9 @@ $B/ablation_sched_model --scale 0.5 > results/ablation_sched_model.txt
 $B/ablation_fastprof --scale 0.3 > results/ablation_fastprof.txt
 $B/ablation_width --scale 0.3 > results/ablation_width.txt
 $B/table_superblock --scale 0.5 > results/table_superblock.txt
+$B/table_pipeline --scale 0.5 > results/table_pipeline.txt
 $B/ablation_trace_threshold --scale 0.3 > results/ablation_trace_threshold.txt
+$B/ablation_ii_gap > results/ablation_ii_gap.txt
 # The perf_regression ctest gate measures in the default tier-1 tree
 # (RelWithDebInfo), so the gated baseline must come from the same
 # build type — Release numbers run ~1.8x faster and would trip the

@@ -37,6 +37,7 @@ kindName(VariantKind k)
       case VariantKind::EdgeProfile:  return "edge_profile";
       case VariantKind::Sched:        return "sched";
       case VariantKind::Superblock:   return "superblock";
+      case VariantKind::Pipeline:     return "pipeline";
     }
     return "unknown";
 }
@@ -53,11 +54,14 @@ BatchRewriter::rewriteAll(const std::vector<VariantKind> &kinds)
 {
     bool needCounters = wants(kinds, VariantKind::SlowProfile) ||
                         wants(kinds, VariantKind::Sched) ||
-                        wants(kinds, VariantKind::Superblock);
+                        wants(kinds, VariantKind::Superblock) ||
+                        wants(kinds, VariantKind::Pipeline);
     bool needEdges = wants(kinds, VariantKind::EdgeProfile) ||
-                     wants(kinds, VariantKind::Superblock);
+                     wants(kinds, VariantKind::Superblock) ||
+                     wants(kinds, VariantKind::Pipeline);
     bool needSched = wants(kinds, VariantKind::Sched) ||
-                     wants(kinds, VariantKind::Superblock);
+                     wants(kinds, VariantKind::Superblock) ||
+                     wants(kinds, VariantKind::Pipeline);
     if (needSched && !opts.model)
         fatal("batch: Sched/Superblock variants need a machine model");
 
@@ -97,7 +101,8 @@ BatchRewriter::rewriteAll(const std::vector<VariantKind> &kinds)
     }
 
     std::vector<Liveness> live;
-    if (wants(kinds, VariantKind::Superblock)) {
+    if (wants(kinds, VariantKind::Superblock) ||
+        wants(kinds, VariantKind::Pipeline)) {
         obs::Span span("batch.liveness");
         live.reserve(routines.size());
         for (const Routine &r : routines)
@@ -119,6 +124,10 @@ BatchRewriter::rewriteAll(const std::vector<VariantKind> &kinds)
     sblock.superblock = opts.superblock;
     sblock.edgeCounts = &res.edgeCounts;
     sblock.liveness = &live;
+
+    EditOptions pipe = sblock;
+    pipe.scope = SchedScope::Pipeline;
+    pipe.pipeline = opts.pipeline;
 
     res.variants.resize(kinds.size());
     auto stamp = [&](size_t k) {
@@ -145,6 +154,10 @@ BatchRewriter::rewriteAll(const std::vector<VariantKind> &kinds)
           case VariantKind::Superblock:
             v.image = rewrite(res.work, routines,
                               res.profilePlan.plan, sblock);
+            break;
+          case VariantKind::Pipeline:
+            v.image = rewrite(res.work, routines,
+                              res.profilePlan.plan, pipe);
             break;
         }
     };

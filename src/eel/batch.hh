@@ -48,6 +48,9 @@ enum class VariantKind : uint8_t {
     /** Per-block counters under profile-guided superblock
      *  scheduling (uses the internal edge-profile run). */
     Superblock,
+    /** Superblock plus modulo scheduling of hot innermost loops
+     *  (SchedScope::Pipeline). */
+    Pipeline,
 };
 
 struct BatchOptions
@@ -56,6 +59,7 @@ struct BatchOptions
     const machine::MachineModel *model = nullptr;
     sched::SchedOptions sched;
     sched::SuperblockOptions superblock;
+    sched::PipelineOptions pipeline;
     qpt::ProfileOptions profile;
     /** Variants are stamped in parallel on this pool (and each
      *  rewrite schedules its routines on it); null = serial. */

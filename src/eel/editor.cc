@@ -41,15 +41,21 @@ rewrite(const exe::Executable &in,
     if (opts.schedule && !opts.model)
         fatal("editor: scheduling requested without a machine model");
 
-    const bool superblock =
-        opts.schedule && opts.scope == SchedScope::Superblock;
-    if (superblock) {
+    const bool pipeline =
+        opts.schedule && opts.scope == SchedScope::Pipeline;
+    // Pipeline mode is a superset of superblock mode: trace
+    // formation and cross-block scheduling run identically, with hot
+    // single-block loops peeled off to the modulo scheduler first.
+    const bool crossblock =
+        (opts.schedule && opts.scope == SchedScope::Superblock) ||
+        pipeline;
+    if (crossblock) {
         if (!opts.edgeCounts ||
             opts.edgeCounts->size() != routines.size())
-            fatal("editor: superblock scheduling requires an edge "
+            fatal("editor: cross-block scheduling requires an edge "
                   "profile for every routine (EditOptions::edgeCounts)");
         if (!plan.fallEdges.empty() || !plan.takenEdges.empty())
-            fatal("editor: superblock scheduling cannot be combined "
+            fatal("editor: cross-block scheduling cannot be combined "
                   "with edge instrumentation");
     }
 
@@ -62,7 +68,7 @@ rewrite(const exe::Executable &in,
     // registers would otherwise never cross a side exit, pinning
     // exactly the instrumentation the superblock exists to hide.
     std::bitset<32> neverObserved;
-    if (superblock) {
+    if (crossblock) {
         std::bitset<32> read;
         for (const Routine &r : routines)
             for (const Block &b : r.blocks)
@@ -111,15 +117,33 @@ rewrite(const exe::Executable &in,
         // block takes the local path below.
         std::vector<sched::Trace> traces;
         std::vector<int> traceOf(r.blocks.size(), -1);
+        std::vector<uint8_t> isPipe(r.blocks.size(), 0);
         std::unique_ptr<Liveness> liveOwned;
         const Liveness *live = nullptr;
-        if (superblock) {
+        if (crossblock) {
             traces = sched::formTraces(r, (*opts.edgeCounts)[ri],
                                        opts.superblock);
+            if (pipeline) {
+                for (const sched::PipelineLoop &pl :
+                     sched::findPipelineLoops(
+                         r, (*opts.edgeCounts)[ri], opts.pipeline))
+                    isPipe[pl.block] = 1;
+                // A self-loop never joins a trace (a backedge ends
+                // the trace), but if one ever did, the loop wins.
+                std::erase_if(traces, [&](const sched::Trace &t) {
+                    for (uint32_t id : t.blocks)
+                        if (isPipe[id])
+                            return true;
+                    return false;
+                });
+            }
             for (size_t t = 0; t < traces.size(); ++t)
                 for (uint32_t id : traces[t].blocks)
                     traceOf[id] = static_cast<int>(t);
-            if (!traces.empty()) {
+            bool any = !traces.empty();
+            for (uint8_t p : isPipe)
+                any = any || p;
+            if (any) {
                 if (opts.liveness) {
                     live = &(*opts.liveness)[ri];
                 } else {
@@ -270,7 +294,58 @@ rewrite(const exe::Executable &in,
             }
         };
 
+        // A hot single-block loop becomes a software pipeline:
+        // rotation emits a prologue (the hoisted next-iteration set,
+        // executed once per loop entry) at the old header address,
+        // falling into the kernel whose backedge pass 2 re-targets
+        // at the kernel block itself. The unroll fallback and the
+        // plain schedule stay a single leader block, their branches
+        // resolved through the ordinary old-address map.
+        auto emitLoop = [&](const Block &b) {
+            sched::InstSeq code = blockCode(b);
+            std::bitset<32> exitLive =
+                live->liveInSet(static_cast<uint32_t>(b.fallSucc)) &
+                ~neverObserved;
+            const edit::BlockEdgeCounts &bc =
+                (*opts.edgeCounts)[ri][b.id];
+            uint64_t flow = bc.fall + bc.taken;
+            double exitProb =
+                flow ? static_cast<double>(bc.fall) / flow : 0.0;
+            sched::LoopSchedule ls = sched::scheduleLoop(
+                code, exitLive, exitProb,
+                r.blocks[b.fallSucc].startAddr, *opts.model,
+                opts.sched, opts.superblock, opts.pipeline);
+            if (ls.kind == sched::LoopKind::Rotate) {
+                NewBlock pro;
+                pro.insts = std::move(ls.prologue);
+                pro.leaderOldAddr = b.startAddr;
+                pro.isLeader = true;
+                blockSlot[b.id] = static_cast<int>(blocks.size());
+                blocks.push_back(std::move(pro));
+                NewBlock kern;
+                kern.insts = std::move(ls.kernel);
+                kern.redirectToSlot =
+                    static_cast<int>(blocks.size());  // itself
+                blocks.push_back(std::move(kern));
+            } else {
+                NewBlock nb;
+                nb.insts = std::move(ls.kernel);
+                nb.leaderOldAddr = b.startAddr;
+                nb.isLeader = true;
+                blockSlot[b.id] = static_cast<int>(blocks.size());
+                blocks.push_back(std::move(nb));
+            }
+            if (b.fallSucc >= 0 && traceOf[b.fallSucc] >= 0 &&
+                traces[traceOf[b.fallSucc]].blocks.front() !=
+                    static_cast<uint32_t>(b.fallSucc))
+                pushStub(r.blocks[b.fallSucc].startAddr);
+        };
+
         for (const Block &b : r.blocks) {
+            if (isPipe[b.id]) {
+                emitLoop(b);
+                continue;
+            }
             if (traceOf[b.id] >= 0) {
                 const sched::Trace &t = traces[traceOf[b.id]];
                 if (t.blocks.front() == b.id)

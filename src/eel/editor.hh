@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "src/eel/cfg.hh"
+#include "src/sched/pipeline.hh"
 #include "src/sched/scheduler.hh"
 #include "src/sched/superblock.hh"
 
@@ -87,6 +88,16 @@ enum class SchedScope : uint8_t {
      * outside any trace fall back to local scheduling.
      */
     Superblock,
+    /**
+     * Everything Superblock does, plus modulo scheduling of hot
+     * innermost single-block loops (sched::findPipelineLoops): a
+     * pipelined loop is emitted as a prologue at the old header
+     * address followed by a rotated kernel whose backedge is
+     * re-targeted at the kernel itself, or as a two-copy
+     * unroll-and-schedule block when rotation cannot meet the II
+     * bound. Requires EditOptions::edgeCounts.
+     */
+    Pipeline,
 };
 
 struct EditOptions
@@ -104,6 +115,9 @@ struct EditOptions
     /** Cross-block scheduling mode (only meaningful if schedule). */
     SchedScope scope = SchedScope::Local;
     sched::SuperblockOptions superblock;
+    /** Modulo-scheduling knobs (only meaningful if scope ==
+     *  Pipeline). */
+    sched::PipelineOptions pipeline;
     /**
      * Edge profile for trace formation, indexed like `routines`
      * (qpt::exportEdgeCounts). Required when scope == Superblock.

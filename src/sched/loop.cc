@@ -1,0 +1,306 @@
+#include "src/sched/loop.hh"
+
+#include <map>
+
+namespace eel::sched {
+
+namespace {
+
+/** Successors of a block, in (taken, fall) order. */
+inline void
+eachSucc(const edit::Block &b, auto &&fn)
+{
+    if (b.takenSucc >= 0)
+        fn(static_cast<uint32_t>(b.takenSucc));
+    if (b.fallSucc >= 0)
+        fn(static_cast<uint32_t>(b.fallSucc));
+}
+
+} // namespace
+
+LoopAnalyzer::LoopAnalyzer(const edit::Routine &r) : r_(r)
+{
+    const size_t n = r.blocks.size();
+    rpoNum_.assign(n, -1);
+    idom_.assign(n, -1);
+    irreducible_.assign(n, 0);
+    if (n == 0)
+        return;
+
+    uint32_t entry = 0;
+    for (const edit::Block &b : r.blocks)
+        if (b.startAddr == r.entry)
+            entry = b.id;
+
+    // Iterative DFS from the entry: preorder/postorder stamps drive
+    // the retreating-edge test, the postorder (reversed) drives the
+    // dominator iteration.
+    std::vector<int> pre(n, -1), post(n, -1);
+    std::vector<uint32_t> postorder;
+    postorder.reserve(n);
+    {
+        // True depth-first traversal: descend into one successor at
+        // a time so the pre/post stamps form properly nested
+        // intervals (ancestor iff the interval contains the
+        // descendant's — the retreating-edge test depends on it).
+        std::vector<std::vector<uint32_t>> succs(n);
+        for (const edit::Block &blk : r.blocks)
+            eachSucc(blk, [&](uint32_t s) {
+                succs[blk.id].push_back(s);
+            });
+        int clock = 0;
+        std::vector<std::pair<uint32_t, size_t>> stack;
+        stack.emplace_back(entry, 0);
+        pre[entry] = clock++;
+        while (!stack.empty()) {
+            auto &[b, next] = stack.back();
+            if (next < succs[b].size()) {
+                uint32_t s = succs[b][next++];
+                if (pre[s] < 0) {
+                    pre[s] = clock++;
+                    stack.emplace_back(s, 0);
+                }
+            } else {
+                post[b] = clock++;
+                postorder.push_back(b);
+                stack.pop_back();
+            }
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (size_t i = 0; i < rpo_.size(); ++i)
+        rpoNum_[rpo_[i]] = static_cast<int>(i);
+
+    // Cooper-Harvey-Kennedy dominator iteration over the RPO.
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpoNum_[a] > rpoNum_[b])
+                a = idom_[a];
+            while (rpoNum_[b] > rpoNum_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+    idom_[entry] = static_cast<int>(entry);  // self, fixed below
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (uint32_t b : rpo_) {
+            if (b == entry)
+                continue;
+            int nd = -1;
+            for (uint32_t p : r.blocks[b].preds) {
+                if (rpoNum_[p] < 0 || idom_[p] < 0)
+                    continue;  // unreachable / unprocessed
+                nd = nd < 0 ? static_cast<int>(p)
+                            : intersect(nd, static_cast<int>(p));
+            }
+            if (nd >= 0 && idom_[b] != nd) {
+                idom_[b] = nd;
+                changed = true;
+            }
+        }
+    }
+    idom_[entry] = -1;
+
+    // Backward closure from `from`, stopping at `stop`. For a back
+    // edge whose sink dominates its source this is the natural loop
+    // body: every backward path hits the header, so the walk cannot
+    // escape. For an irreducible retreating edge it CAN escape —
+    // `stop` does not dominate `from`, so predecessor chains run all
+    // the way to the entry — hence the walk is restricted to blocks
+    // forward-reachable from `stop` (`within`), which pins it to the
+    // offending cycle instead of poisoning everything upstream.
+    auto closure = [&](uint32_t from, uint32_t stop,
+                       const std::vector<uint8_t> *within) {
+        std::vector<uint32_t> body{stop};
+        std::vector<uint8_t> in(n, 0);
+        in[stop] = 1;
+        std::vector<uint32_t> work;
+        if (from != stop) {
+            in[from] = 1;
+            body.push_back(from);
+            work.push_back(from);
+        }
+        while (!work.empty()) {
+            uint32_t b = work.back();
+            work.pop_back();
+            for (uint32_t p : r.blocks[b].preds) {
+                if (rpoNum_[p] < 0 || in[p] ||
+                    (within && !(*within)[p]))
+                    continue;
+                in[p] = 1;
+                body.push_back(p);
+                work.push_back(p);
+            }
+        }
+        std::sort(body.begin(), body.end());
+        return body;
+    };
+
+    // Forward reachability from `h`, for restricting the irreducible
+    // closure above.
+    auto reachableFrom = [&](uint32_t h) {
+        std::vector<uint8_t> seen(n, 0);
+        seen[h] = 1;
+        std::vector<uint32_t> work{h};
+        while (!work.empty()) {
+            uint32_t b = work.back();
+            work.pop_back();
+            eachSucc(r.blocks[b], [&](uint32_t s) {
+                if (!seen[s]) {
+                    seen[s] = 1;
+                    work.push_back(s);
+                }
+            });
+        }
+        return seen;
+    };
+
+    // Classify every retreating edge: a dominated sink makes a
+    // natural loop, anything else poisons its cycle as irreducible.
+    std::map<uint32_t, size_t> byHeader;
+    for (uint32_t t : rpo_) {
+        eachSucc(r.blocks[t], [&](uint32_t h) {
+            bool retreating = pre[h] <= pre[t] && post[h] >= post[t];
+            if (!retreating)
+                return;
+            if (dominates(h, t)) {
+                auto [it, fresh] =
+                    byHeader.try_emplace(h, loops_.size());
+                if (fresh) {
+                    Loop l;
+                    l.header = h;
+                    l.blocks = closure(t, h, nullptr);
+                    l.latches.push_back(t);
+                    loops_.push_back(std::move(l));
+                } else {
+                    Loop &l = loops_[it->second];
+                    std::vector<uint32_t> more =
+                        closure(t, h, nullptr);
+                    std::vector<uint32_t> merged;
+                    std::set_union(l.blocks.begin(), l.blocks.end(),
+                                   more.begin(), more.end(),
+                                   std::back_inserter(merged));
+                    l.blocks = std::move(merged);
+                    l.latches.push_back(t);
+                }
+            } else {
+                std::vector<uint8_t> within = reachableFrom(h);
+                for (uint32_t b : closure(t, h, &within))
+                    if (!irreducible_[b]) {
+                        irreducible_[b] = 1;
+                        ++irreducibleBlocks_;
+                    }
+            }
+        });
+    }
+
+    // A loop overlapping an irreducible region has no reliable body;
+    // drop it rather than transform half a cycle.
+    std::erase_if(loops_, [&](const Loop &l) {
+        for (uint32_t b : l.blocks)
+            if (irreducible_[b])
+                return true;
+        return false;
+    });
+
+    // Nest by strict body containment; the smallest container is the
+    // immediate parent.
+    for (size_t i = 0; i < loops_.size(); ++i) {
+        for (size_t j = 0; j < loops_.size(); ++j) {
+            if (i == j ||
+                loops_[j].blocks.size() <= loops_[i].blocks.size())
+                continue;
+            if (!std::includes(loops_[j].blocks.begin(),
+                               loops_[j].blocks.end(),
+                               loops_[i].blocks.begin(),
+                               loops_[i].blocks.end()))
+                continue;
+            loops_[j].innermost = false;
+            if (loops_[i].parent < 0 ||
+                loops_[j].blocks.size() <
+                    loops_[loops_[i].parent].blocks.size())
+                loops_[i].parent = static_cast<int>(j);
+        }
+    }
+    for (Loop &l : loops_) {
+        l.depth = 1;
+        for (int p = l.parent; p >= 0; p = loops_[p].parent)
+            ++l.depth;
+        std::sort(l.latches.begin(), l.latches.end());
+        for (uint32_t b : l.blocks)
+            eachSucc(r.blocks[b], [&](uint32_t s) {
+                if (!l.contains(s))
+                    l.exits.emplace_back(b, s);
+            });
+    }
+}
+
+bool
+LoopAnalyzer::dominates(uint32_t a, uint32_t b) const
+{
+    if (rpoNum_[a] < 0 || rpoNum_[b] < 0)
+        return false;
+    int cur = static_cast<int>(b);
+    while (cur >= 0) {
+        if (cur == static_cast<int>(a))
+            return true;
+        cur = idom_[cur];
+    }
+    return false;
+}
+
+int
+LoopAnalyzer::immediateDominator(uint32_t block) const
+{
+    return idom_[block];
+}
+
+std::vector<LoopAnalyzer::HotLoop>
+LoopAnalyzer::hotLoops(const edit::RoutineEdgeCounts &counts,
+                       uint64_t minCount) const
+{
+    std::vector<HotLoop> hot;
+    for (size_t li = 0; li < loops_.size(); ++li) {
+        const Loop &l = loops_[li];
+        HotLoop h;
+        h.loop = li;
+        for (uint32_t t : l.latches) {
+            const edit::BlockEdgeCounts &bc = counts[t];
+            if (r_.blocks[t].takenSucc ==
+                static_cast<int>(l.header))
+                h.backedgeCount += bc.taken;
+            if (r_.blocks[t].fallSucc == static_cast<int>(l.header))
+                h.backedgeCount += bc.fall;
+        }
+        for (uint32_t p : r_.blocks[l.header].preds) {
+            if (l.contains(p) || rpoNum_[p] < 0)
+                continue;
+            const edit::BlockEdgeCounts &bc = counts[p];
+            if (r_.blocks[p].takenSucc ==
+                static_cast<int>(l.header))
+                h.entryCount += bc.taken;
+            if (r_.blocks[p].fallSucc == static_cast<int>(l.header))
+                h.entryCount += bc.fall;
+        }
+        if (h.backedgeCount < minCount)
+            continue;
+        h.avgTrip =
+            h.entryCount
+                ? static_cast<double>(h.backedgeCount +
+                                      h.entryCount) /
+                      static_cast<double>(h.entryCount)
+                : static_cast<double>(h.backedgeCount);
+        hot.push_back(h);
+    }
+    std::sort(hot.begin(), hot.end(),
+              [&](const HotLoop &a, const HotLoop &b) {
+                  if (a.backedgeCount != b.backedgeCount)
+                      return a.backedgeCount > b.backedgeCount;
+                  return loops_[a.loop].header <
+                         loops_[b.loop].header;
+              });
+    return hot;
+}
+
+} // namespace eel::sched

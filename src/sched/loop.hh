@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Natural-loop analysis over the editor's routine CFG — the front end
+ * of the modulo scheduler (src/sched/pipeline.hh). The analyzer
+ * computes dominators (Cooper-Harvey-Kennedy over a reverse
+ * postorder), discovers natural loops from dominator back edges
+ * (merging loops that share a header), nests them by body
+ * containment, and rejects irreducible regions: a retreating DFS
+ * edge whose sink does not dominate its source has no unique loop
+ * header, so every block on its cycle is excluded from loop
+ * transformations. Hot-loop selection ranks loops by the backedge
+ * counts qpt's Ball-Larus profiler reconstructs.
+ */
+
+#ifndef EEL_SCHED_LOOP_HH
+#define EEL_SCHED_LOOP_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/eel/cfg.hh"
+
+namespace eel::sched {
+
+/** One natural loop: all blocks that can reach a latch without
+ *  leaving through the header. Loops sharing a header are merged. */
+struct Loop
+{
+    uint32_t header = 0;
+    /** Member block ids, ascending, header included. */
+    std::vector<uint32_t> blocks;
+    /** Backedge sources (blocks with an edge to the header). */
+    std::vector<uint32_t> latches;
+    /** (member block, off-loop successor) pairs, one per exit edge. */
+    std::vector<std::pair<uint32_t, uint32_t>> exits;
+    /** Index of the innermost strictly-containing loop, or -1. */
+    int parent = -1;
+    /** Nesting depth: 1 for outermost. */
+    unsigned depth = 1;
+    /** No other loop is strictly contained in this one. */
+    bool innermost = true;
+
+    bool contains(uint32_t id) const
+    {
+        return std::binary_search(blocks.begin(), blocks.end(), id);
+    }
+};
+
+class LoopAnalyzer
+{
+  public:
+    explicit LoopAnalyzer(const edit::Routine &r);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** False if any retreating edge lacks a dominating header. */
+    bool reducible() const { return irreducibleBlocks_ == 0; }
+    /** Block sits on a cycle with no unique header. Such blocks are
+     *  never reported as loop members. */
+    bool inIrreducibleRegion(uint32_t block) const
+    {
+        return irreducible_[block] != 0;
+    }
+    bool reachable(uint32_t block) const
+    {
+        return rpoNum_[block] >= 0;
+    }
+    /** a dominates b (reflexive). False if either is unreachable. */
+    bool dominates(uint32_t a, uint32_t b) const;
+    /** Immediate dominator block id, -1 for the entry block and for
+     *  unreachable blocks. */
+    int immediateDominator(uint32_t block) const;
+
+    /** One loop ranked by profile heat. */
+    struct HotLoop
+    {
+        size_t loop = 0;            ///< index into loops()
+        uint64_t backedgeCount = 0; ///< total latch->header count
+        uint64_t entryCount = 0;    ///< total entry-edge count
+        double avgTrip = 0.0;       ///< iterations per entry
+    };
+    /**
+     * Loops whose backedges ran at least `minCount` times, hottest
+     * first (ties broken by header id, so the order is deterministic).
+     */
+    std::vector<HotLoop> hotLoops(const edit::RoutineEdgeCounts &counts,
+                                  uint64_t minCount = 1) const;
+
+  private:
+    const edit::Routine &r_;
+    std::vector<Loop> loops_;
+    std::vector<int> rpoNum_;       ///< -1 = unreachable
+    std::vector<uint32_t> rpo_;     ///< block ids in reverse postorder
+    std::vector<int> idom_;         ///< by block id, -1 for entry
+    std::vector<uint8_t> irreducible_;
+    uint32_t irreducibleBlocks_ = 0;
+};
+
+} // namespace eel::sched
+
+#endif // EEL_SCHED_LOOP_HH

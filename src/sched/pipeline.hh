@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Modulo scheduling across the backedge — the cyclic extension of the
+ * local (§3) and superblock tiers. The unit of work is a hot
+ * innermost loop whose whole body is one block (the shape the loop
+ * analyzer's hot-loop selection yields on the generated workloads);
+ * the scheduler overlaps consecutive iterations by *rotation*:
+ *
+ *   prologue:  S1(1)                          (at the old header addr)
+ *   kernel:    S0(i)  S1(i+1)  cti  delay     (backedge -> kernel)
+ *
+ * S1 is a dependence-legal set of body instructions hoisted from the
+ * *next* iteration into the current kernel, so loop-carried stalls —
+ * an instrumentation counter's load-use chain, a register recurrence
+ * — drain while the previous iteration finishes. The rotated stream
+ * is the original stream plus exactly one extra S1 execution after
+ * the final backedge falls through, so S1 admits only
+ * speculation-legal instructions (sched::speculatable) whose written
+ * registers are dead into the loop exit (after the editor's
+ * never-observed scratch masking): bit-identity is preserved by
+ * construction, the same argument the superblock's side-exit
+ * speculation already rests on.
+ *
+ * The iterative search: compute MII = max(resource bound from the
+ * SADL machine model's reservation holds, recurrence bound from the
+ * cross-iteration dependence graph), then try rotations of shrinking
+ * size, measuring each candidate kernel's achieved II as its
+ * steady-state issue rate through machine::PipelineState with the
+ * per-backedge fetch redirect in the measurement loop (a load placed
+ * just before the branch drains its latency during the redirect
+ * bubble; a constant "+penalty" could not rank that). When no
+ * rotation meets MII + redirect + slack, fall back to
+ * unroll-and-schedule: two body copies in one block (the first
+ * copy's backedge inverted to branch to the exit) scheduled as a
+ * superblock, halving the per-iteration redirect and doubling the
+ * acyclic window. The cheapest candidate per original iteration
+ * wins.
+ *
+ * For loops of <= ~12 instructions an exhaustive branch-and-bound
+ * search (every legal rotation x every topological order x every
+ * delay-slot fill, pruned by the MII lower bound and an order
+ * budget, with an explicit modulo reservation table rejecting
+ * over-subscribed candidates early) yields the *optimal* II under
+ * the same steady-state metric. It is both the ablation baseline
+ * (bench/ablation_ii_gap) and a ctest oracle (optimal_ii_crosscheck:
+ * heuristic II <= optimal II + 1, and both schedules bit-identical
+ * to the unscheduled loop).
+ */
+
+#ifndef EEL_SCHED_PIPELINE_HH
+#define EEL_SCHED_PIPELINE_HH
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "src/eel/cfg.hh"
+#include "src/sched/depgraph.hh"
+#include "src/sched/scheduler.hh"
+#include "src/sched/superblock.hh"
+
+namespace eel::sched {
+
+struct PipelineOptions
+{
+    /** Loops with fewer backedge executions are left alone. */
+    uint64_t minCount = 50;
+    /**
+     * Minimum fraction of the loop block's exits that take the
+     * backedge. A loop that mostly exits immediately pays the
+     * prologue/rotation for nothing.
+     */
+    double minBackedgeProb = 0.6;
+    /** Bodies above this size never pipeline (search cost). */
+    unsigned maxBodyInsts = 48;
+    /**
+     * A rotation achieving II <= MII + iiSlack is accepted without
+     * trying the unroll fallback.
+     */
+    unsigned iiSlack = 1;
+    /** Allow the unroll-and-schedule fallback (2x code growth for
+     *  the loop block). */
+    bool allowUnroll = true;
+    /**
+     * Use the exhaustive branch-and-bound kernel instead of the
+     * heuristic one whenever the body is small enough
+     * (optimal_ii_crosscheck runs the whole editor this way).
+     */
+    bool oracle = false;
+    /** Exhaustive search applies to bodies of at most this many
+     *  instructions (CTI + delay excluded). */
+    unsigned oracleMaxInsts = 12;
+    /** Cap on complete schedules the exhaustive search evaluates. */
+    uint64_t oracleOrderBudget = 200000;
+};
+
+/** One loop the analyzer accepted for modulo scheduling. */
+struct PipelineLoop
+{
+    uint32_t block = 0;        ///< the single-block loop's id
+    uint64_t execCount = 0;    ///< body executions (profile)
+    double backedgeProb = 0.0; ///< taken fraction of the loop branch
+};
+
+/**
+ * Hot, safely-pipelinable loops of one routine: innermost reducible
+ * natural loops (sched::LoopAnalyzer) whose body is a single block
+ * ending in a plain conditional branch back to itself, with exactly
+ * one exit edge. Multi-block and multi-exit loops are rejected here
+ * and keep their local/superblock schedules.
+ */
+std::vector<PipelineLoop>
+findPipelineLoops(const edit::Routine &r,
+                  const edit::RoutineEdgeCounts &counts,
+                  const PipelineOptions &opts);
+
+/**
+ * Lower bounds on the initiation interval, in cycles (redirect
+ * excluded). Fractional: the steady state overlaps consecutive
+ * iterations in the issue stream, so a 7-instruction body on a
+ * 2-wide machine is bounded by 3.5 cycles per iteration, not
+ * ceil(7/2) = 4 — rounding up here would let the exhaustive search
+ * stop above the true optimum.
+ *
+ * resMII is CERTIFIED against the measured steady-state metric
+ * (stalling only lengthens unit holds, and issue slots are capacity
+ * like any other). recMII is an ESTIMATE: it charges each dependence
+ * edge the entry separation the pipeline's hazard checks imply, but
+ * an operand read past entry stalls mid-pipeline without pushing the
+ * issue frontier, so real kernels can measure below it. It steers
+ * the heuristic's effort (when to try the unroll fallback); only
+ * resMII may prune the exhaustive search.
+ */
+struct LoopBounds
+{
+    double resMII = 1; ///< resource bound (certified lower bound)
+    double recMII = 1; ///< recurrence bound (heuristic estimate)
+    double mii = 1;    ///< max of the two
+};
+
+/**
+ * MII of a loop body `code` = [body..., cti, delay]. The resource
+ * bound divides each functional unit's total hold-cycles per
+ * iteration by its capacity (and the body size by the issue width);
+ * the recurrence bound is the maximal cycle ratio weight/distance
+ * over the dependence cycles of the body — binary-searched with a
+ * positive-cycle (Bellman-Ford) feasibility test over the
+ * distance-0 edges of the body's dependence graph plus the
+ * distance-1 edges a doubled body exposes. Edge weights are the
+ * entry separations PipelineState enforces (resolved-variant
+ * register access cycles), not the scheduler's conservative
+ * latencies — the bound must hold under the same metric the search
+ * measures.
+ */
+LoopBounds loopBounds(const InstSeq &code,
+                      const machine::MachineModel &model,
+                      AliasPolicy alias);
+
+enum class LoopKind : uint8_t {
+    Plain,  ///< local schedule only — rotation/unroll did not pay
+    Rotate, ///< software-pipelined: prologue + rotated kernel
+    Unroll, ///< unroll-and-schedule fallback (2 copies, one block)
+};
+
+/** A scheduled loop, ready for the editor to emit. */
+struct LoopSchedule
+{
+    LoopKind kind = LoopKind::Plain;
+    /** Rotate only: S1(1), executed once at the old header address
+     *  before falling into the kernel. */
+    InstSeq prologue;
+    /** The loop block's code: rotated kernel (backedge re-targeted
+     *  to this block by the editor), plain scheduled block, or the
+     *  two-copy unrolled sequence (its first copy's branch already
+     *  inverted to the exit's old address). */
+    InstSeq kernel;
+    unsigned rotated = 0; ///< |S1|
+    LoopBounds bounds;
+    /** Steady-state pipeline cycles per original iteration of the
+     *  chosen kernel, INCLUDING the per-backedge fetch redirect (the
+     *  unroll fallback amortizes one redirect over two iterations —
+     *  that amortization is the number's whole point). Always >= the
+     *  MII bounds, which exclude the redirect. */
+    double achievedII = 0.0;
+    /** Best cost over the plain + rotated kernels considered (same
+     *  redirect-inclusive metric), even if the unroll fallback won
+     *  on total cost: what the optimality crosscheck compares
+     *  against the exhaustive search. */
+    double bestKernelII = 0.0;
+};
+
+/**
+ * Schedule one pipelinable loop block. `code` is the block's full
+ * sequence (instrumentation prepended) ending [cti, delay];
+ * `exitLive` is the live-in set of the exit target already masked by
+ * the editor's never-observed scratch set; `exitProb` the fraction
+ * of executions leaving the loop; `exitOldAddr` the exit target's
+ * old leader address (for the unroll fallback's inverted branch).
+ */
+LoopSchedule scheduleLoop(const InstSeq &code,
+                          const std::bitset<32> &exitLive,
+                          double exitProb, uint32_t exitOldAddr,
+                          const machine::MachineModel &model,
+                          const SchedOptions &opts,
+                          const SuperblockOptions &sb_opts,
+                          const PipelineOptions &popts);
+
+/** Result of the exhaustive optimal search. */
+struct OptimalII
+{
+    bool applicable = false; ///< body small enough to search
+    bool capped = false;     ///< order budget exhausted (upper bound)
+    double ii = 0.0;         ///< optimal steady-state II found
+    unsigned rotated = 0;    ///< |S1| of the optimal kernel
+    uint64_t ordersTried = 0;
+    InstSeq prologue;
+    InstSeq kernel;
+};
+
+/**
+ * Branch-and-bound optimal kernel for a small loop: minimizes the
+ * same steady-state II metric scheduleLoop reports, over every legal
+ * rotation subset, every topological order of the kernel dependence
+ * graph, and every delay-slot fill. Early-exits when the MII lower
+ * bound is reached.
+ */
+OptimalII optimalLoopII(const InstSeq &code,
+                        const std::bitset<32> &exitLive,
+                        const machine::MachineModel &model,
+                        const SchedOptions &opts,
+                        const SuperblockOptions &sb_opts,
+                        const PipelineOptions &popts);
+
+/**
+ * Steady-state issue cycles per repetition of `kernel` through
+ * machine::PipelineState (24-repetition average after 8 warm-up
+ * repetitions; the window is divisible by every small period a
+ * bounded-history pipeline can settle into, so the average is exact
+ * for such periodic schedules). `bubble` front-end dead cycles are
+ * charged after every repetition — pass the machine's branch penalty
+ * to measure a loop body ending in its taken backedge, 0 for the
+ * pure pipeline rate the MII bounds are stated against.
+ */
+double steadyStateII(const machine::MachineModel &model,
+                     const InstSeq &kernel, unsigned bubble = 0);
+
+} // namespace eel::sched
+
+#endif // EEL_SCHED_PIPELINE_HH

@@ -189,8 +189,6 @@ formTraces(const Routine &r, const edit::RoutineEdgeCounts &counts,
     return out;
 }
 
-namespace {
-
 /**
  * May this instruction execute speculatively — above a side exit it
  * was never guarded by? Rules (see file header): no control flow, no
@@ -220,8 +218,6 @@ speculatable(const InstRef &ref, const SuperblockOptions &opts)
     }
     return true;
 }
-
-} // namespace
 
 InstSeq
 scheduleSuperblock(const std::vector<SbSegment> &segments,
@@ -653,6 +649,105 @@ scheduleSuperblock(const std::vector<SbSegment> &segments,
             panic("superblock: segment %zu left %zu instructions "
                   "unscheduled", k, mandatory[k]);
     return out;
+}
+
+TraceGrowth
+accountGrowth(const edit::Routine &r,
+              const edit::RoutineEdgeCounts &counts,
+              const std::vector<Trace> &traces)
+{
+    TraceGrowth g;
+    std::vector<int> traceOf(r.blocks.size(), -1);
+    for (size_t t = 0; t < traces.size(); ++t)
+        for (uint32_t id : traces[t].blocks)
+            traceOf[id] = static_cast<int>(t);
+
+    // Count of arrivals at trace position p along the trace itself
+    // (the edge from the previous member). Everything else reaching
+    // the block is a side entrance and lands on the cold copy.
+    auto onTraceInflow = [&](const Trace &t, size_t p) -> uint64_t {
+        if (p == 0)
+            return 0;
+        uint32_t prev = t.blocks[p - 1];
+        uint32_t id = t.blocks[p];
+        const edit::BlockEdgeCounts &pc = counts[prev];
+        uint64_t in = 0;
+        if (r.blocks[prev].takenSucc == static_cast<int>(id))
+            in += pc.taken;
+        if (r.blocks[prev].fallSucc == static_cast<int>(id))
+            in += pc.fall;
+        return in;
+    };
+
+    // Duplicated tail copies and their relink stubs. Each block is
+    // charged once, even when several relink paths re-enter a block
+    // some earlier range already duplicated — charging it per visit
+    // double-counts both the static copy and every execution of it.
+    std::vector<uint8_t> dupCounted(r.blocks.size(), 0);
+    for (const Trace &t : traces) {
+        for (size_t p = t.dupFrom; p < t.blocks.size(); ++p) {
+            uint32_t id = t.blocks[p];
+            if (dupCounted[id])
+                continue;
+            dupCounted[id] = 1;
+            const edit::Block &b = r.blocks[id];
+            g.dupInsts += b.insts.size();
+            const edit::BlockEdgeCounts &bc = counts[id];
+            uint64_t hotIn = onTraceInflow(t, p);
+            uint64_t coldExec =
+                bc.exec > hotIn ? bc.exec - hotIn : 0;
+            bool nextIsFall =
+                p + 1 < t.blocks.size() &&
+                b.fallSucc == static_cast<int>(t.blocks[p + 1]);
+            if (b.fallSucc >= 0 && !nextIsFall) {
+                g.stubInsts += 2;
+                if (bc.exec)
+                    g.dynExtra += 2 * (bc.fall * coldExec / bc.exec);
+            }
+        }
+
+        // The hot copy's bottom relink stub (mirrors the editor's
+        // falls_next test): paid by hot-path executions that fall
+        // out of the trace.
+        bool contiguous = true;
+        for (size_t p = 1; p < t.blocks.size(); ++p)
+            if (t.viaTaken[p] || t.blocks[p] != t.blocks[p - 1] + 1)
+                contiguous = false;
+        size_t lastPos = t.blocks.size() - 1;
+        const edit::Block &last = r.blocks[t.blocks.back()];
+        bool fallsNext =
+            contiguous &&
+            last.fallSucc ==
+                static_cast<int>(t.blocks.back()) + 1 &&
+            (traceOf[last.fallSucc] < 0 ||
+             traces[traceOf[last.fallSucc]].blocks.front() ==
+                 static_cast<uint32_t>(last.fallSucc));
+        if (last.fallSucc >= 0 && !fallsNext) {
+            g.stubInsts += 2;
+            const edit::BlockEdgeCounts &lc = counts[t.blocks.back()];
+            uint64_t hotExec = lc.exec;
+            if (lastPos >= t.dupFrom)
+                hotExec = std::min<uint64_t>(
+                    hotExec, onTraceInflow(t, lastPos));
+            if (lc.exec)
+                g.dynExtra += 2 * (lc.fall * hotExec / lc.exec);
+        }
+    }
+
+    // Off-trace blocks whose fall-through successor moved into a
+    // trace as a non-head member: the editor relinks them through a
+    // stub, paid on every fall.
+    for (const edit::Block &b : r.blocks) {
+        if (traceOf[b.id] >= 0 || b.fallSucc < 0)
+            continue;
+        if (traceOf[b.fallSucc] >= 0 &&
+            traces[traceOf[b.fallSucc]].blocks.front() !=
+                static_cast<uint32_t>(b.fallSucc)) {
+            g.stubInsts += 2;
+            g.dynExtra += 2 * counts[b.id].fall;
+        }
+    }
+    return g;
 }
 
 } // namespace eel::sched

@@ -148,6 +148,33 @@ struct SbSegment
     double exitProb = 0.0;
 };
 
+/**
+ * May this instruction execute speculatively — above a side exit (or,
+ * for the modulo scheduler, past the loop backedge) it was never
+ * guarded by? No CTIs, stores, barriers, cc/Y/fp writers or
+ * possibly-trapping ops; loads only when an instrumentation memory
+ * tag proves the address valid (and opts.speculateSafeLoads allows).
+ */
+bool speculatable(const InstRef &ref, const SuperblockOptions &opts);
+
+/**
+ * Static code growth of a routine's formed traces, deduplicated: a
+ * block's cold tail-duplicate copy is counted once even when several
+ * dup ranges or relink paths re-enter it, and the dynamic column
+ * weighs each duplicated block / relink stub by the executions that
+ * actually pay it (cold-side entries for dup copies, relinked
+ * fall-throughs for stubs).
+ */
+struct TraceGrowth
+{
+    uint64_t dupInsts = 0;    ///< instructions tail-duplicated (static)
+    uint64_t stubInsts = 0;   ///< relink stub instructions (static)
+    uint64_t dynExtra = 0;    ///< extra dynamic instructions executed
+};
+TraceGrowth accountGrowth(const edit::Routine &r,
+                          const edit::RoutineEdgeCounts &counts,
+                          const std::vector<Trace> &traces);
+
 /** Optional counters for tests and benches. */
 struct SuperblockStats
 {

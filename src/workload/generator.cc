@@ -124,6 +124,10 @@ class Builder
 
     /** Emit one random work instruction into blk. */
     void emitWorkInst(GenBlock &blk);
+    /** Emit one loop-carried register recurrence op. */
+    void emitRecurrenceInst(GenBlock &blk);
+    /** Emit one load-modify-store memory recurrence slot. */
+    void emitMemRecurrence(GenBlock &blk, unsigned slot);
     /** Emit n work instructions. */
     void
     emitWork(GenBlock &blk, unsigned n)
@@ -200,8 +204,61 @@ Builder::allocRegion(bool fp_data)
 }
 
 void
+Builder::emitRecurrenceInst(GenBlock &blk)
+{
+    // `op acc, acc, src`: acc is read and rewritten every iteration,
+    // closing a dependence cycle over the backedge. The accumulators
+    // are a small fixed prefix of the work registers so several
+    // recurrence ops land on the same register and the cycle gets a
+    // latency chain, not just a single self-edge.
+    if (spec.fp && spec.fpFrac > 0 && rng.chance(0.5)) {
+        uint8_t acc = static_cast<uint8_t>(2 * rng.uniform(0, 2));
+        emit(blk, b::fp3(Op::Faddd, acc, acc, pickFpSrc()));
+        haveLastFp = true;
+        lastFpDef = acc;
+        return;
+    }
+    static constexpr Op recOps[] = {Op::Add, Op::Sub, Op::Xor};
+    uint8_t acc = intWorkRegs[rng.uniform(0, 2)];
+    Op op = recOps[rng.uniform(0, 2)];
+    if (rng.chance(0.5))
+        emit(blk, b::rri(op, acc, acc,
+                         static_cast<int32_t>(rng.uniform(1, 255))));
+    else
+        emit(blk, b::rrr(op, acc, acc, pickIntSrc()));
+    haveLastInt = true;
+    lastIntDef = acc;
+}
+
+void
+Builder::emitMemRecurrence(GenBlock &blk, unsigned slot)
+{
+    // Fixed address per slot: every iteration reloads, bumps and
+    // rewrites the same word, so the st -> next-iteration ld is a
+    // loop-carried memory dependence (visible to the scheduler only
+    // through alias analysis on the matching tag/offset).
+    Region &r = regions[regionLo + slot % 4];
+    int64_t off = 4 * static_cast<int64_t>(slot % 8);
+    uint8_t tmp = pickIntWork();
+    emit(blk, b::memi(Op::Ld, tmp, rn::l1 + r.tag % 4,
+                      static_cast<int32_t>(off)),
+         r.tag, off);
+    emit(blk, b::rri(Op::Add, tmp, tmp, 1));
+    emit(blk, b::memi(Op::St, tmp, rn::l1 + r.tag % 4,
+                      static_cast<int32_t>(off)),
+         r.tag, off);
+    haveLastInt = true;
+    lastIntDef = tmp;
+}
+
+void
 Builder::emitWorkInst(GenBlock &blk)
 {
+    if (spec.recurrenceFrac > 0 &&
+        rng.chance(spec.recurrenceFrac)) {
+        emitRecurrenceInst(blk);
+        return;
+    }
     double roll = rng.real01();
     double load_p = spec.loadFrac;
     double store_p = load_p + spec.storeFrac;
@@ -320,15 +377,18 @@ Builder::makeKernel(unsigned index, unsigned &insts_per_call)
         head = fn.newBlock();
         GenBlock &blk = fn.blocks[head];
         unsigned body_len = static_cast<unsigned>(
-            std::max(1.0, std::round(t - 4.4)));
+            std::max(1.0,
+                     std::round(t - 4.4 - 3.0 * spec.memRecurrences)));
         emitWork(blk, body_len);
+        for (unsigned s = 0; s < spec.memRecurrences; ++s)
+            emitMemRecurrence(blk, s);
         emit(blk, b::rrr(Op::Add, rn::l5, rn::l5, lastIntDef));
         emit(blk, b::rrr(Op::Xor, rn::l5, rn::l5, rn::l0));
         emit(blk, b::rri(Op::Subcc, rn::l0, rn::l0, 1));
         blk.hasCti = true;
         blk.cti = b::bicc(isa::cond::ne, 0);
         blk.targetBlock = head;
-        emitted_per_iter = body_len + 4;
+        emitted_per_iter = body_len + 3 * spec.memRecurrences + 4;
     } else {
         // Diamond chain: D headers that conditionally skip a small
         // fall-through block, then a loop tail.
@@ -365,6 +425,9 @@ Builder::makeKernel(unsigned index, unsigned &insts_per_call)
         GenBlock &tail = fn.blocks[fn.blocks.size() - 1];
         unsigned len = drawLen(body_mean);
         emitWork(tail, len);
+        for (unsigned s = 0; s < spec.memRecurrences; ++s)
+            emitMemRecurrence(tail, s);
+        emitted_per_iter += 3 * spec.memRecurrences;
         emit(tail, b::rri(Op::Add, rn::l6, rn::l6, 1));
         emit(tail, b::rrr(Op::Add, rn::l5, rn::l5, lastIntDef));
         emit(tail, b::rrr(Op::Xor, rn::l5, rn::l5, rn::l6));

@@ -32,6 +32,22 @@ struct BenchmarkSpec
      *  tightness): high for pointer-chasing integer codes, low for
      *  unrolled vectorizable fp loops. */
     double serialProb = 0.5;
+    /**
+     * Fraction of body ops that form loop-carried register
+     *  recurrences: `op acc, acc, src` through an accumulator that
+     *  persists across iterations, so the dependence cycles back
+     *  over the loop backedge. 0 (the default) emits no recurrence
+     *  ops and leaves generated programs byte-identical to specs
+     *  predating the knob.
+     */
+    double recurrenceFrac = 0.0;
+    /**
+     * Loop-carried dependences through memory: each slot emits a
+     * load-modify-store of one fixed data address per loop
+     * iteration, a recurrence the scheduler can only see via alias
+     * analysis. 0 (the default) changes nothing.
+     */
+    unsigned memRecurrences = 0;
     uint64_t dynTarget = 1500000;  ///< dynamic instructions at scale 1
     /** Kernel routines to generate (static footprint knob). */
     unsigned kernels = 3;

@@ -33,6 +33,15 @@ randomSpec(uint64_t seed)
     s.serialProb = 0.20 + 0.01 * rng.uniform(0, 60);
     s.dynTarget = 8000 + 1000 * rng.uniform(0, 24);
     s.kernels = 1 + static_cast<unsigned>(rng.uniform(0, 2));
+    // Loop-carried dependence shapes: most seeds get register
+    // recurrences through accumulators, some also a load-modify-
+    // store memory recurrence — so the differential harness
+    // exercises the modulo scheduler's recMII edges and the alias
+    // cases that keep stores out of the rotated stage.
+    double rec_frac = 0.01 * rng.uniform(0, 30);
+    s.recurrenceFrac = rng.chance(0.6) ? rec_frac : 0.0;
+    unsigned mem_rec = static_cast<unsigned>(rng.uniform(1, 2));
+    s.memRecurrences = rng.chance(0.4) ? mem_rec : 0;
     s.seed = seed + 1;
     return s;
 }

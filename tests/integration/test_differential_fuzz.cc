@@ -54,7 +54,7 @@ using edit::VariantKind;
 const std::vector<VariantKind> kAllKinds = {
     VariantKind::Identity,   VariantKind::SlowProfile,
     VariantKind::EdgeProfile, VariantKind::Sched,
-    VariantKind::Superblock,
+    VariantKind::Superblock, VariantKind::Pipeline,
 };
 
 struct VariantRun
@@ -228,6 +228,7 @@ fuzzSeed(uint64_t seed)
     auto slow = counts(bruns[1], batch.profilePlan);
     EXPECT_EQ(slow, counts(bruns[3], batch.profilePlan));
     EXPECT_EQ(slow, counts(bruns[4], batch.profilePlan));
+    EXPECT_EQ(slow, counts(bruns[5], batch.profilePlan));
     EXPECT_EQ(slow, counts(eruns[1], eager.profilePlan));
     auto edge_counts = qpt::readEdgeCounts(*bruns[2].emu,
                                            batch.edgePlan,
@@ -236,7 +237,7 @@ fuzzSeed(uint64_t seed)
                                         batch.routines),
               slow);
 
-    // --- Sharing proof: across the work image and all five
+    // --- Sharing proof: across the work image and all six
     // variants, at least 80% of page references resolve to shared
     // pages, and every variant's data pages are the work image's
     // pages by pointer identity.

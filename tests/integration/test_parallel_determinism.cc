@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "bench/common.hh"
+#include "src/eel/batch.hh"
 #include "src/eel/cfg.hh"
 #include "src/eel/editor.hh"
 #include "src/machine/model.hh"
@@ -46,6 +47,47 @@ TEST(ParallelDeterminism, RewriteIdenticalWithPool)
     ASSERT_EQ(serial.text.size(), parallel.text.size());
     EXPECT_EQ(serial.text, parallel.text);
     EXPECT_EQ(serial.entry, parallel.entry);
+}
+
+/**
+ * The pipelined variant under the batch pool: modulo scheduling runs
+ * inside the parallel buildRoutine pass, so a pooled batch must
+ * stamp byte-identical images to a serial one (this is also the
+ * tsan preset's window onto the new scheduler: `tsan_pipeline`).
+ */
+TEST(ParallelDeterminism, PipelineBatchIdenticalWithPool)
+{
+    const machine::MachineModel &m =
+        machine::MachineModel::builtin("ultrasparc");
+    auto specs = workload::spec95("ultrasparc");
+    workload::GenOptions gopts;
+    gopts.scale = 0.05;
+    gopts.machine = &m;
+    exe::Executable x = workload::generate(specs[1], gopts);
+
+    const std::vector<edit::VariantKind> kinds = {
+        edit::VariantKind::SlowProfile,
+        edit::VariantKind::Superblock,
+        edit::VariantKind::Pipeline,
+    };
+    edit::BatchOptions bopts;
+    bopts.model = &m;
+    edit::BatchRewriter serial_rw(x, bopts);
+    edit::BatchResult serial = serial_rw.rewriteAll(kinds);
+
+    support::ThreadPool pool(8);
+    bopts.pool = &pool;
+    edit::BatchRewriter pooled_rw(x, bopts);
+    edit::BatchResult pooled = pooled_rw.rewriteAll(kinds);
+
+    ASSERT_EQ(serial.variants.size(), pooled.variants.size());
+    for (size_t k = 0; k < kinds.size(); ++k) {
+        SCOPED_TRACE("variant " + std::to_string(k));
+        EXPECT_TRUE(serial.variants[k].image.text ==
+                    pooled.variants[k].image.text);
+        EXPECT_EQ(serial.variants[k].image.entry,
+                  pooled.variants[k].image.entry);
+    }
 }
 
 TEST(ParallelDeterminism, TableIdenticalAcrossJobs)

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the natural-loop analyzer behind the modulo
+ * scheduler: nesting, header merging, irreducible-region rejection,
+ * dominators, and profile-driven hot-loop ranking. CFGs are built
+ * the honest way — assembled text through buildRoutines — so the
+ * analyzer is tested against exactly the Routine shapes the editor
+ * hands it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/eel/cfg.hh"
+#include "src/isa/builder.hh"
+#include "src/sched/loop.hh"
+
+namespace eel::sched {
+namespace {
+
+namespace b = isa::build;
+using edit::Block;
+using edit::Routine;
+using isa::Op;
+namespace cond = isa::cond;
+namespace rn = isa::reg;
+
+exe::Executable
+assemble(const std::vector<isa::Instruction> &insts)
+{
+    exe::Executable x;
+    for (const isa::Instruction &in : insts)
+        x.text.push_back(isa::encode(in));
+    x.symbols.push_back(exe::Symbol{
+        "main", exe::textBase,
+        static_cast<uint32_t>(4 * insts.size()), true});
+    x.entry = exe::textBase;
+    return x;
+}
+
+TEST(LoopAnalyzer, SelfLoop)
+{
+    //   b0: movi
+    //   b1: subcc; bne b1; nop      (self loop)
+    //   b2: retl; nop
+    exe::Executable x = assemble({
+        b::movi(rn::l0, 10),
+        b::rri(Op::Subcc, rn::l0, rn::l0, 1),
+        b::bicc(cond::ne, -1),
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = edit::buildRoutines(x);
+    ASSERT_EQ(rs[0].blocks.size(), 3u);
+    LoopAnalyzer la(rs[0]);
+    EXPECT_TRUE(la.reducible());
+    ASSERT_EQ(la.loops().size(), 1u);
+    const Loop &l = la.loops()[0];
+    EXPECT_EQ(l.header, 1u);
+    EXPECT_EQ(l.blocks, std::vector<uint32_t>{1});
+    EXPECT_EQ(l.latches, std::vector<uint32_t>{1});
+    ASSERT_EQ(l.exits.size(), 1u);
+    EXPECT_EQ(l.exits[0], (std::pair<uint32_t, uint32_t>{1, 2}));
+    EXPECT_TRUE(l.innermost);
+    EXPECT_EQ(l.depth, 1u);
+    EXPECT_EQ(l.parent, -1);
+}
+
+TEST(LoopAnalyzer, NestedLoops)
+{
+    //   b0: movi                    (preheader)
+    //   b1: movi                    (outer header)
+    //   b2: subcc; bne b2; nop      (inner loop)
+    //   b3: subcc; bne b1; nop      (outer latch)
+    //   b4: retl; nop
+    exe::Executable x = assemble({
+        b::movi(rn::l0, 4),
+        b::movi(rn::l1, 4),
+        b::rri(Op::Subcc, rn::l1, rn::l1, 1),
+        b::bicc(cond::ne, -1),
+        b::nop(),
+        b::rri(Op::Subcc, rn::l0, rn::l0, 1),
+        b::bicc(cond::ne, -5),
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = edit::buildRoutines(x);
+    ASSERT_EQ(rs[0].blocks.size(), 5u);
+    LoopAnalyzer la(rs[0]);
+    EXPECT_TRUE(la.reducible());
+    ASSERT_EQ(la.loops().size(), 2u);
+
+    int inner = -1, outer = -1;
+    for (int i = 0; i < 2; ++i)
+        (la.loops()[i].header == 2 ? inner : outer) = i;
+    ASSERT_GE(inner, 0);
+    ASSERT_GE(outer, 0);
+    const Loop &li = la.loops()[inner];
+    const Loop &lo = la.loops()[outer];
+    EXPECT_EQ(li.blocks, std::vector<uint32_t>{2});
+    EXPECT_EQ(lo.blocks, (std::vector<uint32_t>{1, 2, 3}));
+    EXPECT_EQ(li.parent, outer);
+    EXPECT_EQ(li.depth, 2u);
+    EXPECT_TRUE(li.innermost);
+    EXPECT_EQ(lo.parent, -1);
+    EXPECT_EQ(lo.depth, 1u);
+    EXPECT_FALSE(lo.innermost);
+
+    // Dominator spot checks: the outer header dominates everything
+    // in the loop, the inner header only itself (of the loop blocks).
+    EXPECT_TRUE(la.dominates(1, 2));
+    EXPECT_TRUE(la.dominates(1, 3));
+    EXPECT_FALSE(la.dominates(2, 1));
+    EXPECT_EQ(la.immediateDominator(2), 1);
+    EXPECT_EQ(la.immediateDominator(3), 2);
+    EXPECT_EQ(la.immediateDominator(0), -1);
+}
+
+TEST(LoopAnalyzer, SharedHeaderMergesLoops)
+{
+    //   b0: subcc; be X; nop        (header; side exit)
+    //   b1: bne b0; nop             (latch 1)
+    //   b2: bne b0; nop             (latch 2)
+    //   b3: X: retl; nop
+    exe::Executable x = assemble({
+        b::rri(Op::Subcc, rn::l0, rn::l0, 1),
+        b::bicc(cond::e, 6),
+        b::nop(),
+        b::bicc(cond::ne, -3),
+        b::nop(),
+        b::bicc(cond::ne, -5),
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = edit::buildRoutines(x);
+    ASSERT_EQ(rs[0].blocks.size(), 4u);
+    LoopAnalyzer la(rs[0]);
+    EXPECT_TRUE(la.reducible());
+    // Two backedges into one header make ONE natural loop.
+    ASSERT_EQ(la.loops().size(), 1u);
+    const Loop &l = la.loops()[0];
+    EXPECT_EQ(l.header, 0u);
+    EXPECT_EQ(l.blocks, (std::vector<uint32_t>{0, 1, 2}));
+    EXPECT_EQ(l.latches, (std::vector<uint32_t>{1, 2}));
+    EXPECT_TRUE(l.innermost);
+}
+
+TEST(LoopAnalyzer, IrreducibleRegionRejected)
+{
+    // Two-entry cycle B <-> C (entered at B via fall-through and at
+    // C via the taken edge) — no unique header, so neither block may
+    // be reported as a loop member. A disjoint self-loop after the
+    // region must still be found.
+    //
+    //   b0: subcc; be C; nop
+    //   b1: B: bne C; nop           (falls into C too)
+    //   b2: C: bne B; nop
+    //   b3: X: subcc; bne X; nop    (reducible self-loop)
+    //   b4: retl; nop
+    exe::Executable x = assemble({
+        b::rri(Op::Subcc, rn::l0, rn::l0, 1),
+        b::bicc(cond::e, 4),
+        b::nop(),
+        b::bicc(cond::ne, 2),
+        b::nop(),
+        b::bicc(cond::ne, -2),
+        b::nop(),
+        b::rri(Op::Subcc, rn::l1, rn::l1, 1),
+        b::bicc(cond::ne, -1),
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = edit::buildRoutines(x);
+    ASSERT_EQ(rs[0].blocks.size(), 5u);
+    LoopAnalyzer la(rs[0]);
+    EXPECT_FALSE(la.reducible());
+    EXPECT_TRUE(la.inIrreducibleRegion(1));
+    EXPECT_TRUE(la.inIrreducibleRegion(2));
+    EXPECT_FALSE(la.inIrreducibleRegion(0));
+    EXPECT_FALSE(la.inIrreducibleRegion(3));
+    // Only the clean self-loop survives.
+    ASSERT_EQ(la.loops().size(), 1u);
+    EXPECT_EQ(la.loops()[0].header, 3u);
+    EXPECT_EQ(la.loops()[0].blocks, std::vector<uint32_t>{3});
+}
+
+TEST(LoopAnalyzer, HotLoopsRankByBackedgeCount)
+{
+    // The nested-loop CFG with a synthetic profile: outer runs 4
+    // iterations once, inner runs 5 iterations per outer pass.
+    exe::Executable x = assemble({
+        b::movi(rn::l0, 4),
+        b::movi(rn::l1, 4),
+        b::rri(Op::Subcc, rn::l1, rn::l1, 1),
+        b::bicc(cond::ne, -1),
+        b::nop(),
+        b::rri(Op::Subcc, rn::l0, rn::l0, 1),
+        b::bicc(cond::ne, -5),
+        b::nop(),
+        b::retl(),
+        b::nop(),
+    });
+    auto rs = edit::buildRoutines(x);
+    LoopAnalyzer la(rs[0]);
+    ASSERT_EQ(la.loops().size(), 2u);
+
+    edit::RoutineEdgeCounts counts(rs[0].blocks.size());
+    counts[0] = {.fall = 1, .taken = 0, .exec = 1};
+    counts[1] = {.fall = 4, .taken = 0, .exec = 4};
+    counts[2] = {.fall = 4, .taken = 16, .exec = 20};  // inner
+    counts[3] = {.fall = 1, .taken = 3, .exec = 4};    // outer latch
+    counts[4] = {.fall = 0, .taken = 0, .exec = 1};
+
+    auto hot = la.hotLoops(counts);
+    ASSERT_EQ(hot.size(), 2u);
+    // Inner (header b2) first: 16 backedge executions vs 3.
+    EXPECT_EQ(la.loops()[hot[0].loop].header, 2u);
+    EXPECT_EQ(hot[0].backedgeCount, 16u);
+    EXPECT_EQ(hot[0].entryCount, 4u);
+    EXPECT_DOUBLE_EQ(hot[0].avgTrip, 5.0);
+    EXPECT_EQ(la.loops()[hot[1].loop].header, 1u);
+    EXPECT_EQ(hot[1].backedgeCount, 3u);
+    EXPECT_EQ(hot[1].entryCount, 1u);
+    EXPECT_DOUBLE_EQ(hot[1].avgTrip, 4.0);
+
+    // The floor drops the cold outer loop.
+    auto floored = la.hotLoops(counts, 10);
+    ASSERT_EQ(floored.size(), 1u);
+    EXPECT_EQ(la.loops()[floored[0].loop].header, 2u);
+}
+
+} // namespace
+} // namespace eel::sched

@@ -183,7 +183,8 @@ TEST(SchedulePreservesSemantics, GeneratorProgramsThroughCowStore)
         edit::BatchResult batch =
             rw.rewriteAll({edit::VariantKind::SlowProfile,
                            edit::VariantKind::Sched,
-                           edit::VariantKind::Superblock});
+                           edit::VariantKind::Superblock,
+                           edit::VariantKind::Pipeline});
 
         sim::Emulator unsched(
             batch.variants[0].image, sim::Emulator::Config{},
@@ -197,24 +198,35 @@ TEST(SchedulePreservesSemantics, GeneratorProgramsThroughCowStore)
             batch.variants[2].image, sim::Emulator::Config{},
             sim::Emulator::decodeText(batch.variants[2].image,
                                       store));
+        sim::Emulator pipe(
+            batch.variants[3].image, sim::Emulator::Config{},
+            sim::Emulator::decodeText(batch.variants[3].image,
+                                      store));
         sim::RunResult ru = unsched.run();
         sim::RunResult rl = local.run();
         sim::RunResult rs = sblock.run();
+        sim::RunResult rp = pipe.run();
         ASSERT_TRUE(ru.exited);
         ASSERT_TRUE(rl.exited);
         ASSERT_TRUE(rs.exited);
+        ASSERT_TRUE(rp.exited);
         EXPECT_EQ(rl.exitCode, ru.exitCode);
         EXPECT_EQ(rs.exitCode, ru.exitCode);
+        EXPECT_EQ(rp.exitCode, ru.exitCode);
         EXPECT_EQ(rl.output, ru.output);
         EXPECT_EQ(rs.output, ru.output);
+        EXPECT_EQ(rp.output, ru.output);
         EXPECT_TRUE(local.snapshot().equalTo(unsched.snapshot()));
         EXPECT_TRUE(sblock.snapshot().equalTo(unsched.snapshot()));
+        EXPECT_TRUE(pipe.snapshot().equalTo(unsched.snapshot()));
         // Identical dynamic behaviour at block granularity: every
         // original block executed the same number of times.
         auto base_counts = qpt::readCounts(unsched, batch.profilePlan);
         EXPECT_EQ(qpt::readCounts(local, batch.profilePlan),
                   base_counts);
         EXPECT_EQ(qpt::readCounts(sblock, batch.profilePlan),
+                  base_counts);
+        EXPECT_EQ(qpt::readCounts(pipe, batch.profilePlan),
                   base_counts);
     }
 }

@@ -322,5 +322,115 @@ TEST(Superblock, OracleGo) { oracleFor(0, 0.02); }
 TEST(Superblock, OracleGcc) { oracleFor(2, 0.02); }
 TEST(Superblock, OracleCompress) { oracleFor(3, 0.02); }
 
+/**
+ * Regression: a block sitting in the duplicated range of more than
+ * one trace (two relink paths re-enter it) is charged exactly once —
+ * one static copy, one stub, one cold-side dynamic term. The old
+ * per-visit accounting in the trace-threshold ablation counted it
+ * per trace, double-counting both columns.
+ */
+TEST(TraceGrowth, SharedDupBlockChargedOnce)
+{
+    // b2 -taken-> b4 (trace A) and b3 -fall-> b4 (trace B): both
+    // traces tail-duplicate b4, whose fall-through leaves to b5.
+    edit::Routine r;
+    auto addBlock = [&](size_t ninsts, int taken, int fall) {
+        edit::Block blk;
+        blk.id = static_cast<uint32_t>(r.blocks.size());
+        blk.takenSucc = taken;
+        blk.fallSucc = fall;
+        for (size_t i = 0; i < ninsts; ++i)
+            blk.insts.push_back(ref(b::nop()));
+        r.blocks.push_back(std::move(blk));
+    };
+    addBlock(1, 2, 1);   // b0
+    addBlock(1, -1, 3);  // b1
+    addBlock(3, 4, 5);   // b2
+    addBlock(2, -1, 4);  // b3
+    addBlock(4, -1, 5);  // b4 (shared tail)
+    addBlock(2, -1, -1); // b5
+
+    edit::RoutineEdgeCounts counts(6);
+    counts[0] = {.fall = 40, .taken = 60, .exec = 100};
+    counts[1] = {.fall = 40, .taken = 0, .exec = 40};
+    counts[2] = {.fall = 6, .taken = 54, .exec = 60};
+    counts[3] = {.fall = 40, .taken = 0, .exec = 40};
+    counts[4] = {.fall = 94, .taken = 0, .exec = 94};
+    counts[5] = {.fall = 0, .taken = 0, .exec = 100};
+
+    Trace a;
+    a.blocks = {2, 4};
+    a.viaTaken = {0, 1};
+    a.dupFrom = 1;
+    Trace bt;
+    bt.blocks = {3, 4};
+    bt.viaTaken = {0, 0};
+    bt.dupFrom = 1;
+
+    TraceGrowth g = accountGrowth(r, counts, {a, bt});
+    // One 4-instruction copy of b4, not two.
+    EXPECT_EQ(g.dupInsts, 4u);
+    // b4's cold-copy stub once, plus trace A's hot bottom stub
+    // (its backedge-inverted layout is not contiguous); trace B's
+    // hot copy falls through to b5 naturally.
+    EXPECT_EQ(g.stubInsts, 4u);
+    // Cold side of b4: 94 - 54 on-trace arrivals = 40 executions,
+    // all falling (2 insts each) = 80; trace A's hot bottom stub:
+    // min(94, 54) executions falling = 108.
+    EXPECT_EQ(g.dynExtra, 188u);
+}
+
+/**
+ * Regression: pin the growth accounting on a known profiled seed, so
+ * a reintroduced double-count (or any silent change in what gets
+ * charged) shows up as a concrete number shift rather than a quiet
+ * ablation drift.
+ */
+TEST(TraceGrowth, PinnedOnKnownSeed)
+{
+    const machine::MachineModel &mm = m();
+    workload::BenchmarkSpec spec = workload::spec95("ultrasparc")[0];
+    workload::GenOptions gopts;
+    gopts.scale = 0.05;
+    gopts.machine = &mm;
+    exe::Executable x = workload::generate(spec, gopts);
+    auto routines = edit::buildRoutines(x);
+
+    exe::Executable prof_x = x;
+    auto eplan = qpt::makeEdgePlan(prof_x, routines);
+    exe::Executable prof =
+        edit::rewrite(prof_x, routines, eplan.plan, {});
+    sim::Emulator emu(prof);
+    ASSERT_TRUE(emu.run().exited);
+    auto counts = qpt::exportEdgeCounts(
+        qpt::readEdgeCounts(emu, eplan, routines), eplan, routines);
+
+    // A 0.8 threshold keeps traces short enough that some suffixes
+    // carry side entrances (the 0.5 default absorbs the side paths
+    // into the trace instead, and nothing gets duplicated here).
+    SuperblockOptions so;
+    so.threshold = 0.8;
+    TraceGrowth total;
+    uint64_t dynBase = 0;
+    for (size_t ri = 0; ri < routines.size(); ++ri) {
+        auto traces = formTraces(routines[ri], counts[ri], so);
+        TraceGrowth g = accountGrowth(routines[ri], counts[ri],
+                                      traces);
+        total.dupInsts += g.dupInsts;
+        total.stubInsts += g.stubInsts;
+        total.dynExtra += g.dynExtra;
+        for (const edit::Block &blk : routines[ri].blocks)
+            dynBase += counts[ri][blk.id].exec * blk.insts.size();
+    }
+    // The workload generator, the profile run, and trace formation
+    // are all deterministic, so the totals are exact: a per-visit
+    // recount (or any silent accounting change) shifts them.
+    EXPECT_EQ(total.dupInsts, 9u);
+    EXPECT_EQ(total.stubInsts, 18u);
+    EXPECT_EQ(total.dynExtra, 4236u);
+    ASSERT_GT(dynBase, 0u);
+    EXPECT_LT(double(total.dynExtra), 0.05 * double(dynBase));
+}
+
 } // namespace
 } // namespace eel::sched
