@@ -33,6 +33,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -41,6 +42,7 @@
 #include "src/eel/batch.hh"
 #include "src/exe/executable.hh"
 #include "src/machine/model.hh"
+#include "src/obs/histogram.hh"
 #include "src/obs/metrics.hh"
 #include "src/support/logging.hh"
 #include "src/support/thread_pool.hh"
@@ -70,6 +72,48 @@ directRewrite(const std::string &bytes, uint8_t kind,
     edit::BatchResult res =
         rw.rewriteAll({static_cast<edit::VariantKind>(kind)});
     return res.variants.at(0).image.saveBytes();
+}
+
+/** Merged server-side view of the svc.op.* histograms. */
+obs::HistogramSnapshot
+mergedOps(const std::vector<obs::HistogramSnapshot> &all)
+{
+    obs::HistogramSnapshot out;
+    for (const obs::HistogramSnapshot &h : all) {
+        if (h.name.rfind("svc.op.", 0) != 0)
+            continue;
+        if (out.counts.empty())
+            out = h;
+        else
+            out.merge(h);
+    }
+    out.name = "svc.op.*";
+    return out;
+}
+
+const obs::HistogramSnapshot *
+findHist(const std::vector<obs::HistogramSnapshot> &all,
+         const std::string &name)
+{
+    for (const obs::HistogramSnapshot &h : all)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+/** Mean cost of one Histogram::record() in nanoseconds. */
+double
+recordOverheadNs()
+{
+    obs::Histogram h("bench.record_overhead");
+    const unsigned n = 1u << 20;
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < n; ++i)
+        h.record(i & 0xffff);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0)
+               .count() /
+           double(n);
 }
 
 } // namespace
@@ -114,7 +158,20 @@ main(int argc, char **argv)
     server.start();
     load.port = server.port();
 
+    // Clean slate so the server-side histograms cover exactly what
+    // this process offers (telemetry cross-check below).
+    obs::resetHistograms();
+
     svc::LoadStats stats = svc::runLoad(load);
+
+    // Server-side latency view of the closed-loop run, captured
+    // before the open-loop pass adds samples measured on a different
+    // clock (open-loop client latency starts at the *scheduled*
+    // arrival, so it is not comparable to server-side time).
+    obs::HistogramSnapshot closedOps =
+        mergedOps(obs::histogramsSnapshot());
+    double srvP50Ms = double(closedOps.percentile(0.50)) / 1000.0;
+    double srvP99Ms = double(closedOps.percentile(0.99)) / 1000.0;
 
     // Open-loop pass against the same (now warm) server. Calibrated
     // below saturation by default so the arrival schedule is
@@ -165,6 +222,12 @@ main(int argc, char **argv)
 
     std::string statsJson = server.statsJson();
     exe::SectionStore::Stats ss = server.store().stats();
+    sim::ResultCache::Stats rcs = server.rescache().stats();
+    svc::Server::Counters sctr = server.counters();
+    std::vector<obs::HistogramSnapshot> lifeHists =
+        obs::histogramsSnapshot();
+    std::vector<obs::HistogramSnapshot> winHists =
+        obs::histogramsWindow(60);
     server.stop();
 
     double internHitRate =
@@ -218,6 +281,59 @@ main(int argc, char **argv)
                  ss.gcReclaimedPages);
     std::fprintf(f, "  \"rewrite_identical\": %s,\n",
                  identical ? "true" : "false");
+    // Server-side telemetry: the closed-loop run as the histograms
+    // saw it, per-phase percentiles, and the caches behind SIMULATE.
+    std::fprintf(f, "  \"server_p50_ms\": %.3f,\n", srvP50Ms);
+    std::fprintf(f, "  \"server_p99_ms\": %.3f,\n", srvP99Ms);
+    static const char *phases[] = {"queue",    "decode", "rewrite",
+                                   "sim",      "rescache",
+                                   "reply"};
+    for (const char *ph : phases) {
+        const obs::HistogramSnapshot *h =
+            findHist(lifeHists, std::string("svc.phase.") + ph);
+        std::fprintf(f, "  \"phase_%s_p50_ms\": %.3f,\n", ph,
+                     h ? double(h->percentile(0.50)) / 1000.0 : 0.0);
+        std::fprintf(f, "  \"phase_%s_p99_ms\": %.3f,\n", ph,
+                     h ? double(h->percentile(0.99)) / 1000.0 : 0.0);
+    }
+    std::fprintf(f, "  \"sim_cache_hits\": %llu,\n",
+                 (unsigned long long)sctr.simCacheHits);
+    std::fprintf(f, "  \"rescache_lookups\": %llu,\n",
+                 (unsigned long long)rcs.lookups);
+    std::fprintf(f, "  \"rescache_hits\": %llu,\n",
+                 (unsigned long long)rcs.hits);
+    std::fprintf(f, "  \"rescache_misses\": %llu,\n",
+                 (unsigned long long)rcs.misses);
+    std::fprintf(f, "  \"rescache_stores\": %llu,\n",
+                 (unsigned long long)rcs.stores);
+    std::fprintf(f, "  \"slow_requests\": %llu,\n",
+                 (unsigned long long)sctr.slowRequests);
+    std::fprintf(f, "  \"op_histograms\": {");
+    {
+        bool firstOp = true;
+        for (const obs::HistogramSnapshot &h : lifeHists) {
+            if (h.name.rfind("svc.op.", 0) != 0)
+                continue;
+            const obs::HistogramSnapshot *w =
+                findHist(winHists, h.name);
+            std::fprintf(
+                f,
+                "%s\n    \"%s\": {\"count\": %llu, "
+                "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                "\"window60s_count\": %llu, "
+                "\"window60s_p99_ms\": %.3f}",
+                firstOp ? "" : ",", h.name.c_str(),
+                (unsigned long long)h.count,
+                double(h.percentile(0.50)) / 1000.0,
+                double(h.percentile(0.99)) / 1000.0,
+                (unsigned long long)(w ? w->count : 0),
+                w ? double(w->percentile(0.99)) / 1000.0 : 0.0);
+            firstOp = false;
+        }
+    }
+    std::fprintf(f, "\n  },\n");
+    std::fprintf(f, "  \"histogram_record_ns\": %.1f,\n",
+                 recordOverheadNs());
     std::fprintf(f, "  \"server_stats\": %s,\n", statsJson.c_str());
     std::string metrics = obs::metricsJson("  ");
     std::fprintf(f, "  \"metrics\": %s\n", metrics.c_str());
@@ -236,6 +352,12 @@ main(int argc, char **argv)
                 "included)\n",
                 openLoad.openRate, openStats.requestsPerSecond,
                 openStats.p50Ms, openStats.p99Ms);
+    std::printf("perf_service[telemetry]: server-side p50 %.2fms "
+                "p99 %.2fms over %llu requests (client p50 %.2fms "
+                "p99 %.2fms)\n",
+                srvP50Ms, srvP99Ms,
+                (unsigned long long)closedOps.count, stats.p50Ms,
+                stats.p99Ms);
 
     // Gates (see file comment).
     int rc = 0;
@@ -264,6 +386,39 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: submit page hit-rate %.3f < 0.8\n",
                      stats.submitHitRate());
+        rc = 1;
+    }
+    // Gate: the server-side histograms must have seen the closed
+    // loop (warmup + measured + its replies) ...
+    if (closedOps.count <
+        uint64_t(load.connections) * load.requestsPerConn) {
+        std::fprintf(stderr,
+                     "FAIL: server histograms saw %llu requests, "
+                     "expected >= %llu\n",
+                     (unsigned long long)closedOps.count,
+                     (unsigned long long)(uint64_t(
+                                              load.connections) *
+                                          load.requestsPerConn));
+        rc = 1;
+    }
+    // ... and its percentiles must bracket the client-observed ones.
+    // Server time is a subset of client time (no socket hops), so it
+    // sits below the client's with a floor well above zero; p99 gets
+    // extra headroom because the server view also includes warmup's
+    // cold-cache requests, which the client percentiles exclude.
+    if (srvP50Ms > stats.p50Ms * 1.5 + 1.0 ||
+        srvP50Ms < stats.p50Ms * 0.02 - 0.1) {
+        std::fprintf(stderr,
+                     "FAIL: server p50 %.3fms does not bracket "
+                     "client p50 %.3fms\n",
+                     srvP50Ms, stats.p50Ms);
+        rc = 1;
+    }
+    if (srvP99Ms > stats.p99Ms * 3.0 + 10.0) {
+        std::fprintf(stderr,
+                     "FAIL: server p99 %.3fms implausibly above "
+                     "client p99 %.3fms\n",
+                     srvP99Ms, stats.p99Ms);
         rc = 1;
     }
     return rc;

@@ -6,7 +6,10 @@
 # (BENCH_pipeline.json records wall times, which vary with the host).
 #
 # regen.sh --service regenerates only BENCH_service.json (from the
-# tier-1 RelWithDebInfo tree, same rationale as BENCH_pipeline.json).
+# tier-1 RelWithDebInfo tree, same rationale as BENCH_pipeline.json),
+# including the request-scoped telemetry keys: server-side op/phase
+# histogram percentiles (server_*/phase_*/op_histograms), result-
+# cache counters, and the histogram recording overhead.
 set -e
 
 if [ "$1" = "--service" ]; then

@@ -1,0 +1,313 @@
+#include "src/obs/histogram.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "src/obs/log.hh"
+
+namespace eel::obs {
+
+namespace {
+
+/** Window epoch clock: steady seconds / kWindowSeconds, plus a test
+ *  offset so window-staleness paths are testable without sleeping. */
+std::atomic<int64_t> gClockOffsetSec{0};
+
+uint64_t
+currentEpoch()
+{
+    using namespace std::chrono;
+    static const steady_clock::time_point t0 = steady_clock::now();
+    int64_t sec =
+        duration_cast<seconds>(steady_clock::now() - t0).count() +
+        gClockOffsetSec.load(std::memory_order_relaxed);
+    return static_cast<uint64_t>(sec) / Histogram::kWindowSeconds;
+}
+
+/** One window of one histogram in one shard. Written only by the
+ *  owning thread; epoch gates what readers merge. */
+struct Window
+{
+    std::atomic<uint64_t> epoch{~0ull};
+    std::atomic<uint32_t> counts[Histogram::kSlots] = {};
+};
+
+/** One histogram's slots in one shard, allocated on the owning
+ *  thread's first record of that histogram. */
+struct HistShard
+{
+    std::atomic<uint64_t> counts[Histogram::kSlots] = {};
+    std::atomic<uint64_t> sum{0};
+    Window windows[Histogram::kWindows];
+};
+
+/** One thread's shard. Owned by the registry (threads die; their
+ *  counts must not). */
+struct Shard
+{
+    std::unique_ptr<HistShard> hists[Histogram::maxHistograms];
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::string> names;
+    std::vector<std::string> units;
+    std::vector<std::unique_ptr<Shard>> shards;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+thread_local Shard *tlShard = nullptr;
+
+Shard &
+myShard()
+{
+    if (!tlShard) {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.shards.push_back(std::make_unique<Shard>());
+        tlShard = r.shards.back().get();
+    }
+    return *tlShard;
+}
+
+HistShard &
+myHistShard(uint32_t id)
+{
+    Shard &s = myShard();
+    if (!s.hists[id]) {
+        // Allocation is thread-local state, but the pointer slot is
+        // read by snapshotters: publish it under the registry lock.
+        auto h = std::make_unique<HistShard>();
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        s.hists[id] = std::move(h);
+    }
+    return *s.hists[id];
+}
+
+std::vector<HistogramSnapshot>
+snapshotImpl(bool windowed, unsigned lastSeconds)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<HistogramSnapshot> out(r.names.size());
+    const uint64_t now = currentEpoch();
+    // Whole windows covering the horizon, current partial included.
+    uint64_t span =
+        (lastSeconds + Histogram::kWindowSeconds - 1) /
+        Histogram::kWindowSeconds;
+    if (span == 0)
+        span = 1;
+    if (span > Histogram::kWindows)
+        span = Histogram::kWindows;
+    const uint64_t oldest = now >= span - 1 ? now - (span - 1) : 0;
+
+    for (uint32_t i = 0; i < r.names.size(); ++i) {
+        HistogramSnapshot &snap = out[i];
+        snap.name = r.names[i];
+        snap.unit = r.units[i];
+        snap.counts.assign(Histogram::kSlots, 0);
+        for (const auto &s : r.shards) {
+            const HistShard *h = s->hists[i].get();
+            if (!h)
+                continue;
+            if (!windowed) {
+                for (unsigned k = 0; k < Histogram::kSlots; ++k)
+                    snap.counts[k] +=
+                        h->counts[k].load(std::memory_order_relaxed);
+                snap.sum +=
+                    h->sum.load(std::memory_order_relaxed);
+                continue;
+            }
+            for (const Window &w : h->windows) {
+                uint64_t e =
+                    w.epoch.load(std::memory_order_acquire);
+                if (e < oldest || e > now)
+                    continue;
+                for (unsigned k = 0; k < Histogram::kSlots; ++k)
+                    snap.counts[k] += w.counts[k].load(
+                        std::memory_order_relaxed);
+            }
+        }
+        for (unsigned k = 0; k < Histogram::kSlots; ++k) {
+            snap.count += snap.counts[k];
+            if (windowed)
+                // Window rings don't carry sums; midpoint estimate.
+                snap.sum += snap.counts[k] *
+                            ((Histogram::slotLowerBound(k) +
+                              Histogram::slotUpperBound(k)) /
+                             2);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Histogram::Histogram(const char *name, const char *unit)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (uint32_t i = 0; i < r.names.size(); ++i) {
+        if (r.names[i] == name) {
+            id = i;
+            return;
+        }
+    }
+    if (r.names.size() >= maxHistograms) {
+        // Out of slots: alias the last histogram rather than crash a
+        // serving process; loud so the cap gets raised.
+        logf(LogLevel::Error,
+             "histogram: out of slots registering '%s'", name);
+        id = maxHistograms - 1;
+        return;
+    }
+    id = static_cast<uint32_t>(r.names.size());
+    r.names.emplace_back(name);
+    r.units.emplace_back(unit);
+}
+
+unsigned
+Histogram::slotFor(uint64_t value)
+{
+    if (value > kMaxValue)
+        value = kMaxValue;
+    if (value < kSub)
+        return static_cast<unsigned>(value);
+    unsigned msb = 63 - static_cast<unsigned>(
+                            __builtin_clzll(value));
+    return (msb - (kSubBits - 1)) * kSub +
+           static_cast<unsigned>((value >> (msb - kSubBits)) &
+                                 (kSub - 1));
+}
+
+uint64_t
+Histogram::slotLowerBound(unsigned slot)
+{
+    if (slot < kSub)
+        return slot;
+    unsigned msb = slot / kSub + (kSubBits - 1);
+    uint64_t sub = slot % kSub;
+    return (uint64_t(kSub) + sub) << (msb - kSubBits);
+}
+
+uint64_t
+Histogram::slotUpperBound(unsigned slot)
+{
+    if (slot < kSub)
+        return slot;
+    unsigned msb = slot / kSub + (kSubBits - 1);
+    return slotLowerBound(slot) +
+           ((1ull << (msb - kSubBits)) - 1);
+}
+
+void
+Histogram::record(uint64_t value)
+{
+    if (value > kMaxValue)
+        value = kMaxValue;
+    const unsigned slot = slotFor(value);
+    HistShard &h = myHistShard(id);
+    h.counts[slot].fetch_add(1, std::memory_order_relaxed);
+    h.sum.fetch_add(value, std::memory_order_relaxed);
+
+    const uint64_t epoch = currentEpoch();
+    Window &w = h.windows[epoch % kWindows];
+    if (w.epoch.load(std::memory_order_relaxed) != epoch) {
+        // Single writer per shard: recycle the stale slot in place.
+        for (auto &c : w.counts)
+            c.store(0, std::memory_order_relaxed);
+        w.epoch.store(epoch, std::memory_order_release);
+    }
+    w.counts[slot].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+HistogramSnapshot::percentile(double p) const
+{
+    if (count == 0)
+        return 0;
+    if (p < 0)
+        p = 0;
+    if (p > 1)
+        p = 1;
+    uint64_t target =
+        static_cast<uint64_t>(p * double(count) + 0.9999999);
+    if (target == 0)
+        target = 1;
+    uint64_t seen = 0;
+    for (unsigned k = 0; k < counts.size(); ++k) {
+        seen += counts[k];
+        if (seen >= target)
+            return Histogram::slotUpperBound(k);
+    }
+    return Histogram::slotUpperBound(
+        static_cast<unsigned>(counts.size()) - 1);
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &o)
+{
+    if (counts.size() < o.counts.size())
+        counts.resize(o.counts.size(), 0);
+    for (size_t k = 0; k < o.counts.size(); ++k)
+        counts[k] += o.counts[k];
+    count += o.count;
+    sum += o.sum;
+}
+
+std::vector<HistogramSnapshot>
+histogramsSnapshot()
+{
+    return snapshotImpl(false, 0);
+}
+
+std::vector<HistogramSnapshot>
+histogramsWindow(unsigned lastSeconds)
+{
+    return snapshotImpl(true, lastSeconds);
+}
+
+void
+resetHistograms()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto &s : r.shards) {
+        for (auto &hp : s->hists) {
+            HistShard *h = hp.get();
+            if (!h)
+                continue;
+            for (auto &c : h->counts)
+                c.store(0, std::memory_order_relaxed);
+            h->sum.store(0, std::memory_order_relaxed);
+            for (Window &w : h->windows) {
+                for (auto &c : w.counts)
+                    c.store(0, std::memory_order_relaxed);
+                w.epoch.store(~0ull, std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+namespace detail {
+
+void
+advanceHistogramClockForTest(int64_t seconds)
+{
+    gClockOffsetSec.fetch_add(seconds, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+} // namespace eel::obs

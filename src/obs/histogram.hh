@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Log-bucketed HDR-style latency histograms with exact lifetime
+ * counts and a time-windowed ring, built on the same per-thread
+ * shard discipline as the metrics registry: a record() is one
+ * thread_local load plus two relaxed RMWs, never a lock, so request
+ * hot paths can record every operation instead of sampling.
+ *
+ * Bucketing: values (histogram "ticks"; the service records
+ * microseconds) below 32 get their own bucket; above that each
+ * power-of-two range is split into 32 sub-buckets, so any recorded
+ * value is reproduced to within ~3.1% by its bucket bounds while the
+ * whole 0 .. ~67s range fits in kSlots counters. That is the classic
+ * HDR trade: percentiles with bounded relative error and no a-priori
+ * knowledge of the distribution, at fixed memory.
+ *
+ * Windows: alongside the lifetime counts, each shard keeps a ring of
+ * kWindows buckets of kWindowSeconds each, stamped with their epoch.
+ * A recording thread lazily recycles the ring slot when its epoch is
+ * stale (single writer per shard, so no CAS); a reader merges only
+ * slots whose epoch falls inside the asked-for horizon, which yields
+ * "last minute" percentiles next to lifetime ones. Window merges are
+ * exact except at the instant a slot is being recycled, where a
+ * concurrent reader can see a partially cleared (never corrupt)
+ * window — lifetime counts are always exact.
+ */
+
+#ifndef EEL_OBS_HISTOGRAM_HH
+#define EEL_OBS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eel::obs {
+
+class Histogram
+{
+  public:
+    /** Registers (or reuses) the named histogram. `unit` is
+     *  documentation carried into snapshots ("us" for the service's
+     *  latency histograms). */
+    Histogram(const char *name, const char *unit = "us");
+
+    /** Record one value (in this histogram's ticks); values above
+     *  kMaxValue clamp into the top bucket. */
+    void record(uint64_t value);
+
+    static constexpr unsigned maxHistograms = 32;
+
+    // --- bucket geometry (shared by snapshots and exporters) ------
+    static constexpr unsigned kSubBits = 5;  ///< 32 sub-buckets
+    static constexpr unsigned kSub = 1u << kSubBits;
+    /** Highest distinguishable tick (~67s in microseconds). */
+    static constexpr uint64_t kMaxValue = (1ull << 26) - 1;
+    static constexpr unsigned kSlots = (26 - (kSubBits - 1)) * kSub;
+
+    static constexpr unsigned kWindows = 8;
+    static constexpr unsigned kWindowSeconds = 10;
+
+    static unsigned slotFor(uint64_t value);
+    /** Inclusive value bounds reproduced by slot i. */
+    static uint64_t slotLowerBound(unsigned slot);
+    static uint64_t slotUpperBound(unsigned slot);
+
+  private:
+    uint32_t id;
+};
+
+/** Merged counts for one histogram (lifetime or windowed). */
+struct HistogramSnapshot
+{
+    std::string name;
+    std::string unit;
+    uint64_t count = 0;  ///< total recorded values
+    uint64_t sum = 0;    ///< sum of recorded ticks (clamped)
+    std::vector<uint64_t> counts;  ///< kSlots dense slot counts
+
+    /** Value at quantile p in [0,1]: the upper bound of the bucket
+     *  where the cumulative count first reaches ceil(p * count) — a
+     *  conservative (>= actual) estimate within the bucket's ~3.1%
+     *  relative error. 0 when empty. */
+    uint64_t percentile(double p) const;
+
+    /** Merge another snapshot's counts in (same geometry). */
+    void merge(const HistogramSnapshot &o);
+};
+
+/** Lifetime snapshots of every registered histogram, in
+ *  registration order. Exact. */
+std::vector<HistogramSnapshot> histogramsSnapshot();
+
+/**
+ * Windowed snapshots: counts recorded in the ring windows covering
+ * roughly the last `lastSeconds` seconds (rounded up to whole
+ * kWindowSeconds windows, capped at the ring span). The current
+ * partially-filled window is included.
+ */
+std::vector<HistogramSnapshot> histogramsWindow(unsigned lastSeconds);
+
+/** Zero every shard, lifetime and windows (tests, bench setup).
+ *  Call only while no other thread is mid-record. */
+void resetHistograms();
+
+namespace detail {
+/** Shift the histogram window clock forward (tests only): makes
+ *  previously current windows stale without sleeping. */
+void advanceHistogramClockForTest(int64_t seconds);
+} // namespace detail
+
+} // namespace eel::obs
+
+#endif // EEL_OBS_HISTOGRAM_HH

@@ -1,0 +1,193 @@
+#include "src/obs/http.hh"
+
+#include <cctype>
+#include <cstdio>
+
+#include "src/obs/histogram.hh"
+#include "src/obs/metrics.hh"
+
+namespace eel::obs::http {
+
+namespace {
+
+bool
+isTokenChar(char c)
+{
+    // RFC 7230 tchar, the conservative core.
+    return std::isalnum(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '_' || c == '.' || c == '!' ||
+           c == '#' || c == '$' || c == '%' || c == '&' ||
+           c == '\'' || c == '*' || c == '+' || c == '^' ||
+           c == '`' || c == '|' || c == '~';
+}
+
+const char *
+reason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+    }
+    return "Unknown";
+}
+
+/** Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. The registries
+ *  use dotted names; map everything else to '_'. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "eel_";
+    for (char c : name)
+        out += std::isalnum(static_cast<unsigned char>(c))
+                   ? c
+                   : '_';
+    return out;
+}
+
+} // namespace
+
+ParseResult
+parseRequest(const std::string &buf, Request &out, size_t &consumed,
+             size_t maxBytes)
+{
+    size_t end = buf.find("\r\n\r\n");
+    if (end == std::string::npos) {
+        // A bare request line + blank line ("...\r\n\r\n") is the
+        // minimum terminator; without it we either need more bytes
+        // or the peer is over budget.
+        return buf.size() > maxBytes ? ParseResult::TooLarge
+                                     : ParseResult::NeedMore;
+    }
+    if (end + 4 > maxBytes)
+        return ParseResult::TooLarge;
+    consumed = end + 4;
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    size_t lineEnd = buf.find("\r\n");
+    std::string line = buf.substr(0, lineEnd);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1)
+        return ParseResult::Bad;
+    out.method = line.substr(0, sp1);
+    out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    out.version = line.substr(sp2 + 1);
+    if (out.method.empty() || out.target.empty())
+        return ParseResult::Bad;
+    for (char c : out.method)
+        if (!isTokenChar(c))
+            return ParseResult::Bad;
+    if (out.target[0] != '/')
+        return ParseResult::Bad;
+    for (char c : out.target)
+        if (std::iscntrl(static_cast<unsigned char>(c)) ||
+            c == ' ')
+            return ParseResult::Bad;
+    if (out.version.rfind("HTTP/", 0) != 0)
+        return ParseResult::Bad;
+
+    // Headers: token ":" OWS value.
+    size_t at = lineEnd + 2;
+    out.headers.clear();
+    while (at < end) {
+        size_t eol = buf.find("\r\n", at);
+        std::string h = buf.substr(at, eol - at);
+        at = eol + 2;
+        size_t colon = h.find(':');
+        if (colon == std::string::npos || colon == 0)
+            return ParseResult::Bad;
+        std::string name = h.substr(0, colon);
+        for (char c : name)
+            if (!isTokenChar(c))
+                return ParseResult::Bad;
+        size_t v0 = colon + 1;
+        while (v0 < h.size() && (h[v0] == ' ' || h[v0] == '\t'))
+            ++v0;
+        size_t v1 = h.size();
+        while (v1 > v0 &&
+               (h[v1 - 1] == ' ' || h[v1 - 1] == '\t'))
+            --v1;
+        out.headers.emplace_back(std::move(name),
+                                 h.substr(v0, v1 - v0));
+    }
+    return ParseResult::Ok;
+}
+
+std::string
+response(int status, const std::string &contentType,
+         const std::string &body)
+{
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "HTTP/1.1 %d %s\r\n"
+                  "Content-Type: %s\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n"
+                  "\r\n",
+                  status, reason(status), contentType.c_str(),
+                  body.size());
+    return head + body;
+}
+
+std::string
+prometheusText(const std::string &extra)
+{
+    std::string out = extra;
+    char buf[192];
+
+    for (const auto &[name, value] : metricsSnapshot()) {
+        // MaxGauges and counters alike render as untyped samples
+        // unless we carry kinds through the snapshot; counters keep
+        // the conventional _total suffix via their dotted names
+        // staying intact. Declare everything a gauge: monotone
+        // counters scraped as gauges still graph correctly, and the
+        // registry doesn't expose reset semantics anyway.
+        std::string pn = promName(name);
+        std::snprintf(buf, sizeof buf,
+                      "# TYPE %s gauge\n%s %llu\n", pn.c_str(),
+                      pn.c_str(),
+                      static_cast<unsigned long long>(value));
+        out += buf;
+    }
+
+    for (const HistogramSnapshot &h : histogramsSnapshot()) {
+        // Ticks are per-histogram units (the service records
+        // microseconds); Prometheus convention is base seconds.
+        const double scale = h.unit == "us"    ? 1e-6
+                             : h.unit == "ns" ? 1e-9
+                             : h.unit == "ms" ? 1e-3
+                                              : 1.0;
+        std::string pn = promName(h.name) + "_seconds";
+        std::snprintf(buf, sizeof buf, "# TYPE %s histogram\n",
+                      pn.c_str());
+        out += buf;
+        uint64_t cum = 0;
+        for (unsigned k = 0; k < h.counts.size(); ++k) {
+            if (h.counts[k] == 0)
+                continue;  // sparse: only boundaries that hold mass
+            cum += h.counts[k];
+            std::snprintf(
+                buf, sizeof buf, "%s_bucket{le=\"%.9g\"} %llu\n",
+                pn.c_str(),
+                double(Histogram::slotUpperBound(k)) * scale,
+                static_cast<unsigned long long>(cum));
+            out += buf;
+        }
+        std::snprintf(buf, sizeof buf,
+                      "%s_bucket{le=\"+Inf\"} %llu\n"
+                      "%s_sum %.9g\n"
+                      "%s_count %llu\n",
+                      pn.c_str(),
+                      static_cast<unsigned long long>(h.count),
+                      pn.c_str(), double(h.sum) * scale, pn.c_str(),
+                      static_cast<unsigned long long>(h.count));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace eel::obs::http

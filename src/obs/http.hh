@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 machinery for the telemetry gateway: a strict,
+ * bounded request parser (string level — sockets stay in the service
+ * layer, so every reject path is unit-testable without a peer), a
+ * response builder, and the Prometheus text-exposition renderer over
+ * the obs metrics and histogram registries.
+ *
+ * Deliberately tiny: GET-only routing is the caller's job, there is
+ * no keep-alive (responses carry "Connection: close"), no chunked
+ * transfer, no body on requests. A request is the request line plus
+ * headers terminated by CRLFCRLF, capped at maxBytes — anything
+ * malformed or oversized parses to a clean error classification, not
+ * a crash, which is what the gateway's fuzz tests pin.
+ */
+
+#ifndef EEL_OBS_HTTP_HH
+#define EEL_OBS_HTTP_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eel::obs::http {
+
+struct Request
+{
+    std::string method;   ///< "GET"
+    std::string target;   ///< "/metrics" (query string kept verbatim)
+    std::string version;  ///< "HTTP/1.1"
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    const std::string *
+    header(const std::string &name) const
+    {
+        for (const auto &[k, v] : headers)
+            if (k == name)
+                return &v;
+        return nullptr;
+    }
+};
+
+enum class ParseResult {
+    Ok,        ///< one complete request parsed
+    NeedMore,  ///< no CRLFCRLF yet; read more bytes
+    Bad,       ///< malformed request line or header
+    TooLarge,  ///< header block exceeds maxBytes
+};
+
+/** Default header-block cap (request line + headers). */
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+
+/**
+ * Parse one request from the front of `buf`. On Ok, `consumed` is
+ * the byte count of the parsed request (line + headers + blank
+ * line). NeedMore is returned only while buf is within the cap — a
+ * buffer past `maxBytes` without a terminator is TooLarge, so a
+ * caller can stop reading from a peer that streams garbage.
+ */
+ParseResult parseRequest(const std::string &buf, Request &out,
+                         size_t &consumed,
+                         size_t maxBytes = kMaxRequestBytes);
+
+/** A full HTTP/1.1 response with Content-Length and
+ *  "Connection: close". `status` picks the canonical reason
+ *  phrase (200, 400, 404, 405, 431, 500). */
+std::string response(int status, const std::string &contentType,
+                     const std::string &body);
+
+/**
+ * The obs registries in Prometheus text exposition format
+ * (version 0.0.4): every counter/max-gauge metric as
+ * `eel_<name>` (dots to underscores, counters suffixed _total) and
+ * every histogram as a native Prometheus histogram in seconds
+ * (`_bucket{le=...}` at the slot upper bounds that hold counts,
+ * `_sum`, `_count`). `extra` lines (already exposition-formatted)
+ * are prepended — the service contributes its request counters
+ * there.
+ */
+std::string prometheusText(const std::string &extra = {});
+
+} // namespace eel::obs::http
+
+#endif // EEL_OBS_HTTP_HH

@@ -1,0 +1,93 @@
+#include "src/obs/timeline.hh"
+
+#include <cstdio>
+
+#include "src/obs/trace.hh"
+
+namespace eel::obs {
+
+const char *
+RequestTimeline::phaseName(Phase p)
+{
+    switch (p) {
+      case Queue: return "queue";
+      case Decode: return "decode";
+      case Rewrite: return "rewrite";
+      case Sim: return "sim";
+      case CacheLookup: return "rescache";
+      case Reply: return "reply";
+      case kPhases: break;
+    }
+    return "?";
+}
+
+void
+RequestTimeline::begin(Phase p)
+{
+    phase[p].t0 = nowNs();
+}
+
+void
+RequestTimeline::end(Phase p)
+{
+    phase[p].t1 = nowNs();
+}
+
+void
+RequestTimeline::emitTrace() const
+{
+    if (!tracingEnabled())
+        return;
+    // A tagged request opts in per the client's sampling flag; an
+    // untagged one is the server operator's to trace.
+    if (traceId != 0 && !sampled)
+        return;
+    char args[128];
+    std::snprintf(args, sizeof args,
+                  "{\"trace_id\":\"%016llx\",\"seq\":%u,"
+                  "\"status\":\"%s\"}",
+                  static_cast<unsigned long long>(traceId), seq,
+                  status.c_str());
+    recordSpan("svc.request." + op, tsAccept,
+               tsDone > tsAccept ? tsDone : tsAccept, args);
+    for (unsigned p = 0; p < kPhases; ++p) {
+        if (!phase[p].set())
+            continue;
+        char pargs[64];
+        std::snprintf(pargs, sizeof pargs,
+                      "{\"trace_id\":\"%016llx\"}",
+                      static_cast<unsigned long long>(traceId));
+        recordSpan(std::string("svc.phase.") +
+                       phaseName(static_cast<Phase>(p)),
+                   phase[p].t0, phase[p].t1, pargs);
+    }
+}
+
+std::string
+RequestTimeline::json() const
+{
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "{\"trace_id\":\"%016llx\",\"sampled\":%s,"
+                  "\"op\":\"%s\",\"seq\":%u,\"status\":\"%s\","
+                  "\"start_ns\":%llu,\"total_ms\":%.3f",
+                  static_cast<unsigned long long>(traceId),
+                  sampled ? "true" : "false", op.c_str(), seq,
+                  status.c_str(),
+                  static_cast<unsigned long long>(tsAccept),
+                  double(totalNs()) / 1e6);
+    std::string out = head;
+    for (unsigned p = 0; p < kPhases; ++p) {
+        if (!phase[p].set())
+            continue;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, ",\"%s_ms\":%.3f",
+                      phaseName(static_cast<Phase>(p)),
+                      double(phase[p].ns()) / 1e6);
+        out += buf;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace eel::obs

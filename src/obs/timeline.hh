@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-request telemetry record for a request-serving pipeline: a
+ * wire-propagated trace identity (client-generated 64-bit id plus a
+ * sampling flag) and one timestamp interval per processing phase —
+ * accept, queue wait, decode/intern, rewrite, simulate, result-cache
+ * lookup, reply write. Timestamps are obs::nowNs() ticks taken
+ * unconditionally (they feed the latency histograms whether or not
+ * tracing is on); when tracing is enabled and the request is sampled
+ * (or untagged), emitTrace() turns the record into one parent
+ * "svc.request.<op>" span with a child span per phase, all
+ * timestamped so viewers nest them by containment on the worker's
+ * track and the trace id rides in the span args.
+ *
+ * The same record renders as JSON for the slow-request flight
+ * recorder (the HTTP gateway's /requests/slow).
+ */
+
+#ifndef EEL_OBS_TIMELINE_HH
+#define EEL_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace eel::obs {
+
+struct RequestTimeline
+{
+    enum Phase : uint8_t {
+        Queue = 0,   ///< admission-queue wait (enqueue -> dequeue)
+        Decode,      ///< payload decode + page intern
+        Rewrite,     ///< batch rewrite of the asked-for variant
+        Sim,         ///< emulation / timing simulation
+        CacheLookup, ///< rewrite-/result-cache probe
+        Reply,       ///< reply frame write
+        kPhases,
+    };
+    static const char *phaseName(Phase p);
+
+    struct Interval
+    {
+        uint64_t t0 = 0, t1 = 0;  ///< nowNs() ticks; 0,0 = unused
+        bool set() const { return t1 > t0 || t0 != 0; }
+        uint64_t ns() const { return t1 > t0 ? t1 - t0 : 0; }
+    };
+
+    // Wire-propagated trace context (0 id = untagged request).
+    uint64_t traceId = 0;
+    bool sampled = false;
+
+    std::string op;       ///< operation name ("submit_xef", ...)
+    uint32_t seq = 0;     ///< wire sequence number
+    std::string status;   ///< reply status name ("ok", ...)
+
+    uint64_t tsAccept = 0;  ///< request frame fully read
+    uint64_t tsDone = 0;    ///< reply written
+    Interval phase[kPhases];
+
+    void begin(Phase p);
+    void end(Phase p);
+
+    uint64_t totalNs() const
+    {
+        return tsDone > tsAccept ? tsDone - tsAccept : 0;
+    }
+
+    /** Emit the parent request span plus one child span per recorded
+     *  phase onto the current thread's trace buffer. Respects the
+     *  sampling flag: tagged-but-unsampled requests stay silent.
+     *  No-op when tracing is off. */
+    void emitTrace() const;
+
+    /** One JSON object (trace id, op, status, total and per-phase
+     *  milliseconds) — the flight-recorder entry format. */
+    std::string json() const;
+};
+
+} // namespace eel::obs
+
+#endif // EEL_OBS_TIMELINE_HH

@@ -142,6 +142,19 @@ instant(const char *name, std::string args_json)
 }
 
 void
+recordSpan(std::string name, uint64_t t0Ns, uint64_t t1Ns,
+           std::string args_json)
+{
+    if (!tracingEnabled())
+        return;
+    if (t1Ns < t0Ns)
+        t1Ns = t0Ns;
+    myBuf().events.push_back(Event{'X', std::move(name), t0Ns,
+                                   t1Ns - t0Ns,
+                                   std::move(args_json)});
+}
+
+void
 setThreadName(std::string name)
 {
     // Recorded even when tracing is off: cheap, and a later

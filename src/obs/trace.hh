@@ -28,6 +28,15 @@ uint64_t traceNowNs();
 void recordComplete(std::string name, uint64_t t0, uint64_t t1);
 } // namespace detail
 
+/** Nanoseconds since the process-global trace epoch. Usable whether
+ *  or not tracing is on (request timelines timestamp with this so
+ *  histograms work untraced, and spans line up when traced). */
+inline uint64_t
+nowNs()
+{
+    return detail::traceNowNs();
+}
+
 /** Is span/instant recording active? */
 inline bool
 tracingEnabled()
@@ -82,6 +91,18 @@ class Span
  *  JSON object as its args. No-op when tracing is off. */
 void instant(const char *name);
 void instant(const char *name, std::string args_json);
+
+/**
+ * Record a complete ("X") span with explicit nowNs()-relative
+ * endpoints onto the current thread's buffer, optionally with a
+ * pre-rendered JSON object as its args. Lets request timelines emit
+ * spans for phases that already happened (e.g. queue wait measured
+ * from another thread's enqueue timestamp) — viewers nest them into
+ * the enclosing request span by time containment. No-op when
+ * tracing is off.
+ */
+void recordSpan(std::string name, uint64_t t0Ns, uint64_t t1Ns,
+                std::string args_json = {});
 
 /** Name the current thread in the exported trace ("main",
  *  "pool-worker-3", ...). Unnamed threads get "thread-<tid>". */

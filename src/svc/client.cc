@@ -11,6 +11,10 @@ Client::call(Op op, std::string body)
     req.seq = nextSeq++;
     req.code = static_cast<uint8_t>(op);
     req.body = std::move(body);
+    if (hasTraceCtx) {
+        req.code |= kTraceContextFlag;
+        req.body.insert(0, traceCtx.encodePrefix());
+    }
     conn.writeFrame(req);
     Frame rep;
     if (!conn.readFrame(rep))

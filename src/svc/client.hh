@@ -56,6 +56,17 @@ class Client
      */
     bool sendRawExpectReply(const std::string &bytes, Frame &out);
 
+    /** Tag every subsequent request with this trace context (the
+     *  wire extension: flagged op byte + 9-byte body prefix).
+     *  Re-call per request to rotate ids; clearTraceContext()
+     *  reverts to the legacy untagged frames. */
+    void setTraceContext(const TraceContext &tc)
+    {
+        traceCtx = tc;
+        hasTraceCtx = true;
+    }
+    void clearTraceContext() { hasTraceCtx = false; }
+
     Conn &connection() { return conn; }
 
   private:
@@ -63,6 +74,8 @@ class Client
 
     Conn conn;
     uint32_t nextSeq = 1;
+    TraceContext traceCtx;
+    bool hasTraceCtx = false;
 };
 
 } // namespace eel::svc

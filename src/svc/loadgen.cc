@@ -144,6 +144,14 @@ runLoad(const LoadConfig &cfg)
             }
             const size_t b = rng() % bases.size();
             double roll = uni(rng) * wSum;
+            if (cfg.tagRequests) {
+                TraceContext tc;
+                tc.traceId = rng() | 1;  // never the untagged 0
+                if (cfg.traceSampleEvery &&
+                    rng() % cfg.traceSampleEvery == 0)
+                    tc.flags = TraceContext::kSampled;
+                client.setTraceContext(tc);
+            }
 
             Status st = Status::Ok;
             Clock::time_point start;

@@ -91,6 +91,13 @@ struct LoadConfig
     uint32_t deadlineMs = 30000;
     std::string machine = "ultrasparc";
     uint64_t seed = 1;
+
+    /** Tag every request with a generated trace context (the wire
+     *  extension), marking roughly 1-in-traceSampleEvery sampled so
+     *  a traced server emits spans for a sliver of the load, not all
+     *  of it. false = legacy untagged frames. */
+    bool tagRequests = true;
+    unsigned traceSampleEvery = 64;
 };
 
 struct LoadStats

@@ -42,7 +42,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--port N] [--unix PATH] [--threads N]\n"
         "          [--queue N] [--machine NAME] [--deadline-ms N]\n"
-        "          [--result-cache DIR]\n"
+        "          [--result-cache DIR] [--http N] [--trace FILE]\n"
         "  --port N         TCP port (default 0 = ephemeral)\n"
         "  --unix PATH      listen on a unix socket instead\n"
         "  --threads N      pool threads (default: hardware)\n"
@@ -50,7 +50,11 @@ usage(const char *argv0)
         "  --machine NAME   default machine model\n"
         "  --deadline-ms N  default per-request deadline\n"
         "  --result-cache DIR  persist timed SIMULATE results to\n"
-        "                   DIR so they survive daemon restarts\n",
+        "                   DIR so they survive daemon restarts\n"
+        "  --http N         serve /metrics, /stats, /requests/slow\n"
+        "                   on this port (0 = ephemeral)\n"
+        "  --trace FILE     record request spans; written as a\n"
+        "                   Chrome trace on graceful shutdown\n",
         argv0);
 }
 
@@ -62,6 +66,7 @@ main(int argc, char **argv)
     using namespace eel;
 
     svc::ServerConfig cfg;
+    std::string traceFile;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> const char * {
@@ -87,6 +92,11 @@ main(int argc, char **argv)
                 static_cast<uint32_t>(atoi(next()));
         else if (a == "--result-cache")
             cfg.resultCacheDir = next();
+        else if (a == "--http") {
+            cfg.httpEnabled = true;
+            cfg.httpPort = static_cast<uint16_t>(atoi(next()));
+        } else if (a == "--trace")
+            traceFile = next();
         else {
             usage(argv[0]);
             return 2;
@@ -104,6 +114,8 @@ main(int argc, char **argv)
     sigaction(SIGINT, &sa, nullptr);
 
     obs::setThreadName("svcd-main");
+    if (!traceFile.empty())
+        obs::enableTracing();
     svc::Server server(cfg);
     try {
         server.start();
@@ -117,6 +129,8 @@ main(int argc, char **argv)
         std::printf("listening port=%u\n", unsigned(server.port()));
     else
         std::printf("listening unix=%s\n", cfg.unixPath.c_str());
+    if (cfg.httpEnabled)
+        std::printf("http port=%u\n", unsigned(server.httpPort()));
     std::fflush(stdout);
 
     char c;
@@ -124,5 +138,10 @@ main(int argc, char **argv)
     }
     obs::logf(obs::LogLevel::Info, "svcd: signal received");
     server.stop();  // drains, answers in-flight, joins
+    // Flush spans only after stop(): the drain guarantees every
+    // worker (and its per-thread trace buffer) has quiesced, so the
+    // file holds the complete request history.
+    if (!traceFile.empty())
+        obs::writeTrace(traceFile);
     return 0;
 }

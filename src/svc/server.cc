@@ -5,6 +5,8 @@
 
 #include "src/eel/batch.hh"
 #include "src/machine/model.hh"
+#include "src/obs/histogram.hh"
+#include "src/obs/http.hh"
 #include "src/obs/log.hh"
 #include "src/obs/metrics.hh"
 #include "src/obs/trace.hh"
@@ -14,6 +16,7 @@
 namespace eel::svc {
 
 using Clock = std::chrono::steady_clock;
+using TL = obs::RequestTimeline;
 
 namespace {
 
@@ -40,6 +43,57 @@ mQueueDepth()
     return m;
 }
 
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::SubmitXef: return "submit_xef";
+      case Op::Rewrite: return "rewrite";
+      case Op::Simulate: return "simulate";
+      case Op::Stats: return "stats";
+    }
+    return "?";
+}
+
+/** Whole-request latency, one histogram per op (ticks = us). */
+obs::Histogram &
+opHistogram(uint8_t code)
+{
+    static obs::Histogram submit("svc.op.submit_xef");
+    static obs::Histogram rewrite("svc.op.rewrite");
+    static obs::Histogram simulate("svc.op.simulate");
+    static obs::Histogram stats("svc.op.stats");
+    switch (static_cast<Op>(code)) {
+      case Op::SubmitXef: return submit;
+      case Op::Rewrite: return rewrite;
+      case Op::Simulate: return simulate;
+      case Op::Stats: break;
+    }
+    return stats;
+}
+
+/** Per-phase duration across all ops (ticks = us). */
+obs::Histogram &
+phaseHistogram(TL::Phase p)
+{
+    static obs::Histogram queue("svc.phase.queue");
+    static obs::Histogram decode("svc.phase.decode");
+    static obs::Histogram rewrite("svc.phase.rewrite");
+    static obs::Histogram sim("svc.phase.sim");
+    static obs::Histogram rescache("svc.phase.rescache");
+    static obs::Histogram replyWrite("svc.phase.reply");
+    switch (p) {
+      case TL::Queue: return queue;
+      case TL::Decode: return decode;
+      case TL::Rewrite: return rewrite;
+      case TL::Sim: return sim;
+      case TL::CacheLookup: return rescache;
+      case TL::Reply: break;
+      case TL::kPhases: break;
+    }
+    return replyWrite;
+}
+
 } // namespace
 
 struct Server::ConnState
@@ -53,6 +107,7 @@ struct Server::Job
     std::shared_ptr<ConnState> cs;
     Frame frame;
     Clock::time_point deadline;
+    obs::RequestTimeline tl;
 };
 
 Server::Server(ServerConfig cfg)
@@ -89,6 +144,15 @@ Server::start()
             workerLoop();
         });
     });
+    if (cfg.httpEnabled) {
+        httpListener.listenTcp(cfg.httpPort);
+        httpAcceptor = std::thread([this] {
+            obs::setThreadName("svc-http");
+            httpLoop();
+        });
+        obs::logf(obs::LogLevel::Info, "svc: http port=%u",
+                  unsigned(httpListener.port()));
+    }
     if (cfg.unixPath.empty())
         obs::logf(obs::LogLevel::Info,
                   "svc: listening port=%u threads=%u queue=%zu",
@@ -123,6 +187,9 @@ Server::stop()
     if (dispatcher.joinable())
         dispatcher.join();
     stopping.store(true);
+    httpListener.wake();
+    if (httpAcceptor.joinable())
+        httpAcceptor.join();
     {
         // Shut the sockets down (not close — readers own the fds)
         // so readers blocked in recv() wake with EOF.
@@ -207,6 +274,35 @@ Server::readerLoop(std::shared_ptr<ConnState> cs)
             break;
         }
 
+        obs::RequestTimeline tl;
+        tl.tsAccept = obs::nowNs();
+        if (f.code & kTraceContextFlag) {
+            // Trace-context extension: strip the 9-byte prefix only
+            // when the masked code is a real op; any other flagged
+            // code falls through to the unknown-op reply unchanged,
+            // so pre-extension garbage keeps its old answer.
+            uint8_t op = f.code & uint8_t(~kTraceContextFlag);
+            if (op >= uint8_t(Op::SubmitXef) &&
+                op <= uint8_t(Op::Stats)) {
+                try {
+                    TraceContext tc =
+                        TraceContext::stripPrefix(f.body);
+                    tl.traceId = tc.traceId;
+                    tl.sampled = tc.sampled();
+                    f.code = op;
+                } catch (const FatalError &e) {
+                    // Framing was fine, the prefix wasn't: answer on
+                    // this seq and keep the connection.
+                    {
+                        std::lock_guard<std::mutex> lock(ctrMu);
+                        ++ctr.badFrames;
+                    }
+                    reply(*cs, f.seq, Status::BadFrame, e.what());
+                    continue;
+                }
+            }
+        }
+
         if (f.code < uint8_t(Op::SubmitXef) ||
             f.code > uint8_t(Op::Stats)) {
             std::lock_guard<std::mutex> lock(ctrMu);
@@ -215,6 +311,8 @@ Server::readerLoop(std::shared_ptr<ConnState> cs)
                   strfmt("unknown op %u", unsigned(f.code)));
             continue;
         }
+        tl.seq = f.seq;
+        tl.op = opName(static_cast<Op>(f.code));
         if (draining.load()) {
             std::lock_guard<std::mutex> lock(ctrMu);
             ++ctr.drainRejected;
@@ -243,6 +341,8 @@ Server::readerLoop(std::shared_ptr<ConnState> cs)
         job.frame = std::move(f);
         job.deadline =
             Clock::now() + std::chrono::milliseconds(wantMs);
+        job.tl = std::move(tl);
+        job.tl.begin(TL::Queue);
         {
             std::lock_guard<std::mutex> lock(qmu);
             if (queue.size() >= cfg.queueCapacity) {
@@ -295,8 +395,7 @@ Server::workerLoop()
             }
             obs::logf(obs::LogLevel::Error,
                       "svc: request failed: %s", e.what());
-            reply(*job.cs, job.frame.seq, Status::ServerError,
-                  e.what());
+            replyTimed(job, Status::ServerError, e.what());
         }
     }
 }
@@ -304,7 +403,7 @@ Server::workerLoop()
 void
 Server::process(Job &job)
 {
-    obs::Span span("svc.request");
+    job.tl.end(TL::Queue);
     const Frame &f = job.frame;
 
     if (Clock::now() >= job.deadline &&
@@ -315,10 +414,11 @@ Server::process(Job &job)
         }
         // SIMULATE's DeadlineExceeded body is always a SimulateReply
         // (here: zero progress), so clients decode it uniformly.
-        reply(*job.cs, f.seq, Status::DeadlineExceeded,
-              f.code == uint8_t(Op::Simulate)
-                  ? SimulateReply{}.encode()
-                  : std::string("deadline expired before execution"));
+        replyTimed(
+            job, Status::DeadlineExceeded,
+            f.code == uint8_t(Op::Simulate)
+                ? SimulateReply{}.encode()
+                : std::string("deadline expired before execution"));
         return;
     }
 
@@ -327,21 +427,21 @@ Server::process(Job &job)
     try {
         switch (static_cast<Op>(f.code)) {
           case Op::SubmitXef:
-            body = handleSubmit(f);
+            body = handleSubmit(f, job.tl);
             {
                 std::lock_guard<std::mutex> lock(ctrMu);
                 ++ctr.submits;
             }
             break;
           case Op::Rewrite:
-            body = handleRewrite(f, st);
+            body = handleRewrite(f, st, job.tl);
             {
                 std::lock_guard<std::mutex> lock(ctrMu);
                 ++ctr.rewrites;
             }
             break;
           case Op::Simulate:
-            body = handleSimulate(f, job.deadline, st);
+            body = handleSimulate(f, job.deadline, st, job.tl);
             {
                 std::lock_guard<std::mutex> lock(ctrMu);
                 ++ctr.simulates;
@@ -373,16 +473,51 @@ Server::process(Job &job)
         std::lock_guard<std::mutex> lock(ctrMu);
         ++ctr.deadlineExpired;
     }
-    reply(*job.cs, f.seq, st, std::move(body));
+    replyTimed(job, st, std::move(body));
+}
+
+void
+Server::replyTimed(Job &job, Status st, std::string body)
+{
+    job.tl.status = statusName(st);
+    job.tl.begin(TL::Reply);
+    reply(*job.cs, job.frame.seq, st, std::move(body));
+    job.tl.end(TL::Reply);
+    job.tl.tsDone = obs::nowNs();
+    finishTimeline(job.tl, job.frame.code);
+}
+
+void
+Server::finishTimeline(obs::RequestTimeline &tl, uint8_t opCode)
+{
+    opHistogram(opCode).record(tl.totalNs() / 1000);
+    for (unsigned p = 0; p < TL::kPhases; ++p)
+        if (tl.phase[p].set())
+            phaseHistogram(static_cast<TL::Phase>(p))
+                .record(tl.phase[p].ns() / 1000);
+    tl.emitTrace();
+    if (tl.totalNs() / 1000000 >=
+        static_cast<uint64_t>(cfg.slowRequestMs)) {
+        {
+            std::lock_guard<std::mutex> lock(ctrMu);
+            ++ctr.slowRequests;
+        }
+        std::lock_guard<std::mutex> lock(slowMu);
+        slowRing.push_back(tl.json());
+        while (slowRing.size() > cfg.slowRingSize)
+            slowRing.pop_front();
+    }
 }
 
 std::string
-Server::handleSubmit(const Frame &req)
+Server::handleSubmit(const Frame &req, obs::RequestTimeline &tl)
 {
     // loadBytes throws FatalError mentioning "payload" on malformed
     // containers — mapped to BadImage by the caller.
+    tl.begin(TL::Decode);
     exe::Executable x = exe::Executable::loadBytes(req.body);
     exe::SectionStore::InternCounts ic = _store.internCounted(x);
+    tl.end(TL::Decode);
 
     SubmitReply r;
     r.imageId = contentId(req.body);
@@ -425,7 +560,8 @@ Server::findImage(uint64_t id)
 }
 
 std::string
-Server::handleRewrite(const Frame &req, Status &st)
+Server::handleRewrite(const Frame &req, Status &st,
+                      obs::RequestTimeline &tl)
 {
     RewriteRequest r = RewriteRequest::decode(req.body);
     auto image = findImage(r.imageId);
@@ -446,6 +582,7 @@ Server::handleRewrite(const Frame &req, Status &st)
     putU64(key, r.imageId);
     putU8(key, r.kind);
     key += machineName;
+    tl.begin(TL::CacheLookup);
     {
         std::lock_guard<std::mutex> lock(regMu);
         auto it = rewrites.find(key);
@@ -461,10 +598,13 @@ Server::handleRewrite(const Frame &req, Status &st)
             RewriteReply rep;
             rep.cached = 1;
             rep.xef = *it->second.xef;
+            tl.end(TL::CacheLookup);
             return rep.encode();
         }
     }
+    tl.end(TL::CacheLookup);
 
+    tl.begin(TL::Rewrite);
     edit::BatchOptions opts;
     opts.model = &model;
     opts.pool = &_pool;  // reentrant: runs inline on this worker
@@ -472,6 +612,7 @@ Server::handleRewrite(const Frame &req, Status &st)
     edit::BatchRewriter rewriter(*image, opts);
     edit::BatchResult res = rewriter.rewriteAll(
         {static_cast<edit::VariantKind>(r.kind)});
+    tl.end(TL::Rewrite);
 
     RewriteReply rep;
     rep.cached = 0;
@@ -493,7 +634,8 @@ Server::handleRewrite(const Frame &req, Status &st)
 
 std::string
 Server::handleSimulate(const Frame &req,
-                       Clock::time_point deadline, Status &st)
+                       Clock::time_point deadline, Status &st,
+                       obs::RequestTimeline &tl)
 {
     SimulateRequest r = SimulateRequest::decode(req.body);
     auto image = findImage(r.imageId);
@@ -525,10 +667,13 @@ Server::handleSimulate(const Frame &req,
         // never collide). A hit is a finished run by construction —
         // cancelled runs are never stored — so it can't owe a
         // DeadlineExceeded.
+        tl.begin(TL::CacheLookup);
         sim::ResultCache::Key key =
             _rescache.timedKey(*image, model, {}, ecfg);
         sim::ResultCache::TimedValue tv;
-        if (_rescache.lookupTimed(key, tv)) {
+        bool hit = _rescache.lookupTimed(key, tv);
+        tl.end(TL::CacheLookup);
+        if (hit) {
             rep.instructions = tv.instructions;
             rep.cycles = tv.cycles;
             rep.exitCode = static_cast<uint32_t>(tv.exitCode);
@@ -536,8 +681,10 @@ Server::handleSimulate(const Frame &req,
             std::lock_guard<std::mutex> lock(ctrMu);
             ++ctr.simCacheHits;
         } else {
+            tl.begin(TL::Sim);
             sim::TimedRun run =
                 sim::timedRun(*image, model, budget, {}, ecfg);
+            tl.end(TL::Sim);
             rep.instructions = run.result.instructions;
             rep.cycles = run.cycles;
             rep.exitCode =
@@ -559,6 +706,7 @@ Server::handleSimulate(const Frame &req,
         }
     } else {
         // Functional-only: same slicing, no pipeline model.
+        tl.begin(TL::Sim);
         sim::Emulator emu(*image, ecfg,
                           sim::Emulator::decodeText(*image, _store));
         sim::NullSink sink;
@@ -578,6 +726,7 @@ Server::handleSimulate(const Frame &req,
                 break;
             }
         }
+        tl.end(TL::Sim);
     }
     return rep.encode();
 }
@@ -587,6 +736,58 @@ Server::counters() const
 {
     std::lock_guard<std::mutex> lock(ctrMu);
     return ctr;
+}
+
+std::string
+Server::latencyJson()
+{
+    std::vector<obs::HistogramSnapshot> life =
+        obs::histogramsSnapshot();
+    std::vector<obs::HistogramSnapshot> win =
+        obs::histogramsWindow(60);
+    std::string out = "{";
+    for (size_t i = 0; i < life.size(); ++i) {
+        const obs::HistogramSnapshot &h = life[i];
+        const obs::HistogramSnapshot *w =
+            i < win.size() && win[i].name == h.name ? &win[i]
+                                                    : nullptr;
+        if (i)
+            out += ',';
+        out += strfmt(
+            "\"%s\":{\"unit\":\"%s\",\"count\":%llu,"
+            "\"p50_us\":%llu,\"p99_us\":%llu,"
+            "\"window60s\":{\"count\":%llu,\"p50_us\":%llu,"
+            "\"p99_us\":%llu}}",
+            h.name.c_str(), h.unit.c_str(),
+            static_cast<unsigned long long>(h.count),
+            static_cast<unsigned long long>(h.percentile(0.50)),
+            static_cast<unsigned long long>(h.percentile(0.99)),
+            static_cast<unsigned long long>(w ? w->count : 0),
+            static_cast<unsigned long long>(
+                w ? w->percentile(0.50) : 0),
+            static_cast<unsigned long long>(
+                w ? w->percentile(0.99) : 0));
+    }
+    out += '}';
+    return out;
+}
+
+std::string
+Server::slowRequestsJson()
+{
+    std::string out =
+        strfmt("{\"threshold_ms\":%u,\"requests\":[",
+               unsigned(cfg.slowRequestMs));
+    {
+        std::lock_guard<std::mutex> lock(slowMu);
+        for (size_t i = 0; i < slowRing.size(); ++i) {
+            if (i)
+                out += ',';
+            out += slowRing[i];
+        }
+    }
+    out += "]}";
+    return out;
 }
 
 std::string
@@ -606,7 +807,7 @@ Server::statsJson()
         std::lock_guard<std::mutex> lock(qmu);
         depth = queue.size();
     }
-    return strfmt(
+    std::string js = strfmt(
         "{\"accepted\":%llu,\"requests\":%llu,\"submits\":%llu,"
         "\"rewrites\":%llu,\"simulates\":%llu,\"stats\":%llu,"
         "\"bad_frames\":%llu,\"busy_rejected\":%llu,"
@@ -646,6 +847,120 @@ Server::statsJson()
         static_cast<unsigned long long>(rc.stores),
         static_cast<unsigned long long>(rc.diskEntriesLoaded),
         static_cast<unsigned long long>(rc.diskRejects));
+    // Splice the telemetry block in before the closing brace so the
+    // strfmt above stays readable.
+    js.pop_back();
+    js += strfmt(",\"http_requests\":%llu,\"slow_requests\":%llu,"
+                 "\"latency\":",
+                 static_cast<unsigned long long>(c.httpRequests),
+                 static_cast<unsigned long long>(c.slowRequests));
+    js += latencyJson();
+    js += '}';
+    return js;
+}
+
+// --- HTTP telemetry gateway ----------------------------------------
+
+void
+Server::httpLoop()
+{
+    for (;;) {
+        Conn c = httpListener.accept();
+        if (!c.ok() || stopping.load())
+            return;
+        // Serve inline: scrapes are rare and tiny, so one at a time
+        // keeps the thread count flat, and the receive timeout below
+        // bounds how long a stalled peer can hold the gateway.
+        serveHttp(std::move(c));
+    }
+}
+
+void
+Server::serveHttp(Conn c)
+{
+    struct timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(c.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+    auto send = [&c](const std::string &resp) {
+        try {
+            c.writeRaw(resp);
+        } catch (const FatalError &) {
+            // Peer hung up first; nothing to do.
+        }
+    };
+
+    std::string buf;
+    obs::http::Request req;
+    size_t consumed = 0;
+    for (;;) {
+        obs::http::ParseResult pr =
+            obs::http::parseRequest(buf, req, consumed);
+        if (pr == obs::http::ParseResult::Ok)
+            break;
+        if (pr == obs::http::ParseResult::Bad) {
+            send(obs::http::response(400, "text/plain",
+                                     "bad request\n"));
+            return;
+        }
+        if (pr == obs::http::ParseResult::TooLarge) {
+            send(obs::http::response(431, "text/plain",
+                                     "header block too large\n"));
+            return;
+        }
+        char tmp[4096];
+        ssize_t n = ::recv(c.fd(), tmp, sizeof tmp, 0);
+        if (n <= 0)
+            return;  // EOF or timeout mid-request: nothing to answer
+        buf.append(tmp, static_cast<size_t>(n));
+    }
+    {
+        std::lock_guard<std::mutex> lock(ctrMu);
+        ++ctr.httpRequests;
+    }
+    if (req.method != "GET") {
+        send(obs::http::response(405, "text/plain",
+                                 "method not allowed\n"));
+        return;
+    }
+    std::string target = req.target.substr(0, req.target.find('?'));
+    if (target == "/metrics")
+        send(obs::http::response(
+            200, "text/plain; version=0.0.4",
+            obs::http::prometheusText(httpMetricsExtra())));
+    else if (target == "/stats")
+        send(obs::http::response(200, "application/json",
+                                 statsJson()));
+    else if (target == "/requests/slow")
+        send(obs::http::response(200, "application/json",
+                                 slowRequestsJson()));
+    else
+        send(obs::http::response(404, "text/plain", "not found\n"));
+}
+
+std::string
+Server::httpMetricsExtra()
+{
+    Counters c = counters();
+    std::string out;
+    auto line = [&out](const char *name, uint64_t v) {
+        out += strfmt("# TYPE %s counter\n%s %llu\n", name, name,
+                      static_cast<unsigned long long>(v));
+    };
+    line("eel_svc_accepted_total", c.accepted);
+    line("eel_svc_requests_total", c.requests);
+    line("eel_svc_submits_total", c.submits);
+    line("eel_svc_rewrites_total", c.rewrites);
+    line("eel_svc_simulates_total", c.simulates);
+    line("eel_svc_bad_frames_total", c.badFrames);
+    line("eel_svc_busy_rejected_total", c.busyRejected);
+    line("eel_svc_deadline_expired_total", c.deadlineExpired);
+    line("eel_svc_rewrite_cache_hits_total", c.rewriteCacheHits);
+    line("eel_svc_sim_cache_hits_total", c.simCacheHits);
+    line("eel_svc_errors_total", c.errors);
+    line("eel_svc_http_requests_total", c.httpRequests);
+    line("eel_svc_slow_requests_total", c.slowRequests);
+    return out;
 }
 
 } // namespace eel::svc

@@ -55,6 +55,7 @@
 
 #include "src/exe/executable.hh"
 #include "src/exe/section_store.hh"
+#include "src/obs/timeline.hh"
 #include "src/sim/resultcache.hh"
 #include "src/support/thread_pool.hh"
 #include "src/svc/net.hh"
@@ -97,6 +98,17 @@ struct ServerConfig
      *  daemon restarts (sim::ResultCache's versioned, checksummed
      *  format — stale or corrupt files are re-derived, not trusted). */
     std::string resultCacheDir;
+
+    /** Telemetry HTTP gateway: when enabled, a second listener
+     *  serves GET /metrics (Prometheus text), /stats (the STATS
+     *  JSON) and /requests/slow (the flight recorder). */
+    bool httpEnabled = false;
+    uint16_t httpPort = 0;  ///< 0 = ephemeral, see Server::httpPort()
+
+    /** Requests whose total latency reaches this land their timeline
+     *  in the slow-request ring served at /requests/slow. */
+    uint32_t slowRequestMs = 50;
+    size_t slowRingSize = 64;
 };
 
 class Server
@@ -113,6 +125,10 @@ class Server
 
     /** Bound TCP port (valid after start(); 0 for unix sockets). */
     uint16_t port() const { return listener.port(); }
+
+    /** Bound port of the HTTP telemetry gateway (0 unless
+     *  cfg.httpEnabled and start() has run). */
+    uint16_t httpPort() const { return httpListener.port(); }
 
     /** Stop accepting; new requests get Draining; queued and
      *  in-flight work completes and is answered. Idempotent. */
@@ -147,11 +163,18 @@ class Server
          *  resubmitting identical bytes hits across connections). */
         uint64_t simCacheHits = 0;
         uint64_t errors = 0;         ///< ServerError replies
+        uint64_t httpRequests = 0;   ///< gateway requests parsed
+        uint64_t slowRequests = 0;   ///< timelines past slowRequestMs
     };
     Counters counters() const;
 
-    /** The STATS reply body (also handy for tests). */
+    /** The STATS reply body (also handy for tests). Includes the
+     *  "latency" block: lifetime and last-minute p50/p99 of every
+     *  registered histogram. */
     std::string statsJson();
+
+    /** The /requests/slow body: ring of slow-request timelines. */
+    std::string slowRequestsJson();
 
   private:
     struct ConnState;
@@ -164,13 +187,24 @@ class Server
 
     void reply(ConnState &cs, uint32_t seq, Status st,
                std::string body);
+    /** reply() plus timeline bookkeeping: stamps the Reply phase and
+     *  tsDone, records histograms, emits spans, feeds the slow ring. */
+    void replyTimed(Job &job, Status st, std::string body);
+    void finishTimeline(obs::RequestTimeline &tl, uint8_t opCode);
 
-    std::string handleSubmit(const Frame &req);
-    std::string handleRewrite(const Frame &req, Status &st);
+    void httpLoop();
+    void serveHttp(Conn c);
+    std::string httpMetricsExtra();
+    std::string latencyJson();
+
+    std::string handleSubmit(const Frame &req,
+                             obs::RequestTimeline &tl);
+    std::string handleRewrite(const Frame &req, Status &st,
+                              obs::RequestTimeline &tl);
     std::string handleSimulate(const Frame &req,
                                std::chrono::steady_clock::time_point
                                    deadline,
-                               Status &st);
+                               Status &st, obs::RequestTimeline &tl);
 
     std::shared_ptr<const exe::Executable> findImage(uint64_t id);
 
@@ -181,9 +215,11 @@ class Server
     sim::ResultCache _rescache;
     support::ThreadPool _pool;
     Listener listener;
+    Listener httpListener;
 
     std::thread acceptor;
     std::thread dispatcher;
+    std::thread httpAcceptor;
     /** Weak registry: the reader thread and any queued jobs hold the
      *  strong refs, so a connection's fd closes exactly when the
      *  last reply that could use it is done — never while a worker
@@ -220,6 +256,11 @@ class Server
 
     mutable std::mutex ctrMu;
     Counters ctr;
+
+    /** Flight recorder: JSON timelines of the slowest requests,
+     *  bounded at cfg.slowRingSize (oldest evicted first). */
+    std::mutex slowMu;
+    std::deque<std::string> slowRing;
 };
 
 } // namespace eel::svc

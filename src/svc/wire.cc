@@ -113,6 +113,30 @@ Cursor::expectEnd() const
 }
 
 std::string
+TraceContext::encodePrefix() const
+{
+    std::string out;
+    putU64(out, traceId);
+    putU8(out, flags);
+    return out;
+}
+
+TraceContext
+TraceContext::stripPrefix(std::string &body)
+{
+    if (body.size() < kWireBytes)
+        fatal("wire: truncated trace-context prefix (%zu of %zu "
+              "bytes)",
+              body.size(), kWireBytes);
+    Cursor c(body);
+    TraceContext tc;
+    tc.traceId = c.getU64();
+    tc.flags = c.getU8();
+    body.erase(0, kWireBytes);
+    return tc;
+}
+
+std::string
 SubmitReply::encode() const
 {
     std::string out;

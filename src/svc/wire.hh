@@ -11,7 +11,9 @@
  * after itself (so a frame occupies length + 4 bytes on the wire).
  * `seq` is chosen by the client and echoed in the reply, so a client
  * may pipeline requests on one connection and match replies out of
- * order. `code` is an Op in requests and a Status in replies.
+ * order. `code` is an Op in requests and a Status in replies; a
+ * request op may carry kTraceContextFlag, in which case a 9-byte
+ * trace-context prefix (see TraceContext) precedes the body.
  *
  * Request bodies:
  *   SubmitXef   xef container bytes (exe::Executable::saveBytes)
@@ -52,6 +54,40 @@ enum class Op : uint8_t {
     Rewrite = 2,    ///< stamp one variant of a submitted image
     Simulate = 3,   ///< emulate / time a submitted image
     Stats = 4,      ///< server + store counters as JSON
+};
+
+/**
+ * Trace-context extension: a client that wants its requests
+ * correlated with server-side telemetry sets kTraceContextFlag on
+ * the op byte and prefixes the body with
+ *
+ *     u64 traceId | u8 flags        (flags bit 0 = sampled)
+ *
+ * Version negotiation is per-frame: the flag bit was outside the
+ * valid op range before this extension, so an old client (which
+ * never sets it) round-trips byte-identically through a new server,
+ * and a new client talking to an old server gets a clean
+ * BadRequest "unknown op" it can downgrade on. The server strips
+ * the prefix before the op handlers run; replies are unchanged
+ * (the client already knows its own ids).
+ */
+constexpr uint8_t kTraceContextFlag = 0x80;
+
+struct TraceContext
+{
+    uint64_t traceId = 0;  ///< client-generated; 0 = untagged
+    uint8_t flags = 0;
+
+    static constexpr uint8_t kSampled = 1;  ///< emit server spans
+    bool sampled() const { return flags & kSampled; }
+
+    static constexpr size_t kWireBytes = 9;
+
+    /** The 9-byte body prefix. */
+    std::string encodePrefix() const;
+    /** Strip and decode the prefix from `body` in place; throws
+     *  FatalError ("wire: ...") on underrun. */
+    static TraceContext stripPrefix(std::string &body);
 };
 
 enum class Status : uint8_t {

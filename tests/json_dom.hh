@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Minimal strict JSON DOM shared by tests that validate the JSON the
+ * code under test emits (trace exports, the service's STATS body,
+ * the HTTP gateway's /stats and /requests/slow). Strict on purpose:
+ * a parse failure is a bug in the emitter, so there is no recovery,
+ * just `failed`. No escapes beyond \" \\ \/ \b \f \n \r \t \uXXXX
+ * (kept verbatim), which is all the emitters produce.
+ *
+ * Header-only and test-only — production code never parses JSON.
+ */
+
+#ifndef EEL_TESTS_JSON_DOM_HH
+#define EEL_TESTS_JSON_DOM_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eel::testjson {
+
+struct JValue
+{
+    enum Kind { Null, Bool, Num, Str, Arr, Obj } kind = Null;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<JValue> arr;
+    std::vector<std::pair<std::string, JValue>> obj;
+
+    const JValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+struct JParser
+{
+    const char *p;
+    const char *end;
+    bool failed = false;
+
+    explicit JParser(const std::string &s)
+        : p(s.data()), end(s.data() + s.size()) {}
+    // The parser aliases the argument's buffer; a temporary would
+    // dangle before the first value() call.
+    explicit JParser(std::string &&) = delete;
+
+    void
+    ws()
+    {
+        while (p < end && std::isspace((unsigned char)*p))
+            ++p;
+    }
+
+    bool
+    eat(char c)
+    {
+        ws();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        failed = true;
+        return false;
+    }
+
+    JValue
+    value()
+    {
+        ws();
+        if (failed || p >= end) {
+            failed = true;
+            return {};
+        }
+        JValue v;
+        char c = *p;
+        if (c == '{') {
+            ++p;
+            v.kind = JValue::Obj;
+            ws();
+            if (p < end && *p == '}') {
+                ++p;
+                return v;
+            }
+            do {
+                ws();
+                JValue key = string();
+                if (!eat(':'))
+                    return v;
+                v.obj.emplace_back(key.str, value());
+                ws();
+            } while (!failed && p < end && *p == ',' && ++p);
+            eat('}');
+        } else if (c == '[') {
+            ++p;
+            v.kind = JValue::Arr;
+            ws();
+            if (p < end && *p == ']') {
+                ++p;
+                return v;
+            }
+            do {
+                v.arr.push_back(value());
+                ws();
+            } while (!failed && p < end && *p == ',' && ++p);
+            eat(']');
+        } else if (c == '"') {
+            v = string();
+        } else if (c == 't' && end - p >= 4 &&
+                   std::string(p, 4) == "true") {
+            v.kind = JValue::Bool;
+            v.b = true;
+            p += 4;
+        } else if (c == 'f' && end - p >= 5 &&
+                   std::string(p, 5) == "false") {
+            v.kind = JValue::Bool;
+            p += 5;
+        } else if (c == 'n' && end - p >= 4 &&
+                   std::string(p, 4) == "null") {
+            p += 4;
+        } else if (c == '-' || std::isdigit((unsigned char)c)) {
+            v.kind = JValue::Num;
+            char *after = nullptr;
+            v.num = std::strtod(p, &after);
+            if (after == p)
+                failed = true;
+            p = after;
+        } else {
+            failed = true;
+        }
+        return v;
+    }
+
+    JValue
+    string()
+    {
+        JValue v;
+        if (!eat('"'))
+            return v;
+        v.kind = JValue::Str;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                if (p + 1 >= end) {
+                    failed = true;
+                    return v;
+                }
+                v.str += *p++;
+            }
+            v.str += *p++;
+        }
+        eat('"');
+        return v;
+    }
+
+    JValue
+    parse()
+    {
+        JValue v = value();
+        ws();
+        if (p != end)
+            failed = true;
+        return v;
+    }
+};
+
+} // namespace eel::testjson
+
+#endif // EEL_TESTS_JSON_DOM_HH

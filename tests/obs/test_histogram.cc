@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the windowed HDR histogram: bucket geometry (exact
+ * below kSub, bounded relative error above), percentile
+ * conservatism, exact lifetime counts under multi-threaded
+ * recording, the time-windowed ring's staleness behaviour (driven by
+ * the test-only clock offset, no sleeping), and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/obs/histogram.hh"
+
+namespace eel {
+namespace {
+
+using obs::Histogram;
+using obs::HistogramSnapshot;
+
+/**
+ * Copy of the named snapshot, by value on purpose: the snapshot
+ * vectors these come from are temporaries, so returning a pointer
+ * into the argument would dangle. Flags a test failure (and returns
+ * an empty snapshot) if the name was never registered.
+ */
+HistogramSnapshot
+snapOf(std::vector<HistogramSnapshot> all, const std::string &name)
+{
+    for (HistogramSnapshot &h : all)
+        if (h.name == name)
+            return std::move(h);
+    ADD_FAILURE() << "histogram not registered: " << name;
+    return {};
+}
+
+TEST(Histogram, BucketGeometryBracketsEveryValue)
+{
+    // Exhaustive below the linear range, sampled above it.
+    for (uint64_t v = 0; v < Histogram::kSub; ++v) {
+        unsigned slot = Histogram::slotFor(v);
+        EXPECT_EQ(slot, unsigned(v));
+        EXPECT_EQ(Histogram::slotLowerBound(slot), v);
+        EXPECT_EQ(Histogram::slotUpperBound(slot), v);
+    }
+    for (uint64_t v = Histogram::kSub; v <= Histogram::kMaxValue;
+         v = v + v / 7 + 1) {
+        unsigned slot = Histogram::slotFor(v);
+        ASSERT_LT(slot, Histogram::kSlots) << v;
+        uint64_t lo = Histogram::slotLowerBound(slot);
+        uint64_t hi = Histogram::slotUpperBound(slot);
+        EXPECT_LE(lo, v) << v;
+        EXPECT_GE(hi, v) << v;
+        // The HDR promise: bucket width bounded by ~2^-kSubBits of
+        // the value, so the upper bound over-reports by < 1/kSub.
+        EXPECT_LE(double(hi - lo), double(v) / 16.0) << v;
+    }
+    // Slot bounds partition the range: each slot starts right after
+    // the previous one ends.
+    for (unsigned s = 1; s < Histogram::kSlots; ++s)
+        EXPECT_EQ(Histogram::slotLowerBound(s),
+                  Histogram::slotUpperBound(s - 1) + 1)
+            << "slot " << s;
+    // Clamp: anything above kMaxValue lands in the top slot.
+    EXPECT_EQ(Histogram::slotFor(~0ull), Histogram::kSlots - 1);
+}
+
+TEST(Histogram, CountsSumAndPercentilesAreConservative)
+{
+    obs::resetHistograms();
+    Histogram h("test.hist.basic");
+    // 1000 values 1..1000: exact count/sum, percentile upper bounds
+    // within one bucket (~3.1%) of the true order statistics.
+    uint64_t sum = 0;
+    for (uint64_t v = 1; v <= 1000; ++v) {
+        h.record(v);
+        sum += v;
+    }
+    HistogramSnapshot s =
+        snapOf(obs::histogramsSnapshot(), "test.hist.basic");
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_EQ(s.sum, sum);
+    uint64_t p50 = s.percentile(0.50);
+    uint64_t p99 = s.percentile(0.99);
+    EXPECT_GE(p50, 500u);
+    EXPECT_LE(p50, 500u + 500u / 16u);
+    EXPECT_GE(p99, 990u);
+    EXPECT_LE(p99, 990u + 990u / 16u);
+    EXPECT_GE(s.percentile(1.0), 1000u);
+    EXPECT_EQ(s.percentile(0.0), s.percentile(0.001));
+}
+
+TEST(Histogram, LifetimeCountsExactAcrossThreads)
+{
+    obs::resetHistograms();
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kPerThread = 100000;
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < kThreads; ++t)
+        ts.emplace_back([t] {
+            Histogram h("test.hist.mt");
+            for (unsigned i = 0; i < kPerThread; ++i)
+                h.record((t * kPerThread + i) % 5000);
+        });
+    for (std::thread &t : ts)
+        t.join();
+    HistogramSnapshot s =
+        snapOf(obs::histogramsSnapshot(), "test.hist.mt");
+    // The per-thread shard discipline must lose nothing, including
+    // counts from threads that have already exited.
+    EXPECT_EQ(s.count, uint64_t(kThreads) * kPerThread);
+}
+
+TEST(Histogram, WindowedViewForgetsOldValuesLifetimeDoesNot)
+{
+    obs::resetHistograms();
+    Histogram h("test.hist.win");
+    for (int i = 0; i < 100; ++i)
+        h.record(7);
+
+    HistogramSnapshot w = snapOf(
+        obs::histogramsWindow(Histogram::kWindowSeconds),
+        "test.hist.win");
+    EXPECT_EQ(w.count, 100u) << "current window must be included";
+
+    // Jump past the whole ring: every stamped window is now stale.
+    obs::detail::advanceHistogramClockForTest(
+        int64_t(Histogram::kWindows + 1) *
+        Histogram::kWindowSeconds);
+
+    w = snapOf(obs::histogramsWindow(60), "test.hist.win");
+    EXPECT_EQ(w.count, 0u) << "stale windows must be discarded";
+
+    HistogramSnapshot life =
+        snapOf(obs::histogramsSnapshot(), "test.hist.win");
+    EXPECT_EQ(life.count, 100u) << "lifetime view must not forget";
+
+    // New records land in a fresh window and dominate the windowed
+    // view; the stale slot they recycle stays excluded.
+    for (int i = 0; i < 5; ++i)
+        h.record(9);
+    w = snapOf(obs::histogramsWindow(60), "test.hist.win");
+    EXPECT_EQ(w.count, 5u);
+    life = snapOf(obs::histogramsSnapshot(), "test.hist.win");
+    EXPECT_EQ(life.count, 105u);
+}
+
+TEST(Histogram, ResetZeroesEverything)
+{
+    Histogram h("test.hist.reset");
+    h.record(42);
+    obs::resetHistograms();
+    HistogramSnapshot s =
+        snapOf(obs::histogramsSnapshot(), "test.hist.reset");
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.sum, 0u);
+    HistogramSnapshot w =
+        snapOf(obs::histogramsWindow(60), "test.hist.reset");
+    EXPECT_EQ(w.count, 0u);
+    // And the histogram keeps working after a reset.
+    h.record(1);
+    s = snapOf(obs::histogramsSnapshot(), "test.hist.reset");
+    EXPECT_EQ(s.count, 1u);
+}
+
+TEST(Histogram, SameNameSharesOneRegistration)
+{
+    obs::resetHistograms();
+    Histogram a("test.hist.shared");
+    Histogram b("test.hist.shared");
+    a.record(3);
+    b.record(4);
+    std::vector<HistogramSnapshot> all = obs::histogramsSnapshot();
+    unsigned seen = 0;
+    for (const HistogramSnapshot &h : all)
+        if (h.name == "test.hist.shared")
+            ++seen;
+    EXPECT_EQ(seen, 1u);
+    HistogramSnapshot s = snapOf(all, "test.hist.shared");
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_EQ(s.sum, 7u);
+}
+
+} // namespace
+} // namespace eel

@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Request-scoped telemetry tests: the wire trace-context extension
+ * (tagged clients round-trip all four ops; untagged "old" clients
+ * get byte-identical replies; truncated prefixes and flagged garbage
+ * ops get clean errors), parented span emission under --trace, the
+ * STATS latency block, the HTTP gateway (/metrics exposition, /stats
+ * validated with the strict JSON parser, /requests/slow, and the
+ * reject paths: 400/404/405/431 without crashing), the daemon's
+ * --trace flush on SIGTERM (fork/exec), and a concurrency suite
+ * (histogram hammer + HTTP scrapes under load) that doubles as the
+ * tsan_telemetry race check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "src/exe/executable.hh"
+#include "src/isa/builder.hh"
+#include "src/obs/histogram.hh"
+#include "src/obs/trace.hh"
+#include "src/support/logging.hh"
+#include "src/svc/client.hh"
+#include "src/svc/server.hh"
+#include "tests/json_dom.hh"
+
+namespace eel::svc {
+namespace {
+
+namespace b = isa::build;
+using testjson::JParser;
+using testjson::JValue;
+
+/** A well-formed program that exits immediately. */
+std::string
+tinyXef()
+{
+    exe::Executable x;
+    x.text.push_back(isa::encode(b::movi(8, 0)));
+    x.text.push_back(isa::encode(b::ta(isa::trap::exit_prog)));
+    x.text.push_back(isa::encode(b::retl()));
+    x.text.push_back(isa::encode(b::nop()));
+    x.entry = exe::textBase;
+    x.symbols.push_back(exe::Symbol{"main", exe::textBase, 16, true});
+    x.data = {5, 6, 7, 8};
+    return x.saveBytes();
+}
+
+ServerConfig
+testConfig()
+{
+    ServerConfig cfg;
+    cfg.threads = 2;
+    cfg.defaultDeadlineMs = 10000;
+    return cfg;
+}
+
+/** Raw frame bytes: len | seq | code | body. */
+std::string
+rawFrame(uint32_t seq, uint8_t code, const std::string &body)
+{
+    std::string out;
+    putU32(out, static_cast<uint32_t>(5 + body.size()));
+    putU32(out, seq);
+    putU8(out, code);
+    out += body;
+    return out;
+}
+
+/** One raw HTTP exchange: connect, send `request`, read to EOF. */
+std::string
+httpExchange(uint16_t port, const std::string &request)
+{
+    Conn c = connectTcp(port);
+    c.writeRaw(request);
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(c.fd(), buf, sizeof buf, 0)) > 0)
+        resp.append(buf, static_cast<size_t>(n));
+    return resp;
+}
+
+std::string
+httpGet(uint16_t port, const std::string &target)
+{
+    return httpExchange(port, "GET " + target +
+                                  " HTTP/1.1\r\n"
+                                  "Host: localhost\r\n\r\n");
+}
+
+int
+httpStatus(const std::string &resp)
+{
+    int code = 0;
+    std::sscanf(resp.c_str(), "HTTP/1.1 %d", &code);
+    return code;
+}
+
+std::string
+httpBody(const std::string &resp)
+{
+    size_t at = resp.find("\r\n\r\n");
+    return at == std::string::npos ? std::string()
+                                   : resp.substr(at + 4);
+}
+
+/**
+ * Histogram and slow-ring records land *after* the reply frame is
+ * written (replyTimed finishes the timeline last), so a scrape
+ * issued the instant a client call returns can race the recording
+ * worker. Poll with a bounded retry budget instead of sleeping.
+ */
+bool
+eventually(const std::function<bool()> &pred)
+{
+    for (int i = 0; i < 400; ++i) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr) << path;
+    std::string text;
+    if (!f)
+        return text;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
+TEST(Telemetry, TaggedAndUntaggedClientsGetIdenticalReplies)
+{
+    Server server(testConfig());
+    server.start();
+    std::string tiny = tinyXef();
+    uint64_t id = contentId(tiny);
+
+    // "Old" client: no trace context, the pre-extension wire format.
+    Client legacy = Client::dialTcp(server.port());
+    // New client: every request tagged (sampling off — sampling only
+    // affects span emission, never the reply).
+    Client tagged = Client::dialTcp(server.port());
+    TraceContext tc;
+    tc.traceId = 0xabcdef0123456789ull;
+    tagged.setTraceContext(tc);
+
+    auto ls = legacy.submit(tiny);
+    auto ts = tagged.submit(tiny);
+    ASSERT_TRUE(ls.ok()) << ls.message;
+    ASSERT_TRUE(ts.ok()) << ts.message;
+    EXPECT_EQ(ls.value.imageId, ts.value.imageId);
+    EXPECT_EQ(ls.value.pages, ts.value.pages);
+
+    RewriteRequest rr;
+    rr.imageId = id;
+    rr.kind = 0;
+    auto lr = legacy.rewrite(rr);
+    auto tr = tagged.rewrite(rr);
+    ASSERT_TRUE(lr.ok()) << lr.message;
+    ASSERT_TRUE(tr.ok()) << tr.message;
+    EXPECT_EQ(lr.value.xef, tr.value.xef)
+        << "tagged rewrite must be byte-identical to untagged";
+
+    SimulateRequest sr;
+    sr.imageId = id;
+    sr.timing = 1;
+    sr.limit = 1000;
+    auto lsim = legacy.simulate(sr);
+    auto tsim = tagged.simulate(sr);
+    ASSERT_TRUE(lsim.ok()) << lsim.message;
+    ASSERT_TRUE(tsim.ok()) << tsim.message;
+    EXPECT_EQ(lsim.value.instructions, tsim.value.instructions);
+    EXPECT_EQ(lsim.value.cycles, tsim.value.cycles);
+    EXPECT_EQ(lsim.value.exitCode, tsim.value.exitCode);
+
+    auto lst = legacy.stats();
+    auto tst = tagged.stats();
+    EXPECT_TRUE(lst.ok());
+    EXPECT_TRUE(tst.ok());
+
+    // After clearTraceContext the frames are legacy again.
+    tagged.clearTraceContext();
+    EXPECT_TRUE(tagged.submit(tiny).ok());
+    server.stop();
+}
+
+TEST(Telemetry, TruncatedTraceContextIsBadFrameNotHangup)
+{
+    Server server(testConfig());
+    server.start();
+    Client c = Client::dialTcp(server.port());
+
+    // Flagged SubmitXef whose body is shorter than the 9-byte
+    // trace-context prefix: clean BadFrame on the right seq, and the
+    // stream stays synchronized (framing itself was fine).
+    Frame rep;
+    ASSERT_TRUE(c.sendRawExpectReply(
+        rawFrame(7, uint8_t(Op::SubmitXef) | kTraceContextFlag,
+                 "abc"),
+        rep));
+    EXPECT_EQ(rep.seq, 7u);
+    EXPECT_EQ(static_cast<Status>(rep.code), Status::BadFrame);
+
+    // The same connection still serves a real request.
+    EXPECT_TRUE(c.submit(tinyXef()).ok());
+    server.stop();
+}
+
+TEST(Telemetry, FlaggedGarbageOpKeepsUnknownOpReply)
+{
+    Server server(testConfig());
+    server.start();
+    Client c = Client::dialTcp(server.port());
+
+    // 0xee has the flag bit set but masks to an invalid op (0x6e):
+    // the pre-extension behaviour (BadRequest, seq echoed, nothing
+    // consumed as a prefix) must be preserved.
+    Frame rep;
+    ASSERT_TRUE(c.sendRawExpectReply(rawFrame(9, 0xee, "body"),
+                                     rep));
+    EXPECT_EQ(rep.seq, 9u);
+    EXPECT_EQ(static_cast<Status>(rep.code), Status::BadRequest);
+    server.stop();
+}
+
+TEST(Telemetry, SampledRequestsEmitParentedSpans)
+{
+    obs::resetTrace();
+    obs::enableTracing();
+
+    const uint64_t traceId = 0x1122334455667788ull;
+    {
+        Server server(testConfig());
+        server.start();
+        Client c = Client::dialTcp(server.port());
+        TraceContext tc;
+        tc.traceId = traceId;
+        tc.flags = TraceContext::kSampled;
+        c.setTraceContext(tc);
+        auto sub = c.submit(tinyXef());
+        ASSERT_TRUE(sub.ok()) << sub.message;
+        RewriteRequest rr;
+        rr.imageId = sub.value.imageId;
+        rr.kind = 0;
+        ASSERT_TRUE(c.rewrite(rr).ok());
+
+        // An unsampled tagged request must stay silent.
+        tc.traceId = 0x9999999999999999ull;
+        tc.flags = 0;
+        c.setTraceContext(tc);
+        ASSERT_TRUE(c.submit(tinyXef()).ok());
+        server.stop();
+
+        std::string path =
+            ::testing::TempDir() + "svc_telemetry_trace.json";
+        ASSERT_TRUE(obs::writeTrace(path));
+        obs::resetTrace();
+
+        std::string text = readFile(path);
+        std::remove(path.c_str());
+        JParser parser(text);
+        JValue root = parser.parse();
+        ASSERT_FALSE(parser.failed);
+        const JValue *events = root.find("traceEvents");
+        ASSERT_NE(events, nullptr);
+
+        // Want: a parent svc.request.* span carrying our trace id,
+        // and svc.phase.* children with the same id nested inside
+        // the parent's [ts, ts+dur] on the same tid.
+        char want[32];
+        std::snprintf(want, sizeof want, "%016llx",
+                      static_cast<unsigned long long>(traceId));
+        struct SpanRec
+        {
+            double ts, dur, tid;
+        };
+        std::vector<SpanRec> parents;
+        std::vector<SpanRec> phases;
+        bool sawUnsampled = false;
+        for (const JValue &ev : events->arr) {
+            const JValue *ph = ev.find("ph");
+            const JValue *name = ev.find("name");
+            if (!ph || ph->str != "X" || !name)
+                continue;
+            const JValue *args = ev.find("args");
+            const JValue *tid = ev.find("tid");
+            const JValue *ts = ev.find("ts");
+            const JValue *dur = ev.find("dur");
+            std::string idStr;
+            if (args) {
+                const JValue *tidv = args->find("trace_id");
+                if (tidv)
+                    idStr = tidv->str;
+            }
+            if (idStr == "9999999999999999")
+                sawUnsampled = true;
+            if (idStr != want)
+                continue;
+            ASSERT_NE(ts, nullptr);
+            ASSERT_NE(dur, nullptr);
+            ASSERT_NE(tid, nullptr);
+            SpanRec rec{ts->num, dur->num, tid->num};
+            if (name->str.rfind("svc.request.", 0) == 0)
+                parents.push_back(rec);
+            else if (name->str.rfind("svc.phase.", 0) == 0)
+                phases.push_back(rec);
+        }
+        EXPECT_FALSE(sawUnsampled)
+            << "unsampled tagged request emitted spans";
+        ASSERT_EQ(parents.size(), 2u)
+            << "one parent span per sampled request";
+        ASSERT_FALSE(phases.empty());
+        for (const SpanRec &phase : phases) {
+            bool contained = false;
+            for (const SpanRec &par : parents)
+                contained |= par.tid == phase.tid &&
+                             phase.ts >= par.ts &&
+                             phase.ts + phase.dur <=
+                                 par.ts + par.dur + 1;
+            EXPECT_TRUE(contained)
+                << "phase span not nested in its request span";
+        }
+    }
+}
+
+TEST(Telemetry, StatsCarriesLatencyBlock)
+{
+    obs::resetHistograms();
+    Server server(testConfig());
+    server.start();
+    Client c = Client::dialTcp(server.port());
+    ASSERT_TRUE(c.submit(tinyXef()).ok());
+
+    std::string body;
+    ASSERT_TRUE(eventually([&] {
+        auto st = c.stats();
+        if (!st.ok())
+            return false;
+        body = st.value;
+        return body.find("svc.op.submit_xef") != std::string::npos;
+    })) << "submit never appeared in the latency block";
+
+    JParser parser(body);
+    JValue root = parser.parse();
+    ASSERT_FALSE(parser.failed) << body;
+    const JValue *lat = root.find("latency");
+    ASSERT_NE(lat, nullptr);
+    ASSERT_EQ(lat->kind, JValue::Obj);
+    const JValue *sub = lat->find("svc.op.submit_xef");
+    ASSERT_NE(sub, nullptr);
+    const JValue *count = sub->find("count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_GE(count->num, 1.0);
+    const JValue *win = sub->find("window60s");
+    ASSERT_NE(win, nullptr);
+    ASSERT_NE(win->find("p99_us"), nullptr);
+    // The submit we just made is in the current window.
+    EXPECT_GE(win->find("count")->num, 1.0);
+    server.stop();
+}
+
+ServerConfig
+httpConfig()
+{
+    ServerConfig cfg = testConfig();
+    cfg.httpEnabled = true;
+    cfg.httpPort = 0;
+    return cfg;
+}
+
+TEST(HttpGateway, MetricsExposition)
+{
+    obs::resetHistograms();
+    Server server(httpConfig());
+    server.start();
+    ASSERT_GT(server.httpPort(), 0);
+    Client c = Client::dialTcp(server.port());
+    ASSERT_TRUE(c.submit(tinyXef()).ok());
+
+    std::string body;
+    ASSERT_TRUE(eventually([&] {
+        std::string resp = httpGet(server.httpPort(), "/metrics");
+        if (httpStatus(resp) != 200)
+            return false;
+        body = httpBody(resp);
+        return body.find("eel_svc_op_submit_xef_seconds_count") !=
+               std::string::npos;
+    })) << "submit histogram never appeared in /metrics:\n"
+        << body.substr(0, 400);
+    EXPECT_NE(body.find("# TYPE eel_svc_requests_total counter"),
+              std::string::npos)
+        << body.substr(0, 400);
+    EXPECT_NE(body.find("eel_svc_submits_total 1"),
+              std::string::npos);
+    // The op histogram as a Prometheus histogram in seconds.
+    EXPECT_NE(body.find("eel_svc_op_submit_xef_seconds_bucket"),
+              std::string::npos);
+    EXPECT_NE(body.find("le=\"+Inf\""), std::string::npos);
+    server.stop();
+}
+
+TEST(HttpGateway, StatsAndSlowRequestsParseStrictly)
+{
+    obs::resetHistograms();
+    ServerConfig cfg = httpConfig();
+    cfg.slowRequestMs = 0;  // every request is "slow": ring fills
+    Server server(cfg);
+    server.start();
+    Client c = Client::dialTcp(server.port());
+    ASSERT_TRUE(c.submit(tinyXef()).ok());
+
+    std::string resp = httpGet(server.httpPort(), "/stats");
+    EXPECT_EQ(httpStatus(resp), 200);
+    {
+        // JParser keeps pointers into its argument: needs a named
+        // string, not a temporary.
+        std::string body = httpBody(resp);
+        JParser parser(body);
+        JValue root = parser.parse();
+        ASSERT_FALSE(parser.failed) << body;
+        ASSERT_NE(root.find("latency"), nullptr);
+        ASSERT_NE(root.find("rescache"), nullptr);
+        const JValue *http = root.find("http_requests");
+        ASSERT_NE(http, nullptr);
+        EXPECT_GE(http->num, 1.0);
+    }
+
+    ASSERT_TRUE(eventually([&] {
+        resp = httpGet(server.httpPort(), "/requests/slow");
+        return httpStatus(resp) == 200 &&
+               httpBody(resp).find("trace_id") != std::string::npos;
+    })) << "slow ring never filled: " << httpBody(resp);
+    {
+        std::string body = httpBody(resp);
+        JParser parser(body);
+        JValue root = parser.parse();
+        ASSERT_FALSE(parser.failed) << body;
+        const JValue *reqs = root.find("requests");
+        ASSERT_NE(reqs, nullptr);
+        ASSERT_EQ(reqs->kind, JValue::Arr);
+        ASSERT_FALSE(reqs->arr.empty());
+        const JValue &entry = reqs->arr.front();
+        ASSERT_NE(entry.find("trace_id"), nullptr);
+        ASSERT_NE(entry.find("op"), nullptr);
+        ASSERT_NE(entry.find("total_ms"), nullptr);
+    }
+    server.stop();
+}
+
+TEST(HttpGateway, RejectsWithoutCrashing)
+{
+    Server server(httpConfig());
+    server.start();
+    uint16_t port = server.httpPort();
+
+    EXPECT_EQ(httpStatus(httpGet(port, "/nope")), 404);
+    EXPECT_EQ(httpStatus(httpExchange(
+                  port, "POST /metrics HTTP/1.1\r\n\r\n")),
+              405);
+    EXPECT_EQ(httpStatus(httpExchange(
+                  port, "GARBAGE WITHOUT STRUCTURE\r\n\r\n")),
+              400);
+    // Malformed header line.
+    EXPECT_EQ(httpStatus(httpExchange(
+                  port, "GET /metrics HTTP/1.1\r\n"
+                        "no-colon-here\r\n\r\n")),
+              400);
+    // Oversized header block: rejected once the cap is passed, even
+    // though no terminator ever arrives.
+    {
+        std::string big = "GET /metrics HTTP/1.1\r\n";
+        big += "X-Pad: " + std::string(32 * 1024, 'a') + "\r\n";
+        EXPECT_EQ(httpStatus(httpExchange(port, big)), 431);
+    }
+    // Binary garbage, then hangup: the gateway must survive.
+    {
+        Conn c = connectTcp(port);
+        std::string junk;
+        for (int i = 0; i < 256; ++i)
+            junk.push_back(static_cast<char>(i));
+        c.writeRaw(junk);
+    }
+    // Still serving after all of the above.
+    EXPECT_EQ(httpStatus(httpGet(port, "/metrics")), 200);
+    server.stop();
+}
+
+TEST(TelemetryConcurrency, HistogramHammerWhileSnapshotting)
+{
+    obs::resetHistograms();
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t)
+        writers.emplace_back([&stop] {
+            obs::Histogram h("tsan.hammer");
+            // Raw 64-bit LCG values exercise every slot including
+            // the clamp-to-top path.
+            uint64_t v = 1;
+            while (!stop.load(std::memory_order_relaxed))
+                h.record(v = v * 2862933555777941757ull + 3037ull);
+        });
+    for (int i = 0; i < 200; ++i) {
+        obs::histogramsSnapshot();
+        obs::histogramsWindow(60);
+    }
+    stop.store(true);
+    for (std::thread &t : writers)
+        t.join();
+    SUCCEED();
+}
+
+TEST(TelemetryConcurrency, ScrapesDuringLoad)
+{
+    obs::resetHistograms();
+    Server server(httpConfig());
+    server.start();
+    std::string tiny = tinyXef();
+    {
+        Client seed = Client::dialTcp(server.port());
+        ASSERT_TRUE(seed.submit(tiny).ok());
+    }
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t)
+        threads.emplace_back([&, t] {
+            Client c = Client::dialTcp(server.port());
+            TraceContext tc;
+            tc.traceId = 0x1000 + t;
+            c.setTraceContext(tc);
+            for (int i = 0; i < 25; ++i) {
+                if (!c.submit(tiny).ok())
+                    ++failures;
+                if (!c.stats().ok())
+                    ++failures;
+            }
+        });
+    for (int t = 0; t < 2; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 15; ++i) {
+                if (httpStatus(httpGet(server.httpPort(),
+                                       "/metrics")) != 200)
+                    ++failures;
+                if (httpStatus(httpGet(server.httpPort(),
+                                       "/stats")) != 200)
+                    ++failures;
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    server.stop();
+}
+
+TEST(TelemetryDaemon, TraceFlushedOnSigterm)
+{
+    const char *path = EEL_SVCD_PATH;
+    std::string traceFile =
+        ::testing::TempDir() + "eelsvcd_sigterm_trace.json";
+    std::remove(traceFile.c_str());
+
+    int outPipe[2];
+    ASSERT_EQ(::pipe(outPipe), 0);
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::dup2(outPipe[1], 1);
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        ::execl(path, path, "--port", "0", "--threads", "2",
+                "--http", "0", "--trace", traceFile.c_str(),
+                static_cast<char *>(nullptr));
+        _exit(127);  // exec failed
+    }
+    ::close(outPipe[1]);
+
+    FILE *out = ::fdopen(outPipe[0], "r");
+    ASSERT_NE(out, nullptr);
+    unsigned port = 0, httpPort = 0;
+    char line[256];
+    while (std::fgets(line, sizeof line, out)) {
+        std::sscanf(line, "listening port=%u", &port);
+        if (std::sscanf(line, "http port=%u", &httpPort) == 1)
+            break;
+    }
+    ASSERT_GT(port, 0u) << "daemon never reported its port";
+    ASSERT_GT(httpPort, 0u) << "daemon never reported its http port";
+
+    // A sampled tagged request the flushed trace must contain.
+    {
+        Client c = Client::dialTcp(static_cast<uint16_t>(port));
+        TraceContext tc;
+        tc.traceId = 0xfeedface12345678ull;
+        tc.flags = TraceContext::kSampled;
+        c.setTraceContext(tc);
+        auto sub = c.submit(tinyXef());
+        ASSERT_TRUE(sub.ok()) << sub.message;
+        // And the gateway answers inside the daemon too.
+        EXPECT_EQ(httpStatus(httpGet(
+                      static_cast<uint16_t>(httpPort), "/stats")),
+                  200);
+    }
+
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    std::fclose(out);
+
+    // The drain-then-flush contract: the trace file exists, parses,
+    // and holds the request's parent span with our trace id.
+    std::string text = readFile(traceFile);
+    std::remove(traceFile.c_str());
+    ASSERT_FALSE(text.empty());
+    JParser parser(text);
+    JValue root = parser.parse();
+    ASSERT_FALSE(parser.failed) << "daemon trace is not valid JSON";
+    const JValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool sawRequestSpan = false;
+    for (const JValue &ev : events->arr) {
+        const JValue *name = ev.find("name");
+        const JValue *args = ev.find("args");
+        if (!name || name->str.rfind("svc.request.", 0) != 0)
+            continue;
+        if (args) {
+            const JValue *tid = args->find("trace_id");
+            if (tid && tid->str == "feedface12345678")
+                sawRequestSpan = true;
+        }
+    }
+    EXPECT_TRUE(sawRequestSpan)
+        << "SIGTERM flush lost the request span";
+}
+
+} // namespace
+} // namespace eel::svc
